@@ -1,0 +1,44 @@
+// Ablation A2: bid-price sweep. Section 6's summary: single-zone Periodic
+// is best around B = $0.81; higher bids favour single-zone Markov-Daly;
+// for redundancy-based policies higher bids past a sweet spot raise the
+// median (paying for all three zones). This sweep prints the median cost
+// per bid for each policy family.
+//
+// Usage: bench_ablation_bids [num_experiments]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/adaptive/adaptive_runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "market/spot_market.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace redspot;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 80;
+  SpotMarket market(paper_traces(42), cc2_instance(), QueueDelayModel());
+  const PolicyKind red[] = {PolicyKind::kPeriodic, PolicyKind::kMarkovDaly};
+
+  for (VolatilityWindow window :
+       {VolatilityWindow::kLow, VolatilityWindow::kHigh}) {
+    const Scenario scenario{window, 0.15, 300, n};
+    std::printf("== Ablation A2 — bid sweep, %s ==\n",
+                scenario.label().c_str());
+    std::printf("%8s %18s %18s %18s\n", "bid", "periodic(1z) med",
+                "markov-daly(1z) med", "redundancy med");
+    for (Money bid : paper_bid_grid()) {
+      const double p = median(merged_single_zone_costs(
+          market, scenario, PolicyKind::kPeriodic, bid));
+      const double m = median(merged_single_zone_costs(
+          market, scenario, PolicyKind::kMarkovDaly, bid));
+      const double r = median(
+          best_case_redundancy_costs(market, scenario, red, bid));
+      std::printf("%8s %18.2f %18.2f %18.2f\n", bid.str().c_str(), p, m, r);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation A3: checkpoint-cost sweep, plus the Daly-vs-Young interval
+// comparison. The paper evaluates t_c = t_r at 300 s and 900 s; this sweep
+// fills in the curve and shows where Edge/Threshold collapse ("high
+// recovery costs resulting from inadequate checkpointing").
+//
+// Usage: bench_ablation_ckpt_cost [num_experiments]
+#include <cstdio>
+#include <cstdlib>
+
+#include "ckpt/daly.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "market/spot_market.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace redspot;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40;
+  SpotMarket market(paper_traces(42), cc2_instance(), QueueDelayModel());
+  const Money bid = Money::cents(81);
+  const PolicyKind red[] = {PolicyKind::kPeriodic, PolicyKind::kMarkovDaly};
+
+  std::printf("== Ablation A3 — checkpoint-cost sweep, high-volatility, "
+              "Tl=15%%, bid $0.81 ==\n");
+  std::printf("%6s %14s %14s %14s %14s\n", "tc(s)", "periodic med",
+              "markov-daly med", "rising-edge med", "redundancy med");
+  for (Duration tc : {Duration{150}, Duration{300}, Duration{600},
+                      Duration{900}, Duration{1200}}) {
+    const Scenario scenario{VolatilityWindow::kHigh, 0.15, tc, n};
+    std::printf("%6lld %14.2f %14.2f %14.2f %14.2f\n",
+                static_cast<long long>(tc),
+                median(merged_single_zone_costs(market, scenario,
+                                                PolicyKind::kPeriodic, bid)),
+                median(merged_single_zone_costs(
+                    market, scenario, PolicyKind::kMarkovDaly, bid)),
+                median(merged_single_zone_costs(
+                    market, scenario, PolicyKind::kRisingEdge, bid)),
+                median(best_case_redundancy_costs(market, scenario, red,
+                                                  bid)));
+  }
+
+  std::printf("\nDaly vs Young optimum interval (minutes) by MTBF, "
+              "tc = 300 s / 900 s:\n");
+  std::printf("%10s %12s %12s %12s %12s\n", "MTBF", "daly(300)",
+              "young(300)", "daly(900)", "young(900)");
+  for (Duration mtbf : {30 * kMinute, kHour, 3 * kHour, 12 * kHour,
+                        2 * kDay}) {
+    std::printf("%10s %12.1f %12.1f %12.1f %12.1f\n",
+                format_duration(mtbf).c_str(),
+                static_cast<double>(daly_interval(300, mtbf)) / 60.0,
+                static_cast<double>(young_interval(300, mtbf)) / 60.0,
+                static_cast<double>(daly_interval(900, mtbf)) / 60.0,
+                static_cast<double>(young_interval(900, mtbf)) / 60.0);
+  }
+  return 0;
+}

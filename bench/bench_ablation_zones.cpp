@@ -1,0 +1,50 @@
+// Ablation A1: degree of redundancy. The paper states it "observed
+// diminishing returns with N <= 2 zones" and evaluates N = 3; this sweep
+// quantifies cost and availability as N grows from 1 to 3 in both
+// volatility windows (Markov-Daly, bid $0.81).
+//
+// Usage: bench_ablation_zones [num_experiments]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "market/spot_market.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace redspot;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 80;
+  SpotMarket market(paper_traces(42), cc2_instance(), QueueDelayModel());
+  const Money bid = Money::cents(81);
+
+  for (VolatilityWindow window :
+       {VolatilityWindow::kLow, VolatilityWindow::kHigh}) {
+    for (Duration tc : {Duration{300}, Duration{900}}) {
+      const Scenario scenario{window, 0.15, tc, n};
+      std::vector<BoxRow> rows;
+      const std::vector<std::vector<std::size_t>> zone_sets = {
+          {0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}};
+      for (const auto& zones : zone_sets) {
+        std::string label = "N=" + std::to_string(zones.size()) + " {";
+        for (std::size_t z : zones) label += std::to_string(z);
+        label += "}";
+        const auto results = run_fixed_sweep(
+            market, scenario,
+            PolicyRunSpec{PolicyKind::kMarkovDaly, bid, zones});
+        rows.push_back(make_box_row(label, checked_costs(results)));
+      }
+      std::fputs(
+          boxplot_table("Ablation A1 — redundancy degree, " +
+                            scenario.label() + ", markov-daly, bid $0.81",
+                        rows, Money::dollars(48.00), Money::dollars(5.40))
+              .c_str(),
+          stdout);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 6 reproduction: Large-bid (B = $100) at user thresholds
+// L in {$0.27, $0.81, $2.40, Max=$20.02, Naive = no threshold} vs Adaptive,
+// for the four (t_c, T_l) cells of each volatility window. Large-bid is
+// single-zone; zones are merged as in the paper's other single-zone
+// boxplots. Circles in the paper mark the maximum cost — the "max" column
+// here. The paper's headline worst cases: $183.75 (3.8x on-demand) in the
+// low-volatility window (the $20.02 spike of Mar 13-14) and ~2.0x
+// on-demand in the high-volatility window.
+//
+// Usage: bench_fig6_largebid [num_experiments]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/policies/large_bid.hpp"
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "market/spot_market.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace redspot;
+
+namespace {
+
+std::vector<double> merged_large_bid_costs(const SpotMarket& market,
+                                           const Scenario& scenario,
+                                           Money threshold) {
+  std::vector<double> merged;
+  for (std::size_t zone = 0; zone < market.num_zones(); ++zone) {
+    const std::vector<RunResult> results =
+        run_large_bid_sweep(market, scenario, threshold, zone);
+    const std::vector<double> costs = checked_costs(results);
+    merged.insert(merged.end(), costs.begin(), costs.end());
+  }
+  return merged;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t num_experiments =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 80;
+
+  SpotMarket market(paper_traces(42), cc2_instance(), QueueDelayModel());
+
+  const std::pair<const char*, Money> thresholds[] = {
+      {"L=$0.27", Money::cents(27)},
+      {"L=$0.81", Money::cents(81)},
+      {"L=$2.40", Money::dollars(2.40)},
+      {"L=Max ($20.02)", Money::dollars(20.02)},
+      {"Naive (no threshold)", LargeBidPolicy::no_threshold()},
+  };
+
+  for (const Scenario& base : paper_scenarios()) {
+    Scenario scenario = base;
+    scenario.num_experiments = num_experiments;
+
+    std::vector<BoxRow> rows;
+    for (const auto& [label, threshold] : thresholds) {
+      rows.push_back(make_box_row(
+          std::string("large-bid ") + label,
+          merged_large_bid_costs(market, scenario, threshold)));
+    }
+    rows.push_back(make_box_row(
+        "adaptive",
+        checked_costs(run_adaptive_sweep(market, scenario))));
+    std::fputs(boxplot_table("Figure 6 — " + scenario.label(), rows,
+                             Money::dollars(48.00), Money::dollars(5.40))
+                   .c_str(),
+               stdout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark): the hot paths of the simulator —
+// event calendar throughput, one full engine run, the Markov uptime solve,
+// Daly's interval, the synthetic generator and the VAR fit.
+#include <benchmark/benchmark.h>
+
+#include "ckpt/daly.hpp"
+#include "core/adaptive/adaptive_runner.hpp"
+#include "core/engine.hpp"
+#include "exp/scenario.hpp"
+#include "market/spot_market.hpp"
+#include "markov/model.hpp"
+#include "markov/uptime.hpp"
+#include "sim/simulation.hpp"
+#include "trace/calendar.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/var.hpp"
+
+namespace {
+
+using namespace redspot;
+
+const SpotMarket& shared_market() {
+  static const SpotMarket market(paper_traces(42), cc2_instance(),
+                                 QueueDelayModel());
+  return market;
+}
+
+void BM_EventCalendar(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i)
+      sim.schedule_at(i, [&fired] { ++fired; });
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventCalendar);
+
+void BM_EngineRunPeriodic(benchmark::State& state) {
+  const SpotMarket& market = shared_market();
+  const Scenario scenario{VolatilityWindow::kHigh, 0.15, 300, 80};
+  const Experiment experiment = scenario.experiment(5);
+  for (auto _ : state) {
+    FixedStrategy strategy(Money::cents(81), {0, 1, 2},
+                           make_policy(PolicyKind::kPeriodic));
+    Engine engine(market, experiment, strategy);
+    benchmark::DoNotOptimize(engine.run().total_cost);
+  }
+}
+BENCHMARK(BM_EngineRunPeriodic);
+
+void BM_EngineRunAdaptive(benchmark::State& state) {
+  const SpotMarket& market = shared_market();
+  const Scenario scenario{VolatilityWindow::kHigh, 0.15, 300, 80};
+  const Experiment experiment = scenario.experiment(5);
+  for (auto _ : state) {
+    AdaptiveStrategy strategy;
+    Engine engine(market, experiment, strategy);
+    benchmark::DoNotOptimize(engine.run().total_cost);
+  }
+}
+BENCHMARK(BM_EngineRunAdaptive);
+
+void BM_MarkovUptime(benchmark::State& state) {
+  const ZoneTraceSet& traces = shared_market().traces();
+  const SimTime t = month_start(kHighVolatilityMonth) + 5 * kDay;
+  const PriceSeries window = traces.zone(1).window(t - 2 * kDay, t);
+  const MarkovModel model = build_markov_model(window);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        expected_uptime(model, window.sample(window.size() - 1),
+                        Money::cents(81)));
+  }
+}
+BENCHMARK(BM_MarkovUptime);
+
+void BM_MarkovModelBuild(benchmark::State& state) {
+  const ZoneTraceSet& traces = shared_market().traces();
+  const SimTime t = month_start(kHighVolatilityMonth) + 5 * kDay;
+  const PriceSeries window = traces.zone(1).window(t - 2 * kDay, t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_markov_model(window).num_states());
+  }
+}
+BENCHMARK(BM_MarkovModelBuild);
+
+void BM_DalyInterval(benchmark::State& state) {
+  Duration mtbf = kHour;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(daly_interval(300, mtbf));
+    mtbf = (mtbf % kDay) + kMinute;
+  }
+}
+BENCHMARK(BM_DalyInterval);
+
+void BM_SyntheticMonth(benchmark::State& state) {
+  SyntheticTraceSpec spec = paper_trace_spec(7);
+  spec.params.resize(1);  // one month
+  spec.forced_spikes.clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_traces(spec).num_zones());
+    ++spec.seed;
+  }
+}
+BENCHMARK(BM_SyntheticMonth);
+
+void BM_VarFitMonth(benchmark::State& state) {
+  const ZoneTraceSet month = shared_market().traces().window(
+      month_start(kHighVolatilityMonth), month_end(kHighVolatilityMonth));
+  const auto series = to_series(month);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit_var(series, 4).aic);
+  }
+}
+BENCHMARK(BM_VarFitMonth);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Tables 2 and 3 reproduction: the optimal (policy, bid) per scenario cell,
+// by lowest median cost over the experiment sweep.
+//
+// Table 2: t_c = 300 s; Table 3: t_c = 900 s. Candidates are the paper's:
+// single-zone Periodic / Markov-Daly / Rising Edge / Threshold (zones
+// merged) and best-case redundancy (N = 3), each at every bid in
+// {$0.27, $0.81, $2.40} (the three bids Figure 4 shows).
+//
+// Paper's answers —
+//   Table 2: low/15% Periodic($0.81); low/50% Periodic-or-MD($0.81);
+//            high/15% Redundancy($0.81); high/50% MD($0.81).
+//   Table 3: low/15% Redundancy($0.27); low/50% Periodic-or-MD($0.81);
+//            high/15% Redundancy($0.81); high/50% MD($2.40).
+//
+// Usage: bench_table2_table3 [num_experiments]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "market/spot_market.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace redspot;
+
+namespace {
+
+struct Candidate {
+  std::string label;
+  double median = 0.0;
+};
+
+void run_table(const SpotMarket& market, Duration tc,
+               std::size_t num_experiments, const char* title) {
+  std::printf("== %s (tc = %lld s) ==\n", title,
+              static_cast<long long>(tc));
+  const Money bids[] = {Money::cents(27), Money::cents(81),
+                        Money::dollars(2.40)};
+  const PolicyKind singles[] = {PolicyKind::kPeriodic,
+                                PolicyKind::kMarkovDaly,
+                                PolicyKind::kRisingEdge,
+                                PolicyKind::kThreshold};
+  const PolicyKind redundancy[] = {PolicyKind::kPeriodic,
+                                   PolicyKind::kMarkovDaly};
+
+  for (VolatilityWindow window :
+       {VolatilityWindow::kLow, VolatilityWindow::kHigh}) {
+    for (double slack : {0.15, 0.50}) {
+      const Scenario scenario{window, slack, tc, num_experiments};
+      std::vector<Candidate> all;
+      for (Money bid : bids) {
+        for (PolicyKind policy : singles) {
+          all.push_back(Candidate{
+              to_string(policy) + " (1 zone, " + bid.str() + ")",
+              median(merged_single_zone_costs(market, scenario, policy,
+                                              bid))});
+        }
+        all.push_back(Candidate{
+            "redundancy (N=3, " + bid.str() + ")",
+            median(best_case_redundancy_costs(market, scenario, redundancy,
+                                              bid))});
+      }
+      const Candidate* best = &all.front();
+      for (const Candidate& c : all)
+        if (c.median < best->median) best = &c;
+      std::printf("%-32s -> %-34s median=$%.2f\n",
+                  scenario.label().c_str(), best->label.c_str(),
+                  best->median);
+      // Runners-up for context.
+      std::vector<Candidate> sorted = all;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.median < b.median;
+                });
+      for (std::size_t i = 1; i < 3 && i < sorted.size(); ++i)
+        std::printf("    runner-up: %-34s median=$%.2f\n",
+                    sorted[i].label.c_str(), sorted[i].median);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t num_experiments =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 80;
+  SpotMarket market(paper_traces(42), cc2_instance(), QueueDelayModel());
+  run_table(market, 300, num_experiments, "Table 2 — optimal policies");
+  run_table(market, 900, num_experiments, "Table 3 — optimal policies");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Section 3.1 reproduction: vector auto-regression of the three zones'
+// prices over the full trace, lag order selected by the Akaike criterion.
+// The paper's finding: same-zone lagged-price effects are consistently 1-2
+// orders of magnitude larger than cross-zone effects — the statistical
+// license for treating zones as independent failure domains.
+//
+// Usage: bench_var_analysis [max_lag]
+#include <cstdio>
+#include <cstdlib>
+
+#include "trace/calendar.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/var.hpp"
+
+using namespace redspot;
+
+int main(int argc, char** argv) {
+  const std::size_t max_lag =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8;
+
+  const ZoneTraceSet traces = paper_traces(42);
+  const auto series = to_series(traces);
+
+  std::printf("== Section 3.1 — VAR analysis over %zu months ==\n",
+              kTraceMonths);
+  std::printf("%4s %14s %12s\n", "lag", "AIC", "ln|Sigma|");
+  VarFit best;
+  double best_aic = 0.0;
+  for (std::size_t p = 1; p <= max_lag; ++p) {
+    VarFit fit = fit_var(series, p);
+    std::printf("%4zu %14.4f %12.4f\n", p, fit.aic,
+                fit.aic - 2.0 * static_cast<double>(p * 9) /
+                              static_cast<double>(fit.effective_samples));
+    if (best.lag_order == 0 || fit.aic < best_aic) {
+      best_aic = fit.aic;
+      best = std::move(fit);
+    }
+  }
+  std::printf("selected lag order (AIC): %zu\n\n", best.lag_order);
+
+  const CrossZoneEffects effects = cross_zone_effects(best);
+  std::printf("mean |within-zone| coefficient: %.5f\n",
+              effects.mean_abs_within);
+  std::printf("mean |cross-zone|  coefficient: %.5f\n",
+              effects.mean_abs_cross);
+  std::printf("within/cross ratio: %.1fx (paper: 1-2 orders of magnitude)\n",
+              effects.within_to_cross_ratio);
+
+  std::printf("\nlag-1 coefficient matrix (rows: target zone):\n");
+  const Matrix& a1 = best.coefficients.front();
+  for (std::size_t i = 0; i < a1.rows(); ++i) {
+    for (std::size_t j = 0; j < a1.cols(); ++j)
+      std::printf(" %9.5f", a1(i, j));
+    std::printf("\n");
+  }
+  return 0;
+}

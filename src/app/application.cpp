@@ -1,0 +1,45 @@
+#include "app/application.hpp"
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+Duration iteration_aligned(const AppModel& app, Duration raw) {
+  REDSPOT_CHECK(app.iteration_time > 0);
+  REDSPOT_CHECK(raw >= 0);
+  return raw - (raw % app.iteration_time);
+}
+
+const AppPreset& weather_preset() {
+  static const AppPreset preset{
+      .model = AppModel{"weather-forecast", 20 * kHour, 30, 128},
+      .costs = CheckpointCosts{300, 300},
+      .description =
+          "20 h regional forecast that must publish before the evening "
+          "newscast — the paper's motivating deadline scenario"};
+  return preset;
+}
+
+const AppPreset& cfd_preset() {
+  static const AppPreset preset{
+      .model = AppModel{"cfd-solver", 20 * kHour, 120, 256},
+      .costs = costs_from_io(/*image_gib=*/180.0,
+                             /*bandwidth_gib_per_s=*/0.25,
+                             /*base_overhead=*/180),
+      .description =
+          "implicit CFD solve with a ~180 GiB working set; checkpoints are "
+          "expensive (~900 s), the paper's high-t_c regime"};
+  return preset;
+}
+
+const AppPreset& montecarlo_preset() {
+  static const AppPreset preset{
+      .model = AppModel{"monte-carlo", 20 * kHour, 5, 64},
+      .costs = CheckpointCosts{60, 60},
+      .description =
+          "embarrassingly parallel Monte Carlo sweep with tiny state; "
+          "cheap checkpoints favour aggressive spot usage"};
+  return preset;
+}
+
+}  // namespace redspot

@@ -1,0 +1,51 @@
+// Application model.
+//
+// The scheduler sees an HPC application as the paper's system model does
+// (Section 2.3): a fixed problem size on a fixed number of tasks, needing C
+// seconds of uninterrupted compute, reporting progress at iteration
+// boundaries (the paper suggests MPI_Pcontrol). Progress is the amount of
+// completed compute; a checkpoint can only capture whole iterations.
+#pragma once
+
+#include <string>
+
+#include "ckpt/cost_model.hpp"
+#include "common/time.hpp"
+
+namespace redspot {
+
+/// A tightly coupled iterative application.
+struct AppModel {
+  std::string name = "app";
+  /// C: uninterrupted execution time on the chosen node count (Section 2.3).
+  Duration total_compute = 20 * kHour;
+  /// Progress commits at iteration granularity; 1 s approximates the
+  /// continuous model the paper's simulation uses.
+  Duration iteration_time = 1;
+  /// Number of MPI tasks (informational; cost is reported per instance).
+  int num_tasks = 64;
+
+  /// The paper's simulated experiment: 20 hours of compute (Section 5).
+  static AppModel paper_default() {
+    return AppModel{"paper-20h", 20 * kHour, 1, 64};
+  }
+};
+
+/// Largest iteration-aligned progress not exceeding `raw` — what a
+/// checkpoint taken at raw progress actually captures.
+Duration iteration_aligned(const AppModel& app, Duration raw);
+
+/// Catalog of example applications for the examples/ binaries, with
+/// checkpoint costs derived from their working sets (NAS-class-inspired;
+/// the evaluation itself uses the paper's fixed 300 s / 900 s costs).
+struct AppPreset {
+  AppModel model;
+  CheckpointCosts costs;
+  std::string description;
+};
+
+const AppPreset& weather_preset();   ///< deadline-driven forecast run
+const AppPreset& cfd_preset();       ///< large-working-set CFD solve
+const AppPreset& montecarlo_preset();///< tiny-state Monte Carlo sweep
+
+}  // namespace redspot

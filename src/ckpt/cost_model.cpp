@@ -1,0 +1,18 @@
+#include "ckpt/cost_model.hpp"
+
+#include <cmath>
+
+namespace redspot {
+
+CheckpointCosts costs_from_io(double image_gib, double bandwidth_gib_per_s,
+                              Duration base_overhead) {
+  REDSPOT_CHECK(image_gib >= 0.0);
+  REDSPOT_CHECK(bandwidth_gib_per_s > 0.0);
+  REDSPOT_CHECK(base_overhead >= 0);
+  const auto transfer = static_cast<Duration>(
+      std::llround(image_gib / bandwidth_gib_per_s));
+  const Duration cost = base_overhead + transfer;
+  return CheckpointCosts{cost, cost};
+}
+
+}  // namespace redspot

@@ -1,0 +1,32 @@
+// Checkpoint/restart cost model.
+//
+// The paper assumes constant, equal checkpoint and restart costs per
+// configuration — 300 s or 900 s, matching measured system-level
+// checkpointing overheads on EC2's slow network (Section 5). The derived
+// model maps an application's checkpoint image and the I/O server's
+// bandwidth to a cost, for studies beyond the paper's two fixed points.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace redspot {
+
+/// Fixed per-operation costs, seconds.
+struct CheckpointCosts {
+  Duration checkpoint = 300;  ///< t_c
+  Duration restart = 300;     ///< t_r
+
+  /// The paper's two evaluation points.
+  static CheckpointCosts low() { return {300, 300}; }
+  static CheckpointCosts high() { return {900, 900}; }
+};
+
+/// Derives costs from an application checkpoint image and I/O bandwidth:
+///   cost = base_overhead + image_gib / bandwidth_gib_per_s
+/// (restart = same transfer in the other direction plus the overhead,
+/// matching the paper's t_c == t_r assumption).
+CheckpointCosts costs_from_io(double image_gib, double bandwidth_gib_per_s,
+                              Duration base_overhead);
+
+}  // namespace redspot

@@ -1,0 +1,51 @@
+#include "ckpt/daly.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+Duration daly_interval(Duration checkpoint_cost, Duration mtbf) {
+  REDSPOT_CHECK(checkpoint_cost > 0);
+  REDSPOT_CHECK(mtbf > 0);
+  const double delta = static_cast<double>(checkpoint_cost);
+  const double m = static_cast<double>(mtbf);
+  if (delta >= 2.0 * m) return std::max<Duration>(1, mtbf);
+  const double ratio = delta / (2.0 * m);
+  const double tau = std::sqrt(2.0 * delta * m) *
+                         (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+                     delta;
+  return std::max<Duration>(1, static_cast<Duration>(std::llround(tau)));
+}
+
+Duration young_interval(Duration checkpoint_cost, Duration mtbf) {
+  REDSPOT_CHECK(checkpoint_cost > 0);
+  REDSPOT_CHECK(mtbf > 0);
+  const double delta = static_cast<double>(checkpoint_cost);
+  const double m = static_cast<double>(mtbf);
+  const double tau = std::sqrt(2.0 * delta * m) - delta;
+  return std::max<Duration>(1, static_cast<Duration>(std::llround(tau)));
+}
+
+double checkpoint_efficiency(Duration interval, Duration checkpoint_cost,
+                             Duration restart_cost, Duration mtbf) {
+  REDSPOT_CHECK(interval > 0);
+  REDSPOT_CHECK(checkpoint_cost >= 0);
+  REDSPOT_CHECK(restart_cost >= 0);
+  REDSPOT_CHECK(mtbf > 0);
+  const double tau = static_cast<double>(interval);
+  const double delta = static_cast<double>(checkpoint_cost);
+  const double r = static_cast<double>(restart_cost);
+  const double m = static_cast<double>(mtbf);
+  // One cycle attempts tau + delta of wall time. With failure rate 1/M the
+  // expected wasted time per failure is half a cycle plus the restart; the
+  // standard first-order model gives
+  //   efficiency = tau / [ (tau + delta) (1 + (tau + delta)/(2M)) + r (tau+delta)/M ]
+  const double cycle = tau + delta;
+  const double denom = cycle * (1.0 + cycle / (2.0 * m)) + r * cycle / m;
+  return tau / denom;
+}
+
+}  // namespace redspot

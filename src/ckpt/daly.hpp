@@ -1,0 +1,37 @@
+// Daly's optimum checkpoint interval.
+//
+// The Markov-Daly policy (Section 4.2) feeds the Markov model's expected
+// up-time into "Daly's equation" — J. T. Daly, "A higher order estimate of
+// the optimum checkpoint interval for restart dumps", FGCS 2006 — to pick
+// the checkpoint frequency. With delta the checkpoint write cost and M the
+// mean time between failures:
+//
+//   tau_opt = sqrt(2 delta M) [1 + 1/3 sqrt(delta/(2M)) + 1/9 (delta/(2M))]
+//             - delta                                  for delta < 2M
+//   tau_opt = M                                        for delta >= 2M
+//
+// tau_opt is the compute time between checkpoint completions.
+#pragma once
+
+#include "common/time.hpp"
+
+namespace redspot {
+
+/// Daly's higher-order optimum compute interval between checkpoints.
+/// `checkpoint_cost` = delta, `mtbf` = M, both in seconds, both > 0.
+/// The result is at least 1 second.
+Duration daly_interval(Duration checkpoint_cost, Duration mtbf);
+
+/// First-order (Young) approximation sqrt(2 delta M) - delta, for the
+/// ablation comparing interval estimators.
+Duration young_interval(Duration checkpoint_cost, Duration mtbf);
+
+/// Expected fraction of wall-clock time doing useful work when
+/// checkpointing every `interval` of compute with cost `checkpoint_cost`
+/// under exponential failures with the given MTBF. Used by the Adaptive
+/// policy's progress-rate estimator and by tests as the quantity Daly's
+/// interval maximizes.
+double checkpoint_efficiency(Duration interval, Duration checkpoint_cost,
+                             Duration restart_cost, Duration mtbf);
+
+}  // namespace redspot

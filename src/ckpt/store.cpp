@@ -1,0 +1,16 @@
+#include "ckpt/store.hpp"
+
+#include <algorithm>
+
+namespace redspot {
+
+void CheckpointStore::commit(SimTime t, Duration progress) {
+  REDSPOT_CHECK(progress >= 0);
+  if (!checkpoints_.empty())
+    REDSPOT_CHECK_MSG(t >= checkpoints_.back().committed_at,
+                      "checkpoint commits must not go back in time");
+  checkpoints_.push_back(Checkpoint{t, progress});
+  best_progress_ = std::max(best_progress_, progress);
+}
+
+}  // namespace redspot

@@ -1,0 +1,46 @@
+// Checkpoint store.
+//
+// Models the on-demand I/O server that holds checkpoints (Section 5). The
+// paper assumes its cost is negligible and its storage durable: once a
+// checkpoint commits, any zone can restart from it. The store records the
+// sequence of committed checkpoints of one application run; "progress" is
+// the amount of uninterrupted compute time the checkpoint captures.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace redspot {
+
+/// One committed checkpoint.
+struct Checkpoint {
+  SimTime committed_at = 0;  ///< when the checkpoint write finished
+  Duration progress = 0;     ///< compute time captured
+};
+
+/// Durable, monotonically improving checkpoint sequence.
+class CheckpointStore {
+ public:
+  /// Records a checkpoint that finished writing at `t`, capturing
+  /// `progress`. Checkpoints that do not improve on the stored progress
+  /// are recorded (they cost the application time and money) but do not
+  /// regress `latest_progress()`.
+  void commit(SimTime t, Duration progress);
+
+  /// Progress of the best committed checkpoint; 0 when none exists
+  /// (restart = start from the beginning).
+  Duration latest_progress() const { return best_progress_; }
+
+  std::size_t count() const { return checkpoints_.size(); }
+  bool empty() const { return checkpoints_.empty(); }
+  const std::vector<Checkpoint>& all() const { return checkpoints_; }
+
+ private:
+  std::vector<Checkpoint> checkpoints_;
+  Duration best_progress_ = 0;
+};
+
+}  // namespace redspot

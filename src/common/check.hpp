@@ -1,0 +1,51 @@
+// Always-on invariant checking for redspot.
+//
+// REDSPOT_CHECK is used for preconditions and internal invariants whose
+// violation indicates a programming error. Checks stay enabled in release
+// builds: the simulator is a measurement instrument, and a silently corrupted
+// billing ledger is worse than a crash.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace redspot {
+
+/// Thrown when a REDSPOT_CHECK fails.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace detail
+}  // namespace redspot
+
+/// Verifies `cond`; throws redspot::CheckFailure with location info otherwise.
+#define REDSPOT_CHECK(cond)                                             \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::redspot::detail::check_failed(#cond, __FILE__, __LINE__, "");   \
+  } while (false)
+
+/// As REDSPOT_CHECK but with a streamed message, e.g.
+/// REDSPOT_CHECK_MSG(x > 0, "x=" << x).
+#define REDSPOT_CHECK_MSG(cond, stream_expr)                            \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream redspot_check_os_;                             \
+      redspot_check_os_ << stream_expr;                                 \
+      ::redspot::detail::check_failed(#cond, __FILE__, __LINE__,        \
+                                      redspot_check_os_.str());         \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,53 @@
+// Minimal leveled logging.
+//
+// The simulator is mostly silent; logging exists for tracing engine
+// decisions during debugging and for the timeline benches. Thread-safe:
+// each message is formatted locally and emitted under a mutex.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace redspot {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded. Default: kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a message (already formatted) at `level`.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace redspot
+
+#define REDSPOT_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::redspot::log_level())) { \
+  } else                                                    \
+    ::redspot::detail::LogLine(level)
+
+#define LOG_DEBUG REDSPOT_LOG(::redspot::LogLevel::kDebug)
+#define LOG_INFO REDSPOT_LOG(::redspot::LogLevel::kInfo)
+#define LOG_WARN REDSPOT_LOG(::redspot::LogLevel::kWarn)
+#define LOG_ERROR REDSPOT_LOG(::redspot::LogLevel::kError)

@@ -1,0 +1,64 @@
+// Shared-memory parallelism for the experiment sweeps.
+//
+// Each experiment simulation is independent, so sweeps are embarrassingly
+// parallel. ThreadPool is a plain work-stealing-free fixed pool (the tasks
+// are coarse — one whole simulation each — so a single shared queue does not
+// contend measurably), and parallel_for partitions an index range over it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace redspot {
+
+/// Fixed-size pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw; exceptions escaping a task
+  /// terminate the process (they indicate a bug, not an environment error).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `body(i)` for every i in [begin, end), partitioned across `pool`.
+/// Blocks until all iterations complete. `body` must be safe to invoke
+/// concurrently for distinct indices.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience overload using a process-wide default pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// The process-wide default pool (lazily constructed).
+ThreadPool& default_pool();
+
+}  // namespace redspot

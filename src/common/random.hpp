@@ -1,0 +1,67 @@
+// Deterministic random-number generation.
+//
+// Every stochastic component of redspot (synthetic traces, queue delays)
+// draws from an explicitly seeded Rng. We implement the generator and the
+// distributions ourselves rather than using <random>'s distributions, whose
+// output is not specified by the standard and differs between library
+// implementations — reproducibility of the experiment sweeps across
+// toolchains is a requirement.
+//
+// Generator: xoshiro256++ (Blackman & Vigna), seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+
+namespace redspot {
+
+/// SplitMix64 step — used for seeding and for hashing stream ids.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic PRNG with explicit seeding and independent streams.
+///
+/// `Rng(seed, stream)` produces a sequence fully determined by (seed,
+/// stream); distinct streams are statistically independent, which lets each
+/// zone / each spot request own a private stream derived from the experiment
+/// seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with given rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  // UniformRandomBitGenerator interface (for std::shuffle etc.).
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace redspot

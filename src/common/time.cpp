@@ -1,0 +1,48 @@
+#include "common/time.hpp"
+
+#include <cstdio>
+
+namespace redspot {
+
+std::string format_time(SimTime t) {
+  if (t == kNever) return "never";
+  const char* sign = "";
+  if (t < 0) {
+    sign = "-";
+    t = -t;
+  }
+  const std::int64_t days = t / kDay;
+  const std::int64_t h = (t % kDay) / kHour;
+  const std::int64_t m = (t % kHour) / kMinute;
+  const std::int64_t s = t % kMinute;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%lld+%02lld:%02lld:%02lld", sign,
+                static_cast<long long>(days), static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s));
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  if (d == kNever) return "forever";
+  const char* sign = "";
+  if (d < 0) {
+    sign = "-";
+    d = -d;
+  }
+  char buf[48];
+  if (d >= kHour) {
+    std::snprintf(buf, sizeof(buf), "%s%lldh%02lldm", sign,
+                  static_cast<long long>(d / kHour),
+                  static_cast<long long>((d % kHour) / kMinute));
+  } else if (d >= kMinute) {
+    std::snprintf(buf, sizeof(buf), "%s%lldm%02llds", sign,
+                  static_cast<long long>(d / kMinute),
+                  static_cast<long long>(d % kMinute));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%llds", sign,
+                  static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace redspot

@@ -1,0 +1,57 @@
+// Simulated-time primitives.
+//
+// All simulation time is measured in whole seconds from the epoch of the
+// loaded price-trace set (for synthetic traces: 2012-12-01 00:00 UTC).
+// Seconds granularity is exact for every quantity in the paper's model:
+// prices change on a 5-minute grid, checkpoints cost 300/900 s, billing
+// cycles are 3600 s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace redspot {
+
+/// Absolute simulated time, in seconds since the trace epoch.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in seconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kSecond = 1;
+inline constexpr Duration kMinute = 60;
+inline constexpr Duration kHour = 3600;
+inline constexpr Duration kDay = 24 * kHour;
+
+/// The paper samples spot prices every 5 minutes (Section 5).
+inline constexpr Duration kPriceStep = 5 * kMinute;
+
+/// Sentinel for "no event scheduled" / "never".
+inline constexpr SimTime kNever = INT64_MAX;
+
+/// Converts fractional hours to a Duration, rounding to nearest second.
+constexpr Duration hours(double h) {
+  return static_cast<Duration>(h * static_cast<double>(kHour) + 0.5);
+}
+
+/// Duration expressed in fractional hours.
+constexpr double to_hours(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kHour);
+}
+
+/// Start of the billing/trace hour containing `t`.
+constexpr SimTime hour_floor(SimTime t) { return t - (t % kHour); }
+
+/// First hour boundary strictly after `t`.
+constexpr SimTime next_hour(SimTime t) { return hour_floor(t) + kHour; }
+
+/// Start of the 5-minute price step containing `t`.
+constexpr SimTime price_step_floor(SimTime t) { return t - (t % kPriceStep); }
+
+/// Renders `t` as "d+hh:mm:ss" for logs and timelines.
+std::string format_time(SimTime t);
+
+/// Renders a duration as e.g. "3h05m" / "42s".
+std::string format_duration(Duration d);
+
+}  // namespace redspot

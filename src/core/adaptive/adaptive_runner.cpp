@@ -1,0 +1,125 @@
+#include "core/adaptive/adaptive_runner.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+std::vector<Money> paper_bid_grid() {
+  std::vector<Money> grid;
+  for (Money b = Money::cents(27); b <= Money::dollars(3.07);
+       b += Money::cents(20)) {
+    grid.push_back(b);
+  }
+  return grid;
+}
+
+AdaptiveStrategy::AdaptiveStrategy() : AdaptiveStrategy(Options{}) {}
+
+AdaptiveStrategy::AdaptiveStrategy(Options options)
+    : options_(std::move(options)) {
+  REDSPOT_CHECK(!options_.bid_grid.empty());
+  REDSPOT_CHECK(!options_.candidate_policies.empty());
+  for (PolicyKind kind : options_.candidate_policies) {
+    REDSPOT_CHECK_MSG(kind == PolicyKind::kPeriodic ||
+                          kind == PolicyKind::kMarkovDaly,
+                      "Adaptive candidates are Periodic and Markov-Daly");
+  }
+  periodic_ = make_policy(PolicyKind::kPeriodic);
+  markov_daly_ = make_policy(PolicyKind::kMarkovDaly);
+}
+
+namespace {
+
+EstimatorInputs make_inputs(const EngineView& view,
+                            Duration mean_queue_delay) {
+  const Experiment& exp = view.experiment();
+  EstimatorInputs in;
+  in.remaining_compute = exp.app.total_compute - view.leading_progress();
+  in.remaining_time = exp.deadline_time() - view.now();
+  in.checkpoint_cost = exp.costs.checkpoint;
+  in.restart_cost = exp.costs.restart;
+  in.mean_queue_delay = mean_queue_delay;
+  in.on_demand_rate = view.market().on_demand_rate();
+  in.current_prices.reserve(view.market().num_zones());
+  for (std::size_t z = 0; z < view.market().num_zones(); ++z)
+    in.current_prices.push_back(view.price(z).to_double());
+  return in;
+}
+
+}  // namespace
+
+PermutationEstimate AdaptiveStrategy::choose(const EngineView& view) const {
+  const Experiment& exp = view.experiment();
+  const HistoryStats hist(view.market().traces(),
+                          view.now() - exp.history_span, view.now(),
+                          options_.bid_grid);
+  const EstimatorInputs in = make_inputs(view, options_.mean_queue_delay);
+  std::vector<PermutationEstimate> ranked = evaluate_permutations(
+      hist, options_.max_zones, options_.candidate_policies, in);
+  REDSPOT_CHECK(!ranked.empty());
+  return ranked.front();
+}
+
+EngineConfig AdaptiveStrategy::to_config(
+    const PermutationEstimate& e) const {
+  Policy* policy = e.policy == PolicyKind::kPeriodic ? periodic_.get()
+                                                     : markov_daly_.get();
+  return EngineConfig{e.bid, e.zones, policy};
+}
+
+EngineConfig AdaptiveStrategy::initial(const EngineView& view) {
+  choice_ = choose(view);
+  return to_config(*choice_);
+}
+
+std::optional<EngineConfig> AdaptiveStrategy::reconsider(
+    const EngineView& view, DecisionPoint point) {
+  (void)point;
+  PermutationEstimate best = choose(view);
+  REDSPOT_CHECK(choice_.has_value());
+  const bool same_permutation = best.bid == choice_->bid &&
+                                best.zones == choice_->zones &&
+                                best.policy == choice_->policy;
+  if (same_permutation) {
+    choice_ = best;  // refresh the prediction
+    return std::nullopt;
+  }
+  // Hysteresis: re-estimate the incumbent against the same window and only
+  // move when the challenger is clearly cheaper.
+  const HistoryStats hist(view.market().traces(),
+                          view.now() - view.experiment().history_span,
+                          view.now(), options_.bid_grid);
+  const EstimatorInputs in = make_inputs(view, options_.mean_queue_delay);
+
+  std::size_t incumbent_bid_idx = options_.bid_grid.size();
+  for (std::size_t b = 0; b < options_.bid_grid.size(); ++b) {
+    if (options_.bid_grid[b] == choice_->bid) {
+      incumbent_bid_idx = b;
+      break;
+    }
+  }
+  REDSPOT_CHECK(incumbent_bid_idx < options_.bid_grid.size());
+  const PermutationEstimate incumbent = estimate_permutation(
+      hist, incumbent_bid_idx, choice_->zones, choice_->policy, in);
+
+  double challenger_cost = best.predicted_cost.to_double();
+  if (options_.charge_switch_penalty) {
+    const Experiment& exp = view.experiment();
+    const Duration lost = exp.costs.checkpoint + exp.costs.restart +
+                          options_.mean_queue_delay;
+    challenger_cost += in.on_demand_rate.to_double() *
+                       static_cast<double>(lost) /
+                       static_cast<double>(kHour);
+  }
+  const double threshold =
+      incumbent.predicted_cost.to_double() * options_.switch_ratio;
+  if (challenger_cost >= threshold) {
+    return std::nullopt;  // not clearly better: keep the incumbent
+  }
+  choice_ = best;
+  return to_config(best);
+}
+
+}  // namespace redspot

@@ -1,0 +1,71 @@
+// The Adaptive policy (Section 7).
+//
+// Adaptive owns one instance of each candidate fixed policy and, at every
+// engine decision point, re-evaluates all permutations of
+//   bid B in {$0.27 .. $3.07 step $0.20} x N in {1, 2, 3} x
+//   policy in {Periodic, Markov-Daly}
+// against the trailing price history (bootstrapped from the pre-experiment
+// history at start). It adopts the permutation with the least predicted
+// remaining cost, with a small hysteresis so that marginal differences do
+// not trigger disruptive reconfigurations; the engine enforces the paper's
+// adoption rules (terminated zone / hour boundary / non-disruptive).
+//
+// Edge and Threshold are excluded as candidates (end of Section 6), as is
+// Large-bid, which has no cost bound (Section 7.2.2).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/adaptive/estimator.hpp"
+#include "core/policy.hpp"
+#include "core/strategy.hpp"
+
+namespace redspot {
+
+/// The paper's bid grid: $0.27 to $3.07 in steps of $0.20 (Section 5).
+std::vector<Money> paper_bid_grid();
+
+class AdaptiveStrategy final : public Strategy {
+ public:
+  struct Options {
+    std::vector<Money> bid_grid = paper_bid_grid();
+    std::vector<PolicyKind> candidate_policies = {PolicyKind::kPeriodic,
+                                                  PolicyKind::kMarkovDaly};
+    std::size_t max_zones = 3;
+    /// Adopt a different permutation only when its predicted cost is below
+    /// this fraction of the incumbent's prediction (hysteresis).
+    double switch_ratio = 0.93;
+    Duration mean_queue_delay = 300;
+    /// A disruptive switch (bid change) really costs: a protective
+    /// checkpoint, instance termination, re-acquisition and restart. The
+    /// challenger's prediction is charged that time at the on-demand rate
+    /// so near-ties never trigger churn.
+    bool charge_switch_penalty = true;
+  };
+
+  AdaptiveStrategy();  // default Options
+  explicit AdaptiveStrategy(Options options);
+
+  EngineConfig initial(const EngineView& view) override;
+  std::optional<EngineConfig> reconsider(const EngineView& view,
+                                         DecisionPoint point) override;
+  bool dynamic() const override { return true; }
+
+  /// The estimate backing the last decision (for tests/diagnostics).
+  const std::optional<PermutationEstimate>& last_choice() const {
+    return choice_;
+  }
+
+ private:
+  PermutationEstimate choose(const EngineView& view) const;
+  EngineConfig to_config(const PermutationEstimate& e) const;
+
+  Options options_;
+  std::unique_ptr<Policy> periodic_;
+  std::unique_ptr<Policy> markov_daly_;
+  std::optional<PermutationEstimate> choice_;
+};
+
+}  // namespace redspot

@@ -1,0 +1,71 @@
+// Remaining-cost estimator for Adaptive (Section 7.1).
+//
+// For each permutation of (bid B, zone subset Z, policy), predict from the
+// trailing history:
+//   * progress rate r — compute seconds gained per wall second on the spot
+//     market: combined availability x checkpoint efficiency, minus rollback
+//     losses from full outages;
+//   * cost rate c — dollars per wall hour: sum over zones of availability x
+//     expected paid price (hour-start pricing averages to this);
+// then apply Inequality (1): if the configuration cannot finish C_r within
+// T_r at rate r, part of the remaining run moves to on-demand. The
+// prediction is c x (spot time) + on-demand rate x (started on-demand
+// hours), and Adaptive adopts the cheapest permutation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/money.hpp"
+#include "common/time.hpp"
+#include "core/adaptive/history_stats.hpp"
+#include "core/policy.hpp"
+
+namespace redspot {
+
+/// One evaluated permutation.
+struct PermutationEstimate {
+  Money bid;
+  std::vector<std::size_t> zones;
+  PolicyKind policy = PolicyKind::kPeriodic;
+
+  double progress_rate = 0.0;    ///< r, in [0, 1]
+  double cost_rate = 0.0;        ///< c, dollars per wall-hour on spot
+  Duration spot_seconds = 0;     ///< predicted time on spot
+  Duration on_demand_seconds = 0;
+  Money predicted_cost;          ///< total predicted remaining cost
+
+  std::string str() const;
+};
+
+/// Inputs that do not come from the history window.
+struct EstimatorInputs {
+  Duration remaining_compute = 0;  ///< C_r = C - P
+  Duration remaining_time = 0;     ///< T_r = deadline - now
+  Duration checkpoint_cost = 300;  ///< t_c
+  Duration restart_cost = 300;     ///< t_r
+  Duration mean_queue_delay = 300; ///< recovery penalty per outage
+  Money on_demand_rate = Money::dollars(2.40);
+  /// Spot price of each zone right now, dollars. When non-empty, the first
+  /// predicted hour of each selected zone is priced at its current price
+  /// (hour-start pricing locks it) instead of the historical mean — this is
+  /// what lets Adaptive walk away from a zone that just entered an
+  /// expensive regime.
+  std::vector<double> current_prices;
+};
+
+/// Evaluates one permutation against the history snapshot.
+PermutationEstimate estimate_permutation(const HistoryStats& hist,
+                                         std::size_t bid_idx,
+                                         const std::vector<std::size_t>& zones,
+                                         PolicyKind policy,
+                                         const EstimatorInputs& in);
+
+/// Evaluates every permutation of (bid grid) x (non-empty zone subsets up
+/// to max_zones) x (policies) and returns them sorted by predicted cost
+/// ascending (ties: fewer zones, then lower bid).
+std::vector<PermutationEstimate> evaluate_permutations(
+    const HistoryStats& hist, std::size_t max_zones,
+    const std::vector<PolicyKind>& policies, const EstimatorInputs& in);
+
+}  // namespace redspot

@@ -1,0 +1,108 @@
+#include "core/adaptive/history_stats.hpp"
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+HistoryStats::HistoryStats(const ZoneTraceSet& traces, SimTime from,
+                           SimTime to, std::vector<Money> bid_grid)
+    : bid_grid_(std::move(bid_grid)), step_(traces.step()) {
+  REDSPOT_CHECK(!bid_grid_.empty());
+  const ZoneTraceSet window = traces.window(from, to);
+  window_length_ =
+      static_cast<Duration>(window.zone(0).size()) * step_;
+  samples_.reserve(window.num_zones());
+  for (std::size_t z = 0; z < window.num_zones(); ++z)
+    samples_.push_back(window.zone(z).to_doubles());
+
+  const double hours =
+      static_cast<double>(window_length_) / static_cast<double>(kHour);
+  stats_.resize(samples_.size());
+  for (std::size_t z = 0; z < samples_.size(); ++z) {
+    stats_[z].resize(bid_grid_.size());
+    const std::vector<double>& s = samples_[z];
+    for (std::size_t b = 0; b < bid_grid_.size(); ++b) {
+      const double bid = bid_grid_[b].to_double() + 1e-9;
+      std::size_t up = 0;
+      double paid_sum = 0.0;
+      std::size_t interruptions = 0;
+      std::size_t spells = 0;
+      bool prev_up = false;
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        const bool is_up = s[i] <= bid;
+        if (is_up) {
+          ++up;
+          paid_sum += s[i];
+          if (!prev_up) ++spells;
+        } else if (prev_up) {
+          ++interruptions;
+        }
+        prev_up = is_up;
+      }
+      ZoneBidStats& st = stats_[z][b];
+      st.availability = s.empty()
+                            ? 0.0
+                            : static_cast<double>(up) /
+                                  static_cast<double>(s.size());
+      st.mean_paid_price = up > 0 ? paid_sum / static_cast<double>(up) : 0.0;
+      st.interruptions_per_hour =
+          hours > 0 ? static_cast<double>(interruptions) / hours : 0.0;
+      st.mean_up_spell =
+          spells > 0 ? static_cast<double>(up) * static_cast<double>(step_) /
+                           static_cast<double>(spells)
+                     : 0.0;
+    }
+  }
+}
+
+const ZoneBidStats& HistoryStats::stats(std::size_t zone,
+                                        std::size_t bid_idx) const {
+  REDSPOT_CHECK(zone < stats_.size());
+  REDSPOT_CHECK(bid_idx < bid_grid_.size());
+  return stats_[zone][bid_idx];
+}
+
+double HistoryStats::combined_availability(
+    const std::vector<std::size_t>& zones, std::size_t bid_idx) const {
+  REDSPOT_CHECK(!zones.empty());
+  REDSPOT_CHECK(bid_idx < bid_grid_.size());
+  const double bid = bid_grid_[bid_idx].to_double() + 1e-9;
+  const std::size_t n = samples_[0].size();
+  std::size_t up = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t z : zones) {
+      REDSPOT_CHECK(z < samples_.size());
+      if (samples_[z][i] <= bid) {
+        ++up;
+        break;
+      }
+    }
+  }
+  return n > 0 ? static_cast<double>(up) / static_cast<double>(n) : 0.0;
+}
+
+double HistoryStats::full_outage_rate(const std::vector<std::size_t>& zones,
+                                      std::size_t bid_idx) const {
+  REDSPOT_CHECK(!zones.empty());
+  REDSPOT_CHECK(bid_idx < bid_grid_.size());
+  const double bid = bid_grid_[bid_idx].to_double() + 1e-9;
+  const std::size_t n = samples_[0].size();
+  std::size_t outages = 0;
+  bool prev_any = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool any = false;
+    for (std::size_t z : zones) {
+      if (samples_[z][i] <= bid) {
+        any = true;
+        break;
+      }
+    }
+    if (prev_any && !any) ++outages;
+    prev_any = any;
+  }
+  const double hours =
+      static_cast<double>(window_length_) / static_cast<double>(kHour);
+  return hours > 0 ? static_cast<double>(outages) / hours : 0.0;
+}
+
+}  // namespace redspot

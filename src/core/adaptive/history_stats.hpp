@@ -1,0 +1,59 @@
+// Trailing-history statistics for the Adaptive policy (Section 7.1).
+//
+// At each decision point Adaptive "simulates cost and computation for each
+// permutation of B, N, and policy" over the price history. HistoryStats is
+// that replay's engine room: one snapshot of the trailing window, from
+// which availability, expected paid price, interruption rates, full-outage
+// rates and mean up-spell lengths can be read for any (bid, zone-subset)
+// without re-touching the trace.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/money.hpp"
+#include "common/time.hpp"
+#include "trace/zone_traces.hpp"
+
+namespace redspot {
+
+/// Per (zone, bid) statistics over the window.
+struct ZoneBidStats {
+  double availability = 0.0;     ///< fraction of samples with S <= B
+  double mean_paid_price = 0.0;  ///< E[S | S <= B] in dollars (0 if never up)
+  double interruptions_per_hour = 0.0;  ///< up->down transitions per hour
+  double mean_up_spell = 0.0;    ///< mean length of an up-run, seconds
+};
+
+class HistoryStats {
+ public:
+  /// Snapshots [from, to) of `traces` and precomputes per-zone stats for
+  /// every bid in `bid_grid`.
+  HistoryStats(const ZoneTraceSet& traces, SimTime from, SimTime to,
+               std::vector<Money> bid_grid);
+
+  std::size_t num_zones() const { return samples_.size(); }
+  const std::vector<Money>& bid_grid() const { return bid_grid_; }
+  Duration window_length() const { return window_length_; }
+
+  const ZoneBidStats& stats(std::size_t zone, std::size_t bid_idx) const;
+
+  /// Fraction of the window during which at least one zone of `zones` has
+  /// S <= bid_grid()[bid_idx].
+  double combined_availability(const std::vector<std::size_t>& zones,
+                               std::size_t bid_idx) const;
+
+  /// Any-up -> none-up transitions per hour for the subset (the events
+  /// that force a rollback to the previous checkpoint).
+  double full_outage_rate(const std::vector<std::size_t>& zones,
+                          std::size_t bid_idx) const;
+
+ private:
+  std::vector<std::vector<double>> samples_;  ///< [zone][step], dollars
+  std::vector<Money> bid_grid_;
+  Duration step_;
+  Duration window_length_;
+  std::vector<std::vector<ZoneBidStats>> stats_;  ///< [zone][bid]
+};
+
+}  // namespace redspot

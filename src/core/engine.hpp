@@ -1,0 +1,197 @@
+// The scheduling engine — Algorithm 1 of the paper, event-driven.
+//
+// One Engine instance simulates one experiment run: a time-constrained HPC
+// application executing on the spot market under a (possibly adaptive)
+// strategy, with exact EC2 billing, queue delays, checkpoint/restart costs,
+// and the deadline guarantee (switch to on-demand when the remaining slack
+// can no longer absorb a checkpoint + restart + remaining compute).
+//
+// Zone life-cycle (superset of the paper's up/waiting/down):
+//
+//   kDown ──(S<=B at tick)──> kWaiting ──(checkpoint commit, or no zone
+//   active)──> kQueued ──(queue delay)──> kRestarting ──(t_r, skipped when
+//   starting from scratch)──> kRunning <──> kCheckpointing
+//
+//   any active state ──(S>B)──> kDown        [no charge for partial hour]
+//   kRunning ──(Large-bid manual stop)──> kStopped ──(S<=L)──> kWaiting
+//
+// Deadline guarantee: committed progress P_c can only grow; the margin
+//   M(t) = (deadline - t) - (C - P_c) - t_r[if P_c>0] - t_c
+// decreases at rate 1 between checkpoint commits, so the switch instant is
+// known exactly and is rescheduled only when P_c changes. Reserving t_c
+// lets the engine take one final checkpoint of the leading zone at the
+// switch, capturing speculative progress without risking the deadline even
+// if that zone dies mid-checkpoint. (The paper's line 11 uses the leading
+// progress directly; reserving the committed-progress margin makes the
+// guarantee robust to a failure at the switch instant — see DESIGN.md.)
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ckpt/store.hpp"
+#include "common/random.hpp"
+#include "core/policy.hpp"
+#include "core/run_result.hpp"
+#include "core/strategy.hpp"
+#include "market/billing.hpp"
+#include "market/spot_market.hpp"
+#include "sim/simulation.hpp"
+
+namespace redspot {
+
+struct EngineOptions {
+  bool record_timeline = false;
+  bool record_line_items = false;
+  /// Appendix-A what-if: EC2 warns `termination_notice` seconds before an
+  /// out-of-bid termination instead of killing abruptly. The doomed zone
+  /// keeps computing through the notice (still free if cut mid-hour) and
+  /// the engine squeezes in an emergency checkpoint when the notice can
+  /// fit one (notice >= t_c). 0 = the real 2013 market (no warning).
+  Duration termination_notice = 0;
+};
+
+class Engine final : public EngineView {
+ public:
+  /// `market` and `strategy` must outlive the engine.
+  Engine(const SpotMarket& market, Experiment experiment, Strategy& strategy,
+         EngineOptions options = {});
+
+  /// Runs the experiment to completion. Call once.
+  RunResult run();
+
+  // --- EngineView ----------------------------------------------------------
+  SimTime now() const override { return sim_.now(); }
+  const Experiment& experiment() const override { return experiment_; }
+  const SpotMarket& market() const override { return *market_; }
+  Money bid() const override { return config_.bid; }
+  std::span<const std::size_t> zone_ids() const override {
+    return config_.zones;
+  }
+  bool zone_running(std::size_t zone) const override;
+  bool any_zone_running() const override;
+  Money price(std::size_t zone) const override;
+  Money previous_price(std::size_t zone) const override;
+  PriceSeries history(std::size_t zone) const override;
+  Money min_observed_price(std::size_t zone) const override;
+  Duration committed_progress() const override {
+    return store_.latest_progress();
+  }
+  Duration zone_progress(std::size_t zone) const override;
+  Duration leading_progress() const override;
+  SimTime leading_compute_since() const override;
+  SimTime billing_cycle_end(std::size_t zone) const override {
+    return ledger_.cycle_end(zone);
+  }
+
+ private:
+  /// Application-visible zone states (see file comment).
+  enum class ZoneState {
+    kDown,
+    kWaiting,
+    kQueued,
+    kRestarting,
+    kRunning,
+    kCheckpointing,
+    kStopped,  // policy-suspended (Large-bid)
+  };
+
+  struct ZoneRt {
+    ZoneState state = ZoneState::kDown;
+    Duration progress_base = 0;   ///< progress when compute last (re)started
+    SimTime computing_since = 0;  ///< valid in kRunning
+    Duration restart_target = 0;  ///< checkpoint progress being loaded
+    SimTime instance_start = 0;   ///< when billing began (active states)
+    bool manual_stop_pending = false;
+    bool doomed = false;          ///< termination notice received
+    EventId doom_event = 0;
+    EventId emergency_ckpt_event = 0;
+    EventId ready_event = 0;
+    EventId restart_event = 0;
+    EventId cycle_event = 0;
+    EventId preboundary_event = 0;
+    EventId completion_event = 0;
+  };
+
+  // Event handlers.
+  void on_price_tick();
+  void on_instance_ready(std::size_t zone);
+  void on_restart_done(std::size_t zone);
+  void on_scheduled_checkpoint();
+  void on_checkpoint_done();
+  void on_cycle_boundary(std::size_t zone);
+  void on_pre_boundary(std::size_t zone);
+  void on_deadline_trigger();
+  void on_zone_completion(std::size_t zone);
+  void on_termination_notice(std::size_t zone);
+  void on_doom(std::size_t zone);
+
+  // Actions.
+  void apply_initial_config();
+  void request_instance(std::size_t zone);
+  void start_computing(std::size_t zone, Duration progress_base);
+  void terminate_out_of_bid(std::size_t zone);
+  void user_terminate(std::size_t zone, bool at_boundary);
+  void reconcile();
+  bool policy_checkpoint_allowed() const;
+  void reschedule_policy_checkpoint();
+  void reschedule_deadline_trigger();
+  void begin_switch_to_on_demand();
+  void complete_on_demand_switch();
+  void finish(SimTime at, bool completed);
+  void consult_strategy(DecisionPoint point);
+  bool config_is_non_disruptive(const EngineConfig& next) const;
+  void apply_config(const EngineConfig& next, bool at_boundary_of,
+                    std::size_t boundary_zone);
+  void cancel_zone_events(ZoneRt& z);
+
+  // Helpers.
+  ZoneRt& rt(std::size_t zone);
+  const ZoneRt& rt(std::size_t zone) const;
+  bool zone_active(const ZoneRt& z) const;
+  bool any_zone_active() const;
+  void commit_in_flight_checkpoint();
+  void start_checkpoint(std::optional<std::size_t> target);
+  std::optional<std::size_t> leading_zone() const;  ///< best kRunning zone
+  SimTime deadline_switch_time() const;
+  void record(SimTime t, std::size_t zone, TimelineKind kind,
+              std::string detail = {});
+
+  const SpotMarket* market_;
+  Experiment experiment_;
+  Strategy* strategy_;
+  EngineOptions options_;
+
+  Simulation sim_;
+  Rng queue_rng_;
+  CheckpointStore store_;
+  BillingLedger ledger_;
+  EngineConfig config_;
+  std::optional<EngineConfig> pending_config_;
+
+  std::vector<ZoneRt> zones_;  ///< indexed by GLOBAL zone id
+
+  // Global in-flight checkpoint (at most one).
+  bool ckpt_in_flight_ = false;
+  std::size_t ckpt_zone_ = 0;
+  Duration ckpt_value_ = 0;
+  SimTime ckpt_done_time_ = 0;
+  EventId ckpt_done_event_ = 0;
+
+  EventId scheduled_ckpt_event_ = 0;
+  EventId deadline_event_ = 0;
+  EventId tick_event_ = 0;
+
+  bool on_demand_phase_ = false;
+  bool done_ = false;
+  bool ran_ = false;
+
+  RunResult result_;
+};
+
+/// Cost of the naive on-demand baseline: run C + nothing else at the fixed
+/// rate, charged per started hour ($48 for the paper's 20 h experiment).
+RunResult run_on_demand_baseline(const Experiment& experiment, Money rate);
+
+}  // namespace redspot

@@ -1,0 +1,12 @@
+#include "core/experiment.hpp"
+
+// Experiment is header-only today; this TU anchors the target and keeps a
+// build error from appearing only at first use if the header rots.
+namespace redspot {
+namespace {
+[[maybe_unused]] const Experiment& anchor() {
+  static const Experiment e = Experiment::paper(0, 0.15, 300);
+  return e;
+}
+}  // namespace
+}  // namespace redspot

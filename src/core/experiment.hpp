@@ -1,0 +1,57 @@
+// Experiment configuration (Section 2.3).
+//
+// "The user specifies an experiment as a configuration of a number of
+// nodes, problem size, execution time and job completion deadline." In the
+// simulator that becomes: an application model (C), checkpoint/restart
+// costs (t_c, t_r), a start instant on the price trace, and the deadline D
+// (relative to the start, D >= C).
+#pragma once
+
+#include <cstdint>
+
+#include "app/application.hpp"
+#include "ckpt/cost_model.hpp"
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace redspot {
+
+struct Experiment {
+  AppModel app;                      ///< C and iteration granularity
+  CheckpointCosts costs;             ///< t_c and t_r
+  SimTime start = 0;                 ///< experiment start (trace time)
+  Duration deadline = 23 * kHour;    ///< D, relative to start; D >= C
+  std::uint64_t seed = 1;            ///< stream for queue-delay draws
+  Duration history_span = 2 * kDay;  ///< Markov/Adaptive bootstrap window
+
+  /// T_l = D - C (Section 2.3).
+  Duration slack() const { return deadline - app.total_compute; }
+
+  /// Absolute deadline instant.
+  SimTime deadline_time() const { return start + deadline; }
+
+  void validate() const {
+    REDSPOT_CHECK(app.total_compute > 0);
+    REDSPOT_CHECK_MSG(deadline >= app.total_compute, "D must be >= C");
+    REDSPOT_CHECK(costs.checkpoint > 0 && costs.restart > 0);
+    REDSPOT_CHECK(history_span > 0);
+  }
+
+  /// The paper's experiment: C = 20 h; slack as a fraction of C (0.15 or
+  /// 0.50); t_c = t_r of 300 or 900 s.
+  static Experiment paper(SimTime start, double slack_fraction,
+                          Duration checkpoint_cost,
+                          std::uint64_t seed = 1) {
+    Experiment e;
+    e.app = AppModel::paper_default();
+    e.costs = CheckpointCosts{checkpoint_cost, checkpoint_cost};
+    e.start = start;
+    e.deadline = e.app.total_compute +
+                 hours(to_hours(e.app.total_compute) * slack_fraction);
+    e.seed = seed;
+    e.validate();
+    return e;
+  }
+};
+
+}  // namespace redspot

@@ -1,0 +1,4 @@
+#include "core/policies/large_bid.hpp"
+
+// LargeBidPolicy is header-only; this TU anchors the build target entry.
+namespace redspot {}

@@ -1,0 +1,48 @@
+// Large-bid policy (Section 7.2.2, after Khatua & Mukherjee).
+//
+// The user bids an amount B so large (here $100) that out-of-bid
+// termination is practically impossible, and instead controls cost with a
+// secondary threshold L: when the spot price sits above L near the end of
+// a billing hour, the instance is checkpointed and manually terminated
+// (paying that hour in full — user termination), then re-requested once
+// the price falls back to L or below. Strictly single-zone. With
+// L = "no threshold" this is the Naive variant of Figure 6, which simply
+// rides every price spike.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace redspot {
+
+class LargeBidPolicy final : public Policy {
+ public:
+  /// `threshold` is L. Use no_threshold() for the Naive variant.
+  explicit LargeBidPolicy(Money threshold) : threshold_(threshold) {}
+
+  /// The bid the paper uses to make termination "extremely unlikely".
+  static Money large_bid() { return Money::dollars(100.0); }
+
+  /// L above every observable price: never stop manually (Naive).
+  static Money no_threshold() { return large_bid(); }
+
+  Money threshold() const { return threshold_; }
+
+  std::string name() const override { return "large-bid"; }
+  bool checkpoint_condition(const EngineView&) override { return false; }
+  SimTime schedule_next_checkpoint(const EngineView&) override {
+    return kNever;
+  }
+
+  bool wants_pre_boundary_checks() const override { return true; }
+  bool should_manual_stop(const EngineView& view, std::size_t zone) override {
+    return view.price(zone) > threshold_;
+  }
+  bool should_resume(const EngineView& view, std::size_t zone) override {
+    return view.price(zone) <= threshold_;
+  }
+
+ private:
+  Money threshold_;
+};
+
+}  // namespace redspot

@@ -1,0 +1,36 @@
+#include "core/policies/markov_daly.hpp"
+
+#include <vector>
+
+#include "ckpt/daly.hpp"
+#include "markov/model.hpp"
+#include "markov/uptime.hpp"
+
+namespace redspot {
+
+bool MarkovDalyPolicy::checkpoint_condition(const EngineView&) {
+  return false;  // schedule-driven, like Periodic
+}
+
+Duration MarkovDalyPolicy::combined_uptime(const EngineView& view) const {
+  std::vector<Duration> per_zone;
+  for (std::size_t zone : view.zone_ids()) {
+    if (!view.zone_running(zone)) continue;
+    const MarkovModel model =
+        build_markov_model(view.history(zone), max_states_);
+    per_zone.push_back(
+        expected_uptime(model, view.price(zone), view.bid()));
+  }
+  return combined_expected_uptime(per_zone);
+}
+
+SimTime MarkovDalyPolicy::schedule_next_checkpoint(const EngineView& view) {
+  if (!view.any_zone_running()) return kNever;
+  const Duration uptime = combined_uptime(view);
+  if (uptime <= 0) return kNever;  // nothing expected to survive a step
+  const Duration interval =
+      daly_interval(view.experiment().costs.checkpoint, uptime);
+  return view.now() + interval;
+}
+
+}  // namespace redspot

@@ -1,0 +1,31 @@
+#include "core/policies/periodic.hpp"
+
+#include <algorithm>
+
+namespace redspot {
+
+bool PeriodicPolicy::checkpoint_condition(const EngineView&) {
+  return false;  // purely schedule-driven: CheckpointCondition is T == T_s
+}
+
+SimTime PeriodicPolicy::schedule_next_checkpoint(const EngineView& view) {
+  // The relevant hour boundary is the leading zone's: its progress is what
+  // a checkpoint commits, and its paid hour is the one to lock in.
+  SimTime boundary = kNever;
+  Duration best_progress = -1;
+  for (std::size_t zone : view.zone_ids()) {
+    if (!view.zone_running(zone)) continue;
+    const Duration p = view.zone_progress(zone);
+    if (p > best_progress) {
+      best_progress = p;
+      boundary = view.billing_cycle_end(zone);
+    }
+  }
+  if (boundary == kNever) return kNever;
+  SimTime t = boundary - view.experiment().costs.checkpoint;
+  // A boundary closer than t_c cannot be met; target the following one.
+  while (t <= view.now()) t += kHour;
+  return t;
+}
+
+}  // namespace redspot

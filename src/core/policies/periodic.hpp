@@ -1,0 +1,20 @@
+// Periodic policy (Section 4.1): checkpoint at hour boundaries.
+//
+// ScheduleNextCheckpoint() places the next checkpoint so that it completes
+// exactly at the end of the current billing hour (T_s = hour - t_c); since
+// a partial hour forfeited to EC2 is free, committing just before each paid
+// boundary maximizes the progress locked in per dollar.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace redspot {
+
+class PeriodicPolicy final : public Policy {
+ public:
+  std::string name() const override { return "periodic"; }
+  bool checkpoint_condition(const EngineView& view) override;
+  SimTime schedule_next_checkpoint(const EngineView& view) override;
+};
+
+}  // namespace redspot

@@ -1,0 +1,16 @@
+#include "core/policies/rising_edge.hpp"
+
+namespace redspot {
+
+bool rising_edge(const EngineView& view, std::size_t zone) {
+  return view.price(zone) > view.previous_price(zone);
+}
+
+bool RisingEdgePolicy::checkpoint_condition(const EngineView& view) {
+  for (std::size_t zone : view.zone_ids()) {
+    if (view.zone_running(zone) && rising_edge(view, zone)) return true;
+  }
+  return false;
+}
+
+}  // namespace redspot

@@ -1,0 +1,22 @@
+// Rising Edge policy (Section 4.3): checkpoint on any upward spot-price
+// movement in an executing zone — the price may be about to cross the bid,
+// so save progress now. ScheduleNextCheckpoint() is a no-op.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace redspot {
+
+class RisingEdgePolicy final : public Policy {
+ public:
+  std::string name() const override { return "rising-edge"; }
+  bool checkpoint_condition(const EngineView& view) override;
+  SimTime schedule_next_checkpoint(const EngineView&) override {
+    return kNever;
+  }
+};
+
+/// True when `zone`'s price moved upward at the current sampling step.
+bool rising_edge(const EngineView& view, std::size_t zone);
+
+}  // namespace redspot

@@ -1,0 +1,39 @@
+#include "core/policy.hpp"
+
+#include "common/check.hpp"
+#include "core/policies/markov_daly.hpp"
+#include "core/policies/periodic.hpp"
+#include "core/policies/rising_edge.hpp"
+#include "core/policies/threshold.hpp"
+
+namespace redspot {
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kPeriodic:
+      return "periodic";
+    case PolicyKind::kMarkovDaly:
+      return "markov-daly";
+    case PolicyKind::kRisingEdge:
+      return "rising-edge";
+    case PolicyKind::kThreshold:
+      return "threshold";
+  }
+  return "?";
+}
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kPeriodic:
+      return std::make_unique<PeriodicPolicy>();
+    case PolicyKind::kMarkovDaly:
+      return std::make_unique<MarkovDalyPolicy>();
+    case PolicyKind::kRisingEdge:
+      return std::make_unique<RisingEdgePolicy>();
+    case PolicyKind::kThreshold:
+      return std::make_unique<ThresholdPolicy>();
+  }
+  REDSPOT_CHECK_MSG(false, "unknown PolicyKind");
+}
+
+}  // namespace redspot

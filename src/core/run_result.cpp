@@ -1,0 +1,46 @@
+#include "core/run_result.hpp"
+
+#include <sstream>
+
+namespace redspot {
+
+std::string to_string(TimelineKind kind) {
+  switch (kind) {
+    case TimelineKind::kInstanceRequested:
+      return "instance-requested";
+    case TimelineKind::kInstanceRunning:
+      return "instance-running";
+    case TimelineKind::kOutOfBid:
+      return "out-of-bid";
+    case TimelineKind::kUserTerminated:
+      return "user-terminated";
+    case TimelineKind::kCheckpointStart:
+      return "checkpoint-start";
+    case TimelineKind::kCheckpointDone:
+      return "checkpoint-done";
+    case TimelineKind::kRestartStart:
+      return "restart-start";
+    case TimelineKind::kRestartDone:
+      return "restart-done";
+    case TimelineKind::kSwitchToOnDemand:
+      return "switch-to-on-demand";
+    case TimelineKind::kConfigChange:
+      return "config-change";
+    case TimelineKind::kCompleted:
+      return "completed";
+  }
+  return "?";
+}
+
+std::string RunResult::timeline_str() const {
+  std::ostringstream os;
+  for (const TimelineEvent& e : timeline) {
+    os << format_time(e.time) << "  zone " << e.zone << "  "
+       << to_string(e.kind);
+    if (!e.detail.empty()) os << "  (" << e.detail << ')';
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace redspot

@@ -1,0 +1,68 @@
+// Result of one simulated experiment run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/money.hpp"
+#include "common/time.hpp"
+#include "market/billing.hpp"
+
+namespace redspot {
+
+/// Timeline entry kinds (for Figure 1/3-style renderings and debugging).
+enum class TimelineKind {
+  kInstanceRequested,
+  kInstanceRunning,
+  kOutOfBid,
+  kUserTerminated,
+  kCheckpointStart,
+  kCheckpointDone,
+  kRestartStart,
+  kRestartDone,
+  kSwitchToOnDemand,
+  kConfigChange,
+  kCompleted,
+};
+
+std::string to_string(TimelineKind kind);
+
+struct TimelineEvent {
+  SimTime time = 0;
+  std::size_t zone = 0;  ///< global zone index; unused for global events
+  TimelineKind kind = TimelineKind::kCompleted;
+  std::string detail;
+};
+
+/// Everything the experiment harness needs from one run.
+struct RunResult {
+  // --- cost ---------------------------------------------------------------
+  Money total_cost;          ///< the paper's "Cost per Instance"
+  Money spot_cost;
+  Money on_demand_cost;
+
+  // --- outcome ------------------------------------------------------------
+  bool completed = false;
+  bool met_deadline = false;
+  SimTime finish_time = 0;   ///< absolute completion instant
+
+  // --- accounting ---------------------------------------------------------
+  int checkpoints_committed = 0;
+  int restarts = 0;                ///< restart operations completed
+  int out_of_bid_terminations = 0;
+  int full_outages = 0;            ///< transitions to "no zone active"
+  Duration spot_instance_seconds = 0;  ///< sum over zones of billed up-time
+  Duration on_demand_seconds = 0;
+  Duration queue_delay_total = 0;
+  bool switched_to_on_demand = false;
+  int config_changes = 0;          ///< Adaptive permutation switches
+
+  // --- optional detail (EngineConfig.record_*) -----------------------------
+  std::vector<TimelineEvent> timeline;
+  std::vector<LineItem> line_items;
+
+  /// Renders the timeline as one line per event.
+  std::string timeline_str() const;
+};
+
+}  // namespace redspot

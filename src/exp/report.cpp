@@ -1,0 +1,53 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+BoxRow make_box_row(std::string label, std::span<const double> costs) {
+  REDSPOT_CHECK(!costs.empty());
+  return BoxRow{std::move(label), five_number_summary(costs)};
+}
+
+std::string boxplot_table(const std::string& title,
+                          std::span<const BoxRow> rows,
+                          Money on_demand_reference,
+                          Money lowest_spot_reference) {
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-26s %8s %8s %8s %8s %8s %8s %5s\n",
+                "policy", "min", "q1", "median", "q3", "max", "mean", "n");
+  os << line;
+  for (const BoxRow& row : rows) {
+    const FiveNumberSummary& s = row.summary;
+    std::snprintf(line, sizeof(line),
+                  "%-26s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %5zu\n",
+                  row.label.c_str(), s.min, s.q1, s.median, s.q3, s.max,
+                  s.mean, s.count);
+    os << line;
+  }
+  os << "reference: on-demand " << on_demand_reference.str()
+     << " | lowest-spot " << lowest_spot_reference.str() << "\n";
+  return os.str();
+}
+
+std::string two_column_table(
+    const std::string& title,
+    std::span<const std::pair<std::string, std::string>> rows) {
+  std::size_t width = 0;
+  for (const auto& [left, right] : rows) width = std::max(width, left.size());
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  for (const auto& [left, right] : rows) {
+    os << left << std::string(width + 2 - left.size(), ' ') << right
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace redspot

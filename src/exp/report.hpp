@@ -1,0 +1,39 @@
+// Text reporting for the reproduction benches: fixed-width boxplot tables
+// that mirror the paper's figures, with the paper's two reference lines
+// (on-demand $48.00, lowest-spot $5.40) printed alongside.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/money.hpp"
+#include "stats/descriptive.hpp"
+
+namespace redspot {
+
+/// One labelled cost distribution (one box of a boxplot figure).
+struct BoxRow {
+  std::string label;
+  FiveNumberSummary summary;
+};
+
+BoxRow make_box_row(std::string label, std::span<const double> costs);
+
+/// Renders a figure-style table:
+///
+///   == title ==
+///   policy             min     q1    med     q3    max   mean    n
+///   ...
+///   reference: on-demand $48.00 | lowest-spot $5.40
+std::string boxplot_table(const std::string& title,
+                          std::span<const BoxRow> rows,
+                          Money on_demand_reference,
+                          Money lowest_spot_reference);
+
+/// A simple aligned two-column table for Tables 2/3-style summaries.
+std::string two_column_table(const std::string& title,
+                             std::span<const std::pair<std::string,
+                                                       std::string>> rows);
+
+}  // namespace redspot

@@ -1,0 +1,58 @@
+#include "exp/scenario.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "trace/calendar.hpp"
+#include "trace/windows.hpp"
+
+namespace redspot {
+
+std::string to_string(VolatilityWindow window) {
+  return window == VolatilityWindow::kLow ? "low-volatility"
+                                          : "high-volatility";
+}
+
+SimTime window_start(VolatilityWindow window) {
+  return month_start(window == VolatilityWindow::kLow ? kLowVolatilityMonth
+                                                      : kHighVolatilityMonth);
+}
+
+SimTime window_end(VolatilityWindow window) {
+  return month_end(window == VolatilityWindow::kLow ? kLowVolatilityMonth
+                                                    : kHighVolatilityMonth);
+}
+
+std::string Scenario::label() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s Tl=%.0f%% tc=%llds",
+                to_string(window).c_str(), slack_fraction * 100.0,
+                static_cast<long long>(checkpoint_cost));
+  return buf;
+}
+
+Experiment Scenario::experiment(std::size_t index) const {
+  const std::vector<SimTime> all = starts();
+  REDSPOT_CHECK(index < all.size());
+  return Experiment::paper(all[index], slack_fraction, checkpoint_cost,
+                           /*seed=*/0x5EED0000 + index);
+}
+
+std::vector<SimTime> Scenario::starts() const {
+  const Experiment probe =
+      Experiment::paper(0, slack_fraction, checkpoint_cost);
+  return experiment_starts(window_start(window), window_end(window),
+                           probe.deadline, probe.history_span,
+                           num_experiments);
+}
+
+std::vector<Scenario> paper_scenarios() {
+  std::vector<Scenario> cells;
+  for (VolatilityWindow w : {VolatilityWindow::kLow, VolatilityWindow::kHigh})
+    for (Duration tc : {Duration{300}, Duration{900}})
+      for (double slack : {0.15, 0.50})
+        cells.push_back(Scenario{w, slack, tc, 80});
+  return cells;
+}
+
+}  // namespace redspot

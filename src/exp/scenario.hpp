@@ -1,0 +1,48 @@
+// Evaluation scenarios (Section 5).
+//
+// The paper evaluates every policy over two spot-price windows (the
+// low-volatility month, March 2013, and the high-volatility month, January
+// 2013), two slack levels (15% and 50% of C) and two checkpoint costs
+// (300 s and 900 s), running 80 experiments over partially overlapping
+// chunks of each window.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/experiment.hpp"
+
+namespace redspot {
+
+enum class VolatilityWindow { kLow, kHigh };
+
+std::string to_string(VolatilityWindow window);
+
+/// [start, end) of the evaluation window within the trace calendar.
+SimTime window_start(VolatilityWindow window);
+SimTime window_end(VolatilityWindow window);
+
+/// One cell of the evaluation grid.
+struct Scenario {
+  VolatilityWindow window = VolatilityWindow::kLow;
+  double slack_fraction = 0.15;      ///< T_l as a fraction of C
+  Duration checkpoint_cost = 300;    ///< t_c = t_r
+  std::size_t num_experiments = 80;
+
+  std::string label() const;
+
+  /// The experiment for chunk `index` of this scenario (also derives the
+  /// per-experiment queue-delay seed).
+  Experiment experiment(std::size_t index) const;
+
+  /// All chunk start times (evenly spaced, overlapping).
+  std::vector<SimTime> starts() const;
+};
+
+/// The paper's eight scenario cells, ordered as Figures 4/5 present them:
+/// volatility-major, then t_c, then slack.
+std::vector<Scenario> paper_scenarios();
+
+}  // namespace redspot

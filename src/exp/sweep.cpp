@@ -1,0 +1,113 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "core/policies/large_bid.hpp"
+
+namespace redspot {
+
+namespace {
+
+/// Runs one simulation per chunk in parallel via `make_strategy`, which is
+/// invoked once per run (strategies are stateful and not shareable).
+template <typename MakeStrategy>
+std::vector<RunResult> run_sweep(const SpotMarket& market,
+                                 const Scenario& scenario,
+                                 MakeStrategy make_strategy) {
+  const std::size_t n = scenario.num_experiments;
+  std::vector<RunResult> results(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    const Experiment experiment = scenario.experiment(i);
+    auto strategy = make_strategy(i);
+    Engine engine(market, experiment, *strategy);
+    results[i] = engine.run();
+  });
+  return results;
+}
+
+}  // namespace
+
+std::vector<RunResult> run_fixed_sweep(const SpotMarket& market,
+                                       const Scenario& scenario,
+                                       const PolicyRunSpec& spec) {
+  REDSPOT_CHECK(!spec.zones.empty());
+  return run_sweep(market, scenario, [&spec](std::size_t) {
+    return std::make_unique<FixedStrategy>(spec.bid, spec.zones,
+                                           make_policy(spec.policy));
+  });
+}
+
+std::vector<RunResult> run_adaptive_sweep(
+    const SpotMarket& market, const Scenario& scenario,
+    const AdaptiveStrategy::Options& options) {
+  return run_sweep(market, scenario, [&options](std::size_t) {
+    return std::make_unique<AdaptiveStrategy>(options);
+  });
+}
+
+std::vector<RunResult> run_large_bid_sweep(const SpotMarket& market,
+                                           const Scenario& scenario,
+                                           Money threshold,
+                                           std::size_t zone) {
+  return run_sweep(market, scenario, [threshold, zone](std::size_t) {
+    return std::make_unique<FixedStrategy>(
+        LargeBidPolicy::large_bid(), std::vector<std::size_t>{zone},
+        std::make_unique<LargeBidPolicy>(threshold));
+  });
+}
+
+std::vector<double> costs_of(std::span<const RunResult> results) {
+  std::vector<double> costs;
+  costs.reserve(results.size());
+  for (const RunResult& r : results)
+    costs.push_back(r.total_cost.to_double());
+  return costs;
+}
+
+std::vector<double> checked_costs(std::span<const RunResult> results) {
+  for (const RunResult& r : results) {
+    REDSPOT_CHECK_MSG(r.completed, "run did not complete");
+    REDSPOT_CHECK_MSG(r.met_deadline, "run missed its deadline");
+  }
+  return costs_of(results);
+}
+
+std::vector<double> merged_single_zone_costs(const SpotMarket& market,
+                                             const Scenario& scenario,
+                                             PolicyKind policy, Money bid) {
+  std::vector<double> merged;
+  for (std::size_t zone = 0; zone < market.num_zones(); ++zone) {
+    const std::vector<RunResult> results = run_fixed_sweep(
+        market, scenario, PolicyRunSpec{policy, bid, {zone}});
+    const std::vector<double> costs = checked_costs(results);
+    merged.insert(merged.end(), costs.begin(), costs.end());
+  }
+  return merged;
+}
+
+std::vector<double> best_case_redundancy_costs(
+    const SpotMarket& market, const Scenario& scenario,
+    std::span<const PolicyKind> policies, Money bid) {
+  REDSPOT_CHECK(!policies.empty());
+  std::vector<std::size_t> all_zones(market.num_zones());
+  for (std::size_t z = 0; z < all_zones.size(); ++z) all_zones[z] = z;
+
+  std::vector<double> best;
+  for (PolicyKind policy : policies) {
+    const std::vector<RunResult> results = run_fixed_sweep(
+        market, scenario, PolicyRunSpec{policy, bid, all_zones});
+    const std::vector<double> costs = checked_costs(results);
+    if (best.empty()) {
+      best = costs;
+    } else {
+      REDSPOT_CHECK(best.size() == costs.size());
+      for (std::size_t i = 0; i < costs.size(); ++i)
+        best[i] = std::min(best[i], costs[i]);
+    }
+  }
+  return best;
+}
+
+}  // namespace redspot

@@ -1,0 +1,65 @@
+// Experiment sweeps.
+//
+// Runs a policy configuration over every chunk of a scenario (in parallel —
+// chunks are independent simulations) and aggregates per-experiment costs
+// the way the paper's boxplots do:
+//   * single-zone policies merge the results of all three zones into one
+//     distribution (Figures 4 and 5);
+//   * the redundancy bar is the best-case redundancy-based policy per
+//     experiment (Section 6);
+//   * Adaptive and Large-bid run as themselves.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/adaptive/adaptive_runner.hpp"
+#include "core/engine.hpp"
+#include "core/policy.hpp"
+#include "exp/scenario.hpp"
+#include "market/spot_market.hpp"
+
+namespace redspot {
+
+/// One fixed-policy configuration to sweep.
+struct PolicyRunSpec {
+  PolicyKind policy = PolicyKind::kPeriodic;
+  Money bid;
+  std::vector<std::size_t> zones;
+};
+
+/// Runs `spec` over all chunks of `scenario`. Results are indexed by chunk.
+std::vector<RunResult> run_fixed_sweep(const SpotMarket& market,
+                                       const Scenario& scenario,
+                                       const PolicyRunSpec& spec);
+
+/// Adaptive (Section 7) over all chunks.
+std::vector<RunResult> run_adaptive_sweep(
+    const SpotMarket& market, const Scenario& scenario,
+    const AdaptiveStrategy::Options& options = {});
+
+/// Large-bid with threshold L in `zone` over all chunks.
+std::vector<RunResult> run_large_bid_sweep(const SpotMarket& market,
+                                           const Scenario& scenario,
+                                           Money threshold, std::size_t zone);
+
+/// Total costs in dollars, one per run.
+std::vector<double> costs_of(std::span<const RunResult> results);
+
+/// Single-zone policy at `bid`, zones merged: 3 x num_experiments costs.
+std::vector<double> merged_single_zone_costs(const SpotMarket& market,
+                                             const Scenario& scenario,
+                                             PolicyKind policy, Money bid);
+
+/// Best-case redundancy-based policy (N = all zones) at `bid`: for each
+/// chunk, the cheapest cost among `policies`.
+std::vector<double> best_case_redundancy_costs(
+    const SpotMarket& market, const Scenario& scenario,
+    std::span<const PolicyKind> policies, Money bid);
+
+/// Asserts invariants that must hold for every run (deadline met,
+/// completion); returns the results' costs. Used by benches so a broken
+/// guarantee cannot silently skew a table.
+std::vector<double> checked_costs(std::span<const RunResult> results);
+
+}  // namespace redspot

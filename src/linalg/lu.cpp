@@ -1,0 +1,97 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+namespace redspot {
+
+LuDecomposition::LuDecomposition(const Matrix& a)
+    : n_(a.rows()), lu_(a), perm_(a.rows()) {
+  REDSPOT_CHECK_MSG(a.square(), "LU requires a square matrix");
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivot: largest |value| in column k at or below the diagonal.
+    std::size_t pivot = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double v = std::fabs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best == 0.0) {
+      singular_ = true;
+      continue;  // keep factoring the remaining columns for determinant = 0
+    }
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n_; ++j)
+        std::swap(lu_(k, j), lu_(pivot, j));
+      std::swap(perm_[k], perm_[pivot]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double factor = lu_(i, k) * inv_pivot;
+      lu_(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t j = k + 1; j < n_; ++j)
+        lu_(i, j) -= factor * lu_(k, j);
+    }
+  }
+}
+
+std::vector<double> LuDecomposition::solve(const std::vector<double>& b) const {
+  REDSPOT_CHECK_MSG(!singular_, "solve() on a singular matrix");
+  REDSPOT_CHECK(b.size() == n_);
+  std::vector<double> x(n_);
+  // Forward substitution with permuted b (L has unit diagonal).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  REDSPOT_CHECK(b.rows() == n_);
+  Matrix x(n_, b.cols());
+  std::vector<double> col(n_);
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < n_; ++r) col[r] = b(r, c);
+    const std::vector<double> sol = solve(col);
+    for (std::size_t r = 0; r < n_; ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  if (singular_) return 0.0;
+  double det = static_cast<double>(perm_sign_);
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+double LuDecomposition::log_abs_determinant() const {
+  REDSPOT_CHECK_MSG(!singular_, "log-determinant of a singular matrix");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) acc += std::log(std::fabs(lu_(i, i)));
+  return acc;
+}
+
+Matrix LuDecomposition::inverse() const {
+  return solve(Matrix::identity(n_));
+}
+
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b) {
+  return LuDecomposition(a).solve(b);
+}
+
+}  // namespace redspot

@@ -1,0 +1,95 @@
+#include "linalg/ols.hpp"
+
+#include "linalg/lu.hpp"
+
+namespace redspot {
+
+namespace {
+
+/// X'X (cols x cols), exploiting symmetry.
+Matrix gram(const Matrix& x) {
+  const std::size_t t = x.rows();
+  const std::size_t k = x.cols();
+  Matrix g(k, k);
+  for (std::size_t row = 0; row < t; ++row) {
+    const double* xr = x.data() + row * k;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double xi = xr[i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = i; j < k; ++j) g(i, j) += xi * xr[j];
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  return g;
+}
+
+}  // namespace
+
+OlsFit ols_fit(const Matrix& x, const std::vector<double>& y) {
+  REDSPOT_CHECK(x.rows() == y.size());
+  REDSPOT_CHECK_MSG(x.rows() >= x.cols(), "underdetermined OLS system");
+  const std::size_t t = x.rows();
+  const std::size_t k = x.cols();
+
+  const Matrix g = gram(x);
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t row = 0; row < t; ++row) {
+    const double* xr = x.data() + row * k;
+    const double yr = y[row];
+    for (std::size_t i = 0; i < k; ++i) xty[i] += xr[i] * yr;
+  }
+
+  LuDecomposition lu(g);
+  REDSPOT_CHECK_MSG(!lu.singular(), "collinear OLS design matrix");
+
+  OlsFit fit;
+  fit.beta = lu.solve(xty);
+  fit.residuals.resize(t);
+  for (std::size_t row = 0; row < t; ++row) {
+    const double* xr = x.data() + row * k;
+    double pred = 0.0;
+    for (std::size_t i = 0; i < k; ++i) pred += xr[i] * fit.beta[i];
+    fit.residuals[row] = y[row] - pred;
+    fit.rss += fit.residuals[row] * fit.residuals[row];
+  }
+  return fit;
+}
+
+MultiOlsFit ols_fit_multi(const Matrix& x, const Matrix& y) {
+  REDSPOT_CHECK(x.rows() == y.rows());
+  const std::size_t t = x.rows();
+  const std::size_t k = x.cols();
+  const std::size_t m = y.cols();
+
+  const Matrix g = gram(x);
+  LuDecomposition lu(g);
+  REDSPOT_CHECK_MSG(!lu.singular(), "collinear OLS design matrix");
+
+  // X'Y.
+  Matrix xty(k, m);
+  for (std::size_t row = 0; row < t; ++row) {
+    const double* xr = x.data() + row * k;
+    const double* yr = y.data() + row * m;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double xi = xr[i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = 0; j < m; ++j) xty(i, j) += xi * yr[j];
+    }
+  }
+
+  MultiOlsFit fit;
+  fit.beta = lu.solve(xty);
+  fit.residuals = Matrix(t, m);
+  for (std::size_t row = 0; row < t; ++row) {
+    const double* xr = x.data() + row * k;
+    for (std::size_t j = 0; j < m; ++j) {
+      double pred = 0.0;
+      for (std::size_t i = 0; i < k; ++i) pred += xr[i] * fit.beta(i, j);
+      fit.residuals(row, j) = y(row, j) - pred;
+    }
+  }
+  return fit;
+}
+
+}  // namespace redspot

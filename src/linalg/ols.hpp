@@ -1,0 +1,36 @@
+// Ordinary least squares.
+//
+// The VAR fit (Section 3.1 of the paper) is K independent OLS regressions
+// of each zone's price on p lags of all zones' prices. Design matrices are
+// short and wide-ish (T x (1 + K*p), T up to a year of 5-minute samples),
+// solved via the normal equations — well-conditioned here because prices
+// are bounded and lags are few.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace redspot {
+
+/// Result of an OLS fit y ≈ X beta.
+struct OlsFit {
+  std::vector<double> beta;       ///< coefficient estimates, size X.cols()
+  std::vector<double> residuals;  ///< y - X beta, size X.rows()
+  double rss = 0.0;               ///< residual sum of squares
+};
+
+/// Fits y ≈ X beta by OLS via the normal equations.
+/// Requires X.rows() == y.size() and X.rows() >= X.cols().
+/// Throws CheckFailure when X'X is singular (collinear design).
+OlsFit ols_fit(const Matrix& x, const std::vector<double>& y);
+
+/// Multi-response OLS: fits Y ≈ X B column-by-column and returns B
+/// (X.cols() x Y.cols()) plus the residual matrix (Y.rows() x Y.cols()).
+struct MultiOlsFit {
+  Matrix beta;
+  Matrix residuals;
+};
+MultiOlsFit ols_fit_multi(const Matrix& x, const Matrix& y);
+
+}  // namespace redspot

@@ -1,0 +1,97 @@
+#include "market/billing.hpp"
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+std::string to_string(LineItem::Kind kind) {
+  switch (kind) {
+    case LineItem::Kind::kSpotHour:
+      return "spot-hour";
+    case LineItem::Kind::kSpotUserPartial:
+      return "spot-user-partial";
+    case LineItem::Kind::kOnDemandHour:
+      return "on-demand-hour";
+  }
+  return "?";
+}
+
+BillingLedger::OpenCycle& BillingLedger::cycle_for(std::size_t zone) {
+  if (zone >= cycles_.size()) cycles_.resize(zone + 1);
+  return cycles_[zone];
+}
+
+const BillingLedger::OpenCycle& BillingLedger::cycle_for(
+    std::size_t zone) const {
+  REDSPOT_CHECK(zone < cycles_.size());
+  return cycles_[zone];
+}
+
+void BillingLedger::charge(LineItem item) {
+  total_ += item.amount;
+  if (item.kind != LineItem::Kind::kOnDemandHour) spot_total_ += item.amount;
+  items_.push_back(item);
+}
+
+void BillingLedger::spot_started(std::size_t zone, SimTime t, Money rate) {
+  OpenCycle& c = cycle_for(zone);
+  REDSPOT_CHECK_MSG(!c.open, "zone " << zone << " already running");
+  REDSPOT_CHECK(rate >= Money());
+  c = OpenCycle{true, t, rate};
+}
+
+bool BillingLedger::spot_running(std::size_t zone) const {
+  return zone < cycles_.size() && cycles_[zone].open;
+}
+
+SimTime BillingLedger::cycle_end(std::size_t zone) const {
+  const OpenCycle& c = cycle_for(zone);
+  REDSPOT_CHECK(c.open);
+  return c.start + kHour;
+}
+
+void BillingLedger::cycle_boundary(std::size_t zone, Money next_rate) {
+  OpenCycle& c = cycle_for(zone);
+  REDSPOT_CHECK(c.open);
+  const SimTime boundary = c.start + kHour;
+  charge(LineItem{LineItem::Kind::kSpotHour, zone, c.start, boundary,
+                  c.rate});
+  c = OpenCycle{true, boundary, next_rate};
+}
+
+void BillingLedger::spot_terminated(std::size_t zone, SimTime t,
+                                    TerminationCause cause) {
+  OpenCycle& c = cycle_for(zone);
+  REDSPOT_CHECK(c.open);
+  REDSPOT_CHECK_MSG(t >= c.start && t <= c.start + kHour,
+                    "termination outside the open cycle");
+  if (cause == TerminationCause::kUser) {
+    // User termination pays the started hour in full (Section 2.1).
+    charge(LineItem{LineItem::Kind::kSpotUserPartial, zone, c.start, t,
+                    c.rate});
+  }
+  // Out-of-bid: "Partial-hour resource usage due to abrupt termination by
+  // EC2 is not charged to the user."
+  c.open = false;
+}
+
+void BillingLedger::spot_stopped_at_boundary(std::size_t zone) {
+  OpenCycle& c = cycle_for(zone);
+  REDSPOT_CHECK(c.open);
+  const SimTime boundary = c.start + kHour;
+  charge(LineItem{LineItem::Kind::kSpotHour, zone, c.start, boundary,
+                  c.rate});
+  c.open = false;
+}
+
+void BillingLedger::on_demand_usage(SimTime start, Duration used,
+                                    Money rate) {
+  REDSPOT_CHECK(used > 0);
+  const std::int64_t started_hours = (used + kHour - 1) / kHour;
+  for (std::int64_t h = 0; h < started_hours; ++h) {
+    charge(LineItem{LineItem::Kind::kOnDemandHour, 0, start + h * kHour,
+                    start + used, rate});
+  }
+}
+
+}  // namespace redspot

@@ -1,0 +1,105 @@
+// Spot and on-demand billing ledger.
+//
+// Implements the EC2 charging rules of Section 2.1 exactly:
+//
+//   * Hour-boundary pricing — each billing cycle is charged at the SPOT
+//     price in effect at the cycle's start (not the bid), regardless of
+//     in-cycle price movement below the bid.
+//   * Partial-hour usage — a cycle cut short by EC2 (out-of-bid
+//     termination) is free.
+//   * User termination mid-cycle — charged the full hour (standard 2013
+//     EC2 behaviour; this is what makes Large-bid's "manual termination
+//     near the end of the hour" sensible).
+//   * On-demand — fixed rate per started hour.
+//
+// The ledger is a passive recorder: the engine reports lifecycle events
+// (instance started / cycle completed / terminated) and queries totals.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/money.hpp"
+#include "common/time.hpp"
+
+namespace redspot {
+
+/// Why an instance stopped.
+enum class TerminationCause {
+  kOutOfBid,  ///< EC2 terminated: spot price moved above the bid
+  kUser,      ///< we terminated: completion, reconfiguration, manual stop
+};
+
+/// One charge on the bill.
+struct LineItem {
+  enum class Kind {
+    kSpotHour,          ///< a completed spot billing cycle
+    kSpotUserPartial,   ///< user-terminated cycle, charged in full
+    kOnDemandHour,      ///< a started on-demand hour
+  };
+  Kind kind = Kind::kSpotHour;
+  std::size_t zone = 0;      ///< zone index (0 for on-demand)
+  SimTime cycle_start = 0;
+  SimTime charged_at = 0;
+  Money amount;
+};
+
+std::string to_string(LineItem::Kind kind);
+
+/// Billing state for the instances of one experiment run.
+class BillingLedger {
+ public:
+  /// Reports a spot instance entering the running state in `zone` at `t`;
+  /// `rate` is the zone's spot price at `t` (locks the first cycle's rate).
+  void spot_started(std::size_t zone, SimTime t, Money rate);
+
+  /// True when `zone` currently has an open (running) spot cycle.
+  bool spot_running(std::size_t zone) const;
+
+  /// When the zone's current billing cycle ends (start + 1 hour).
+  /// Requires spot_running(zone).
+  SimTime cycle_end(std::size_t zone) const;
+
+  /// Completes the cycle ending at cycle_end(zone): charges the locked rate
+  /// and opens the next cycle at `next_rate` (the spot price at that
+  /// boundary). Requires spot_running(zone).
+  void cycle_boundary(std::size_t zone, Money next_rate);
+
+  /// Terminates the zone's instance at `t`. Out-of-bid forfeits the open
+  /// partial cycle; user termination charges it in full.
+  void spot_terminated(std::size_t zone, SimTime t, TerminationCause cause);
+
+  /// Stops the zone exactly at its cycle boundary: charges the completed
+  /// cycle (like cycle_boundary) but does not open a new one. The clean way
+  /// to leave the market — used by Large-bid's manual stop and by Adaptive
+  /// reconfigurations at hour ends.
+  void spot_stopped_at_boundary(std::size_t zone);
+
+  /// Charges on-demand usage of [start, start + used): one `rate` charge
+  /// per started hour.
+  void on_demand_usage(SimTime start, Duration used, Money rate);
+
+  Money total() const { return total_; }
+  Money spot_total() const { return spot_total_; }
+  Money on_demand_total() const { return total_ - spot_total_; }
+  const std::vector<LineItem>& items() const { return items_; }
+
+ private:
+  struct OpenCycle {
+    bool open = false;
+    SimTime start = 0;
+    Money rate;
+  };
+
+  OpenCycle& cycle_for(std::size_t zone);
+  const OpenCycle& cycle_for(std::size_t zone) const;
+  void charge(LineItem item);
+
+  std::vector<OpenCycle> cycles_;  // indexed by zone, grown on demand
+  std::vector<LineItem> items_;
+  Money total_;
+  Money spot_total_;
+};
+
+}  // namespace redspot

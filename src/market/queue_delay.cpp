@@ -1,0 +1,37 @@
+#include "market/queue_delay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+QueueDelayParams QueueDelayParams::fixed(Duration delay) {
+  QueueDelayParams p;
+  p.shift_seconds = static_cast<double>(delay);
+  p.mu = 0.0;
+  p.sigma = 0.0;
+  p.min_delay = delay;
+  p.max_delay = delay;
+  return p;
+}
+
+QueueDelayModel::QueueDelayModel(QueueDelayParams params)
+    : params_(params) {
+  REDSPOT_CHECK(params_.min_delay <= params_.max_delay);
+  REDSPOT_CHECK(params_.sigma >= 0.0);
+}
+
+Duration QueueDelayModel::sample(Rng& rng) const {
+  double raw = params_.shift_seconds;
+  if (params_.sigma > 0.0) {
+    raw += rng.lognormal(params_.mu, params_.sigma);
+  } else if (params_.mu != 0.0) {
+    raw += std::exp(params_.mu);
+  }
+  const auto delay = static_cast<Duration>(std::llround(raw));
+  return std::clamp(delay, params_.min_delay, params_.max_delay);
+}
+
+}  // namespace redspot

@@ -1,0 +1,25 @@
+#include "market/spot_market.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+SpotMarket::SpotMarket(ZoneTraceSet traces, InstanceType instance_type,
+                       QueueDelayModel delay_model)
+    : traces_(std::move(traces)),
+      instance_type_(std::move(instance_type)),
+      delay_model_(delay_model) {
+  REDSPOT_CHECK(traces_.num_zones() > 0);
+  REDSPOT_CHECK(instance_type_.on_demand_rate > Money());
+}
+
+SimTime SpotMarket::next_price_change(SimTime t) const {
+  SimTime next = kNever;
+  for (std::size_t z = 0; z < traces_.num_zones(); ++z)
+    next = std::min(next, traces_.zone(z).next_change(t));
+  return next;
+}
+
+}  // namespace redspot

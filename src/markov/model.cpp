@@ -1,0 +1,129 @@
+#include "markov/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+std::size_t MarkovModel::state_of(Money price) const {
+  REDSPOT_CHECK(!state_prices.empty());
+  const double p = price.to_double();
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < state_prices.size(); ++i) {
+    const double d = std::fabs(state_prices[i] - p);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t MarkovModel::max_alive_state(Money bid) const {
+  const double b = bid.to_double();
+  std::size_t result = SIZE_MAX;
+  for (std::size_t i = 0; i < state_prices.size(); ++i) {
+    // Tolerate the micro-dollar -> double conversion.
+    if (state_prices[i] <= b + 1e-9) result = i;
+  }
+  return result;
+}
+
+MarkovModel build_markov_model(const PriceSeries& history,
+                               std::size_t max_states, double smoothing) {
+  REDSPOT_CHECK(history.size() >= 1);
+  REDSPOT_CHECK(max_states >= 2);
+  REDSPOT_CHECK(smoothing >= 0.0 && smoothing < 1.0);
+
+  // Distinct observed prices, ascending.
+  std::vector<double> values = history.to_doubles();
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> unique = sorted;
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  MarkovModel model;
+  model.step = history.step();
+
+  // Map each sample to a state index.
+  std::vector<std::size_t> state_of_sample(values.size());
+  if (unique.size() <= max_states) {
+    model.state_prices = unique;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const auto it =
+          std::lower_bound(unique.begin(), unique.end(), values[i]);
+      state_of_sample[i] =
+          static_cast<std::size_t>(std::distance(unique.begin(), it));
+    }
+  } else {
+    // Quantile binning over the sample distribution: equal-count bins keep
+    // resolution where the price actually lives.
+    std::vector<double> edges(max_states - 1);
+    for (std::size_t b = 0; b + 1 < max_states; ++b) {
+      const double q =
+          static_cast<double>(b + 1) / static_cast<double>(max_states);
+      edges[b] = sorted[static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1))];
+    }
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    const std::size_t num_bins = edges.size() + 1;
+    std::vector<double> bin_sum(num_bins, 0.0);
+    std::vector<std::size_t> bin_count(num_bins, 0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const auto it =
+          std::upper_bound(edges.begin(), edges.end(), values[i]);
+      const auto bin =
+          static_cast<std::size_t>(std::distance(edges.begin(), it));
+      state_of_sample[i] = bin;
+      bin_sum[bin] += values[i];
+      ++bin_count[bin];
+    }
+    // Drop empty bins, remapping indices.
+    std::vector<std::size_t> remap(num_bins, SIZE_MAX);
+    for (std::size_t b = 0; b < num_bins; ++b) {
+      if (bin_count[b] == 0) continue;
+      remap[b] = model.state_prices.size();
+      model.state_prices.push_back(bin_sum[b] /
+                                   static_cast<double>(bin_count[b]));
+    }
+    for (auto& s : state_of_sample) {
+      REDSPOT_CHECK(remap[s] != SIZE_MAX);
+      s = remap[s];
+    }
+  }
+
+  // Empirical transition counts between consecutive samples.
+  const std::size_t n = model.state_prices.size();
+  model.trans = Matrix(n, n);
+  std::vector<std::size_t> row_total(n, 0);
+  for (std::size_t i = 0; i + 1 < state_of_sample.size(); ++i) {
+    model.trans(state_of_sample[i], state_of_sample[i + 1]) += 1.0;
+    ++row_total[state_of_sample[i]];
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    if (row_total[r] == 0) {
+      model.trans(r, r) = 1.0;  // never observed leaving: self-loop
+      continue;
+    }
+    const double inv = 1.0 / static_cast<double>(row_total[r]);
+    for (std::size_t c = 0; c < n; ++c) model.trans(r, c) *= inv;
+  }
+
+  if (smoothing > 0.0) {
+    // Empirical occupancy distribution.
+    std::vector<double> pi(n, 0.0);
+    for (std::size_t s : state_of_sample) pi[s] += 1.0;
+    for (double& x : pi) x /= static_cast<double>(state_of_sample.size());
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        model.trans(r, c) =
+            (1.0 - smoothing) * model.trans(r, c) + smoothing * pi[c];
+  }
+  return model;
+}
+
+}  // namespace redspot

@@ -1,0 +1,59 @@
+// Price-state Markov model (Appendix B).
+//
+// The Markov-Daly policy models a zone's spot price as a first-order Markov
+// chain over the distinct prices observed in a trailing history window
+// (the paper uses 2 days): PROB is a distribution over price states and
+// TRANS the empirical transition matrix between consecutive 5-minute
+// samples.
+//
+// Real quantized prices in a 2-day window produce a manageable state count,
+// but a synthetic or long window could produce hundreds; the builder merges
+// states into at most `max_states` quantile bins (each represented by the
+// mean price of its members) so downstream solves stay O(max_states^3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/money.hpp"
+#include "linalg/matrix.hpp"
+#include "trace/price_series.hpp"
+
+namespace redspot {
+
+/// A fitted price-state chain.
+struct MarkovModel {
+  /// Representative price per state, ascending.
+  std::vector<double> state_prices;
+  /// Row-stochastic transition matrix: trans(i, j) = P(next = j | cur = i).
+  Matrix trans;
+  /// Sampling step of the fitted history (the chain's time unit).
+  Duration step = kPriceStep;
+
+  std::size_t num_states() const { return state_prices.size(); }
+
+  /// State whose representative price is closest to `price`.
+  std::size_t state_of(Money price) const;
+
+  /// Largest state index whose price is <= bid, or SIZE_MAX when the bid is
+  /// below every state (zone can never be up).
+  std::size_t max_alive_state(Money bid) const;
+};
+
+/// Fits a model to `history`. A single-sample history (no observed
+/// transitions) degenerates to one self-looping state — "the price never
+/// moves", the only unbiased guess.
+///
+/// States with no observed outgoing transition get a self-loop (the price
+/// was only seen at the window's end; persisting is the only unbiased
+/// guess). Every row is then smoothed toward the empirical occupancy
+/// distribution with weight `smoothing`: a short window observes few
+/// transitions per exact price level, and the raw empirical matrix
+/// routinely contains closed classes below a bid from which termination
+/// looks impossible, sending the expected up-time to its cap. The smoothed
+/// chain can always reach every observed state.
+MarkovModel build_markov_model(const PriceSeries& history,
+                               std::size_t max_states = 32,
+                               double smoothing = 0.02);
+
+}  // namespace redspot

@@ -1,0 +1,145 @@
+#include "markov/uptime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "linalg/lu.hpp"
+
+namespace redspot {
+
+namespace {
+
+/// Indices of states whose price is within the bid.
+std::vector<std::size_t> alive_states(const MarkovModel& model, Money bid) {
+  std::vector<std::size_t> alive;
+  const double b = bid.to_double() + 1e-9;
+  for (std::size_t i = 0; i < model.num_states(); ++i)
+    if (model.state_prices[i] <= b) alive.push_back(i);
+  return alive;
+}
+
+}  // namespace
+
+Duration expected_uptime(const MarkovModel& model, Money current_price,
+                         Money bid, Duration cap) {
+  REDSPOT_CHECK(model.num_states() > 0);
+  REDSPOT_CHECK(cap > 0);
+  if (current_price > bid) return 0;
+
+  const std::vector<std::size_t> alive = alive_states(model, bid);
+  if (alive.empty()) return 0;
+
+  // Q: transition sub-matrix among alive states. Absorption = any move to
+  // a dead state (price above bid).
+  const std::size_t m = alive.size();
+  Matrix i_minus_q(m, m);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      const double q = model.trans(alive[r], alive[c]);
+      i_minus_q(r, c) = (r == c ? 1.0 : 0.0) - q;
+    }
+  }
+
+  LuDecomposition lu(i_minus_q);
+  if (lu.singular()) {
+    // A closed communicating class within the bid: the chain can never be
+    // absorbed from (at least) the current state — up "forever".
+    return cap;
+  }
+
+  // t = (I - Q)^{-1} 1: expected steps to absorption from each alive state.
+  const std::vector<double> ones(m, 1.0);
+  std::vector<double> t;
+  t = lu.solve(ones);
+
+  const std::size_t start = model.state_of(current_price);
+  std::size_t start_alive = SIZE_MAX;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (alive[r] == start) {
+      start_alive = r;
+      break;
+    }
+  }
+  if (start_alive == SIZE_MAX) return 0;  // nearest state is out-of-bid
+
+  const double steps = t[start_alive];
+  // Numerically near-singular systems can yield huge or negative values;
+  // clamp into [0 steps, cap].
+  if (!std::isfinite(steps) || steps < 0.0) return cap;
+  const double seconds = steps * static_cast<double>(model.step);
+  if (seconds >= static_cast<double>(cap)) return cap;
+  return std::max<Duration>(0, static_cast<Duration>(std::llround(seconds)));
+}
+
+Duration expected_uptime_iterative(const MarkovModel& model,
+                                   Money current_price, Money bid,
+                                   std::size_t max_steps, Duration cap) {
+  REDSPOT_CHECK(model.num_states() > 0);
+  if (current_price > bid) return 0;
+
+  const std::size_t n = model.num_states();
+  const double b = bid.to_double() + 1e-9;
+  std::vector<bool> alive(n);
+  for (std::size_t i = 0; i < n; ++i) alive[i] = model.state_prices[i] <= b;
+
+  const std::size_t start = model.state_of(current_price);
+  if (!alive[start]) return 0;
+
+  // PROB^k: probability of being alive in each state after k steps.
+  std::vector<double> prob(n, 0.0);
+  prob[start] = 1.0;
+  std::vector<double> next(n);
+
+  double expected_steps = 0.0;
+  double alive_mass = 1.0;
+  for (std::size_t k = 1; k <= max_steps; ++k) {
+    // Equation 2: propagate alive mass one step.
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = prob[i];
+      if (p == 0.0) continue;  // dead states were already zeroed
+      for (std::size_t j = 0; j < n; ++j)
+        next[j] += p * model.trans(i, j);
+    }
+    // Equation 3 (reversed indicator): mass now in out-of-bid states dies
+    // at step k.
+    double died = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!alive[j]) {
+        died += next[j];
+        next[j] = 0.0;
+      }
+    }
+    expected_steps += static_cast<double>(k) * died;
+    alive_mass -= died;
+    prob.swap(next);
+
+    // Th: stop once effectively all mass has been absorbed — the estimate
+    // can no longer change at seconds granularity.
+    if (alive_mass <= 1e-12) break;
+    // Early cap: even the mass absorbed so far already exceeds the cap.
+    if (expected_steps * static_cast<double>(model.step) >=
+        static_cast<double>(cap))
+      return cap;
+  }
+  // Whatever is still alive survived the horizon: credit it the horizon.
+  expected_steps += alive_mass * static_cast<double>(max_steps);
+
+  const double seconds =
+      expected_steps * static_cast<double>(model.step);
+  if (seconds >= static_cast<double>(cap)) return cap;
+  return std::max<Duration>(0, static_cast<Duration>(std::llround(seconds)));
+}
+
+Duration combined_expected_uptime(std::span<const Duration> per_zone) {
+  Duration total = 0;
+  for (Duration d : per_zone) {
+    REDSPOT_CHECK(d >= 0);
+    total += d;
+  }
+  return total;
+}
+
+}  // namespace redspot

@@ -1,0 +1,59 @@
+#include "sim/simulation.hpp"
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+EventId Simulation::schedule_at(SimTime t, Callback cb) {
+  REDSPOT_CHECK_MSG(t >= now_, "scheduling into the past: t=" << t
+                                   << " now=" << now_);
+  REDSPOT_CHECK(cb != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+void Simulation::cancel(EventId id) { callbacks_.erase(id); }
+
+bool Simulation::pending(EventId id) const {
+  return callbacks_.find(id) != callbacks_.end();
+}
+
+bool Simulation::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    REDSPOT_CHECK(top.time >= now_);
+    now_ = top.time;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run_until(SimTime t) {
+  while (!heap_.empty()) {
+    // Skip over stale (cancelled) heads without advancing time.
+    const Entry top = heap_.top();
+    if (callbacks_.find(top.id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace redspot

@@ -1,0 +1,86 @@
+// Discrete-event simulation core.
+//
+// A minimal event calendar: schedule callbacks at absolute simulated times,
+// cancel them, and run. Events at equal timestamps fire in scheduling order
+// (FIFO), which the scheduling engine relies on — e.g. a billing-cycle
+// boundary scheduled before a price tick at the same instant must observe
+// the pre-tick price.
+//
+// Cancellation is lazy: cancelled entries stay in the heap and are skipped
+// when popped, keeping both schedule() and cancel() O(log n) amortized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "common/time.hpp"
+
+namespace redspot {
+
+/// Handle for cancelling a scheduled event. 0 is never a valid id.
+using EventId = std::uint64_t;
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Simulation(SimTime start = 0) : now_(start) {}
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now()). Returns a handle.
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` after `d` (>= 0) of simulated time.
+  EventId schedule_in(Duration d, Callback cb) {
+    return schedule_at(now_ + d, std::move(cb));
+  }
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// True when `id` is still pending.
+  bool pending(EventId id) const;
+
+  /// Runs the next event. Returns false when the calendar is empty.
+  bool step();
+
+  /// Runs events with time <= `t`, then advances the clock to `t`
+  /// (if the last event left it earlier).
+  void run_until(SimTime t);
+
+  /// Runs until the calendar drains.
+  void run();
+
+  /// Pending (non-cancelled) event count.
+  std::size_t pending_count() const { return callbacks_.size(); }
+
+  /// Total events executed so far (for the micro-benchmarks).
+  std::uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO within a timestamp
+    EventId id;
+    // Heap is a max-heap by default; invert for earliest-first, FIFO ties.
+    bool operator<(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_;
+  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry> heap_;
+  /// id -> callback; an id absent here but present in the heap was
+  /// cancelled (lazy deletion).
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace redspot

@@ -1,0 +1,74 @@
+// Descriptive statistics.
+//
+// The paper reports every policy comparison as a boxplot of per-experiment
+// costs (Figures 4-6) and characterizes the volatility windows by mean and
+// variance of spot prices (Section 5). FiveNumberSummary reproduces the
+// boxplot statistics; quantile() uses the common linear-interpolation
+// definition (type 7, the R default).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace redspot {
+
+double mean(std::span<const double> xs);
+
+/// Sample variance (divides by n-1); 0 for n < 2.
+double variance(std::span<const double> xs);
+
+double stddev(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Linear-interpolation quantile of unsorted data, q in [0, 1].
+double quantile(std::span<const double> xs, double q);
+
+/// Quantile of data already sorted ascending (no copy).
+double quantile_sorted(std::span<const double> sorted, double q);
+
+double median(std::span<const double> xs);
+
+/// Boxplot statistics: min / Q1 / median / Q3 / max plus mean and count.
+struct FiveNumberSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+
+  double iqr() const { return q3 - q1; }
+
+  /// One-line rendering "min/q1/med/q3/max" with the given precision.
+  std::string str(int precision = 2) const;
+};
+
+/// Computes the summary of `xs` (must be non-empty).
+FiveNumberSummary five_number_summary(std::span<const double> xs);
+
+/// Running (streaming) mean/variance via Welford's algorithm.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace redspot

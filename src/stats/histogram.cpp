@@ -1,0 +1,67 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo),
+      hi_(hi),
+      bin_width_((hi - lo) / static_cast<double>(num_bins)),
+      counts_(num_bins, 0) {
+  REDSPOT_CHECK(hi > lo);
+  REDSPOT_CHECK(num_bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard FP edge at hi_
+  ++counts_[bin];
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  REDSPOT_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  REDSPOT_CHECK(bin < counts_.size());
+  return lo_ + bin_width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + bin_width_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[128];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(counts_[b] * width / peak);
+    std::snprintf(line, sizeof(line), "[%8.3f, %8.3f) %8zu |", bin_lo(b),
+                  bin_hi(b), counts_[b]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0) out += "underflow: " + std::to_string(underflow_) + "\n";
+  if (overflow_ > 0) out += "overflow: " + std::to_string(overflow_) + "\n";
+  return out;
+}
+
+}  // namespace redspot

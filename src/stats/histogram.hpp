@@ -1,0 +1,42 @@
+// Fixed-bin histogram, used for price-distribution reporting and for the
+// queue-delay calibration bench.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace redspot {
+
+/// Histogram over [lo, hi) with equal-width bins; out-of-range samples land
+/// in saturating underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void add(double x);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+
+  /// Inclusive-exclusive bounds of a bin.
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// ASCII rendering, one line per bin, bar width scaled to `width` chars.
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace redspot

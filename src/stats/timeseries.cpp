@@ -1,0 +1,41 @@
+#include "stats/timeseries.hpp"
+
+#include "common/check.hpp"
+#include "stats/descriptive.hpp"
+
+namespace redspot {
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  REDSPOT_CHECK(lag < xs.size());
+  const double m = mean(xs);
+  double denom = 0.0;
+  for (double x : xs) denom += (x - m) * (x - m);
+  if (denom == 0.0) return 0.0;
+  double num = 0.0;
+  for (std::size_t i = 0; i + lag < xs.size(); ++i)
+    num += (xs[i] - m) * (xs[i + lag] - m);
+  return num / denom;
+}
+
+std::vector<double> first_difference(std::span<const double> xs) {
+  if (xs.size() < 2) return {};
+  std::vector<double> d(xs.size() - 1);
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) d[i] = xs[i + 1] - xs[i];
+  return d;
+}
+
+double aic(double log_lik, std::size_t num_params) {
+  return 2.0 * static_cast<double>(num_params) - 2.0 * log_lik;
+}
+
+double var_aic(double log_det_sigma, std::size_t lag_order,
+               std::size_t dimension, std::size_t effective_samples) {
+  REDSPOT_CHECK(effective_samples > 0);
+  const double k2p = static_cast<double>(lag_order) *
+                     static_cast<double>(dimension) *
+                     static_cast<double>(dimension);
+  return log_det_sigma +
+         2.0 * k2p / static_cast<double>(effective_samples);
+}
+
+}  // namespace redspot

@@ -1,0 +1,30 @@
+// Time-series helpers for the VAR analysis (Section 3.1) and trace
+// characterization: lagged views, autocorrelation, and the Akaike
+// information criterion used to pick the VAR lag order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace redspot {
+
+/// Sample autocorrelation at `lag` (0 <= lag < xs.size()).
+/// Returns 0 when the series has zero variance.
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// First differences: d[i] = xs[i+1] - xs[i].
+std::vector<double> first_difference(std::span<const double> xs);
+
+/// Akaike information criterion for a model with log-likelihood `log_lik`
+/// and `num_params` free parameters: AIC = 2k - 2 ln L.
+double aic(double log_lik, std::size_t num_params);
+
+/// Multivariate-regression AIC used for VAR(p) lag selection:
+///   AIC(p) = ln det(Sigma_hat) + 2 p K^2 / T
+/// where Sigma_hat is the ML residual covariance (divides by T), K the
+/// series dimension and T the effective sample count.
+double var_aic(double log_det_sigma, std::size_t lag_order,
+               std::size_t dimension, std::size_t effective_samples);
+
+}  // namespace redspot

@@ -1,0 +1,119 @@
+#include "trace/availability.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+namespace {
+
+/// Merges adjacent same-status ranges as they are appended.
+void append_segment(std::vector<AvailabilitySegment>& segs, SimTime start,
+                    SimTime end, bool up) {
+  if (!segs.empty() && segs.back().up == up && segs.back().end == start) {
+    segs.back().end = end;
+    return;
+  }
+  segs.push_back(AvailabilitySegment{start, end, up});
+}
+
+}  // namespace
+
+std::vector<AvailabilitySegment> availability_segments(
+    const PriceSeries& series, Money bid, SimTime from, SimTime to) {
+  from = std::max(from, series.start());
+  to = std::min(to, series.end());
+  REDSPOT_CHECK_MSG(from < to, "empty availability window");
+  std::vector<AvailabilitySegment> segs;
+  SimTime t = from;
+  while (t < to) {
+    const std::size_t i = series.index_of(t);
+    const SimTime seg_end =
+        std::min<SimTime>(to, series.time_of(i) + series.step());
+    append_segment(segs, t, seg_end, series.sample(i) <= bid);
+    t = seg_end;
+  }
+  return segs;
+}
+
+double availability_fraction(const PriceSeries& series, Money bid,
+                             SimTime from, SimTime to) {
+  Duration up = 0;
+  Duration total = 0;
+  for (const auto& seg : availability_segments(series, bid, from, to)) {
+    total += seg.length();
+    if (seg.up) up += seg.length();
+  }
+  REDSPOT_CHECK(total > 0);
+  return static_cast<double>(up) / static_cast<double>(total);
+}
+
+std::vector<AvailabilitySegment> combined_segments(const ZoneTraceSet& traces,
+                                                   Money bid, SimTime from,
+                                                   SimTime to) {
+  from = std::max(from, traces.start());
+  to = std::min(to, traces.end());
+  REDSPOT_CHECK_MSG(from < to, "empty availability window");
+  std::vector<AvailabilitySegment> segs;
+  const Duration step = traces.step();
+  SimTime t = from;
+  while (t < to) {
+    const SimTime seg_end = std::min<SimTime>(
+        to, t - ((t - traces.start()) % step) + step);
+    bool any_up = false;
+    for (std::size_t z = 0; z < traces.num_zones(); ++z) {
+      if (traces.price(z, t) <= bid) {
+        any_up = true;
+        break;
+      }
+    }
+    append_segment(segs, t, seg_end, any_up);
+    t = seg_end;
+  }
+  return segs;
+}
+
+double combined_availability(const ZoneTraceSet& traces, Money bid,
+                             SimTime from, SimTime to) {
+  Duration up = 0;
+  Duration total = 0;
+  for (const auto& seg : combined_segments(traces, bid, from, to)) {
+    total += seg.length();
+    if (seg.up) up += seg.length();
+  }
+  REDSPOT_CHECK(total > 0);
+  return static_cast<double>(up) / static_cast<double>(total);
+}
+
+double mean_zones_up(const ZoneTraceSet& traces, Money bid, SimTime from,
+                     SimTime to) {
+  double acc = 0.0;
+  for (std::size_t z = 0; z < traces.num_zones(); ++z)
+    acc += availability_fraction(traces.zone(z), bid, from, to);
+  return acc;
+}
+
+std::string ascii_bar(const std::vector<AvailabilitySegment>& segments,
+                      Duration resolution) {
+  REDSPOT_CHECK(resolution > 0);
+  REDSPOT_CHECK(!segments.empty());
+  std::string bar;
+  const SimTime start = segments.front().start;
+  const SimTime end = segments.back().end;
+  for (SimTime t = start; t < end; t += resolution) {
+    // Status at the midpoint of this character cell.
+    const SimTime probe = std::min<SimTime>(t + resolution / 2, end - 1);
+    bool up = false;
+    for (const auto& seg : segments) {
+      if (probe >= seg.start && probe < seg.end) {
+        up = seg.up;
+        break;
+      }
+    }
+    bar += up ? '#' : '.';
+  }
+  return bar;
+}
+
+}  // namespace redspot

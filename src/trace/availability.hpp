@@ -1,0 +1,54 @@
+// Zone availability analysis (Figure 2 of the paper).
+//
+// A zone is "up" at bid B whenever its spot price S satisfies S <= B. This
+// module extracts the up/down segments of a window, computes per-zone and
+// combined (any-zone-up) availability fractions, and renders the Figure-2
+// style timeline bars.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/money.hpp"
+#include "common/time.hpp"
+#include "trace/zone_traces.hpp"
+
+namespace redspot {
+
+/// Maximal interval during which a zone's up/down status is constant.
+struct AvailabilitySegment {
+  SimTime start = 0;
+  SimTime end = 0;  // exclusive
+  bool up = false;
+
+  Duration length() const { return end - start; }
+};
+
+/// Up/down segments of one zone over [from, to) at bid `bid`.
+std::vector<AvailabilitySegment> availability_segments(
+    const PriceSeries& series, Money bid, SimTime from, SimTime to);
+
+/// Fraction of [from, to) during which S <= bid.
+double availability_fraction(const PriceSeries& series, Money bid,
+                             SimTime from, SimTime to);
+
+/// Segments where at least one zone is up (the "Combined" bar of Figure 2).
+std::vector<AvailabilitySegment> combined_segments(const ZoneTraceSet& traces,
+                                                   Money bid, SimTime from,
+                                                   SimTime to);
+
+/// Fraction of [from, to) during which at least one zone is up.
+double combined_availability(const ZoneTraceSet& traces, Money bid,
+                             SimTime from, SimTime to);
+
+/// Expected number of simultaneously-up zones over [from, to) — what a
+/// redundancy-based policy pays for.
+double mean_zones_up(const ZoneTraceSet& traces, Money bid, SimTime from,
+                     SimTime to);
+
+/// ASCII bar for a segment list: '#' for up, '.' for down; one char per
+/// `resolution` of time.
+std::string ascii_bar(const std::vector<AvailabilitySegment>& segments,
+                      Duration resolution);
+
+}  // namespace redspot

@@ -1,0 +1,50 @@
+#include "trace/calendar.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+namespace {
+
+// Dec 2012, Jan 2013, ..., Dec 2013, Jan 2014. 2013 is not a leap year.
+constexpr std::array<int, kTraceMonths> kDays = {31, 31, 28, 31, 30, 31, 30,
+                                                 31, 31, 30, 31, 30, 31, 31};
+
+constexpr std::array<const char*, kTraceMonths> kNames = {
+    "Dec 2012", "Jan 2013", "Feb 2013", "Mar 2013", "Apr 2013",
+    "May 2013", "Jun 2013", "Jul 2013", "Aug 2013", "Sep 2013",
+    "Oct 2013", "Nov 2013", "Dec 2013", "Jan 2014"};
+
+}  // namespace
+
+int days_in_month(std::size_t m) {
+  REDSPOT_CHECK(m < kTraceMonths);
+  return kDays[m];
+}
+
+SimTime month_start(std::size_t m) {
+  REDSPOT_CHECK(m < kTraceMonths);
+  SimTime t = 0;
+  for (std::size_t i = 0; i < m; ++i) t += kDays[i] * kDay;
+  return t;
+}
+
+SimTime month_end(std::size_t m) {
+  return month_start(m) + days_in_month(m) * kDay;
+}
+
+Duration trace_span() { return month_end(kTraceMonths - 1); }
+
+std::string month_name(std::size_t m) {
+  REDSPOT_CHECK(m < kTraceMonths);
+  return kNames[m];
+}
+
+SimTime day_start(std::size_t m, int day_of_month) {
+  REDSPOT_CHECK(day_of_month >= 1 && day_of_month <= days_in_month(m));
+  return month_start(m) + static_cast<SimTime>(day_of_month - 1) * kDay;
+}
+
+}  // namespace redspot

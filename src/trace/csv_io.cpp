@@ -1,0 +1,118 @@
+#include "trace/csv_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("trace CSV line " + std::to_string(line) + ": " +
+                           what);
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(pos));
+      return out;
+    }
+    out.push_back(s.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const ZoneTraceSet& traces) {
+  os << "time";
+  for (std::size_t z = 0; z < traces.num_zones(); ++z)
+    os << ',' << traces.zone_name(z);
+  os << '\n';
+  const PriceSeries& first = traces.zone(0);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    os << first.time_of(i);
+    for (std::size_t z = 0; z < traces.num_zones(); ++z) {
+      const Money m = traces.zone(z).sample(i);
+      // Dollars with three decimals (EC2 price grid).
+      os << ',' << m.to_double();
+    }
+    os << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const ZoneTraceSet& traces) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv(f, traces);
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+ZoneTraceSet read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) fail(1, "missing header");
+  std::vector<std::string> header = split_commas(line);
+  if (header.size() < 2 || header[0] != "time")
+    fail(1, "header must be 'time,<zone>,...'");
+  const std::size_t num_zones = header.size() - 1;
+  std::vector<std::string> names(header.begin() + 1, header.end());
+
+  std::vector<std::vector<Money>> cols(num_zones);
+  SimTime start = 0;
+  Duration step = 0;
+  SimTime prev_time = 0;
+  std::size_t line_no = 1;
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_commas(line);
+    if (fields.size() != num_zones + 1)
+      fail(line_no, "expected " + std::to_string(num_zones + 1) + " fields");
+    SimTime t;
+    try {
+      t = std::stoll(fields[0]);
+    } catch (const std::exception&) {
+      fail(line_no, "bad time '" + fields[0] + "'");
+    }
+    if (rows == 0) {
+      start = t;
+    } else if (rows == 1) {
+      step = t - prev_time;
+      if (step <= 0) fail(line_no, "non-increasing time");
+    } else if (t - prev_time != step) {
+      fail(line_no, "irregular time step");
+    }
+    prev_time = t;
+    for (std::size_t z = 0; z < num_zones; ++z) {
+      try {
+        cols[z].push_back(Money::parse(fields[z + 1]));
+      } catch (const CheckFailure&) {
+        fail(line_no, "bad price '" + fields[z + 1] + "'");
+      }
+    }
+    ++rows;
+  }
+  if (rows < 2) fail(line_no, "need at least two data rows");
+
+  std::vector<PriceSeries> series;
+  series.reserve(num_zones);
+  for (auto& col : cols) series.emplace_back(start, step, std::move(col));
+  return ZoneTraceSet(std::move(names), std::move(series));
+}
+
+ZoneTraceSet read_csv_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open: " + path);
+  return read_csv(f);
+}
+
+}  // namespace redspot

@@ -1,0 +1,85 @@
+// Spot-price time series.
+//
+// Mirrors the paper's data model (Section 5): the spot price of one
+// availability zone sampled on a fixed 5-minute grid, piecewise-constant
+// between samples. All policies and the billing ledger observe prices only
+// through this interface, so a real EC2 price history dropped in via CSV is
+// interchangeable with the synthetic generator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/money.hpp"
+#include "common/time.hpp"
+
+namespace redspot {
+
+/// Piecewise-constant price series on a fixed sampling grid.
+class PriceSeries {
+ public:
+  PriceSeries() = default;
+
+  /// `start` must be aligned to `step`; `samples` non-empty.
+  PriceSeries(SimTime start, Duration step, std::vector<Money> samples);
+
+  SimTime start() const { return start_; }
+  /// One past the last covered instant: start + step * size.
+  SimTime end() const {
+    return start_ + step_ * static_cast<std::int64_t>(samples_.size());
+  }
+  Duration step() const { return step_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Price in effect at instant `t`. Requires start() <= t < end().
+  Money at(SimTime t) const {
+    return samples_[index_of(t)];
+  }
+
+  /// Sample by index.
+  Money sample(std::size_t i) const {
+    REDSPOT_CHECK(i < samples_.size());
+    return samples_[i];
+  }
+
+  std::span<const Money> samples() const { return samples_; }
+
+  /// Index of the sample covering `t`. Requires start() <= t < end().
+  std::size_t index_of(SimTime t) const {
+    REDSPOT_CHECK_MSG(t >= start_ && t < end(),
+                      "t=" << t << " outside [" << start_ << "," << end()
+                           << ")");
+    return static_cast<std::size_t>((t - start_) / step_);
+  }
+
+  /// Time at which sample `i` takes effect.
+  SimTime time_of(std::size_t i) const {
+    REDSPOT_CHECK(i < samples_.size());
+    return start_ + step_ * static_cast<std::int64_t>(i);
+  }
+
+  /// First instant strictly after `t` where the price differs from the
+  /// price at `t`; kNever if the price never changes again in this series.
+  SimTime next_change(SimTime t) const;
+
+  /// Minimum price over the whole series.
+  Money min_price() const;
+  /// Maximum price over the whole series.
+  Money max_price() const;
+
+  /// Sub-series covering [from, to); bounds are clamped to the series span
+  /// and aligned outward to the sampling grid. Requires a non-empty result.
+  PriceSeries window(SimTime from, SimTime to) const;
+
+  /// Samples as doubles (for statistics / VAR).
+  std::vector<double> to_doubles() const;
+
+ private:
+  SimTime start_ = 0;
+  Duration step_ = kPriceStep;
+  std::vector<Money> samples_;
+};
+
+}  // namespace redspot

@@ -1,0 +1,104 @@
+#include "trace/resample.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+PriceSeries resample_events(std::vector<PriceEvent> events, SimTime start,
+                            SimTime end, Duration step) {
+  REDSPOT_CHECK(!events.empty());
+  REDSPOT_CHECK(step > 0);
+  REDSPOT_CHECK(start < end);
+  std::stable_sort(events.begin(), events.end(),
+                   [](const PriceEvent& a, const PriceEvent& b) {
+                     return a.time < b.time;
+                   });
+  const SimTime grid_start = start - (start % step) - (start % step < 0 ? step : 0);
+  const auto num_steps =
+      static_cast<std::size_t>((end - grid_start + step - 1) / step);
+  REDSPOT_CHECK(num_steps > 0);
+
+  std::vector<Money> samples(num_steps);
+  std::size_t next_event = 0;
+  Money current = events.front().price;  // backfill before the first event
+  for (std::size_t i = 0; i < num_steps; ++i) {
+    const SimTime t = grid_start + static_cast<SimTime>(i) * step;
+    while (next_event < events.size() && events[next_event].time <= t) {
+      current = events[next_event].price;
+      ++next_event;
+    }
+    samples[i] = current;
+  }
+  return PriceSeries(grid_start, step, std::move(samples));
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("event CSV line " + std::to_string(line) + ": " +
+                           what);
+}
+
+}  // namespace
+
+ZoneTraceSet read_event_csv(std::istream& is, Duration step) {
+  std::string line;
+  if (!std::getline(is, line)) fail(1, "missing header");
+  if (line != "time,zone,price")
+    fail(1, "header must be 'time,zone,price'");
+
+  std::vector<std::string> zone_order;
+  std::map<std::string, std::vector<PriceEvent>> events;
+  SimTime min_time = kNever;
+  SimTime max_time = 0;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::size_t c1 = line.find(',');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos : line.find(',', c1 + 1);
+    if (c2 == std::string::npos) fail(line_no, "expected 3 fields");
+    SimTime t;
+    try {
+      t = std::stoll(line.substr(0, c1));
+    } catch (const std::exception&) {
+      fail(line_no, "bad time");
+    }
+    const std::string zone = line.substr(c1 + 1, c2 - c1 - 1);
+    if (zone.empty()) fail(line_no, "empty zone name");
+    Money price;
+    try {
+      price = Money::parse(line.substr(c2 + 1));
+    } catch (const CheckFailure&) {
+      fail(line_no, "bad price");
+    }
+    if (events.find(zone) == events.end()) zone_order.push_back(zone);
+    events[zone].push_back(PriceEvent{t, price});
+    min_time = std::min(min_time, t);
+    max_time = std::max(max_time, t);
+  }
+  if (zone_order.empty()) fail(line_no, "no events");
+
+  const SimTime start = min_time - (min_time % step);
+  const SimTime end = max_time + step;
+  std::vector<PriceSeries> series;
+  series.reserve(zone_order.size());
+  for (const std::string& zone : zone_order)
+    series.push_back(resample_events(events[zone], start, end, step));
+  return ZoneTraceSet(zone_order, std::move(series));
+}
+
+ZoneTraceSet read_event_csv_file(const std::string& path, Duration step) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open: " + path);
+  return read_event_csv(f, step);
+}
+
+}  // namespace redspot

@@ -1,0 +1,49 @@
+// Importing real spot-price histories.
+//
+// AWS's DescribeSpotPriceHistory returns irregular (timestamp, price)
+// change events per zone, not a fixed grid. This module resamples such
+// event streams onto the simulator's 5-minute piecewise-constant grid —
+// the exact preprocessing the paper applies to its 12-month history
+// ("the state of spot prices in all zones is sampled at a 5-minute
+// interval").
+//
+// Event CSV format (one header line, then one row per price change):
+//   time,zone,price
+//   0,us-east-1a,0.27
+//   4812,us-east-1b,0.31
+// Times are seconds since an arbitrary epoch; rows need not be sorted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/money.hpp"
+#include "common/time.hpp"
+#include "trace/zone_traces.hpp"
+
+namespace redspot {
+
+/// One observed price change.
+struct PriceEvent {
+  SimTime time = 0;
+  Money price;
+};
+
+/// Resamples a zone's change events onto a fixed grid covering
+/// [grid-aligned start, end). The price at a grid instant is the price of
+/// the latest event at or before it; instants before the first event take
+/// the first event's price (backfill). Requires at least one event and
+/// start < end.
+PriceSeries resample_events(std::vector<PriceEvent> events, SimTime start,
+                            SimTime end, Duration step = kPriceStep);
+
+/// Parses an event CSV (see file comment) and resamples every zone onto
+/// the common grid spanning all observed events. Zones are ordered by
+/// first appearance. Throws std::runtime_error with a line-numbered
+/// message on malformed input.
+ZoneTraceSet read_event_csv(std::istream& is, Duration step = kPriceStep);
+ZoneTraceSet read_event_csv_file(const std::string& path,
+                                 Duration step = kPriceStep);
+
+}  // namespace redspot

@@ -1,0 +1,36 @@
+#include "trace/windows.hpp"
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+std::vector<SimTime> experiment_starts(SimTime window_start,
+                                       SimTime window_end,
+                                       Duration experiment_span,
+                                       Duration history_span,
+                                       std::size_t count) {
+  REDSPOT_CHECK(count > 0);
+  REDSPOT_CHECK(experiment_span > 0);
+  const SimTime first = window_start + history_span;
+  const SimTime last = window_end - experiment_span;
+  REDSPOT_CHECK_MSG(first <= last,
+                    "window too small for one experiment: window=["
+                        << window_start << "," << window_end << ") span="
+                        << experiment_span << " history=" << history_span);
+  std::vector<SimTime> starts;
+  starts.reserve(count);
+  if (count == 1) {
+    starts.push_back(price_step_floor(first));
+    return starts;
+  }
+  const double stride = static_cast<double>(last - first) /
+                        static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    const SimTime t =
+        first + static_cast<SimTime>(stride * static_cast<double>(i));
+    starts.push_back(price_step_floor(t));
+  }
+  return starts;
+}
+
+}  // namespace redspot

@@ -1,0 +1,30 @@
+// Experiment-window extraction.
+//
+// Section 5: "We run 80 experiments over partially overlapping chunks in
+// each spot price window." Given an evaluation window (e.g. March 2013) and
+// the span one experiment may need (deadline D plus bootstrap history),
+// this module produces the evenly spaced, overlapping experiment start
+// times.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace redspot {
+
+/// Start times for `count` experiments inside [window_start, window_end),
+/// each needing `experiment_span` of trace after its start and
+/// `history_span` of trace before it (for Markov/Adaptive bootstrap).
+/// Starts are evenly spaced (overlapping when count * span exceeds the
+/// window) and each start is aligned down to the 5-minute price grid.
+///
+/// Requires the window to fit at least one experiment.
+std::vector<SimTime> experiment_starts(SimTime window_start,
+                                       SimTime window_end,
+                                       Duration experiment_span,
+                                       Duration history_span,
+                                       std::size_t count);
+
+}  // namespace redspot

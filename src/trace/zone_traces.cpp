@@ -1,0 +1,62 @@
+#include "trace/zone_traces.hpp"
+
+namespace redspot {
+
+ZoneTraceSet::ZoneTraceSet(std::vector<std::string> zone_names,
+                           std::vector<PriceSeries> series)
+    : names_(std::move(zone_names)), series_(std::move(series)) {
+  REDSPOT_CHECK(!series_.empty());
+  REDSPOT_CHECK(names_.size() == series_.size());
+  for (const PriceSeries& s : series_) {
+    REDSPOT_CHECK_MSG(s.start() == series_[0].start() &&
+                          s.step() == series_[0].step() &&
+                          s.size() == series_[0].size(),
+                      "zone series are not aligned");
+  }
+}
+
+const std::string& ZoneTraceSet::zone_name(std::size_t zone) const {
+  REDSPOT_CHECK(zone < names_.size());
+  return names_[zone];
+}
+
+const PriceSeries& ZoneTraceSet::zone(std::size_t zone) const {
+  REDSPOT_CHECK(zone < series_.size());
+  return series_[zone];
+}
+
+SimTime ZoneTraceSet::start() const {
+  REDSPOT_CHECK(!series_.empty());
+  return series_[0].start();
+}
+
+SimTime ZoneTraceSet::end() const {
+  REDSPOT_CHECK(!series_.empty());
+  return series_[0].end();
+}
+
+Duration ZoneTraceSet::step() const {
+  REDSPOT_CHECK(!series_.empty());
+  return series_[0].step();
+}
+
+ZoneTraceSet ZoneTraceSet::window(SimTime from, SimTime to) const {
+  std::vector<PriceSeries> sub;
+  sub.reserve(series_.size());
+  for (const PriceSeries& s : series_) sub.push_back(s.window(from, to));
+  return ZoneTraceSet(names_, std::move(sub));
+}
+
+ZoneTraceSet ZoneTraceSet::select_zones(
+    const std::vector<std::size_t>& zones) const {
+  std::vector<std::string> names;
+  std::vector<PriceSeries> series;
+  for (std::size_t z : zones) {
+    REDSPOT_CHECK(z < series_.size());
+    names.push_back(names_[z]);
+    series.push_back(series_[z]);
+  }
+  return ZoneTraceSet(std::move(names), std::move(series));
+}
+
+}  // namespace redspot

@@ -1,0 +1,46 @@
+// Multi-zone trace set.
+//
+// The paper runs against the three CC2 availability zones of US-East
+// (Section 3.1); a ZoneTraceSet bundles one aligned PriceSeries per zone.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/price_series.hpp"
+
+namespace redspot {
+
+/// Aligned per-zone price series sharing start, step, and length.
+class ZoneTraceSet {
+ public:
+  ZoneTraceSet() = default;
+
+  /// All series must share start/step/size; names one per series.
+  ZoneTraceSet(std::vector<std::string> zone_names,
+               std::vector<PriceSeries> series);
+
+  std::size_t num_zones() const { return series_.size(); }
+  const std::string& zone_name(std::size_t zone) const;
+  const PriceSeries& zone(std::size_t zone) const;
+
+  SimTime start() const;
+  SimTime end() const;
+  Duration step() const;
+
+  /// Price of `zone` at instant `t`.
+  Money price(std::size_t zone, SimTime t) const { return this->zone(zone).at(t); }
+
+  /// Sub-window across all zones, [from, to).
+  ZoneTraceSet window(SimTime from, SimTime to) const;
+
+  /// Subset of zones, in the given order (zone indices into this set).
+  ZoneTraceSet select_zones(const std::vector<std::size_t>& zones) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<PriceSeries> series_;
+};
+
+}  // namespace redspot

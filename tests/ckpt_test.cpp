@@ -1,0 +1,160 @@
+// Unit tests for Daly's interval, the checkpoint store and the cost model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "app/application.hpp"
+#include "ckpt/cost_model.hpp"
+#include "ckpt/daly.hpp"
+#include "ckpt/store.hpp"
+#include "common/check.hpp"
+
+namespace redspot {
+namespace {
+
+TEST(Daly, MatchesClosedFormHandComputation) {
+  // delta = 300, M = 3600: tau = sqrt(2*300*3600)(1 + sqrt(r)/3 + r/9) - 300
+  // with r = 300/7200.
+  const double delta = 300.0, m = 3600.0, r = delta / (2 * m);
+  const double expected =
+      std::sqrt(2 * delta * m) * (1 + std::sqrt(r) / 3 + r / 9) - delta;
+  EXPECT_NEAR(static_cast<double>(daly_interval(300, 3600)), expected, 1.0);
+}
+
+TEST(Daly, DegenerateBranchReturnsMtbf) {
+  // delta >= 2M: checkpointing cannot keep up; tau = M.
+  EXPECT_EQ(daly_interval(900, 400), 400);
+  EXPECT_EQ(daly_interval(900, 450), 450);
+}
+
+TEST(Daly, MonotoneInMtbf) {
+  Duration prev = 0;
+  for (Duration m : {kHour, 2 * kHour, 6 * kHour, kDay, 7 * kDay}) {
+    const Duration tau = daly_interval(300, m);
+    EXPECT_GT(tau, prev);
+    prev = tau;
+  }
+}
+
+TEST(Daly, LargerCheckpointCostGivesLargerInterval) {
+  EXPECT_GT(daly_interval(900, kDay), daly_interval(300, kDay));
+}
+
+TEST(Daly, AtLeastOneSecond) {
+  EXPECT_GE(daly_interval(1, 1), 1);
+  EXPECT_THROW(daly_interval(0, 100), CheckFailure);
+  EXPECT_THROW(daly_interval(100, 0), CheckFailure);
+}
+
+TEST(Daly, HigherOrderExceedsYoung) {
+  // Daly's correction terms are positive, so daly >= young.
+  for (Duration m : {kHour, 6 * kHour, kDay}) {
+    EXPECT_GE(daly_interval(300, m), young_interval(300, m));
+  }
+}
+
+TEST(Daly, IntervalNearEfficiencyOptimum) {
+  // Property: Daly's interval should (approximately) maximize the
+  // first-order efficiency model; perturbing it by 25% must not help.
+  for (Duration m : {kHour, 4 * kHour, kDay}) {
+    const Duration tau = daly_interval(300, m);
+    const double at_tau = checkpoint_efficiency(tau, 300, 300, m);
+    const double lower =
+        checkpoint_efficiency(std::max<Duration>(1, tau / 2), 300, 300, m);
+    const double higher = checkpoint_efficiency(tau * 2, 300, 300, m);
+    EXPECT_GE(at_tau, lower * 0.999);
+    EXPECT_GE(at_tau, higher * 0.999);
+  }
+}
+
+TEST(Efficiency, BoundsAndDegradation) {
+  const double e = checkpoint_efficiency(3300, 300, 300, kDay);
+  EXPECT_GT(e, 0.0);
+  EXPECT_LT(e, 1.0);
+  // Shorter MTBF means lower efficiency at the same interval.
+  EXPECT_LT(checkpoint_efficiency(3300, 300, 300, kHour),
+            checkpoint_efficiency(3300, 300, 300, kDay));
+  EXPECT_THROW(checkpoint_efficiency(0, 300, 300, kHour), CheckFailure);
+}
+
+// --- CheckpointStore ----------------------------------------------------------
+
+TEST(Store, StartsEmpty) {
+  CheckpointStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.count(), 0u);
+  EXPECT_EQ(store.latest_progress(), 0);
+}
+
+TEST(Store, CommitsAdvanceProgress) {
+  CheckpointStore store;
+  store.commit(100, 50);
+  store.commit(200, 120);
+  EXPECT_EQ(store.count(), 2u);
+  EXPECT_EQ(store.latest_progress(), 120);
+  EXPECT_EQ(store.all()[0].committed_at, 100);
+}
+
+TEST(Store, ProgressNeverRegresses) {
+  CheckpointStore store;
+  store.commit(100, 120);
+  store.commit(200, 50);  // a lagging replica's checkpoint
+  EXPECT_EQ(store.latest_progress(), 120);
+  EXPECT_EQ(store.count(), 2u);
+}
+
+TEST(Store, RejectsTimeTravel) {
+  CheckpointStore store;
+  store.commit(100, 10);
+  EXPECT_THROW(store.commit(99, 20), CheckFailure);
+  EXPECT_NO_THROW(store.commit(100, 20));  // same instant is fine
+}
+
+TEST(Store, RejectsNegativeProgress) {
+  CheckpointStore store;
+  EXPECT_THROW(store.commit(0, -1), CheckFailure);
+}
+
+// --- Cost model ----------------------------------------------------------------
+
+TEST(CostModel, PaperPresets) {
+  EXPECT_EQ(CheckpointCosts::low().checkpoint, 300);
+  EXPECT_EQ(CheckpointCosts::low().restart, 300);
+  EXPECT_EQ(CheckpointCosts::high().checkpoint, 900);
+}
+
+TEST(CostModel, CostsFromIo) {
+  // 150 GiB at 0.25 GiB/s = 600 s transfer + 100 s overhead.
+  const CheckpointCosts c = costs_from_io(150.0, 0.25, 100);
+  EXPECT_EQ(c.checkpoint, 700);
+  EXPECT_EQ(c.restart, 700);
+  EXPECT_THROW(costs_from_io(1.0, 0.0, 0), CheckFailure);
+  EXPECT_THROW(costs_from_io(-1.0, 1.0, 0), CheckFailure);
+}
+
+// --- Application model -----------------------------------------------------------
+
+TEST(App, IterationAlignment) {
+  const AppModel app{"x", 1000, 30, 1};
+  EXPECT_EQ(iteration_aligned(app, 0), 0);
+  EXPECT_EQ(iteration_aligned(app, 29), 0);
+  EXPECT_EQ(iteration_aligned(app, 30), 30);
+  EXPECT_EQ(iteration_aligned(app, 89), 60);
+  EXPECT_THROW(iteration_aligned(app, -1), CheckFailure);
+}
+
+TEST(App, PaperDefault) {
+  const AppModel app = AppModel::paper_default();
+  EXPECT_EQ(app.total_compute, 20 * kHour);
+  EXPECT_EQ(app.iteration_time, 1);
+}
+
+TEST(App, PresetsAreConsistent) {
+  EXPECT_GT(weather_preset().model.total_compute, 0);
+  EXPECT_EQ(cfd_preset().costs.checkpoint, cfd_preset().costs.restart);
+  EXPECT_GT(cfd_preset().costs.checkpoint, 600);  // the high-t_c regime
+  EXPECT_LT(montecarlo_preset().costs.checkpoint, 300);
+}
+
+}  // namespace
+}  // namespace redspot

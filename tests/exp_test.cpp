@@ -1,0 +1,141 @@
+// Unit tests for the experiment harness: scenarios, sweep runners and
+// report formatting.
+#include <gtest/gtest.h>
+
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "test_util.hpp"
+#include "trace/calendar.hpp"
+#include "trace/synthetic.hpp"
+
+namespace redspot {
+namespace {
+
+using testing::constant_series;
+using testing::make_market;
+
+TEST(Scenario, WindowsMapToCalendarMonths) {
+  EXPECT_EQ(window_start(VolatilityWindow::kLow),
+            month_start(kLowVolatilityMonth));
+  EXPECT_EQ(window_end(VolatilityWindow::kHigh),
+            month_end(kHighVolatilityMonth));
+  EXPECT_EQ(to_string(VolatilityWindow::kLow), "low-volatility");
+}
+
+TEST(Scenario, StartsFitInsideWindowWithHistory) {
+  const Scenario scenario{VolatilityWindow::kLow, 0.50, 900, 80};
+  const auto starts = scenario.starts();
+  ASSERT_EQ(starts.size(), 80u);
+  const Experiment probe = scenario.experiment(0);
+  EXPECT_GE(starts.front(),
+            window_start(VolatilityWindow::kLow) + probe.history_span -
+                kPriceStep);
+  EXPECT_LE(starts.back() + probe.deadline,
+            window_end(VolatilityWindow::kLow) + kPriceStep);
+}
+
+TEST(Scenario, ExperimentsParameterizedCorrectly) {
+  const Scenario scenario{VolatilityWindow::kHigh, 0.15, 900, 10};
+  const Experiment e = scenario.experiment(3);
+  EXPECT_EQ(e.app.total_compute, 20 * kHour);
+  EXPECT_EQ(e.deadline, 23 * kHour);
+  EXPECT_EQ(e.costs.checkpoint, 900);
+  // Distinct chunks get distinct seeds (queue delays decorrelate).
+  EXPECT_NE(scenario.experiment(3).seed, scenario.experiment(4).seed);
+  EXPECT_THROW(scenario.experiment(10), CheckFailure);
+}
+
+TEST(Scenario, PaperGridHasEightCells) {
+  const auto cells = paper_scenarios();
+  EXPECT_EQ(cells.size(), 8u);
+  for (const Scenario& s : cells) EXPECT_EQ(s.num_experiments, 80u);
+  EXPECT_FALSE(cells[0].label().empty());
+}
+
+TEST(Sweep, FixedSweepRunsEveryChunk) {
+  const SpotMarket market =
+      make_market(testing::single_zone(constant_series(0.30, 40 * 24 * 12)));
+  Scenario scenario{VolatilityWindow::kLow, 0.50, 300, 5};
+  // Shrink to the trace we built: use a tiny custom scenario via the
+  // generic runner instead.
+  scenario.num_experiments = 5;
+  // This market's trace doesn't cover March 2013; build a scenario-free
+  // check instead through run_fixed_sweep on a market that does.
+  const SpotMarket paper_market(paper_traces(3), cc2_instance(),
+                                QueueDelayModel(QueueDelayParams::fixed(0)));
+  const auto results = run_fixed_sweep(
+      paper_market, scenario,
+      PolicyRunSpec{PolicyKind::kPeriodic, Money::cents(81), {0}});
+  ASSERT_EQ(results.size(), 5u);
+  for (const RunResult& r : results) {
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.met_deadline);
+  }
+  const auto costs = checked_costs(results);
+  EXPECT_EQ(costs.size(), 5u);
+}
+
+TEST(Sweep, ParallelSweepIsDeterministic) {
+  const SpotMarket market(paper_traces(3), cc2_instance(),
+                          QueueDelayModel(QueueDelayParams::fixed(200)));
+  const Scenario scenario{VolatilityWindow::kHigh, 0.15, 300, 6};
+  const PolicyRunSpec spec{PolicyKind::kMarkovDaly, Money::cents(81), {1}};
+  const auto a = costs_of(run_fixed_sweep(market, scenario, spec));
+  const auto b = costs_of(run_fixed_sweep(market, scenario, spec));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sweep, MergedSingleZoneTriplesTheSample) {
+  const SpotMarket market(paper_traces(3), cc2_instance(),
+                          QueueDelayModel(QueueDelayParams::fixed(0)));
+  const Scenario scenario{VolatilityWindow::kLow, 0.50, 300, 4};
+  const auto merged = merged_single_zone_costs(
+      market, scenario, PolicyKind::kPeriodic, Money::cents(81));
+  EXPECT_EQ(merged.size(), 12u);  // 3 zones x 4 chunks
+}
+
+TEST(Sweep, BestCaseRedundancyIsElementwiseMin) {
+  const SpotMarket market(paper_traces(3), cc2_instance(),
+                          QueueDelayModel(QueueDelayParams::fixed(0)));
+  const Scenario scenario{VolatilityWindow::kHigh, 0.15, 300, 4};
+  const PolicyKind policies[] = {PolicyKind::kPeriodic,
+                                 PolicyKind::kMarkovDaly};
+  const auto best = best_case_redundancy_costs(market, scenario, policies,
+                                               Money::cents(81));
+  ASSERT_EQ(best.size(), 4u);
+  std::vector<std::size_t> zones{0, 1, 2};
+  for (PolicyKind p : policies) {
+    const auto single = costs_of(run_fixed_sweep(
+        market, scenario, PolicyRunSpec{p, Money::cents(81), zones}));
+    for (std::size_t i = 0; i < best.size(); ++i)
+      EXPECT_LE(best[i], single[i] + 1e-9);
+  }
+}
+
+TEST(Report, BoxplotTableContainsEverything) {
+  std::vector<BoxRow> rows;
+  rows.push_back(make_box_row("periodic", std::vector<double>{1, 2, 3, 4}));
+  const std::string table = boxplot_table(
+      "Demo", rows, Money::dollars(48.0), Money::dollars(5.40));
+  EXPECT_NE(table.find("Demo"), std::string::npos);
+  EXPECT_NE(table.find("periodic"), std::string::npos);
+  EXPECT_NE(table.find("$48.00"), std::string::npos);
+  EXPECT_NE(table.find("$5.40"), std::string::npos);
+  EXPECT_NE(table.find("median"), std::string::npos);
+}
+
+TEST(Report, MakeBoxRowRejectsEmpty) {
+  EXPECT_THROW(make_box_row("x", std::vector<double>{}), CheckFailure);
+}
+
+TEST(Report, TwoColumnTableAligns) {
+  const std::vector<std::pair<std::string, std::string>> rows = {
+      {"a", "1"}, {"longer-name", "2"}};
+  const std::string t = two_column_table("T", rows);
+  EXPECT_NE(t.find("longer-name"), std::string::npos);
+  EXPECT_NE(t.find("== T =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace redspot

@@ -1,0 +1,224 @@
+// Unit tests for the price-state Markov model and expected-uptime solvers
+// (Appendix B of the paper).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/random.hpp"
+#include "markov/model.hpp"
+#include "markov/uptime.hpp"
+#include "test_util.hpp"
+#include "trace/synthetic.hpp"
+
+namespace redspot {
+namespace {
+
+using testing::constant_series;
+using testing::step_series;
+
+PriceSeries series_of(std::vector<double> prices) {
+  std::vector<Money> samples;
+  samples.reserve(prices.size());
+  for (double p : prices) samples.push_back(Money::dollars(p));
+  return PriceSeries(0, kPriceStep, std::move(samples));
+}
+
+// --- Model building -----------------------------------------------------------
+
+TEST(MarkovModel, StatesAreDistinctSortedPrices) {
+  const MarkovModel m =
+      build_markov_model(series_of({0.3, 0.5, 0.3, 0.5, 0.7}));
+  ASSERT_EQ(m.num_states(), 3u);
+  EXPECT_DOUBLE_EQ(m.state_prices[0], 0.3);
+  EXPECT_DOUBLE_EQ(m.state_prices[1], 0.5);
+  EXPECT_DOUBLE_EQ(m.state_prices[2], 0.7);
+}
+
+TEST(MarkovModel, RowsAreStochastic) {
+  Rng rng(55);
+  std::vector<double> prices(500);
+  for (auto& p : prices)
+    p = 0.3 + 0.1 * static_cast<double>(rng.uniform_index(5));
+  const MarkovModel m = build_markov_model(series_of(prices));
+  for (std::size_t r = 0; r < m.num_states(); ++r) {
+    double row = 0.0;
+    for (std::size_t c = 0; c < m.num_states(); ++c) {
+      EXPECT_GE(m.trans(r, c), 0.0);
+      row += m.trans(r, c);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+}
+
+TEST(MarkovModel, TransitionCountsWithoutSmoothing) {
+  // 0.3 -> 0.3 -> 0.5 -> 0.3: from 0.3: one self, one to 0.5.
+  const MarkovModel m =
+      build_markov_model(series_of({0.3, 0.3, 0.5, 0.3}), 32, 0.0);
+  EXPECT_DOUBLE_EQ(m.trans(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m.trans(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m.trans(1, 0), 1.0);
+}
+
+TEST(MarkovModel, TerminalStateGetsSelfLoop) {
+  // 0.9 is only observed as the last sample.
+  const MarkovModel m =
+      build_markov_model(series_of({0.3, 0.3, 0.9}), 32, 0.0);
+  EXPECT_DOUBLE_EQ(m.trans(1, 1), 1.0);
+}
+
+TEST(MarkovModel, QuantileBinningCapsStates) {
+  Rng rng(66);
+  std::vector<double> prices(2000);
+  for (auto& p : prices) p = rng.uniform(0.27, 3.0);  // ~2000 unique values
+  const MarkovModel m = build_markov_model(series_of(prices), 16);
+  EXPECT_LE(m.num_states(), 16u);
+  EXPECT_GE(m.num_states(), 8u);
+  // State prices remain sorted.
+  for (std::size_t i = 1; i < m.num_states(); ++i)
+    EXPECT_LT(m.state_prices[i - 1], m.state_prices[i]);
+}
+
+TEST(MarkovModel, StateOfPicksNearest) {
+  const MarkovModel m =
+      build_markov_model(series_of({0.3, 0.5, 0.3, 0.5}));
+  EXPECT_EQ(m.state_of(Money::dollars(0.31)), 0u);
+  EXPECT_EQ(m.state_of(Money::dollars(0.49)), 1u);
+  EXPECT_EQ(m.state_of(Money::dollars(9.0)), 1u);  // clamps to extreme
+}
+
+TEST(MarkovModel, MaxAliveState) {
+  const MarkovModel m =
+      build_markov_model(series_of({0.3, 0.5, 0.7, 0.3, 0.5, 0.7}));
+  EXPECT_EQ(m.max_alive_state(Money::dollars(0.55)), 1u);
+  EXPECT_EQ(m.max_alive_state(Money::dollars(0.70)), 2u);
+  EXPECT_EQ(m.max_alive_state(Money::dollars(0.10)), SIZE_MAX);
+}
+
+TEST(MarkovModel, SingleSampleHistoryDegeneratesToSelfLoop) {
+  const MarkovModel m = build_markov_model(constant_series(0.3, 1));
+  ASSERT_EQ(m.num_states(), 1u);
+  EXPECT_NEAR(m.trans(0, 0), 1.0, 1e-12);
+  EXPECT_EQ(expected_uptime(m, Money::dollars(0.3), Money::cents(81)),
+            kDefaultUptimeCap);
+}
+
+TEST(MarkovModel, ValidatesInput) {
+  EXPECT_THROW(build_markov_model(constant_series(0.3, 10), 1),
+               CheckFailure);
+  EXPECT_THROW(build_markov_model(constant_series(0.3, 10), 32, 1.0),
+               CheckFailure);
+}
+
+// --- Expected uptime -------------------------------------------------------------
+
+TEST(Uptime, ZeroWhenCurrentlyOutOfBid) {
+  const MarkovModel m = build_markov_model(series_of({0.3, 1.0, 0.3, 1.0}));
+  EXPECT_EQ(expected_uptime(m, Money::dollars(1.0), Money::cents(81)), 0);
+  EXPECT_EQ(expected_uptime_iterative(m, Money::dollars(1.0),
+                                      Money::cents(81)),
+            0);
+}
+
+TEST(Uptime, CapWhenBidAboveEverything) {
+  const MarkovModel m = build_markov_model(series_of({0.3, 0.4, 0.3, 0.4}));
+  EXPECT_EQ(expected_uptime(m, Money::dollars(0.3), Money::dollars(5.0)),
+            kDefaultUptimeCap);
+}
+
+TEST(Uptime, TwoStateChainMatchesGeometricFormula) {
+  // Build an exact two-state chain: stay alive with probability q, die
+  // with probability 1-q. Expected absorption time = 1/(1-q) steps.
+  MarkovModel m;
+  m.state_prices = {0.30, 1.00};
+  m.trans = Matrix{{0.9, 0.1}, {0.5, 0.5}};
+  m.step = kPriceStep;
+  const Duration e =
+      expected_uptime(m, Money::dollars(0.30), Money::cents(81));
+  EXPECT_NEAR(static_cast<double>(e), 10.0 * kPriceStep,
+              static_cast<double>(kPriceStep) * 0.01);
+}
+
+TEST(Uptime, IterativeMatchesClosedForm) {
+  // Property: the paper's iterative estimator and the fundamental-matrix
+  // solution agree on random chains.
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> prices(400);
+    double level = 0.4;
+    for (auto& p : prices) {
+      if (rng.bernoulli(0.1)) level = rng.uniform(0.3, 1.5);
+      p = std::round(level * 100.0) / 100.0;
+    }
+    const MarkovModel m = build_markov_model(series_of(prices), 24);
+    const Money cur = Money::dollars(prices.back());
+    const Money bid = Money::cents(81);
+    const Duration closed = expected_uptime(m, cur, bid);
+    const Duration iter = expected_uptime_iterative(m, cur, bid, 60000);
+    if (closed == kDefaultUptimeCap || iter == kDefaultUptimeCap) {
+      // Both must agree that the horizon is effectively unbounded.
+      EXPECT_GT(std::min(closed, iter),
+                kDefaultUptimeCap / 3);
+    } else {
+      EXPECT_NEAR(static_cast<double>(iter), static_cast<double>(closed),
+                  0.02 * static_cast<double>(closed) + 600.0);
+    }
+  }
+}
+
+TEST(Uptime, HigherBidNeverShortensUptime) {
+  const ZoneTraceSet traces = paper_traces(42);
+  const PriceSeries w = traces.zone(1).window(35 * kDay, 37 * kDay);
+  const MarkovModel m = build_markov_model(w);
+  const Money cur = w.sample(w.size() - 1);
+  Duration prev = 0;
+  for (Money bid = cur; bid <= Money::dollars(3.07);
+       bid += Money::cents(20)) {
+    const Duration e = expected_uptime(m, cur, bid);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Uptime, SmoothingPreventsClosedClassCap) {
+  // Two disjoint calm/high blocks: without smoothing the calm block is a
+  // closed class under a bid between them; with smoothing the estimate
+  // stays finite (below the cap).
+  std::vector<double> prices;
+  for (int i = 0; i < 100; ++i) prices.push_back(0.30);
+  for (int i = 0; i < 20; ++i) prices.push_back(2.00);
+  for (int i = 0; i < 100; ++i) prices.push_back(0.31);
+  const MarkovModel smoothed = build_markov_model(series_of(prices), 32,
+                                                  0.02);
+  const Duration e =
+      expected_uptime(smoothed, Money::dollars(0.31), Money::cents(81));
+  EXPECT_GT(e, 0);
+  EXPECT_LT(e, kDefaultUptimeCap);
+}
+
+TEST(Uptime, CombinedIsSumOfZones) {
+  const std::vector<Duration> per_zone{kHour, 2 * kHour, 30 * kMinute};
+  EXPECT_EQ(combined_expected_uptime(per_zone), 3 * kHour + 30 * kMinute);
+  EXPECT_EQ(combined_expected_uptime(std::vector<Duration>{}), 0);
+  EXPECT_THROW(combined_expected_uptime(std::vector<Duration>{-1}),
+               CheckFailure);
+}
+
+TEST(Uptime, MoreVolatileHistoryGivesShorterUptime) {
+  // A history that leaves the bid often must predict shorter uptime than
+  // one that rarely does.
+  std::vector<double> stable, flappy;
+  Rng rng(88);
+  for (int i = 0; i < 500; ++i) {
+    stable.push_back(rng.bernoulli(0.02) ? 1.0 : 0.30);
+    flappy.push_back(rng.bernoulli(0.3) ? 1.0 : 0.30);
+  }
+  const MarkovModel ms = build_markov_model(series_of(stable));
+  const MarkovModel mf = build_markov_model(series_of(flappy));
+  const Money cur = Money::dollars(0.30);
+  const Money bid = Money::cents(81);
+  EXPECT_GT(expected_uptime(ms, cur, bid), expected_uptime(mf, cur, bid));
+}
+
+}  // namespace
+}  // namespace redspot

@@ -1,0 +1,162 @@
+// Unit tests for the discrete-event simulation core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/simulation.hpp"
+
+namespace redspot {
+namespace {
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&order] { order.push_back(3); });
+  sim.schedule_at(10, [&order] { order.push_back(1); });
+  sim.schedule_at(20, [&order] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, FifoWithinTimestamp) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&order] { order.push_back(1); });
+  sim.schedule_at(5, [&order] { order.push_back(2); });
+  sim.schedule_at(5, [&order] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation sim(100);
+  SimTime fired_at = 0;
+  sim.schedule_in(25, [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, 125);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10, [&fired] { fired = true; });
+  EXPECT_TRUE(sim.pending(id));
+  sim.cancel(id);
+  EXPECT_FALSE(sim.pending(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelIsIdempotentAndSafeForUnknownIds) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(1, [] {});
+  sim.cancel(id);
+  sim.cancel(id);
+  sim.cancel(0);
+  sim.cancel(9999);
+  sim.run();
+}
+
+TEST(Simulation, EventsMayScheduleEvents) {
+  Simulation sim;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    ++chain;
+    if (chain < 5) sim.schedule_in(10, next);
+  };
+  sim.schedule_at(0, next);
+  sim.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Simulation, EventsMayCancelOtherEvents) {
+  Simulation sim;
+  bool second_fired = false;
+  const EventId second =
+      sim.schedule_at(20, [&second_fired] { second_fired = true; });
+  sim.schedule_at(10, [&sim, second] { sim.cancel(second); });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10, 20, 30, 40})
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  sim.run_until(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.now(), 25);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWhenEmpty) {
+  Simulation sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Simulation, RejectsSchedulingIntoThePast) {
+  Simulation sim(100);
+  EXPECT_THROW(sim.schedule_at(99, [] {}), CheckFailure);
+  EXPECT_NO_THROW(sim.schedule_at(100, [] {}));  // "now" is allowed
+}
+
+TEST(Simulation, RejectsNullCallback) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule_at(1, Simulation::Callback{}), CheckFailure);
+}
+
+TEST(Simulation, PendingCountAndExecutedCount) {
+  Simulation sim;
+  sim.schedule_at(1, [] {});
+  const EventId id = sim.schedule_at(2, [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_EQ(sim.executed_count(), 1u);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(3, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, EventAtCurrentInstantFromWithinEvent) {
+  // An event scheduled at "now" from inside a handler runs after it.
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] {
+    order.push_back(1);
+    sim.schedule_at(10, [&order] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulation, ManyEventsStressOrdering) {
+  Simulation sim;
+  std::vector<SimTime> fired;
+  // Interleaved scheduling; expect strictly non-decreasing firing times.
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = (i * 7919) % 5000;
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), 1000u);
+  for (std::size_t i = 1; i < fired.size(); ++i)
+    EXPECT_LE(fired[i - 1], fired[i]);
+}
+
+}  // namespace
+}  // namespace redspot

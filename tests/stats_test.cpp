@@ -1,0 +1,184 @@
+// Unit tests for descriptive statistics, histograms and time-series helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/random.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "stats/timeseries.hpp"
+
+namespace redspot {
+namespace {
+
+TEST(Descriptive, MeanVariance) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 32.0 / 7.0);  // sample variance
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(32.0 / 7.0));
+}
+
+TEST(Descriptive, SingleElement) {
+  const std::vector<double> xs{3.5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+  EXPECT_THROW(mean(std::vector<double>{}), CheckFailure);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> xs{3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+TEST(Descriptive, QuantileType7) {
+  // R's default (type 7) quantile on {1,2,3,4}: q(0.5)=2.5, q(0.25)=1.75.
+  const std::vector<double> xs{4, 1, 3, 2};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 3.25);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_THROW(quantile(xs, 1.5), CheckFailure);
+}
+
+TEST(Descriptive, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{5, 1, 3}), 3.0);
+}
+
+TEST(Descriptive, FiveNumberSummary) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const FiveNumberSummary s = five_number_summary(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_DOUBLE_EQ(s.q1, 25.75);
+  EXPECT_DOUBLE_EQ(s.q3, 75.25);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.iqr(), 49.5);
+  EXPECT_FALSE(s.str().empty());
+}
+
+TEST(Descriptive, RunningStatsMatchesBatch) {
+  Rng rng(5);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-8);
+  EXPECT_DOUBLE_EQ(rs.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_of(xs));
+  EXPECT_EQ(rs.count(), 500u);
+}
+
+TEST(Descriptive, RunningStatsEmptyAndOne) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(7.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, BinsCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinBounds) {
+  Histogram h(1.0, 3.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 1.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 2.5);
+  EXPECT_THROW(h.bin_lo(4), CheckFailure);
+}
+
+TEST(Histogram, AsciiContainsBars) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.25);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find("##########"), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), CheckFailure);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckFailure);
+}
+
+// --- Time series --------------------------------------------------------------
+
+TEST(TimeSeries, AutocorrelationLagZeroIsOne) {
+  const std::vector<double> xs{1, 3, 2, 5, 4, 6};
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 0), 1.0);
+}
+
+TEST(TimeSeries, AutocorrelationOfConstantIsZero) {
+  const std::vector<double> xs(10, 4.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 1), 0.0);
+}
+
+TEST(TimeSeries, AutocorrelationOfPersistentSeriesIsHigh) {
+  // AR(1) with phi = 0.95 has lag-1 autocorrelation near 0.95.
+  Rng rng(77);
+  std::vector<double> xs(5000);
+  double x = 0.0;
+  for (auto& v : xs) {
+    x = 0.95 * x + rng.normal();
+    v = x;
+  }
+  EXPECT_GT(autocorrelation(xs, 1), 0.9);
+  EXPECT_LT(autocorrelation(xs, 1), 1.0);
+}
+
+TEST(TimeSeries, WhiteNoiseAutocorrelationNearZero) {
+  Rng rng(78);
+  std::vector<double> xs(5000);
+  for (auto& v : xs) v = rng.normal();
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.05);
+}
+
+TEST(TimeSeries, FirstDifference) {
+  const std::vector<double> xs{1, 4, 9, 16};
+  const std::vector<double> d = first_difference(xs);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 7.0);
+  EXPECT_TRUE(first_difference(std::vector<double>{1}).empty());
+}
+
+TEST(TimeSeries, Aic) {
+  EXPECT_DOUBLE_EQ(aic(-10.0, 3), 26.0);
+  // VAR AIC: ln|Sigma| + 2 p K^2 / T.
+  EXPECT_DOUBLE_EQ(var_aic(-2.0, 2, 3, 100), -2.0 + 2.0 * 18.0 / 100.0);
+  EXPECT_THROW(var_aic(0.0, 1, 3, 0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace redspot

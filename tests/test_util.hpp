@@ -1,0 +1,82 @@
+// Shared helpers for the redspot test suite: hand-built price traces with
+// exact shapes, markets with deterministic queue delays, and engine-run
+// shortcuts.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/policy.hpp"
+#include "core/strategy.hpp"
+#include "market/spot_market.hpp"
+#include "trace/zone_traces.hpp"
+
+namespace redspot::testing {
+
+/// A one-zone series holding `price` for `steps` samples from t = 0.
+inline PriceSeries constant_series(double price, std::size_t steps,
+                                   SimTime start = 0) {
+  return PriceSeries(start, kPriceStep,
+                     std::vector<Money>(steps, Money::dollars(price)));
+}
+
+/// Builds a series from (price, hold_steps) segments.
+inline PriceSeries step_series(
+    std::initializer_list<std::pair<double, std::size_t>> segments,
+    SimTime start = 0) {
+  std::vector<Money> samples;
+  for (const auto& [price, steps] : segments) {
+    samples.insert(samples.end(), steps, Money::dollars(price));
+  }
+  return PriceSeries(start, kPriceStep, std::move(samples));
+}
+
+/// One-zone trace set.
+inline ZoneTraceSet single_zone(PriceSeries series) {
+  std::vector<PriceSeries> v;
+  v.push_back(std::move(series));
+  return ZoneTraceSet({"test-zone"}, std::move(v));
+}
+
+/// Multi-zone trace set from aligned series.
+inline ZoneTraceSet zones(std::vector<PriceSeries> series) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < series.size(); ++i)
+    names.push_back("z" + std::to_string(i));
+  return ZoneTraceSet(std::move(names), std::move(series));
+}
+
+/// Market with a FIXED queue delay (default 0 — instances materialize
+/// instantly, which makes hand-computed billing exact).
+inline SpotMarket make_market(ZoneTraceSet traces, Duration queue_delay = 0) {
+  return SpotMarket(std::move(traces), cc2_instance(),
+                    QueueDelayModel(QueueDelayParams::fixed(queue_delay)));
+}
+
+/// Runs one fixed-config experiment and returns the result.
+inline RunResult run_fixed(const SpotMarket& market,
+                           const Experiment& experiment, PolicyKind policy,
+                           Money bid, std::vector<std::size_t> zone_ids,
+                           EngineOptions options = {}) {
+  FixedStrategy strategy(bid, std::move(zone_ids), make_policy(policy));
+  Engine engine(market, experiment, strategy, options);
+  return engine.run();
+}
+
+/// A small experiment: C hours of compute, slack fraction, t_c = t_r.
+inline Experiment small_experiment(double compute_hours, double slack_frac,
+                                   Duration tc, SimTime start = 0) {
+  Experiment e;
+  e.app = AppModel{"test-app", hours(compute_hours), 1, 8};
+  e.costs = CheckpointCosts{tc, tc};
+  e.start = start;
+  e.deadline = hours(compute_hours * (1.0 + slack_frac));
+  e.history_span = 2 * kHour;
+  e.validate();
+  return e;
+}
+
+}  // namespace redspot::testing

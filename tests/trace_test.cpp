@@ -1,0 +1,486 @@
+// Unit tests for the trace substrate: series, trace sets, calendar, CSV
+// I/O, experiment windows, availability analysis, the synthetic generator
+// and the VAR analysis.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "stats/descriptive.hpp"
+#include "test_util.hpp"
+#include "trace/availability.hpp"
+#include "trace/calendar.hpp"
+#include "trace/csv_io.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/var.hpp"
+#include "trace/windows.hpp"
+
+namespace redspot {
+namespace {
+
+using testing::constant_series;
+using testing::step_series;
+using testing::single_zone;
+
+// --- PriceSeries ---------------------------------------------------------------
+
+TEST(PriceSeries, BasicAccessors) {
+  const PriceSeries s = constant_series(0.27, 12);
+  EXPECT_EQ(s.start(), 0);
+  EXPECT_EQ(s.end(), 12 * kPriceStep);
+  EXPECT_EQ(s.size(), 12u);
+  EXPECT_EQ(s.at(0), Money::dollars(0.27));
+  EXPECT_EQ(s.at(12 * kPriceStep - 1), Money::dollars(0.27));
+  EXPECT_THROW(s.at(12 * kPriceStep), CheckFailure);
+  EXPECT_THROW(s.at(-1), CheckFailure);
+}
+
+TEST(PriceSeries, PiecewiseConstantLookup) {
+  const PriceSeries s = step_series({{0.30, 2}, {0.50, 2}});
+  EXPECT_EQ(s.at(0), Money::dollars(0.30));
+  EXPECT_EQ(s.at(kPriceStep * 2 - 1), Money::dollars(0.30));
+  EXPECT_EQ(s.at(kPriceStep * 2), Money::dollars(0.50));
+}
+
+TEST(PriceSeries, IndexTimeRoundTrip) {
+  const PriceSeries s = constant_series(1.0, 5, 10 * kPriceStep);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(s.index_of(s.time_of(i)), i);
+    EXPECT_EQ(s.index_of(s.time_of(i) + kPriceStep - 1), i);
+  }
+}
+
+TEST(PriceSeries, NextChange) {
+  const PriceSeries s = step_series({{0.30, 3}, {0.50, 2}, {0.50, 1}});
+  EXPECT_EQ(s.next_change(0), 3 * kPriceStep);
+  EXPECT_EQ(s.next_change(3 * kPriceStep), kNever);  // constant to the end
+}
+
+TEST(PriceSeries, MinMax) {
+  const PriceSeries s = step_series({{0.30, 1}, {2.5, 1}, {0.27, 1}});
+  EXPECT_EQ(s.min_price(), Money::dollars(0.27));
+  EXPECT_EQ(s.max_price(), Money::dollars(2.5));
+}
+
+TEST(PriceSeries, WindowClampsToBounds) {
+  const PriceSeries s = step_series({{0.3, 4}, {0.6, 4}});
+  const PriceSeries w = s.window(-100, 100 * kPriceStep);
+  EXPECT_EQ(w.start(), s.start());
+  EXPECT_EQ(w.end(), s.end());
+  const PriceSeries mid = s.window(2 * kPriceStep, 6 * kPriceStep);
+  EXPECT_EQ(mid.size(), 4u);
+  EXPECT_EQ(mid.at(2 * kPriceStep), Money::dollars(0.3));
+  EXPECT_EQ(mid.at(4 * kPriceStep), Money::dollars(0.6));
+  EXPECT_THROW(s.window(5, 5), CheckFailure);
+}
+
+TEST(PriceSeries, WindowUnalignedEndCoversTo) {
+  const PriceSeries s = constant_series(1.0, 10);
+  // `to` in the middle of a step: the covering sample must be included.
+  const PriceSeries w = s.window(0, kPriceStep + 10);
+  EXPECT_GE(w.end(), kPriceStep + 10);
+}
+
+TEST(PriceSeries, ValidatesConstruction) {
+  EXPECT_THROW(PriceSeries(0, kPriceStep, {}), CheckFailure);
+  EXPECT_THROW(PriceSeries(7, kPriceStep, {Money()}), CheckFailure);
+  EXPECT_THROW(PriceSeries(0, 0, {Money()}), CheckFailure);
+}
+
+TEST(PriceSeries, ToDoubles) {
+  const PriceSeries s = step_series({{0.27, 1}, {0.81, 1}});
+  const std::vector<double> d = s.to_doubles();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 0.27);
+  EXPECT_DOUBLE_EQ(d[1], 0.81);
+}
+
+// --- ZoneTraceSet ---------------------------------------------------------------
+
+TEST(ZoneTraceSet, AlignmentIsEnforced) {
+  std::vector<PriceSeries> misaligned;
+  misaligned.push_back(constant_series(0.3, 4));
+  misaligned.push_back(constant_series(0.3, 5));
+  EXPECT_THROW(ZoneTraceSet({"a", "b"}, std::move(misaligned)),
+               CheckFailure);
+}
+
+TEST(ZoneTraceSet, AccessAndSelect) {
+  const ZoneTraceSet traces = testing::zones(
+      {constant_series(0.3, 4), constant_series(0.5, 4),
+       constant_series(0.7, 4)});
+  EXPECT_EQ(traces.num_zones(), 3u);
+  EXPECT_EQ(traces.price(1, 0), Money::dollars(0.5));
+  EXPECT_EQ(traces.zone_name(2), "z2");
+  const ZoneTraceSet sub = traces.select_zones({2, 0});
+  EXPECT_EQ(sub.num_zones(), 2u);
+  EXPECT_EQ(sub.price(0, 0), Money::dollars(0.7));
+  EXPECT_THROW(traces.select_zones({5}), CheckFailure);
+}
+
+TEST(ZoneTraceSet, Window) {
+  const ZoneTraceSet traces =
+      testing::zones({constant_series(0.3, 10), constant_series(0.5, 10)});
+  const ZoneTraceSet w = traces.window(2 * kPriceStep, 4 * kPriceStep);
+  EXPECT_EQ(w.num_zones(), 2u);
+  EXPECT_EQ(w.zone(0).size(), 2u);
+}
+
+// --- Calendar ---------------------------------------------------------------------
+
+TEST(Calendar, MonthLengths) {
+  EXPECT_EQ(days_in_month(0), 31);   // Dec 2012
+  EXPECT_EQ(days_in_month(2), 28);   // Feb 2013 (not a leap year)
+  EXPECT_EQ(days_in_month(13), 31);  // Jan 2014
+  EXPECT_THROW(days_in_month(14), CheckFailure);
+}
+
+TEST(Calendar, MonthBoundariesAreContiguous) {
+  for (std::size_t m = 0; m + 1 < kTraceMonths; ++m)
+    EXPECT_EQ(month_end(m), month_start(m + 1));
+  EXPECT_EQ(month_start(0), 0);
+  EXPECT_EQ(trace_span(), month_end(kTraceMonths - 1));
+}
+
+TEST(Calendar, NamedWindows) {
+  EXPECT_EQ(month_name(kLowVolatilityMonth), "Mar 2013");
+  EXPECT_EQ(month_name(kHighVolatilityMonth), "Jan 2013");
+}
+
+TEST(Calendar, DayStart) {
+  EXPECT_EQ(day_start(0, 1), 0);
+  EXPECT_EQ(day_start(0, 2), kDay);
+  EXPECT_THROW(day_start(0, 32), CheckFailure);
+  EXPECT_THROW(day_start(0, 0), CheckFailure);
+}
+
+// --- CSV I/O -----------------------------------------------------------------------
+
+TEST(CsvIo, RoundTrip) {
+  const ZoneTraceSet original = testing::zones(
+      {step_series({{0.27, 3}, {1.205, 2}}), step_series({{0.5, 5}})});
+  std::ostringstream out;
+  write_csv(out, original);
+  std::istringstream in(out.str());
+  const ZoneTraceSet parsed = read_csv(in);
+  ASSERT_EQ(parsed.num_zones(), 2u);
+  EXPECT_EQ(parsed.zone(0).size(), original.zone(0).size());
+  for (std::size_t i = 0; i < parsed.zone(0).size(); ++i) {
+    EXPECT_EQ(parsed.zone(0).sample(i), original.zone(0).sample(i));
+    EXPECT_EQ(parsed.zone(1).sample(i), original.zone(1).sample(i));
+  }
+  EXPECT_EQ(parsed.start(), original.start());
+  EXPECT_EQ(parsed.step(), original.step());
+}
+
+TEST(CsvIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW(read_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("not,a,header\n0,1,2\n");
+    EXPECT_THROW(read_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("time,a\n0,0.3\n");  // only one data row
+    EXPECT_THROW(read_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("time,a\n0,0.3\n300,0.3\n700,0.3\n");  // irregular
+    EXPECT_THROW(read_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("time,a\n0,0.3\n300,zebra\n");
+    EXPECT_THROW(read_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("time,a\n0,0.3,0.4\n300,0.3\n");  // extra field
+    EXPECT_THROW(read_csv(in), std::runtime_error);
+  }
+}
+
+// --- Windows ------------------------------------------------------------------------
+
+TEST(Windows, EvenlySpacedAndInBounds) {
+  const SimTime w0 = 0, w1 = 30 * kDay;
+  const Duration span = 30 * kHour, history = 2 * kDay;
+  const auto starts = experiment_starts(w0, w1, span, history, 80);
+  ASSERT_EQ(starts.size(), 80u);
+  EXPECT_GE(starts.front(), w0 + history - kPriceStep);
+  EXPECT_LE(starts.back() + span, w1 + kPriceStep);
+  for (std::size_t i = 1; i < starts.size(); ++i)
+    EXPECT_GT(starts[i], starts[i - 1]);
+  for (SimTime t : starts) EXPECT_EQ(t % kPriceStep, 0);
+}
+
+TEST(Windows, SingleExperiment) {
+  const auto starts = experiment_starts(0, 10 * kDay, kDay, kDay, 1);
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_EQ(starts[0], kDay);
+}
+
+TEST(Windows, RejectsWindowTooSmall) {
+  EXPECT_THROW(experiment_starts(0, kDay, kDay, kDay, 2), CheckFailure);
+  EXPECT_THROW(experiment_starts(0, kDay, kDay, 0, 0), CheckFailure);
+}
+
+// --- Availability --------------------------------------------------------------------
+
+TEST(Availability, SegmentsMergeAdjacentStatus) {
+  const PriceSeries s =
+      step_series({{0.3, 2}, {0.3, 2}, {1.0, 2}, {0.3, 2}});
+  const auto segs =
+      availability_segments(s, Money::cents(81), 0, s.end());
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_TRUE(segs[0].up);
+  EXPECT_EQ(segs[0].length(), 4 * kPriceStep);
+  EXPECT_FALSE(segs[1].up);
+  EXPECT_TRUE(segs[2].up);
+}
+
+TEST(Availability, FractionExact) {
+  const PriceSeries s = step_series({{0.3, 3}, {1.0, 1}});
+  EXPECT_DOUBLE_EQ(availability_fraction(s, Money::cents(81), 0, s.end()),
+                   0.75);
+  // Bid at exactly the price counts as up (B >= S).
+  EXPECT_DOUBLE_EQ(availability_fraction(s, Money::dollars(0.30), 0, s.end()),
+                   0.75);
+  EXPECT_DOUBLE_EQ(availability_fraction(s, Money::dollars(0.29), 0, s.end()),
+                   0.0);
+}
+
+TEST(Availability, CombinedIsAnyUp) {
+  const ZoneTraceSet traces = testing::zones({
+      step_series({{0.3, 1}, {1.0, 1}, {1.0, 1}, {1.0, 1}}),
+      step_series({{1.0, 1}, {0.3, 1}, {1.0, 1}, {1.0, 1}}),
+  });
+  const Money bid = Money::cents(81);
+  EXPECT_DOUBLE_EQ(combined_availability(traces, bid, 0, traces.end()), 0.5);
+  EXPECT_DOUBLE_EQ(mean_zones_up(traces, bid, 0, traces.end()), 0.5);
+  const auto segs = combined_segments(traces, bid, 0, traces.end());
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_TRUE(segs[0].up);
+  EXPECT_EQ(segs[0].length(), 2 * kPriceStep);
+}
+
+TEST(Availability, CombinedNeverBelowBestSingle) {
+  const ZoneTraceSet traces = paper_traces(11).window(0, 7 * kDay);
+  for (Money bid : {Money::cents(47), Money::cents(81)}) {
+    double best = 0.0;
+    for (std::size_t z = 0; z < traces.num_zones(); ++z)
+      best = std::max(best, availability_fraction(traces.zone(z), bid, 0,
+                                                  traces.end()));
+    EXPECT_GE(combined_availability(traces, bid, 0, traces.end()),
+              best - 1e-12);
+  }
+}
+
+TEST(Availability, AsciiBar) {
+  const PriceSeries s = step_series({{0.3, 2}, {1.0, 2}});
+  const auto segs = availability_segments(s, Money::cents(81), 0, s.end());
+  EXPECT_EQ(ascii_bar(segs, kPriceStep), "##..");
+}
+
+// --- Synthetic generator ---------------------------------------------------------------
+
+TEST(Synthetic, DeterministicBySeed) {
+  const ZoneTraceSet a = paper_traces(5);
+  const ZoneTraceSet b = paper_traces(5);
+  for (std::size_t z = 0; z < a.num_zones(); ++z)
+    for (std::size_t i = 0; i < 2000; ++i)
+      EXPECT_EQ(a.zone(z).sample(i), b.zone(z).sample(i));
+}
+
+TEST(Synthetic, SeedsProduceDifferentPaths) {
+  const ZoneTraceSet a = paper_traces(5);
+  const ZoneTraceSet b = paper_traces(6);
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < 2000; ++i)
+    if (a.zone(0).sample(i) != b.zone(0).sample(i)) ++diffs;
+  EXPECT_GT(diffs, 100u);
+}
+
+TEST(Synthetic, ZonesAreDistinct) {
+  const ZoneTraceSet t = paper_traces(5);
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < 2000; ++i)
+    if (t.zone(0).sample(i) != t.zone(1).sample(i)) ++diffs;
+  EXPECT_GT(diffs, 100u);
+}
+
+TEST(Synthetic, RespectsFloorAndSpikeCeiling) {
+  const ZoneTraceSet t = paper_traces(7);
+  const Money floor = Money::cents(27);
+  const Money forced = Money::dollars(20.02);
+  for (std::size_t z = 0; z < t.num_zones(); ++z) {
+    EXPECT_GE(t.zone(z).min_price(), floor);
+    EXPECT_LE(t.zone(z).max_price(), forced);
+  }
+}
+
+TEST(Synthetic, CoversFullCalendar) {
+  const ZoneTraceSet t = paper_traces(5);
+  EXPECT_EQ(t.start(), 0);
+  EXPECT_EQ(t.end(), trace_span());
+}
+
+TEST(Synthetic, ForcedSpikeIsPresent) {
+  const ZoneTraceSet t = paper_traces(42);
+  const SimTime spike_mid =
+      day_start(kLowVolatilityMonth, 13) + 18 * kHour + 4 * kHour;
+  EXPECT_EQ(t.price(0, spike_mid), Money::dollars(20.02));
+  // Only zone 0 spikes.
+  EXPECT_LT(t.price(1, spike_mid), Money::dollars(3.06));
+  // Before and after, zone 0 is calm again.
+  EXPECT_LT(t.price(0, spike_mid - 6 * kHour), Money::dollars(3.06));
+  EXPECT_LT(t.price(0, spike_mid + 7 * kHour), Money::dollars(3.06));
+}
+
+TEST(Synthetic, LowVolatilityWindowMatchesPaperStatistics) {
+  const ZoneTraceSet t = paper_traces(42);
+  // Zones 1 and 2 carry no forced spike; their March 2013 stats must sit
+  // in the paper's band: mean ~$0.30, variance < ~0.015.
+  for (std::size_t z : {std::size_t{1}, std::size_t{2}}) {
+    const PriceSeries w = t.zone(z).window(month_start(kLowVolatilityMonth),
+                                           month_end(kLowVolatilityMonth));
+    const std::vector<double> xs = w.to_doubles();
+    EXPECT_NEAR(mean(xs), 0.30, 0.04);
+    // The paper reports var < 0.01 for March 2013 yet also reports spikes
+    // in that window; our generator keeps the variance small but honest
+    // about the spikes (see DESIGN.md).
+    EXPECT_LT(variance(xs), 0.03);
+  }
+}
+
+TEST(Synthetic, HighVolatilityWindowMatchesPaperStatistics) {
+  const ZoneTraceSet t = paper_traces(42);
+  const SimTime from = month_start(kHighVolatilityMonth);
+  const SimTime to = month_end(kHighVolatilityMonth);
+  double prev_mean = 0.0;
+  for (std::size_t z = 0; z < 3; ++z) {
+    const std::vector<double> xs = t.zone(z).window(from, to).to_doubles();
+    const double m = mean(xs);
+    EXPECT_GT(m, 0.55);
+    EXPECT_LT(m, 1.45);
+    EXPECT_GT(m, prev_mean);  // zone means ascend, like $0.70/$0.90/$1.12
+    prev_mean = m;
+    EXPECT_GT(variance(xs), 0.2);  // genuinely volatile
+  }
+}
+
+TEST(Synthetic, PricesArePiecewiseConstant) {
+  // Published prices must hold between changes: consecutive-sample change
+  // frequency well below 1 (Rising Edge depends on this).
+  const ZoneTraceSet t = paper_traces(42);
+  const PriceSeries w = t.zone(1).window(month_start(kLowVolatilityMonth),
+                                         month_end(kLowVolatilityMonth));
+  std::size_t changes = 0;
+  for (std::size_t i = 1; i < w.size(); ++i)
+    if (w.sample(i) != w.sample(i - 1)) ++changes;
+  EXPECT_LT(static_cast<double>(changes) / static_cast<double>(w.size()),
+            0.25);
+}
+
+TEST(Synthetic, GeneratorValidatesSpec) {
+  SyntheticTraceSpec spec = paper_trace_spec(1);
+  spec.params[0].pop_back();  // ragged params row
+  EXPECT_THROW(generate_traces(spec), CheckFailure);
+  SyntheticTraceSpec empty = paper_trace_spec(1);
+  empty.params.clear();
+  EXPECT_THROW(generate_traces(empty), CheckFailure);
+}
+
+// --- VAR ---------------------------------------------------------------------------------
+
+TEST(Var, RecoversDiagonalAr1) {
+  // Two independent AR(1) series: cross coefficients must be near zero and
+  // own coefficients near the true phi.
+  Rng rng(31);
+  std::vector<std::vector<double>> series(2, std::vector<double>(4000));
+  double x = 0.0, y = 0.0;
+  for (std::size_t i = 0; i < 4000; ++i) {
+    x = 0.8 * x + rng.normal();
+    y = 0.6 * y + rng.normal();
+    series[0][i] = x;
+    series[1][i] = y;
+  }
+  const VarFit fit = fit_var(series, 1);
+  EXPECT_NEAR(fit.coefficients[0](0, 0), 0.8, 0.05);
+  EXPECT_NEAR(fit.coefficients[0](1, 1), 0.6, 0.05);
+  EXPECT_NEAR(fit.coefficients[0](0, 1), 0.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[0](1, 0), 0.0, 0.05);
+
+  const CrossZoneEffects effects = cross_zone_effects(fit);
+  EXPECT_GT(effects.within_to_cross_ratio, 5.0);
+}
+
+TEST(Var, DetectsCrossDependence) {
+  // y depends on lagged x: the cross coefficient must be recovered.
+  Rng rng(37);
+  std::vector<std::vector<double>> series(2, std::vector<double>(4000));
+  double x = 0.0, y = 0.0;
+  for (std::size_t i = 0; i < 4000; ++i) {
+    const double nx = 0.5 * x + rng.normal();
+    y = 0.3 * y + 0.4 * x + rng.normal();
+    x = nx;
+    series[0][i] = x;
+    series[1][i] = y;
+  }
+  const VarFit fit = fit_var(series, 1);
+  EXPECT_NEAR(fit.coefficients[0](1, 0), 0.4, 0.07);
+}
+
+TEST(Var, AicPrefersTrueLagOrder) {
+  // AR(2) process: AIC at lag >= 2 must beat lag 1.
+  Rng rng(41);
+  std::vector<std::vector<double>> series(1, std::vector<double>(6000));
+  double x1 = 0.0, x2 = 0.0;
+  for (std::size_t i = 0; i < 6000; ++i) {
+    const double x = 0.5 * x1 - 0.4 * x2 + rng.normal();
+    x2 = x1;
+    x1 = x;
+    series[0][i] = x;
+  }
+  const VarFit best = fit_var_aic(series, 4);
+  EXPECT_GE(best.lag_order, 2u);
+}
+
+TEST(Var, EffectiveSamplesAndShapes) {
+  Rng rng(43);
+  std::vector<std::vector<double>> series(3, std::vector<double>(500));
+  for (auto& s : series)
+    for (auto& v : s) v = rng.normal();
+  const VarFit fit = fit_var(series, 2);
+  EXPECT_EQ(fit.effective_samples, 498u);
+  EXPECT_EQ(fit.coefficients.size(), 2u);
+  EXPECT_EQ(fit.coefficients[0].rows(), 3u);
+  EXPECT_EQ(fit.intercept.size(), 3u);
+  EXPECT_EQ(fit.residual_cov.rows(), 3u);
+}
+
+TEST(Var, RejectsBadInput) {
+  std::vector<std::vector<double>> tiny(2, std::vector<double>(4));
+  EXPECT_THROW(fit_var(tiny, 2), CheckFailure);
+  EXPECT_THROW(fit_var({}, 1), CheckFailure);
+}
+
+TEST(Var, ToSeriesExtractsZones) {
+  const ZoneTraceSet traces =
+      testing::zones({constant_series(0.3, 5), constant_series(0.5, 5)});
+  const auto series = to_series(traces);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[1][0], 0.5);
+}
+
+TEST(Var, PaperTracesShowNearIndependentZones) {
+  // The headline Section 3.1 property on one month of synthetic data.
+  const ZoneTraceSet month = paper_traces(42).window(
+      month_start(kHighVolatilityMonth), month_end(kHighVolatilityMonth));
+  const VarFit fit = fit_var(to_series(month), 2);
+  const CrossZoneEffects effects = cross_zone_effects(fit);
+  EXPECT_GT(effects.within_to_cross_ratio, 10.0);
+}
+
+}  // namespace
+}  // namespace redspot

@@ -1,0 +1,209 @@
+// redspot_sim — command-line front end for the simulator.
+//
+// Runs one policy configuration (or Adaptive, or Large-bid) over a
+// scenario sweep and prints the cost distribution, or a single run with
+// its full timeline.
+//
+//   redspot_sim [options]
+//     --window low|high          volatility window        [high]
+//     --slack F                  slack fraction of C      [0.15]
+//     --tc SECONDS               checkpoint=restart cost  [300]
+//     --policy NAME              periodic|markov-daly|rising-edge|
+//                                threshold|adaptive|large-bid  [adaptive]
+//     --bid DOLLARS              bid price (fixed policies)    [0.81]
+//     --threshold DOLLARS        L for large-bid               [0.81]
+//     --zones LIST               e.g. 0,1,2 (fixed policies)   [0]
+//     --experiments N            sweep size; 1 = single run    [20]
+//     --chunk I                  chunk index for a single run  [0]
+//     --seed S                   trace generator seed          [42]
+//     --notice SECONDS           Appendix-A termination notice [0]
+//     --trace FILE.csv           fixed-grid trace instead of synthetic
+//     --events FILE.csv          raw change-event trace (resampled)
+//     --timeline                 print the run timeline (single run)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/adaptive/adaptive_runner.hpp"
+#include "core/engine.hpp"
+#include "core/policies/large_bid.hpp"
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "market/spot_market.hpp"
+#include "trace/csv_io.hpp"
+#include "trace/resample.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace redspot;
+
+namespace {
+
+struct Args {
+  VolatilityWindow window = VolatilityWindow::kHigh;
+  double slack = 0.15;
+  Duration tc = 300;
+  std::string policy = "adaptive";
+  Money bid = Money::cents(81);
+  Money threshold = Money::cents(81);
+  std::vector<std::size_t> zones{0};
+  std::size_t experiments = 20;
+  std::size_t chunk = 0;
+  std::uint64_t seed = 42;
+  Duration notice = 0;
+  std::string trace_file;
+  std::string events_file;
+  bool timeline = false;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "redspot_sim: %s (see the header of "
+                       "tools/redspot_sim.cpp for options)\n",
+               msg);
+  std::exit(2);
+}
+
+std::vector<std::size_t> parse_zones(const std::string& s) {
+  std::vector<std::size_t> zones;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    zones.push_back(std::strtoull(s.c_str() + pos, nullptr, 10));
+    const std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (zones.empty()) usage("bad --zones");
+  return zones;
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) usage("missing option value");
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string opt = argv[i];
+    if (opt == "--window") {
+      const std::string v = need(i++);
+      if (v == "low") {
+        a.window = VolatilityWindow::kLow;
+      } else if (v == "high") {
+        a.window = VolatilityWindow::kHigh;
+      } else {
+        usage("--window must be low or high");
+      }
+    } else if (opt == "--slack") {
+      a.slack = std::strtod(need(i++), nullptr);
+    } else if (opt == "--tc") {
+      a.tc = std::strtoll(need(i++), nullptr, 10);
+    } else if (opt == "--policy") {
+      a.policy = need(i++);
+    } else if (opt == "--bid") {
+      a.bid = Money::parse(need(i++));
+    } else if (opt == "--threshold") {
+      a.threshold = Money::parse(need(i++));
+    } else if (opt == "--zones") {
+      a.zones = parse_zones(need(i++));
+    } else if (opt == "--experiments") {
+      a.experiments = std::strtoull(need(i++), nullptr, 10);
+    } else if (opt == "--chunk") {
+      a.chunk = std::strtoull(need(i++), nullptr, 10);
+    } else if (opt == "--seed") {
+      a.seed = std::strtoull(need(i++), nullptr, 10);
+    } else if (opt == "--notice") {
+      a.notice = std::strtoll(need(i++), nullptr, 10);
+    } else if (opt == "--trace") {
+      a.trace_file = need(i++);
+    } else if (opt == "--events") {
+      a.events_file = need(i++);
+    } else if (opt == "--timeline") {
+      a.timeline = true;
+    } else {
+      usage(("unknown option " + opt).c_str());
+    }
+  }
+  return a;
+}
+
+std::unique_ptr<Strategy> make_strategy(const Args& a) {
+  if (a.policy == "adaptive") return std::make_unique<AdaptiveStrategy>();
+  if (a.policy == "large-bid") {
+    return std::make_unique<FixedStrategy>(
+        LargeBidPolicy::large_bid(), a.zones,
+        std::make_unique<LargeBidPolicy>(a.threshold));
+  }
+  for (PolicyKind kind :
+       {PolicyKind::kPeriodic, PolicyKind::kMarkovDaly,
+        PolicyKind::kRisingEdge, PolicyKind::kThreshold}) {
+    if (a.policy == to_string(kind))
+      return std::make_unique<FixedStrategy>(a.bid, a.zones,
+                                             make_policy(kind));
+  }
+  usage(("unknown policy " + a.policy).c_str());
+}
+
+void print_run(const RunResult& r, bool timeline) {
+  std::printf("cost %s (spot %s, on-demand %s)\n", r.total_cost.str().c_str(),
+              r.spot_cost.str().c_str(), r.on_demand_cost.str().c_str());
+  std::printf("checkpoints %d, restarts %d, out-of-bid %d, full outages %d, "
+              "config changes %d\n",
+              r.checkpoints_committed, r.restarts,
+              r.out_of_bid_terminations, r.full_outages, r.config_changes);
+  std::printf("%s, %s\n", r.completed ? "completed" : "INCOMPLETE",
+              r.met_deadline ? "met deadline" : "MISSED DEADLINE");
+  if (timeline) std::fputs(r.timeline_str().c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  ZoneTraceSet traces = !args.trace_file.empty()
+                            ? read_csv_file(args.trace_file)
+                        : !args.events_file.empty()
+                            ? read_event_csv_file(args.events_file)
+                            : paper_traces(args.seed);
+  SpotMarket market(std::move(traces), cc2_instance(), QueueDelayModel());
+
+  Scenario scenario{args.window, args.slack, args.tc,
+                    std::max<std::size_t>(args.experiments, 1)};
+
+  if (args.experiments <= 1) {
+    // Single-run mode: chunk indices address the paper's 80-chunk grid.
+    scenario.num_experiments = std::max<std::size_t>(args.chunk + 1, 80);
+    const Experiment e = scenario.experiment(args.chunk);
+    auto strategy = make_strategy(args);
+    EngineOptions options;
+    options.record_timeline = args.timeline;
+    options.termination_notice = args.notice;
+    Engine engine(market, e, *strategy, options);
+    print_run(engine.run(), args.timeline);
+    return 0;
+  }
+
+  std::vector<double> costs(scenario.num_experiments);
+  std::vector<RunResult> results(scenario.num_experiments);
+  for (std::size_t i = 0; i < scenario.num_experiments; ++i) {
+    auto strategy = make_strategy(args);
+    EngineOptions options;
+    options.termination_notice = args.notice;
+    Engine engine(market, scenario.experiment(i), *strategy, options);
+    results[i] = engine.run();
+    costs[i] = results[i].total_cost.to_double();
+  }
+  const BoxRow row = make_box_row(args.policy, costs);
+  std::fputs(boxplot_table("redspot_sim — " + scenario.label(),
+                           std::vector<BoxRow>{row}, Money::dollars(48.0),
+                           Money::dollars(5.40))
+                 .c_str(),
+             stdout);
+  int missed = 0;
+  for (const RunResult& r : results)
+    if (!r.met_deadline) ++missed;
+  std::printf("deadline misses: %d / %zu\n", missed, results.size());
+  return 0;
+}
