@@ -38,6 +38,29 @@ void BM_EventCalendar(benchmark::State& state) {
 }
 BENCHMARK(BM_EventCalendar);
 
+void BM_EventCalendarCancelChurn(benchmark::State& state) {
+  // The engine's dominant calendar pattern: schedule a speculative event
+  // (deadline trigger, doom timer), cancel it, schedule the next. Without
+  // heap compaction the backlog grows with every cancel; with it the heap
+  // stays near the live-event count.
+  for (auto _ : state) {
+    Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < 100; ++i)
+      sim.schedule_at(1'000'000 + i, [&fired] { ++fired; });
+    for (int i = 0; i < 1000; ++i) {
+      const EventId id =
+          sim.schedule_at(2'000'000 + i, [&fired] { ++fired; });
+      sim.cancel(id);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+    benchmark::DoNotOptimize(sim.backlog());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventCalendarCancelChurn);
+
 void BM_EngineRunPeriodic(benchmark::State& state) {
   const SpotMarket& market = shared_market();
   const Scenario scenario{VolatilityWindow::kHigh, 0.15, 300, 80};

@@ -9,8 +9,38 @@ void CheckpointStore::commit(SimTime t, Duration progress) {
   if (!checkpoints_.empty())
     REDSPOT_CHECK_MSG(t >= checkpoints_.back().committed_at,
                       "checkpoint commits must not go back in time");
-  checkpoints_.push_back(Checkpoint{t, progress});
+  checkpoints_.push_back(Checkpoint{t, progress, true});
   best_progress_ = std::max(best_progress_, progress);
+}
+
+void CheckpointStore::invalidate_latest() {
+  for (std::size_t i = checkpoints_.size(); i-- > 0;) {
+    if (checkpoints_[i].valid) {
+      invalidate(i);
+      return;
+    }
+  }
+  REDSPOT_CHECK_MSG(false, "invalidate_latest on a store with no valid "
+                           "checkpoint");
+}
+
+void CheckpointStore::invalidate(std::size_t index) {
+  REDSPOT_CHECK(index < checkpoints_.size());
+  if (!checkpoints_[index].valid) return;
+  checkpoints_[index].valid = false;
+  recompute_best();
+}
+
+std::size_t CheckpointStore::valid_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(checkpoints_.begin(), checkpoints_.end(),
+                    [](const Checkpoint& c) { return c.valid; }));
+}
+
+void CheckpointStore::recompute_best() {
+  best_progress_ = 0;
+  for (const Checkpoint& c : checkpoints_)
+    if (c.valid) best_progress_ = std::max(best_progress_, c.progress);
 }
 
 }  // namespace redspot

@@ -5,6 +5,11 @@
 // checkpoint commits, any zone can restart from it. The store records the
 // sequence of committed checkpoints of one application run; "progress" is
 // the amount of uninterrupted compute time the checkpoint captures.
+//
+// Under fault injection a write can succeed but deliver bad data; the
+// engine validates every commit and rolls a corrupt one back through
+// invalidate_latest(), so latest_progress() only ever reflects verified
+// checkpoints — the property the deadline-guarantee margin depends on.
 #pragma once
 
 #include <cstddef>
@@ -19,9 +24,10 @@ namespace redspot {
 struct Checkpoint {
   SimTime committed_at = 0;  ///< when the checkpoint write finished
   Duration progress = 0;     ///< compute time captured
+  bool valid = true;         ///< false once invalidated (failed validation)
 };
 
-/// Durable, monotonically improving checkpoint sequence.
+/// Durable checkpoint sequence; progress is monotone over valid entries.
 class CheckpointStore {
  public:
   /// Records a checkpoint that finished writing at `t`, capturing
@@ -30,15 +36,33 @@ class CheckpointStore {
   /// regress `latest_progress()`.
   void commit(SimTime t, Duration progress);
 
-  /// Progress of the best committed checkpoint; 0 when none exists
+  /// Rolls back the most recent still-valid checkpoint (post-write
+  /// validation caught a corrupt image): marks it invalid and recomputes
+  /// the best progress over the remaining valid entries, falling back to
+  /// the previous good checkpoint. Requires at least one valid entry.
+  void invalidate_latest();
+
+  /// Invalidates the checkpoint at `index` in all(). No-op when already
+  /// invalid.
+  void invalidate(std::size_t index);
+
+  /// Progress of the best valid checkpoint; 0 when none exists
   /// (restart = start from the beginning).
   Duration latest_progress() const { return best_progress_; }
 
   std::size_t count() const { return checkpoints_.size(); }
+  /// Number of entries that are still valid.
+  std::size_t valid_count() const;
+  /// Number of entries rolled back by validation.
+  std::size_t invalidated_count() const {
+    return checkpoints_.size() - valid_count();
+  }
   bool empty() const { return checkpoints_.empty(); }
   const std::vector<Checkpoint>& all() const { return checkpoints_; }
 
  private:
+  void recompute_best();
+
   std::vector<Checkpoint> checkpoints_;
   Duration best_progress_ = 0;
 };

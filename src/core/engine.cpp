@@ -25,7 +25,8 @@ Engine::Engine(const SpotMarket& market, Experiment experiment,
       strategy_(&strategy),
       options_(options),
       sim_(experiment.start),
-      queue_rng_(experiment.seed, kQueueStream) {
+      queue_rng_(experiment.seed, kQueueStream),
+      injector_(options.faults, experiment.seed) {
   experiment_.validate();
   REDSPOT_CHECK_MSG(market.trace_start() <= experiment_.start,
                     "trace starts after the experiment");
@@ -171,6 +172,8 @@ RunResult Engine::run() {
   result_.total_cost = ledger_.total();
   result_.spot_cost = ledger_.spot_total();
   result_.on_demand_cost = ledger_.on_demand_total();
+  result_.committed_progress = store_.latest_progress();
+  result_.checkpoint_log = store_.all();
   if (options_.record_line_items) result_.line_items = ledger_.items();
   return result_;
 }
@@ -209,7 +212,8 @@ void Engine::on_price_tick() {
           if (options_.termination_notice > 0 &&
               (zone.state == ZoneState::kRunning ||
                zone.state == ZoneState::kCheckpointing)) {
-            on_termination_notice(z);
+            deliver_termination_notice(z);
+            if (zone.state == ZoneState::kDown) terminated_any = true;
           } else {
             terminate_out_of_bid(z);
             terminated_any = true;
@@ -266,6 +270,7 @@ void Engine::request_instance(std::size_t zone) {
   REDSPOT_CHECK(z.state == ZoneState::kWaiting ||
                 z.state == ZoneState::kDown);
   z.state = ZoneState::kQueued;
+  z.request_attempts = 0;
   const Duration delay = market_->sample_queue_delay(queue_rng_);
   result_.queue_delay_total += delay;
   z.ready_event =
@@ -286,6 +291,23 @@ void Engine::on_instance_ready(std::size_t zone) {
     terminate_out_of_bid(zone);
     return;
   }
+  if (injector_.request_rejected()) {
+    // EC2 "insufficient capacity": the request is rejected at fulfilment.
+    // Retry with exponential backoff + jitter, then re-queue; the zone
+    // stays kQueued (no instance, nothing billed) throughout.
+    ++result_.faults.request_rejections;
+    ++z.request_attempts;
+    const Duration backoff = injector_.backoff_delay(z.request_attempts);
+    result_.faults.backoff_total += backoff;
+    const Duration requeue = market_->sample_queue_delay(queue_rng_);
+    result_.queue_delay_total += requeue;
+    z.ready_event = sim_.schedule_in(
+        backoff + requeue, [this, zone] { on_instance_ready(zone); });
+    record(now(), zone, TimelineKind::kRequestRejected,
+           "retry-in=" + format_duration(backoff + requeue));
+    return;
+  }
+  z.request_attempts = 0;
   ledger_.spot_started(zone, now(), rate);
   z.instance_start = now();
   z.cycle_event = sim_.schedule_at(ledger_.cycle_end(zone),
@@ -317,6 +339,22 @@ void Engine::on_restart_done(std::size_t zone) {
   ZoneRt& z = rt(zone);
   z.restart_event = 0;
   REDSPOT_CHECK(z.state == ZoneState::kRestarting);
+  if (injector_.restart_fails()) {
+    // The load failed. Retry from the newest verified checkpoint (it may
+    // have advanced while this load was in flight), paying t_r again; a
+    // store with nothing left to load degrades to a from-scratch start.
+    ++result_.faults.restart_failures;
+    record(now(), zone, TimelineKind::kRestartFailed);
+    z.restart_target = store_.latest_progress();
+    if (z.restart_target > 0) {
+      z.restart_event = sim_.schedule_in(
+          experiment_.costs.restart, [this, zone] { on_restart_done(zone); });
+      record(now(), zone, TimelineKind::kRestartStart, "retry");
+      return;
+    }
+    start_computing(zone, 0);
+    return;
+  }
   ++result_.restarts;
   record(now(), zone, TimelineKind::kRestartDone);
   start_computing(zone, z.restart_target);
@@ -388,26 +426,52 @@ void Engine::start_checkpoint(std::optional<std::size_t> target) {
          "progress=" + format_duration(ckpt_value_));
 }
 
-void Engine::commit_in_flight_checkpoint() {
+bool Engine::commit_in_flight_checkpoint() {
   REDSPOT_CHECK(ckpt_in_flight_);
   sim_.cancel(ckpt_done_event_);
   ckpt_done_event_ = 0;
   ckpt_in_flight_ = false;
+  // Validate the finished write against the fault plan before publishing
+  // it. Either failure mode leaves latest_progress() untouched, keeping
+  // P_c monotone — the deadline margin's precondition — and re-arms the
+  // deadline trigger, which may have been waiting on this write.
+  if (injector_.checkpoint_write_fails(now())) {
+    ++result_.faults.ckpt_write_failures;
+    record(now(), ckpt_zone_, TimelineKind::kCheckpointFailed,
+           injector_.store_unreachable(now()) ? "store-outage" : "io-error");
+    reschedule_deadline_trigger();
+    return false;
+  }
+  if (injector_.checkpoint_corrupts()) {
+    // The write "succeeded" but post-write validation finds a corrupt
+    // image: roll the commit back to the previous good checkpoint.
+    store_.commit(now(), ckpt_value_);
+    store_.invalidate_latest();
+    ++result_.faults.ckpt_corruptions;
+    record(now(), ckpt_zone_, TimelineKind::kCheckpointCorrupt,
+           "progress=" + format_duration(ckpt_value_));
+    reschedule_deadline_trigger();
+    return false;
+  }
   store_.commit(now(), ckpt_value_);
   ++result_.checkpoints_committed;
   record(now(), ckpt_zone_, TimelineKind::kCheckpointDone,
          "progress=" + format_duration(ckpt_value_));
   reschedule_deadline_trigger();
+  return true;
 }
 
 void Engine::on_checkpoint_done() {
   const std::size_t zone = ckpt_zone_;
-  commit_in_flight_checkpoint();
+  const bool committed = commit_in_flight_checkpoint();
 
   // The checkpointing zone resumes computing from its frozen progress.
   start_computing(zone, rt(zone).progress_base);
 
   // Algorithm 1 lines 19-25: waiting zones restart from this checkpoint.
+  // A failed commit gives them nothing new to load — they keep waiting
+  // for the next verified one (or for reconcile() on a full outage).
+  if (!committed) return;
   for (std::size_t z : config_.zones) {
     if (rt(z).state == ZoneState::kWaiting) request_instance(z);
   }
@@ -429,17 +493,47 @@ void Engine::cancel_zone_events(ZoneRt& z) {
   z.doomed = false;
 }
 
-// Appendix-A variant: the market warns before terminating. The doomed zone
-// keeps computing through the notice; an emergency checkpoint lands exactly
-// at the termination instant when the notice can fit one.
-void Engine::on_termination_notice(std::size_t zone) {
+// Appendix-A variant: the market warns before terminating. The fault plan
+// can drop the notice (abrupt 2013-style kill) or deliver it late, which
+// shrinks the usable warning; the kill instant itself never moves.
+void Engine::deliver_termination_notice(std::size_t zone) {
+  if (injector_.notice_dropped()) {
+    ++result_.faults.notices_dropped;
+    record(now(), zone, TimelineKind::kNoticeDropped);
+    terminate_out_of_bid(zone);
+    return;
+  }
+  const Duration lag = injector_.notice_lag(options_.termination_notice);
+  if (lag <= 0) {
+    on_termination_notice(zone, options_.termination_notice);
+    return;
+  }
+  // Late notice: the zone is already doomed (the price crossed the bid
+  // now) but the engine only learns at now + lag, with the remaining
+  // warning shortened accordingly.
   ZoneRt& z = rt(zone);
   z.doomed = true;
-  const SimTime doom_at = now() + options_.termination_notice;
+  ++result_.faults.notices_late;
+  const Duration warning = options_.termination_notice - lag;
+  z.doom_event = sim_.schedule_in(lag, [this, zone, warning] {
+    ZoneRt& late = rt(zone);
+    late.doom_event = 0;
+    if (done_ || !zone_active(late)) return;
+    on_termination_notice(zone, warning);
+  });
+}
+
+// The doomed zone keeps computing through the notice; an emergency
+// checkpoint lands exactly at the termination instant when the remaining
+// warning can fit one (warning >= t_c).
+void Engine::on_termination_notice(std::size_t zone, Duration warning) {
+  ZoneRt& z = rt(zone);
+  z.doomed = true;
+  const SimTime doom_at = now() + warning;
   z.doom_event =
       sim_.schedule_at(doom_at, [this, zone] { on_doom(zone); });
   record(now(), zone, TimelineKind::kOutOfBid,
-         "notice=" + format_duration(options_.termination_notice));
+         "notice=" + format_duration(warning));
   const SimTime ckpt_start = doom_at - experiment_.costs.checkpoint;
   if (ckpt_start >= now() && policy_checkpoint_allowed()) {
     z.emergency_ckpt_event = sim_.schedule_at(ckpt_start, [this, zone] {

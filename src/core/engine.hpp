@@ -24,6 +24,13 @@
 // if that zone dies mid-checkpoint. (The paper's line 11 uses the leading
 // progress directly; reserving the committed-progress margin makes the
 // guarantee robust to a failure at the switch instant — see DESIGN.md.)
+//
+// Under fault injection (EngineOptions::faults) P_c stays monotone because
+// every commit is validated before publication: a failed or corrupt write
+// leaves latest_progress() untouched (corrupt ones are rolled back via
+// CheckpointStore::invalidate_latest) and re-arms the deadline trigger, so
+// the reserved t_c still bounds the damage of the one write that can be in
+// flight when the margin runs out — see DESIGN.md §7 for the argument.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +42,7 @@
 #include "core/policy.hpp"
 #include "core/run_result.hpp"
 #include "core/strategy.hpp"
+#include "fault/fault_injector.hpp"
 #include "market/billing.hpp"
 #include "market/spot_market.hpp"
 #include "sim/simulation.hpp"
@@ -50,6 +58,10 @@ struct EngineOptions {
   /// the engine squeezes in an emergency checkpoint when the notice can
   /// fit one (notice >= t_c). 0 = the real 2013 market (no warning).
   Duration termination_notice = 0;
+  /// Injected failure classes the paper assumes away (see fault/). The
+  /// default all-zero plan is a strict no-op: runs reproduce the
+  /// fault-free engine bit-for-bit.
+  FaultPlan faults;
 };
 
 class Engine final : public EngineView {
@@ -103,6 +115,7 @@ class Engine final : public EngineView {
     SimTime computing_since = 0;  ///< valid in kRunning
     Duration restart_target = 0;  ///< checkpoint progress being loaded
     SimTime instance_start = 0;   ///< when billing began (active states)
+    int request_attempts = 0;     ///< consecutive rejected spot requests
     bool manual_stop_pending = false;
     bool doomed = false;          ///< termination notice received
     EventId doom_event = 0;
@@ -124,8 +137,13 @@ class Engine final : public EngineView {
   void on_pre_boundary(std::size_t zone);
   void on_deadline_trigger();
   void on_zone_completion(std::size_t zone);
-  void on_termination_notice(std::size_t zone);
+  /// Handles a termination notice delivering `warning` seconds before the
+  /// kill (warning < termination_notice when the notice arrived late).
+  void on_termination_notice(std::size_t zone, Duration warning);
   void on_doom(std::size_t zone);
+  /// Dispatches the out-of-bid notice for `zone` at a price tick,
+  /// injecting dropped/late notices when the fault plan says so.
+  void deliver_termination_notice(std::size_t zone);
 
   // Actions.
   void apply_initial_config();
@@ -151,7 +169,10 @@ class Engine final : public EngineView {
   const ZoneRt& rt(std::size_t zone) const;
   bool zone_active(const ZoneRt& z) const;
   bool any_zone_active() const;
-  void commit_in_flight_checkpoint();
+  /// Finalizes the in-flight write: validates it against the injected
+  /// fault plan and commits on success. Returns false when the write
+  /// failed or was rolled back as corrupt (committed progress unchanged).
+  bool commit_in_flight_checkpoint();
   void start_checkpoint(std::optional<std::size_t> target);
   std::optional<std::size_t> leading_zone() const;  ///< best kRunning zone
   SimTime deadline_switch_time() const;
@@ -165,6 +186,7 @@ class Engine final : public EngineView {
 
   Simulation sim_;
   Rng queue_rng_;
+  FaultInjector injector_;
   CheckpointStore store_;
   BillingLedger ledger_;
   EngineConfig config_;

@@ -18,10 +18,20 @@ std::string to_string(TimelineKind kind) {
       return "checkpoint-start";
     case TimelineKind::kCheckpointDone:
       return "checkpoint-done";
+    case TimelineKind::kCheckpointFailed:
+      return "checkpoint-failed";
+    case TimelineKind::kCheckpointCorrupt:
+      return "checkpoint-corrupt";
     case TimelineKind::kRestartStart:
       return "restart-start";
     case TimelineKind::kRestartDone:
       return "restart-done";
+    case TimelineKind::kRestartFailed:
+      return "restart-failed";
+    case TimelineKind::kRequestRejected:
+      return "request-rejected";
+    case TimelineKind::kNoticeDropped:
+      return "notice-dropped";
     case TimelineKind::kSwitchToOnDemand:
       return "switch-to-on-demand";
     case TimelineKind::kConfigChange:

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/store.hpp"
 #include "common/money.hpp"
 #include "common/time.hpp"
 #include "market/billing.hpp"
@@ -18,8 +19,13 @@ enum class TimelineKind {
   kUserTerminated,
   kCheckpointStart,
   kCheckpointDone,
+  kCheckpointFailed,   ///< write reported failure (or store outage)
+  kCheckpointCorrupt,  ///< write "succeeded" but validation rolled it back
   kRestartStart,
   kRestartDone,
+  kRestartFailed,      ///< load failed; retried
+  kRequestRejected,    ///< spot request rejected (insufficient capacity)
+  kNoticeDropped,      ///< termination notice lost; abrupt kill
   kSwitchToOnDemand,
   kConfigChange,
   kCompleted,
@@ -32,6 +38,23 @@ struct TimelineEvent {
   std::size_t zone = 0;  ///< global zone index; unused for global events
   TimelineKind kind = TimelineKind::kCompleted;
   std::string detail;
+};
+
+/// Injected-fault events observed during one run (all zero when the
+/// FaultPlan is disabled).
+struct FaultStats {
+  int ckpt_write_failures = 0;  ///< writes that failed (incl. outages)
+  int ckpt_corruptions = 0;     ///< writes rolled back by validation
+  int restart_failures = 0;     ///< loads that failed and were retried
+  int request_rejections = 0;   ///< spot requests rejected + backed off
+  int notices_dropped = 0;      ///< termination notices lost
+  int notices_late = 0;         ///< termination notices delivered late
+  Duration backoff_total = 0;   ///< total retry backoff waited
+
+  bool any() const {
+    return ckpt_write_failures || ckpt_corruptions || restart_failures ||
+           request_rejections || notices_dropped || notices_late;
+  }
 };
 
 /// Everything the experiment harness needs from one run.
@@ -56,6 +79,13 @@ struct RunResult {
   Duration queue_delay_total = 0;
   bool switched_to_on_demand = false;
   int config_changes = 0;          ///< Adaptive permutation switches
+
+  // --- robustness ----------------------------------------------------------
+  FaultStats faults;               ///< injected-fault events survived
+  Duration committed_progress = 0; ///< final verified checkpoint progress
+  /// Full store sequence, including entries invalidated by validation —
+  /// lets RunValidator audit progress monotonicity and rollbacks.
+  std::vector<Checkpoint> checkpoint_log;
 
   // --- optional detail (EngineConfig.record_*) -----------------------------
   std::vector<TimelineEvent> timeline;

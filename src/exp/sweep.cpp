@@ -5,24 +5,29 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "core/policies/large_bid.hpp"
+#include "fault/run_validator.hpp"
 
 namespace redspot {
 
 namespace {
 
 /// Runs one simulation per chunk in parallel via `make_strategy`, which is
-/// invoked once per run (strategies are stateful and not shareable).
+/// invoked once per run (strategies are stateful and not shareable). Every
+/// result is audited against the run invariants before it is returned, so
+/// a broken guarantee surfaces at the sweep instead of skewing a figure.
 template <typename MakeStrategy>
 std::vector<RunResult> run_sweep(const SpotMarket& market,
                                  const Scenario& scenario,
+                                 const EngineOptions& engine_options,
                                  MakeStrategy make_strategy) {
   const std::size_t n = scenario.num_experiments;
   std::vector<RunResult> results(n);
   parallel_for(0, n, [&](std::size_t i) {
     const Experiment experiment = scenario.experiment(i);
     auto strategy = make_strategy(i);
-    Engine engine(market, experiment, *strategy);
+    Engine engine(market, experiment, *strategy, engine_options);
     results[i] = engine.run();
+    RunValidator(experiment, market.on_demand_rate()).check(results[i]);
   });
   return results;
 }
@@ -31,9 +36,10 @@ std::vector<RunResult> run_sweep(const SpotMarket& market,
 
 std::vector<RunResult> run_fixed_sweep(const SpotMarket& market,
                                        const Scenario& scenario,
-                                       const PolicyRunSpec& spec) {
+                                       const PolicyRunSpec& spec,
+                                       const EngineOptions& engine_options) {
   REDSPOT_CHECK(!spec.zones.empty());
-  return run_sweep(market, scenario, [&spec](std::size_t) {
+  return run_sweep(market, scenario, engine_options, [&spec](std::size_t) {
     return std::make_unique<FixedStrategy>(spec.bid, spec.zones,
                                            make_policy(spec.policy));
   });
@@ -41,8 +47,9 @@ std::vector<RunResult> run_fixed_sweep(const SpotMarket& market,
 
 std::vector<RunResult> run_adaptive_sweep(
     const SpotMarket& market, const Scenario& scenario,
-    const AdaptiveStrategy::Options& options) {
-  return run_sweep(market, scenario, [&options](std::size_t) {
+    const AdaptiveStrategy::Options& options,
+    const EngineOptions& engine_options) {
+  return run_sweep(market, scenario, engine_options, [&options](std::size_t) {
     return std::make_unique<AdaptiveStrategy>(options);
   });
 }
@@ -50,8 +57,10 @@ std::vector<RunResult> run_adaptive_sweep(
 std::vector<RunResult> run_large_bid_sweep(const SpotMarket& market,
                                            const Scenario& scenario,
                                            Money threshold,
-                                           std::size_t zone) {
-  return run_sweep(market, scenario, [threshold, zone](std::size_t) {
+                                           std::size_t zone,
+                                           const EngineOptions& engine_options) {
+  return run_sweep(market, scenario, engine_options,
+                   [threshold, zone](std::size_t) {
     return std::make_unique<FixedStrategy>(
         LargeBidPolicy::large_bid(), std::vector<std::size_t>{zone},
         std::make_unique<LargeBidPolicy>(threshold));

@@ -29,19 +29,25 @@ struct PolicyRunSpec {
 };
 
 /// Runs `spec` over all chunks of `scenario`. Results are indexed by chunk.
+/// Every run is audited by RunValidator (see fault/run_validator.hpp)
+/// before it is returned; `engine_options` carries the termination-notice
+/// and fault-injection configuration.
 std::vector<RunResult> run_fixed_sweep(const SpotMarket& market,
                                        const Scenario& scenario,
-                                       const PolicyRunSpec& spec);
+                                       const PolicyRunSpec& spec,
+                                       const EngineOptions& engine_options = {});
 
 /// Adaptive (Section 7) over all chunks.
 std::vector<RunResult> run_adaptive_sweep(
     const SpotMarket& market, const Scenario& scenario,
-    const AdaptiveStrategy::Options& options = {});
+    const AdaptiveStrategy::Options& options = {},
+    const EngineOptions& engine_options = {});
 
 /// Large-bid with threshold L in `zone` over all chunks.
 std::vector<RunResult> run_large_bid_sweep(const SpotMarket& market,
                                            const Scenario& scenario,
-                                           Money threshold, std::size_t zone);
+                                           Money threshold, std::size_t zone,
+                                           const EngineOptions& engine_options = {});
 
 /// Total costs in dollars, one per run.
 std::vector<double> costs_of(std::span<const RunResult> results);

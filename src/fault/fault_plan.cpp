@@ -1,0 +1,35 @@
+#include "fault/fault_plan.hpp"
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+bool FaultPlan::enabled() const {
+  return ckpt_write_failure_rate > 0.0 || ckpt_corruption_rate > 0.0 ||
+         restart_failure_rate > 0.0 || request_rejection_rate > 0.0 ||
+         notice_drop_rate > 0.0 || notice_late_rate > 0.0 ||
+         !store_outages.empty();
+}
+
+void FaultPlan::validate() const {
+  const double rates[] = {ckpt_write_failure_rate, ckpt_corruption_rate,
+                          restart_failure_rate,    request_rejection_rate,
+                          notice_drop_rate,        notice_late_rate};
+  for (double r : rates)
+    REDSPOT_CHECK_MSG(r >= 0.0 && r <= 1.0,
+                      "fault rate must be in [0, 1], got " << r);
+  REDSPOT_CHECK_MSG(ckpt_write_failure_rate + ckpt_corruption_rate <= 1.0,
+                    "checkpoint failure + corruption rates exceed 1");
+  REDSPOT_CHECK(notice_max_lag >= 0);
+  for (const StoreOutage& o : store_outages)
+    REDSPOT_CHECK_MSG(o.start < o.end, "empty/inverted outage window ["
+                                           << o.start << ", " << o.end
+                                           << ")");
+  REDSPOT_CHECK_MSG(backoff.base > 0, "backoff base must be positive");
+  REDSPOT_CHECK_MSG(backoff.cap >= backoff.base,
+                    "backoff cap below backoff base");
+  REDSPOT_CHECK_MSG(backoff.jitter >= 0.0 && backoff.jitter <= 1.0,
+                    "backoff jitter must be in [0, 1]");
+}
+
+}  // namespace redspot

@@ -1,0 +1,41 @@
+// Post-run auditor.
+//
+// Every RunResult — fault-free or fault-injected — must satisfy a set of
+// invariants that follow from the billing rules (Section 2.1) and the
+// deadline guarantee (Algorithm 1): the run completed by the deadline or
+// switched to on-demand, costs decompose exactly into their line items, no
+// out-of-bid partial hour was charged, and committed progress only ever
+// reflects verified checkpoints. RunValidator re-derives each invariant
+// from the recorded result; the exp/ sweeps audit every run so a broken
+// guarantee can never silently skew a table or figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/money.hpp"
+#include "core/experiment.hpp"
+#include "core/run_result.hpp"
+
+namespace redspot {
+
+/// Audits RunResults of one experiment configuration.
+class RunValidator {
+ public:
+  /// `on_demand_rate` is the fallback rate the engine switched to (the
+  /// market's on-demand price, $2.40/h in the paper).
+  RunValidator(Experiment experiment, Money on_demand_rate);
+
+  /// Checks every invariant; returns one human-readable line per
+  /// violation (empty = the run is sound). Never throws.
+  std::vector<std::string> audit(const RunResult& r) const;
+
+  /// Throws CheckFailure listing all violations when audit() is non-empty.
+  void check(const RunResult& r) const;
+
+ private:
+  Experiment experiment_;
+  Money on_demand_rate_;
+};
+
+}  // namespace redspot

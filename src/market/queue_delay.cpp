@@ -17,10 +17,22 @@ QueueDelayParams QueueDelayParams::fixed(Duration delay) {
   return p;
 }
 
+void QueueDelayParams::validate() const {
+  REDSPOT_CHECK_MSG(std::isfinite(shift_seconds) && shift_seconds >= 0.0,
+                    "queue-delay shift must be >= 0, got " << shift_seconds);
+  REDSPOT_CHECK_MSG(std::isfinite(mu), "queue-delay mu must be finite");
+  REDSPOT_CHECK_MSG(std::isfinite(sigma) && sigma >= 0.0,
+                    "queue-delay sigma must be >= 0, got " << sigma);
+  REDSPOT_CHECK_MSG(min_delay >= 0,
+                    "queue-delay minimum must be >= 0, got " << min_delay);
+  REDSPOT_CHECK_MSG(min_delay <= max_delay,
+                    "queue-delay clamp range inverted: [" << min_delay << ", "
+                        << max_delay << "]");
+}
+
 QueueDelayModel::QueueDelayModel(QueueDelayParams params)
     : params_(params) {
-  REDSPOT_CHECK(params_.min_delay <= params_.max_delay);
-  REDSPOT_CHECK(params_.sigma >= 0.0);
+  params_.validate();
 }
 
 Duration QueueDelayModel::sample(Rng& rng) const {

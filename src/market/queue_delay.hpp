@@ -31,6 +31,11 @@ struct QueueDelayParams {
   /// Degenerate model with a fixed delay (useful in unit tests and for
   /// sensitivity ablations).
   static QueueDelayParams fixed(Duration delay);
+
+  /// Throws CheckFailure on malformed parameters. sigma == 0 is legal
+  /// (degenerate/fixed model); negative delays or an inverted clamp
+  /// range are not.
+  void validate() const;
 };
 
 /// Samples spot-instance acquisition delays.

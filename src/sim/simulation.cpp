@@ -1,20 +1,46 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace redspot {
+
+namespace {
+
+/// Below this backlog the cancelled fraction is irrelevant; skipping
+/// compaction keeps tiny calendars allocation-stable.
+constexpr std::size_t kCompactionFloor = 64;
+
+}  // namespace
 
 EventId Simulation::schedule_at(SimTime t, Callback cb) {
   REDSPOT_CHECK_MSG(t >= now_, "scheduling into the past: t=" << t
                                    << " now=" << now_);
   REDSPOT_CHECK(cb != nullptr);
   const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
+  heap_.push_back(Entry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end());
   callbacks_.emplace(id, std::move(cb));
   return id;
 }
 
-void Simulation::cancel(EventId id) { callbacks_.erase(id); }
+void Simulation::cancel(EventId id) {
+  if (callbacks_.erase(id) > 0) maybe_compact();
+}
+
+void Simulation::maybe_compact() {
+  // Every heap entry was pushed with a callbacks_ entry and callbacks_
+  // only shrinks via cancel or pop, so live = callbacks_.size() and the
+  // difference is exactly the cancelled entries still in the heap.
+  const std::size_t live = callbacks_.size();
+  if (heap_.size() <= kCompactionFloor || heap_.size() - live <= live)
+    return;
+  std::erase_if(heap_, [this](const Entry& e) {
+    return callbacks_.find(e.id) == callbacks_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end());
+}
 
 bool Simulation::pending(EventId id) const {
   return callbacks_.find(id) != callbacks_.end();
@@ -22,8 +48,9 @@ bool Simulation::pending(EventId id) const {
 
 bool Simulation::step() {
   while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    heap_.pop();
+    const Entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
     auto it = callbacks_.find(top.id);
     if (it == callbacks_.end()) continue;  // cancelled
     Callback cb = std::move(it->second);
@@ -40,9 +67,10 @@ bool Simulation::step() {
 void Simulation::run_until(SimTime t) {
   while (!heap_.empty()) {
     // Skip over stale (cancelled) heads without advancing time.
-    const Entry top = heap_.top();
+    const Entry top = heap_.front();
     if (callbacks_.find(top.id) == callbacks_.end()) {
-      heap_.pop();
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
       continue;
     }
     if (top.time > t) break;

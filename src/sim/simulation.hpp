@@ -7,14 +7,21 @@
 // the pre-tick price.
 //
 // Cancellation is lazy: cancelled entries stay in the heap and are skipped
-// when popped, keeping both schedule() and cancel() O(log n) amortized.
+// when popped, keeping both schedule() and cancel() O(log n) amortized. To
+// stop cancel-heavy workloads (the engine reschedules its deadline trigger
+// and per-zone events constantly) from growing the heap without bound, the
+// calendar compacts — rebuilds the heap from only the live entries — once
+// cancelled entries outnumber live ones and the backlog is large enough to
+// matter. Each compaction is O(live) and removes >= backlog/2 entries, so
+// the amortized cost per cancel stays O(1) and the heap never holds more
+// than ~2x the live events (plus the small floor).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
+#include <vector>
 
 #include "common/time.hpp"
 
@@ -58,6 +65,11 @@ class Simulation {
   /// Pending (non-cancelled) event count.
   std::size_t pending_count() const { return callbacks_.size(); }
 
+  /// Heap entries, including cancelled ones awaiting lazy removal.
+  /// Bounded by max(2 * pending_count(), compaction floor); exposed so
+  /// tests and benchmarks can assert the bound holds.
+  std::size_t backlog() const { return heap_.size(); }
+
   /// Total events executed so far (for the micro-benchmarks).
   std::uint64_t executed_count() const { return executed_; }
 
@@ -66,18 +78,24 @@ class Simulation {
     SimTime time;
     std::uint64_t seq;  // tie-break: FIFO within a timestamp
     EventId id;
-    // Heap is a max-heap by default; invert for earliest-first, FIFO ties.
+    // Heap ordering wants earliest-first with FIFO ties, so "less" means
+    // later (std::*_heap build max-heaps).
     bool operator<(const Entry& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
     }
   };
 
+  /// Drops cancelled heap entries when they dominate the backlog.
+  void maybe_compact();
+
   SimTime now_;
   EventId next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry> heap_;
+  /// Max-heap via std::push_heap/std::pop_heap (a priority_queue hides its
+  /// container, which would force compaction to copy).
+  std::vector<Entry> heap_;
   /// id -> callback; an id absent here but present in the heap was
   /// cancelled (lazy deletion).
   std::unordered_map<EventId, Callback> callbacks_;

@@ -64,6 +64,13 @@ ZoneTraceSet read_csv(std::istream& is) {
     fail(1, "header must be 'time,<zone>,...'");
   const std::size_t num_zones = header.size() - 1;
   std::vector<std::string> names(header.begin() + 1, header.end());
+  for (std::size_t z = 0; z < names.size(); ++z) {
+    if (names[z].empty()) fail(1, "empty zone name in header");
+    for (std::size_t other = 0; other < z; ++other) {
+      if (names[other] == names[z])
+        fail(1, "duplicate zone name '" + names[z] + "'");
+    }
+  }
 
   std::vector<std::vector<Money>> cols(num_zones);
   SimTime start = 0;
@@ -85,19 +92,27 @@ ZoneTraceSet read_csv(std::istream& is) {
     }
     if (rows == 0) {
       start = t;
+    } else if (t <= prev_time) {
+      fail(line_no, "non-monotone time " + std::to_string(t) + " after " +
+                        std::to_string(prev_time));
     } else if (rows == 1) {
       step = t - prev_time;
-      if (step <= 0) fail(line_no, "non-increasing time");
     } else if (t - prev_time != step) {
       fail(line_no, "irregular time step");
     }
     prev_time = t;
     for (std::size_t z = 0; z < num_zones; ++z) {
+      Money price;
       try {
-        cols[z].push_back(Money::parse(fields[z + 1]));
+        // Money::parse rejects non-numeric text (including NaN/inf
+        // spellings, which have no digits to parse).
+        price = Money::parse(fields[z + 1]);
       } catch (const CheckFailure&) {
         fail(line_no, "bad price '" + fields[z + 1] + "'");
       }
+      if (price < Money())
+        fail(line_no, "negative price '" + fields[z + 1] + "'");
+      cols[z].push_back(price);
     }
     ++rows;
   }

@@ -115,6 +115,50 @@ TEST(Store, RejectsNegativeProgress) {
   EXPECT_THROW(store.commit(0, -1), CheckFailure);
 }
 
+TEST(Store, InvalidateLatestFallsBackToPreviousGood) {
+  CheckpointStore store;
+  store.commit(100, 50);
+  store.commit(200, 120);
+  store.invalidate_latest();  // validation caught the 120 as corrupt
+  EXPECT_EQ(store.latest_progress(), 50);
+  EXPECT_EQ(store.valid_count(), 1u);
+  EXPECT_EQ(store.invalidated_count(), 1u);
+  EXPECT_FALSE(store.all()[1].valid);
+  // Rolling back everything leaves "restart from scratch".
+  store.invalidate_latest();
+  EXPECT_EQ(store.latest_progress(), 0);
+  EXPECT_EQ(store.valid_count(), 0u);
+}
+
+TEST(Store, InvalidateLatestSkipsAlreadyInvalidEntries) {
+  CheckpointStore store;
+  store.commit(100, 50);
+  store.commit(200, 120);
+  store.invalidate(1);
+  store.invalidate_latest();  // newest VALID entry is index 0
+  EXPECT_EQ(store.valid_count(), 0u);
+  EXPECT_EQ(store.latest_progress(), 0);
+}
+
+TEST(Store, InvalidateByIndexIsIdempotent) {
+  CheckpointStore store;
+  store.commit(100, 50);
+  store.commit(200, 120);
+  store.invalidate(0);
+  store.invalidate(0);
+  EXPECT_EQ(store.invalidated_count(), 1u);
+  EXPECT_EQ(store.latest_progress(), 120);
+  EXPECT_THROW(store.invalidate(2), CheckFailure);  // out of range
+}
+
+TEST(Store, InvalidateLatestRequiresAValidEntry) {
+  CheckpointStore store;
+  EXPECT_THROW(store.invalidate_latest(), CheckFailure);
+  store.commit(100, 50);
+  store.invalidate_latest();
+  EXPECT_THROW(store.invalidate_latest(), CheckFailure);
+}
+
 // --- Cost model ----------------------------------------------------------------
 
 TEST(CostModel, PaperPresets) {

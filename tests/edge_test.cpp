@@ -177,5 +177,58 @@ TEST(EngineEdge, IterationGranularityLimitsCheckpointValue) {
   EXPECT_TRUE(saw_ckpt);
 }
 
+TEST(TerminationNoticeEdge, NoticeShorterThanCheckpointNeverStartsOne) {
+  // Warning of 120 s with t_c = 300 s: no emergency checkpoint can fit, so
+  // none may start — the doomed zone just computes out its 120 s and dies
+  // exactly at notice expiry.
+  const SpotMarket market = make_market(single_zone(
+      step_series({{0.30, 6}, {2.00, 6}, {0.30, 60 * 12}})));
+  const Experiment e = small_experiment(2.0, 2.0, 300);
+  EngineOptions options;
+  options.termination_notice = 120;
+  options.record_timeline = true;
+  const RunResult r = run_fixed(market, e, PolicyKind::kPeriodic,
+                                Money::cents(81), {0}, options);
+  EXPECT_TRUE(r.met_deadline);
+  // Price crosses the bid at t = 30 min; death at 30 min + 120 s.
+  const SimTime doom = 30 * kMinute + 120;
+  bool saw_doom = false;
+  for (const TimelineEvent& ev : r.timeline) {
+    if (ev.time > doom) break;  // recovery may legitimately checkpoint later
+    EXPECT_NE(ev.kind, TimelineKind::kCheckpointStart)
+        << "checkpoint started at " << format_time(ev.time)
+        << " despite notice < t_c";
+    if (ev.kind == TimelineKind::kOutOfBid && ev.time == doom)
+      saw_doom = true;
+  }
+  EXPECT_TRUE(saw_doom);
+  // The doomed 120 s still count as (free) billed up-time.
+  EXPECT_EQ(r.out_of_bid_terminations, 1);
+}
+
+TEST(TerminationNoticeEdge, NoticeArrivingMidCheckpointLetsTheWriteFinish) {
+  // Periodic starts its boundary checkpoint at 55 min; the price crosses
+  // the bid at that same tick, so the notice finds the write in flight.
+  // The write ends at the hour boundary — inside the 300 s warning — and
+  // must commit; the recovery then loads it instead of starting over.
+  const SpotMarket market = make_market(single_zone(
+      step_series({{0.30, 11}, {2.00, 6}, {0.30, 60 * 12}})));
+  const Experiment e = small_experiment(2.0, 2.0, 300);
+  EngineOptions options;
+  options.termination_notice = 300;
+  const RunResult with = run_fixed(market, e, PolicyKind::kPeriodic,
+                                   Money::cents(81), {0}, options);
+  EXPECT_TRUE(with.met_deadline);
+  EXPECT_GE(with.checkpoints_committed, 1);
+  EXPECT_EQ(with.restarts, 1);
+
+  // Without the notice the same crossing cuts the write mid-flight:
+  // nothing commits and the recovery restarts from scratch.
+  const RunResult without = run_fixed(market, e, PolicyKind::kPeriodic,
+                                      Money::cents(81), {0});
+  EXPECT_EQ(without.restarts, 0);
+  EXPECT_LT(with.finish_time, without.finish_time);
+}
+
 }  // namespace
 }  // namespace redspot

@@ -71,9 +71,10 @@ TEST(Engine, HourBoundaryPricingLocksCycleStartRate) {
       make_market(single_zone(testing::step_series(
           {{0.30, 6}, {0.60, 30 * kStepsPerHour}})));
   const Experiment e = small_experiment(2.0, 0.5, 300);
+  EngineOptions opts;
+  opts.record_line_items = true;
   const RunResult r = run_fixed(market, e, PolicyKind::kPeriodic,
-                                Money::cents(81), {0},
-                                EngineOptions{false, true});
+                                Money::cents(81), {0}, opts);
   EXPECT_TRUE(r.met_deadline);
   // Hour 1 at $0.30 (rate at start), hours 2-3 at $0.60.
   EXPECT_EQ(r.total_cost, Money::dollars(0.30 + 0.60 + 0.60));

@@ -1,0 +1,398 @@
+// Fault-injection subsystem: plan validation, injector determinism and
+// stream independence, engine behaviour under each fault class (the
+// deadline guarantee must survive all of them), and the RunValidator
+// auditor.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/adaptive/adaptive_runner.hpp"
+#include "core/engine.hpp"
+#include "core/policies/large_bid.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/run_validator.hpp"
+#include "test_util.hpp"
+#include "trace/synthetic.hpp"
+
+namespace redspot {
+namespace {
+
+using testing::make_market;
+using testing::run_fixed;
+using testing::single_zone;
+using testing::small_experiment;
+using testing::step_series;
+
+// A trace with one mid-run outage: up 65 min, dead 30 min, then cheap for
+// the rest of the experiment. Forces one termination and one recovery.
+PriceSeries outage_trace() {
+  return step_series({{0.30, 13}, {2.00, 6}, {0.30, 60 * 12}});
+}
+
+// --- FaultPlan -----------------------------------------------------------------
+
+TEST(FaultPlan, DefaultIsDisabledAndValid) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, AnyRateOrOutageEnables) {
+  FaultPlan plan;
+  plan.request_rejection_rate = 0.1;
+  EXPECT_TRUE(plan.enabled());
+  FaultPlan outage;
+  outage.store_outages.push_back({100, 200});
+  EXPECT_TRUE(outage.enabled());
+}
+
+TEST(FaultPlan, ValidateRejectsBadConfigurations) {
+  {
+    FaultPlan p;
+    p.ckpt_write_failure_rate = 1.5;
+    EXPECT_THROW(p.validate(), CheckFailure);
+  }
+  {
+    FaultPlan p;
+    p.restart_failure_rate = -0.1;
+    EXPECT_THROW(p.validate(), CheckFailure);
+  }
+  {
+    FaultPlan p;  // failure + corruption cannot exceed one write
+    p.ckpt_write_failure_rate = 0.7;
+    p.ckpt_corruption_rate = 0.7;
+    EXPECT_THROW(p.validate(), CheckFailure);
+  }
+  {
+    FaultPlan p;
+    p.store_outages.push_back({200, 100});  // inverted window
+    EXPECT_THROW(p.validate(), CheckFailure);
+  }
+  {
+    FaultPlan p;
+    p.backoff.base = 0;
+    EXPECT_THROW(p.validate(), CheckFailure);
+  }
+  {
+    FaultPlan p;
+    p.backoff.cap = p.backoff.base - 1;
+    EXPECT_THROW(p.validate(), CheckFailure);
+  }
+  {
+    FaultPlan p;
+    p.backoff.jitter = 1.5;
+    EXPECT_THROW(p.validate(), CheckFailure);
+  }
+}
+
+// --- FaultInjector -------------------------------------------------------------
+
+TEST(FaultInjector, DeterministicAcrossInstances) {
+  FaultPlan plan;
+  plan.ckpt_write_failure_rate = 0.3;
+  plan.request_rejection_rate = 0.4;
+  FaultInjector a(plan, 7);
+  FaultInjector b(plan, 7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.checkpoint_write_fails(0), b.checkpoint_write_fails(0));
+    EXPECT_EQ(a.request_rejected(), b.request_rejected());
+    EXPECT_EQ(a.backoff_delay(i % 8 + 1), b.backoff_delay(i % 8 + 1));
+  }
+}
+
+TEST(FaultInjector, ZeroRateQueriesNeverFire) {
+  FaultInjector injector(FaultPlan{}, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.checkpoint_write_fails(i * 1000));
+    EXPECT_FALSE(injector.checkpoint_corrupts());
+    EXPECT_FALSE(injector.restart_fails());
+    EXPECT_FALSE(injector.request_rejected());
+    EXPECT_FALSE(injector.notice_dropped());
+    EXPECT_EQ(injector.notice_lag(300), 0);
+  }
+}
+
+TEST(FaultInjector, ClassStreamsAreIndependent) {
+  // Enabling checkpoint corruption must not change the rejection decision
+  // sequence: each class draws from its own stream.
+  FaultPlan only_rejections;
+  only_rejections.request_rejection_rate = 0.5;
+  FaultPlan both = only_rejections;
+  both.ckpt_corruption_rate = 0.5;
+  FaultInjector a(only_rejections, 11);
+  FaultInjector b(both, 11);
+  for (int i = 0; i < 500; ++i) {
+    b.checkpoint_corrupts();  // interleave draws from the other class
+    EXPECT_EQ(a.request_rejected(), b.request_rejected());
+  }
+}
+
+TEST(FaultInjector, OutageWindowsFailWritesDeterministically) {
+  FaultPlan plan;
+  plan.store_outages.push_back({1000, 2000});
+  plan.store_outages.push_back({5000, 6000});
+  FaultInjector injector(plan, 3);
+  EXPECT_FALSE(injector.store_unreachable(999));
+  EXPECT_TRUE(injector.store_unreachable(1000));
+  EXPECT_TRUE(injector.store_unreachable(1999));
+  EXPECT_FALSE(injector.store_unreachable(2000));  // half-open window
+  EXPECT_TRUE(injector.store_unreachable(5500));
+  // Inside a window every write fails regardless of the random rate.
+  for (int i = 0; i < 20; ++i)
+    EXPECT_TRUE(injector.checkpoint_write_fails(1500));
+  EXPECT_FALSE(injector.checkpoint_write_fails(3000));
+}
+
+TEST(FaultInjector, BackoffGrowsExponentiallyAndCaps) {
+  FaultPlan plan;
+  plan.request_rejection_rate = 1.0;
+  plan.backoff.base = 30;
+  plan.backoff.cap = 600;
+  plan.backoff.jitter = 0.0;
+  FaultInjector injector(plan, 5);
+  EXPECT_EQ(injector.backoff_delay(1), 30);
+  EXPECT_EQ(injector.backoff_delay(2), 60);
+  EXPECT_EQ(injector.backoff_delay(3), 120);
+  EXPECT_EQ(injector.backoff_delay(5), 480);
+  EXPECT_EQ(injector.backoff_delay(6), 600);   // capped
+  EXPECT_EQ(injector.backoff_delay(40), 600);  // no overflow past the cap
+
+  plan.backoff.jitter = 0.5;
+  FaultInjector jittered(plan, 5);
+  for (int i = 0; i < 50; ++i) {
+    const Duration d = jittered.backoff_delay(2);
+    EXPECT_GE(d, 60);
+    EXPECT_LE(d, 90);  // base*2 stretched by at most 50%
+  }
+}
+
+// --- Engine under faults -------------------------------------------------------
+
+TEST(EngineFaults, AllZeroPlanMatchesDefaultRunExactly) {
+  const SpotMarket market = make_market(single_zone(outage_trace()));
+  const Experiment e = small_experiment(2.0, 2.0, 300);
+  const RunResult base = run_fixed(market, e, PolicyKind::kPeriodic,
+                                   Money::cents(81), {0});
+  EngineOptions zero_plan;
+  zero_plan.faults = FaultPlan{};
+  const RunResult r = run_fixed(market, e, PolicyKind::kPeriodic,
+                                Money::cents(81), {0}, zero_plan);
+  EXPECT_EQ(r.total_cost, base.total_cost);
+  EXPECT_EQ(r.finish_time, base.finish_time);
+  EXPECT_EQ(r.checkpoints_committed, base.checkpoints_committed);
+  EXPECT_EQ(r.restarts, base.restarts);
+  EXPECT_EQ(r.queue_delay_total, base.queue_delay_total);
+  EXPECT_EQ(r.committed_progress, base.committed_progress);
+  EXPECT_FALSE(r.faults.any());
+}
+
+TEST(EngineFaults, CheckpointWriteFailuresFallBackToOnDemandGuarantee) {
+  const SpotMarket market = make_market(single_zone(outage_trace()));
+  const Experiment e = small_experiment(2.0, 0.5, 300);
+  EngineOptions options;
+  options.faults.ckpt_write_failure_rate = 1.0;  // every write fails
+  const RunResult r = run_fixed(market, e, PolicyKind::kPeriodic,
+                                Money::cents(81), {0}, options);
+  EXPECT_TRUE(r.met_deadline);
+  EXPECT_GT(r.faults.ckpt_write_failures, 0);
+  EXPECT_EQ(r.checkpoints_committed, 0);
+  EXPECT_EQ(r.committed_progress, 0);
+  RunValidator(e, market.on_demand_rate()).check(r);
+}
+
+TEST(EngineFaults, CorruptWritesRollBackToPreviousGoodCheckpoint) {
+  const SpotMarket market = make_market(single_zone(outage_trace()));
+  const Experiment e = small_experiment(2.0, 0.5, 300);
+  EngineOptions options;
+  options.faults.ckpt_corruption_rate = 1.0;  // every commit rolls back
+  const RunResult r = run_fixed(market, e, PolicyKind::kPeriodic,
+                                Money::cents(81), {0}, options);
+  EXPECT_TRUE(r.met_deadline);
+  EXPECT_GT(r.faults.ckpt_corruptions, 0);
+  EXPECT_EQ(r.checkpoints_committed, 0);
+  EXPECT_EQ(r.committed_progress, 0);
+  // The rolled-back writes are visible in the log as invalidated entries.
+  int invalid = 0;
+  for (const Checkpoint& c : r.checkpoint_log) invalid += c.valid ? 0 : 1;
+  EXPECT_EQ(invalid, r.faults.ckpt_corruptions);
+  RunValidator(e, market.on_demand_rate()).check(r);
+}
+
+TEST(EngineFaults, RequestRejectionsBackOffWithoutBreakingTheDeadline) {
+  const SpotMarket market = make_market(single_zone(outage_trace()));
+  const Experiment e = small_experiment(2.0, 0.5, 300);
+  EngineOptions options;
+  options.faults.request_rejection_rate = 1.0;  // capacity never appears
+  const RunResult r = run_fixed(market, e, PolicyKind::kPeriodic,
+                                Money::cents(81), {0}, options);
+  EXPECT_TRUE(r.met_deadline);
+  EXPECT_TRUE(r.switched_to_on_demand);
+  EXPECT_GT(r.faults.request_rejections, 0);
+  EXPECT_GT(r.faults.backoff_total, 0);
+  EXPECT_EQ(r.spot_cost, Money());  // nothing was ever fulfilled
+  RunValidator(e, market.on_demand_rate()).check(r);
+}
+
+TEST(EngineFaults, RestartFailuresRetryTheLoad) {
+  const SpotMarket market = make_market(single_zone(outage_trace()));
+  const Experiment e = small_experiment(2.0, 0.5, 300);
+  EngineOptions options;
+  options.faults.restart_failure_rate = 1.0;  // every load fails
+  const RunResult r = run_fixed(market, e, PolicyKind::kPeriodic,
+                                Money::cents(81), {0}, options);
+  EXPECT_TRUE(r.met_deadline);
+  // The recovery after the outage keeps retrying the load until the
+  // deadline margin forces on-demand; no load ever completes.
+  EXPECT_GT(r.faults.restart_failures, 0);
+  EXPECT_EQ(r.restarts, 0);
+  RunValidator(e, market.on_demand_rate()).check(r);
+}
+
+TEST(EngineFaults, StoreOutageWindowFailsOnlyWritesInsideIt) {
+  const SpotMarket market = make_market(single_zone(
+      step_series({{0.30, 60 * 12}})));
+  const Experiment e = small_experiment(3.0, 0.5, 300);
+  EngineOptions options;
+  // Periodic commits at each hour boundary; blank out the second hour's.
+  options.faults.store_outages.push_back({kHour + 1, 3 * kHour - 1});
+  const RunResult r = run_fixed(market, e, PolicyKind::kPeriodic,
+                                Money::cents(81), {0}, options);
+  EXPECT_TRUE(r.met_deadline);
+  EXPECT_GT(r.faults.ckpt_write_failures, 0);
+  EXPECT_GT(r.checkpoints_committed, 0);  // writes outside the window land
+  RunValidator(e, market.on_demand_rate()).check(r);
+}
+
+TEST(EngineFaults, DroppedNoticeKillsAbruptly) {
+  const SpotMarket market = make_market(single_zone(outage_trace()));
+  const Experiment e = small_experiment(2.0, 2.0, 300);
+  EngineOptions with_notice;
+  with_notice.termination_notice = 300;
+  const RunResult clean = run_fixed(market, e, PolicyKind::kPeriodic,
+                                    Money::cents(81), {0}, with_notice);
+  EngineOptions dropped = with_notice;
+  dropped.faults.notice_drop_rate = 1.0;
+  const RunResult r = run_fixed(market, e, PolicyKind::kPeriodic,
+                                Money::cents(81), {0}, dropped);
+  EXPECT_TRUE(r.met_deadline);
+  EXPECT_GT(r.faults.notices_dropped, 0);
+  // The dropped notice forfeits the emergency checkpoint the clean run
+  // gets, so recovery starts from scratch and finishes later.
+  EXPECT_LE(r.restarts, clean.restarts);
+  EXPECT_GE(r.finish_time, clean.finish_time);
+  RunValidator(e, market.on_demand_rate()).check(r);
+}
+
+TEST(EngineFaults, LateNoticeShrinksTheWarningButNotTheGuarantee) {
+  const SpotMarket market = make_market(single_zone(outage_trace()));
+  const Experiment e = small_experiment(2.0, 2.0, 300);
+  EngineOptions options;
+  options.termination_notice = 300;
+  options.faults.notice_late_rate = 1.0;
+  options.faults.notice_max_lag = 2 * kMinute;
+  const RunResult r = run_fixed(market, e, PolicyKind::kPeriodic,
+                                Money::cents(81), {0}, options);
+  EXPECT_TRUE(r.met_deadline);
+  EXPECT_GT(r.faults.notices_late, 0);
+  RunValidator(e, market.on_demand_rate()).check(r);
+}
+
+TEST(EngineFaults, AllSixPoliciesMeetTheDeadlineUnderModerateFaults) {
+  const SpotMarket market(paper_traces(42), cc2_instance(),
+                          QueueDelayModel());
+  const Experiment e = Experiment::paper(40 * kDay, 0.15, 300);
+  EngineOptions options;
+  options.termination_notice = 300;
+  options.record_timeline = true;
+  options.record_line_items = true;
+  options.faults.ckpt_write_failure_rate = 0.2;
+  options.faults.ckpt_corruption_rate = 0.1;
+  options.faults.restart_failure_rate = 0.2;
+  options.faults.request_rejection_rate = 0.3;
+  options.faults.notice_drop_rate = 0.2;
+  options.faults.notice_late_rate = 0.3;
+  const RunValidator validator(e, market.on_demand_rate());
+
+  const PolicyKind kinds[] = {PolicyKind::kThreshold, PolicyKind::kRisingEdge,
+                              PolicyKind::kPeriodic, PolicyKind::kMarkovDaly};
+  for (PolicyKind kind : kinds) {
+    FixedStrategy strategy(Money::cents(81), {0, 1, 2}, make_policy(kind));
+    Engine engine(market, e, strategy, options);
+    const RunResult r = engine.run();
+    EXPECT_TRUE(r.met_deadline) << to_string(kind);
+    validator.check(r);
+  }
+  {
+    FixedStrategy strategy(LargeBidPolicy::large_bid(),
+                           std::vector<std::size_t>{0},
+                           std::make_unique<LargeBidPolicy>(Money::cents(30)));
+    Engine engine(market, e, strategy, options);
+    const RunResult r = engine.run();
+    EXPECT_TRUE(r.met_deadline) << "large-bid";
+    validator.check(r);
+  }
+  {
+    AdaptiveStrategy strategy;
+    Engine engine(market, e, strategy, options);
+    const RunResult r = engine.run();
+    EXPECT_TRUE(r.met_deadline) << "adaptive";
+    validator.check(r);
+  }
+}
+
+// --- RunValidator --------------------------------------------------------------
+
+TEST(RunValidator, PassesACleanRunAndCatchesTampering) {
+  const SpotMarket market = make_market(single_zone(outage_trace()));
+  const Experiment e = small_experiment(2.0, 0.5, 300);
+  EngineOptions options;
+  options.record_timeline = true;
+  options.record_line_items = true;
+  const RunResult clean = run_fixed(market, e, PolicyKind::kPeriodic,
+                                    Money::cents(81), {0}, options);
+  const RunValidator validator(e, market.on_demand_rate());
+  EXPECT_TRUE(validator.audit(clean).empty());
+  EXPECT_NO_THROW(validator.check(clean));
+
+  {
+    RunResult tampered = clean;  // cost decomposition broken
+    tampered.total_cost += Money::cents(1);
+    EXPECT_FALSE(validator.audit(tampered).empty());
+    EXPECT_THROW(validator.check(tampered), CheckFailure);
+  }
+  {
+    RunResult tampered = clean;  // deadline flag contradicts finish time
+    tampered.finish_time = e.deadline_time() + 1;
+    EXPECT_FALSE(validator.audit(tampered).empty());
+  }
+  {
+    RunResult tampered = clean;  // committed progress not backed by the log
+    tampered.committed_progress += 100;
+    EXPECT_FALSE(validator.audit(tampered).empty());
+  }
+  {
+    RunResult tampered = clean;  // phantom on-demand charge
+    tampered.on_demand_cost += Money::dollars(2.40);
+    tampered.total_cost += Money::dollars(2.40);
+    EXPECT_FALSE(validator.audit(tampered).empty());
+  }
+  {
+    RunResult tampered = clean;  // an out-of-bid partial hour was charged
+    ASSERT_FALSE(tampered.timeline.empty());
+    LineItem bogus;
+    bogus.kind = LineItem::Kind::kSpotUserPartial;
+    bogus.zone = 0;
+    bogus.cycle_start = hour_floor(65 * kMinute);
+    bogus.charged_at = 65 * kMinute;  // the out-of-bid instant in the trace
+    bogus.amount = Money::dollars(0.30);
+    tampered.line_items.push_back(bogus);
+    tampered.spot_cost += bogus.amount;
+    tampered.total_cost += bogus.amount;
+    EXPECT_FALSE(validator.audit(tampered).empty());
+  }
+}
+
+}  // namespace
+}  // namespace redspot

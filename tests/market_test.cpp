@@ -3,6 +3,8 @@
 // facade.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/check.hpp"
 #include "market/billing.hpp"
 #include "market/instance_type.hpp"
@@ -176,6 +178,42 @@ TEST(QueueDelay, RejectsInvalidParams) {
   bad.min_delay = 100;
   bad.max_delay = 50;
   EXPECT_THROW(QueueDelayModel{bad}, CheckFailure);
+  EXPECT_THROW(bad.validate(), CheckFailure);
+}
+
+TEST(QueueDelay, ValidateAcceptsFixedAndPaperParams) {
+  // fixed() deliberately sets sigma = 0 (degenerate distribution); the
+  // validator must accept it, including the zero-delay case.
+  EXPECT_NO_THROW(QueueDelayParams::fixed(300).validate());
+  EXPECT_NO_THROW(QueueDelayParams::fixed(0).validate());
+  EXPECT_NO_THROW(QueueDelayParams::paper_calibrated().validate());
+  const QueueDelayParams p = QueueDelayParams::fixed(300);
+  EXPECT_EQ(p.sigma, 0.0);
+  EXPECT_EQ(p.min_delay, 300);
+  EXPECT_EQ(p.max_delay, 300);
+}
+
+TEST(QueueDelay, ValidateRejectsEachBadField) {
+  {
+    QueueDelayParams p;
+    p.sigma = -0.1;
+    EXPECT_THROW(p.validate(), CheckFailure);
+  }
+  {
+    QueueDelayParams p;
+    p.shift_seconds = -1.0;
+    EXPECT_THROW(p.validate(), CheckFailure);
+  }
+  {
+    QueueDelayParams p;
+    p.min_delay = -5;
+    EXPECT_THROW(p.validate(), CheckFailure);
+  }
+  {
+    QueueDelayParams p;
+    p.mu = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(p.validate(), CheckFailure);
+  }
 }
 
 // --- SpotMarket -----------------------------------------------------------------------

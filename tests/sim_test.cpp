@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event simulation core.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/check.hpp"
@@ -142,6 +143,48 @@ TEST(Simulation, EventAtCurrentInstantFromWithinEvent) {
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
   EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulation, CompactionBoundsBacklogUnderCancelChurn) {
+  // Schedule-then-cancel churn (the engine's deadline trigger and per-zone
+  // events behave exactly like this) must not grow the heap without bound:
+  // cancelled entries may never outnumber live ones once past the
+  // compaction floor.
+  Simulation sim;
+  std::vector<EventId> keep;
+  for (int i = 0; i < 100; ++i)
+    keep.push_back(sim.schedule_at(1'000'000 + i, [] {}));
+  std::size_t max_backlog = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const EventId id = sim.schedule_at(2'000'000 + i, [] {});
+    sim.cancel(id);
+    max_backlog = std::max(max_backlog, sim.backlog());
+  }
+  EXPECT_EQ(sim.pending_count(), keep.size());
+  // Live = 100 (+1 transient), so the backlog may reach ~2x live + 1 but
+  // never the tens of thousands the churn produced.
+  EXPECT_LE(max_backlog, 256u);
+  EXPECT_LE(sim.backlog(), 256u);
+}
+
+TEST(Simulation, CompactionPreservesOrderAndPendingEvents) {
+  // Fire enough cancels to force several compactions, then check the
+  // survivors still run in time order with FIFO ties.
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(500, [&order] { order.push_back(1); });
+  sim.schedule_at(500, [&order] { order.push_back(2); });
+  sim.schedule_at(600, [&order] { order.push_back(3); });
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventId> batch;
+    for (int i = 0; i < 100; ++i)
+      batch.push_back(sim.schedule_at(1000 + i, [] {}));
+    for (EventId id : batch) sim.cancel(id);
+  }
+  EXPECT_EQ(sim.pending_count(), 3u);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.backlog(), 0u);
 }
 
 TEST(Simulation, ManyEventsStressOrdering) {

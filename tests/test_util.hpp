@@ -44,8 +44,13 @@ inline ZoneTraceSet single_zone(PriceSeries series) {
 /// Multi-zone trace set from aligned series.
 inline ZoneTraceSet zones(std::vector<PriceSeries> series) {
   std::vector<std::string> names;
-  for (std::size_t i = 0; i < series.size(); ++i)
-    names.push_back("z" + std::to_string(i));
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    // Built with += (not "z" + to_string) to dodge a GCC 12 -Wrestrict
+    // false positive in the inlined operator+(const char*, string&&).
+    std::string name("z");
+    name += std::to_string(i);
+    names.push_back(std::move(name));
+  }
   return ZoneTraceSet(std::move(names), std::move(series));
 }
 

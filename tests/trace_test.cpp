@@ -200,6 +200,65 @@ TEST(CsvIo, RejectsMalformedInput) {
   }
 }
 
+TEST(CsvIo, RejectsDuplicateAndEmptyZoneNames) {
+  {
+    std::istringstream in("time,us-east,us-east\n0,0.3,0.4\n300,0.3,0.4\n");
+    try {
+      read_csv(in);
+      FAIL() << "duplicate zone name accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+    }
+  }
+  {
+    std::istringstream in("time,a,\n0,0.3,0.4\n300,0.3,0.4\n");
+    EXPECT_THROW(read_csv(in), std::runtime_error);
+  }
+}
+
+TEST(CsvIo, RejectsNanAndNegativePricesWithLineNumbers) {
+  {
+    std::istringstream in("time,a\n0,0.3\n300,nan\n");
+    try {
+      read_csv(in);
+      FAIL() << "NaN price accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+  }
+  {
+    std::istringstream in("time,a\n0,inf\n300,0.3\n");
+    EXPECT_THROW(read_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("time,a\n0,0.3\n300,-0.27\n");
+    try {
+      read_csv(in);
+      FAIL() << "negative price accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("negative"), std::string::npos);
+    }
+  }
+}
+
+TEST(CsvIo, RejectsNonMonotoneTimestampsWithLineNumbers) {
+  for (const char* body : {"time,a\n0,0.3\n300,0.3\n200,0.3\n",   // decreasing
+                           "time,a\n0,0.3\n300,0.3\n300,0.3\n",   // repeated
+                           "time,a\n0,0.3\n-300,0.3\n"}) {        // row 2 back
+    std::istringstream in(body);
+    try {
+      read_csv(in);
+      FAIL() << "non-monotone timestamps accepted: " << body;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("non-monotone"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+    }
+  }
+}
+
 // --- Windows ------------------------------------------------------------------------
 
 TEST(Windows, EvenlySpacedAndInBounds) {
