@@ -3,7 +3,12 @@
 // Daly's interval, the synthetic generator and the VAR fit.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
 #include "ckpt/daly.hpp"
+#include "common/parallel.hpp"
 #include "core/adaptive/adaptive_runner.hpp"
 #include "core/engine.hpp"
 #include "exp/scenario.hpp"
@@ -128,6 +133,69 @@ void BM_SyntheticMonth(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SyntheticMonth);
+
+// --- parallel_for dispatch cost --------------------------------------------
+// parallel_for claims ~4 chunks per worker off one atomic counter; the two
+// baselines below are the dispatch schemes it replaced. With a tiny body the
+// difference is pure scheduling overhead: per-index submit pays one
+// std::function allocation + queue round-trip per iteration, per-index
+// claiming pays one contended fetch_add per iteration.
+
+ThreadPool& bench_pool() {
+  static ThreadPool pool(4);
+  return pool;
+}
+
+constexpr std::size_t kParallelForN = 1 << 14;
+
+void BM_ParallelForChunked(benchmark::State& state) {
+  ThreadPool& pool = bench_pool();
+  std::vector<std::uint64_t> out(kParallelForN);
+  for (auto _ : state) {
+    parallel_for(pool, 0, kParallelForN,
+                 [&out](std::size_t i) { out[i] = i * 2654435761u; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kParallelForN));
+}
+BENCHMARK(BM_ParallelForChunked);
+
+void BM_ParallelForPerIndexSubmit(benchmark::State& state) {
+  ThreadPool& pool = bench_pool();
+  std::vector<std::uint64_t> out(kParallelForN);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kParallelForN; ++i)
+      pool.submit([&out, i] { out[i] = i * 2654435761u; });
+    pool.wait_idle();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kParallelForN));
+}
+BENCHMARK(BM_ParallelForPerIndexSubmit);
+
+void BM_ParallelForPerIndexClaim(benchmark::State& state) {
+  ThreadPool& pool = bench_pool();
+  std::vector<std::uint64_t> out(kParallelForN);
+  for (auto _ : state) {
+    std::atomic<std::size_t> next{0};
+    for (std::size_t t = 0; t < pool.size(); ++t) {
+      pool.submit([&out, &next] {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < kParallelForN;
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          out[i] = i * 2654435761u;
+        }
+      });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kParallelForN));
+}
+BENCHMARK(BM_ParallelForPerIndexClaim);
 
 void BM_VarFitMonth(benchmark::State& state) {
   const ZoneTraceSet month = shared_market().traces().window(

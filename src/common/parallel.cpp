@@ -1,7 +1,6 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "common/check.hpp"
 
@@ -17,20 +16,28 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  accepting_.store(false, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutting_down_ = true;
   }
   work_available_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   REDSPOT_CHECK(task != nullptr);
+  REDSPOT_CHECK_MSG(accepting_.load(std::memory_order_acquire),
+                    "submit() on a shut-down ThreadPool");
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    REDSPOT_CHECK(!shutting_down_);
+    REDSPOT_CHECK_MSG(!shutting_down_,
+                      "submit() on a shut-down ThreadPool");
     queue_.push(std::move(task));
   }
   work_available_.notify_one();
@@ -62,6 +69,30 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Dynamic chunked dispatch shared by parallel_for and parallel_for_shards:
+/// workers claim chunk indices [0, num_chunks) off one relaxed counter and
+/// invoke `chunk(c)`. Submits at most pool.size() pool tasks.
+template <typename ChunkFn>
+void dispatch_chunks(ThreadPool& pool, std::size_t num_chunks,
+                     const ChunkFn& chunk) {
+  std::atomic<std::size_t> next{0};
+  const std::size_t num_tasks = std::min(pool.size(), num_chunks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    pool.submit([&next, num_chunks, &chunk] {
+      for (;;) {
+        const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) return;
+        chunk(c);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace
+
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
   if (begin >= end) return;
@@ -70,21 +101,17 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
-  // Dynamic scheduling over a shared atomic counter: simulation times vary
-  // widely between experiments (Adaptive runs dominate), so static blocks
-  // would leave threads idle.
-  std::atomic<std::size_t> next{begin};
-  const std::size_t num_tasks = std::min(pool.size(), n);
-  for (std::size_t t = 0; t < num_tasks; ++t) {
-    pool.submit([&next, end, &body] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= end) return;
-        body(i);
-      }
-    });
-  }
-  pool.wait_idle();
+  // Contiguous chunks claimed dynamically: ~4 chunks per worker keeps the
+  // load balanced when iteration times vary (Adaptive runs dominate the
+  // sweeps) while paying one atomic op per chunk, not per index.
+  const std::size_t num_chunks = std::min(n, 4 * pool.size());
+  const std::size_t chunk_len = (n + num_chunks - 1) / num_chunks;
+  dispatch_chunks(pool, num_chunks,
+                  [begin, end, chunk_len, &body](std::size_t c) {
+                    const std::size_t lo = begin + c * chunk_len;
+                    const std::size_t hi = std::min(end, lo + chunk_len);
+                    for (std::size_t i = lo; i < hi; ++i) body(i);
+                  });
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
@@ -92,9 +119,42 @@ void parallel_for(std::size_t begin, std::size_t end,
   parallel_for(default_pool(), begin, end, body);
 }
 
+void parallel_for_shards(
+    ThreadPool& pool, std::size_t n, std::size_t num_shards,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& shard) {
+  REDSPOT_CHECK(num_shards > 0);
+  // Shard s covers [s*len, min(n, (s+1)*len)) with len = ceil(n/num_shards):
+  // a pure function of (n, num_shards), never of the pool size.
+  const std::size_t len = (n + num_shards - 1) / num_shards;
+  auto run_shard = [n, len, &shard](std::size_t s) {
+    const std::size_t lo = std::min(n, s * len);
+    const std::size_t hi = std::min(n, lo + len);
+    shard(s, lo, hi);
+  };
+  if (pool.size() == 1 || num_shards == 1) {
+    for (std::size_t s = 0; s < num_shards; ++s) run_shard(s);
+    return;
+  }
+  dispatch_chunks(pool, num_shards, run_shard);
+}
+
+namespace {
+
+/// Set once the default pool's static destructor has run; any later
+/// default_pool() call is a programming error we can still diagnose.
+std::atomic<bool> g_default_pool_destroyed{false};
+
+}  // namespace
+
 ThreadPool& default_pool() {
-  static ThreadPool pool;
-  return pool;
+  REDSPOT_CHECK_MSG(!g_default_pool_destroyed.load(std::memory_order_acquire),
+                    "default_pool() used after static destruction (no "
+                    "submissions after main() returns)");
+  static struct Holder {
+    ThreadPool pool;
+    ~Holder() { g_default_pool_destroyed.store(true, std::memory_order_release); }
+  } holder;
+  return holder.pool;
 }
 
 }  // namespace redspot

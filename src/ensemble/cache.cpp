@@ -1,0 +1,40 @@
+#include "ensemble/cache.hpp"
+
+namespace redspot {
+
+EnsembleCache& EnsembleCache::global() {
+  static EnsembleCache cache;
+  return cache;
+}
+
+std::shared_ptr<const EnsembleResult> EnsembleCache::lookup(
+    std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void EnsembleCache::store(std::uint64_t key, EnsembleResult result) {
+  auto entry = std::make_shared<const EnsembleResult>(std::move(result));
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.try_emplace(key, std::move(entry));
+}
+
+EnsembleCache::Stats EnsembleCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
+void EnsembleCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace redspot

@@ -1,0 +1,48 @@
+// Process-wide ensemble result cache.
+//
+// Keyed by EnsembleSpec::spec_hash(): a sweep that revisits a cell it has
+// already computed (the common case when benches scan bid grids or rerun a
+// headline cell) gets the finished summaries back instead of re-simulating
+// spec.replications × |configs| engine runs. Results are immutable once
+// stored; lookups hand out shared ownership so entries stay valid across
+// concurrent sweeps. Thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "ensemble/runner.hpp"
+
+namespace redspot {
+
+class EnsembleCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+
+  /// The process-wide cache used by EnsembleRunner.
+  static EnsembleCache& global();
+
+  /// Returns the cached result for `key`, or nullptr (counts a miss).
+  std::shared_ptr<const EnsembleResult> lookup(std::uint64_t key);
+
+  /// Stores `result` under `key` (first writer wins on a race).
+  void store(std::uint64_t key, EnsembleResult result);
+
+  Stats stats() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const EnsembleResult>>
+      entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace redspot

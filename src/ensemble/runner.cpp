@@ -1,0 +1,183 @@
+#include "ensemble/runner.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/engine.hpp"
+#include "ensemble/cache.hpp"
+#include "ensemble/seeder.hpp"
+#include "exp/report.hpp"
+#include "fault/run_validator.hpp"
+#include "market/spot_market.hpp"
+#include "stats/streaming.hpp"
+#include "trace/synthetic.hpp"
+
+namespace redspot {
+
+ConfigSummary::ConfigSummary(std::string label,
+                             StreamingSummaryOptions cost_options)
+    : label_(std::move(label)), cost_(cost_options) {}
+
+void ConfigSummary::fold(std::uint64_t replication, const RunResult& r) {
+  cost_.add(replication, r.total_cost.to_double());
+  restarts_.add(static_cast<double>(r.restarts));
+  checkpoints_.add(static_cast<double>(r.checkpoints_committed));
+  out_of_bid_.add(static_cast<double>(r.out_of_bid_terminations));
+  if (!r.met_deadline) ++deadline_misses_;
+  if (!r.completed) ++incomplete_;
+  if (r.switched_to_on_demand) ++switched_;
+  if (r.faults.any()) ++fault_affected_;
+}
+
+void ConfigSummary::merge(const ConfigSummary& other) {
+  cost_.merge(other.cost_);
+  restarts_.merge(other.restarts_);
+  checkpoints_.merge(other.checkpoints_);
+  out_of_bid_.merge(other.out_of_bid_);
+  deadline_misses_ += other.deadline_misses_;
+  incomplete_ += other.incomplete_;
+  switched_ += other.switched_;
+  fault_affected_ += other.fault_affected_;
+}
+
+double ConfigSummary::miss_rate() const {
+  return count() == 0 ? 0.0
+                      : static_cast<double>(deadline_misses_) /
+                            static_cast<double>(count());
+}
+
+namespace {
+
+CiRow ci_row(const ConfigSummary& s, double ci_level) {
+  CiRow row;
+  row.label = s.label();
+  row.n = s.count();
+  row.mean = s.cost().mean();
+  const auto [lo, hi] = s.cost().mean_ci();
+  row.ci_lo = lo;
+  row.ci_hi = hi;
+  row.q1 = s.cost().q1();
+  row.median = s.cost().median();
+  row.q3 = s.cost().q3();
+  row.miss_rate = s.miss_rate();
+  const auto [mlo, mhi] =
+      wilson_interval(s.deadline_misses(), s.count(), ci_level);
+  row.miss_lo = mlo;
+  row.miss_hi = mhi;
+  return row;
+}
+
+}  // namespace
+
+std::string EnsembleResult::table(const std::string& title) const {
+  std::vector<CiRow> rows;
+  rows.reserve(configs.size() + groups.size());
+  for (const ConfigSummary& s : configs) rows.push_back(ci_row(s, ci_level));
+  for (const ConfigSummary& s : groups) rows.push_back(ci_row(s, ci_level));
+  return ci_table(title, rows, ci_level);
+}
+
+EnsembleRunner::EnsembleRunner(EnsembleSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+EnsembleResult EnsembleRunner::run(ThreadPool& pool) const {
+  const std::uint64_t key = spec_.spec_hash();
+  if (spec_.use_cache) {
+    if (const auto hit = EnsembleCache::global().lookup(key)) {
+      EnsembleResult result = *hit;
+      result.from_cache = true;
+      return result;
+    }
+  }
+
+  // Per-replication inputs shared by every shard. starts() is a pure
+  // function of the scenario cell; the trace spec template is re-seeded per
+  // replication and trimmed so only the evaluation window is synthesized.
+  const Scenario scenario{spec_.window, spec_.slack_fraction,
+                          spec_.checkpoint_cost, spec_.starts_grid};
+  const std::vector<SimTime> starts = scenario.starts();
+  const SyntheticTraceSpec trace_template =
+      trimmed_spec(paper_trace_spec(0), window_end(spec_.window));
+  const ReplicationSeeder seeder(spec_.seed);
+  const InstanceType instance = cc2_instance();
+
+  // One accumulator set per shard, pre-built so every shard carries
+  // identical estimator options (the bootstrap seed is per config/group,
+  // derived from the spec seed, and must agree across shards for the
+  // shard merge to be a valid single-stream bootstrap).
+  struct ShardAcc {
+    std::vector<ConfigSummary> configs;
+    std::vector<ConfigSummary> groups;
+  };
+  auto make_acc = [this, &seeder] {
+    ShardAcc acc;
+    auto opts = [this, &seeder](std::uint64_t stream) {
+      return StreamingSummaryOptions{
+          spec_.bootstrap_replicates, spec_.ci_level,
+          seeder.seed(stream, SeedDomain::kBootstrap)};
+    };
+    for (std::size_t c = 0; c < spec_.configs.size(); ++c) {
+      acc.configs.emplace_back(spec_.configs[c].display_label(), opts(c));
+    }
+    for (std::size_t g = 0; g < spec_.min_groups.size(); ++g) {
+      acc.groups.emplace_back(spec_.min_groups[g].label,
+                              opts(spec_.configs.size() + g));
+    }
+    return acc;
+  };
+  std::vector<ShardAcc> shards(spec_.num_shards, make_acc());
+
+  parallel_for_shards(
+      pool, spec_.replications, spec_.num_shards,
+      [&](std::size_t shard, std::size_t lo, std::size_t hi) {
+        ShardAcc& acc = shards[shard];
+        std::vector<RunResult> results(spec_.configs.size());
+        for (std::size_t r = lo; r < hi; ++r) {
+          // This replication's independent substreams.
+          SyntheticTraceSpec trace_spec = trace_template;
+          trace_spec.seed = seeder.seed(r, SeedDomain::kTrace);
+          const SpotMarket market(generate_traces(trace_spec), instance,
+                                  QueueDelayModel());
+          const Experiment experiment = Experiment::paper(
+              starts[r % starts.size()], spec_.slack_fraction,
+              spec_.checkpoint_cost, seeder.seed(r, SeedDomain::kQueueDelay));
+          const RunValidator validator(experiment, market.on_demand_rate());
+          for (std::size_t c = 0; c < spec_.configs.size(); ++c) {
+            auto strategy = spec_.configs[c].make_strategy();
+            Engine engine(market, experiment, *strategy, spec_.engine);
+            results[c] = engine.run();
+            validator.check(results[c]);
+            acc.configs[c].fold(r, results[c]);
+          }
+          for (std::size_t g = 0; g < spec_.min_groups.size(); ++g) {
+            const MinGroup& group = spec_.min_groups[g];
+            std::size_t best = group.members.front();
+            for (const std::size_t m : group.members) {
+              if (results[m].total_cost < results[best].total_cost) best = m;
+            }
+            acc.groups[g].fold(r, results[best]);
+          }
+        }
+      });
+
+  // Deterministic reduction: fold shards in shard (= replication) order.
+  EnsembleResult result;
+  result.ci_level = spec_.ci_level;
+  ShardAcc merged = std::move(shards.front());
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    for (std::size_t c = 0; c < merged.configs.size(); ++c)
+      merged.configs[c].merge(shards[s].configs[c]);
+    for (std::size_t g = 0; g < merged.groups.size(); ++g)
+      merged.groups[g].merge(shards[s].groups[g]);
+  }
+  result.configs = std::move(merged.configs);
+  result.groups = std::move(merged.groups);
+
+  if (spec_.use_cache) EnsembleCache::global().store(key, result);
+  return result;
+}
+
+EnsembleResult EnsembleRunner::run() const { return run(default_pool()); }
+
+}  // namespace redspot

@@ -1,0 +1,18 @@
+#include "ensemble/seeder.hpp"
+
+#include "common/random.hpp"
+
+namespace redspot {
+
+std::uint64_t ReplicationSeeder::seed(std::uint64_t replication,
+                                      SeedDomain domain) const {
+  // Two chained SplitMix64 steps with odd multipliers decorrelate nearby
+  // (replication, domain) pairs; the same construction Rng uses for its
+  // stream parameter.
+  std::uint64_t s = base_ ^ (0x9E3779B97F4A7C15ULL * (replication + 1));
+  (void)splitmix64(s);
+  s ^= 0xA0761D6478BD642FULL * (static_cast<std::uint64_t>(domain) + 1);
+  return splitmix64(s);
+}
+
+}  // namespace redspot

@@ -1,0 +1,39 @@
+// Counter-based seed derivation for ensemble replications.
+//
+// Every replication of an ensemble owns independent RNG substreams — one
+// per randomness domain (trace synthesis, queue delays, bootstrap
+// weights). Seeds are a pure function of (base seed, replication index,
+// domain): no generator state is shared or advanced between replications,
+// so any subset of replications can run on any thread in any order and
+// still draw exactly the streams it would draw in a serial sweep. This is
+// the "seed sequence" side of the determinism contract (DESIGN.md §8).
+#pragma once
+
+#include <cstdint>
+
+namespace redspot {
+
+/// Names one randomness consumer inside a replication.
+enum class SeedDomain : std::uint64_t {
+  kTrace = 1,      ///< synthetic trace realization
+  kQueueDelay = 2, ///< engine spot-request queue delays
+  kBootstrap = 3,  ///< streaming-summary bootstrap weights
+};
+
+/// Stateless counter-based seed sequence over (replication, domain).
+class ReplicationSeeder {
+ public:
+  explicit ReplicationSeeder(std::uint64_t base_seed) : base_(base_seed) {}
+
+  std::uint64_t base_seed() const { return base_; }
+
+  /// Seed for `domain` of replication `replication`. Pure function;
+  /// distinct (replication, domain) pairs give statistically independent
+  /// seeds (SplitMix64 cascade).
+  std::uint64_t seed(std::uint64_t replication, SeedDomain domain) const;
+
+ private:
+  std::uint64_t base_;
+};
+
+}  // namespace redspot

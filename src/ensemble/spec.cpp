@@ -1,0 +1,147 @@
+#include "ensemble/spec.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+#include "common/random.hpp"
+#include "core/adaptive/adaptive_runner.hpp"
+#include "core/policies/large_bid.hpp"
+
+namespace redspot {
+
+std::string EnsembleConfig::display_label() const {
+  if (!label.empty()) return label;
+  switch (kind) {
+    case Kind::kAdaptive:
+      return "adaptive";
+    case Kind::kLargeBid:
+      return "large-bid L=" + threshold.str();
+    case Kind::kFixedPolicy:
+      break;
+  }
+  std::string zs;
+  for (std::size_t z : zones) {
+    if (!zs.empty()) zs += ",";
+    zs += std::to_string(z);
+  }
+  return to_string(policy) + " " + bid.str() + " z{" + zs + "}";
+}
+
+std::unique_ptr<Strategy> EnsembleConfig::make_strategy() const {
+  switch (kind) {
+    case Kind::kAdaptive:
+      return std::make_unique<AdaptiveStrategy>();
+    case Kind::kLargeBid:
+      REDSPOT_CHECK(zones.size() == 1);
+      return std::make_unique<FixedStrategy>(
+          LargeBidPolicy::large_bid(), zones,
+          std::make_unique<LargeBidPolicy>(threshold));
+    case Kind::kFixedPolicy:
+      REDSPOT_CHECK(!zones.empty());
+      return std::make_unique<FixedStrategy>(bid, zones,
+                                             make_policy(policy));
+  }
+  REDSPOT_CHECK(false);
+  return nullptr;
+}
+
+void EnsembleSpec::validate() const {
+  REDSPOT_CHECK(replications > 0);
+  REDSPOT_CHECK(starts_grid > 0);
+  REDSPOT_CHECK(num_shards > 0);
+  REDSPOT_CHECK(bootstrap_replicates >= 2);
+  REDSPOT_CHECK(ci_level > 0.0 && ci_level < 1.0);
+  REDSPOT_CHECK_MSG(!configs.empty(), "ensemble spec has no configs");
+  for (const EnsembleConfig& c : configs) {
+    if (c.kind != EnsembleConfig::Kind::kAdaptive)
+      REDSPOT_CHECK(!c.zones.empty());
+  }
+  for (const MinGroup& g : min_groups) {
+    REDSPOT_CHECK_MSG(!g.members.empty(), "empty min-group");
+    for (std::size_t m : g.members)
+      REDSPOT_CHECK_MSG(m < configs.size(), "min-group member out of range");
+  }
+  engine.faults.validate();
+}
+
+namespace {
+
+/// Order-sensitive 64-bit fingerprint accumulator (SplitMix64 cascade).
+class HashStream {
+ public:
+  void u64(std::uint64_t v) {
+    state_ ^= v + 0x9E3779B97F4A7C15ULL + (state_ << 6) + (state_ >> 2);
+    state_ = splitmix64(state_);
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (char c : s) u64(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x243F6A8885A308D3ULL;  // pi
+};
+
+void hash_config(HashStream& h, const EnsembleConfig& c) {
+  h.u64(static_cast<std::uint64_t>(c.kind));
+  h.u64(static_cast<std::uint64_t>(c.policy));
+  h.i64(c.bid.micros());
+  h.i64(c.threshold.micros());
+  h.u64(c.zones.size());
+  for (std::size_t z : c.zones) h.u64(z);
+  // The label is presentation-only but part of the rendered summary, which
+  // the cache returns verbatim — hash it so relabelled sweeps do not alias.
+  h.str(c.display_label());
+}
+
+void hash_engine_options(HashStream& h, const EngineOptions& o) {
+  h.u64(o.record_timeline);
+  h.u64(o.record_line_items);
+  h.i64(o.termination_notice);
+  const FaultPlan& f = o.faults;
+  h.f64(f.ckpt_write_failure_rate);
+  h.f64(f.ckpt_corruption_rate);
+  h.f64(f.restart_failure_rate);
+  h.f64(f.request_rejection_rate);
+  h.f64(f.notice_drop_rate);
+  h.f64(f.notice_late_rate);
+  h.i64(f.notice_max_lag);
+  h.u64(f.store_outages.size());
+  for (const StoreOutage& w : f.store_outages) {
+    h.i64(w.start);
+    h.i64(w.end);
+  }
+  h.i64(f.backoff.base);
+  h.i64(f.backoff.cap);
+  h.f64(f.backoff.jitter);
+}
+
+}  // namespace
+
+std::uint64_t EnsembleSpec::spec_hash() const {
+  HashStream h;
+  h.u64(static_cast<std::uint64_t>(window));
+  h.f64(slack_fraction);
+  h.i64(checkpoint_cost);
+  h.u64(seed);
+  h.u64(replications);
+  h.u64(starts_grid);
+  h.u64(num_shards);
+  h.u64(bootstrap_replicates);
+  h.f64(ci_level);
+  hash_engine_options(h, engine);
+  h.u64(configs.size());
+  for (const EnsembleConfig& c : configs) hash_config(h, c);
+  h.u64(min_groups.size());
+  for (const MinGroup& g : min_groups) {
+    h.str(g.label);
+    h.u64(g.members.size());
+    for (std::size_t m : g.members) h.u64(m);
+  }
+  return h.digest();
+}
+
+}  // namespace redspot

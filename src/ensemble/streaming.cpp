@@ -1,0 +1,36 @@
+#include "ensemble/streaming.hpp"
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+StreamingSummary::StreamingSummary(StreamingSummaryOptions options)
+    : options_(options),
+      bootstrap_(options.bootstrap_replicates, options.bootstrap_seed) {
+  REDSPOT_CHECK(options.ci_level > 0.0 && options.ci_level < 1.0);
+}
+
+void StreamingSummary::add(std::uint64_t index, double x) {
+  welford_.add(x);
+  q1_.add(x);
+  q2_.add(x);
+  q3_.add(x);
+  bootstrap_.add(index, x);
+}
+
+void StreamingSummary::merge(const StreamingSummary& other) {
+  REDSPOT_CHECK(options_.bootstrap_replicates ==
+                other.options_.bootstrap_replicates);
+  REDSPOT_CHECK(options_.ci_level == other.options_.ci_level);
+  welford_.merge(other.welford_);
+  q1_.merge(other.q1_);
+  q2_.merge(other.q2_);
+  q3_.merge(other.q3_);
+  bootstrap_.merge(other.bootstrap_);
+}
+
+std::pair<double, double> StreamingSummary::mean_ci() const {
+  return bootstrap_.mean_ci(options_.ci_level, welford_.mean());
+}
+
+}  // namespace redspot

@@ -1,0 +1,67 @@
+// Streaming summary of one ensemble metric distribution.
+//
+// Folds per-replication scalars (costs, in dollars) into O(1) memory:
+// Welford mean/variance plus min/max (stats/descriptive.hpp), three P²
+// quantile markers (q1 / median / q3 — the boxplot statistics the paper
+// reports), and a Poisson-bootstrap CI for the mean (stats/streaming.hpp).
+// Observations carry their replication index so bootstrap weights are
+// reproducible regardless of accumulation order; merge() combines shard
+// accumulators deterministically (see DESIGN.md §8).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "stats/descriptive.hpp"
+#include "stats/streaming.hpp"
+
+namespace redspot {
+
+struct StreamingSummaryOptions {
+  std::size_t bootstrap_replicates = 200;
+  double ci_level = 0.95;
+  /// Fixes the bootstrap weight stream; derive via ReplicationSeeder.
+  std::uint64_t bootstrap_seed = 0;
+};
+
+/// Single-pass, mergeable summary of a scalar distribution.
+class StreamingSummary {
+ public:
+  explicit StreamingSummary(StreamingSummaryOptions options = {});
+
+  /// Accounts observation `index` (its replication number) with value `x`.
+  void add(std::uint64_t index, double x);
+
+  /// Folds `other` into this summary. Mean/variance/min/max merge exactly;
+  /// quantiles merge via the P² marker barycenter (approximate but
+  /// deterministic). Requires identical bootstrap replicate counts and CI
+  /// level.
+  void merge(const StreamingSummary& other);
+
+  std::size_t count() const { return welford_.count(); }
+  double mean() const { return welford_.mean(); }
+  double variance() const { return welford_.variance(); }
+  double stddev() const { return welford_.stddev(); }
+  double min() const { return welford_.min(); }
+  double max() const { return welford_.max(); }
+  double q1() const { return q1_.value(); }
+  double median() const { return q2_.value(); }
+  double q3() const { return q3_.value(); }
+
+  /// Bootstrap percentile CI for the mean at the configured level.
+  /// Requires count() > 0.
+  std::pair<double, double> mean_ci() const;
+
+  const StreamingSummaryOptions& options() const { return options_; }
+
+ private:
+  StreamingSummaryOptions options_;
+  RunningStats welford_;
+  P2Quantile q1_{0.25};
+  P2Quantile q2_{0.5};
+  P2Quantile q3_{0.75};
+  PoissonBootstrap bootstrap_;
+};
+
+}  // namespace redspot

@@ -36,6 +36,32 @@ std::string boxplot_table(const std::string& title,
   return os.str();
 }
 
+std::string ci_table(const std::string& title, std::span<const CiRow> rows,
+                     double ci_level) {
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  char line[320];
+  char ci_label[32];
+  std::snprintf(ci_label, sizeof(ci_label), "[%.0f%% CI]", ci_level * 100.0);
+  std::snprintf(line, sizeof(line),
+                "%-28s %5s %8s %-19s %8s %8s %8s %7s %-15s\n", "policy", "n",
+                "mean", ci_label, "q1", "median", "q3", "miss%", ci_label);
+  os << line;
+  for (const CiRow& r : rows) {
+    char mean_ci[32], miss_ci[32];
+    std::snprintf(mean_ci, sizeof(mean_ci), "[%7.2f, %7.2f]", r.ci_lo,
+                  r.ci_hi);
+    std::snprintf(miss_ci, sizeof(miss_ci), "[%5.2f, %5.2f]",
+                  r.miss_lo * 100.0, r.miss_hi * 100.0);
+    std::snprintf(line, sizeof(line),
+                  "%-28s %5zu %8.2f %-19s %8.2f %8.2f %8.2f %7.2f %-15s\n",
+                  r.label.c_str(), r.n, r.mean, mean_ci, r.q1, r.median,
+                  r.q3, r.miss_rate * 100.0, miss_ci);
+    os << line;
+  }
+  return os.str();
+}
+
 std::string two_column_table(
     const std::string& title,
     std::span<const std::pair<std::string, std::string>> rows) {

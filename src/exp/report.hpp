@@ -31,6 +31,32 @@ std::string boxplot_table(const std::string& title,
                           Money on_demand_reference,
                           Money lowest_spot_reference);
 
+/// One row of an ensemble summary: a cost distribution with a bootstrap
+/// CI for the mean plus the deadline-miss rate with its binomial CI
+/// (rates are fractions in [0, 1]; rendered as percentages).
+struct CiRow {
+  std::string label;
+  std::size_t n = 0;
+  double mean = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double miss_rate = 0.0;
+  double miss_lo = 0.0;
+  double miss_hi = 0.0;
+};
+
+/// Renders an ensemble table:
+///
+///   == title ==
+///   policy            n   mean [lo, hi]   q1  med  q3   miss% [lo, hi]
+///
+/// `ci_level` only labels the header (e.g. 0.95 -> "95% CI").
+std::string ci_table(const std::string& title, std::span<const CiRow> rows,
+                     double ci_level);
+
 /// A simple aligned two-column table for Tables 2/3-style summaries.
 std::string two_column_table(const std::string& title,
                              std::span<const std::pair<std::string,

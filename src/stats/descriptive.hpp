@@ -55,6 +55,10 @@ FiveNumberSummary five_number_summary(std::span<const double> xs);
 class RunningStats {
  public:
   void add(double x);
+  /// Folds `other` into this accumulator (Chan et al.'s pairwise update).
+  /// Exact up to floating-point rounding and deterministic: merging the
+  /// same pair of states always produces the same bits.
+  void merge(const RunningStats& other);
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }
   /// Sample variance (n-1 denominator); 0 for n < 2.

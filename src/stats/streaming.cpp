@@ -1,0 +1,271 @@
+#include "stats/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/random.hpp"
+#include "stats/descriptive.hpp"
+
+namespace redspot {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  REDSPOT_CHECK(q > 0.0 && q < 1.0);
+}
+
+void P2Quantile::init_markers() {
+  // First five samples, sorted, become the markers.
+  std::sort(h_, h_ + 5);
+  for (int i = 0; i < 5; ++i) pos_[i] = i + 1;
+  want_[0] = 1;
+  want_[1] = 1 + 2 * q_;
+  want_[2] = 1 + 4 * q_;
+  want_[3] = 3 + 2 * q_;
+  want_[4] = 5;
+  dwant_[0] = 0;
+  dwant_[1] = q_ / 2;
+  dwant_[2] = q_;
+  dwant_[3] = (1 + q_) / 2;
+  dwant_[4] = 1;
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    h_[n_++] = x;
+    if (n_ == 5) init_markers();
+    return;
+  }
+
+  // Locate the cell containing x and update the extreme markers.
+  int k;
+  if (x < h_[0]) {
+    h_[0] = x;
+    k = 0;
+  } else if (x >= h_[4]) {
+    h_[4] = std::max(h_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= h_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1;
+  for (int i = 0; i < 5; ++i) want_[i] += dwant_[i];
+  ++n_;
+
+  // Adjust the three interior markers toward their desired positions with
+  // the parabolic (P²) formula, falling back to linear when the parabola
+  // would cross a neighbour.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = want_[i] - pos_[i];
+    if ((d >= 1 && pos_[i + 1] - pos_[i] > 1) ||
+        (d <= -1 && pos_[i - 1] - pos_[i] < -1)) {
+      const double s = d < 0 ? -1.0 : 1.0;
+      const double hp = h_[i] +
+                        s / (pos_[i + 1] - pos_[i - 1]) *
+                            ((pos_[i] - pos_[i - 1] + s) *
+                                 (h_[i + 1] - h_[i]) /
+                                 (pos_[i + 1] - pos_[i]) +
+                             (pos_[i + 1] - pos_[i] - s) *
+                                 (h_[i] - h_[i - 1]) /
+                                 (pos_[i] - pos_[i - 1]));
+      if (h_[i - 1] < hp && hp < h_[i + 1]) {
+        h_[i] = hp;
+      } else {
+        h_[i] = h_[i] + s * (h_[i + (d < 0 ? -1 : 1)] - h_[i]) /
+                            (pos_[i + (d < 0 ? -1 : 1)] - pos_[i]);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  REDSPOT_CHECK(n_ > 0);
+  if (n_ < 5) {
+    double sorted[5];
+    std::copy(h_, h_ + n_, sorted);
+    std::sort(sorted, sorted + n_);
+    return quantile_sorted({sorted, n_}, q_);
+  }
+  return h_[2];
+}
+
+double P2Quantile::quantile_at(double p) const {
+  // Markers define a piecewise-linear inverse CDF: marker i sits at
+  // cumulative fraction (pos_[i] - 1) / (n - 1).
+  const double denom = static_cast<double>(n_ - 1);
+  if (p <= 0.0) return h_[0];
+  if (p >= 1.0) return h_[4];
+  for (int i = 0; i < 4; ++i) {
+    const double f0 = (pos_[i] - 1) / denom;
+    const double f1 = (pos_[i + 1] - 1) / denom;
+    if (p <= f1) {
+      if (f1 <= f0) return h_[i + 1];
+      const double t = (p - f0) / (f1 - f0);
+      return h_[i] + t * (h_[i + 1] - h_[i]);
+    }
+  }
+  return h_[4];
+}
+
+void P2Quantile::merge(const P2Quantile& other) {
+  REDSPOT_CHECK(q_ == other.q_);
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.n_ < 5) {
+    // Exact: replay the other side's buffered samples in arrival order.
+    for (std::size_t i = 0; i < other.n_; ++i) add(other.h_[i]);
+    return;
+  }
+  if (n_ < 5) {
+    // Fold our buffer into a copy of the initialized side (arrival order).
+    P2Quantile combined = other;
+    for (std::size_t i = 0; i < n_; ++i) combined.add(h_[i]);
+    *this = combined;
+    return;
+  }
+
+  // Both initialized: rebuild markers from the count-weighted average of
+  // the two inverse CDFs (the 1-Wasserstein barycenter of the two marker
+  // sketches), evaluated at the five desired cumulative fractions.
+  const double wa = static_cast<double>(n_);
+  const double wb = static_cast<double>(other.n_);
+  const double fracs[5] = {0.0, q_ / 2, q_, (1 + q_) / 2, 1.0};
+  double combined_h[5];
+  for (int i = 0; i < 5; ++i) {
+    combined_h[i] = (wa * quantile_at(fracs[i]) +
+                     wb * other.quantile_at(fracs[i])) /
+                    (wa + wb);
+  }
+  // Enforce monotonicity against rounding.
+  for (int i = 1; i < 5; ++i)
+    combined_h[i] = std::max(combined_h[i], combined_h[i - 1]);
+
+  n_ += other.n_;
+  const double dn = static_cast<double>(n_ - 1);
+  for (int i = 0; i < 5; ++i) {
+    h_[i] = combined_h[i];
+    pos_[i] = 1 + fracs[i] * dn;
+    want_[i] = pos_[i];
+  }
+  // dwant_ is invariant (depends only on q_).
+}
+
+PoissonBootstrap::PoissonBootstrap(std::size_t replicates, std::uint64_t seed)
+    : seed_(seed), sum_w_(replicates, 0.0), sum_wx_(replicates, 0.0) {
+  REDSPOT_CHECK(replicates >= 2);
+}
+
+namespace {
+
+/// Poisson(1) draw from a uniform via the inverse CDF; k <= 12 covers the
+/// distribution far beyond double precision.
+int poisson1_from_uniform(double u) {
+  double p = std::exp(-1.0);  // P(K = 0)
+  double cdf = p;
+  int k = 0;
+  while (u >= cdf && k < 12) {
+    ++k;
+    p /= static_cast<double>(k);
+    cdf += p;
+  }
+  return k;
+}
+
+}  // namespace
+
+void PoissonBootstrap::add(std::uint64_t index, double x) {
+  ++n_;
+  for (std::size_t b = 0; b < sum_w_.size(); ++b) {
+    // Counter-based weight: one SplitMix64 cascade keyed by
+    // (seed, index, b); no state is carried between observations.
+    std::uint64_t s = seed_ ^ (0x9E3779B97F4A7C15ULL * (index + 1));
+    (void)splitmix64(s);
+    s ^= 0xD1B54A32D192ED03ULL * (static_cast<std::uint64_t>(b) + 1);
+    const std::uint64_t bits = splitmix64(s);
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+    const int w = poisson1_from_uniform(u);
+    if (w == 0) continue;
+    sum_w_[b] += static_cast<double>(w);
+    sum_wx_[b] += static_cast<double>(w) * x;
+  }
+}
+
+void PoissonBootstrap::merge(const PoissonBootstrap& other) {
+  REDSPOT_CHECK(sum_w_.size() == other.sum_w_.size());
+  n_ += other.n_;
+  for (std::size_t b = 0; b < sum_w_.size(); ++b) {
+    sum_w_[b] += other.sum_w_[b];
+    sum_wx_[b] += other.sum_wx_[b];
+  }
+}
+
+std::pair<double, double> PoissonBootstrap::mean_ci(
+    double level, double fallback_mean) const {
+  REDSPOT_CHECK(n_ > 0);
+  REDSPOT_CHECK(level > 0.0 && level < 1.0);
+  std::vector<double> means(sum_w_.size());
+  for (std::size_t b = 0; b < sum_w_.size(); ++b) {
+    means[b] = sum_w_[b] > 0.0 ? sum_wx_[b] / sum_w_[b] : fallback_mean;
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - level) / 2.0;
+  return {quantile_sorted(means, alpha), quantile_sorted(means, 1.0 - alpha)};
+}
+
+std::pair<double, double> wilson_interval(std::size_t hits, std::size_t n,
+                                          double level) {
+  REDSPOT_CHECK(hits <= n);
+  REDSPOT_CHECK(level > 0.0 && level < 1.0);
+  if (n == 0) return {0.0, 0.0};
+  const double z = probit(1.0 - (1.0 - level) / 2.0);
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(hits) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double centre = p + z2 / (2.0 * nn);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+  return {std::max(0.0, (centre - margin) / denom),
+          std::min(1.0, (centre + margin) / denom)};
+}
+
+double probit(double p) {
+  REDSPOT_CHECK(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation in three regions.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace redspot

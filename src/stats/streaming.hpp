@@ -1,0 +1,105 @@
+// Streaming (single-pass, mergeable) estimators for the ensemble layer.
+//
+// The Monte-Carlo ensemble (src/ensemble/) folds thousands of replication
+// results into O(1)-memory accumulators, so every estimator here is
+// single-pass and supports an explicit merge() used to combine per-shard
+// accumulators in shard order. All operations are pure floating-point
+// functions of their inputs: given a fixed shard partition, a merged result
+// is bit-identical on every thread count.
+//
+//   * P2Quantile — the P² algorithm of Jain & Chlamtac (CACM 1985): five
+//     markers track one quantile without storing samples. merge() combines
+//     two estimators by averaging their inverse CDFs (a quantile-domain
+//     barycenter) — an approximation, but a deterministic one.
+//   * PoissonBootstrap — the online bootstrap (Oza & Russell): replicate b
+//     weights observation i by a Poisson(1) draw that depends only on
+//     (seed, i, b), so weights are reproducible regardless of processing
+//     order and replicate sums merge by addition.
+//   * wilson_interval — closed-form binomial CI for event rates
+//     (deadline misses).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace redspot {
+
+/// Streaming estimate of a single quantile q via the P² algorithm.
+/// Exact for the first 5 observations, O(1) memory thereafter.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+
+  /// Current estimate. Requires count() > 0.
+  double value() const;
+
+  /// Folds `other` into this estimator. When either side still buffers its
+  /// first samples the merge is exact; otherwise the combined marker state
+  /// is rebuilt from the count-weighted average of the two inverse CDFs.
+  /// Deterministic: merging the same states always yields the same bits.
+  void merge(const P2Quantile& other);
+
+ private:
+  void init_markers();
+  /// Piecewise-linear inverse CDF through the markers at cumulative
+  /// fraction p in [0, 1]. Requires n_ >= 5.
+  double quantile_at(double p) const;
+
+  double q_;
+  std::size_t n_ = 0;
+  // For n_ < 5, h_ holds the raw samples in arrival order; afterwards the
+  // five marker heights. pos_ are the 1-based marker positions, want_ the
+  // desired positions, dwant_ their per-observation increments.
+  double h_[5] = {0, 0, 0, 0, 0};
+  double pos_[5] = {0, 0, 0, 0, 0};
+  double want_[5] = {0, 0, 0, 0, 0};
+  double dwant_[5] = {0, 0, 0, 0, 0};
+};
+
+/// Streaming bootstrap CI for the mean. Replicate weights are a pure
+/// function of (seed, observation index, replicate), so accumulation order
+/// does not matter and merge() is exact (sums add).
+class PoissonBootstrap {
+ public:
+  /// `replicates` resampled means; `seed` fixes the weight stream.
+  PoissonBootstrap(std::size_t replicates, std::uint64_t seed);
+
+  /// Accounts observation `index` with value `x` in every replicate.
+  void add(std::uint64_t index, double x);
+
+  /// Adds `other`'s replicate sums to ours (requires equal replicate
+  /// counts; the seeds must match for the result to be a valid bootstrap
+  /// of one stream — merging distinct streams treats them as one sample).
+  void merge(const PoissonBootstrap& other);
+
+  std::size_t replicates() const { return sum_w_.size(); }
+  std::size_t count() const { return n_; }
+
+  /// Percentile CI of the resampled means at confidence `level` (e.g.
+  /// 0.95). Replicates that sampled nothing fall back to `fallback_mean`
+  /// (the full-sample mean). Requires count() > 0.
+  std::pair<double, double> mean_ci(double level, double fallback_mean) const;
+
+ private:
+  std::uint64_t seed_;
+  std::size_t n_ = 0;
+  std::vector<double> sum_w_;
+  std::vector<double> sum_wx_;
+};
+
+/// Wilson score interval for a binomial proportion: `hits` successes out
+/// of `n` trials at confidence `level` in (0, 1). Returns {0, 0} for n == 0.
+std::pair<double, double> wilson_interval(std::size_t hits, std::size_t n,
+                                          double level);
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.2e-9). Requires p in (0, 1).
+double probit(double p);
+
+}  // namespace redspot

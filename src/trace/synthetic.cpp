@@ -169,6 +169,21 @@ ZoneTraceSet generate_traces(const SyntheticTraceSpec& spec) {
   return set;
 }
 
+SyntheticTraceSpec trimmed_spec(SyntheticTraceSpec spec, SimTime keep_until) {
+  REDSPOT_CHECK(keep_until > 0);
+  SimTime span = 0;
+  std::size_t months = 0;
+  while (span < keep_until && months < spec.params.size()) {
+    span += (months < kTraceMonths ? days_in_month(months) : 30) * kDay;
+    ++months;
+  }
+  REDSPOT_CHECK_MSG(span >= keep_until, "keep_until beyond the spec's span");
+  spec.params.resize(months);
+  std::erase_if(spec.forced_spikes,
+                [span](const ForcedSpike& fs) { return fs.start >= span; });
+  return spec;
+}
+
 SyntheticTraceSpec paper_trace_spec(std::uint64_t seed) {
   SyntheticTraceSpec spec;
   spec.seed = seed;

@@ -97,6 +97,14 @@ struct SyntheticTraceSpec {
 /// Generates the trace set described by `spec`.
 ZoneTraceSet generate_traces(const SyntheticTraceSpec& spec);
 
+/// Returns `spec` truncated to the fewest whole months covering
+/// [0, keep_until): later months' parameters and forced spikes starting at
+/// or after the kept span are dropped. The generator's per-zone streams
+/// consume randomness strictly in step order, so the trimmed spec produces
+/// bit-identical prices over the kept prefix — the ensemble layer uses this
+/// to synthesize only the evaluation window of each replication.
+SyntheticTraceSpec trimmed_spec(SyntheticTraceSpec spec, SimTime keep_until);
+
 /// The calibrated 14-month, 3-zone specification reproducing the paper's
 /// published data statistics (see file comment). `seed` varies the sample
 /// path, not the calibration.

@@ -1,0 +1,399 @@
+// Tests for the Monte-Carlo ensemble subsystem: counter-based seeding,
+// streaming estimators vs. their batch counterparts (property tests),
+// trace trimming, thread-count invariance of EnsembleRunner, the result
+// cache, and min-group semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/random.hpp"
+#include "common/time.hpp"
+#include "ensemble/cache.hpp"
+#include "ensemble/runner.hpp"
+#include "ensemble/seeder.hpp"
+#include "ensemble/streaming.hpp"
+#include "exp/scenario.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/streaming.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/zone_traces.hpp"
+
+namespace redspot {
+namespace {
+
+// ---------------------------------------------------------------- seeding --
+
+TEST(ReplicationSeederTest, PureFunctionOfInputs) {
+  const ReplicationSeeder a(42);
+  const ReplicationSeeder b(42);
+  for (std::uint64_t r : {0ULL, 1ULL, 999ULL, 1'000'000ULL}) {
+    for (SeedDomain d :
+         {SeedDomain::kTrace, SeedDomain::kQueueDelay, SeedDomain::kBootstrap}) {
+      EXPECT_EQ(a.seed(r, d), b.seed(r, d));
+    }
+  }
+}
+
+TEST(ReplicationSeederTest, DistinctAcrossReplicationsDomainsAndBases) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ULL, 1ULL, 42ULL}) {
+    const ReplicationSeeder s(base);
+    for (std::uint64_t r = 0; r < 200; ++r) {
+      for (SeedDomain d : {SeedDomain::kTrace, SeedDomain::kQueueDelay,
+                           SeedDomain::kBootstrap}) {
+        seen.insert(s.seed(r, d));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 3u * 200u * 3u);  // no collisions in this range
+}
+
+// --------------------------------------------- streaming vs. batch (props) --
+
+std::vector<double> lognormal_sample(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, /*stream=*/17);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.lognormal(0.0, 0.5);
+  return xs;
+}
+
+TEST(StreamingSummaryTest, ExactForFewerThanFiveSamples) {
+  StreamingSummary s;
+  const double xs[] = {3.0, 1.0, 2.0};
+  for (std::uint64_t i = 0; i < 3; ++i) s.add(i, xs[i]);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(StreamingSummaryTest, SinglePassMatchesBatchDescriptive) {
+  const std::vector<double> xs = lognormal_sample(4000, 99);
+  StreamingSummary s({.bootstrap_replicates = 100, .ci_level = 0.95,
+                      .bootstrap_seed = 7});
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    s.add(static_cast<std::uint64_t>(i), xs[i]);
+
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-9 * std::abs(mean(xs)));
+  EXPECT_NEAR(s.variance(), variance(xs), 1e-9 * variance(xs));
+  EXPECT_DOUBLE_EQ(s.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(s.max(), max_of(xs));
+  // P² is approximate; for 4000 lognormal(0, 0.5) samples the estimate
+  // stays within a few percent of the exact sample quantile.
+  const double spread = quantile(xs, 0.75) - quantile(xs, 0.25);
+  EXPECT_NEAR(s.q1(), quantile(xs, 0.25), 0.10 * spread);
+  EXPECT_NEAR(s.median(), quantile(xs, 0.5), 0.10 * spread);
+  EXPECT_NEAR(s.q3(), quantile(xs, 0.75), 0.10 * spread);
+
+  const auto [lo, hi] = s.mean_ci();
+  EXPECT_LT(lo, hi);
+  EXPECT_LT(lo, s.mean());
+  EXPECT_GT(hi, s.mean());
+}
+
+TEST(StreamingSummaryTest, MergedShardsMatchBatchOverUnion) {
+  const std::vector<double> xs = lognormal_sample(3000, 1234);
+  const StreamingSummaryOptions options{.bootstrap_replicates = 80,
+                                        .ci_level = 0.95,
+                                        .bootstrap_seed = 11};
+  // Uneven split into 7 shards, each accumulated in index order, merged in
+  // shard order — exactly the runner's reduction shape.
+  const std::size_t cuts[] = {0, 100, 101, 900, 901, 1500, 2999, 3000};
+  StreamingSummary merged(options);
+  for (std::size_t c = 0; c + 1 < std::size(cuts); ++c) {
+    StreamingSummary shard(options);
+    for (std::size_t i = cuts[c]; i < cuts[c + 1]; ++i)
+      shard.add(static_cast<std::uint64_t>(i), xs[i]);
+    merged.merge(shard);
+  }
+
+  EXPECT_EQ(merged.count(), xs.size());
+  EXPECT_NEAR(merged.mean(), mean(xs), 1e-9 * std::abs(mean(xs)));
+  EXPECT_NEAR(merged.variance(), variance(xs), 1e-9 * variance(xs));
+  EXPECT_DOUBLE_EQ(merged.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(merged.max(), max_of(xs));
+  const double spread = quantile(xs, 0.75) - quantile(xs, 0.25);
+  EXPECT_NEAR(merged.q1(), quantile(xs, 0.25), 0.15 * spread);
+  EXPECT_NEAR(merged.median(), quantile(xs, 0.5), 0.15 * spread);
+  EXPECT_NEAR(merged.q3(), quantile(xs, 0.75), 0.15 * spread);
+}
+
+TEST(StreamingSummaryTest, MergeIsDeterministic) {
+  const std::vector<double> xs = lognormal_sample(500, 5);
+  const StreamingSummaryOptions options{.bootstrap_replicates = 40,
+                                        .ci_level = 0.95,
+                                        .bootstrap_seed = 3};
+  auto build = [&] {
+    StreamingSummary total(options);
+    for (std::size_t lo : {std::size_t{0}, std::size_t{250}}) {
+      StreamingSummary shard(options);
+      for (std::size_t i = lo; i < lo + 250; ++i)
+        shard.add(static_cast<std::uint64_t>(i), xs[i]);
+      total.merge(shard);
+    }
+    return total;
+  };
+  const StreamingSummary a = build();
+  const StreamingSummary b = build();
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.q1(), b.q1());
+  EXPECT_EQ(a.median(), b.median());
+  EXPECT_EQ(a.q3(), b.q3());
+  EXPECT_EQ(a.mean_ci(), b.mean_ci());
+}
+
+TEST(StreamingSummaryTest, MergeRejectsMismatchedEstimators) {
+  StreamingSummary a({.bootstrap_replicates = 10});
+  StreamingSummary b({.bootstrap_replicates = 20});
+  EXPECT_THROW(a.merge(b), CheckFailure);
+}
+
+TEST(P2QuantileTest, TracksBatchQuantileOnSkewedData) {
+  const std::vector<double> xs = lognormal_sample(5000, 77);
+  for (double q : {0.25, 0.5, 0.75, 0.9}) {
+    P2Quantile est(q);
+    for (double x : xs) est.add(x);
+    const double exact = quantile(xs, q);
+    const double spread = quantile(xs, 0.9) - quantile(xs, 0.1);
+    EXPECT_NEAR(est.value(), exact, 0.05 * spread) << "q=" << q;
+  }
+}
+
+TEST(PoissonBootstrapTest, WeightsArePureFunctionsOfSeedIndexReplicate) {
+  const std::vector<double> xs = lognormal_sample(400, 21);
+  auto run = [&](bool reversed) {
+    PoissonBootstrap boot(50, /*seed=*/9);
+    if (reversed) {
+      for (std::size_t i = xs.size(); i-- > 0;)
+        boot.add(static_cast<std::uint64_t>(i), xs[i]);
+    } else {
+      for (std::size_t i = 0; i < xs.size(); ++i)
+        boot.add(static_cast<std::uint64_t>(i), xs[i]);
+    }
+    return boot.mean_ci(0.95, mean(xs));
+  };
+  const auto forward = run(false);
+  const auto backward = run(true);
+  // Same weights either way; only the floating-point summation order
+  // differs, so the CIs agree to rounding.
+  EXPECT_NEAR(forward.first, backward.first, 1e-9);
+  EXPECT_NEAR(forward.second, backward.second, 1e-9);
+  EXPECT_EQ(run(false), run(false));  // identical order → identical bits
+}
+
+TEST(PoissonBootstrapTest, CiBracketsTheMeanAndNarrowsWithN) {
+  auto half_width = [](std::size_t n) {
+    const std::vector<double> xs = lognormal_sample(n, 31);
+    PoissonBootstrap boot(200, 4);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      boot.add(static_cast<std::uint64_t>(i), xs[i]);
+    const auto [lo, hi] = boot.mean_ci(0.95, mean(xs));
+    EXPECT_LT(lo, mean(xs));
+    EXPECT_GT(hi, mean(xs));
+    return hi - lo;
+  };
+  EXPECT_GT(half_width(100), half_width(6400));
+}
+
+TEST(WilsonIntervalTest, KnownValues) {
+  EXPECT_EQ(wilson_interval(0, 0, 0.95), (std::pair<double, double>{0, 0}));
+  const auto none = wilson_interval(0, 50, 0.95);
+  EXPECT_NEAR(none.first, 0.0, 1e-12);
+  EXPECT_GT(none.second, 0.0);   // zero observed misses != zero risk
+  EXPECT_LT(none.second, 0.10);
+  const auto all = wilson_interval(50, 50, 0.95);
+  EXPECT_NEAR(all.second, 1.0, 1e-12);
+  EXPECT_LT(all.first, 1.0);
+  const auto half = wilson_interval(25, 50, 0.95);
+  EXPECT_LT(half.first, 0.5);
+  EXPECT_GT(half.second, 0.5);
+}
+
+TEST(ProbitTest, MatchesTabulatedNormalQuantiles) {
+  EXPECT_NEAR(probit(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(probit(0.975), 1.9599639845, 1e-6);
+  EXPECT_NEAR(probit(0.025), -1.9599639845, 1e-6);
+  EXPECT_NEAR(probit(0.99), 2.3263478740, 1e-6);
+}
+
+// ---------------------------------------------------------- trace trimming --
+
+TEST(TrimmedSpecTest, PrefixBitIdenticalToFullTrace) {
+  const SyntheticTraceSpec full_spec = paper_trace_spec(7);
+  const SimTime keep = window_end(VolatilityWindow::kHigh);
+  const ZoneTraceSet full = generate_traces(full_spec);
+  const ZoneTraceSet trimmed = generate_traces(trimmed_spec(full_spec, keep));
+
+  ASSERT_EQ(trimmed.num_zones(), full.num_zones());
+  ASSERT_GE(trimmed.end(), keep);
+  ASSERT_LT(trimmed.end(), full.end());
+  for (std::size_t z = 0; z < full.num_zones(); ++z) {
+    for (SimTime t = 0; t < keep; t += 6 * kHour) {
+      ASSERT_TRUE(full.price(z, t) == trimmed.price(z, t))
+          << "zone " << z << " t=" << t;
+    }
+  }
+}
+
+TEST(TrimmedSpecTest, RejectsSpanBeyondSpec) {
+  const SyntheticTraceSpec spec = paper_trace_spec(7);
+  EXPECT_THROW(trimmed_spec(spec, 500 * kDay), CheckFailure);  // span ~425d
+  EXPECT_THROW(trimmed_spec(spec, 0), CheckFailure);
+}
+
+// --------------------------------------------------------- EnsembleRunner --
+
+EnsembleSpec small_spec() {
+  EnsembleSpec spec;
+  spec.window = VolatilityWindow::kHigh;
+  spec.slack_fraction = 0.15;
+  spec.checkpoint_cost = 300;
+  spec.seed = 123;
+  spec.replications = 24;
+  spec.num_shards = 8;
+  spec.bootstrap_replicates = 50;
+  spec.use_cache = false;
+  EnsembleConfig periodic;
+  periodic.policy = PolicyKind::kPeriodic;
+  periodic.zones = {0};
+  EnsembleConfig threshold;
+  threshold.policy = PolicyKind::kThreshold;
+  threshold.zones = {1};
+  spec.configs = {periodic, threshold};
+  spec.min_groups.push_back({"best of 2", {0, 1}});
+  return spec;
+}
+
+TEST(EnsembleRunnerTest, SummaryIsBitIdenticalAcrossThreadCounts) {
+  const EnsembleRunner runner(small_spec());
+  ThreadPool one(1);
+  ThreadPool two(2);
+  ThreadPool hw(0);
+  const EnsembleResult r1 = runner.run(one);
+  const EnsembleResult r2 = runner.run(two);
+  const EnsembleResult rh = runner.run(hw);
+
+  const std::string t1 = r1.table("invariance");
+  EXPECT_EQ(t1, r2.table("invariance"));
+  EXPECT_EQ(t1, rh.table("invariance"));
+
+  ASSERT_EQ(r1.configs.size(), r2.configs.size());
+  for (std::size_t c = 0; c < r1.configs.size(); ++c) {
+    const StreamingSummary& a = r1.configs[c].cost();
+    const StreamingSummary& b = r2.configs[c].cost();
+    // Bitwise, not approximate: the determinism contract.
+    EXPECT_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.variance(), b.variance());
+    EXPECT_EQ(a.q1(), b.q1());
+    EXPECT_EQ(a.median(), b.median());
+    EXPECT_EQ(a.q3(), b.q3());
+    EXPECT_EQ(a.mean_ci(), b.mean_ci());
+    EXPECT_EQ(r1.configs[c].deadline_misses(), r2.configs[c].deadline_misses());
+    EXPECT_EQ(r1.configs[c].restarts().mean(), r2.configs[c].restarts().mean());
+  }
+}
+
+TEST(EnsembleRunnerTest, FoldsEveryReplicationAndMeetsDeadlines) {
+  const EnsembleSpec spec = small_spec();
+  const EnsembleResult r = EnsembleRunner(spec).run();
+  ASSERT_EQ(r.configs.size(), 2u);
+  ASSERT_EQ(r.groups.size(), 1u);
+  for (const ConfigSummary& c : r.configs) {
+    EXPECT_EQ(c.count(), spec.replications);
+    // The engine's on-demand fallback guarantees the deadline in every
+    // fault-free replication.
+    EXPECT_EQ(c.deadline_misses(), 0u);
+    EXPECT_EQ(c.incomplete(), 0u);
+    EXPECT_GT(c.cost().mean(), 0.0);
+  }
+}
+
+TEST(EnsembleRunnerTest, MinGroupIsPerReplicationMinimum) {
+  const EnsembleResult r = EnsembleRunner(small_spec()).run();
+  const ConfigSummary& best = r.groups[0];
+  EXPECT_EQ(best.count(), r.configs[0].count());
+  for (const ConfigSummary& member : r.configs) {
+    EXPECT_LE(best.cost().mean(), member.cost().mean() + 1e-9);
+    EXPECT_LE(best.cost().min(), member.cost().min() + 1e-9);
+  }
+}
+
+TEST(EnsembleRunnerTest, CacheHitReturnsIdenticalResult) {
+  EnsembleSpec spec = small_spec();
+  spec.use_cache = true;
+  spec.seed = 777;
+  spec.replications = 8;
+  spec.num_shards = 4;
+  EnsembleCache::global().clear();
+
+  const EnsembleRunner runner(spec);
+  const EnsembleResult first = runner.run();
+  EXPECT_FALSE(first.from_cache);
+  const EnsembleResult second = runner.run();
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(first.table("t"), second.table("t"));
+
+  const EnsembleCache::Stats stats = EnsembleCache::global().stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.misses, 1u);
+  EXPECT_GE(stats.entries, 1u);
+  EnsembleCache::global().clear();
+  EXPECT_EQ(EnsembleCache::global().stats().entries, 0u);
+}
+
+TEST(EnsembleSpecTest, HashCoversResultAffectingFieldsOnly) {
+  const EnsembleSpec base = small_spec();
+  EXPECT_EQ(base.spec_hash(), small_spec().spec_hash());
+
+  EnsembleSpec s = small_spec();
+  s.use_cache = !s.use_cache;
+  EXPECT_EQ(base.spec_hash(), s.spec_hash());  // not result-affecting
+
+  s = small_spec();
+  s.seed = 124;
+  EXPECT_NE(base.spec_hash(), s.spec_hash());
+  s = small_spec();
+  s.replications = 25;
+  EXPECT_NE(base.spec_hash(), s.spec_hash());
+  s = small_spec();
+  s.configs[0].bid = Money::cents(101);
+  EXPECT_NE(base.spec_hash(), s.spec_hash());
+  s = small_spec();
+  s.min_groups[0].members = {0};
+  EXPECT_NE(base.spec_hash(), s.spec_hash());
+}
+
+TEST(EnsembleSpecTest, ValidateRejectsMalformedSpecs) {
+  EnsembleSpec s = small_spec();
+  s.configs.clear();
+  EXPECT_THROW(s.validate(), CheckFailure);
+
+  s = small_spec();
+  s.replications = 0;
+  EXPECT_THROW(s.validate(), CheckFailure);
+
+  s = small_spec();
+  s.min_groups[0].members = {0, 5};  // out of range
+  EXPECT_THROW(s.validate(), CheckFailure);
+}
+
+TEST(EnsembleConfigTest, LabelsAreDerivedOrExplicit) {
+  EnsembleConfig c;
+  c.policy = PolicyKind::kPeriodic;
+  c.zones = {0, 1, 2};
+  EXPECT_FALSE(c.display_label().empty());
+  c.label = "custom";
+  EXPECT_EQ(c.display_label(), "custom");
+}
+
+}  // namespace
+}  // namespace redspot

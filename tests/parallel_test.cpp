@@ -1,0 +1,153 @@
+// Tests for the ThreadPool / parallel_for layer: index coverage, the fixed
+// shard partition contract, shutdown semantics, and a submit/wait_idle
+// stress test meant to run under ThreadSanitizer (see ci.yml).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace redspot {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+    ThreadPool pool(threads);
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                          std::size_t{64}, std::size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      parallel_for(pool, 0, n,
+                   [&](std::size_t i) { hits[i].fetch_add(1); });
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " n=" << n
+                                     << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, RespectsBeginOffset) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(25);
+  parallel_for(pool, 10, 25, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 25; ++i)
+    EXPECT_EQ(hits[i].load(), i >= 10 ? 1 : 0) << "i=" << i;
+}
+
+TEST(ParallelForTest, FewerIndicesThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(pool, 0, 3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForTest, DefaultPoolOverload) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(0, 100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+using ShardBounds = std::vector<std::tuple<std::size_t, std::size_t>>;
+
+ShardBounds collect_bounds(ThreadPool& pool, std::size_t n,
+                           std::size_t num_shards) {
+  ShardBounds bounds(num_shards);
+  std::mutex m;
+  parallel_for_shards(pool, n, num_shards,
+                      [&](std::size_t s, std::size_t lo, std::size_t hi) {
+                        std::lock_guard<std::mutex> lock(m);
+                        bounds[s] = {lo, hi};
+                      });
+  return bounds;
+}
+
+TEST(ParallelForShardsTest, ShardsAreContiguousDisjointAndCoverRange) {
+  ThreadPool pool(4);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                        std::size_t{103}, std::size_t{1000}}) {
+    for (std::size_t shards : {std::size_t{1}, std::size_t{7},
+                               std::size_t{16}, std::size_t{200}}) {
+      const ShardBounds bounds = collect_bounds(pool, n, shards);
+      std::size_t next = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto [lo, hi] = bounds[s];
+        ASSERT_LE(lo, hi) << "n=" << n << " shards=" << shards << " s=" << s;
+        ASSERT_EQ(lo, next) << "n=" << n << " shards=" << shards << " s=" << s;
+        next = hi;
+      }
+      ASSERT_EQ(next, n) << "n=" << n << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ParallelForShardsTest, TrailingShardsEmptyWhenMoreShardsThanIndices) {
+  ThreadPool pool(2);
+  const ShardBounds bounds = collect_bounds(pool, 3, 8);
+  std::size_t nonempty = 0;
+  for (const auto& [lo, hi] : bounds) nonempty += (hi > lo) ? 1 : 0;
+  EXPECT_EQ(nonempty, 3u);  // ceil(3/8) = 1 index per non-empty shard
+}
+
+TEST(ParallelForShardsTest, BoundariesIndependentOfPoolSize) {
+  ThreadPool serial(1);
+  ThreadPool wide(6);
+  for (std::size_t n : {std::size_t{17}, std::size_t{64}, std::size_t{999}}) {
+    for (std::size_t shards : {std::size_t{4}, std::size_t{64}}) {
+      EXPECT_EQ(collect_bounds(serial, n, shards),
+                collect_bounds(wide, n, shards))
+          << "n=" << n << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran.fetch_add(1); });
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 1);  // shutdown drains, never drops
+  EXPECT_THROW(pool.submit([] {}), CheckFailure);
+  pool.shutdown();  // idempotent
+  EXPECT_THROW(pool.submit([] {}), CheckFailure);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNothingSubmitted) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+// Stress test: several producer threads hammer submit() while others call
+// wait_idle() concurrently. Primarily a ThreadSanitizer target; the
+// functional assertion is that no task is lost or double-run.
+TEST(ThreadPoolTest, StressConcurrentSubmitAndWaitIdle) {
+  ThreadPool pool(4);
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kTasksPerProducer = 500;
+  std::atomic<std::size_t> ran{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &ran] {
+      for (std::size_t t = 0; t < kTasksPerProducer; ++t) {
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+        if (t % 64 == 0) pool.wait_idle();
+      }
+    });
+  }
+  for (std::size_t i = 0; i < 8; ++i) pool.wait_idle();
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyFallback) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace redspot

@@ -79,6 +79,32 @@ TEST(Descriptive, RunningStatsMatchesBatch) {
   EXPECT_EQ(rs.count(), 500u);
 }
 
+TEST(Descriptive, RunningStatsMergeMatchesBatch) {
+  // Chan et al.'s pairwise update: merging per-chunk accumulators must
+  // match a single pass over the union, for any split (including empty
+  // and singleton chunks).
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 600; ++i) xs.push_back(rng.lognormal(0.0, 1.0));
+  const std::size_t cuts[] = {0, 0, 1, 17, 300, 599, 600, 600};
+  RunningStats merged;
+  for (std::size_t c = 0; c + 1 < std::size(cuts); ++c) {
+    RunningStats chunk;
+    for (std::size_t i = cuts[c]; i < cuts[c + 1]; ++i) chunk.add(xs[i]);
+    merged.merge(chunk);
+  }
+  EXPECT_EQ(merged.count(), xs.size());
+  EXPECT_NEAR(merged.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(merged.variance(), variance(xs), 1e-8);
+  EXPECT_DOUBLE_EQ(merged.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(merged.max(), max_of(xs));
+
+  RunningStats into_empty;
+  into_empty.merge(merged);  // merge into fresh accumulator copies state
+  EXPECT_EQ(into_empty.mean(), merged.mean());
+  EXPECT_EQ(into_empty.variance(), merged.variance());
+}
+
 TEST(Descriptive, RunningStatsEmptyAndOne) {
   RunningStats rs;
   EXPECT_EQ(rs.count(), 0u);

@@ -20,15 +20,27 @@
 //     --trace FILE.csv           fixed-grid trace instead of synthetic
 //     --events FILE.csv          raw change-event trace (resampled)
 //     --timeline                 print the run timeline (single run)
+//
+//   redspot_sim ensemble [options]
+//     Monte-Carlo mode: evaluates the configuration over N independently
+//     seeded trace realizations (src/ensemble/) and prints the cost
+//     distribution with a bootstrap CI. Shares the options above (except
+//     --experiments/--chunk/--trace/--events/--timeline), plus:
+//     --replications N           trace realizations            [1000]
+//     --shards N                 deterministic reduction shards  [64]
+//     --threads N                worker threads; 0 = hardware     [0]
+//     --no-cache                 bypass the process result cache
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "core/adaptive/adaptive_runner.hpp"
 #include "core/engine.hpp"
 #include "core/policies/large_bid.hpp"
+#include "ensemble/runner.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
@@ -56,6 +68,11 @@ struct Args {
   std::string trace_file;
   std::string events_file;
   bool timeline = false;
+  // ensemble mode
+  std::size_t replications = 1000;
+  std::size_t shards = 64;
+  std::size_t threads = 0;
+  bool no_cache = false;
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -121,6 +138,14 @@ Args parse(int argc, char** argv) {
       a.events_file = need(i++);
     } else if (opt == "--timeline") {
       a.timeline = true;
+    } else if (opt == "--replications") {
+      a.replications = std::strtoull(need(i++), nullptr, 10);
+    } else if (opt == "--shards") {
+      a.shards = std::strtoull(need(i++), nullptr, 10);
+    } else if (opt == "--threads") {
+      a.threads = std::strtoull(need(i++), nullptr, 10);
+    } else if (opt == "--no-cache") {
+      a.no_cache = true;
     } else {
       usage(("unknown option " + opt).c_str());
     }
@@ -157,9 +182,65 @@ void print_run(const RunResult& r, bool timeline) {
   if (timeline) std::fputs(r.timeline_str().c_str(), stdout);
 }
 
+/// `redspot_sim ensemble`: one configuration over N seeded realizations.
+int run_ensemble(const Args& args) {
+  EnsembleSpec spec;
+  spec.window = args.window;
+  spec.slack_fraction = args.slack;
+  spec.checkpoint_cost = args.tc;
+  spec.seed = args.seed;
+  spec.replications = args.replications;
+  spec.num_shards = args.shards;
+  spec.use_cache = !args.no_cache;
+  spec.engine.termination_notice = args.notice;
+
+  EnsembleConfig config;
+  if (args.policy == "adaptive") {
+    config.kind = EnsembleConfig::Kind::kAdaptive;
+  } else if (args.policy == "large-bid") {
+    config.kind = EnsembleConfig::Kind::kLargeBid;
+    config.threshold = args.threshold;
+    config.zones = args.zones;
+  } else {
+    config.kind = EnsembleConfig::Kind::kFixedPolicy;
+    config.bid = args.bid;
+    config.zones = args.zones;
+    bool known = false;
+    for (PolicyKind kind :
+         {PolicyKind::kPeriodic, PolicyKind::kMarkovDaly,
+          PolicyKind::kRisingEdge, PolicyKind::kThreshold}) {
+      if (args.policy == to_string(kind)) {
+        config.policy = kind;
+        known = true;
+      }
+    }
+    if (!known) usage(("unknown policy " + args.policy).c_str());
+  }
+  spec.configs.push_back(config);
+
+  ThreadPool pool(args.threads);
+  const Scenario scenario{args.window, args.slack, args.tc, spec.starts_grid};
+  const EnsembleResult result = EnsembleRunner(spec).run(pool);
+  std::fputs(result
+                 .table("redspot_sim ensemble — " + scenario.label() +
+                        ", seed " + std::to_string(args.seed))
+                 .c_str(),
+             stdout);
+  const ConfigSummary& s = result.configs[0];
+  std::printf("replications %zu (%s), incomplete %llu, "
+              "switched to on-demand %llu\n",
+              s.count(), result.from_cache ? "cached" : "computed",
+              static_cast<unsigned long long>(s.incomplete()),
+              static_cast<unsigned long long>(s.switched_to_on_demand()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "ensemble") == 0) {
+    return run_ensemble(parse(argc - 1, argv + 1));
+  }
   const Args args = parse(argc, argv);
 
   ZoneTraceSet traces = !args.trace_file.empty()
