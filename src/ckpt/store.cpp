@@ -20,8 +20,7 @@ void CheckpointStore::invalidate_latest() {
       return;
     }
   }
-  REDSPOT_CHECK_MSG(false, "invalidate_latest on a store with no valid "
-                           "checkpoint");
+  REDSPOT_CHECK_FAIL("invalidate_latest on a store with no valid checkpoint");
 }
 
 void CheckpointStore::invalidate(std::size_t index) {

@@ -38,6 +38,18 @@ namespace detail {
       ::redspot::detail::check_failed(#cond, __FILE__, __LINE__, "");   \
   } while (false)
 
+/// Unconditional failure, for use as a function terminator after an
+/// exhaustive switch or search. Unlike REDSPOT_CHECK(false, ...), the
+/// [[noreturn]] call is not hidden behind a conditional, so gcc's
+/// -Werror=return-type stays satisfied even when sanitizer
+/// instrumentation defeats dead-branch folding.
+#define REDSPOT_CHECK_FAIL(stream_expr)                                 \
+  ::redspot::detail::check_failed(                                      \
+      "unreachable", __FILE__, __LINE__,                                \
+      static_cast<std::ostringstream&&>(std::ostringstream{}            \
+                                        << stream_expr)                 \
+          .str())
+
 /// As REDSPOT_CHECK but with a streamed message, e.g.
 /// REDSPOT_CHECK_MSG(x > 0, "x=" << x).
 #define REDSPOT_CHECK_MSG(cond, stream_expr)                            \

@@ -1,0 +1,93 @@
+#include "common/fs.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace redspot {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+std::string parent_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void fsync_file(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0) fail("cannot flush", path);
+  if (::fsync(fileno(f)) != 0) fail("cannot fsync", path);
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::string dir = parent_of(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) fail("cannot open directory", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) fail("cannot fsync directory", dir);
+}
+
+void atomic_write_file(const std::string& path, const std::string& contents) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open for writing", tmp);
+
+  const char* p = contents.data();
+  std::size_t remaining = contents.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("write failed", tmp);
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("cannot fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("cannot close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("cannot rename over", path);
+  }
+  fsync_parent_dir(path);
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) fail("cannot open", path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    out.append(buf, n);
+    if (n < sizeof(buf)) break;
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) fail("read failed", path);
+  return out;
+}
+
+}  // namespace redspot

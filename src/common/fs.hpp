@@ -1,0 +1,37 @@
+// Crash-safe filesystem primitives.
+//
+// Everything redspot persists — exported trace CSVs, journal files — must
+// survive a crash at any instant without leaving a half-written file that a
+// later reader half-accepts. atomic_write_file implements the classic
+// write-temp → fsync → rename protocol: after it returns, the destination
+// holds the complete new contents; if the process dies at any point before
+// that, the destination either does not exist or still holds its previous
+// complete contents (the leftover temp file is ignorable garbage). Append
+// durability for the run journal is handled separately in src/journal/ via
+// fsync_file plus a checksummed record format that tolerates a torn tail.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace redspot {
+
+/// Atomically replaces `path` with `contents`: writes `path`.tmp.<pid>,
+/// flushes it to disk, renames it over `path`, then syncs the parent
+/// directory so the rename itself is durable. Throws std::runtime_error on
+/// any I/O failure (the temp file is removed; `path` is untouched).
+void atomic_write_file(const std::string& path, const std::string& contents);
+
+/// fflush + fsync an open stdio stream. Throws std::runtime_error on
+/// failure, naming `path` in the message.
+void fsync_file(std::FILE* f, const std::string& path);
+
+/// fsyncs the directory containing `path`, making a rename or creation of
+/// `path` durable. Throws std::runtime_error on failure.
+void fsync_parent_dir(const std::string& path);
+
+/// Reads a whole file into a string. Throws std::runtime_error if the file
+/// cannot be opened or read.
+std::string read_file(const std::string& path);
+
+}  // namespace redspot

@@ -1,0 +1,41 @@
+#include "common/interrupt.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+namespace redspot {
+
+namespace {
+
+// The handler only touches lock-free atomics and _exit, all
+// async-signal-safe.
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int /*signo*/) {
+  if (g_interrupted.exchange(true, std::memory_order_acq_rel)) {
+    _exit(130);  // second signal: the drain is stuck or the user insists
+  }
+}
+
+}  // namespace
+
+void install_interrupt_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+const std::atomic<bool>& interrupt_flag() { return g_interrupted; }
+
+bool interrupt_requested() {
+  return g_interrupted.load(std::memory_order_acquire);
+}
+
+void reset_interrupt_flag() {
+  g_interrupted.store(false, std::memory_order_release);
+}
+
+}  // namespace redspot

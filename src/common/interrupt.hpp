@@ -1,0 +1,30 @@
+// Graceful-interruption flag for long runs.
+//
+// redspot-sim installs SIGINT/SIGTERM handlers that set a process-wide
+// atomic flag; the ensemble runner polls it between shards (via
+// parallel_for_shards' stop option) so an interrupted run stops claiming
+// new shards, drains in-flight work, journals what finished and exits
+// cleanly instead of discarding hours of completed replications. A second
+// signal while the drain is in progress force-exits immediately — the
+// escape hatch when a shard hangs.
+#pragma once
+
+#include <atomic>
+
+namespace redspot {
+
+/// Installs SIGINT/SIGTERM handlers that set interrupt_flag(). Idempotent.
+/// The first signal requests a graceful stop; a second one _exits(130).
+void install_interrupt_handlers();
+
+/// The process-wide stop flag (set by the signal handlers; never cleared
+/// by them). Safe to poll from any thread.
+const std::atomic<bool>& interrupt_flag();
+
+/// True once a SIGINT/SIGTERM has been received.
+bool interrupt_requested();
+
+/// Clears the flag (tests and repeated CLI runs only).
+void reset_interrupt_flag();
+
+}  // namespace redspot

@@ -1,6 +1,7 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -23,6 +24,9 @@ void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutting_down_ = true;
+    // An uncollected task exception cannot be rethrown from a destructor;
+    // drop it (the submitting code chose not to wait_idle()).
+    task_error_ = nullptr;
   }
   work_available_.notify_all();
   for (auto& w : workers_) {
@@ -46,6 +50,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (task_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(task_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -60,7 +69,12 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++in_flight_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (task_error_ == nullptr) task_error_ = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
@@ -71,24 +85,72 @@ void ThreadPool::worker_loop() {
 
 namespace {
 
+/// Message of the in-flight exception; call only from inside a catch.
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+/// First-failure capture shared by the chunk dispatchers: once a chunk
+/// throws, workers stop claiming (drain), and the original exception is
+/// rethrown after wait_idle so its type survives intact.
+struct FirstFailure {
+  std::mutex mutex;
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+
+  void capture() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (error == nullptr) error = std::current_exception();
+    failed.store(true, std::memory_order_release);
+  }
+};
+
 /// Dynamic chunked dispatch shared by parallel_for and parallel_for_shards:
 /// workers claim chunk indices [0, num_chunks) off one relaxed counter and
-/// invoke `chunk(c)`. Submits at most pool.size() pool tasks.
+/// invoke `chunk(c)`. Submits at most pool.size() pool tasks. Stops
+/// claiming new chunks on the first failure (or when `stop` is set),
+/// drains what is in flight, then rethrows the first captured exception.
 template <typename ChunkFn>
 void dispatch_chunks(ThreadPool& pool, std::size_t num_chunks,
-                     const ChunkFn& chunk) {
+                     const std::atomic<bool>* stop, const ChunkFn& chunk) {
+  FirstFailure failure;
   std::atomic<std::size_t> next{0};
   const std::size_t num_tasks = std::min(pool.size(), num_chunks);
   for (std::size_t t = 0; t < num_tasks; ++t) {
-    pool.submit([&next, num_chunks, &chunk] {
+    pool.submit([&next, num_chunks, stop, &failure, &chunk] {
       for (;;) {
+        if (failure.failed.load(std::memory_order_acquire)) return;
+        if (stop != nullptr && stop->load(std::memory_order_acquire)) return;
         const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
         if (c >= num_chunks) return;
-        chunk(c);
+        try {
+          chunk(c);
+        } catch (...) {
+          failure.capture();
+          return;
+        }
       }
     });
   }
   pool.wait_idle();
+  if (failure.error != nullptr) std::rethrow_exception(failure.error);
+}
+
+/// Serial equivalent of dispatch_chunks (single-thread pools and trivial
+/// ranges): same first-failure and stop semantics, no pool round-trip.
+template <typename ChunkFn>
+void run_chunks_serial(std::size_t num_chunks, const std::atomic<bool>* stop,
+                       const ChunkFn& chunk) {
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) return;
+    chunk(c);
+  }
 }
 
 }  // namespace
@@ -97,21 +159,29 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  if (pool.size() == 1 || n == 1) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
-    return;
-  }
   // Contiguous chunks claimed dynamically: ~4 chunks per worker keeps the
   // load balanced when iteration times vary (Adaptive runs dominate the
   // sweeps) while paying one atomic op per chunk, not per index.
   const std::size_t num_chunks = std::min(n, 4 * pool.size());
   const std::size_t chunk_len = (n + num_chunks - 1) / num_chunks;
-  dispatch_chunks(pool, num_chunks,
-                  [begin, end, chunk_len, &body](std::size_t c) {
-                    const std::size_t lo = begin + c * chunk_len;
-                    const std::size_t hi = std::min(end, lo + chunk_len);
-                    for (std::size_t i = lo; i < hi; ++i) body(i);
-                  });
+  auto run_chunk = [begin, end, chunk_len, &body](std::size_t c) {
+    const std::size_t lo = begin + c * chunk_len;
+    const std::size_t hi = std::min(end, lo + chunk_len);
+    for (std::size_t i = lo; i < hi; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        throw ParallelError("parallel_for body failed at index " +
+                            std::to_string(i) + ": " +
+                            describe_current_exception());
+      }
+    }
+  };
+  if (pool.size() == 1 || n == 1) {
+    run_chunks_serial(num_chunks, nullptr, run_chunk);
+    return;
+  }
+  dispatch_chunks(pool, num_chunks, nullptr, run_chunk);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
@@ -122,20 +192,49 @@ void parallel_for(std::size_t begin, std::size_t end,
 void parallel_for_shards(
     ThreadPool& pool, std::size_t n, std::size_t num_shards,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& shard) {
+  parallel_for_shards(pool, n, num_shards, shard, ShardRunOptions{});
+}
+
+void parallel_for_shards(
+    ThreadPool& pool, std::size_t n, std::size_t num_shards,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& shard,
+    const ShardRunOptions& options) {
   REDSPOT_CHECK(num_shards > 0);
+  auto run_shard = [n, num_shards, &shard, &options](std::size_t s) {
+    const auto [lo, hi] = shard_bounds(n, num_shards, s);
+    const std::size_t max_attempts = options.retry_budget + 1;
+    for (std::size_t attempt = 1;; ++attempt) {
+      try {
+        shard(s, lo, hi);
+        return;
+      } catch (...) {
+        if (attempt >= max_attempts) {
+          throw ParallelError(
+              "shard " + std::to_string(s) + " [" + std::to_string(lo) +
+              ", " + std::to_string(hi) + ") failed after " +
+              std::to_string(attempt) + " attempt(s): " +
+              describe_current_exception());
+        }
+      }
+    }
+  };
+  if (pool.size() == 1 || num_shards == 1) {
+    run_chunks_serial(num_shards, options.stop, run_shard);
+    return;
+  }
+  dispatch_chunks(pool, num_shards, options.stop, run_shard);
+}
+
+std::pair<std::size_t, std::size_t> shard_bounds(std::size_t n,
+                                                 std::size_t num_shards,
+                                                 std::size_t s) {
+  REDSPOT_CHECK(num_shards > 0);
+  REDSPOT_CHECK(s < num_shards);
   // Shard s covers [s*len, min(n, (s+1)*len)) with len = ceil(n/num_shards):
   // a pure function of (n, num_shards), never of the pool size.
   const std::size_t len = (n + num_shards - 1) / num_shards;
-  auto run_shard = [n, len, &shard](std::size_t s) {
-    const std::size_t lo = std::min(n, s * len);
-    const std::size_t hi = std::min(n, lo + len);
-    shard(s, lo, hi);
-  };
-  if (pool.size() == 1 || num_shards == 1) {
-    for (std::size_t s = 0; s < num_shards; ++s) run_shard(s);
-    return;
-  }
-  dispatch_chunks(pool, num_shards, run_shard);
+  const std::size_t lo = std::min(n, s * len);
+  return {lo, std::min(n, lo + len)};
 }
 
 namespace {

@@ -23,10 +23,22 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace redspot {
+
+/// Thrown when a parallel_for / parallel_for_shards body failed: carries
+/// the index (or shard) context and the original exception's message. The
+/// first failure wins; in-flight work is drained before the rethrow, so
+/// the pool stays usable afterwards.
+class ParallelError : public std::runtime_error {
+ public:
+  explicit ParallelError(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// Fixed-size pool of worker threads executing submitted tasks FIFO.
 class ThreadPool {
@@ -41,13 +53,16 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task. Tasks must not throw; exceptions escaping a task
-  /// terminate the process (they indicate a bug, not an environment error).
+  /// Enqueues a task. An exception escaping a task is captured (first one
+  /// wins), remaining queued work still drains, and the next wait_idle()
+  /// rethrows it — a throwing task never terminates the process.
   /// Submitting to a pool that has been shut down (explicitly or by its
   /// destructor) is a hard error (CheckFailure), never silent UB.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception that escaped a task since the last wait_idle() (if
+  /// any). The pool remains usable after the rethrow.
   void wait_idle();
 
   /// Drains the queue and joins all workers. Idempotent; called by the
@@ -63,6 +78,8 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::size_t in_flight_ = 0;
+  /// First exception that escaped a task; rethrown by wait_idle().
+  std::exception_ptr task_error_;
   bool shutting_down_ = false;
   /// Lock-free mirror of shutting_down_ so submit() can fail loudly even
   /// when racing a concurrent (buggy) shutdown.
@@ -71,7 +88,9 @@ class ThreadPool {
 
 /// Runs `body(i)` for every i in [begin, end), partitioned across `pool`.
 /// Blocks until all iterations complete. `body` must be safe to invoke
-/// concurrently for distinct indices.
+/// concurrently for distinct indices. If a body throws, no new chunks are
+/// claimed, in-flight chunks drain, and the first failure is rethrown as a
+/// ParallelError naming the failing index.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 
@@ -88,6 +107,33 @@ void parallel_for(std::size_t begin, std::size_t end,
 void parallel_for_shards(
     ThreadPool& pool, std::size_t n, std::size_t num_shards,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& shard);
+
+/// Execution controls for parallel_for_shards.
+struct ShardRunOptions {
+  /// Extra attempts granted to a shard whose body throws: a shard runs at
+  /// most retry_budget + 1 times. The body must therefore be idempotent
+  /// (reset its outputs on entry). When the budget is exhausted the first
+  /// failure is rethrown — after the drain — as one ParallelError carrying
+  /// the shard index, its range and the attempt count.
+  std::size_t retry_budget = 0;
+  /// When non-null and set, no further shards are claimed (in-flight
+  /// shards finish normally). The caller is responsible for knowing which
+  /// shards ran; see EnsembleRunner's completion flags.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// As above, with a per-shard retry budget and a graceful-stop flag.
+void parallel_for_shards(
+    ThreadPool& pool, std::size_t n, std::size_t num_shards,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& shard,
+    const ShardRunOptions& options);
+
+/// The [lo, hi) index range of shard `s` in the fixed partition used by
+/// parallel_for_shards — the single source of truth for shard boundaries,
+/// also consulted when validating journaled shard records against a spec.
+std::pair<std::size_t, std::size_t> shard_bounds(std::size_t n,
+                                                 std::size_t num_shards,
+                                                 std::size_t s);
 
 /// The process-wide default pool (lazily constructed). Must not be used
 /// after main() returns: static destruction tears the pool down, and any

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/hash.hpp"
 #include "common/log.hpp"
 
 namespace redspot {
@@ -898,6 +899,28 @@ RunResult run_on_demand_baseline(const Experiment& experiment, Money rate) {
   r.met_deadline = true;
   r.switched_to_on_demand = true;
   return r;
+}
+
+void hash_engine_options(HashStream& h, const EngineOptions& o) {
+  h.u64(o.record_timeline);
+  h.u64(o.record_line_items);
+  h.i64(o.termination_notice);
+  const FaultPlan& f = o.faults;
+  h.f64(f.ckpt_write_failure_rate);
+  h.f64(f.ckpt_corruption_rate);
+  h.f64(f.restart_failure_rate);
+  h.f64(f.request_rejection_rate);
+  h.f64(f.notice_drop_rate);
+  h.f64(f.notice_late_rate);
+  h.i64(f.notice_max_lag);
+  h.u64(f.store_outages.size());
+  for (const StoreOutage& w : f.store_outages) {
+    h.i64(w.start);
+    h.i64(w.end);
+  }
+  h.i64(f.backoff.base);
+  h.i64(f.backoff.cap);
+  h.f64(f.backoff.jitter);
 }
 
 }  // namespace redspot

@@ -64,6 +64,12 @@ struct EngineOptions {
   FaultPlan faults;
 };
 
+/// Folds every result-affecting EngineOptions field into `h`. Shared by
+/// EnsembleSpec::spec_hash and exp/sweep's journal keys so the same
+/// options always fingerprint the same way.
+class HashStream;
+void hash_engine_options(HashStream& h, const EngineOptions& options);
+
 class Engine final : public EngineView {
  public:
   /// `market` and `strategy` must outlive the engine.

@@ -33,7 +33,7 @@ std::unique_ptr<Policy> make_policy(PolicyKind kind) {
     case PolicyKind::kThreshold:
       return std::make_unique<ThresholdPolicy>();
   }
-  REDSPOT_CHECK_MSG(false, "unknown PolicyKind");
+  REDSPOT_CHECK_FAIL("unknown PolicyKind");
 }
 
 }  // namespace redspot

@@ -2,6 +2,25 @@
 
 namespace redspot {
 
+namespace {
+
+/// Approximate heap footprint of one summary: the struct itself, the label
+/// string, and the bootstrap replicate accumulators (two doubles per
+/// replicate — sums and weights — which dominate for the default 200).
+std::size_t approx_bytes(const ConfigSummary& s) {
+  return sizeof(ConfigSummary) + s.label().capacity() +
+         2 * s.cost().options().bootstrap_replicates * sizeof(double);
+}
+
+std::size_t approx_bytes(const EnsembleResult& r) {
+  std::size_t bytes = sizeof(EnsembleResult);
+  for (const ConfigSummary& s : r.configs) bytes += approx_bytes(s);
+  for (const ConfigSummary& s : r.groups) bytes += approx_bytes(s);
+  return bytes;
+}
+
+}  // namespace
+
 EnsembleCache& EnsembleCache::global() {
   static EnsembleCache cache;
   return cache;
@@ -10,31 +29,57 @@ EnsembleCache& EnsembleCache::global() {
 std::shared_ptr<const EnsembleResult> EnsembleCache::lookup(
     std::uint64_t key) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
     ++misses_;
     return nullptr;
   }
   ++hits_;
-  return it->second;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->result;
 }
 
 void EnsembleCache::store(std::uint64_t key, EnsembleResult result) {
   auto entry = std::make_shared<const EnsembleResult>(std::move(result));
+  const std::size_t bytes = approx_bytes(*entry);
   std::lock_guard<std::mutex> lock(mutex_);
-  entries_.try_emplace(key, std::move(entry));
+  if (index_.find(key) != index_.end()) return;  // first writer wins
+  lru_.push_front(Entry{key, std::move(entry), bytes});
+  index_.emplace(key, lru_.begin());
+  bytes_ += bytes;
+  evict_to_capacity();
+}
+
+void EnsembleCache::set_capacity_bytes(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_bytes_ = capacity;
+  evict_to_capacity();
+}
+
+void EnsembleCache::evict_to_capacity() {
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
 }
 
 EnsembleCache::Stats EnsembleCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return Stats{hits_, misses_, entries_.size()};
+  return Stats{hits_, misses_,  evictions_,
+               lru_.size(),     bytes_,     capacity_bytes_};
 }
 
 void EnsembleCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 }  // namespace redspot

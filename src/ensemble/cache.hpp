@@ -5,10 +5,17 @@
 // headline cell) gets the finished summaries back instead of re-simulating
 // spec.replications × |configs| engine runs. Results are immutable once
 // stored; lookups hand out shared ownership so entries stay valid across
-// concurrent sweeps. Thread-safe.
+// concurrent sweeps even after eviction. Thread-safe.
+//
+// The cache is bounded: entries are byte-accounted (an approximation of
+// their heap footprint, dominated by the per-summary bootstrap replicate
+// buffers) and evicted in least-recently-used order once the configured
+// capacity is exceeded. A lookup hit refreshes recency; a store of an
+// entry larger than the whole capacity is simply not retained.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -22,27 +29,55 @@ class EnsembleCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
     std::size_t entries = 0;
+    std::size_t bytes = 0;           ///< approximate footprint of all entries
+    std::size_t capacity_bytes = 0;  ///< eviction threshold
   };
+
+  /// Default capacity: generous for the paper sweeps (every figure's cells
+  /// together stay far below this) yet bounded, so a long-lived process
+  /// scanning thousands of cells cannot grow without limit.
+  static constexpr std::size_t kDefaultCapacityBytes = 256u << 20;
 
   /// The process-wide cache used by EnsembleRunner.
   static EnsembleCache& global();
 
   /// Returns the cached result for `key`, or nullptr (counts a miss).
+  /// A hit moves the entry to most-recently-used.
   std::shared_ptr<const EnsembleResult> lookup(std::uint64_t key);
 
-  /// Stores `result` under `key` (first writer wins on a race).
+  /// Stores `result` under `key` (first writer wins on a race), then
+  /// evicts least-recently-used entries until within capacity.
   void store(std::uint64_t key, EnsembleResult result);
+
+  /// Sets the eviction threshold and evicts immediately if over it.
+  /// A capacity of 0 disables retention entirely (every store evicts).
+  void set_capacity_bytes(std::size_t capacity);
 
   Stats stats() const;
   void clear();
 
  private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const EnsembleResult> result;
+    std::size_t bytes = 0;
+  };
+
+  /// Evicts LRU entries until bytes_ <= capacity_bytes_. Caller holds
+  /// mutex_.
+  void evict_to_capacity();
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const EnsembleResult>>
-      entries_;
+  /// LRU order: front = most recently used, back = eviction candidate.
+  std::list<Entry> lru_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::size_t capacity_bytes_ = kDefaultCapacityBytes;
+  std::size_t bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace redspot

@@ -1,13 +1,17 @@
 #include "ensemble/runner.hpp"
 
+#include <optional>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "core/engine.hpp"
 #include "ensemble/cache.hpp"
 #include "ensemble/seeder.hpp"
 #include "exp/report.hpp"
 #include "fault/run_validator.hpp"
+#include "journal/journal.hpp"
+#include "journal/run_record.hpp"
 #include "market/spot_market.hpp"
 #include "stats/streaming.hpp"
 #include "trace/synthetic.hpp"
@@ -82,6 +86,11 @@ EnsembleRunner::EnsembleRunner(EnsembleSpec spec) : spec_(std::move(spec)) {
 }
 
 EnsembleResult EnsembleRunner::run(ThreadPool& pool) const {
+  return run(pool, EnsembleRunOptions{});
+}
+
+EnsembleResult EnsembleRunner::run(ThreadPool& pool,
+                                   const EnsembleRunOptions& run_options) const {
   const std::uint64_t key = spec_.spec_hash();
   if (spec_.use_cache) {
     if (const auto hit = EnsembleCache::global().lookup(key)) {
@@ -101,6 +110,26 @@ EnsembleResult EnsembleRunner::run(ThreadPool& pool) const {
       trimmed_spec(paper_trace_spec(0), window_end(spec_.window));
   const ReplicationSeeder seeder(spec_.seed);
   const InstanceType instance = cc2_instance();
+  const std::size_t num_configs = spec_.configs.size();
+
+  // Intact journal records addressing this exact spec and shard partition.
+  // Anything that does not match — foreign spec_hash, stale shard bounds,
+  // wrong config count — is simply not replayable; the shard recomputes.
+  std::vector<std::optional<EnsembleShardRecord>> replayable(spec_.num_shards);
+  if (run_options.journal != nullptr) {
+    for (const std::string& payload : run_options.journal->records()) {
+      if (record_type(payload) != RecordType::kEnsembleShard) continue;
+      std::optional<EnsembleShardRecord> rec = decode_ensemble_shard(payload);
+      if (!rec || rec->spec_hash != key) continue;
+      if (rec->shard >= spec_.num_shards ||
+          rec->num_configs != num_configs)
+        continue;
+      const auto [lo, hi] = shard_bounds(spec_.replications, spec_.num_shards,
+                                         static_cast<std::size_t>(rec->shard));
+      if (rec->lo != lo || rec->hi != hi) continue;
+      replayable[static_cast<std::size_t>(rec->shard)] = std::move(rec);
+    }
+  }
 
   // One accumulator set per shard, pre-built so every shard carries
   // identical estimator options (the bootstrap seed is per config/group,
@@ -128,10 +157,75 @@ EnsembleResult EnsembleRunner::run(ThreadPool& pool) const {
   };
   std::vector<ShardAcc> shards(spec_.num_shards, make_acc());
 
+  // Fold helper shared verbatim by the live and replay paths: the fold
+  // order (configs in index order, then min-groups, per replication) is
+  // what makes a replayed shard bit-identical to a computed one.
+  auto fold_replication = [this](ShardAcc& acc, std::size_t r,
+                                 const RunResult* results) {
+    for (std::size_t c = 0; c < spec_.configs.size(); ++c)
+      acc.configs[c].fold(r, results[c]);
+    for (std::size_t g = 0; g < spec_.min_groups.size(); ++g) {
+      const MinGroup& group = spec_.min_groups[g];
+      std::size_t best = group.members.front();
+      for (const std::size_t m : group.members) {
+        if (results[m].total_cost < results[best].total_cost) best = m;
+      }
+      acc.groups[g].fold(r, results[best]);
+    }
+  };
+
+  auto make_experiment = [&](std::size_t r) {
+    return Experiment::paper(starts[r % starts.size()], spec_.slack_fraction,
+                             spec_.checkpoint_cost,
+                             seeder.seed(r, SeedDomain::kQueueDelay));
+  };
+
+  // Re-audits and folds one journaled shard; returns false (leaving acc
+  // dirty — the caller resets it) if any replayed run fails the audit.
+  auto replay_shard = [&](const EnsembleShardRecord& rec,
+                          ShardAcc& acc) -> bool {
+    for (std::size_t r = static_cast<std::size_t>(rec.lo);
+         r < static_cast<std::size_t>(rec.hi); ++r) {
+      const RunResult* results =
+          rec.runs.data() + (r - static_cast<std::size_t>(rec.lo)) * num_configs;
+      const RunValidator validator(make_experiment(r), instance.on_demand_rate);
+      for (std::size_t c = 0; c < num_configs; ++c) {
+        if (!validator.audit(results[c], AuditMode::kReplay).empty())
+          return false;
+      }
+      fold_replication(acc, r, results);
+    }
+    return true;
+  };
+
+  enum : int { kNotRun = 0, kRecomputed = 1, kReplayed = 2 };
+  std::vector<std::atomic<int>> shard_state(spec_.num_shards);
+
   parallel_for_shards(
       pool, spec_.replications, spec_.num_shards,
       [&](std::size_t shard, std::size_t lo, std::size_t hi) {
+        // Retry- and replay-safe: rebuild this shard's outputs from
+        // scratch on every attempt so nothing can be folded twice.
+        shards[shard] = make_acc();
         ShardAcc& acc = shards[shard];
+
+        if (replayable[shard].has_value()) {
+          if (replay_shard(*replayable[shard], acc)) {
+            shard_state[shard].store(kReplayed, std::memory_order_release);
+            return;
+          }
+          // Checksum-intact but semantically corrupt (failed the replay
+          // audit): never trust it — log and recompute.
+          LOG_WARN << "journal: shard " << shard << " record failed the "
+                   << "replay audit; recomputing";
+          shards[shard] = make_acc();
+        }
+
+        std::optional<ShardRecordBuilder> builder;
+        if (run_options.journal != nullptr) {
+          builder.emplace(key, shard, lo, hi,
+                          static_cast<std::uint32_t>(num_configs));
+        }
         std::vector<RunResult> results(spec_.configs.size());
         for (std::size_t r = lo; r < hi; ++r) {
           // This replication's independent substreams.
@@ -139,27 +233,23 @@ EnsembleResult EnsembleRunner::run(ThreadPool& pool) const {
           trace_spec.seed = seeder.seed(r, SeedDomain::kTrace);
           const SpotMarket market(generate_traces(trace_spec), instance,
                                   QueueDelayModel());
-          const Experiment experiment = Experiment::paper(
-              starts[r % starts.size()], spec_.slack_fraction,
-              spec_.checkpoint_cost, seeder.seed(r, SeedDomain::kQueueDelay));
-          const RunValidator validator(experiment, market.on_demand_rate());
+          const Experiment experiment = make_experiment(r);
+          const RunValidator validator(experiment, instance.on_demand_rate);
           for (std::size_t c = 0; c < spec_.configs.size(); ++c) {
             auto strategy = spec_.configs[c].make_strategy();
             Engine engine(market, experiment, *strategy, spec_.engine);
             results[c] = engine.run();
             validator.check(results[c]);
-            acc.configs[c].fold(r, results[c]);
+            if (builder.has_value()) builder->add_run(results[c]);
           }
-          for (std::size_t g = 0; g < spec_.min_groups.size(); ++g) {
-            const MinGroup& group = spec_.min_groups[g];
-            std::size_t best = group.members.front();
-            for (const std::size_t m : group.members) {
-              if (results[m].total_cost < results[best].total_cost) best = m;
-            }
-            acc.groups[g].fold(r, results[best]);
-          }
+          fold_replication(acc, r, results.data());
         }
-      });
+        // Write-ahead commit: the shard only counts once its record is
+        // durable, so a crash between compute and append just recomputes.
+        if (builder.has_value()) run_options.journal->append(builder->payload());
+        shard_state[shard].store(kRecomputed, std::memory_order_release);
+      },
+      ShardRunOptions{run_options.shard_retry_budget, run_options.stop});
 
   // Deterministic reduction: fold shards in shard (= replication) order.
   EnsembleResult result;
@@ -174,7 +264,20 @@ EnsembleResult EnsembleRunner::run(ThreadPool& pool) const {
   result.configs = std::move(merged.configs);
   result.groups = std::move(merged.groups);
 
-  if (spec_.use_cache) EnsembleCache::global().store(key, result);
+  std::size_t done = 0;
+  std::size_t replayed = 0;
+  for (std::size_t s = 0; s < spec_.num_shards; ++s) {
+    const int state = shard_state[s].load(std::memory_order_acquire);
+    if (state != kNotRun) ++done;
+    if (state == kReplayed) ++replayed;
+  }
+  result.interrupted = done < spec_.num_shards;
+
+  // Interrupted results are partial: never cache them.
+  if (spec_.use_cache && !result.interrupted)
+    EnsembleCache::global().store(key, result);
+  result.shards_replayed = replayed;
+  result.shards_recomputed = done - replayed;
   return result;
 }
 

@@ -11,6 +11,7 @@
 // recomputation across sweeps. See DESIGN.md §8.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -23,6 +24,8 @@
 #include "stats/descriptive.hpp"
 
 namespace redspot {
+
+class RunJournal;
 
 /// Streaming summary of every replication of one configuration (or one
 /// min-group): the cost distribution plus outcome and robustness counters.
@@ -68,10 +71,39 @@ struct EnsembleResult {
   double ci_level = 0.95;
   bool from_cache = false;
 
+  // --- provenance of this run (not part of the summary contract) ----------
+  /// Shards restored intact from the run journal vs. actually simulated.
+  /// replay + recompute == spec.num_shards on a completed run.
+  std::size_t shards_replayed = 0;
+  std::size_t shards_recomputed = 0;
+  /// True when a graceful stop ended the run before every shard finished;
+  /// the summaries then cover only the completed shards and the result is
+  /// neither cached nor comparable to a full run.
+  bool interrupted = false;
+
   /// Summary rows (configs then groups) rendered via exp/report's
   /// ci_table. Deterministic: the string is part of the bit-identical
   /// contract bench_ensemble and ensemble_test compare across pools.
   std::string table(const std::string& title) const;
+};
+
+/// Durability / interruption controls for one EnsembleRunner::run call.
+struct EnsembleRunOptions {
+  /// When set, completed shards are appended to this journal as they
+  /// finish, and shards already journaled under the same spec_hash (with
+  /// matching shard bounds, checksum-intact and passing the replay audit)
+  /// are folded from the journal instead of being re-simulated. Replay is
+  /// bit-identical to recomputation: the journal stores the exact scalars
+  /// ConfigSummary::fold consumes, folded in the exact live order.
+  RunJournal* journal = nullptr;
+  /// When set (e.g. by a SIGINT handler — common/interrupt.hpp), no new
+  /// shards are claimed; in-flight shards finish and are journaled, then
+  /// run() returns with interrupted == true.
+  const std::atomic<bool>* stop = nullptr;
+  /// Extra attempts for a shard whose body throws (see ShardRunOptions);
+  /// the shard accumulator and journal record are rebuilt from scratch on
+  /// each attempt, so a retry cannot double-fold.
+  std::size_t shard_retry_budget = 1;
 };
 
 class EnsembleRunner {
@@ -81,8 +113,10 @@ class EnsembleRunner {
   const EnsembleSpec& spec() const { return spec_; }
 
   /// Runs the ensemble on `pool`. The result depends only on the spec,
-  /// never on the pool size.
+  /// never on the pool size — and, with a journal, never on how many
+  /// crashes or interruptions the run was resumed across.
   EnsembleResult run(ThreadPool& pool) const;
+  EnsembleResult run(ThreadPool& pool, const EnsembleRunOptions& options) const;
 
   /// Convenience overload using the process-wide default pool.
   EnsembleResult run() const;

@@ -1,9 +1,7 @@
 #include "ensemble/spec.hpp"
 
-#include <bit>
-
 #include "common/check.hpp"
-#include "common/random.hpp"
+#include "common/hash.hpp"
 #include "core/adaptive/adaptive_runner.hpp"
 #include "core/policies/large_bid.hpp"
 
@@ -41,8 +39,7 @@ std::unique_ptr<Strategy> EnsembleConfig::make_strategy() const {
       return std::make_unique<FixedStrategy>(bid, zones,
                                              make_policy(policy));
   }
-  REDSPOT_CHECK(false);
-  return nullptr;
+  REDSPOT_CHECK_FAIL("unknown EnsembleConfig::Kind");
 }
 
 void EnsembleSpec::validate() const {
@@ -66,25 +63,6 @@ void EnsembleSpec::validate() const {
 
 namespace {
 
-/// Order-sensitive 64-bit fingerprint accumulator (SplitMix64 cascade).
-class HashStream {
- public:
-  void u64(std::uint64_t v) {
-    state_ ^= v + 0x9E3779B97F4A7C15ULL + (state_ << 6) + (state_ >> 2);
-    state_ = splitmix64(state_);
-  }
-  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-  void str(const std::string& s) {
-    u64(s.size());
-    for (char c : s) u64(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
-  }
-  std::uint64_t digest() const { return state_; }
-
- private:
-  std::uint64_t state_ = 0x243F6A8885A308D3ULL;  // pi
-};
-
 void hash_config(HashStream& h, const EnsembleConfig& c) {
   h.u64(static_cast<std::uint64_t>(c.kind));
   h.u64(static_cast<std::uint64_t>(c.policy));
@@ -95,28 +73,6 @@ void hash_config(HashStream& h, const EnsembleConfig& c) {
   // The label is presentation-only but part of the rendered summary, which
   // the cache returns verbatim — hash it so relabelled sweeps do not alias.
   h.str(c.display_label());
-}
-
-void hash_engine_options(HashStream& h, const EngineOptions& o) {
-  h.u64(o.record_timeline);
-  h.u64(o.record_line_items);
-  h.i64(o.termination_notice);
-  const FaultPlan& f = o.faults;
-  h.f64(f.ckpt_write_failure_rate);
-  h.f64(f.ckpt_corruption_rate);
-  h.f64(f.restart_failure_rate);
-  h.f64(f.request_rejection_rate);
-  h.f64(f.notice_drop_rate);
-  h.f64(f.notice_late_rate);
-  h.i64(f.notice_max_lag);
-  h.u64(f.store_outages.size());
-  for (const StoreOutage& w : f.store_outages) {
-    h.i64(w.start);
-    h.i64(w.end);
-  }
-  h.i64(f.backoff.base);
-  h.i64(f.backoff.cap);
-  h.f64(f.backoff.jitter);
 }
 
 }  // namespace

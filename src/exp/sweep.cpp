@@ -1,11 +1,17 @@
 #include "exp/sweep.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <string>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "core/policies/large_bid.hpp"
 #include "fault/run_validator.hpp"
+#include "journal/journal.hpp"
+#include "journal/run_record.hpp"
 
 namespace redspot {
 
@@ -15,31 +21,112 @@ namespace {
 /// invoked once per run (strategies are stateful and not shareable). Every
 /// result is audited against the run invariants before it is returned, so
 /// a broken guarantee surfaces at the sweep instead of skewing a figure.
+///
+/// `key` fingerprints this sweep for the journal: with a durability
+/// journal attached, chunks found under `key` (checksum-intact, passing
+/// the kReplay audit) are taken from the journal, and computed chunks are
+/// appended under `key` once they pass the full audit.
 template <typename MakeStrategy>
 std::vector<RunResult> run_sweep(const SpotMarket& market,
                                  const Scenario& scenario,
                                  const EngineOptions& engine_options,
+                                 std::uint64_t key,
+                                 SweepDurability* durability,
                                  MakeStrategy make_strategy) {
   const std::size_t n = scenario.num_experiments;
   std::vector<RunResult> results(n);
+  std::vector<char> replayed(n, 0);
+  RunJournal* journal =
+      durability != nullptr ? durability->journal : nullptr;
+  if (journal != nullptr) {
+    for (const std::string& payload : journal->records()) {
+      if (record_type(payload) != RecordType::kSweepChunk) continue;
+      std::optional<SweepChunkRecord> rec = decode_sweep_chunk(payload);
+      if (!rec || rec->sweep_key != key || rec->chunk >= n) continue;
+      const std::size_t chunk = static_cast<std::size_t>(rec->chunk);
+      const Experiment experiment = scenario.experiment(chunk);
+      if (!RunValidator(experiment, market.on_demand_rate())
+               .audit(rec->run, AuditMode::kReplay)
+               .empty()) {
+        LOG_WARN << "journal: sweep chunk " << chunk
+                 << " record failed the replay audit; recomputing";
+        continue;
+      }
+      results[chunk] = std::move(rec->run);
+      replayed[chunk] = 1;
+    }
+  }
   parallel_for(0, n, [&](std::size_t i) {
+    if (replayed[i] != 0) return;
     const Experiment experiment = scenario.experiment(i);
     auto strategy = make_strategy(i);
     Engine engine(market, experiment, *strategy, engine_options);
     results[i] = engine.run();
     RunValidator(experiment, market.on_demand_rate()).check(results[i]);
+    if (journal != nullptr)
+      journal->append(encode_sweep_chunk(key, i, results[i]));
   });
+  if (durability != nullptr) {
+    const std::size_t hits = static_cast<std::size_t>(
+        std::count(replayed.begin(), replayed.end(), char{1}));
+    durability->chunks_replayed = hits;
+    durability->chunks_recomputed = n - hits;
+  }
   return results;
+}
+
+void hash_market(HashStream& h, const SpotMarket& market) {
+  const InstanceType& instance = market.instance_type();
+  h.str(instance.api_name);
+  h.i64(instance.on_demand_rate.micros());
+  const QueueDelayParams& delay = market.delay_model().params();
+  h.f64(delay.shift_seconds);
+  h.f64(delay.mu);
+  h.f64(delay.sigma);
+  h.i64(static_cast<std::int64_t>(delay.min_delay));
+  h.i64(static_cast<std::int64_t>(delay.max_delay));
+  const ZoneTraceSet& traces = market.traces();
+  h.u64(traces.num_zones());
+  for (std::size_t z = 0; z < traces.num_zones(); ++z) {
+    h.str(traces.zone_name(z));
+    const PriceSeries& series = traces.zone(z);
+    h.i64(static_cast<std::int64_t>(series.start()));
+    h.i64(static_cast<std::int64_t>(series.step()));
+    h.u64(series.size());
+    for (const Money price : series.samples()) h.i64(price.micros());
+  }
 }
 
 }  // namespace
 
+std::uint64_t sweep_base_key(const SpotMarket& market,
+                             const Scenario& scenario,
+                             const EngineOptions& engine_options) {
+  HashStream h;
+  hash_market(h, market);
+  h.u64(static_cast<std::uint64_t>(scenario.window));
+  h.f64(scenario.slack_fraction);
+  h.i64(static_cast<std::int64_t>(scenario.checkpoint_cost));
+  h.u64(scenario.num_experiments);
+  hash_engine_options(h, engine_options);
+  return h.digest();
+}
+
 std::vector<RunResult> run_fixed_sweep(const SpotMarket& market,
                                        const Scenario& scenario,
                                        const PolicyRunSpec& spec,
-                                       const EngineOptions& engine_options) {
+                                       const EngineOptions& engine_options,
+                                       SweepDurability* durability) {
   REDSPOT_CHECK(!spec.zones.empty());
-  return run_sweep(market, scenario, engine_options, [&spec](std::size_t) {
+  HashStream h;
+  h.u64(sweep_base_key(market, scenario, engine_options));
+  h.u64(1);  // sweep kind: fixed policy
+  h.u64(static_cast<std::uint64_t>(spec.policy));
+  h.i64(spec.bid.micros());
+  h.u64(spec.zones.size());
+  for (const std::size_t z : spec.zones) h.u64(z);
+  return run_sweep(market, scenario, engine_options, h.digest(), durability,
+                   [&spec](std::size_t) {
     return std::make_unique<FixedStrategy>(spec.bid, spec.zones,
                                            make_policy(spec.policy));
   });
@@ -48,8 +135,22 @@ std::vector<RunResult> run_fixed_sweep(const SpotMarket& market,
 std::vector<RunResult> run_adaptive_sweep(
     const SpotMarket& market, const Scenario& scenario,
     const AdaptiveStrategy::Options& options,
-    const EngineOptions& engine_options) {
-  return run_sweep(market, scenario, engine_options, [&options](std::size_t) {
+    const EngineOptions& engine_options,
+    SweepDurability* durability) {
+  HashStream h;
+  h.u64(sweep_base_key(market, scenario, engine_options));
+  h.u64(2);  // sweep kind: adaptive
+  h.u64(options.bid_grid.size());
+  for (const Money bid : options.bid_grid) h.i64(bid.micros());
+  h.u64(options.candidate_policies.size());
+  for (const PolicyKind p : options.candidate_policies)
+    h.u64(static_cast<std::uint64_t>(p));
+  h.u64(options.max_zones);
+  h.f64(options.switch_ratio);
+  h.i64(static_cast<std::int64_t>(options.mean_queue_delay));
+  h.u64(options.charge_switch_penalty ? 1 : 0);
+  return run_sweep(market, scenario, engine_options, h.digest(), durability,
+                   [&options](std::size_t) {
     return std::make_unique<AdaptiveStrategy>(options);
   });
 }
@@ -58,8 +159,14 @@ std::vector<RunResult> run_large_bid_sweep(const SpotMarket& market,
                                            const Scenario& scenario,
                                            Money threshold,
                                            std::size_t zone,
-                                           const EngineOptions& engine_options) {
-  return run_sweep(market, scenario, engine_options,
+                                           const EngineOptions& engine_options,
+                                           SweepDurability* durability) {
+  HashStream h;
+  h.u64(sweep_base_key(market, scenario, engine_options));
+  h.u64(3);  // sweep kind: large-bid
+  h.i64(threshold.micros());
+  h.u64(zone);
+  return run_sweep(market, scenario, engine_options, h.digest(), durability,
                    [threshold, zone](std::size_t) {
     return std::make_unique<FixedStrategy>(
         LargeBidPolicy::large_bid(), std::vector<std::size_t>{zone},

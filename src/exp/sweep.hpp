@@ -10,6 +10,7 @@
 //   * Adaptive and Large-bid run as themselves.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -21,11 +22,26 @@
 
 namespace redspot {
 
+class RunJournal;
+
 /// One fixed-policy configuration to sweep.
 struct PolicyRunSpec {
   PolicyKind policy = PolicyKind::kPeriodic;
   Money bid;
   std::vector<std::size_t> zones;
+};
+
+/// Durability controls for one sweep call. When `journal` is non-null,
+/// chunks already journaled under this sweep's key (market + scenario +
+/// engine options + configuration fingerprint) are replayed instead of
+/// re-simulated — after passing the kReplay audit — and freshly computed
+/// chunks are appended as kSweepChunk records as they finish. The
+/// counters report what actually ran; replay is bit-identical because the
+/// journal stores the exact RunResult scalars the aggregations consume.
+struct SweepDurability {
+  RunJournal* journal = nullptr;
+  std::size_t chunks_replayed = 0;    ///< filled on return
+  std::size_t chunks_recomputed = 0;  ///< filled on return
 };
 
 /// Runs `spec` over all chunks of `scenario`. Results are indexed by chunk.
@@ -35,19 +51,29 @@ struct PolicyRunSpec {
 std::vector<RunResult> run_fixed_sweep(const SpotMarket& market,
                                        const Scenario& scenario,
                                        const PolicyRunSpec& spec,
-                                       const EngineOptions& engine_options = {});
+                                       const EngineOptions& engine_options = {},
+                                       SweepDurability* durability = nullptr);
 
 /// Adaptive (Section 7) over all chunks.
 std::vector<RunResult> run_adaptive_sweep(
     const SpotMarket& market, const Scenario& scenario,
     const AdaptiveStrategy::Options& options = {},
-    const EngineOptions& engine_options = {});
+    const EngineOptions& engine_options = {},
+    SweepDurability* durability = nullptr);
 
 /// Large-bid with threshold L in `zone` over all chunks.
 std::vector<RunResult> run_large_bid_sweep(const SpotMarket& market,
                                            const Scenario& scenario,
                                            Money threshold, std::size_t zone,
-                                           const EngineOptions& engine_options = {});
+                                           const EngineOptions& engine_options = {},
+                                           SweepDurability* durability = nullptr);
+
+/// Fingerprint shared by every sweep of the same (market, scenario, engine
+/// options): traces, instance type, delay model and cell parameters. Each
+/// run_*_sweep mixes its own configuration on top to form its journal key.
+std::uint64_t sweep_base_key(const SpotMarket& market,
+                             const Scenario& scenario,
+                             const EngineOptions& engine_options);
 
 /// Total costs in dollars, one per run.
 std::vector<double> costs_of(std::span<const RunResult> results);

@@ -33,7 +33,8 @@ RunValidator::RunValidator(Experiment experiment, Money on_demand_rate)
   REDSPOT_CHECK(on_demand_rate > Money());
 }
 
-std::vector<std::string> RunValidator::audit(const RunResult& r) const {
+std::vector<std::string> RunValidator::audit(const RunResult& r,
+                                             AuditMode mode) const {
   Violations v;
   const SimTime start = experiment_.start;
   const SimTime deadline = experiment_.deadline_time();
@@ -82,6 +83,17 @@ std::vector<std::string> RunValidator::audit(const RunResult& r) const {
     v.add("on-demand seconds without an on-demand switch");
 
   // --- checkpoint log ----------------------------------------------------
+  // Journal-replayed records carry the scalar summary but not the log
+  // itself; re-deriving the counters from an (empty) log would flag every
+  // replayed run, so the cross-checks below are full-audit only. The
+  // range check on committed_progress still applies either way.
+  if (mode == AuditMode::kReplay) {
+    if (r.committed_progress < 0 ||
+        r.committed_progress > experiment_.app.total_compute)
+      v.add("committed progress ", format_duration(r.committed_progress),
+            " outside [0, C]");
+    return v.take();
+  }
   Duration best_valid = 0;
   std::size_t valid = 0, invalidated = 0;
   SimTime prev_commit = start;
@@ -172,8 +184,8 @@ std::vector<std::string> RunValidator::audit(const RunResult& r) const {
   return v.take();
 }
 
-void RunValidator::check(const RunResult& r) const {
-  const std::vector<std::string> violations = audit(r);
+void RunValidator::check(const RunResult& r, AuditMode mode) const {
+  const std::vector<std::string> violations = audit(r, mode);
   if (violations.empty()) return;
   std::ostringstream os;
   os << violations.size() << " run invariant(s) violated:";

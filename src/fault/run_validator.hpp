@@ -19,6 +19,18 @@
 
 namespace redspot {
 
+/// What kind of RunResult is being audited.
+///
+/// kFull audits a freshly simulated result, including the cross-checks
+/// that re-derive counters from the recorded checkpoint log. kReplay
+/// audits a compact result decoded from the run journal
+/// (journal/run_record.hpp), which carries every scalar but not the
+/// per-run logs — the log-derived cross-checks are skipped, everything
+/// else (outcome consistency, counter signs, exact cost decomposition,
+/// billing arithmetic) still holds and still gates acceptance of a
+/// replayed record.
+enum class AuditMode { kFull, kReplay };
+
 /// Audits RunResults of one experiment configuration.
 class RunValidator {
  public:
@@ -28,10 +40,11 @@ class RunValidator {
 
   /// Checks every invariant; returns one human-readable line per
   /// violation (empty = the run is sound). Never throws.
-  std::vector<std::string> audit(const RunResult& r) const;
+  std::vector<std::string> audit(const RunResult& r,
+                                 AuditMode mode = AuditMode::kFull) const;
 
   /// Throws CheckFailure listing all violations when audit() is non-empty.
-  void check(const RunResult& r) const;
+  void check(const RunResult& r, AuditMode mode = AuditMode::kFull) const;
 
  private:
   Experiment experiment_;

@@ -1,0 +1,131 @@
+#include "journal/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/fs.hpp"
+#include "common/hash.hpp"
+#include "common/log.hpp"
+
+namespace redspot {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("journal: " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+void put_u32(char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+void write_fully(int fd, const char* p, std::size_t len,
+                 const std::string& path) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write failed", path);
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+RunJournal::RunJournal(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) fail("cannot open", path_);
+
+  std::string data;
+  try {
+    data = read_file(path_);
+  } catch (const std::runtime_error&) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+
+  std::size_t good = 0;  // byte offset of the end of the intact prefix
+  if (data.size() >= sizeof(kMagic)) {
+    if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("journal: '" + path_ +
+                               "' exists but is not a redspot run journal");
+    }
+    good = sizeof(kMagic);
+    // Scan records until the frame or checksum breaks; everything after
+    // the break is a torn/corrupt tail and must be recomputed, because a
+    // corrupt length field poisons all downstream framing.
+    while (data.size() - good >= 8) {
+      const std::uint32_t len = get_u32(data.data() + good);
+      const std::uint32_t crc = get_u32(data.data() + good + 4);
+      if (data.size() - good - 8 < len) break;  // torn tail
+      const char* payload = data.data() + good + 8;
+      if (crc32(payload, len) != crc) break;  // flipped bits
+      records_.emplace_back(payload, len);
+      good += 8 + len;
+    }
+    open_stats_.intact_records = records_.size();
+    open_stats_.dropped_bytes = data.size() - good;
+    open_stats_.recovered_tail = open_stats_.dropped_bytes > 0;
+    if (open_stats_.recovered_tail) {
+      LOG_WARN << "journal: dropping " << open_stats_.dropped_bytes
+               << " torn/corrupt tail byte(s) of '" << path_
+               << "'; the affected work will be recomputed";
+      if (::ftruncate(fd_, static_cast<off_t>(good)) != 0)
+        fail("cannot truncate recovered tail of", path_);
+    }
+    if (::lseek(fd_, static_cast<off_t>(good), SEEK_SET) < 0)
+      fail("cannot seek", path_);
+  } else {
+    // New (or torn-before-magic) file: start it fresh. A torn magic can
+    // only be our own crash during creation — there are no records yet.
+    open_stats_.dropped_bytes = data.size();
+    open_stats_.recovered_tail = !data.empty();
+    if (::ftruncate(fd_, 0) != 0) fail("cannot reset", path_);
+    if (::lseek(fd_, 0, SEEK_SET) < 0) fail("cannot seek", path_);
+    write_fully(fd_, kMagic, sizeof(kMagic), path_);
+    if (::fsync(fd_) != 0) fail("cannot fsync", path_);
+    fsync_parent_dir(path_);
+  }
+}
+
+RunJournal::~RunJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void RunJournal::append(std::string_view payload) {
+  // One frame, one write(), one fsync: the only torn state a crash can
+  // leave is a short tail, which the next open truncates away.
+  std::string frame(8 + payload.size(), '\0');
+  put_u32(frame.data(), static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame.data() + 4, crc32(payload.data(), payload.size()));
+  std::memcpy(frame.data() + 8, payload.data(), payload.size());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_fully(fd_, frame.data(), frame.size(), path_);
+  if (::fsync(fd_) != 0) fail("cannot fsync", path_);
+  ++appended_;
+}
+
+std::size_t RunJournal::appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+}  // namespace redspot

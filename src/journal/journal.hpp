@@ -1,0 +1,81 @@
+// Durable write-ahead run journal.
+//
+// RunJournal is an append-only log of length-prefixed, CRC-32-checksummed
+// records persisted after every completed unit of work (an ensemble shard,
+// a sweep chunk — see run_record.hpp for the payload schemas). The framing
+// is what makes a rerun crash-safe:
+//
+//   file   := magic "RSPJNL01" , record*
+//   record := u32 payload_len , u32 crc32(payload) , payload
+//
+// (integers little-endian). Appends are a single write() followed by an
+// fsync, so a crash — SIGKILL, OOM, power loss — can only ever produce a
+// torn *tail*. On open, the file is scanned front to back; the first
+// record whose frame is incomplete or whose checksum mismatches ends the
+// intact prefix, everything after it is counted as dropped and the file is
+// truncated back to the prefix, and appends resume from there. A record is
+// therefore either replayable in full or recomputed; no half-written state
+// is ever trusted. Thread-safe for concurrent appends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace redspot {
+
+class RunJournal {
+ public:
+  /// What the opening scan found. `dropped_bytes` > 0 means a torn or
+  /// corrupt tail was detected and truncated away (those units of work
+  /// will be recomputed).
+  struct OpenStats {
+    std::size_t intact_records = 0;
+    std::size_t dropped_bytes = 0;
+    bool recovered_tail = false;
+  };
+
+  /// Opens (creating if absent) the journal at `path`, scans and recovers
+  /// it. Throws std::runtime_error if the file cannot be opened, or if it
+  /// exists but does not carry the journal magic (to avoid silently
+  /// destroying an unrelated file).
+  explicit RunJournal(std::string path);
+  ~RunJournal();
+
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
+
+  const std::string& path() const { return path_; }
+  const OpenStats& open_stats() const { return open_stats_; }
+
+  /// The intact record payloads found when the journal was opened (the
+  /// replayable prefix). Appends made through this handle are NOT added
+  /// here — they become visible to the next open.
+  const std::vector<std::string>& records() const { return records_; }
+
+  /// Appends one record and flushes it to disk before returning (write-
+  /// ahead durability: once append returns, a crash cannot lose it).
+  /// Thread-safe. Throws std::runtime_error on I/O failure.
+  void append(std::string_view payload);
+
+  /// Records appended through this handle (not counting the replayed
+  /// prefix).
+  std::size_t appended() const;
+
+  static constexpr char kMagic[8] = {'R', 'S', 'P', 'J', 'N', 'L', '0', '1'};
+  /// Conventional file name inside a --journal directory.
+  static constexpr const char* kFileName = "run.journal";
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  OpenStats open_stats_;
+  std::vector<std::string> records_;
+  mutable std::mutex mutex_;
+  std::size_t appended_ = 0;
+};
+
+}  // namespace redspot

@@ -1,0 +1,251 @@
+#include "journal/run_record.hpp"
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+namespace {
+
+// Little-endian, fixed-width primitives. Readers are bounds-checked and
+// signal failure by returning false — a malformed record must decode to
+// "recompute", never to UB.
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool u32(std::uint32_t* v) {
+    if (data_.size() - pos_ < 4) return false;
+    *v = 0;
+    for (int i = 3; i >= 0; --i)
+      *v = (*v << 8) | static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]);
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t* v) {
+    if (data_.size() - pos_ < 8) return false;
+    *v = 0;
+    for (int i = 7; i >= 0; --i)
+      *v = (*v << 8) | static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]);
+    pos_ += 8;
+    return true;
+  }
+
+  bool i64(std::int64_t* v) {
+    std::uint64_t u = 0;
+    if (!u64(&u)) return false;
+    *v = static_cast<std::int64_t>(u);
+    return true;
+  }
+
+  bool i32(std::int32_t* v) {
+    std::uint32_t u = 0;
+    if (!u32(&u)) return false;
+    *v = static_cast<std::int32_t>(u);
+    return true;
+  }
+
+  bool u8(std::uint8_t* v) {
+    if (data_.size() - pos_ < 1) return false;
+    *v = static_cast<std::uint8_t>(static_cast<unsigned char>(data_[pos_]));
+    ++pos_;
+    return true;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::uint8_t kFlagCompleted = 1u << 0;
+constexpr std::uint8_t kFlagMetDeadline = 1u << 1;
+constexpr std::uint8_t kFlagSwitched = 1u << 2;
+
+void encode_run(std::string& out, const RunResult& r) {
+  put_i64(out, r.total_cost.micros());
+  put_i64(out, r.spot_cost.micros());
+  put_i64(out, r.on_demand_cost.micros());
+  std::uint8_t flags = 0;
+  if (r.completed) flags |= kFlagCompleted;
+  if (r.met_deadline) flags |= kFlagMetDeadline;
+  if (r.switched_to_on_demand) flags |= kFlagSwitched;
+  put_u8(out, flags);
+  put_i64(out, r.finish_time);
+  put_i32(out, r.checkpoints_committed);
+  put_i32(out, r.restarts);
+  put_i32(out, r.out_of_bid_terminations);
+  put_i32(out, r.full_outages);
+  put_i32(out, r.config_changes);
+  put_i64(out, r.spot_instance_seconds);
+  put_i64(out, r.on_demand_seconds);
+  put_i64(out, r.queue_delay_total);
+  put_i64(out, r.committed_progress);
+  put_i32(out, r.faults.ckpt_write_failures);
+  put_i32(out, r.faults.ckpt_corruptions);
+  put_i32(out, r.faults.restart_failures);
+  put_i32(out, r.faults.request_rejections);
+  put_i32(out, r.faults.notices_dropped);
+  put_i32(out, r.faults.notices_late);
+  put_i64(out, r.faults.backoff_total);
+}
+
+bool decode_run(Reader& in, RunResult* r) {
+  std::int64_t total = 0, spot = 0, od = 0;
+  std::uint8_t flags = 0;
+  if (!in.i64(&total) || !in.i64(&spot) || !in.i64(&od) || !in.u8(&flags))
+    return false;
+  r->total_cost = Money::from_micros(total);
+  r->spot_cost = Money::from_micros(spot);
+  r->on_demand_cost = Money::from_micros(od);
+  r->completed = (flags & kFlagCompleted) != 0;
+  r->met_deadline = (flags & kFlagMetDeadline) != 0;
+  r->switched_to_on_demand = (flags & kFlagSwitched) != 0;
+  return in.i64(&r->finish_time) && in.i32(&r->checkpoints_committed) &&
+         in.i32(&r->restarts) && in.i32(&r->out_of_bid_terminations) &&
+         in.i32(&r->full_outages) && in.i32(&r->config_changes) &&
+         in.i64(&r->spot_instance_seconds) && in.i64(&r->on_demand_seconds) &&
+         in.i64(&r->queue_delay_total) && in.i64(&r->committed_progress) &&
+         in.i32(&r->faults.ckpt_write_failures) &&
+         in.i32(&r->faults.ckpt_corruptions) &&
+         in.i32(&r->faults.restart_failures) &&
+         in.i32(&r->faults.request_rejections) &&
+         in.i32(&r->faults.notices_dropped) &&
+         in.i32(&r->faults.notices_late) && in.i64(&r->faults.backoff_total);
+}
+
+}  // namespace
+
+std::optional<RecordType> record_type(std::string_view payload) {
+  Reader in(payload);
+  std::uint32_t tag = 0;
+  if (!in.u32(&tag)) return std::nullopt;
+  switch (static_cast<RecordType>(tag)) {
+    case RecordType::kEnsembleShard:
+    case RecordType::kSweepChunk:
+    case RecordType::kCleanStop:
+      return static_cast<RecordType>(tag);
+  }
+  return std::nullopt;
+}
+
+ShardRecordBuilder::ShardRecordBuilder(std::uint64_t spec_hash,
+                                       std::uint64_t shard, std::uint64_t lo,
+                                       std::uint64_t hi,
+                                       std::uint32_t num_configs)
+    : expected_((hi - lo) * num_configs) {
+  REDSPOT_CHECK(lo <= hi);
+  put_u32(buf_, static_cast<std::uint32_t>(RecordType::kEnsembleShard));
+  put_u64(buf_, spec_hash);
+  put_u64(buf_, shard);
+  put_u64(buf_, lo);
+  put_u64(buf_, hi);
+  put_u32(buf_, num_configs);
+}
+
+void ShardRecordBuilder::add_run(const RunResult& r) {
+  ++added_;
+  REDSPOT_CHECK_MSG(added_ <= expected_, "shard record overflow");
+  encode_run(buf_, r);
+}
+
+const std::string& ShardRecordBuilder::payload() const {
+  REDSPOT_CHECK_MSG(added_ == expected_,
+                    "shard record incomplete: " << added_ << " of "
+                                                << expected_ << " runs");
+  return buf_;
+}
+
+std::optional<EnsembleShardRecord> decode_ensemble_shard(
+    std::string_view payload) {
+  Reader in(payload);
+  std::uint32_t tag = 0;
+  EnsembleShardRecord rec;
+  if (!in.u32(&tag) ||
+      tag != static_cast<std::uint32_t>(RecordType::kEnsembleShard))
+    return std::nullopt;
+  if (!in.u64(&rec.spec_hash) || !in.u64(&rec.shard) || !in.u64(&rec.lo) ||
+      !in.u64(&rec.hi) || !in.u32(&rec.num_configs))
+    return std::nullopt;
+  if (rec.hi < rec.lo) return std::nullopt;
+  const std::uint64_t count = (rec.hi - rec.lo) * rec.num_configs;
+  // The framing layer already bounds payload size; this guards against a
+  // CRC-valid record of a future/foreign schema claiming a silly count.
+  if (count > payload.size()) return std::nullopt;
+  rec.runs.resize(static_cast<std::size_t>(count));
+  for (RunResult& r : rec.runs) {
+    if (!decode_run(in, &r)) return std::nullopt;
+  }
+  if (!in.done()) return std::nullopt;
+  return rec;
+}
+
+std::string encode_sweep_chunk(std::uint64_t sweep_key, std::uint64_t chunk,
+                               const RunResult& run) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(RecordType::kSweepChunk));
+  put_u64(out, sweep_key);
+  put_u64(out, chunk);
+  encode_run(out, run);
+  return out;
+}
+
+std::optional<SweepChunkRecord> decode_sweep_chunk(std::string_view payload) {
+  Reader in(payload);
+  std::uint32_t tag = 0;
+  SweepChunkRecord rec;
+  if (!in.u32(&tag) ||
+      tag != static_cast<std::uint32_t>(RecordType::kSweepChunk))
+    return std::nullopt;
+  if (!in.u64(&rec.sweep_key) || !in.u64(&rec.chunk)) return std::nullopt;
+  if (!decode_run(in, &rec.run) || !in.done()) return std::nullopt;
+  return rec;
+}
+
+std::string encode_clean_stop(const CleanStopRecord& r) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(RecordType::kCleanStop));
+  put_u64(out, r.key);
+  put_u64(out, r.units_done);
+  put_u64(out, r.units_total);
+  return out;
+}
+
+std::optional<CleanStopRecord> decode_clean_stop(std::string_view payload) {
+  Reader in(payload);
+  std::uint32_t tag = 0;
+  CleanStopRecord rec;
+  if (!in.u32(&tag) ||
+      tag != static_cast<std::uint32_t>(RecordType::kCleanStop))
+    return std::nullopt;
+  if (!in.u64(&rec.key) || !in.u64(&rec.units_done) ||
+      !in.u64(&rec.units_total) || !in.done())
+    return std::nullopt;
+  return rec;
+}
+
+}  // namespace redspot

@@ -32,7 +32,7 @@ const InstanceType& find_instance_type(const std::string& api_name) {
   for (const InstanceType& t : instance_catalog()) {
     if (t.api_name == api_name) return t;
   }
-  REDSPOT_CHECK_MSG(false, "unknown instance type: " << api_name);
+  REDSPOT_CHECK_FAIL("unknown instance type: " << api_name);
 }
 
 }  // namespace redspot

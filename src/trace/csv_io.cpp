@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fs.hpp"
 
 namespace redspot {
 
@@ -50,10 +51,12 @@ void write_csv(std::ostream& os, const ZoneTraceSet& traces) {
 }
 
 void write_csv_file(const std::string& path, const ZoneTraceSet& traces) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot open for writing: " + path);
-  write_csv(f, traces);
-  if (!f) throw std::runtime_error("write failed: " + path);
+  // Render in memory, then publish atomically (write-temp → fsync →
+  // rename): a crash mid-export can never leave a torn CSV at `path`.
+  std::ostringstream buf;
+  write_csv(buf, traces);
+  if (!buf) throw std::runtime_error("write failed: " + path);
+  atomic_write_file(path, buf.str());
 }
 
 ZoneTraceSet read_csv(std::istream& is) {

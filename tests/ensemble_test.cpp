@@ -395,5 +395,95 @@ TEST(EnsembleConfigTest, LabelsAreDerivedOrExplicit) {
   EXPECT_EQ(c.display_label(), "custom");
 }
 
+// ------------------------------------------------------------- LRU cache --
+
+/// A small same-sized result for byte-accounting tests.
+EnsembleResult cache_filler() {
+  EnsembleResult r;
+  r.configs.emplace_back("filler",
+                         StreamingSummaryOptions{50, 0.95, 1});
+  return r;
+}
+
+/// Restores the global cache to its default state on scope exit so these
+/// tests cannot leak a tiny capacity into the other cache tests.
+struct CacheGuard {
+  ~CacheGuard() {
+    EnsembleCache::global().set_capacity_bytes(
+        EnsembleCache::kDefaultCapacityBytes);
+    EnsembleCache::global().clear();
+  }
+};
+
+TEST(EnsembleCacheTest, ByteAccountingTracksStoresAndClear) {
+  CacheGuard guard;
+  EnsembleCache& cache = EnsembleCache::global();
+  cache.clear();
+  cache.store(1, cache_filler());
+  const std::size_t per_entry = cache.stats().bytes;
+  EXPECT_GT(per_entry, 0u);
+  cache.store(2, cache_filler());
+  cache.store(3, cache_filler());
+  EXPECT_EQ(cache.stats().bytes, 3 * per_entry);
+  EXPECT_EQ(cache.stats().entries, 3u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(EnsembleCacheTest, EvictsLeastRecentlyUsedWhenOverCapacity) {
+  CacheGuard guard;
+  EnsembleCache& cache = EnsembleCache::global();
+  cache.clear();
+  cache.store(1, cache_filler());
+  const std::size_t per_entry = cache.stats().bytes;
+
+  // Room for exactly two entries: storing a third evicts the oldest.
+  cache.set_capacity_bytes(2 * per_entry);
+  cache.store(2, cache_filler());
+  cache.store(3, cache_filler());
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.lookup(1), nullptr);  // the LRU victim
+  EXPECT_NE(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+
+  // A hit refreshes recency: touch 2, store 4 — now 3 is the victim.
+  ASSERT_NE(cache.lookup(2), nullptr);
+  cache.store(4, cache_filler());
+  EXPECT_EQ(cache.lookup(3), nullptr);
+  EXPECT_NE(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(4), nullptr);
+}
+
+TEST(EnsembleCacheTest, ShrinkingCapacityEvictsImmediately) {
+  CacheGuard guard;
+  EnsembleCache& cache = EnsembleCache::global();
+  cache.clear();
+  cache.store(1, cache_filler());
+  cache.store(2, cache_filler());
+  EXPECT_EQ(cache.stats().entries, 2u);
+  // Capacity zero disables retention: everything evicts, stores included.
+  cache.set_capacity_bytes(0);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  cache.store(3, cache_filler());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.lookup(3), nullptr);
+}
+
+TEST(EnsembleCacheTest, EvictedEntrySharedPtrStaysValid) {
+  CacheGuard guard;
+  EnsembleCache& cache = EnsembleCache::global();
+  cache.clear();
+  cache.store(1, cache_filler());
+  const auto held = cache.lookup(1);
+  ASSERT_NE(held, nullptr);
+  cache.set_capacity_bytes(0);  // evict everything
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  // The caller's shared ownership outlives the eviction.
+  EXPECT_EQ(held->configs[0].label(), "filler");
+}
+
 }  // namespace
 }  // namespace redspot

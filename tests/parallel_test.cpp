@@ -6,8 +6,11 @@
 #include <atomic>
 #include <cstddef>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -147,6 +150,167 @@ TEST(ThreadPoolTest, StressConcurrentSubmitAndWaitIdle) {
 TEST(ThreadPoolTest, HardwareConcurrencyFallback) {
   ThreadPool pool(0);
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelForShardsTest, ShardBoundsMatchesDispatchedBounds) {
+  ThreadPool pool(3);
+  for (std::size_t n : {std::size_t{0}, std::size_t{3}, std::size_t{17},
+                        std::size_t{1000}}) {
+    for (std::size_t shards : {std::size_t{1}, std::size_t{8},
+                               std::size_t{64}}) {
+      const ShardBounds bounds = collect_bounds(pool, n, shards);
+      for (std::size_t s = 0; s < shards; ++s) {
+        EXPECT_EQ(shard_bounds(n, shards, s),
+                  (std::pair{std::get<0>(bounds[s]), std::get<1>(bounds[s])}))
+            << "n=" << n << " shards=" << shards << " s=" << s;
+      }
+    }
+  }
+  EXPECT_THROW(shard_bounds(10, 0, 0), CheckFailure);
+  EXPECT_THROW(shard_bounds(10, 4, 4), CheckFailure);
+}
+
+// --- exception policy ------------------------------------------------------
+
+TEST(ThreadPoolTest, WaitIdleRethrowsTaskExceptionAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected wait_idle to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+  // The error was consumed: the pool keeps working and a clean wait_idle
+  // does not rethrow stale state.
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, FirstTaskExceptionWinsOthersDrain) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int t = 0; t < 50; ++t) {
+    pool.submit([&ran, t] {
+      ran.fetch_add(1);
+      if (t % 10 == 3) throw std::runtime_error("boom " + std::to_string(t));
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 50);  // queued tasks still drained after the failure
+}
+
+TEST(ParallelForTest, BodyExceptionBecomesParallelErrorWithIndexContext) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    try {
+      parallel_for(pool, 0, 100, [](std::size_t i) {
+        if (i == 37) throw std::runtime_error("bad cell");
+      });
+      FAIL() << "expected ParallelError (threads=" << threads << ")";
+    } catch (const ParallelError& e) {
+      EXPECT_NE(std::string(e.what()).find("index 37"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("bad cell"), std::string::npos)
+          << e.what();
+    }
+    // The pool survives: a failing sweep must not poison the next one.
+    std::vector<std::atomic<int>> hits(10);
+    parallel_for(pool, 0, 10, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < 10; ++i) ASSERT_EQ(hits[i].load(), 1);
+  }
+}
+
+// --- shard retry budget ----------------------------------------------------
+
+TEST(ParallelForShardsTest, RetryBudgetRecoversTransientFailure) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> attempts(8);
+    std::vector<std::atomic<int>> completed(8);
+    ShardRunOptions options;
+    options.retry_budget = 1;
+    parallel_for_shards(
+        pool, 64, 8,
+        [&](std::size_t s, std::size_t, std::size_t) {
+          // Idempotent body: reset this shard's output on entry.
+          completed[s].store(0);
+          if (attempts[s].fetch_add(1) == 0 && s == 5)
+            throw std::runtime_error("transient");
+          completed[s].store(1);
+        },
+        options);
+    for (std::size_t s = 0; s < 8; ++s) {
+      EXPECT_EQ(completed[s].load(), 1) << "s=" << s;
+      EXPECT_EQ(attempts[s].load(), s == 5 ? 2 : 1) << "s=" << s;
+    }
+  }
+}
+
+TEST(ParallelForShardsTest, ExhaustedRetryBudgetThrowsOneContextualError) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    std::atomic<int> attempts{0};
+    ShardRunOptions options;
+    options.retry_budget = 2;
+    try {
+      parallel_for_shards(
+          pool, 24, 3,
+          [&](std::size_t s, std::size_t, std::size_t) {
+            if (s == 1) {
+              attempts.fetch_add(1);
+              throw std::runtime_error("persistent fault");
+            }
+          },
+          options);
+      FAIL() << "expected ParallelError (threads=" << threads << ")";
+    } catch (const ParallelError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
+      EXPECT_NE(what.find("[8, 16)"), std::string::npos) << what;
+      EXPECT_NE(what.find("3 attempt(s)"), std::string::npos) << what;
+      EXPECT_NE(what.find("persistent fault"), std::string::npos) << what;
+    }
+    EXPECT_EQ(attempts.load(), 3);  // budget 2 => exactly 3 attempts
+  }
+}
+
+// --- graceful stop ---------------------------------------------------------
+
+TEST(ParallelForShardsTest, StopFlagPreventsNewShardsFromBeingClaimed) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> ran{0};
+    ShardRunOptions options;
+    options.stop = &stop;
+    parallel_for_shards(
+        pool, 256, 64,
+        [&](std::size_t, std::size_t, std::size_t) {
+          // Trip the stop inside the first shards: everything not yet
+          // claimed must stay unclaimed, without any error.
+          ran.fetch_add(1);
+          stop.store(true, std::memory_order_release);
+        },
+        options);
+    EXPECT_GE(ran.load(), 1u);
+    EXPECT_LE(ran.load(), pool.size());
+  }
+}
+
+TEST(ParallelForShardsTest, UnsetStopFlagRunsEverything) {
+  ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> ran{0};
+  ShardRunOptions options;
+  options.stop = &stop;
+  parallel_for_shards(
+      pool, 64, 16,
+      [&](std::size_t, std::size_t, std::size_t) { ran.fetch_add(1); },
+      options);
+  EXPECT_EQ(ran.load(), 16u);
 }
 
 }  // namespace

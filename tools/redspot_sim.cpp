@@ -30,12 +30,22 @@
 //     --shards N                 deterministic reduction shards  [64]
 //     --threads N                worker threads; 0 = hardware     [0]
 //     --no-cache                 bypass the process result cache
+//     --journal DIR              durable shard journal: completed shards
+//                                are persisted to DIR/run.journal as they
+//                                finish, a rerun with the same spec and
+//                                --journal replays them (bit-identical),
+//                                and SIGINT/SIGTERM stops gracefully —
+//                                drain, journal, exit 130 — instead of
+//                                discarding finished work
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/interrupt.hpp"
 #include "common/parallel.hpp"
 #include "core/adaptive/adaptive_runner.hpp"
 #include "core/engine.hpp"
@@ -44,6 +54,8 @@
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
+#include "journal/journal.hpp"
+#include "journal/run_record.hpp"
 #include "market/spot_market.hpp"
 #include "trace/csv_io.hpp"
 #include "trace/resample.hpp"
@@ -73,6 +85,7 @@ struct Args {
   std::size_t shards = 64;
   std::size_t threads = 0;
   bool no_cache = false;
+  std::string journal_dir;
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -146,6 +159,8 @@ Args parse(int argc, char** argv) {
       a.threads = std::strtoull(need(i++), nullptr, 10);
     } else if (opt == "--no-cache") {
       a.no_cache = true;
+    } else if (opt == "--journal") {
+      a.journal_dir = need(i++);
     } else {
       usage(("unknown option " + opt).c_str());
     }
@@ -220,7 +235,23 @@ int run_ensemble(const Args& args) {
 
   ThreadPool pool(args.threads);
   const Scenario scenario{args.window, args.slack, args.tc, spec.starts_grid};
-  const EnsembleResult result = EnsembleRunner(spec).run(pool);
+  const EnsembleRunner runner(spec);
+
+  // With --journal, completed shards are persisted as they finish and a
+  // SIGINT/SIGTERM drains gracefully instead of discarding finished work.
+  std::unique_ptr<RunJournal> journal;
+  EnsembleRunOptions run_options;
+  if (!args.journal_dir.empty()) {
+    std::filesystem::create_directories(args.journal_dir);
+    journal = std::make_unique<RunJournal>(
+        (std::filesystem::path(args.journal_dir) / RunJournal::kFileName)
+            .string());
+    install_interrupt_handlers();
+    run_options.journal = journal.get();
+    run_options.stop = &interrupt_flag();
+  }
+  const EnsembleResult result = runner.run(pool, run_options);
+
   std::fputs(result
                  .table("redspot_sim ensemble — " + scenario.label() +
                         ", seed " + std::to_string(args.seed))
@@ -232,6 +263,24 @@ int run_ensemble(const Args& args) {
               s.count(), result.from_cache ? "cached" : "computed",
               static_cast<unsigned long long>(s.incomplete()),
               static_cast<unsigned long long>(s.switched_to_on_demand()));
+  if (journal != nullptr) {
+    // Provenance on its own line so output comparisons can strip it.
+    std::printf("journal: replayed %zu shards, recomputed %zu shards "
+                "(recovered_tail=%d)\n",
+                result.shards_replayed, result.shards_recomputed,
+                journal->open_stats().recovered_tail ? 1 : 0);
+  }
+  if (result.interrupted) {
+    const std::size_t done = result.shards_replayed + result.shards_recomputed;
+    if (journal != nullptr) {
+      journal->append(encode_clean_stop(
+          CleanStopRecord{spec.spec_hash(), done, spec.num_shards}));
+    }
+    std::printf("interrupted: %zu / %zu shards journaled; rerun with the "
+                "same options to resume\n",
+                done, spec.num_shards);
+    return 130;
+  }
   return 0;
 }
 
