@@ -1,0 +1,495 @@
+// Decision-path microbenchmarks (DESIGN.md §10) with a machine-readable
+// report for the CI tolerance gate.
+//
+// Four suites, each comparing the zero-copy / incremental decision path
+// against the materialize-and-rebuild path it replaced:
+//
+//   1. history query    — PriceView window + min scan vs an owning
+//                         PriceSeries::window materialization.
+//   2. markov refit     — IncrementalMarkovModel::observe (slide + memoized
+//                         uptime) vs build_markov_model from scratch +
+//                         free expected_uptime, in unique-price AND
+//                         quantile-binned mode.
+//   3. adaptive re-plan — HistoryStats::advance vs fresh construction.
+//   4. fig4 mini-sweep  — end-to-end engine runs (Threshold + Markov-Daly,
+//                         3 bids, several starts) under the real policies
+//                         vs bench-local legacy policies that reproduce the
+//                         old per-decision materialize + rebuild behaviour.
+//                         Totals are asserted bit-identical: the two paths
+//                         make exactly the same decisions.
+//
+// A global operator-new hook additionally counts heap allocations on the
+// steady-state policy path (constant-price slide + memoized uptime), which
+// must be zero.
+//
+// Usage: bench_decision_path [--quick] [--out report.json]
+// Writes BENCH_decision_path.json (see tools/bench_report.hpp) and prints
+// a human-readable summary.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "ckpt/daly.hpp"
+#include "common/check.hpp"
+#include "common/random.hpp"
+#include "core/adaptive/history_stats.hpp"
+#include "core/engine.hpp"
+#include "core/policies/rising_edge.hpp"
+#include "core/strategy.hpp"
+#include "markov/incremental.hpp"
+#include "markov/model.hpp"
+#include "markov/uptime.hpp"
+#include "trace/zone_traces.hpp"
+
+// --- Allocation-counting hook (mirrors tests/decision_path_test.cpp) --------
+//
+// Compiled out under sanitizers, whose allocator interceptors clash with a
+// replaced operator new; the allocation metrics then read 0.
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define REDSPOT_ALLOC_HOOK 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define REDSPOT_ALLOC_HOOK 0
+#else
+#define REDSPOT_ALLOC_HOOK 1
+#endif
+#else
+#define REDSPOT_ALLOC_HOOK 1
+#endif
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+#if REDSPOT_ALLOC_HOOK
+void* counted_alloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = align;
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size) != 0) throw std::bad_alloc();
+  return p;
+}
+#endif  // REDSPOT_ALLOC_HOOK
+}  // namespace
+
+#if REDSPOT_ALLOC_HOOK
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#endif  // REDSPOT_ALLOC_HOOK
+
+namespace redspot {
+
+// External linkage: stores cannot be elided, so accumulating results here
+// defeats dead-code elimination of the measured work.
+std::int64_t g_sink = 0;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Median over `reps` timing runs of `iters` calls each, in ns per call.
+template <typename F>
+double median_ns(int reps, int iters, F&& fn) {
+  std::vector<double> per_op;
+  per_op.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) fn(i);
+    const auto t1 = Clock::now();
+    per_op.push_back(
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        static_cast<double>(iters));
+  }
+  std::sort(per_op.begin(), per_op.end());
+  return per_op[per_op.size() / 2];
+}
+
+// --- Synthetic traces --------------------------------------------------------
+
+/// Piecewise-constant series over a small price alphabet (CC2-like: few
+/// distinct levels, long constant runs). Windows stay in unique mode.
+PriceSeries alphabet_series(std::uint64_t seed, std::size_t samples,
+                            double switch_prob = 0.15) {
+  static const double kLevels[] = {0.25, 0.27, 0.30, 0.35,
+                                   0.55, 0.81, 1.20, 2.50};
+  Rng rng(seed);
+  std::vector<Money> out;
+  out.reserve(samples);
+  Money cur = Money::dollars(kLevels[0]);
+  for (std::size_t i = 0; i < samples; ++i) {
+    if (rng.uniform() < switch_prob)
+      cur = Money::dollars(kLevels[rng.uniform_index(8)]);
+    out.push_back(cur);
+  }
+  return PriceSeries(0, kPriceStep, std::move(out));
+}
+
+/// Random-walk series: nearly every sample distinct, so 2-day windows
+/// exceed max_states and the quantile-binned path runs.
+PriceSeries walk_series(std::uint64_t seed, std::size_t samples) {
+  Rng rng(seed);
+  std::vector<Money> out;
+  out.reserve(samples);
+  double cur = 0.30;
+  for (std::size_t i = 0; i < samples; ++i) {
+    cur = std::max(0.05, cur + rng.uniform(-0.02, 0.02));
+    out.push_back(Money::dollars(cur));
+  }
+  return PriceSeries(0, kPriceStep, std::move(out));
+}
+
+// --- Legacy policies ---------------------------------------------------------
+//
+// Reproduce the pre-incremental decision path: materialize the history
+// window into an owning PriceSeries, fit a fresh Markov model, solve the
+// expected up-time with the allocating free function — at EVERY decision.
+// Decision results are bit-identical to the real policies (property-tested
+// in tests/decision_path_test.cpp), so both sweeps compute the same runs.
+
+constexpr std::size_t kPolicyMaxStates = 64;  // matches the real policies
+
+Duration legacy_zone_uptime(const EngineView& view, std::size_t zone) {
+  const PriceSeries hist = view.history(zone).materialize();
+  const MarkovModel model = build_markov_model(hist.view(), kPolicyMaxStates);
+  return expected_uptime(model, view.price(zone), view.bid());
+}
+
+class LegacyMarkovDalyPolicy final : public Policy {
+ public:
+  std::string name() const override { return "legacy-markov-daly"; }
+  bool checkpoint_condition(const EngineView&) override { return false; }
+  SimTime schedule_next_checkpoint(const EngineView& view) override {
+    if (!view.any_zone_running()) return kNever;
+    Duration total = 0;
+    for (std::size_t zone : view.zone_ids()) {
+      if (!view.zone_running(zone)) continue;
+      total += legacy_zone_uptime(view, zone);
+    }
+    if (total <= 0) return kNever;
+    return view.now() +
+           daly_interval(view.experiment().costs.checkpoint, total);
+  }
+};
+
+class LegacyThresholdPolicy final : public Policy {
+ public:
+  std::string name() const override { return "legacy-threshold"; }
+  bool checkpoint_condition(const EngineView& view) override {
+    for (std::size_t zone : view.zone_ids()) {
+      if (!view.zone_running(zone) || !rising_edge(view, zone)) continue;
+      // The old engine materialized the history to compute S_min.
+      const PriceSeries hist = view.history(zone).materialize();
+      const Money price_thresh = Money::from_micros(
+          (hist.min_price().micros() + view.bid().micros()) / 2);
+      if (view.price(zone) >= price_thresh) return true;
+    }
+    return false;
+  }
+  SimTime schedule_next_checkpoint(const EngineView& view) override {
+    const SimTime since = view.leading_compute_since();
+    if (since == kNever) return kNever;
+    Duration best_uptime = 0;
+    for (std::size_t zone : view.zone_ids()) {
+      if (!view.zone_running(zone)) continue;
+      best_uptime = std::max(best_uptime, legacy_zone_uptime(view, zone));
+    }
+    if (best_uptime <= 0) return kNever;
+    return std::max(view.now() + 1, since + best_uptime);
+  }
+};
+
+// --- Fig-4 style mini-sweep --------------------------------------------------
+
+Experiment sweep_experiment(SimTime start) {
+  Experiment e;
+  e.app = AppModel{"bench-decision-path", hours(8.0), 1, 8};
+  e.costs = CheckpointCosts{120, 120};
+  e.start = start;
+  e.deadline = hours(12.0);
+  e.history_span = 2 * kDay;
+  e.validate();
+  return e;
+}
+
+/// Runs the sweep and returns the summed total cost in micro-dollars.
+std::int64_t run_sweep(const SpotMarket& market,
+                       const std::vector<SimTime>& starts,
+                       const std::vector<Money>& bids, bool legacy) {
+  std::int64_t total = 0;
+  for (const SimTime start : starts) {
+    for (const Money bid : bids) {
+      for (int kind = 0; kind < 2; ++kind) {
+        std::unique_ptr<Policy> policy;
+        if (legacy) {
+          policy = kind == 0
+                       ? std::unique_ptr<Policy>(new LegacyThresholdPolicy())
+                       : std::unique_ptr<Policy>(new LegacyMarkovDalyPolicy());
+        } else {
+          policy = make_policy(kind == 0 ? PolicyKind::kThreshold
+                                         : PolicyKind::kMarkovDaly);
+        }
+        const Experiment experiment = sweep_experiment(start);
+        FixedStrategy strategy(bid, {0}, std::move(policy));
+        Engine engine(market, experiment, strategy);
+        total += engine.run().total_cost.micros();
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+}  // namespace redspot
+
+int main(int argc, char** argv) {
+  using namespace redspot;
+
+  bool quick = false;
+  std::string out_path = "BENCH_decision_path.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_decision_path [--quick] [--out report.json]\n");
+      return 2;
+    }
+  }
+
+  benchreport::Report report;
+  report.set("quick", quick ? 1 : 0);
+
+  const std::size_t kWindow = 576;  // the 2-day / 5-min decision window
+  const std::size_t kTraceLen = 1152;
+  const PriceSeries alpha = alphabet_series(11, kTraceLen);
+  const PriceSeries walk = walk_series(12, kTraceLen);
+  const int reps = quick ? 5 : 9;
+
+  // --- 1. history query: view vs materialized window ------------------------
+  {
+    const std::size_t positions = kTraceLen - kWindow;
+    const auto window_bounds = [&](int i) {
+      const std::size_t lo = static_cast<std::size_t>(i) % positions;
+      const SimTime from =
+          alpha.start() + static_cast<SimTime>(lo) * kPriceStep;
+      return std::pair<SimTime, SimTime>(
+          from, from + static_cast<SimTime>(kWindow) * kPriceStep);
+    };
+    const int iters = quick ? 400 : 2000;
+    const double view_ns = median_ns(reps, iters, [&](int i) {
+      const auto [from, to] = window_bounds(i);
+      const PriceView v = alpha.view(from, to);
+      g_sink += v.min_price().micros();
+    });
+    const double mat_ns = median_ns(reps, iters, [&](int i) {
+      const auto [from, to] = window_bounds(i);
+      const PriceSeries w = alpha.window(from, to);
+      g_sink += w.min_price().micros();
+    });
+    // The view path must not touch the heap.
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (int i = 0; i < 64; ++i) {
+      const auto [from, to] = window_bounds(i);
+      g_sink += alpha.view(from, to).min_price().micros();
+    }
+    g_count_allocs.store(false);
+    report.set("history_view_ns", view_ns);
+    report.set("history_materialize_ns", mat_ns);
+    report.set("history_query_speedup", mat_ns / view_ns);
+    report.set("history_view_allocs",
+               static_cast<double>(g_alloc_count.load()));
+  }
+
+  // --- 2. markov refit: incremental slide vs from-scratch --------------------
+  const Money kBid = Money::cents(81);
+  const auto markov_pair = [&](const PriceSeries& s, const std::string& inc_key,
+                               const std::string& scratch_key,
+                               const std::string& speedup_key) {
+    const std::size_t positions = s.size() - kWindow;
+    const auto window_at = [&](int i) {
+      const std::size_t lo = static_cast<std::size_t>(i) % positions;
+      const SimTime from = s.start() + static_cast<SimTime>(lo) * kPriceStep;
+      return s.view(from, from + static_cast<SimTime>(kWindow) * kPriceStep);
+    };
+    IncrementalMarkovModel inc(kPolicyMaxStates);
+    const int inc_iters = quick ? 400 : 2000;
+    const double inc_ns = median_ns(reps, inc_iters, [&](int i) {
+      const PriceView w = window_at(i);
+      inc.observe(w);
+      g_sink += inc.expected_uptime(w.sample(w.size() - 1), kBid);
+    });
+    const int scratch_iters = quick ? 60 : 300;
+    const double scratch_ns = median_ns(reps, scratch_iters, [&](int i) {
+      const PriceView w = window_at(i);
+      const MarkovModel m = build_markov_model(w, kPolicyMaxStates);
+      g_sink += expected_uptime(m, w.sample(w.size() - 1), kBid);
+    });
+    report.set(inc_key, inc_ns);
+    report.set(scratch_key, scratch_ns);
+    report.set(speedup_key, scratch_ns / inc_ns);
+  };
+  // Gated (floor 5x): unique-price mode, the common case on CC2-like traces.
+  markov_pair(alpha, "markov_incremental_ns", "markov_scratch_ns",
+              "markov_incremental_speedup");
+  // Informational: quantile-binned mode still refits per slide (only the
+  // window sort is amortized away).
+  markov_pair(walk, "markov_binned_incremental_ns", "markov_binned_scratch_ns",
+              "markov_binned_speedup");
+
+  // --- 3. adaptive re-plan: HistoryStats advance vs fresh --------------------
+  {
+    std::vector<PriceSeries> zones;
+    for (std::uint64_t z = 0; z < 3; ++z)
+      zones.push_back(alphabet_series(21 + z, kTraceLen));
+    std::vector<std::string> names = {"z0", "z1", "z2"};
+    const ZoneTraceSet traces(names, zones);
+    const std::vector<Money> grid = {Money::cents(27),  Money::cents(40),
+                                     Money::cents(81),  Money::dollars(1.20),
+                                     Money::dollars(2.40)};
+    const std::vector<std::size_t> all_zones = {0, 1, 2};
+    const std::size_t positions = kTraceLen - kWindow;
+    const auto bounds = [&](int i) {
+      const std::size_t lo = static_cast<std::size_t>(i) % positions;
+      const SimTime from =
+          traces.start() + static_cast<SimTime>(lo) * kPriceStep;
+      return std::pair<SimTime, SimTime>(
+          from, from + static_cast<SimTime>(kWindow) * kPriceStep);
+    };
+    const auto read_stats = [&](const HistoryStats& hs) {
+      g_sink += static_cast<std::int64_t>(
+          1e6 * (hs.stats(0, 2).availability +
+                 hs.combined_availability(all_zones, 2) +
+                 hs.full_outage_rate(all_zones, 1)));
+    };
+    const auto [f0, t0] = bounds(0);
+    HistoryStats slid(traces, f0, t0, grid);
+    const int adv_iters = quick ? 300 : 1500;
+    const double adv_ns = median_ns(reps, adv_iters, [&](int i) {
+      const auto [from, to] = bounds(i);
+      slid.advance(traces, from, to);
+      read_stats(slid);
+    });
+    const int fresh_iters = quick ? 60 : 300;
+    const double fresh_ns = median_ns(reps, fresh_iters, [&](int i) {
+      const auto [from, to] = bounds(i);
+      HistoryStats fresh(traces, from, to, grid);
+      read_stats(fresh);
+    });
+    report.set("adaptive_advance_ns", adv_ns);
+    report.set("adaptive_fresh_ns", fresh_ns);
+    report.set("adaptive_replan_speedup", fresh_ns / adv_ns);
+  }
+
+  // --- 4. fig4 mini-sweep: real policies vs legacy materialize+rebuild ------
+  {
+    std::vector<PriceSeries> zones;
+    zones.push_back(alphabet_series(31, kTraceLen, 0.25));
+    std::vector<std::string> names = {"z0"};
+    const SpotMarket market(ZoneTraceSet(names, zones), cc2_instance(),
+                            QueueDelayModel(QueueDelayParams::fixed(0)));
+    std::vector<SimTime> starts;
+    const int num_starts = quick ? 2 : 4;
+    for (int k = 0; k < num_starts; ++k)
+      starts.push_back(2 * kDay + k * 5 * kHour);
+    const std::vector<Money> bids = {Money::cents(27), Money::cents(81),
+                                     Money::dollars(2.40)};
+
+    const std::int64_t new_cost = run_sweep(market, starts, bids, false);
+    const std::int64_t legacy_cost = run_sweep(market, starts, bids, true);
+    REDSPOT_CHECK_MSG(new_cost == legacy_cost,
+                      "legacy and incremental sweeps diverged: "
+                          << legacy_cost << " vs " << new_cost);
+
+    const int sweep_reps = quick ? 3 : 5;
+    const double new_ms =
+        median_ns(sweep_reps, 1, [&](int) {
+          g_sink += run_sweep(market, starts, bids, false);
+        }) /
+        1e6;
+    const double legacy_ms =
+        median_ns(sweep_reps, 1, [&](int) {
+          g_sink += run_sweep(market, starts, bids, true);
+        }) /
+        1e6;
+    report.set("fig4_sweep_new_ms", new_ms);
+    report.set("fig4_sweep_legacy_ms", legacy_ms);
+    report.set("fig4_sweep_speedup", legacy_ms / new_ms);
+    report.set("fig4_sweep_costs_match", 1);
+  }
+
+  // --- 5. steady-state allocation count --------------------------------------
+  {
+    const PriceSeries flat(0, kPriceStep,
+                           std::vector<Money>(kWindow + 128, Money::cents(30)));
+    const auto window_at = [&](std::size_t lo) {
+      const SimTime from = static_cast<SimTime>(lo) * kPriceStep;
+      return flat.view(from,
+                       from + static_cast<SimTime>(kWindow) * kPriceStep);
+    };
+    IncrementalMarkovModel inc(kPolicyMaxStates);
+    inc.observe(window_at(0));
+    g_sink += inc.expected_uptime(Money::cents(30), kBid);
+    inc.observe(window_at(1));  // warm the slide scratch
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (std::size_t lo = 2; lo < 102; ++lo) {
+      const PriceView w = window_at(lo);
+      inc.observe(w);
+      g_sink += inc.expected_uptime(Money::cents(30), kBid);
+      g_sink += w.min_price().micros();
+    }
+    g_count_allocs.store(false);
+    report.set("steady_state_decision_allocs",
+               static_cast<double>(g_alloc_count.load()));
+  }
+
+  // --- Emit -------------------------------------------------------------------
+  std::printf("%-32s %14s\n", "metric", "value");
+  for (const auto& [name, value] : report.metrics)
+    std::printf("%-32s %14.6g\n", name.c_str(), value);
+  benchreport::write_report(report, out_path);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -50,11 +50,20 @@ EstimatorInputs make_inputs(const EngineView& view,
 
 }  // namespace
 
-PermutationEstimate AdaptiveStrategy::choose(const EngineView& view) const {
+const HistoryStats& AdaptiveStrategy::current_stats(const EngineView& view) {
   const Experiment& exp = view.experiment();
-  const HistoryStats hist(view.market().traces(),
-                          view.now() - exp.history_span, view.now(),
-                          options_.bid_grid);
+  const SimTime from = view.now() - exp.history_span;
+  if (!hist_) {
+    hist_.emplace(view.market().traces(), from, view.now(),
+                  options_.bid_grid);
+  } else {
+    hist_->advance(view.market().traces(), from, view.now());
+  }
+  return *hist_;
+}
+
+PermutationEstimate AdaptiveStrategy::choose(const EngineView& view) {
+  const HistoryStats& hist = current_stats(view);
   const EstimatorInputs in = make_inputs(view, options_.mean_queue_delay);
   std::vector<PermutationEstimate> ranked = evaluate_permutations(
       hist, options_.max_zones, options_.candidate_policies, in);
@@ -86,11 +95,10 @@ std::optional<EngineConfig> AdaptiveStrategy::reconsider(
     choice_ = best;  // refresh the prediction
     return std::nullopt;
   }
-  // Hysteresis: re-estimate the incumbent against the same window and only
-  // move when the challenger is clearly cheaper.
-  const HistoryStats hist(view.market().traces(),
-                          view.now() - view.experiment().history_span,
-                          view.now(), options_.bid_grid);
+  // Hysteresis: re-estimate the incumbent against the same window — the
+  // stats choose() just slid to now() — and only move when the challenger
+  // is clearly cheaper.
+  const HistoryStats& hist = *hist_;
   const EstimatorInputs in = make_inputs(view, options_.mean_queue_delay);
 
   std::size_t incumbent_bid_idx = options_.bid_grid.size();

@@ -59,13 +59,19 @@ class AdaptiveStrategy final : public Strategy {
   }
 
  private:
-  PermutationEstimate choose(const EngineView& view) const;
+  PermutationEstimate choose(const EngineView& view);
+  /// The trailing-window stats, slid (or rebuilt) to end at view.now().
+  const HistoryStats& current_stats(const EngineView& view);
   EngineConfig to_config(const PermutationEstimate& e) const;
 
   Options options_;
   std::unique_ptr<Policy> periodic_;
   std::unique_ptr<Policy> markov_daly_;
   std::optional<PermutationEstimate> choice_;
+  /// Persistent window stats, slid incrementally between decision points.
+  /// Borrows the market's traces — valid because the market outlives the
+  /// run, and advance() detects (and rebuilds on) a different market.
+  std::optional<HistoryStats> hist_;
 };
 
 }  // namespace redspot

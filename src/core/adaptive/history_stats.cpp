@@ -1,54 +1,181 @@
 #include "core/adaptive/history_stats.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/check.hpp"
 
 namespace redspot {
 
 HistoryStats::HistoryStats(const ZoneTraceSet& traces, SimTime from,
                            SimTime to, std::vector<Money> bid_grid)
-    : bid_grid_(std::move(bid_grid)), step_(traces.step()) {
+    : bid_grid_(std::move(bid_grid)) {
   REDSPOT_CHECK(!bid_grid_.empty());
-  const ZoneTraceSet window = traces.window(from, to);
-  window_length_ =
-      static_cast<Duration>(window.zone(0).size()) * step_;
-  samples_.reserve(window.num_zones());
-  for (std::size_t z = 0; z < window.num_zones(); ++z)
-    samples_.push_back(window.zone(z).to_doubles());
+  // Ascending threshold order (stable for duplicate bids): each sample is
+  // "up" for the contiguous sorted-bid suffix [cut_of(s), end).
+  order_.resize(bid_grid_.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return bid_grid_[a] < bid_grid_[b];
+                   });
+  sorted_thr_.resize(bid_grid_.size());
+  for (std::size_t k = 0; k < order_.size(); ++k) {
+    // Tolerate the micro-dollar -> double conversion (same threshold the
+    // historical per-bid scan used).
+    sorted_thr_[k] = bid_grid_[order_[k]].to_double() + 1e-9;
+  }
+  rebuild(traces, from, to);
+}
 
-  const double hours =
-      static_cast<double>(window_length_) / static_cast<double>(kHour);
-  stats_.resize(samples_.size());
-  for (std::size_t z = 0; z < samples_.size(); ++z) {
-    stats_[z].resize(bid_grid_.size());
-    const std::vector<double>& s = samples_[z];
-    for (std::size_t b = 0; b < bid_grid_.size(); ++b) {
-      const double bid = bid_grid_[b].to_double() + 1e-9;
-      std::size_t up = 0;
-      double paid_sum = 0.0;
-      std::size_t interruptions = 0;
-      std::size_t spells = 0;
-      bool prev_up = false;
-      for (std::size_t i = 0; i < s.size(); ++i) {
-        const bool is_up = s[i] <= bid;
-        if (is_up) {
-          ++up;
-          paid_sum += s[i];
-          if (!prev_up) ++spells;
-        } else if (prev_up) {
-          ++interruptions;
-        }
-        prev_up = is_up;
+std::size_t HistoryStats::cut_of(double s) const {
+  return static_cast<std::size_t>(std::distance(
+      sorted_thr_.begin(),
+      std::lower_bound(sorted_thr_.begin(), sorted_thr_.end(), s)));
+}
+
+double HistoryStats::hours() const {
+  return static_cast<double>(window_length_) / static_cast<double>(kHour);
+}
+
+void HistoryStats::rebuild(const ZoneTraceSet& traces, SimTime from,
+                           SimTime to) {
+  step_ = traces.step();
+  const PriceSeries& s0 = traces.zone(0);
+  from = std::max(from, s0.start());
+  to = std::min(to, s0.end());
+  REDSPOT_CHECK_MSG(from < to, "empty window request");
+  const std::size_t lo = s0.index_of(from);
+  const std::size_t hi =
+      static_cast<std::size_t>((to - s0.start() + step_ - 1) / step_);
+
+  base_.resize(traces.num_zones());
+  for (std::size_t z = 0; z < traces.num_zones(); ++z)
+    base_[z] = traces.zone(z).samples().data();
+  series_start_ = s0.start();
+  series_size_ = s0.size();
+  abs_lo_ = lo;
+  n_ = hi - lo;
+  window_length_ = static_cast<Duration>(n_) * step_;
+
+  const std::size_t nbids = bid_grid_.size();
+  counters_.assign(base_.size(), std::vector<BidCounters>(nbids));
+  first_cut_.assign(base_.size(), 0);
+  for (std::size_t z = 0; z < base_.size(); ++z) {
+    std::vector<BidCounters>& row = counters_[z];
+    std::size_t prev_cut = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const Money m = base_[z][abs_lo_ + i];
+      const std::size_t cut = cut_of(m.to_double());
+      for (std::size_t k = cut; k < nbids; ++k) {
+        ++row[k].up;
+        row[k].paid_micros += m.micros();
       }
-      ZoneBidStats& st = stats_[z][b];
-      st.availability = s.empty()
-                            ? 0.0
-                            : static_cast<double>(up) /
-                                  static_cast<double>(s.size());
-      st.mean_paid_price = up > 0 ? paid_sum / static_cast<double>(up) : 0.0;
+      if (i == 0) {
+        first_cut_[z] = cut;
+      } else if (cut < prev_cut) {  // down -> up for bids in [cut, prev_cut)
+        for (std::size_t k = cut; k < prev_cut; ++k) ++row[k].starts;
+      } else if (cut > prev_cut) {  // up -> down for bids in [prev_cut, cut)
+        for (std::size_t k = prev_cut; k < cut; ++k) ++row[k].interrupts;
+      }
+      prev_cut = cut;
+    }
+  }
+  refresh_stats();
+  combined_memo_.clear();
+  ++full_rebuilds_;
+}
+
+bool HistoryStats::try_advance(const ZoneTraceSet& traces, SimTime from,
+                               SimTime to) {
+  if (traces.num_zones() != base_.size()) return false;
+  if (traces.step() != step_) return false;
+  const PriceSeries& s0 = traces.zone(0);
+  if (s0.start() != series_start_ || s0.size() != series_size_) return false;
+  for (std::size_t z = 0; z < base_.size(); ++z)
+    if (traces.zone(z).samples().data() != base_[z]) return false;
+
+  from = std::max(from, s0.start());
+  to = std::min(to, s0.end());
+  if (from >= to) return false;  // let rebuild() raise the usual error
+  const std::size_t lo = s0.index_of(from);
+  const std::size_t hi =
+      static_cast<std::size_t>((to - s0.start() + step_ - 1) / step_);
+  const std::size_t old_hi = abs_lo_ + n_;
+  if (lo < abs_lo_ || hi < old_hi) return false;  // backward move
+  if (lo >= old_hi) return false;                 // no overlap
+  if (lo == abs_lo_ && hi == old_hi) return true;  // same window: keep memo
+
+  const std::size_t nbids = bid_grid_.size();
+  for (std::size_t z = 0; z < base_.size(); ++z) {
+    std::vector<BidCounters>& row = counters_[z];
+    const Money* s = base_[z];
+    // Evict [abs_lo_, lo): the evicted samples are still readable from the
+    // borrowed trace storage.
+    for (std::size_t i = abs_lo_; i < lo; ++i) {
+      const std::size_t cut = cut_of(s[i].to_double());
+      for (std::size_t k = cut; k < nbids; ++k) {
+        --row[k].up;
+        row[k].paid_micros -= s[i].micros();
+      }
+      const std::size_t next_cut = cut_of(s[i + 1].to_double());
+      if (next_cut < cut) {
+        for (std::size_t k = next_cut; k < cut; ++k) --row[k].starts;
+      } else if (next_cut > cut) {
+        for (std::size_t k = cut; k < next_cut; ++k) --row[k].interrupts;
+      }
+    }
+    first_cut_[z] = cut_of(s[lo].to_double());
+    // Append [old_hi, hi).
+    for (std::size_t i = old_hi; i < hi; ++i) {
+      const std::size_t prev_cut = cut_of(s[i - 1].to_double());
+      const std::size_t cut = cut_of(s[i].to_double());
+      for (std::size_t k = cut; k < nbids; ++k) {
+        ++row[k].up;
+        row[k].paid_micros += s[i].micros();
+      }
+      if (cut < prev_cut) {
+        for (std::size_t k = cut; k < prev_cut; ++k) ++row[k].starts;
+      } else if (cut > prev_cut) {
+        for (std::size_t k = prev_cut; k < cut; ++k) ++row[k].interrupts;
+      }
+    }
+  }
+  abs_lo_ = lo;
+  n_ = hi - lo;
+  window_length_ = static_cast<Duration>(n_) * step_;
+  refresh_stats();
+  combined_memo_.clear();
+  ++incremental_advances_;
+  return true;
+}
+
+void HistoryStats::advance(const ZoneTraceSet& traces, SimTime from,
+                           SimTime to) {
+  if (!try_advance(traces, from, to)) rebuild(traces, from, to);
+}
+
+void HistoryStats::refresh_stats() {
+  const std::size_t nbids = bid_grid_.size();
+  const double h = hours();
+  stats_.assign(base_.size(), std::vector<ZoneBidStats>(nbids));
+  for (std::size_t z = 0; z < base_.size(); ++z) {
+    for (std::size_t k = 0; k < nbids; ++k) {
+      const BidCounters& c = counters_[z][k];
+      const std::int64_t spells =
+          c.starts + (k >= first_cut_[z] ? 1 : 0);
+      ZoneBidStats& st = stats_[z][order_[k]];
+      st.availability =
+          static_cast<double>(c.up) / static_cast<double>(n_);
+      st.mean_paid_price =
+          c.up > 0 ? (static_cast<double>(c.paid_micros) / 1e6) /
+                         static_cast<double>(c.up)
+                   : 0.0;
       st.interruptions_per_hour =
-          hours > 0 ? static_cast<double>(interruptions) / hours : 0.0;
+          h > 0 ? static_cast<double>(c.interrupts) / h : 0.0;
       st.mean_up_spell =
-          spells > 0 ? static_cast<double>(up) * static_cast<double>(step_) /
+          spells > 0 ? static_cast<double>(c.up) *
+                           static_cast<double>(step_) /
                            static_cast<double>(spells)
                      : 0.0;
     }
@@ -62,47 +189,71 @@ const ZoneBidStats& HistoryStats::stats(std::size_t zone,
   return stats_[zone][bid_idx];
 }
 
+void HistoryStats::fill_combined(std::uint64_t mask,
+                                 const std::vector<std::size_t>& zones,
+                                 CombinedEntry& out) const {
+  const std::size_t nbids = bid_grid_.size();
+  out.mask = mask;
+  std::vector<std::int64_t> up(nbids, 0);
+  std::vector<std::int64_t> outages(nbids, 0);
+  std::size_t prev_cut = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    // Any zone up at bid B <=> the cheapest subset zone is within B.
+    double m = sample_dollars(zones[0], abs_lo_ + i);
+    for (std::size_t j = 1; j < zones.size(); ++j)
+      m = std::min(m, sample_dollars(zones[j], abs_lo_ + i));
+    const std::size_t cut = cut_of(m);
+    for (std::size_t k = cut; k < nbids; ++k) ++up[k];
+    if (i > 0 && cut > prev_cut) {  // any-up -> none-up
+      for (std::size_t k = prev_cut; k < cut; ++k) ++outages[k];
+    }
+    prev_cut = cut;
+  }
+  const double h = hours();
+  out.availability.resize(nbids);
+  out.outage_rate.resize(nbids);
+  for (std::size_t k = 0; k < nbids; ++k) {
+    out.availability[order_[k]] =
+        static_cast<double>(up[k]) / static_cast<double>(n_);
+    out.outage_rate[order_[k]] =
+        h > 0 ? static_cast<double>(outages[k]) / h : 0.0;
+  }
+}
+
+const HistoryStats::CombinedEntry& HistoryStats::combined_entry(
+    const std::vector<std::size_t>& zones) const {
+  REDSPOT_CHECK(!zones.empty());
+  std::uint64_t mask = 0;
+  for (std::size_t z : zones) {
+    REDSPOT_CHECK(z < base_.size());
+    if (z < 64) mask |= std::uint64_t{1} << z;
+  }
+  // Memoize per mask (a duplicate or reordered zone list is the same
+  // subset). Zones beyond 63 would alias masks; fall back to a fresh
+  // un-cached entry in that unlikely case.
+  const bool cacheable =
+      std::all_of(zones.begin(), zones.end(),
+                  [](std::size_t z) { return z < 64; });
+  if (cacheable) {
+    for (const CombinedEntry& e : combined_memo_)
+      if (e.mask == mask) return e;
+  }
+  combined_memo_.emplace_back();
+  fill_combined(cacheable ? mask : 0, zones, combined_memo_.back());
+  if (!cacheable) combined_memo_.back().mask = ~std::uint64_t{0};
+  return combined_memo_.back();
+}
+
 double HistoryStats::combined_availability(
     const std::vector<std::size_t>& zones, std::size_t bid_idx) const {
-  REDSPOT_CHECK(!zones.empty());
   REDSPOT_CHECK(bid_idx < bid_grid_.size());
-  const double bid = bid_grid_[bid_idx].to_double() + 1e-9;
-  const std::size_t n = samples_[0].size();
-  std::size_t up = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t z : zones) {
-      REDSPOT_CHECK(z < samples_.size());
-      if (samples_[z][i] <= bid) {
-        ++up;
-        break;
-      }
-    }
-  }
-  return n > 0 ? static_cast<double>(up) / static_cast<double>(n) : 0.0;
+  return combined_entry(zones).availability[bid_idx];
 }
 
 double HistoryStats::full_outage_rate(const std::vector<std::size_t>& zones,
                                       std::size_t bid_idx) const {
-  REDSPOT_CHECK(!zones.empty());
   REDSPOT_CHECK(bid_idx < bid_grid_.size());
-  const double bid = bid_grid_[bid_idx].to_double() + 1e-9;
-  const std::size_t n = samples_[0].size();
-  std::size_t outages = 0;
-  bool prev_any = false;
-  for (std::size_t i = 0; i < n; ++i) {
-    bool any = false;
-    for (std::size_t z : zones) {
-      if (samples_[z][i] <= bid) {
-        any = true;
-        break;
-      }
-    }
-    if (prev_any && !any) ++outages;
-    prev_any = any;
-  }
-  const double hours =
-      static_cast<double>(window_length_) / static_cast<double>(kHour);
-  return hours > 0 ? static_cast<double>(outages) / hours : 0.0;
+  return combined_entry(zones).outage_rate[bid_idx];
 }
 
 }  // namespace redspot

@@ -6,9 +6,26 @@
 // which availability, expected paid price, interruption rates, full-outage
 // rates and mean up-spell lengths can be read for any (bid, zone-subset)
 // without re-touching the trace.
+//
+// Internals (DESIGN.md §10): all per-(zone, bid) aggregates are held as
+// exact integer counters — up-sample counts, paid micro-dollar sums,
+// interior spell-start / interruption pair counts — filled by ONE fused
+// pass per zone over the window. Because the bid thresholds are processed
+// in ascending order, each sample contributes to a contiguous bid range
+// [cut, end) found by binary search, so one pass covers the whole grid.
+// The same counters slide under advance(): evicted and appended samples
+// adjust them exactly, and integer arithmetic makes the slid state equal
+// the from-scratch state bit-for-bit (property-tested). Subset statistics
+// (combined availability / full-outage rate) are memoized per zone
+// bitmask and invalidated whenever the window moves.
+//
+// Lifetime: HistoryStats BORROWS the trace storage passed to the
+// constructor and to advance() — the ZoneTraceSet must outlive it (true
+// for the engine's market traces, which live for the whole run).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/money.hpp"
@@ -28,11 +45,17 @@ struct ZoneBidStats {
 class HistoryStats {
  public:
   /// Snapshots [from, to) of `traces` and precomputes per-zone stats for
-  /// every bid in `bid_grid`.
+  /// every bid in `bid_grid`. Borrows `traces` (see file comment).
   HistoryStats(const ZoneTraceSet& traces, SimTime from, SimTime to,
                std::vector<Money> bid_grid);
 
-  std::size_t num_zones() const { return samples_.size(); }
+  /// Slides the window to [from, to). When `traces` is the same storage
+  /// and the window moved forward with overlap, the counters are adjusted
+  /// incrementally in O(samples moved); otherwise everything is rebuilt.
+  /// Either way the resulting state equals a fresh construction exactly.
+  void advance(const ZoneTraceSet& traces, SimTime from, SimTime to);
+
+  std::size_t num_zones() const { return base_.size(); }
   const std::vector<Money>& bid_grid() const { return bid_grid_; }
   Duration window_length() const { return window_length_; }
 
@@ -48,12 +71,63 @@ class HistoryStats {
   double full_outage_rate(const std::vector<std::size_t>& zones,
                           std::size_t bid_idx) const;
 
+  // Introspection for tests and benchmarks.
+  std::uint64_t full_rebuilds() const { return full_rebuilds_; }
+  std::uint64_t incremental_advances() const { return incremental_advances_; }
+
  private:
-  std::vector<std::vector<double>> samples_;  ///< [zone][step], dollars
+  /// Exact window aggregates for one (zone, sorted-bid) pair.
+  struct BidCounters {
+    std::int64_t up = 0;           ///< samples with S <= B
+    std::int64_t paid_micros = 0;  ///< sum of S over up samples, micro-$
+    std::int64_t starts = 0;       ///< interior down->up pairs
+    std::int64_t interrupts = 0;   ///< interior up->down pairs
+  };
+  /// Memoized subset statistics, per original bid index.
+  struct CombinedEntry {
+    std::uint64_t mask = 0;
+    std::vector<double> availability;
+    std::vector<double> outage_rate;
+  };
+
+  void rebuild(const ZoneTraceSet& traces, SimTime from, SimTime to);
+  bool try_advance(const ZoneTraceSet& traces, SimTime from, SimTime to);
+  void refresh_stats();
+  /// First sorted-bid position whose threshold admits `s` (S <= B).
+  std::size_t cut_of(double s) const;
+  double sample_dollars(std::size_t zone, std::size_t abs_i) const {
+    return base_[zone][abs_i].to_double();
+  }
+  void fill_combined(std::uint64_t mask, const std::vector<std::size_t>& zones,
+                     CombinedEntry& out) const;
+  const CombinedEntry& combined_entry(
+      const std::vector<std::size_t>& zones) const;
+  double hours() const;
+
   std::vector<Money> bid_grid_;
-  Duration step_;
-  Duration window_length_;
-  std::vector<std::vector<ZoneBidStats>> stats_;  ///< [zone][bid]
+  std::vector<double> sorted_thr_;   ///< bid + 1e-9, ascending
+  std::vector<std::size_t> order_;   ///< sorted position -> original index
+  Duration step_ = kPriceStep;
+  Duration window_length_ = 0;
+
+  // Identity of the borrowed window: per-zone storage base plus the
+  // absolute sample range [abs_lo_, abs_lo_ + n_).
+  std::vector<const Money*> base_;
+  SimTime series_start_ = 0;
+  std::size_t series_size_ = 0;
+  std::size_t abs_lo_ = 0;
+  std::size_t n_ = 0;
+
+  std::vector<std::vector<BidCounters>> counters_;  ///< [zone][sorted bid]
+  std::vector<std::size_t> first_cut_;              ///< per zone
+  std::vector<std::vector<ZoneBidStats>> stats_;    ///< [zone][original bid]
+
+  /// Lazily filled per subset mask; cleared whenever the window moves.
+  /// Mutable: HistoryStats is a per-strategy, single-threaded object.
+  mutable std::vector<CombinedEntry> combined_memo_;
+
+  std::uint64_t full_rebuilds_ = 0;
+  std::uint64_t incremental_advances_ = 0;
 };
 
 }  // namespace redspot

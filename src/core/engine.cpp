@@ -70,16 +70,17 @@ Money Engine::previous_price(std::size_t zone) const {
   return market_->spot_price(zone, prev);
 }
 
-PriceSeries Engine::history(std::size_t zone) const {
+PriceView Engine::history(std::size_t zone) const {
   const SimTime from =
       std::max(market_->trace_start(), now() - experiment_.history_span);
   // At the very start of the trace there is no history yet; expose the
   // current sample so Markov-based policies still get a (degenerate) model.
   const SimTime to = std::max(now(), from + 1);
-  return market_->traces().zone(zone).window(from, to);
+  return market_->traces().zone(zone).view(from, to);
 }
 
 Money Engine::min_observed_price(std::size_t zone) const {
+  // min over the view — no window materialization.
   return history(zone).min_price();
 }
 

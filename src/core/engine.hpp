@@ -91,7 +91,7 @@ class Engine final : public EngineView {
   bool any_zone_running() const override;
   Money price(std::size_t zone) const override;
   Money previous_price(std::size_t zone) const override;
-  PriceSeries history(std::size_t zone) const override;
+  PriceView history(std::size_t zone) const override;
   Money min_observed_price(std::size_t zone) const override;
   Duration committed_progress() const override {
     return store_.latest_progress();

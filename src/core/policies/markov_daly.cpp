@@ -1,10 +1,6 @@
 #include "core/policies/markov_daly.hpp"
 
-#include <vector>
-
 #include "ckpt/daly.hpp"
-#include "markov/model.hpp"
-#include "markov/uptime.hpp"
 
 namespace redspot {
 
@@ -13,15 +9,16 @@ bool MarkovDalyPolicy::checkpoint_condition(const EngineView&) {
 }
 
 Duration MarkovDalyPolicy::combined_uptime(const EngineView& view) const {
-  std::vector<Duration> per_zone;
+  Duration total = 0;
   for (std::size_t zone : view.zone_ids()) {
     if (!view.zone_running(zone)) continue;
-    const MarkovModel model =
-        build_markov_model(view.history(zone), max_states_);
-    per_zone.push_back(
-        expected_uptime(model, view.price(zone), view.bid()));
+    if (models_.size() <= zone)
+      models_.resize(zone + 1, IncrementalMarkovModel(max_states_));
+    IncrementalMarkovModel& model = models_[zone];
+    model.observe(view.history(zone));
+    total += model.expected_uptime(view.price(zone), view.bid());
   }
-  return combined_expected_uptime(per_zone);
+  return total;
 }
 
 SimTime MarkovDalyPolicy::schedule_next_checkpoint(const EngineView& view) {

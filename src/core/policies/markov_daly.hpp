@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "core/policy.hpp"
+#include "markov/incremental.hpp"
 
 namespace redspot {
 
@@ -29,6 +31,9 @@ class MarkovDalyPolicy final : public Policy {
 
  private:
   std::size_t max_states_;
+  /// Per-zone sliding models (global zone id). Policies are per-run objects
+  /// (see exp/sweep), so this cache is single-threaded by construction.
+  mutable std::vector<IncrementalMarkovModel> models_;
 };
 
 }  // namespace redspot

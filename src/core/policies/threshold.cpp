@@ -3,8 +3,6 @@
 #include <algorithm>
 
 #include "core/policies/rising_edge.hpp"
-#include "markov/model.hpp"
-#include "markov/uptime.hpp"
 
 namespace redspot {
 
@@ -26,10 +24,12 @@ SimTime ThresholdPolicy::schedule_next_checkpoint(const EngineView& view) {
   Duration best_uptime = 0;
   for (std::size_t zone : view.zone_ids()) {
     if (!view.zone_running(zone)) continue;
-    const MarkovModel model =
-        build_markov_model(view.history(zone), max_states_);
+    if (models_.size() <= zone)
+      models_.resize(zone + 1, IncrementalMarkovModel(max_states_));
+    IncrementalMarkovModel& model = models_[zone];
+    model.observe(view.history(zone));
     best_uptime = std::max(
-        best_uptime, expected_uptime(model, view.price(zone), view.bid()));
+        best_uptime, model.expected_uptime(view.price(zone), view.bid()));
   }
   if (best_uptime <= 0) return kNever;
   // "execution time at B" exceeds TimeThresh at since + TimeThresh.

@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "core/policy.hpp"
+#include "markov/incremental.hpp"
 
 namespace redspot {
 
@@ -32,6 +34,9 @@ class ThresholdPolicy final : public Policy {
 
  private:
   std::size_t max_states_;
+  /// Per-zone sliding models (global zone id); per-run object, so
+  /// single-threaded by construction.
+  std::vector<IncrementalMarkovModel> models_;
 };
 
 }  // namespace redspot

@@ -51,8 +51,10 @@ class EngineView {
   /// Spot price of `zone` one sampling step ago (clamped at trace start).
   virtual Money previous_price(std::size_t zone) const = 0;
 
-  /// Trailing price history of `zone`: [now - history_span, now).
-  virtual PriceSeries history(std::size_t zone) const = 0;
+  /// Trailing price history of `zone`: [now - history_span, now), as a
+  /// non-owning view into the market trace. Valid only within the engine
+  /// step that produced it — materialize() to keep it longer.
+  virtual PriceView history(std::size_t zone) const = 0;
 
   /// Minimum spot price of `zone` over the trailing history (S_min in the
   /// Threshold policy).

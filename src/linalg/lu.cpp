@@ -4,59 +4,81 @@
 
 namespace redspot {
 
-LuDecomposition::LuDecomposition(const Matrix& a)
-    : n_(a.rows()), lu_(a), perm_(a.rows()) {
-  REDSPOT_CHECK_MSG(a.square(), "LU requires a square matrix");
-  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+namespace detail {
 
-  for (std::size_t k = 0; k < n_; ++k) {
+bool lu_factor_inplace(double* lu, std::size_t n, std::size_t* perm,
+                       int* perm_sign) {
+  bool singular = false;
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  // The hot loops index the row-major storage directly: the checked
+  // Matrix accessor costs more than the arithmetic at these sizes.
+  for (std::size_t k = 0; k < n; ++k) {
     // Partial pivot: largest |value| in column k at or below the diagonal.
     std::size_t pivot = k;
-    double best = std::fabs(lu_(k, k));
-    for (std::size_t i = k + 1; i < n_; ++i) {
-      const double v = std::fabs(lu_(i, k));
+    double best = std::fabs(lu[k * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu[i * n + k]);
       if (v > best) {
         best = v;
         pivot = i;
       }
     }
     if (best == 0.0) {
-      singular_ = true;
+      singular = true;
       continue;  // keep factoring the remaining columns for determinant = 0
     }
     if (pivot != k) {
-      for (std::size_t j = 0; j < n_; ++j)
-        std::swap(lu_(k, j), lu_(pivot, j));
-      std::swap(perm_[k], perm_[pivot]);
-      perm_sign_ = -perm_sign_;
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(lu[k * n + j], lu[pivot * n + j]);
+      std::swap(perm[k], perm[pivot]);
+      *perm_sign = -*perm_sign;
     }
-    const double inv_pivot = 1.0 / lu_(k, k);
-    for (std::size_t i = k + 1; i < n_; ++i) {
-      const double factor = lu_(i, k) * inv_pivot;
-      lu_(i, k) = factor;
+    const double inv_pivot = 1.0 / lu[k * n + k];
+    const double* row_k = lu + k * n;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      double* row_i = lu + i * n;
+      const double factor = row_i[k] * inv_pivot;
+      row_i[k] = factor;
       if (factor == 0.0) continue;
-      for (std::size_t j = k + 1; j < n_; ++j)
-        lu_(i, j) -= factor * lu_(k, j);
+      for (std::size_t j = k + 1; j < n; ++j)
+        row_i[j] -= factor * row_k[j];
     }
   }
+  return singular;
+}
+
+void lu_solve_inplace(const double* lu, std::size_t n,
+                      const std::size_t* perm, const double* b, double* x) {
+  // Forward substitution with permuted b (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = lu + i * n;
+    double acc = b[perm[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= row[j] * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* row = lu + ii * n;
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
+    x[ii] = acc / row[ii];
+  }
+}
+
+}  // namespace detail
+
+LuDecomposition::LuDecomposition(const Matrix& a)
+    : n_(a.rows()), lu_(a), perm_(a.rows()) {
+  REDSPOT_CHECK_MSG(a.square(), "LU requires a square matrix");
+  singular_ =
+      detail::lu_factor_inplace(lu_.data(), n_, perm_.data(), &perm_sign_);
 }
 
 std::vector<double> LuDecomposition::solve(const std::vector<double>& b) const {
   REDSPOT_CHECK_MSG(!singular_, "solve() on a singular matrix");
   REDSPOT_CHECK(b.size() == n_);
   std::vector<double> x(n_);
-  // Forward substitution with permuted b (L has unit diagonal).
-  for (std::size_t i = 0; i < n_; ++i) {
-    double acc = b[perm_[i]];
-    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
-    x[i] = acc;
-  }
-  // Back substitution.
-  for (std::size_t ii = n_; ii-- > 0;) {
-    double acc = x[ii];
-    for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
-    x[ii] = acc / lu_(ii, ii);
-  }
+  detail::lu_solve_inplace(lu_.data(), n_, perm_.data(), b.data(), x.data());
   return x;
 }
 

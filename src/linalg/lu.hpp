@@ -47,4 +47,20 @@ class LuDecomposition {
 /// Convenience: solves A x = b directly. Throws CheckFailure when singular.
 std::vector<double> solve(const Matrix& a, const std::vector<double>& b);
 
+namespace detail {
+
+/// Factors the row-major n x n matrix `lu` in place (PA = LU, partial
+/// pivoting); fills `perm` and flips `*perm_sign` per row swap. Returns
+/// whether the matrix is singular. Exactly LuDecomposition's arithmetic,
+/// exposed over caller-owned storage so hot paths can reuse buffers.
+bool lu_factor_inplace(double* lu, std::size_t n, std::size_t* perm,
+                       int* perm_sign);
+
+/// Solves A x = b given a factorization from lu_factor_inplace. `x` must
+/// not alias `b`.
+void lu_solve_inplace(const double* lu, std::size_t n,
+                      const std::size_t* perm, const double* b, double* x);
+
+}  // namespace detail
+
 }  // namespace redspot

@@ -11,58 +11,118 @@ namespace redspot {
 std::size_t MarkovModel::state_of(Money price) const {
   REDSPOT_CHECK(!state_prices.empty());
   const double p = price.to_double();
-  std::size_t best = 0;
-  double best_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < state_prices.size(); ++i) {
-    const double d = std::fabs(state_prices[i] - p);
-    if (d < best_dist) {
-      best_dist = d;
-      best = i;
-    }
-  }
-  return best;
+  // state_prices is ascending: the nearest state is one of the two
+  // neighbours of the insertion point. Equidistant ties pick the lower
+  // index (matching the historical first-minimum scan).
+  const auto it = std::lower_bound(state_prices.begin(), state_prices.end(), p);
+  if (it == state_prices.begin()) return 0;
+  if (it == state_prices.end()) return state_prices.size() - 1;
+  const std::size_t hi =
+      static_cast<std::size_t>(std::distance(state_prices.begin(), it));
+  const std::size_t lo = hi - 1;
+  return (p - state_prices[lo] <= state_prices[hi] - p) ? lo : hi;
 }
 
 std::size_t MarkovModel::max_alive_state(Money bid) const {
-  const double b = bid.to_double();
-  std::size_t result = SIZE_MAX;
-  for (std::size_t i = 0; i < state_prices.size(); ++i) {
-    // Tolerate the micro-dollar -> double conversion.
-    if (state_prices[i] <= b + 1e-9) result = i;
-  }
-  return result;
+  // Tolerate the micro-dollar -> double conversion.
+  const double b = bid.to_double() + 1e-9;
+  const auto it = std::upper_bound(state_prices.begin(), state_prices.end(), b);
+  if (it == state_prices.begin()) return SIZE_MAX;
+  return static_cast<std::size_t>(std::distance(state_prices.begin(), it)) - 1;
 }
 
-MarkovModel build_markov_model(const PriceSeries& history,
-                               std::size_t max_states, double smoothing) {
-  REDSPOT_CHECK(history.size() >= 1);
+namespace detail {
+
+MarkovModel finish_markov_model(std::vector<double> state_prices,
+                                const std::vector<std::int64_t>& trans_counts,
+                                const std::vector<std::int64_t>& occupancy,
+                                std::int64_t total_samples, Duration step,
+                                double smoothing) {
+  const std::size_t n = state_prices.size();
+  REDSPOT_CHECK(trans_counts.size() == n * n);
+  REDSPOT_CHECK(occupancy.size() == n);
+  REDSPOT_CHECK(total_samples > 0);
+
+  MarkovModel model;
+  model.state_prices = std::move(state_prices);
+  model.step = step;
+  model.trans = Matrix(n, n);
+  double* trans = model.trans.data();  // checked accessor is too hot here
+  for (std::size_t r = 0; r < n; ++r) {
+    std::int64_t row_total = 0;
+    for (std::size_t c = 0; c < n; ++c) row_total += trans_counts[r * n + c];
+    if (row_total == 0) {
+      trans[r * n + r] = 1.0;  // never observed leaving: self-loop
+      continue;
+    }
+    const double inv = 1.0 / static_cast<double>(row_total);
+    for (std::size_t c = 0; c < n; ++c)
+      trans[r * n + c] = static_cast<double>(trans_counts[r * n + c]) * inv;
+  }
+
+  if (smoothing > 0.0) {
+    // Empirical occupancy distribution.
+    std::vector<double> pi(n);
+    for (std::size_t c = 0; c < n; ++c)
+      pi[c] = static_cast<double>(occupancy[c]) /
+              static_cast<double>(total_samples);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        trans[r * n + c] =
+            (1.0 - smoothing) * trans[r * n + c] + smoothing * pi[c];
+  }
+  return model;
+}
+
+}  // namespace detail
+
+namespace detail {
+
+MarkovModel build_markov_model_presorted(MarkovScratch& scratch,
+                                         Duration step,
+                                         std::size_t max_states,
+                                         double smoothing) {
+  const std::vector<double>& values = scratch.values;
+  const std::vector<double>& sorted = scratch.sorted;
+  REDSPOT_CHECK(values.size() >= 1);
+  REDSPOT_CHECK(sorted.size() == values.size());
   REDSPOT_CHECK(max_states >= 2);
   REDSPOT_CHECK(smoothing >= 0.0 && smoothing < 1.0);
 
   // Distinct observed prices, ascending.
-  std::vector<double> values = history.to_doubles();
-  std::vector<double> sorted = values;
-  std::sort(sorted.begin(), sorted.end());
-  std::vector<double> unique = sorted;
+  std::vector<double>& unique = scratch.unique;
+  unique.assign(sorted.begin(), sorted.end());
   unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
 
-  MarkovModel model;
-  model.step = history.step();
+  std::vector<double>& state_prices = scratch.state_prices;
+  state_prices.clear();
 
   // Map each sample to a state index.
-  std::vector<std::size_t> state_of_sample(values.size());
+  std::vector<std::size_t>& state_of_sample = scratch.state_of_sample;
+  state_of_sample.resize(values.size());
+  // Prices are piecewise-constant, so consecutive samples are usually
+  // equal: both mapping loops below reuse the previous lookup when the
+  // value repeats (same value, same search result — no behavior change).
   if (unique.size() <= max_states) {
-    model.state_prices = unique;
+    state_prices = unique;
+    double last_v = 0.0;
+    std::size_t last_s = SIZE_MAX;
     for (std::size_t i = 0; i < values.size(); ++i) {
-      const auto it =
-          std::lower_bound(unique.begin(), unique.end(), values[i]);
-      state_of_sample[i] =
-          static_cast<std::size_t>(std::distance(unique.begin(), it));
+      const double v = values[i];
+      if (last_s == SIZE_MAX || v != last_v) {
+        const auto it = std::lower_bound(unique.begin(), unique.end(), v);
+        last_s = static_cast<std::size_t>(std::distance(unique.begin(), it));
+        last_v = v;
+      }
+      state_of_sample[i] = last_s;
     }
   } else {
     // Quantile binning over the sample distribution: equal-count bins keep
-    // resolution where the price actually lives.
-    std::vector<double> edges(max_states - 1);
+    // resolution where the price actually lives. Bin means accumulate in
+    // chronological sample order, so a slid window re-runs this mapping
+    // pass over its samples — same order, same doubles.
+    std::vector<double>& edges = scratch.edges;
+    edges.resize(max_states - 1);
     for (std::size_t b = 0; b + 1 < max_states; ++b) {
       const double q =
           static_cast<double>(b + 1) / static_cast<double>(max_states);
@@ -71,24 +131,31 @@ MarkovModel build_markov_model(const PriceSeries& history,
     }
     edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
     const std::size_t num_bins = edges.size() + 1;
-    std::vector<double> bin_sum(num_bins, 0.0);
-    std::vector<std::size_t> bin_count(num_bins, 0);
+    std::vector<double>& bin_sum = scratch.bin_sum;
+    std::vector<std::size_t>& bin_count = scratch.bin_count;
+    bin_sum.assign(num_bins, 0.0);
+    bin_count.assign(num_bins, 0);
+    double last_v = 0.0;
+    std::size_t last_bin = SIZE_MAX;
     for (std::size_t i = 0; i < values.size(); ++i) {
-      const auto it =
-          std::upper_bound(edges.begin(), edges.end(), values[i]);
-      const auto bin =
-          static_cast<std::size_t>(std::distance(edges.begin(), it));
-      state_of_sample[i] = bin;
-      bin_sum[bin] += values[i];
-      ++bin_count[bin];
+      const double v = values[i];
+      if (last_bin == SIZE_MAX || v != last_v) {
+        const auto it = std::upper_bound(edges.begin(), edges.end(), v);
+        last_bin = static_cast<std::size_t>(std::distance(edges.begin(), it));
+        last_v = v;
+      }
+      state_of_sample[i] = last_bin;
+      bin_sum[last_bin] += v;
+      ++bin_count[last_bin];
     }
     // Drop empty bins, remapping indices.
-    std::vector<std::size_t> remap(num_bins, SIZE_MAX);
+    std::vector<std::size_t>& remap = scratch.remap;
+    remap.assign(num_bins, SIZE_MAX);
     for (std::size_t b = 0; b < num_bins; ++b) {
       if (bin_count[b] == 0) continue;
-      remap[b] = model.state_prices.size();
-      model.state_prices.push_back(bin_sum[b] /
-                                   static_cast<double>(bin_count[b]));
+      remap[b] = state_prices.size();
+      state_prices.push_back(bin_sum[b] /
+                             static_cast<double>(bin_count[b]));
     }
     for (auto& s : state_of_sample) {
       REDSPOT_CHECK(remap[s] != SIZE_MAX);
@@ -96,34 +163,34 @@ MarkovModel build_markov_model(const PriceSeries& history,
     }
   }
 
-  // Empirical transition counts between consecutive samples.
-  const std::size_t n = model.state_prices.size();
-  model.trans = Matrix(n, n);
-  std::vector<std::size_t> row_total(n, 0);
-  for (std::size_t i = 0; i + 1 < state_of_sample.size(); ++i) {
-    model.trans(state_of_sample[i], state_of_sample[i + 1]) += 1.0;
-    ++row_total[state_of_sample[i]];
-  }
-  for (std::size_t r = 0; r < n; ++r) {
-    if (row_total[r] == 0) {
-      model.trans(r, r) = 1.0;  // never observed leaving: self-loop
-      continue;
-    }
-    const double inv = 1.0 / static_cast<double>(row_total[r]);
-    for (std::size_t c = 0; c < n; ++c) model.trans(r, c) *= inv;
-  }
+  // Empirical transition counts between consecutive samples; the shared
+  // finisher normalizes and smooths so the incremental path can reproduce
+  // the exact same doubles from its own counts.
+  const std::size_t n = state_prices.size();
+  std::vector<std::int64_t>& trans_counts = scratch.trans_counts;
+  std::vector<std::int64_t>& occupancy = scratch.occupancy;
+  trans_counts.assign(n * n, 0);
+  occupancy.assign(n, 0);
+  for (std::size_t i = 0; i + 1 < state_of_sample.size(); ++i)
+    ++trans_counts[state_of_sample[i] * n + state_of_sample[i + 1]];
+  for (std::size_t s : state_of_sample) ++occupancy[s];
 
-  if (smoothing > 0.0) {
-    // Empirical occupancy distribution.
-    std::vector<double> pi(n, 0.0);
-    for (std::size_t s : state_of_sample) pi[s] += 1.0;
-    for (double& x : pi) x /= static_cast<double>(state_of_sample.size());
-    for (std::size_t r = 0; r < n; ++r)
-      for (std::size_t c = 0; c < n; ++c)
-        model.trans(r, c) =
-            (1.0 - smoothing) * model.trans(r, c) + smoothing * pi[c];
-  }
-  return model;
+  return finish_markov_model(
+      std::vector<double>(state_prices), trans_counts, occupancy,
+      static_cast<std::int64_t>(state_of_sample.size()), step, smoothing);
+}
+
+}  // namespace detail
+
+MarkovModel build_markov_model(const PriceView& history,
+                               std::size_t max_states, double smoothing) {
+  REDSPOT_CHECK(history.size() >= 1);
+  detail::MarkovScratch scratch;
+  scratch.values = history.to_doubles();
+  scratch.sorted = scratch.values;
+  std::sort(scratch.sorted.begin(), scratch.sorted.end());
+  return detail::build_markov_model_presorted(scratch, history.step(),
+                                              max_states, smoothing);
 }
 
 }  // namespace redspot

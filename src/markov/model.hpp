@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/money.hpp"
@@ -32,11 +33,12 @@ struct MarkovModel {
 
   std::size_t num_states() const { return state_prices.size(); }
 
-  /// State whose representative price is closest to `price`.
+  /// State whose representative price is closest to `price` (binary search
+  /// over the ascending prices; equidistant ties pick the lower state).
   std::size_t state_of(Money price) const;
 
   /// Largest state index whose price is <= bid, or SIZE_MAX when the bid is
-  /// below every state (zone can never be up).
+  /// below every state (zone can never be up). Binary search.
   std::size_t max_alive_state(Money bid) const;
 };
 
@@ -52,8 +54,60 @@ struct MarkovModel {
 /// routinely contains closed classes below a bid from which termination
 /// looks impossible, sending the expected up-time to its cap. The smoothed
 /// chain can always reach every observed state.
-MarkovModel build_markov_model(const PriceSeries& history,
+MarkovModel build_markov_model(const PriceView& history,
                                std::size_t max_states = 32,
                                double smoothing = 0.02);
+
+inline MarkovModel build_markov_model(const PriceSeries& history,
+                                      std::size_t max_states = 32,
+                                      double smoothing = 0.02) {
+  return build_markov_model(history.view(), max_states, smoothing);
+}
+
+namespace detail {
+
+/// Reusable buffers for model fitting. A persistent scratch makes repeated
+/// (re)builds allocation-free once warm — the incremental sliding-window
+/// model refits every few samples and must not churn the heap.
+struct MarkovScratch {
+  std::vector<double> values;  ///< window samples, chronological
+  std::vector<double> sorted;  ///< the same samples, ascending
+  std::vector<double> unique;
+  std::vector<double> edges;
+  std::vector<double> bin_sum;
+  std::vector<double> state_prices;
+  std::vector<std::size_t> state_of_sample;
+  std::vector<std::size_t> bin_count;
+  std::vector<std::size_t> remap;
+  std::vector<std::int64_t> trans_counts;
+  std::vector<std::int64_t> occupancy;
+};
+
+/// Fits a model from `scratch.values` (chronological) given
+/// `scratch.sorted` (the identical multiset, ascending). This is THE model
+/// fit: build_markov_model sorts and delegates here, and the incremental
+/// path maintains the sorted multiset across slides and delegates here,
+/// so both produce bit-identical models by construction.
+MarkovModel build_markov_model_presorted(MarkovScratch& scratch,
+                                         Duration step,
+                                         std::size_t max_states,
+                                         double smoothing);
+
+/// Turns integer transition counts + occupancy into the normalized,
+/// smoothed MarkovModel. Shared by the from-scratch builder and the
+/// incremental sliding-window builder so both produce bit-identical
+/// matrices: a count accumulated as `+= 1.0` k times equals (double)k
+/// exactly, so normalizing (double)count by 1/row_total reproduces the
+/// historical arithmetic operation-for-operation.
+///
+/// `trans_counts` is row-major n x n; `occupancy[s]` the number of window
+/// samples in state s; `total_samples` their sum.
+MarkovModel finish_markov_model(std::vector<double> state_prices,
+                                const std::vector<std::int64_t>& trans_counts,
+                                const std::vector<std::int64_t>& occupancy,
+                                std::int64_t total_samples, Duration step,
+                                double smoothing);
+
+}  // namespace detail
 
 }  // namespace redspot

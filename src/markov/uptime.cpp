@@ -9,62 +9,70 @@
 
 namespace redspot {
 
-namespace {
-
-/// Indices of states whose price is within the bid.
-std::vector<std::size_t> alive_states(const MarkovModel& model, Money bid) {
-  std::vector<std::size_t> alive;
-  const double b = bid.to_double() + 1e-9;
-  for (std::size_t i = 0; i < model.num_states(); ++i)
-    if (model.state_prices[i] <= b) alive.push_back(i);
-  return alive;
-}
-
-}  // namespace
-
 Duration expected_uptime(const MarkovModel& model, Money current_price,
                          Money bid, Duration cap) {
+  UptimeScratch scratch;
+  return expected_uptime(model, current_price, bid, cap, scratch);
+}
+
+Duration expected_uptime(const MarkovModel& model, Money current_price,
+                         Money bid, Duration cap, UptimeScratch& scratch) {
   REDSPOT_CHECK(model.num_states() > 0);
   REDSPOT_CHECK(cap > 0);
   if (current_price > bid) return 0;
 
-  const std::vector<std::size_t> alive = alive_states(model, bid);
-  if (alive.empty()) return 0;
+  // state_prices is ascending, so the alive states (price <= bid) are
+  // exactly the prefix [0, a].
+  const std::size_t a = model.max_alive_state(bid);
+  if (a == SIZE_MAX) return 0;
+  const std::size_t m = a + 1;
 
   // Q: transition sub-matrix among alive states. Absorption = any move to
-  // a dead state (price above bid).
-  const std::size_t m = alive.size();
-  Matrix i_minus_q(m, m);
+  // a dead state (price above bid). Built directly into the reused buffer
+  // (every entry is written) and factored in place.
+  scratch.i_minus_q.resize(m * m);
+  double* imq = scratch.i_minus_q.data();
+  const double* trans = model.trans.data();
+  const std::size_t n = model.num_states();
   for (std::size_t r = 0; r < m; ++r) {
     for (std::size_t c = 0; c < m; ++c) {
-      const double q = model.trans(alive[r], alive[c]);
-      i_minus_q(r, c) = (r == c ? 1.0 : 0.0) - q;
+      const double q = trans[r * n + c];
+      imq[r * m + c] = (r == c ? 1.0 : 0.0) - q;
     }
   }
 
-  LuDecomposition lu(i_minus_q);
-  if (lu.singular()) {
+  scratch.perm.resize(m);
+  int perm_sign = 1;
+  if (detail::lu_factor_inplace(imq, m, scratch.perm.data(), &perm_sign)) {
     // A closed communicating class within the bid: the chain can never be
     // absorbed from (at least) the current state — up "forever".
     return cap;
   }
 
   // t = (I - Q)^{-1} 1: expected steps to absorption from each alive state.
-  const std::vector<double> ones(m, 1.0);
-  std::vector<double> t;
-  t = lu.solve(ones);
-
-  const std::size_t start = model.state_of(current_price);
-  std::size_t start_alive = SIZE_MAX;
-  for (std::size_t r = 0; r < m; ++r) {
-    if (alive[r] == start) {
-      start_alive = r;
-      break;
+  scratch.t.assign(m, 1.0);  // the ones vector, solved in place below
+  std::vector<double>& t = scratch.t;
+  {
+    // lu_solve_inplace forbids aliasing; permute b on the fly instead by
+    // noting b = 1 is permutation-invariant, so solve with b[i] = 1.
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* row = imq + i * m;
+      double acc = 1.0;
+      for (std::size_t j = 0; j < i; ++j) acc -= row[j] * t[j];
+      t[i] = acc;
+    }
+    for (std::size_t ii = m; ii-- > 0;) {
+      const double* row = imq + ii * m;
+      double acc = t[ii];
+      for (std::size_t j = ii + 1; j < m; ++j) acc -= row[j] * t[j];
+      t[ii] = acc / row[ii];
     }
   }
-  if (start_alive == SIZE_MAX) return 0;  // nearest state is out-of-bid
 
-  const double steps = t[start_alive];
+  const std::size_t start = model.state_of(current_price);
+  if (start > a) return 0;  // nearest state is out-of-bid
+
+  const double steps = t[start];
   // Numerically near-singular systems can yield huge or negative values;
   // clamp into [0 steps, cap].
   if (!std::isfinite(steps) || steps < 0.0) return cap;

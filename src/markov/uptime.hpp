@@ -29,10 +29,24 @@ namespace redspot {
 
 inline constexpr Duration kDefaultUptimeCap = 30 * kDay;
 
+/// Reusable buffers for the closed-form solve. Policies call
+/// expected_uptime at every decision point; a persistent scratch keeps the
+/// per-call heap traffic at zero.
+struct UptimeScratch {
+  std::vector<double> i_minus_q;  ///< m x m, row-major
+  std::vector<std::size_t> perm;
+  std::vector<double> t;  ///< expected steps to absorption per alive state
+};
+
 /// Exact expected up-time starting from `current_price`, bidding `bid`.
 /// Returns 0 when the current price already exceeds the bid.
 Duration expected_uptime(const MarkovModel& model, Money current_price,
                          Money bid, Duration cap = kDefaultUptimeCap);
+
+/// As expected_uptime, reusing `scratch` — bit-identical result, no
+/// allocation once the scratch is warm.
+Duration expected_uptime(const MarkovModel& model, Money current_price,
+                         Money bid, Duration cap, UptimeScratch& scratch);
 
 /// The paper's iterative estimator (Equations 2-3). `max_steps` bounds Th.
 Duration expected_uptime_iterative(const MarkovModel& model,

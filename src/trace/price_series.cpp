@@ -1,7 +1,5 @@
 #include "trace/price_series.hpp"
 
-#include <algorithm>
-
 namespace redspot {
 
 PriceSeries::PriceSeries(SimTime start, Duration step,
@@ -10,42 +8,6 @@ PriceSeries::PriceSeries(SimTime start, Duration step,
   REDSPOT_CHECK(step_ > 0);
   REDSPOT_CHECK_MSG(start_ % step_ == 0, "series start must align to step");
   REDSPOT_CHECK(!samples_.empty());
-}
-
-SimTime PriceSeries::next_change(SimTime t) const {
-  const Money current = at(t);
-  for (std::size_t i = index_of(t) + 1; i < samples_.size(); ++i) {
-    if (samples_[i] != current) return time_of(i);
-  }
-  return kNever;
-}
-
-Money PriceSeries::min_price() const {
-  return *std::min_element(samples_.begin(), samples_.end());
-}
-
-Money PriceSeries::max_price() const {
-  return *std::max_element(samples_.begin(), samples_.end());
-}
-
-PriceSeries PriceSeries::window(SimTime from, SimTime to) const {
-  from = std::max(from, start_);
-  to = std::min(to, end());
-  REDSPOT_CHECK_MSG(from < to, "empty window request");
-  const std::size_t lo = index_of(from);
-  // Round the right edge up to cover `to`.
-  const std::size_t hi = static_cast<std::size_t>(
-      (to - start_ + step_ - 1) / step_);
-  std::vector<Money> sub(samples_.begin() + static_cast<std::ptrdiff_t>(lo),
-                         samples_.begin() + static_cast<std::ptrdiff_t>(hi));
-  return PriceSeries(time_of(lo), step_, std::move(sub));
-}
-
-std::vector<double> PriceSeries::to_doubles() const {
-  std::vector<double> out;
-  out.reserve(samples_.size());
-  for (Money m : samples_) out.push_back(m.to_double());
-  return out;
 }
 
 }  // namespace redspot

@@ -13,6 +13,7 @@
 
 #include "common/money.hpp"
 #include "common/time.hpp"
+#include "trace/price_view.hpp"
 
 namespace redspot {
 
@@ -60,21 +61,36 @@ class PriceSeries {
     return start_ + step_ * static_cast<std::int64_t>(i);
   }
 
+  /// Non-owning view over the whole series. Valid while this series is
+  /// alive and unmodified.
+  PriceView view() const { return PriceView(start_, step_, samples_); }
+
+  /// Non-owning view covering [from, to); bounds are clamped to the series
+  /// span and aligned outward to the sampling grid. Requires a non-empty
+  /// result. Same slicing semantics as window(), without the copy.
+  PriceView view(SimTime from, SimTime to) const {
+    return view().window(from, to);
+  }
+
   /// First instant strictly after `t` where the price differs from the
   /// price at `t`; kNever if the price never changes again in this series.
-  SimTime next_change(SimTime t) const;
+  /// Delegates to PriceView so owning and view paths share one scan.
+  SimTime next_change(SimTime t) const { return view().next_change(t); }
 
   /// Minimum price over the whole series.
-  Money min_price() const;
+  Money min_price() const { return view().min_price(); }
   /// Maximum price over the whole series.
-  Money max_price() const;
+  Money max_price() const { return view().max_price(); }
 
   /// Sub-series covering [from, to); bounds are clamped to the series span
   /// and aligned outward to the sampling grid. Requires a non-empty result.
-  PriceSeries window(SimTime from, SimTime to) const;
+  /// Materializing copy; prefer view(from, to) on hot paths.
+  PriceSeries window(SimTime from, SimTime to) const {
+    return view(from, to).materialize();
+  }
 
   /// Samples as doubles (for statistics / VAR).
-  std::vector<double> to_doubles() const;
+  std::vector<double> to_doubles() const { return view().to_doubles(); }
 
  private:
   SimTime start_ = 0;

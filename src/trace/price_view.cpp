@@ -1,0 +1,48 @@
+#include "trace/price_view.hpp"
+
+#include <algorithm>
+
+#include "trace/price_series.hpp"
+
+namespace redspot {
+
+SimTime PriceView::next_change(SimTime t) const {
+  const Money current = at(t);
+  for (std::size_t i = index_of(t) + 1; i < samples_.size(); ++i) {
+    if (samples_[i] != current) return time_of(i);
+  }
+  return kNever;
+}
+
+Money PriceView::min_price() const {
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+Money PriceView::max_price() const {
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+PriceView PriceView::window(SimTime from, SimTime to) const {
+  from = std::max(from, start_);
+  to = std::min(to, end());
+  REDSPOT_CHECK_MSG(from < to, "empty window request");
+  const std::size_t lo = index_of(from);
+  // Round the right edge up to cover `to`.
+  const std::size_t hi =
+      static_cast<std::size_t>((to - start_ + step_ - 1) / step_);
+  return PriceView(time_of(lo), step_, samples_.subspan(lo, hi - lo));
+}
+
+PriceSeries PriceView::materialize() const {
+  return PriceSeries(start_, step_,
+                     std::vector<Money>(samples_.begin(), samples_.end()));
+}
+
+std::vector<double> PriceView::to_doubles() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (Money m : samples_) out.push_back(m.to_double());
+  return out;
+}
+
+}  // namespace redspot

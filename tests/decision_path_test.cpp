@@ -1,0 +1,446 @@
+// Decision-path zero-copy / incremental-model properties (DESIGN.md §10).
+//
+// Three families of guarantees, all bit-exact:
+//   * IncrementalMarkovModel::observe equals build_markov_model over the
+//     same window after any sequence of slides — in unique-price mode AND
+//     in quantile-binned mode — including the state-set-changing edges
+//     (evicted last occurrence, appended new price).
+//   * HistoryStats::advance equals a freshly constructed HistoryStats.
+//   * The steady-state decision path (constant-price slide + memoized
+//     expected_uptime + Engine::min_observed_price) performs ZERO heap
+//     allocations, verified through a global operator new hook.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/engine.hpp"
+#include "core/strategy.hpp"
+#include "core/adaptive/history_stats.hpp"
+#include "markov/incremental.hpp"
+#include "markov/model.hpp"
+#include "markov/uptime.hpp"
+#include "test_util.hpp"
+
+// --- Allocation-counting hook -------------------------------------------------
+//
+// Replaces the global allocator for this test binary. Counting is gated on
+// an atomic flag so the hook costs one relaxed load when disabled; tests
+// flip it on around the exact region they assert about.
+//
+// Sanitizer builds keep their own allocator interceptors (replacing
+// operator new underneath ASan trips alloc-dealloc-mismatch), so the hook
+// compiles out there: the counter reads 0 and the zero-allocation
+// assertions hold vacuously. Release CI enforces them for real.
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define REDSPOT_ALLOC_HOOK 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define REDSPOT_ALLOC_HOOK 0
+#else
+#define REDSPOT_ALLOC_HOOK 1
+#endif
+#else
+#define REDSPOT_ALLOC_HOOK 1
+#endif
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+#if REDSPOT_ALLOC_HOOK
+void* counted_alloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = align;
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size) != 0) throw std::bad_alloc();
+  return p;
+}
+#endif  // REDSPOT_ALLOC_HOOK
+}  // namespace
+
+#if REDSPOT_ALLOC_HOOK
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#endif  // REDSPOT_ALLOC_HOOK
+
+namespace redspot {
+namespace {
+
+using testing::constant_series;
+using testing::make_market;
+using testing::single_zone;
+using testing::step_series;
+using testing::zones;
+
+/// Allocations performed while the guard is alive.
+class AllocCounter {
+ public:
+  AllocCounter() {
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+  }
+  ~AllocCounter() { g_count_allocs.store(false, std::memory_order_relaxed); }
+  std::uint64_t count() const {
+    return g_alloc_count.load(std::memory_order_relaxed);
+  }
+};
+
+PriceSeries series_of(const std::vector<double>& prices, SimTime start = 0) {
+  std::vector<Money> samples;
+  samples.reserve(prices.size());
+  for (double p : prices) samples.push_back(Money::dollars(p));
+  return PriceSeries(start, kPriceStep, std::move(samples));
+}
+
+/// Bit-exact model comparison: same states, same doubles, same step.
+void expect_models_identical(const MarkovModel& got, const MarkovModel& want) {
+  ASSERT_EQ(got.num_states(), want.num_states());
+  EXPECT_EQ(got.step, want.step);
+  for (std::size_t s = 0; s < got.num_states(); ++s)
+    EXPECT_EQ(got.state_prices[s], want.state_prices[s]) << "state " << s;
+  for (std::size_t r = 0; r < got.num_states(); ++r)
+    for (std::size_t c = 0; c < got.num_states(); ++c)
+      EXPECT_EQ(got.trans(r, c), want.trans(r, c)) << r << "," << c;
+}
+
+/// Slides a window over `series` with random forward shifts and checks the
+/// incremental model against a from-scratch build at every step.
+void check_random_slides(const PriceSeries& series, std::uint64_t seed,
+                         std::size_t rounds) {
+  Rng rng(seed);
+  IncrementalMarkovModel inc;
+  const std::size_t window_samples = 48;
+  const std::vector<Money> bids = {Money::dollars(0.05), Money::dollars(0.27),
+                                   Money::dollars(0.50), Money::dollars(2.40)};
+
+  std::size_t lo = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const SimTime from = series.start() + static_cast<SimTime>(lo) * kPriceStep;
+    const SimTime to = from + static_cast<SimTime>(window_samples) * kPriceStep;
+    const PriceView window = series.view().window(from, to);
+
+    const MarkovModel& got = inc.observe(window);
+    const MarkovModel want = build_markov_model(window);
+    expect_models_identical(got, want);
+
+    // The memoized uptime must equal the free function on the same model.
+    const Money cur = window.sample(window.size() - 1);
+    for (const Money bid : bids) {
+      EXPECT_EQ(inc.expected_uptime(cur, bid),
+                expected_uptime(want, cur, bid))
+          << "round " << round << " bid " << bid.to_double();
+    }
+
+    // Forward shift of 0-4 samples (0 exercises the identical-window path).
+    lo += rng.uniform_index(5);
+    if (lo + window_samples > series.size()) break;
+  }
+  EXPECT_GT(inc.incremental_slides(), 0u);
+}
+
+// --- Incremental Markov vs from-scratch --------------------------------------
+
+TEST(IncrementalMarkov, RandomSlidesMatchFromScratch_UniqueMode) {
+  // Small price alphabet: every window has <= 6 distinct prices, so the
+  // model stays in exact unique-price mode throughout.
+  Rng rng(1234);
+  const double alphabet[] = {0.25, 0.27, 0.30, 0.55, 0.81, 2.40};
+  std::vector<double> prices(400);
+  double cur = alphabet[0];
+  for (auto& p : prices) {
+    if (rng.uniform() < 0.3) cur = alphabet[rng.uniform_index(6)];
+    p = cur;  // piecewise-constant, like a real trace
+  }
+  check_random_slides(series_of(prices), 99, 200);
+}
+
+TEST(IncrementalMarkov, RandomSlidesMatchFromScratch_BinnedMode) {
+  // Random-walk prices: nearly every sample distinct, so every 48-sample
+  // window exceeds max_states = 32 and the binned slide path runs.
+  Rng rng(77);
+  std::vector<double> prices(400);
+  double cur = 0.30;
+  for (auto& p : prices) {
+    cur = std::max(0.01, cur + rng.uniform(-0.02, 0.02));
+    p = cur;
+  }
+  check_random_slides(series_of(prices), 5150, 200);
+}
+
+TEST(IncrementalMarkov, MixedModeTransitionsMatchFromScratch) {
+  // Alternating regimes: stretches of a tiny alphabet (unique mode) and
+  // stretches of a random walk (binned mode), so slides cross the
+  // unique <-> binned boundary both ways.
+  Rng rng(4242);
+  std::vector<double> prices(500);
+  double cur = 0.30;
+  for (std::size_t i = 0; i < prices.size(); ++i) {
+    const bool walk = (i / 60) % 2 == 1;
+    if (walk) {
+      cur = std::max(0.01, cur + rng.uniform(-0.03, 0.03));
+    } else if (rng.uniform() < 0.4) {
+      cur = 0.25 + 0.05 * static_cast<double>(rng.uniform_index(4));
+    }
+    prices[i] = cur;
+  }
+  check_random_slides(series_of(prices), 31337, 300);
+}
+
+TEST(IncrementalMarkov, EvictedLastOccurrenceOfStateRebuilds) {
+  // 0.9 appears exactly once, as the oldest sample of the first window.
+  // Sliding one sample evicts its last occurrence: the state set shrinks
+  // and the model must match a from-scratch build of the new window.
+  std::vector<double> prices = {0.9};
+  for (int i = 0; i < 12; ++i) prices.push_back(i % 2 == 0 ? 0.3 : 0.5);
+  const PriceSeries s = series_of(prices);
+
+  IncrementalMarkovModel inc;
+  const PriceView w0 = s.view().window(s.start(), s.start() + 8 * kPriceStep);
+  inc.observe(w0);
+  ASSERT_EQ(inc.model().num_states(), 3u);
+
+  const PriceView w1 =
+      s.view().window(s.start() + kPriceStep, s.start() + 9 * kPriceStep);
+  const MarkovModel& got = inc.observe(w1);
+  EXPECT_EQ(got.num_states(), 2u);
+  expect_models_identical(got, build_markov_model(w1));
+}
+
+TEST(IncrementalMarkov, AppendedNewStateRebuilds) {
+  // The appended sample introduces a price unseen in the current window.
+  std::vector<double> prices;
+  for (int i = 0; i < 10; ++i) prices.push_back(i % 2 == 0 ? 0.3 : 0.5);
+  prices.push_back(1.7);
+  const PriceSeries s = series_of(prices);
+
+  IncrementalMarkovModel inc;
+  const PriceView w0 = s.view().window(s.start(), s.start() + 10 * kPriceStep);
+  inc.observe(w0);
+  ASSERT_EQ(inc.model().num_states(), 2u);
+  const std::uint64_t rebuilds = inc.full_rebuilds();
+
+  const PriceView w1 =
+      s.view().window(s.start() + kPriceStep, s.start() + 11 * kPriceStep);
+  const MarkovModel& got = inc.observe(w1);
+  EXPECT_EQ(got.num_states(), 3u);
+  EXPECT_EQ(inc.full_rebuilds(), rebuilds + 1);
+  expect_models_identical(got, build_markov_model(w1));
+}
+
+TEST(IncrementalMarkov, BackwardSlideFallsBackToRebuild) {
+  const PriceSeries s = series_of(std::vector<double>(40, 0.3));
+  IncrementalMarkovModel inc;
+  inc.observe(s.view().window(s.start() + 10 * kPriceStep,
+                              s.start() + 30 * kPriceStep));
+  const std::uint64_t rebuilds = inc.full_rebuilds();
+  const PriceView back =
+      s.view().window(s.start(), s.start() + 20 * kPriceStep);
+  expect_models_identical(inc.observe(back), build_markov_model(back));
+  EXPECT_EQ(inc.full_rebuilds(), rebuilds + 1);
+}
+
+TEST(IncrementalMarkov, ConstantSlideKeepsModelAndMemoAllocationFree) {
+  // A constant-price slide removes and adds the same transition: counts
+  // are net-unchanged, so the model is not re-finished, the uptime memo
+  // survives, and the whole decision costs zero heap allocations.
+  const PriceSeries s = constant_series(0.3, 100);
+  IncrementalMarkovModel inc;
+  const auto window_at = [&](std::size_t lo) {
+    return s.view().window(s.start() + static_cast<SimTime>(lo) * kPriceStep,
+                           s.start() +
+                               static_cast<SimTime>(lo + 48) * kPriceStep);
+  };
+  inc.observe(window_at(0));
+  const Money bid = Money::dollars(0.5);
+  const Duration up0 = inc.expected_uptime(Money::dollars(0.3), bid);
+  const std::uint64_t refreshes = inc.model_refreshes();
+  const std::uint64_t hits = inc.memo_hits();
+
+  // Warm slide once (vectors reach steady-state capacity), then assert the
+  // next slides are allocation-free.
+  inc.observe(window_at(1));
+  {
+    AllocCounter allocs;
+    for (std::size_t lo = 2; lo <= 10; ++lo) {
+      inc.observe(window_at(lo));
+      const Duration up = inc.expected_uptime(Money::dollars(0.3), bid);
+      EXPECT_EQ(up, up0);
+    }
+    EXPECT_EQ(allocs.count(), 0u) << "steady-state decision path allocated";
+  }
+  EXPECT_EQ(inc.model_refreshes(), refreshes) << "model was re-finished";
+  EXPECT_EQ(inc.memo_hits(), hits + 9) << "uptime memo was invalidated";
+  EXPECT_EQ(inc.full_rebuilds(), 1u);
+}
+
+// --- HistoryStats incremental advance ----------------------------------------
+
+/// Compares every per-zone stat, plus combined stats over random subsets,
+/// between `got` (slid) and a freshly built HistoryStats.
+void expect_stats_identical(const HistoryStats& got, const HistoryStats& want,
+                            Rng& rng) {
+  ASSERT_EQ(got.num_zones(), want.num_zones());
+  ASSERT_EQ(got.bid_grid().size(), want.bid_grid().size());
+  EXPECT_EQ(got.window_length(), want.window_length());
+  for (std::size_t z = 0; z < got.num_zones(); ++z) {
+    for (std::size_t b = 0; b < got.bid_grid().size(); ++b) {
+      const ZoneBidStats& g = got.stats(z, b);
+      const ZoneBidStats& w = want.stats(z, b);
+      EXPECT_EQ(g.availability, w.availability) << z << "," << b;
+      EXPECT_EQ(g.mean_paid_price, w.mean_paid_price) << z << "," << b;
+      EXPECT_EQ(g.interruptions_per_hour, w.interruptions_per_hour)
+          << z << "," << b;
+      EXPECT_EQ(g.mean_up_spell, w.mean_up_spell) << z << "," << b;
+    }
+  }
+  // Random zone subsets (always non-empty).
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<std::size_t> subset;
+    for (std::size_t z = 0; z < got.num_zones(); ++z)
+      if (rng.uniform() < 0.5) subset.push_back(z);
+    if (subset.empty()) subset.push_back(rng.uniform_index(got.num_zones()));
+    for (std::size_t b = 0; b < got.bid_grid().size(); ++b) {
+      EXPECT_EQ(got.combined_availability(subset, b),
+                want.combined_availability(subset, b));
+      EXPECT_EQ(got.full_outage_rate(subset, b), want.full_outage_rate(subset, b));
+    }
+  }
+}
+
+TEST(HistoryStatsIncremental, RandomSlidesMatchFreshConstruction) {
+  Rng rng(2026);
+  // Three zones of piecewise-constant prices over a small alphabet, so up
+  // and down spells cross the window edges in interesting ways.
+  std::vector<PriceSeries> series;
+  for (std::uint64_t z = 0; z < 3; ++z) {
+    Rng zr(900 + z);
+    std::vector<double> prices(600);
+    double cur = 0.30;
+    for (auto& p : prices) {
+      if (zr.uniform() < 0.2)
+        cur = 0.20 + 0.15 * static_cast<double>(zr.uniform_index(5));
+      p = cur;
+    }
+    series.push_back(series_of(prices));
+  }
+  const ZoneTraceSet traces = zones(std::move(series));
+  const std::vector<Money> grid = {Money::dollars(0.25), Money::dollars(0.35),
+                                   Money::dollars(0.50), Money::dollars(0.80)};
+
+  const std::size_t window_samples = 96;
+  std::size_t lo = 0;
+  HistoryStats slid(traces, traces.start(),
+                    traces.start() +
+                        static_cast<SimTime>(window_samples) * kPriceStep,
+                    grid);
+  for (int round = 0; round < 120; ++round) {
+    lo += rng.uniform_index(6);  // 0..5 samples forward
+    // Occasionally grow or shrink the right edge by a sample.
+    const std::size_t len = window_samples + rng.uniform_index(3) - 1;
+    if (lo + len > 600) break;
+    const SimTime from =
+        traces.start() + static_cast<SimTime>(lo) * kPriceStep;
+    const SimTime to = from + static_cast<SimTime>(len) * kPriceStep;
+    slid.advance(traces, from, to);
+    HistoryStats fresh(traces, from, to, grid);
+    expect_stats_identical(slid, fresh, rng);
+  }
+  EXPECT_GT(slid.incremental_advances(), 0u);
+}
+
+TEST(HistoryStatsIncremental, BackwardSlideRebuildsAndMatches) {
+  const ZoneTraceSet traces = single_zone(
+      step_series({{0.3, 50}, {0.6, 50}, {0.3, 50}}));
+  const std::vector<Money> grid = {Money::dollars(0.4)};
+  HistoryStats slid(traces, traces.start() + 40 * kPriceStep,
+                    traces.start() + 100 * kPriceStep, grid);
+  const std::uint64_t rebuilds = slid.full_rebuilds();
+  // Backward move: must rebuild, and match fresh.
+  const SimTime from = traces.start();
+  const SimTime to = traces.start() + 60 * kPriceStep;
+  slid.advance(traces, from, to);
+  EXPECT_EQ(slid.full_rebuilds(), rebuilds + 1);
+  HistoryStats fresh(traces, from, to, grid);
+  Rng rng(7);
+  expect_stats_identical(slid, fresh, rng);
+}
+
+// --- Engine history at the trace edge ----------------------------------------
+
+TEST(EngineHistory, MinObservedPriceAtTraceStartSeesOnlyElapsedSamples) {
+  // The cheapest price (0.20) only appears from the second sample onward.
+  // At t = start the engine has seen exactly one sample, so S_min must be
+  // 0.90 — a windowing bug that reads the whole trace would report 0.20.
+  const ZoneTraceSet traces =
+      single_zone(step_series({{0.90, 1}, {0.20, 5}, {0.70, 30}}));
+  const SpotMarket market = make_market(traces);
+  const Experiment experiment = testing::small_experiment(1.0, 0.5, 60);
+  ASSERT_EQ(experiment.start, traces.start());
+
+  FixedStrategy strategy(Money::dollars(1.0), {0},
+                         make_policy(PolicyKind::kThreshold));
+  Engine engine(market, experiment, strategy);
+
+  // Pre-run: now() == experiment.start, history is the partial first step.
+  const PriceView h = engine.history(0);
+  EXPECT_EQ(h.start(), traces.start());
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(engine.min_observed_price(0), Money::dollars(0.90));
+}
+
+TEST(EngineHistory, MinObservedPriceIsAllocationFree) {
+  const ZoneTraceSet traces =
+      single_zone(step_series({{0.90, 4}, {0.20, 5}, {0.70, 30}}));
+  const SpotMarket market = make_market(traces);
+  const Experiment experiment =
+      testing::small_experiment(1.0, 0.5, 60, 6 * kPriceStep);
+
+  FixedStrategy strategy(Money::dollars(1.0), {0},
+                         make_policy(PolicyKind::kThreshold));
+  Engine engine(market, experiment, strategy);
+
+  Money min = Money::dollars(0);
+  {
+    AllocCounter allocs;
+    min = engine.min_observed_price(0);
+    EXPECT_EQ(allocs.count(), 0u) << "min_observed_price allocated";
+  }
+  // History [0, 6 steps) covers the 0.90 run and two 0.20 samples.
+  EXPECT_EQ(min, Money::dollars(0.20));
+}
+
+}  // namespace
+}  // namespace redspot

@@ -95,6 +95,42 @@ TEST(MarkovModel, MaxAliveState) {
   EXPECT_EQ(m.max_alive_state(Money::dollars(0.10)), SIZE_MAX);
 }
 
+TEST(MarkovModel, StateOfBoundaries) {
+  const MarkovModel m =
+      build_markov_model(series_of({0.3, 0.5, 0.7, 0.3, 0.5, 0.7}));
+  // Exactly on a state price -> that state.
+  EXPECT_EQ(m.state_of(Money::dollars(0.3)), 0u);
+  EXPECT_EQ(m.state_of(Money::dollars(0.5)), 1u);
+  EXPECT_EQ(m.state_of(Money::dollars(0.7)), 2u);
+  // Below the minimum / above the maximum clamp to the extremes.
+  EXPECT_EQ(m.state_of(Money::dollars(0.01)), 0u);
+  EXPECT_EQ(m.state_of(Money::dollars(99.0)), 2u);
+}
+
+TEST(MarkovModel, StateOfEquidistantTiePicksLowerIndex) {
+  // 0.25, 0.5 and 0.75 are exactly representable, so 0.5 is a true FP
+  // midpoint; the tie must resolve to the lower index, matching the
+  // historical first-minimum scan.
+  const MarkovModel m = build_markov_model(series_of({0.25, 0.75, 0.25}));
+  EXPECT_EQ(m.state_of(Money::dollars(0.5)), 0u);
+  // Either side of the midpoint snaps to the true nearest state.
+  EXPECT_EQ(m.state_of(Money::dollars(0.49)), 0u);
+  EXPECT_EQ(m.state_of(Money::dollars(0.51)), 1u);
+}
+
+TEST(MarkovModel, MaxAliveStateBoundaries) {
+  const MarkovModel m =
+      build_markov_model(series_of({0.3, 0.5, 0.7, 0.3, 0.5, 0.7}));
+  // Bid exactly on a state price keeps that state alive.
+  EXPECT_EQ(m.max_alive_state(Money::dollars(0.3)), 0u);
+  EXPECT_EQ(m.max_alive_state(Money::dollars(0.5)), 1u);
+  // Bid below every state: nothing alive.
+  EXPECT_EQ(m.max_alive_state(Money::dollars(0.29)), SIZE_MAX);
+  // Bid between states rounds down; above the maximum keeps everything.
+  EXPECT_EQ(m.max_alive_state(Money::dollars(0.69)), 1u);
+  EXPECT_EQ(m.max_alive_state(Money::dollars(42.0)), 2u);
+}
+
 TEST(MarkovModel, SingleSampleHistoryDegeneratesToSelfLoop) {
   const MarkovModel m = build_markov_model(constant_series(0.3, 1));
   ASSERT_EQ(m.num_states(), 1u);

@@ -40,7 +40,7 @@ class FakeView final : public EngineView {
   Money previous_price(std::size_t z) const override {
     return previous_prices_[z];
   }
-  PriceSeries history(std::size_t) const override { return history_; }
+  PriceView history(std::size_t) const override { return history_.view(); }
   Money min_observed_price(std::size_t) const override {
     return history_.min_price();
   }

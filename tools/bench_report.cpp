@@ -1,0 +1,175 @@
+#include "bench_report.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/fs.hpp"
+
+namespace redspot::benchreport {
+
+void Report::set(const std::string& name, double value) {
+  for (auto& [n, v] : metrics) {
+    if (n == name) {
+      v = value;
+      return;
+    }
+  }
+  metrics.emplace_back(name, value);
+}
+
+namespace {
+
+std::string format_number(double v) {
+  // Integers (allocation counts, sample sizes) print without a fraction;
+  // everything else gets enough digits to round-trip comparisons sanely.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_json(const Report& report) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"" << report.schema << "\"";
+  for (const auto& [name, value] : report.metrics) {
+    out << ",\n  \"" << name << "\": " << format_number(value);
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+void write_report(const Report& report, const std::string& path) {
+  atomic_write_file(path, to_json(report));
+}
+
+std::map<std::string, double> parse_metrics(const std::string& json_text) {
+  std::map<std::string, double> out;
+  const char* p = json_text.c_str();
+  const char* end = p + json_text.size();
+  while (p < end) {
+    // Find the next quoted key.
+    while (p < end && *p != '"') ++p;
+    if (p >= end) break;
+    const char* key_begin = ++p;
+    while (p < end && *p != '"') ++p;
+    REDSPOT_CHECK_MSG(p < end, "unterminated string in bench report");
+    const std::string key(key_begin, p);
+    ++p;
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+    if (p >= end || *p != ':') continue;  // not a key (a string value)
+    ++p;
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+    if (p >= end) break;
+    if (*p == '"') {  // string value (e.g. "schema"): skip it
+      ++p;
+      while (p < end && *p != '"') ++p;
+      if (p < end) ++p;
+      continue;
+    }
+    char* num_end = nullptr;
+    const double v = std::strtod(p, &num_end);
+    if (num_end == p) continue;  // not a number (object/array/bool): skip
+    out[key] = v;
+    p = num_end;
+  }
+  return out;
+}
+
+namespace {
+
+double require(const std::map<std::string, double>& current,
+               const std::string& name, bool& ok, std::ostream& log) {
+  const auto it = current.find(name);
+  if (it == current.end()) {
+    log << "FAIL  " << name << ": missing from current report\n";
+    ok = false;
+    return 0.0;
+  }
+  return it->second;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int check(const std::map<std::string, double>& current,
+          const std::map<std::string, double>& baseline, double tolerance,
+          std::ostream& log) {
+  int failures = 0;
+  for (const auto& [name, base] : baseline) {
+    bool present = true;
+    if (name.rfind("min_", 0) == 0) {
+      const std::string target = name.substr(4);
+      const double cur = require(current, target, present, log);
+      if (!present) {
+        ++failures;
+      } else if (cur < base) {
+        log << "FAIL  " << target << " = " << cur << " below floor " << base
+            << "\n";
+        ++failures;
+      } else {
+        log << "PASS  " << target << " = " << cur << " (floor " << base
+            << ")\n";
+      }
+    } else if (name.rfind("max_", 0) == 0) {
+      const std::string target = name.substr(4);
+      const double cur = require(current, target, present, log);
+      if (!present) {
+        ++failures;
+      } else if (cur > base) {
+        log << "FAIL  " << target << " = " << cur << " above ceiling " << base
+            << "\n";
+        ++failures;
+      } else {
+        log << "PASS  " << target << " = " << cur << " (ceiling " << base
+            << ")\n";
+      }
+    } else if (ends_with(name, "_ns") || ends_with(name, "_ms")) {
+      const double cur = require(current, name, present, log);
+      const double limit = base * (1.0 + tolerance);
+      if (!present) {
+        ++failures;
+      } else if (cur > limit) {
+        log << "FAIL  " << name << " = " << cur << " regressed past "
+            << limit << " (baseline " << base << " +"
+            << static_cast<int>(tolerance * 100) << "%)\n";
+        ++failures;
+      } else {
+        log << "PASS  " << name << " = " << cur << " (baseline " << base
+            << ")\n";
+      }
+    } else if (ends_with(name, "_speedup")) {
+      const double cur = require(current, name, present, log);
+      const double limit = base * (1.0 - tolerance);
+      if (!present) {
+        ++failures;
+      } else if (cur < limit) {
+        log << "FAIL  " << name << " = " << cur << " regressed below "
+            << limit << " (baseline " << base << " -"
+            << static_cast<int>(tolerance * 100) << "%)\n";
+        ++failures;
+      } else {
+        log << "PASS  " << name << " = " << cur << " (baseline " << base
+            << ")\n";
+      }
+    } else {
+      log << "info  " << name << " (baseline " << base << ", not gated)\n";
+    }
+  }
+  return failures;
+}
+
+}  // namespace redspot::benchreport

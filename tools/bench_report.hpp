@@ -1,0 +1,57 @@
+// Benchmark report emission and regression checking.
+//
+// bench_decision_path (and future microbenches) record their medians and
+// allocation counts through a Report, serialized as a FLAT json object of
+// "metric": number pairs. A committed baseline at the repo root gates CI:
+//
+//   bench_report check <current.json> <baseline.json> [--tolerance 0.25]
+//
+// Key conventions (the whole contract — the checker is name-driven):
+//   * "min_<metric>" / "max_<metric>" in the BASELINE are hard floors /
+//     ceilings on <metric> in the current report, tolerance-free. This is
+//     how machine-independent acceptance numbers (speedup ratios, zero
+//     allocation counts) are pinned.
+//   * "<metric>_ns" / "<metric>_ms" are absolute medians: the check fails
+//     when current > baseline * (1 + tolerance).
+//   * "<metric>_speedup" are ratios (bigger is better): the check fails
+//     when current < baseline * (1 - tolerance).
+//   * anything else (counts, sizes) is informational.
+//
+// The parser reads exactly what to_json writes (a flat object of numeric
+// fields; non-numeric values are skipped) — no external json dependency.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace redspot::benchreport {
+
+/// Ordered metric -> value collection with a schema tag.
+struct Report {
+  std::string schema = "redspot-decision-path-v1";
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Appends, or overwrites an existing metric of the same name.
+  void set(const std::string& name, double value);
+};
+
+/// Flat json object: {"schema": "...", "<metric>": number, ...}.
+std::string to_json(const Report& report);
+
+/// Serializes and writes via atomic_write_file (temp + fsync + rename).
+void write_report(const Report& report, const std::string& path);
+
+/// Numeric fields of a flat json object; non-numeric values are skipped.
+/// Tolerates arbitrary whitespace. Throws CheckFailure on malformed input.
+std::map<std::string, double> parse_metrics(const std::string& json_text);
+
+/// Applies the key conventions above; logs one PASS/FAIL/info line per
+/// gated metric. Returns the number of failures (0 = gate passed).
+int check(const std::map<std::string, double>& current,
+          const std::map<std::string, double>& baseline, double tolerance,
+          std::ostream& log);
+
+}  // namespace redspot::benchreport

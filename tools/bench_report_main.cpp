@@ -1,0 +1,70 @@
+// bench_report CLI — the CI tolerance gate for microbenchmark reports.
+//
+//   bench_report check <current.json> <baseline.json> [--tolerance 0.25]
+//
+// Exit status 0 when every gated metric passes, 1 otherwise (see
+// bench_report.hpp for the key conventions).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_report.hpp"
+#include "common/check.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_report check <current.json> <baseline.json> "
+               "[--tolerance FRAC]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4 || std::strcmp(argv[1], "check") != 0) return usage();
+  const std::string current_path = argv[2];
+  const std::string baseline_path = argv[3];
+  double tolerance = 0.25;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    const auto current =
+        redspot::benchreport::parse_metrics(slurp(current_path));
+    const auto baseline =
+        redspot::benchreport::parse_metrics(slurp(baseline_path));
+    const int failures =
+        redspot::benchreport::check(current, baseline, tolerance, std::cout);
+    if (failures > 0) {
+      std::printf("bench_report: %d metric(s) regressed\n", failures);
+      return 1;
+    }
+    std::printf("bench_report: all gated metrics pass\n");
+    return 0;
+  } catch (const redspot::CheckFailure& e) {
+    std::fprintf(stderr, "bench_report: %s\n", e.what());
+    return 2;
+  }
+}
