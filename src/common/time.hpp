@@ -48,6 +48,13 @@ constexpr SimTime next_hour(SimTime t) { return hour_floor(t) + kHour; }
 /// Start of the 5-minute price step containing `t`.
 constexpr SimTime price_step_floor(SimTime t) { return t - (t % kPriceStep); }
 
+/// Billing hours "started" by a usage span of `d` (>= 0) seconds — EC2
+/// charges every started hour in full. The one rounding rule shared by the
+/// billing ledger, the on-demand baseline, and the Adaptive estimator.
+constexpr std::int64_t started_hours(Duration d) {
+  return (d + kHour - 1) / kHour;
+}
+
 /// Renders `t` as "d+hh:mm:ss" for logs and timelines.
 std::string format_time(SimTime t);
 

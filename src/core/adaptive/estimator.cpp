@@ -37,8 +37,6 @@ Duration predicted_interval(const HistoryStats& hist, std::size_t bid_idx,
   return kHour - checkpoint_cost;
 }
 
-std::int64_t ceil_hours(Duration d) { return (d + kHour - 1) / kHour; }
-
 }  // namespace
 
 std::string PermutationEstimate::str() const {
@@ -130,7 +128,7 @@ PermutationEstimate estimate_permutation(
       (first_hour_rate * first_hour_s + cost_rate * later_s) /
       static_cast<double>(kHour));
   if (od_s > 0.0)
-    cost += in.on_demand_rate * ceil_hours(e.on_demand_seconds);
+    cost += in.on_demand_rate * started_hours(e.on_demand_seconds);
   e.predicted_cost = cost;
   return e;
 }

@@ -1,0 +1,53 @@
+#include "core/billing_ledger/zone_billing.hpp"
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+void ZoneBilling::flush_new_items() {
+  const std::vector<LineItem>& all = ledger_.items();
+  if (!sink_) {
+    emitted_ = all.size();
+    return;
+  }
+  while (emitted_ < all.size()) sink_(all[emitted_++]);
+}
+
+void ZoneBilling::spot_started(std::size_t zone, SimTime t, Money rate) {
+  if (starts_.size() <= zone) starts_.resize(zone + 1, 0);
+  starts_[zone] = t;
+  ledger_.spot_started(zone, t, rate);
+  flush_new_items();
+}
+
+void ZoneBilling::cycle_boundary(std::size_t zone, Money next_rate) {
+  ledger_.cycle_boundary(zone, next_rate);
+  flush_new_items();
+}
+
+void ZoneBilling::spot_terminated(std::size_t zone, SimTime t,
+                                  TerminationCause cause) {
+  REDSPOT_CHECK(zone < starts_.size());
+  spot_seconds_ += t - starts_[zone];
+  ledger_.spot_terminated(zone, t, cause);
+  flush_new_items();
+}
+
+void ZoneBilling::spot_stopped_at_boundary(std::size_t zone, SimTime t) {
+  REDSPOT_CHECK(zone < starts_.size());
+  spot_seconds_ += t - starts_[zone];
+  ledger_.spot_stopped_at_boundary(zone);
+  flush_new_items();
+}
+
+void ZoneBilling::on_demand_usage(SimTime start, Duration used, Money rate) {
+  ledger_.on_demand_usage(start, used, rate);
+  flush_new_items();
+}
+
+SimTime ZoneBilling::instance_start(std::size_t zone) const {
+  REDSPOT_CHECK(zone < starts_.size());
+  return starts_[zone];
+}
+
+}  // namespace redspot

@@ -1,0 +1,66 @@
+// Per-zone billing-cycle accounting for one engine run.
+//
+// Wraps market/BillingLedger (the pure EC2 charging rules) with what the
+// engine additionally needs per run: billed spot up-time accumulation
+// (instance start to termination, per zone) and live emission of each new
+// LineItem to a sink the instant it is charged — that is how observers get
+// on_billing callbacks in event order rather than from a post-run dump.
+//
+// billing_ledger_test cross-checks every path against a bare BillingLedger
+// driven with the same sequence.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/money.hpp"
+#include "common/time.hpp"
+#include "market/billing.hpp"
+
+namespace redspot {
+
+class ZoneBilling {
+ public:
+  using Sink = std::function<void(const LineItem&)>;
+
+  /// Registers the line-item sink (may be empty to disable emission).
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  // --- lifecycle reports (see market/billing.hpp for charging rules) ----
+
+  void spot_started(std::size_t zone, SimTime t, Money rate);
+  bool spot_running(std::size_t zone) const {
+    return ledger_.spot_running(zone);
+  }
+  SimTime cycle_end(std::size_t zone) const { return ledger_.cycle_end(zone); }
+  void cycle_boundary(std::size_t zone, Money next_rate);
+  void spot_terminated(std::size_t zone, SimTime t, TerminationCause cause);
+  void spot_stopped_at_boundary(std::size_t zone, SimTime t);
+  void on_demand_usage(SimTime start, Duration used, Money rate);
+
+  // --- totals -----------------------------------------------------------
+
+  Money total() const { return ledger_.total(); }
+  Money spot_total() const { return ledger_.spot_total(); }
+  Money on_demand_total() const { return ledger_.on_demand_total(); }
+  const std::vector<LineItem>& items() const { return ledger_.items(); }
+
+  /// Billed spot up-time summed over all zones (instance start to
+  /// termination or boundary stop).
+  Duration spot_seconds() const { return spot_seconds_; }
+
+  /// When `zone`'s current instance started (set by spot_started).
+  SimTime instance_start(std::size_t zone) const;
+
+ private:
+  void flush_new_items();
+
+  BillingLedger ledger_;
+  Sink sink_;
+  std::vector<SimTime> starts_;  // indexed by zone, grown on demand
+  Duration spot_seconds_ = 0;
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace redspot

@@ -1,0 +1,59 @@
+#include "core/deadline/deadline_monitor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+SimTime deadline_switch_time(const DeadlineParams& params,
+                             Duration committed) {
+  const Duration remaining = params.total_compute - committed;
+  const Duration restart = committed > 0 ? params.restart_cost : 0;
+  return params.deadline - remaining - restart - params.checkpoint_cost;
+}
+
+Duration deadline_margin(const DeadlineParams& params, Duration committed,
+                         SimTime now) {
+  return deadline_switch_time(params, committed) - now;
+}
+
+DeadlineAction decide_at_trigger(const DeadlineParams& params,
+                                 Duration committed, SimTime now,
+                                 bool ckpt_in_flight,
+                                 std::optional<Duration> leader_progress) {
+  // An in-flight write settles (commit or abort) and re-arms the trigger;
+  // deciding before it lands would double-count its t_c.
+  if (ckpt_in_flight) return DeadlineAction::kWait;
+  const SimTime due = deadline_switch_time(params, committed);
+  // A forced checkpoint is only safe while the margin is not yet negative
+  // (due == now): if it dies mid-write, switching right after still meets
+  // the deadline thanks to the reserved t_c. A negative margin (reached
+  // via an aborted write) forbids another gamble. And it must buy more
+  // margin than the t_c it costs, else it only postpones the inevitable.
+  if (due == now && leader_progress &&
+      *leader_progress > committed + params.checkpoint_cost) {
+    return DeadlineAction::kForceCheckpoint;
+  }
+  return DeadlineAction::kSwitchToOnDemand;
+}
+
+DeadlineMonitor::DeadlineMonitor(EventQueue& queue, DeadlineParams params,
+                                 std::function<void()> on_trigger)
+    : queue_(queue), params_(params), on_trigger_(std::move(on_trigger)) {
+  REDSPOT_CHECK(on_trigger_ != nullptr);
+}
+
+void DeadlineMonitor::rearm(Duration committed) {
+  queue_.cancel(event_);
+  event_ = queue_.schedule_at(EventKind::kDeadlineTrigger, kNoZone,
+                              std::max(queue_.now(), switch_time(committed)),
+                              [this] {
+                                event_ = 0;
+                                on_trigger_();
+                              });
+}
+
+void DeadlineMonitor::disarm() { queue_.cancel(event_); }
+
+}  // namespace redspot

@@ -1,10 +1,16 @@
+// Engine construction, the run loop, and completion — the orchestration
+// core. Handler bodies live with the module they choreograph:
+//   zone/engine_lifecycle.cpp          price ticks, instance lifecycle
+//   engine_checkpointing.cpp           checkpoint start/settlement
+//   billing_ledger/engine_cycle_hooks.cpp  cycle boundaries, pre-boundary
+//   deadline/engine_switchover.cpp     deadline trigger, on-demand switch
+//   engine_reconfigure.cpp             strategy consults, config changes
+//   engine_view.cpp                    the EngineView read surface
 #include "core/engine.hpp"
 
 #include <algorithm>
-#include <cstdio>
 
 #include "common/hash.hpp"
-#include "common/log.hpp"
 
 namespace redspot {
 
@@ -12,10 +18,6 @@ namespace {
 
 /// Queue-delay draws get their own RNG stream id.
 constexpr std::uint64_t kQueueStream = 0x51DE;
-
-bool contains(std::span<const std::size_t> xs, std::size_t v) {
-  return std::find(xs.begin(), xs.end(), v) != xs.end();
-}
 
 }  // namespace
 
@@ -25,129 +27,56 @@ Engine::Engine(const SpotMarket& market, Experiment experiment,
       experiment_(experiment),
       strategy_(&strategy),
       options_(options),
-      sim_(experiment.start),
+      queue_(experiment.start),
       queue_rng_(experiment.seed, kQueueStream),
-      injector_(options.faults, experiment.seed) {
+      injector_(options.faults, experiment.seed),
+      monitor_(queue_,
+               DeadlineParams{experiment.app.total_compute,
+                              experiment.costs.checkpoint,
+                              experiment.costs.restart,
+                              experiment.deadline_time()},
+               [this] { on_deadline_trigger(); }),
+      fault_recorder_(&result_.faults) {
   experiment_.validate();
   REDSPOT_CHECK_MSG(market.trace_start() <= experiment_.start,
                     "trace starts after the experiment");
   REDSPOT_CHECK_MSG(market.trace_end() >= experiment_.deadline_time(),
                     "trace ends before the experiment deadline");
-  zones_.resize(market.num_zones());
+  zones_.reserve(market.num_zones());
+  for (std::size_t z = 0; z < market.num_zones(); ++z)
+    zones_.emplace_back(z, static_cast<ZoneTransitionSink*>(this));
+  billing_.set_sink([this](const LineItem& item) {
+    for (EngineObserver* o : observers_) o->on_billing(item);
+  });
+  // The engine's own fault accounting rides the observer layer too. It is
+  // not a queue observer (no on_event need), keeping the calendar's
+  // zero-observer fast path for unobserved runs.
+  observers_.push_back(&fault_recorder_);
+}
+
+void Engine::add_observer(EngineObserver* observer) {
+  REDSPOT_CHECK_MSG(!ran_, "observers must attach before run()");
+  REDSPOT_CHECK(observer != nullptr);
+  observers_.push_back(observer);
+  queue_.add_observer(observer);
 }
 
 // ---------------------------------------------------------------------------
-// EngineView
+// Observer fan-out
 
-Engine::ZoneRt& Engine::rt(std::size_t zone) {
-  REDSPOT_CHECK(zone < zones_.size());
-  return zones_[zone];
+void Engine::on_zone_transition(std::size_t zone, ZoneState from,
+                                ZoneState to) {
+  for (EngineObserver* o : observers_) o->on_transition(now(), zone, from, to);
 }
 
-const Engine::ZoneRt& Engine::rt(std::size_t zone) const {
-  REDSPOT_CHECK(zone < zones_.size());
-  return zones_[zone];
+void Engine::notify_fault(FaultEvent::Kind kind, std::size_t zone,
+                          Duration backoff) {
+  const FaultEvent fault{kind, now(), zone, backoff};
+  for (EngineObserver* o : observers_) o->on_fault(fault);
 }
 
-bool Engine::zone_running(std::size_t zone) const {
-  const ZoneState s = rt(zone).state;
-  return s == ZoneState::kRunning || s == ZoneState::kCheckpointing;
-}
-
-bool Engine::any_zone_running() const {
-  for (std::size_t z : config_.zones)
-    if (zone_running(z)) return true;
-  return false;
-}
-
-Money Engine::price(std::size_t zone) const {
-  return market_->spot_price(zone, now());
-}
-
-Money Engine::previous_price(std::size_t zone) const {
-  const SimTime prev = now() - market_->traces().step();
-  if (prev < market_->trace_start()) return price(zone);
-  return market_->spot_price(zone, prev);
-}
-
-PriceView Engine::history(std::size_t zone) const {
-  const SimTime from =
-      std::max(market_->trace_start(), now() - experiment_.history_span);
-  // At the very start of the trace there is no history yet; expose the
-  // current sample so Markov-based policies still get a (degenerate) model.
-  const SimTime to = std::max(now(), from + 1);
-  return market_->traces().zone(zone).view(from, to);
-}
-
-Money Engine::min_observed_price(std::size_t zone) const {
-  // min over the view — no window materialization.
-  return history(zone).min_price();
-}
-
-Duration Engine::zone_progress(std::size_t zone) const {
-  const ZoneRt& z = rt(zone);
-  switch (z.state) {
-    case ZoneState::kRunning:
-      return z.progress_base + (now() - z.computing_since);
-    case ZoneState::kCheckpointing:
-      return z.progress_base;  // frozen while the checkpoint writes
-    default:
-      return z.progress_base;
-  }
-}
-
-Duration Engine::leading_progress() const {
-  Duration best = store_.latest_progress();
-  for (std::size_t z : config_.zones) {
-    if (zone_running(z)) best = std::max(best, zone_progress(z));
-  }
-  return best;
-}
-
-SimTime Engine::leading_compute_since() const {
-  Duration best = -1;
-  SimTime since = kNever;
-  for (std::size_t z : config_.zones) {
-    if (rt(z).state != ZoneState::kRunning) continue;
-    const Duration p = zone_progress(z);
-    if (p > best) {
-      best = p;
-      since = rt(z).computing_since;
-    }
-  }
-  return since;
-}
-
-std::optional<std::size_t> Engine::leading_zone() const {
-  Duration best = -1;
-  std::optional<std::size_t> leader;
-  for (std::size_t z : config_.zones) {
-    if (rt(z).state != ZoneState::kRunning) continue;
-    const Duration p = zone_progress(z);
-    if (p > best) {
-      best = p;
-      leader = z;
-    }
-  }
-  return leader;
-}
-
-bool Engine::zone_active(const ZoneRt& z) const {
-  switch (z.state) {
-    case ZoneState::kQueued:
-    case ZoneState::kRestarting:
-    case ZoneState::kRunning:
-    case ZoneState::kCheckpointing:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool Engine::any_zone_active() const {
-  for (std::size_t z : config_.zones)
-    if (zone_active(rt(z))) return true;
-  return false;
+void Engine::notify_commit(const CheckpointCommit& commit) {
+  for (EngineObserver* o : observers_) o->on_checkpoint_commit(commit);
 }
 
 void Engine::record(SimTime t, std::size_t zone, TimelineKind kind,
@@ -164,19 +93,23 @@ RunResult Engine::run() {
   ran_ = true;
 
   apply_initial_config();
-  tick_event_ = sim_.schedule_at(experiment_.start, [this] { on_price_tick(); });
+  tick_event_ = queue_.schedule_at(EventKind::kPriceTick, kNoZone,
+                                   experiment_.start,
+                                   [this] { on_price_tick(); });
   reschedule_deadline_trigger();
 
-  while (!done_ && sim_.step()) {
+  while (!done_ && queue_.step()) {
   }
   REDSPOT_CHECK_MSG(done_, "engine calendar drained before completion");
 
-  result_.total_cost = ledger_.total();
-  result_.spot_cost = ledger_.spot_total();
-  result_.on_demand_cost = ledger_.on_demand_total();
+  result_.total_cost = billing_.total();
+  result_.spot_cost = billing_.spot_total();
+  result_.on_demand_cost = billing_.on_demand_total();
+  result_.spot_instance_seconds = billing_.spot_seconds();
   result_.committed_progress = store_.latest_progress();
   result_.checkpoint_log = store_.all();
-  if (options_.record_line_items) result_.line_items = ledger_.items();
+  if (options_.record_line_items) result_.line_items = billing_.items();
+  for (EngineObserver* o : observers_) o->on_finish(result_);
   return result_;
 }
 
@@ -193,696 +126,16 @@ void Engine::apply_initial_config() {
   }
 }
 
-// ---------------------------------------------------------------------------
-// Price ticks and zone state transitions
-
-void Engine::on_price_tick() {
-  tick_event_ = 0;
-  if (done_) return;
-
-  const bool had_active = any_zone_active();
-  bool terminated_any = false;
-  for (std::size_t z : config_.zones) {
-    ZoneRt& zone = rt(z);
-    const Money p = price(z);
-    switch (zone.state) {
-      case ZoneState::kQueued:
-      case ZoneState::kRestarting:
-      case ZoneState::kRunning:
-      case ZoneState::kCheckpointing:
-        if (p > config_.bid && !zone.doomed) {
-          if (options_.termination_notice > 0 &&
-              (zone.state == ZoneState::kRunning ||
-               zone.state == ZoneState::kCheckpointing)) {
-            deliver_termination_notice(z);
-            if (zone.state == ZoneState::kDown) terminated_any = true;
-          } else {
-            terminate_out_of_bid(z);
-            terminated_any = true;
-          }
-        }
-        break;
-      case ZoneState::kDown:
-        if (p <= config_.bid) zone.state = ZoneState::kWaiting;
-        break;
-      case ZoneState::kWaiting:
-        if (p > config_.bid) zone.state = ZoneState::kDown;
-        break;
-      case ZoneState::kStopped:
-        if (config_.policy->should_resume(*this, z))
-          zone.state = ZoneState::kWaiting;
-        break;
-    }
-  }
-  if (had_active && !any_zone_active()) ++result_.full_outages;
-
-  // The switch to on-demand cancels the tick chain, so a tick can never
-  // observe the on-demand phase.
-  REDSPOT_CHECK(!on_demand_phase_);
-
-  if (strategy_->dynamic()) {
-    consult_strategy(terminated_any ? DecisionPoint::kZoneTerminated
-                                    : DecisionPoint::kPriceTick);
-  }
-  if (!done_ && !on_demand_phase_ && !ckpt_in_flight_ &&
-      policy_checkpoint_allowed() && any_zone_running() &&
-      config_.policy->checkpoint_condition(*this)) {
-    start_checkpoint(std::nullopt);
-  }
-  reconcile();
-
-  if (done_ || on_demand_phase_) return;
-  const SimTime next = price_step_floor(now()) + market_->traces().step();
-  if (next <= experiment_.deadline_time() && next < market_->trace_end())
-    tick_event_ = sim_.schedule_at(next, [this] { on_price_tick(); });
-}
-
-void Engine::reconcile() {
-  if (done_ || on_demand_phase_) return;
-  if (any_zone_active()) return;
-  // Algorithm 1 lines 29-35: with no instance up, every waiting zone
-  // restarts from the previous checkpoint.
-  for (std::size_t z : config_.zones) {
-    if (rt(z).state == ZoneState::kWaiting) request_instance(z);
-  }
-}
-
-void Engine::request_instance(std::size_t zone) {
-  ZoneRt& z = rt(zone);
-  REDSPOT_CHECK(z.state == ZoneState::kWaiting ||
-                z.state == ZoneState::kDown);
-  z.state = ZoneState::kQueued;
-  z.request_attempts = 0;
-  const Duration delay = market_->sample_queue_delay(queue_rng_);
-  result_.queue_delay_total += delay;
-  z.ready_event =
-      sim_.schedule_in(delay, [this, zone] { on_instance_ready(zone); });
-  record(now(), zone, TimelineKind::kInstanceRequested,
-         "delay=" + format_duration(delay));
-}
-
-void Engine::on_instance_ready(std::size_t zone) {
-  ZoneRt& z = rt(zone);
-  z.ready_event = 0;
-  REDSPOT_CHECK(z.state == ZoneState::kQueued);
-  const Money rate = price(zone);
-  if (rate > config_.bid) {
-    // The price moved above the bid at this very instant (the tick event
-    // carrying the termination is ordered after us): the request dies
-    // unfulfilled.
-    terminate_out_of_bid(zone);
-    return;
-  }
-  if (injector_.request_rejected()) {
-    // EC2 "insufficient capacity": the request is rejected at fulfilment.
-    // Retry with exponential backoff + jitter, then re-queue; the zone
-    // stays kQueued (no instance, nothing billed) throughout.
-    ++result_.faults.request_rejections;
-    ++z.request_attempts;
-    const Duration backoff = injector_.backoff_delay(z.request_attempts);
-    result_.faults.backoff_total += backoff;
-    const Duration requeue = market_->sample_queue_delay(queue_rng_);
-    result_.queue_delay_total += requeue;
-    z.ready_event = sim_.schedule_in(
-        backoff + requeue, [this, zone] { on_instance_ready(zone); });
-    record(now(), zone, TimelineKind::kRequestRejected,
-           "retry-in=" + format_duration(backoff + requeue));
-    return;
-  }
-  z.request_attempts = 0;
-  ledger_.spot_started(zone, now(), rate);
-  z.instance_start = now();
-  z.cycle_event = sim_.schedule_at(ledger_.cycle_end(zone),
-                                   [this, zone] { on_cycle_boundary(zone); });
-  const SimTime pre = ledger_.cycle_end(zone) - experiment_.costs.checkpoint;
-  if ((config_.policy->wants_pre_boundary_checks() || strategy_->dynamic()) &&
-      pre > now()) {
-    z.preboundary_event =
-        sim_.schedule_at(pre, [this, zone] { on_pre_boundary(zone); });
-  }
-  record(now(), zone, TimelineKind::kInstanceRunning,
-         "rate=" + rate.str());
-
-  const Duration target = store_.latest_progress();
-  if (target > 0) {
-    z.state = ZoneState::kRestarting;
-    z.restart_target = target;
-    z.restart_event = sim_.schedule_in(
-        experiment_.costs.restart, [this, zone] { on_restart_done(zone); });
-    record(now(), zone, TimelineKind::kRestartStart);
-  } else {
-    // Nothing to load: the application starts from its initial state
-    // (Figure 1 — no restart cost at T_b).
-    start_computing(zone, 0);
-  }
-}
-
-void Engine::on_restart_done(std::size_t zone) {
-  ZoneRt& z = rt(zone);
-  z.restart_event = 0;
-  REDSPOT_CHECK(z.state == ZoneState::kRestarting);
-  if (injector_.restart_fails()) {
-    // The load failed. Retry from the newest verified checkpoint (it may
-    // have advanced while this load was in flight), paying t_r again; a
-    // store with nothing left to load degrades to a from-scratch start.
-    ++result_.faults.restart_failures;
-    record(now(), zone, TimelineKind::kRestartFailed);
-    z.restart_target = store_.latest_progress();
-    if (z.restart_target > 0) {
-      z.restart_event = sim_.schedule_in(
-          experiment_.costs.restart, [this, zone] { on_restart_done(zone); });
-      record(now(), zone, TimelineKind::kRestartStart, "retry");
-      return;
-    }
-    start_computing(zone, 0);
-    return;
-  }
-  ++result_.restarts;
-  record(now(), zone, TimelineKind::kRestartDone);
-  start_computing(zone, z.restart_target);
-}
-
-void Engine::start_computing(std::size_t zone, Duration progress_base) {
-  ZoneRt& z = rt(zone);
-  z.state = ZoneState::kRunning;
-  z.progress_base = progress_base;
-  z.computing_since = now();
-  const Duration remaining =
-      std::max<Duration>(0, experiment_.app.total_compute - progress_base);
-  sim_.cancel(z.completion_event);
-  z.completion_event = sim_.schedule_in(
-      remaining, [this, zone] { on_zone_completion(zone); });
-  reschedule_policy_checkpoint();
-}
-
-// ---------------------------------------------------------------------------
-// Checkpoints
-
-void Engine::reschedule_policy_checkpoint() {
-  sim_.cancel(scheduled_ckpt_event_);
-  scheduled_ckpt_event_ = 0;
-  if (done_ || on_demand_phase_) return;
-  const SimTime t = config_.policy->schedule_next_checkpoint(*this);
-  if (t == kNever) return;
-  scheduled_ckpt_event_ = sim_.schedule_at(
-      std::max(now(), t), [this] { on_scheduled_checkpoint(); });
-}
-
-void Engine::on_scheduled_checkpoint() {
-  scheduled_ckpt_event_ = 0;
-  if (done_ || on_demand_phase_ || ckpt_in_flight_) return;
-  if (!policy_checkpoint_allowed()) return;
-  start_checkpoint(std::nullopt);
-}
-
-bool Engine::policy_checkpoint_allowed() const {
-  // A policy checkpoint started at or below the deadline margin would
-  // postpone the on-demand switch by t_c without necessarily committing
-  // anything new — repeated (e.g. Rising Edge fires every tick), that
-  // accumulates an unbounded deadline deficit. Below the margin, only the
-  // deadline trigger itself may checkpoint (it proves the gain exceeds
-  // t_c first).
-  return deadline_switch_time() > now();
-}
-
-void Engine::start_checkpoint(std::optional<std::size_t> target) {
-  REDSPOT_CHECK(!ckpt_in_flight_);
-  if (!target) target = leading_zone();
-  if (!target) return;  // nothing running; rescheduled at the next restart
-  ZoneRt& z = rt(*target);
-  REDSPOT_CHECK(z.state == ZoneState::kRunning);
-
-  // Freeze the zone's progress for the duration of the write.
-  z.progress_base = zone_progress(*target);
-  z.state = ZoneState::kCheckpointing;
-  sim_.cancel(z.completion_event);
-  z.completion_event = 0;
-
-  ckpt_in_flight_ = true;
-  ckpt_zone_ = *target;
-  ckpt_value_ = iteration_aligned(experiment_.app, z.progress_base);
-  ckpt_done_time_ = now() + experiment_.costs.checkpoint;
-  ckpt_done_event_ =
-      sim_.schedule_at(ckpt_done_time_, [this] { on_checkpoint_done(); });
-  record(now(), *target, TimelineKind::kCheckpointStart,
-         "progress=" + format_duration(ckpt_value_));
-}
-
-bool Engine::commit_in_flight_checkpoint() {
-  REDSPOT_CHECK(ckpt_in_flight_);
-  sim_.cancel(ckpt_done_event_);
-  ckpt_done_event_ = 0;
-  ckpt_in_flight_ = false;
-  // Validate the finished write against the fault plan before publishing
-  // it. Either failure mode leaves latest_progress() untouched, keeping
-  // P_c monotone — the deadline margin's precondition — and re-arms the
-  // deadline trigger, which may have been waiting on this write.
-  if (injector_.checkpoint_write_fails(now())) {
-    ++result_.faults.ckpt_write_failures;
-    record(now(), ckpt_zone_, TimelineKind::kCheckpointFailed,
-           injector_.store_unreachable(now()) ? "store-outage" : "io-error");
-    reschedule_deadline_trigger();
-    return false;
-  }
-  if (injector_.checkpoint_corrupts()) {
-    // The write "succeeded" but post-write validation finds a corrupt
-    // image: roll the commit back to the previous good checkpoint.
-    store_.commit(now(), ckpt_value_);
-    store_.invalidate_latest();
-    ++result_.faults.ckpt_corruptions;
-    record(now(), ckpt_zone_, TimelineKind::kCheckpointCorrupt,
-           "progress=" + format_duration(ckpt_value_));
-    reschedule_deadline_trigger();
-    return false;
-  }
-  store_.commit(now(), ckpt_value_);
-  ++result_.checkpoints_committed;
-  record(now(), ckpt_zone_, TimelineKind::kCheckpointDone,
-         "progress=" + format_duration(ckpt_value_));
-  reschedule_deadline_trigger();
-  return true;
-}
-
-void Engine::on_checkpoint_done() {
-  const std::size_t zone = ckpt_zone_;
-  const bool committed = commit_in_flight_checkpoint();
-
-  // The checkpointing zone resumes computing from its frozen progress.
-  start_computing(zone, rt(zone).progress_base);
-
-  // Algorithm 1 lines 19-25: waiting zones restart from this checkpoint.
-  // A failed commit gives them nothing new to load — they keep waiting
-  // for the next verified one (or for reconcile() on a full outage).
-  if (!committed) return;
-  for (std::size_t z : config_.zones) {
-    if (rt(z).state == ZoneState::kWaiting) request_instance(z);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Terminations
-
-void Engine::cancel_zone_events(ZoneRt& z) {
-  sim_.cancel(z.ready_event);
-  sim_.cancel(z.restart_event);
-  sim_.cancel(z.cycle_event);
-  sim_.cancel(z.preboundary_event);
-  sim_.cancel(z.completion_event);
-  sim_.cancel(z.doom_event);
-  sim_.cancel(z.emergency_ckpt_event);
-  z.ready_event = z.restart_event = z.cycle_event = z.preboundary_event =
-      z.completion_event = z.doom_event = z.emergency_ckpt_event = 0;
-  z.doomed = false;
-}
-
-// Appendix-A variant: the market warns before terminating. The fault plan
-// can drop the notice (abrupt 2013-style kill) or deliver it late, which
-// shrinks the usable warning; the kill instant itself never moves.
-void Engine::deliver_termination_notice(std::size_t zone) {
-  if (injector_.notice_dropped()) {
-    ++result_.faults.notices_dropped;
-    record(now(), zone, TimelineKind::kNoticeDropped);
-    terminate_out_of_bid(zone);
-    return;
-  }
-  const Duration lag = injector_.notice_lag(options_.termination_notice);
-  if (lag <= 0) {
-    on_termination_notice(zone, options_.termination_notice);
-    return;
-  }
-  // Late notice: the zone is already doomed (the price crossed the bid
-  // now) but the engine only learns at now + lag, with the remaining
-  // warning shortened accordingly.
-  ZoneRt& z = rt(zone);
-  z.doomed = true;
-  ++result_.faults.notices_late;
-  const Duration warning = options_.termination_notice - lag;
-  z.doom_event = sim_.schedule_in(lag, [this, zone, warning] {
-    ZoneRt& late = rt(zone);
-    late.doom_event = 0;
-    if (done_ || !zone_active(late)) return;
-    on_termination_notice(zone, warning);
-  });
-}
-
-// The doomed zone keeps computing through the notice; an emergency
-// checkpoint lands exactly at the termination instant when the remaining
-// warning can fit one (warning >= t_c).
-void Engine::on_termination_notice(std::size_t zone, Duration warning) {
-  ZoneRt& z = rt(zone);
-  z.doomed = true;
-  const SimTime doom_at = now() + warning;
-  z.doom_event =
-      sim_.schedule_at(doom_at, [this, zone] { on_doom(zone); });
-  record(now(), zone, TimelineKind::kOutOfBid,
-         "notice=" + format_duration(warning));
-  const SimTime ckpt_start = doom_at - experiment_.costs.checkpoint;
-  if (ckpt_start >= now() && policy_checkpoint_allowed()) {
-    z.emergency_ckpt_event = sim_.schedule_at(ckpt_start, [this, zone] {
-      ZoneRt& doomed_zone = rt(zone);
-      doomed_zone.emergency_ckpt_event = 0;
-      if (done_ || ckpt_in_flight_ ||
-          doomed_zone.state != ZoneState::kRunning)
-        return;
-      start_checkpoint(zone);
-    });
-  }
-}
-
-void Engine::on_doom(std::size_t zone) {
-  ZoneRt& z = rt(zone);
-  z.doom_event = 0;
-  if (done_ || !zone_active(z)) return;
-  const bool had_active = any_zone_active();
-  terminate_out_of_bid(zone);  // commits a just-finished write, bills free
-  if (had_active && !any_zone_active()) ++result_.full_outages;
-  reconcile();
-}
-
-void Engine::terminate_out_of_bid(std::size_t zone) {
-  ZoneRt& z = rt(zone);
-  REDSPOT_CHECK(zone_active(z));
-  if (ckpt_in_flight_ && ckpt_zone_ == zone) {
-    if (ckpt_done_time_ <= now()) {
-      commit_in_flight_checkpoint();
-    } else {
-      // The write was cut off: nothing commits. Re-arm the deadline
-      // trigger — it may have been waiting on this write.
-      sim_.cancel(ckpt_done_event_);
-      ckpt_done_event_ = 0;
-      ckpt_in_flight_ = false;
-      reschedule_deadline_trigger();
-    }
-  }
-  if (z.state == ZoneState::kQueued) {
-    // The request had not been fulfilled; nothing was billed.
-  } else {
-    ledger_.spot_terminated(zone, now(), TerminationCause::kOutOfBid);
-    result_.spot_instance_seconds += now() - z.instance_start;
-  }
-  cancel_zone_events(z);
-  z.state = ZoneState::kDown;
-  z.manual_stop_pending = false;
-  ++result_.out_of_bid_terminations;
-  record(now(), zone, TimelineKind::kOutOfBid);
-}
-
-void Engine::user_terminate(std::size_t zone, bool at_boundary) {
-  ZoneRt& z = rt(zone);
-  if (!zone_active(z)) return;
-  if (ckpt_in_flight_ && ckpt_zone_ == zone) {
-    if (ckpt_done_time_ <= now()) {
-      commit_in_flight_checkpoint();
-    } else {
-      sim_.cancel(ckpt_done_event_);
-      ckpt_done_event_ = 0;
-      ckpt_in_flight_ = false;
-      if (!on_demand_phase_) reschedule_deadline_trigger();
-    }
-  }
-  if (z.state == ZoneState::kQueued) {
-    record(now(), zone, TimelineKind::kUserTerminated, "request-cancelled");
-  } else {
-    if (at_boundary) {
-      ledger_.spot_stopped_at_boundary(zone);
-    } else {
-      ledger_.spot_terminated(zone, now(), TerminationCause::kUser);
-    }
-    result_.spot_instance_seconds += now() - z.instance_start;
-    record(now(), zone, TimelineKind::kUserTerminated,
-           at_boundary ? "at-boundary" : "mid-cycle");
-  }
-  cancel_zone_events(z);
-  z.state = ZoneState::kDown;
-  z.manual_stop_pending = false;
-}
-
-// ---------------------------------------------------------------------------
-// Billing cycles and pre-boundary checks
-
-void Engine::on_cycle_boundary(std::size_t zone) {
-  ZoneRt& z = rt(zone);
-  z.cycle_event = 0;
-  if (done_) return;
-
-  // Large-bid manual stop: the protective checkpoint (started at
-  // boundary - t_c) completes exactly now; commit it, pay the full hour,
-  // and sit out until the price recovers.
-  if (z.manual_stop_pending) {
-    if (ckpt_in_flight_ && ckpt_zone_ == zone && ckpt_done_time_ <= now())
-      commit_in_flight_checkpoint();
-    const bool had_active = any_zone_active();
-    user_terminate(zone, /*at_boundary=*/true);
-    z.state = ZoneState::kStopped;
-    record(now(), zone, TimelineKind::kUserTerminated, "manual-stop");
-    if (had_active && !any_zone_active()) ++result_.full_outages;
-    reconcile();
-    return;
-  }
-
-  if (strategy_->dynamic()) {
-    consult_strategy(DecisionPoint::kCycleEnd);
-    if (pending_config_) {
-      const EngineConfig next = *pending_config_;
-      apply_config(next, /*at_boundary_of=*/true, zone);
-    }
-  }
-  if (done_ || on_demand_phase_) return;
-
-  // The zone may have been terminated by the reconfiguration above.
-  if (!ledger_.spot_running(zone) || !zone_active(z)) return;
-
-  ledger_.cycle_boundary(zone, price(zone));
-  z.cycle_event = sim_.schedule_at(ledger_.cycle_end(zone),
-                                   [this, zone] { on_cycle_boundary(zone); });
-  const SimTime pre = ledger_.cycle_end(zone) - experiment_.costs.checkpoint;
-  sim_.cancel(z.preboundary_event);
-  z.preboundary_event = 0;
-  if ((config_.policy->wants_pre_boundary_checks() || strategy_->dynamic()) &&
-      pre > now()) {
-    z.preboundary_event =
-        sim_.schedule_at(pre, [this, zone] { on_pre_boundary(zone); });
-  }
-}
-
-void Engine::on_pre_boundary(std::size_t zone) {
-  ZoneRt& z = rt(zone);
-  z.preboundary_event = 0;
-  if (done_ || on_demand_phase_) return;
-  if (!zone_active(z)) return;
-
-  // Large-bid: decide whether to ride the next hour or stop at the
-  // boundary; stopping wants a checkpoint that completes exactly at it.
-  if (config_.policy->wants_pre_boundary_checks() &&
-      config_.policy->should_manual_stop(*this, zone)) {
-    z.manual_stop_pending = true;
-    if (!ckpt_in_flight_ && z.state == ZoneState::kRunning &&
-        policy_checkpoint_allowed())
-      start_checkpoint(zone);
-    return;
-  }
-
-  // Adaptive: if a disruptive reconfiguration is pending, protect the
-  // leading zone's progress with a checkpoint that lands on the boundary.
-  if (strategy_->dynamic()) {
-    consult_strategy(DecisionPoint::kPreBoundary);
-    if (pending_config_ && !ckpt_in_flight_ &&
-        z.state == ZoneState::kRunning && leading_zone() == zone &&
-        policy_checkpoint_allowed() &&
-        zone_progress(zone) > store_.latest_progress()) {
-      start_checkpoint(zone);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Strategy / configuration changes
-
-void Engine::consult_strategy(DecisionPoint point) {
-  auto next = strategy_->reconsider(*this, point);
-  if (!next) return;
-  if (next->same_as(config_)) {
-    pending_config_.reset();
-    return;
-  }
-  REDSPOT_CHECK(!next->zones.empty() && next->policy != nullptr &&
-                next->bid > Money());
-  if (config_is_non_disruptive(*next)) {
-    // Rule 3: a change that keeps the bid and every active zone may be
-    // adopted within the billing hour.
-    apply_config(*next, /*at_boundary_of=*/false, 0);
-    return;
-  }
-  if (point == DecisionPoint::kZoneTerminated) {
-    // Rule 1: a termination is a natural reconfiguration point.
-    apply_config(*next, /*at_boundary_of=*/false, 0);
-    return;
-  }
-  // Rule 2: wait for the billing hour to end.
-  pending_config_ = *next;
-}
-
-bool Engine::config_is_non_disruptive(const EngineConfig& next) const {
-  if (next.bid != config_.bid) return false;
-  for (std::size_t z : config_.zones) {
-    if (zone_active(rt(z)) && !contains(next.zones, z)) return false;
-  }
-  return true;
-}
-
-void Engine::apply_config(const EngineConfig& next, bool at_boundary_of,
-                          std::size_t boundary_zone) {
-  const bool bid_changed = next.bid != config_.bid;
-  const bool had_active = any_zone_active();
-  for (std::size_t z : config_.zones) {
-    ZoneRt& zone = rt(z);
-    const bool kept = contains(next.zones, z) && !bid_changed;
-    if (zone_active(zone) && !kept) {
-      // A bid change requires cancelling the spot request (fixed-bid rule),
-      // so even zones staying in the set must cycle through termination.
-      user_terminate(z, at_boundary_of && z == boundary_zone);
-    }
-    if (!zone_active(zone)) {
-      // Non-active states re-derive from the price at the next tick; a
-      // stale kWaiting under a changed bid must not be restarted blindly.
-      if (zone.state == ZoneState::kWaiting && bid_changed)
-        zone.state = ZoneState::kDown;
-      if (!contains(next.zones, z)) zone.state = ZoneState::kDown;
-    }
-  }
-  for (std::size_t z : next.zones) {
-    if (!contains(config_.zones, z)) rt(z).state = ZoneState::kDown;
-  }
-  config_ = next;
-  pending_config_.reset();
-  ++result_.config_changes;
-  record(now(), 0, TimelineKind::kConfigChange,
-         "bid=" + config_.bid.str() +
-             " N=" + std::to_string(config_.zones.size()) + " policy=" +
-             config_.policy->name());
-  if (had_active && !any_zone_active()) ++result_.full_outages;
-
-  // Newly eligible zones become waiting immediately (their prices are
-  // known); reconcile may then start them.
-  for (std::size_t z : config_.zones) {
-    ZoneRt& zone = rt(z);
-    if (zone.state == ZoneState::kDown && price(z) <= config_.bid)
-      zone.state = ZoneState::kWaiting;
-  }
-  reschedule_policy_checkpoint();
-  reconcile();
-}
-
-// ---------------------------------------------------------------------------
-// Deadline guarantee and on-demand switch
-
-SimTime Engine::deadline_switch_time() const {
-  const Duration committed = store_.latest_progress();
-  const Duration remaining = experiment_.app.total_compute - committed;
-  const Duration restart = committed > 0 ? experiment_.costs.restart : 0;
-  return experiment_.deadline_time() - remaining - restart -
-         experiment_.costs.checkpoint;
-}
-
-void Engine::reschedule_deadline_trigger() {
-  if (done_ || on_demand_phase_) return;
-  sim_.cancel(deadline_event_);
-  deadline_event_ = sim_.schedule_at(
-      std::max(now(), deadline_switch_time()),
-      [this] { on_deadline_trigger(); });
-}
-
-void Engine::on_deadline_trigger() {
-  deadline_event_ = 0;
-  if (done_ || on_demand_phase_) return;
-  const SimTime due = deadline_switch_time();
-  if (due > now()) {
-    deadline_event_ =
-        sim_.schedule_at(due, [this] { on_deadline_trigger(); });
-    return;
-  }
-  // The committed-progress margin is exhausted. If a commit of the leading
-  // zone's speculative progress would buy back more margin than the t_c it
-  // costs, force one and stay on the spot market; the commit (or its abort
-  // on an untimely failure) re-arms this trigger. Otherwise the spot market
-  // can no longer meet the deadline: switch to on-demand (Algorithm 1,
-  // line 11).
-  if (ckpt_in_flight_) return;  // the in-flight commit/abort re-arms us
-  const std::optional<std::size_t> leader = leading_zone();
-  // The forced checkpoint is only safe while the margin is not yet
-  // negative (due == now): if it dies mid-write, switching right after
-  // still meets the deadline thanks to the reserved t_c. A negative margin
-  // (we got here via an aborted write) forbids another gamble.
-  if (due == now() && leader &&
-      zone_progress(*leader) >
-          store_.latest_progress() + experiment_.costs.checkpoint) {
-    start_checkpoint(*leader);
-    return;
-  }
-  begin_switch_to_on_demand();
-}
-
-void Engine::begin_switch_to_on_demand() {
-  on_demand_phase_ = true;
-  result_.switched_to_on_demand = true;
-  record(now(), 0, TimelineKind::kSwitchToOnDemand);
-  sim_.cancel(scheduled_ckpt_event_);
-  scheduled_ckpt_event_ = 0;
-  sim_.cancel(deadline_event_);
-  deadline_event_ = 0;
-  REDSPOT_CHECK(!ckpt_in_flight_);
-  complete_on_demand_switch();
-}
-
-void Engine::complete_on_demand_switch() {
-  for (std::size_t z : config_.zones) user_terminate(z, false);
-  sim_.cancel(tick_event_);
-  tick_event_ = 0;
-
-  const Duration committed = store_.latest_progress();
-  if (committed >= experiment_.app.total_compute) {
-    finish(now(), true);
-    return;
-  }
-  const Duration restart = committed > 0 ? experiment_.costs.restart : 0;
-  const Duration od =
-      restart + (experiment_.app.total_compute - committed);
-  ledger_.on_demand_usage(now(), od, market_->on_demand_rate());
-  result_.on_demand_seconds = od;
-  const SimTime finish_at = now() + od;
-  if (finish_at > experiment_.deadline_time() && options_.record_timeline) {
-    std::fputs(result_.timeline_str().c_str(), stderr);  // debug aid
-  }
-  REDSPOT_CHECK_MSG(finish_at <= experiment_.deadline_time(),
-                    "deadline guarantee violated by " << format_duration(
-                        finish_at - experiment_.deadline_time()));
-  sim_.schedule_at(finish_at, [this] { finish(now(), true); });
-}
-
-// ---------------------------------------------------------------------------
-// Completion
-
-void Engine::on_zone_completion(std::size_t zone) {
-  ZoneRt& z = rt(zone);
-  z.completion_event = 0;
-  REDSPOT_CHECK(z.state == ZoneState::kRunning);
-  REDSPOT_CHECK(zone_progress(zone) >= experiment_.app.total_compute);
-  record(now(), zone, TimelineKind::kCompleted);
-  for (std::size_t other : config_.zones) user_terminate(other, false);
-  finish(now(), true);
-}
-
 void Engine::finish(SimTime at, bool completed) {
   done_ = true;
   result_.completed = completed;
   result_.finish_time = at;
-  result_.met_deadline =
-      completed && at <= experiment_.deadline_time();
-  sim_.cancel(tick_event_);
-  sim_.cancel(deadline_event_);
-  sim_.cancel(scheduled_ckpt_event_);
-  sim_.cancel(ckpt_done_event_);
-  for (ZoneRt& z : zones_) cancel_zone_events(z);
+  result_.met_deadline = completed && at <= experiment_.deadline_time();
+  queue_.cancel(tick_event_);
+  monitor_.disarm();
+  queue_.cancel(scheduled_ckpt_event_);
+  coord_.abort(queue_);
+  for (ZoneMachine& z : zones_) z.cancel_events(queue_);
 }
 
 // ---------------------------------------------------------------------------
@@ -891,7 +144,7 @@ RunResult run_on_demand_baseline(const Experiment& experiment, Money rate) {
   experiment.validate();
   RunResult r;
   const std::int64_t hours_billed =
-      (experiment.app.total_compute + kHour - 1) / kHour;
+      started_hours(experiment.app.total_compute);
   r.total_cost = rate * hours_billed;
   r.on_demand_cost = r.total_cost;
   r.on_demand_seconds = experiment.app.total_compute;

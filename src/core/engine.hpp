@@ -6,25 +6,33 @@
 // and the deadline guarantee (switch to on-demand when the remaining slack
 // can no longer absorb a checkpoint + restart + remaining compute).
 //
-// Zone life-cycle (superset of the paper's up/waiting/down):
+// The engine is a thin orchestrator over four modules (see DESIGN.md §3):
 //
-//   kDown ──(S<=B at tick)──> kWaiting ──(checkpoint commit, or no zone
-//   active)──> kQueued ──(queue delay)──> kRestarting ──(t_r, skipped when
-//   starting from scratch)──> kRunning <──> kCheckpointing
+//   core/events/          EventQueue — the typed (time, seq)-FIFO calendar
+//                         every handler schedules into — plus the
+//                         EngineObserver hook layer (add_observer).
+//   core/zone/            ZoneMachine — per-zone state machine
+//                         (kDown/kWaiting/kQueued/kRestarting/kRunning/
+//                         kCheckpointing/kStopped) with checked transitions
+//                         and per-zone progress accounting.
+//   core/billing_ledger/  ZoneBilling — EC2 charging rules + billed
+//                         up-time + live LineItem emission to observers.
+//   core/deadline/        DeadlineMonitor — the margin
+//                         M(t) = (deadline - t) - (C - P_c) - t_r[P_c>0] - t_c
+//                         and the on-demand switchover trigger, re-armed on
+//                         every checkpoint commit (P_c is monotone, so the
+//                         trigger instant is exact between commits).
 //
-//   any active state ──(S>B)──> kDown        [no charge for partial hour]
-//   kRunning ──(Large-bid manual stop)──> kStopped ──(S<=L)──> kWaiting
+// The engine itself keeps only the cross-module choreography: Algorithm 1's
+// handlers (price ticks, instance lifecycle, cycle boundaries, completion)
+// and the CheckpointCoordinator for the single write that may be in flight.
+// Everything that merely watches a run — fault accounting, run validation
+// (fault/audit_observer.hpp), the event-trace recorder — attaches through
+// EngineObserver rather than bespoke hooks.
 //
-// Deadline guarantee: committed progress P_c can only grow; the margin
-//   M(t) = (deadline - t) - (C - P_c) - t_r[if P_c>0] - t_c
-// decreases at rate 1 between checkpoint commits, so the switch instant is
-// known exactly and is rescheduled only when P_c changes. Reserving t_c
-// lets the engine take one final checkpoint of the leading zone at the
-// switch, capturing speculative progress without risking the deadline even
-// if that zone dies mid-checkpoint. (The paper's line 11 uses the leading
-// progress directly; reserving the committed-progress margin makes the
-// guarantee robust to a failure at the switch instant — see DESIGN.md.)
-//
+// Reserving t_c in the margin lets the engine take one final checkpoint of
+// the leading zone at the switch instant, capturing speculative progress
+// without risking the deadline even if that zone dies mid-checkpoint.
 // Under fault injection (EngineOptions::faults) P_c stays monotone because
 // every commit is validated before publication: a failed or corrupt write
 // leaves latest_progress() untouched (corrupt ones are rolled back via
@@ -39,13 +47,17 @@
 
 #include "ckpt/store.hpp"
 #include "common/random.hpp"
+#include "core/billing_ledger/zone_billing.hpp"
+#include "core/ckpt_coordinator.hpp"
+#include "core/deadline/deadline_monitor.hpp"
+#include "core/events/event_queue.hpp"
+#include "core/events/observer.hpp"
 #include "core/policy.hpp"
 #include "core/run_result.hpp"
 #include "core/strategy.hpp"
+#include "core/zone/zone_machine.hpp"
 #include "fault/fault_injector.hpp"
-#include "market/billing.hpp"
 #include "market/spot_market.hpp"
-#include "sim/simulation.hpp"
 
 namespace redspot {
 
@@ -70,17 +82,23 @@ struct EngineOptions {
 class HashStream;
 void hash_engine_options(HashStream& h, const EngineOptions& options);
 
-class Engine final : public EngineView {
+class Engine final : public EngineView, private ZoneTransitionSink {
  public:
   /// `market` and `strategy` must outlive the engine.
   Engine(const SpotMarket& market, Experiment experiment, Strategy& strategy,
          EngineOptions options = {});
 
+  /// Attaches an observer to the run: it sees every calendar event, zone
+  /// transition, billing line item, checkpoint settlement, injected fault,
+  /// and the final result. Must be called before run(); the observer must
+  /// outlive it. Observers are notified in attachment order.
+  void add_observer(EngineObserver* observer);
+
   /// Runs the experiment to completion. Call once.
   RunResult run();
 
   // --- EngineView ----------------------------------------------------------
-  SimTime now() const override { return sim_.now(); }
+  SimTime now() const override { return queue_.now(); }
   const Experiment& experiment() const override { return experiment_; }
   const SpotMarket& market() const override { return *market_; }
   Money bid() const override { return config_.bid; }
@@ -100,48 +118,19 @@ class Engine final : public EngineView {
   Duration leading_progress() const override;
   SimTime leading_compute_since() const override;
   SimTime billing_cycle_end(std::size_t zone) const override {
-    return ledger_.cycle_end(zone);
+    return billing_.cycle_end(zone);
   }
 
  private:
-  /// Application-visible zone states (see file comment).
-  enum class ZoneState {
-    kDown,
-    kWaiting,
-    kQueued,
-    kRestarting,
-    kRunning,
-    kCheckpointing,
-    kStopped,  // policy-suspended (Large-bid)
-  };
-
-  struct ZoneRt {
-    ZoneState state = ZoneState::kDown;
-    Duration progress_base = 0;   ///< progress when compute last (re)started
-    SimTime computing_since = 0;  ///< valid in kRunning
-    Duration restart_target = 0;  ///< checkpoint progress being loaded
-    SimTime instance_start = 0;   ///< when billing began (active states)
-    int request_attempts = 0;     ///< consecutive rejected spot requests
-    bool manual_stop_pending = false;
-    bool doomed = false;          ///< termination notice received
-    EventId doom_event = 0;
-    EventId emergency_ckpt_event = 0;
-    EventId ready_event = 0;
-    EventId restart_event = 0;
-    EventId cycle_event = 0;
-    EventId preboundary_event = 0;
-    EventId completion_event = 0;
-  };
-
-  // Event handlers.
+  // --- event handlers (zone/engine_lifecycle.cpp unless noted) -------------
   void on_price_tick();
   void on_instance_ready(std::size_t zone);
   void on_restart_done(std::size_t zone);
-  void on_scheduled_checkpoint();
-  void on_checkpoint_done();
-  void on_cycle_boundary(std::size_t zone);
-  void on_pre_boundary(std::size_t zone);
-  void on_deadline_trigger();
+  void on_scheduled_checkpoint();   // engine_checkpointing.cpp
+  void on_checkpoint_done();        // engine_checkpointing.cpp
+  void on_cycle_boundary(std::size_t zone);  // billing_ledger/engine_cycle_hooks.cpp
+  void on_pre_boundary(std::size_t zone);    // billing_ledger/engine_cycle_hooks.cpp
+  void on_deadline_trigger();       // deadline/engine_switchover.cpp
   void on_zone_completion(std::size_t zone);
   /// Handles a termination notice delivering `warning` seconds before the
   /// kill (warning < termination_notice when the notice arrived late).
@@ -151,64 +140,69 @@ class Engine final : public EngineView {
   /// injecting dropped/late notices when the fault plan says so.
   void deliver_termination_notice(std::size_t zone);
 
-  // Actions.
+  // --- actions -------------------------------------------------------------
   void apply_initial_config();
   void request_instance(std::size_t zone);
   void start_computing(std::size_t zone, Duration progress_base);
   void terminate_out_of_bid(std::size_t zone);
   void user_terminate(std::size_t zone, bool at_boundary);
   void reconcile();
-  bool policy_checkpoint_allowed() const;
-  void reschedule_policy_checkpoint();
-  void reschedule_deadline_trigger();
-  void begin_switch_to_on_demand();
-  void complete_on_demand_switch();
+  bool policy_checkpoint_allowed() const;     // engine_checkpointing.cpp
+  void reschedule_policy_checkpoint();        // engine_checkpointing.cpp
+  void reschedule_deadline_trigger();         // deadline/engine_switchover.cpp
+  void begin_switch_to_on_demand();           // deadline/engine_switchover.cpp
+  void complete_on_demand_switch();           // deadline/engine_switchover.cpp
   void finish(SimTime at, bool completed);
-  void consult_strategy(DecisionPoint point);
+  void consult_strategy(DecisionPoint point);           // engine_reconfigure.cpp
   bool config_is_non_disruptive(const EngineConfig& next) const;
   void apply_config(const EngineConfig& next, bool at_boundary_of,
                     std::size_t boundary_zone);
-  void cancel_zone_events(ZoneRt& z);
 
-  // Helpers.
-  ZoneRt& rt(std::size_t zone);
-  const ZoneRt& rt(std::size_t zone) const;
-  bool zone_active(const ZoneRt& z) const;
-  bool any_zone_active() const;
+  // --- checkpoint settlement (engine_checkpointing.cpp) --------------------
   /// Finalizes the in-flight write: validates it against the injected
   /// fault plan and commits on success. Returns false when the write
   /// failed or was rolled back as corrupt (committed progress unchanged).
   bool commit_in_flight_checkpoint();
+  /// Settles any write in flight on `zone` before its instance goes away:
+  /// commits when the write had time to finish, aborts (and re-arms the
+  /// deadline trigger) when it was cut off. No-op otherwise.
+  void settle_zone_checkpoint(std::size_t zone);
   void start_checkpoint(std::optional<std::size_t> target);
+
+  // --- helpers -------------------------------------------------------------
+  ZoneMachine& zone_at(std::size_t zone);
+  const ZoneMachine& zone_at(std::size_t zone) const;
+  bool any_zone_active() const;
   std::optional<std::size_t> leading_zone() const;  ///< best kRunning zone
-  SimTime deadline_switch_time() const;
   void record(SimTime t, std::size_t zone, TimelineKind kind,
               std::string detail = {});
+
+  // --- observer fan-out ----------------------------------------------------
+  void on_zone_transition(std::size_t zone, ZoneState from,
+                          ZoneState to) override;
+  void notify_fault(FaultEvent::Kind kind, std::size_t zone,
+                    Duration backoff = 0);
+  void notify_commit(const CheckpointCommit& commit);
 
   const SpotMarket* market_;
   Experiment experiment_;
   Strategy* strategy_;
   EngineOptions options_;
 
-  Simulation sim_;
+  EventQueue queue_;
   Rng queue_rng_;
   FaultInjector injector_;
   CheckpointStore store_;
-  BillingLedger ledger_;
+  ZoneBilling billing_;
   EngineConfig config_;
   std::optional<EngineConfig> pending_config_;
 
-  std::vector<ZoneRt> zones_;  ///< indexed by GLOBAL zone id
+  std::vector<ZoneMachine> zones_;  ///< indexed by GLOBAL zone id
 
-  // Global in-flight checkpoint (at most one).
-  bool ckpt_in_flight_ = false;
-  std::size_t ckpt_zone_ = 0;
-  Duration ckpt_value_ = 0;
-  SimTime ckpt_done_time_ = 0;
-  EventId ckpt_done_event_ = 0;
+  CheckpointCoordinator coord_;  ///< the at-most-one in-flight write
+  DeadlineMonitor monitor_;      ///< declared after queue_ (references it)
 
   EventId scheduled_ckpt_event_ = 0;
-  EventId deadline_event_ = 0;
   EventId tick_event_ = 0;
 
   bool on_demand_phase_ = false;
@@ -216,6 +210,8 @@ class Engine final : public EngineView {
   bool ran_ = false;
 
   RunResult result_;
+  FaultStatsRecorder fault_recorder_;  ///< declared after result_ (points in)
+  std::vector<EngineObserver*> observers_;
 };
 
 /// Cost of the naive on-demand baseline: run C + nothing else at the fixed

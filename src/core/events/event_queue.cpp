@@ -1,0 +1,78 @@
+#include "core/events/event_queue.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace redspot {
+
+namespace {
+
+/// Below this backlog the cancelled fraction is irrelevant; skipping
+/// compaction keeps tiny calendars allocation-stable.
+constexpr std::size_t kCompactionFloor = 64;
+
+}  // namespace
+
+EventId EventQueue::schedule_at(EventKind kind, std::size_t zone, SimTime t,
+                                Callback cb) {
+  REDSPOT_CHECK_MSG(t >= now_, "scheduling into the past: t=" << t << " now="
+                                                              << now_);
+  REDSPOT_CHECK(cb != nullptr);
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end());
+  records_.emplace(id, Record{kind, zone, std::move(cb)});
+  return id;
+}
+
+void EventQueue::cancel(EventId& id) {
+  if (records_.erase(id) > 0) maybe_compact();
+  id = 0;
+}
+
+void EventQueue::maybe_compact() {
+  // Every heap entry was pushed with a records_ entry and records_ only
+  // shrinks via cancel or pop, so live = records_.size() and the
+  // difference is exactly the cancelled entries still in the heap.
+  const std::size_t live = records_.size();
+  if (heap_.size() <= kCompactionFloor || heap_.size() - live <= live)
+    return;
+  std::erase_if(heap_, [this](const Entry& e) {
+    return records_.find(e.id) == records_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end());
+}
+
+bool EventQueue::pending(EventId id) const {
+  return records_.find(id) != records_.end();
+}
+
+void EventQueue::add_observer(EngineObserver* observer) {
+  REDSPOT_CHECK(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+    auto it = records_.find(top.id);
+    if (it == records_.end()) continue;  // cancelled
+    Record rec = std::move(it->second);
+    records_.erase(it);
+    REDSPOT_CHECK(top.time >= now_);
+    now_ = top.time;
+    ++executed_;
+    if (!observers_.empty()) {
+      const Event event{now_, rec.kind, rec.zone, top.seq};
+      for (EngineObserver* o : observers_) o->on_event(event);
+    }
+    rec.cb();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace redspot

@@ -1,0 +1,116 @@
+// The engine's typed event calendar.
+//
+// Same calendar semantics as sim/Simulation (which remains the generic,
+// untyped core for micro-benchmarks and standalone models), plus the two
+// things the engine decomposition needs: every entry carries its EventKind
+// and zone for the observer layer, and cancel() takes the handle by
+// reference and zeroes it — the engine's universal "cancel and forget"
+// idiom, previously duplicated at every call site.
+//
+// Determinism contract (the tie-break the whole engine is built on):
+// events at equal timestamps fire in scheduling order, strictly FIFO —
+// never reordered by kind or zone. The engine derives its coincident-event
+// discipline from *when* it schedules: a billing-cycle boundary is armed a
+// full hour ahead while the price tick that could coincide with it is
+// armed only one price step ahead, so the boundary always observes the
+// pre-tick price; the deadline trigger is armed at every commit, so its
+// order against a coincident tick reflects which was scheduled first.
+// (A kind-priority tie-break would *break* byte-identity with the
+// historical engine precisely because that relative order is
+// history-dependent.) event_core_test pins this contract.
+//
+// Cancellation is lazy with heap compaction once cancelled entries
+// outnumber live ones past a small floor — identical bounds to Simulation
+// (see sim/simulation.hpp for the amortized-cost argument).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/events/event.hpp"
+#include "core/events/observer.hpp"
+
+namespace redspot {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit EventQueue(SimTime start = 0) : now_(start) {}
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now()). Returns a handle.
+  EventId schedule_at(EventKind kind, std::size_t zone, SimTime t,
+                      Callback cb);
+
+  /// Schedules `cb` after `d` (>= 0) of simulated time.
+  EventId schedule_in(EventKind kind, std::size_t zone, Duration d,
+                      Callback cb) {
+    return schedule_at(kind, zone, now_ + d, std::move(cb));
+  }
+
+  /// Cancels a pending event and zeroes the handle; no-op when the handle
+  /// is 0 or the event already ran.
+  void cancel(EventId& id);
+
+  /// True when `id` is still pending.
+  bool pending(EventId id) const;
+
+  /// Dispatches the next event: advances the clock, notifies every
+  /// observer (on_event), then runs the callback. Returns false when the
+  /// calendar is empty.
+  bool step();
+
+  /// Attaches an observer notified on every dispatch. Must outlive the
+  /// queue's use.
+  void add_observer(EngineObserver* observer);
+
+  /// Pending (non-cancelled) event count.
+  std::size_t pending_count() const { return records_.size(); }
+
+  /// Heap entries, including cancelled ones awaiting lazy removal.
+  /// Bounded by max(2 * pending_count(), compaction floor).
+  std::size_t backlog() const { return heap_.size(); }
+
+  /// Total events dispatched so far.
+  std::uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO within a timestamp
+    EventId id;
+    // Heap ordering wants earliest-first with FIFO ties, so "less" means
+    // later (std::*_heap build max-heaps).
+    bool operator<(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  struct Record {
+    EventKind kind;
+    std::size_t zone;
+    Callback cb;
+  };
+
+  /// Drops cancelled heap entries when they dominate the backlog.
+  void maybe_compact();
+
+  SimTime now_;
+  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::vector<Entry> heap_;
+  /// id -> record; an id absent here but present in the heap was cancelled
+  /// (lazy deletion).
+  std::unordered_map<EventId, Record> records_;
+  std::vector<EngineObserver*> observers_;
+};
+
+}  // namespace redspot

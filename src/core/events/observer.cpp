@@ -1,0 +1,59 @@
+#include "core/events/observer.hpp"
+
+namespace redspot {
+
+const char* to_string(CheckpointCommit::Outcome outcome) {
+  switch (outcome) {
+    case CheckpointCommit::Outcome::kCommitted:
+      return "committed";
+    case CheckpointCommit::Outcome::kWriteFailed:
+      return "write-failed";
+    case CheckpointCommit::Outcome::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+const char* to_string(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCkptWriteFailure:
+      return "ckpt-write-failure";
+    case FaultEvent::Kind::kCkptCorruption:
+      return "ckpt-corruption";
+    case FaultEvent::Kind::kRestartFailure:
+      return "restart-failure";
+    case FaultEvent::Kind::kRequestRejection:
+      return "request-rejection";
+    case FaultEvent::Kind::kNoticeDropped:
+      return "notice-dropped";
+    case FaultEvent::Kind::kNoticeLate:
+      return "notice-late";
+  }
+  return "?";
+}
+
+void FaultStatsRecorder::on_fault(const FaultEvent& fault) {
+  switch (fault.kind) {
+    case FaultEvent::Kind::kCkptWriteFailure:
+      ++stats_->ckpt_write_failures;
+      break;
+    case FaultEvent::Kind::kCkptCorruption:
+      ++stats_->ckpt_corruptions;
+      break;
+    case FaultEvent::Kind::kRestartFailure:
+      ++stats_->restart_failures;
+      break;
+    case FaultEvent::Kind::kRequestRejection:
+      ++stats_->request_rejections;
+      stats_->backoff_total += fault.backoff;
+      break;
+    case FaultEvent::Kind::kNoticeDropped:
+      ++stats_->notices_dropped;
+      break;
+    case FaultEvent::Kind::kNoticeLate:
+      ++stats_->notices_late;
+      break;
+  }
+}
+
+}  // namespace redspot

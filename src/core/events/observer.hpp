@@ -1,0 +1,89 @@
+// Observer hooks over a running engine.
+//
+// EngineObserver is the one attachment surface for everything that watches
+// a run without steering it: the event trace recorder, fault accounting,
+// post-run auditing (fault/audit_observer.hpp), and future tooling. The
+// engine fans out
+//
+//   on_event             every dispatched calendar event (from EventQueue)
+//   on_transition        every zone state-machine transition
+//   on_billing           every LineItem the moment it is charged
+//   on_checkpoint_commit every settled checkpoint write (incl. failures)
+//   on_fault             every injected fault taking effect
+//   on_finish            the final RunResult, once, after totals settle
+//
+// Observers are notified in attachment order, synchronously, and must not
+// mutate engine state. All hooks default to no-ops so an observer overrides
+// only what it needs.
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.hpp"
+#include "core/events/event.hpp"
+#include "core/run_result.hpp"
+#include "core/zone/zone_state.hpp"
+#include "market/billing.hpp"
+
+namespace redspot {
+
+/// A settled checkpoint write, validated at completion. Progress publishes
+/// to the store only on kCommitted; the other outcomes leave committed
+/// progress untouched (kCorrupt after a rollback).
+struct CheckpointCommit {
+  enum class Outcome { kCommitted, kWriteFailed, kCorrupt };
+  SimTime at = 0;
+  std::size_t zone = 0;
+  Duration progress = 0;  ///< compute time the write captured
+  Outcome outcome = Outcome::kCommitted;
+};
+
+const char* to_string(CheckpointCommit::Outcome outcome);
+
+/// One injected fault taking effect (see fault/fault_plan.hpp).
+struct FaultEvent {
+  enum class Kind {
+    kCkptWriteFailure,
+    kCkptCorruption,
+    kRestartFailure,
+    kRequestRejection,
+    kNoticeDropped,
+    kNoticeLate,
+  };
+  Kind kind = Kind::kCkptWriteFailure;
+  SimTime at = 0;
+  std::size_t zone = 0;
+  Duration backoff = 0;  ///< retry backoff (kRequestRejection only)
+};
+
+const char* to_string(FaultEvent::Kind kind);
+
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  virtual void on_event(const Event& event) { (void)event; }
+  virtual void on_transition(SimTime t, std::size_t zone, ZoneState from,
+                             ZoneState to) {
+    (void)t, (void)zone, (void)from, (void)to;
+  }
+  virtual void on_billing(const LineItem& item) { (void)item; }
+  virtual void on_checkpoint_commit(const CheckpointCommit& commit) {
+    (void)commit;
+  }
+  virtual void on_fault(const FaultEvent& fault) { (void)fault; }
+  virtual void on_finish(const RunResult& result) { (void)result; }
+};
+
+/// Built-in observer accumulating FaultStats — the engine's own fault
+/// accounting attaches through the observer layer like everything else.
+class FaultStatsRecorder final : public EngineObserver {
+ public:
+  explicit FaultStatsRecorder(FaultStats* stats) : stats_(stats) {}
+  void on_fault(const FaultEvent& fault) override;
+
+ private:
+  FaultStats* stats_;
+};
+
+}  // namespace redspot

@@ -1,0 +1,51 @@
+#include "core/zone/zone_state.hpp"
+
+namespace redspot {
+
+const char* to_string(ZoneState s) {
+  switch (s) {
+    case ZoneState::kDown:
+      return "down";
+    case ZoneState::kWaiting:
+      return "waiting";
+    case ZoneState::kQueued:
+      return "queued";
+    case ZoneState::kRestarting:
+      return "restarting";
+    case ZoneState::kRunning:
+      return "running";
+    case ZoneState::kCheckpointing:
+      return "checkpointing";
+    case ZoneState::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+bool transition_allowed(ZoneState from, ZoneState to) {
+  switch (from) {
+    case ZoneState::kDown:
+      // wake (price fell to the bid), direct request (reconcile), or the
+      // Large-bid manual stop parking the zone after its teardown.
+      return to == ZoneState::kWaiting || to == ZoneState::kQueued ||
+             to == ZoneState::kStopped;
+    case ZoneState::kWaiting:
+      return to == ZoneState::kDown || to == ZoneState::kQueued;
+    case ZoneState::kQueued:
+      // Fulfilment leads to a restart (checkpoint to load) or straight to
+      // compute (from scratch); termination kills the pending request.
+      return to == ZoneState::kRestarting || to == ZoneState::kRunning ||
+             to == ZoneState::kDown;
+    case ZoneState::kRestarting:
+      return to == ZoneState::kRunning || to == ZoneState::kDown;
+    case ZoneState::kRunning:
+      return to == ZoneState::kCheckpointing || to == ZoneState::kDown;
+    case ZoneState::kCheckpointing:
+      return to == ZoneState::kRunning || to == ZoneState::kDown;
+    case ZoneState::kStopped:
+      return to == ZoneState::kWaiting || to == ZoneState::kDown;
+  }
+  return false;
+}
+
+}  // namespace redspot

@@ -9,6 +9,7 @@
 #include "ensemble/cache.hpp"
 #include "ensemble/seeder.hpp"
 #include "exp/report.hpp"
+#include "fault/audit_observer.hpp"
 #include "fault/run_validator.hpp"
 #include "journal/journal.hpp"
 #include "journal/run_record.hpp"
@@ -234,12 +235,12 @@ EnsembleResult EnsembleRunner::run(ThreadPool& pool,
           const SpotMarket market(generate_traces(trace_spec), instance,
                                   QueueDelayModel());
           const Experiment experiment = make_experiment(r);
-          const RunValidator validator(experiment, instance.on_demand_rate);
+          AuditObserver audit(experiment, instance.on_demand_rate);
           for (std::size_t c = 0; c < spec_.configs.size(); ++c) {
             auto strategy = spec_.configs[c].make_strategy();
             Engine engine(market, experiment, *strategy, spec_.engine);
+            engine.add_observer(&audit);
             results[c] = engine.run();
-            validator.check(results[c]);
             if (builder.has_value()) builder->add_run(results[c]);
           }
           fold_replication(acc, r, results.data());

@@ -9,6 +9,7 @@
 #include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "core/policies/large_bid.hpp"
+#include "fault/audit_observer.hpp"
 #include "fault/run_validator.hpp"
 #include "journal/journal.hpp"
 #include "journal/run_record.hpp"
@@ -61,8 +62,9 @@ std::vector<RunResult> run_sweep(const SpotMarket& market,
     const Experiment experiment = scenario.experiment(i);
     auto strategy = make_strategy(i);
     Engine engine(market, experiment, *strategy, engine_options);
+    AuditObserver audit(experiment, market.on_demand_rate());
+    engine.add_observer(&audit);
     results[i] = engine.run();
-    RunValidator(experiment, market.on_demand_rate()).check(results[i]);
     if (journal != nullptr)
       journal->append(encode_sweep_chunk(key, i, results[i]));
   });

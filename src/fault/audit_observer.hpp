@@ -1,0 +1,34 @@
+// Run auditing as an engine observer.
+//
+// Attach an AuditObserver before Engine::run() and every finished run is
+// checked against RunValidator's invariants the moment its result settles
+// — the observer-layer replacement for calling check() by hand after
+// run() returns. A violation throws CheckFailure out of run(), so a
+// broken guarantee can never silently skew a table or figure.
+//
+//   AuditObserver audit(experiment, market.on_demand_rate());
+//   engine.add_observer(&audit);
+//   RunResult r = engine.run();  // throws if the result is unsound
+#pragma once
+
+#include "core/events/observer.hpp"
+#include "fault/run_validator.hpp"
+
+namespace redspot {
+
+class AuditObserver final : public EngineObserver {
+ public:
+  AuditObserver(Experiment experiment, Money on_demand_rate,
+                AuditMode mode = AuditMode::kFull)
+      : validator_(std::move(experiment), on_demand_rate), mode_(mode) {}
+
+  void on_finish(const RunResult& result) override {
+    validator_.check(result, mode_);
+  }
+
+ private:
+  RunValidator validator_;
+  AuditMode mode_;
+};
+
+}  // namespace redspot

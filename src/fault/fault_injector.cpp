@@ -71,6 +71,12 @@ Duration FaultInjector::notice_lag(Duration notice) {
                  static_cast<std::uint64_t>(max_lag)));
 }
 
+FaultInjector::NoticeDelivery FaultInjector::notice_delivery(
+    Duration notice) {
+  if (notice_dropped()) return {true, 0};
+  return {false, notice_lag(notice)};
+}
+
 Duration FaultInjector::backoff_delay(int attempt) {
   REDSPOT_CHECK(attempt >= 1);
   Duration d = plan_.backoff.base;

@@ -47,6 +47,15 @@ class FaultInjector {
   /// warning: 0 when on time, otherwise in [1, min(notice, max_lag)].
   Duration notice_lag(Duration notice);
 
+  /// Fate of a termination notice with `notice` seconds of nominal
+  /// warning. A dropped notice never draws a lag (lag stays 0), so the
+  /// notice stream advances exactly as the separate queries would.
+  struct NoticeDelivery {
+    bool dropped = false;
+    Duration lag = 0;
+  };
+  NoticeDelivery notice_delivery(Duration notice);
+
   /// Backoff before retry `attempt` (1-based) of a rejected spot request:
   /// exponential in the attempt, capped, with multiplicative jitter.
   Duration backoff_delay(int attempt);

@@ -75,7 +75,7 @@ std::vector<std::string> RunValidator::audit(const RunResult& r,
           " without an on-demand switch");
   // On-demand bills per started hour of the recorded usage; a switch with
   // all progress already committed legitimately uses (and pays) nothing.
-  const std::int64_t od_hours = (r.on_demand_seconds + kHour - 1) / kHour;
+  const std::int64_t od_hours = started_hours(r.on_demand_seconds);
   if (r.on_demand_cost != on_demand_rate_ * od_hours)
     v.add("on-demand cost ", r.on_demand_cost.str(), " != rate x ", od_hours,
           " started hours");

@@ -87,8 +87,8 @@ void BillingLedger::spot_stopped_at_boundary(std::size_t zone) {
 void BillingLedger::on_demand_usage(SimTime start, Duration used,
                                     Money rate) {
   REDSPOT_CHECK(used > 0);
-  const std::int64_t started_hours = (used + kHour - 1) / kHour;
-  for (std::int64_t h = 0; h < started_hours; ++h) {
+  const std::int64_t hours = started_hours(used);
+  for (std::int64_t h = 0; h < hours; ++h) {
     charge(LineItem{LineItem::Kind::kOnDemandHour, 0, start + h * kHour,
                     start + used, rate});
   }

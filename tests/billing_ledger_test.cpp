@@ -1,0 +1,174 @@
+// ZoneBilling (the engine's per-zone billing-cycle accounting) cross-
+// checked against a bare market/BillingLedger driven with the identical
+// call sequence: forfeiture of out-of-bid partial hours, full-hour user
+// terminations, boundary stops, billed spot up-time, and live line-item
+// emission through the observer sink.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/billing_ledger/zone_billing.hpp"
+#include "market/billing.hpp"
+
+namespace redspot {
+namespace {
+
+bool same_item(const LineItem& a, const LineItem& b) {
+  return a.kind == b.kind && a.zone == b.zone &&
+         a.cycle_start == b.cycle_start && a.charged_at == b.charged_at &&
+         a.amount == b.amount;
+}
+
+void expect_same_items(const ZoneBilling& zb, const BillingLedger& ledger) {
+  ASSERT_EQ(zb.items().size(), ledger.items().size());
+  for (std::size_t i = 0; i < zb.items().size(); ++i) {
+    EXPECT_TRUE(same_item(zb.items()[i], ledger.items()[i])) << "item " << i;
+  }
+  EXPECT_EQ(zb.total(), ledger.total());
+  EXPECT_EQ(zb.spot_total(), ledger.spot_total());
+  EXPECT_EQ(zb.on_demand_total(), ledger.on_demand_total());
+}
+
+TEST(ZoneBilling, OutOfBidForfeituresMatchBareLedger) {
+  ZoneBilling zb;
+  BillingLedger ledger;
+  const Money rate = Money::cents(30);
+
+  // One full cycle, then an out-of-bid termination half into the second:
+  // the partial hour is forfeited (not charged to the user).
+  zb.spot_started(0, 0, rate);
+  ledger.spot_started(0, 0, rate);
+  zb.cycle_boundary(0, rate);
+  ledger.cycle_boundary(0, rate);
+  zb.spot_terminated(0, kHour + 1800, TerminationCause::kOutOfBid);
+  ledger.spot_terminated(0, kHour + 1800, TerminationCause::kOutOfBid);
+
+  expect_same_items(zb, ledger);
+  EXPECT_EQ(zb.total(), rate);  // exactly the one completed hour
+  // Billed up-time still covers the forfeited stretch: the instance ran.
+  EXPECT_EQ(zb.spot_seconds(), kHour + 1800);
+}
+
+TEST(ZoneBilling, UserTerminationPaysTheStartedHourInFull) {
+  ZoneBilling zb;
+  BillingLedger ledger;
+  const Money rate = Money::cents(81);
+
+  zb.spot_started(2, 100, rate);
+  ledger.spot_started(2, 100, rate);
+  zb.spot_terminated(2, 100 + 1200, TerminationCause::kUser);
+  ledger.spot_terminated(2, 100 + 1200, TerminationCause::kUser);
+
+  expect_same_items(zb, ledger);
+  ASSERT_EQ(zb.items().size(), 1u);
+  EXPECT_EQ(zb.items()[0].kind, LineItem::Kind::kSpotUserPartial);
+  EXPECT_EQ(zb.items()[0].amount, rate);  // full hour despite 20 min of use
+  EXPECT_EQ(zb.spot_seconds(), 1200);
+}
+
+TEST(ZoneBilling, BoundaryStopChargesTheCompletedHourAndCloses) {
+  ZoneBilling zb;
+  BillingLedger ledger;
+  const Money rate = Money::cents(50);
+
+  zb.spot_started(1, 0, rate);
+  ledger.spot_started(1, 0, rate);
+  EXPECT_TRUE(zb.spot_running(1));
+  EXPECT_EQ(zb.cycle_end(1), kHour);
+  zb.spot_stopped_at_boundary(1, kHour);
+  ledger.spot_stopped_at_boundary(1);
+
+  expect_same_items(zb, ledger);
+  EXPECT_FALSE(zb.spot_running(1));
+  EXPECT_EQ(zb.total(), rate);
+  EXPECT_EQ(zb.spot_seconds(), kHour);
+}
+
+TEST(ZoneBilling, CycleBoundaryLocksTheNextRate) {
+  ZoneBilling zb;
+  BillingLedger ledger;
+
+  // Rate locked at cycle start; the boundary charges the old rate and
+  // opens the next cycle at the new one.
+  zb.spot_started(0, 0, Money::cents(30));
+  ledger.spot_started(0, 0, Money::cents(30));
+  zb.cycle_boundary(0, Money::cents(45));
+  ledger.cycle_boundary(0, Money::cents(45));
+  zb.spot_stopped_at_boundary(0, 2 * kHour);
+  ledger.spot_stopped_at_boundary(0);
+
+  expect_same_items(zb, ledger);
+  ASSERT_EQ(zb.items().size(), 2u);
+  EXPECT_EQ(zb.items()[0].amount, Money::cents(30));
+  EXPECT_EQ(zb.items()[1].amount, Money::cents(45));
+  EXPECT_EQ(zb.spot_seconds(), 2 * kHour);
+}
+
+TEST(ZoneBilling, SpotSecondsSumAcrossZones) {
+  ZoneBilling zb;
+  zb.spot_started(0, 0, Money::cents(30));
+  zb.spot_started(1, 600, Money::cents(30));
+  EXPECT_EQ(zb.instance_start(0), 0);
+  EXPECT_EQ(zb.instance_start(1), 600);
+  zb.spot_terminated(0, 900, TerminationCause::kOutOfBid);
+  zb.spot_terminated(1, 1800, TerminationCause::kUser);
+  EXPECT_EQ(zb.spot_seconds(), 900 + 1200);
+}
+
+TEST(ZoneBilling, OnDemandUsageBillsStartedHours) {
+  ZoneBilling zb;
+  BillingLedger ledger;
+  const Money rate = Money::dollars(2.40);
+
+  // 3700 s of on-demand usage = 2 started hours.
+  zb.on_demand_usage(1000, 3700, rate);
+  ledger.on_demand_usage(1000, 3700, rate);
+
+  expect_same_items(zb, ledger);
+  ASSERT_EQ(zb.items().size(), 2u);
+  EXPECT_EQ(zb.on_demand_total(), rate * 2);
+  EXPECT_EQ(zb.spot_total(), Money());
+  EXPECT_EQ(zb.spot_seconds(), 0);  // on-demand never counts as spot time
+}
+
+TEST(ZoneBilling, SinkSeesEveryLineItemTheInstantItIsCharged) {
+  ZoneBilling zb;
+  std::vector<LineItem> emitted;
+  zb.set_sink([&emitted](const LineItem& item) { emitted.push_back(item); });
+
+  zb.spot_started(0, 0, Money::cents(30));
+  EXPECT_TRUE(emitted.empty());  // starting a cycle charges nothing yet
+  zb.cycle_boundary(0, Money::cents(30));
+  ASSERT_EQ(emitted.size(), 1u);  // charged at the boundary, not at the end
+  zb.spot_terminated(0, kHour + 60, TerminationCause::kUser);
+  zb.on_demand_usage(2 * kHour, 100, Money::dollars(2.40));
+  ASSERT_EQ(emitted.size(), 3u);
+
+  ASSERT_EQ(zb.items().size(), emitted.size());
+  for (std::size_t i = 0; i < emitted.size(); ++i) {
+    EXPECT_TRUE(same_item(emitted[i], zb.items()[i])) << "item " << i;
+  }
+}
+
+TEST(ZoneBilling, LateSinkAttachmentSkipsAlreadyChargedItems) {
+  ZoneBilling zb;
+  zb.spot_started(0, 0, Money::cents(30));
+  zb.cycle_boundary(0, Money::cents(30));
+
+  std::vector<LineItem> emitted;
+  zb.set_sink([&emitted](const LineItem& item) { emitted.push_back(item); });
+  zb.cycle_boundary(0, Money::cents(30));
+  // Only the item charged after attachment reaches the sink.
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].cycle_start, kHour);
+}
+
+TEST(ZoneBilling, DoubleStartThrows) {
+  ZoneBilling zb;
+  zb.spot_started(0, 0, Money::cents(30));
+  EXPECT_THROW(zb.spot_started(0, 10, Money::cents(30)), CheckFailure);
+}
+
+}  // namespace
+}  // namespace redspot

@@ -1,0 +1,102 @@
+// Golden event-trace test: one Fig-4 scenario (the paper's C = 20 h run
+// on high-volatility synthetic traces, Tl = 15%, t_c = 300 s, bid $0.81,
+// N = 2) per checkpointing policy, recorded through EventTraceRecorder and
+// compared line-by-line against a committed golden file. This pins the
+// whole observer surface — event dispatch order, zone transitions, billing
+// charges, checkpoint settlements and the finish line — not just the run's
+// final scalars.
+//
+// Regenerate (only when a deliberate behaviour change is intended) with:
+//   REDSPOT_TRACE_REGEN=/path/to/golden-dir ./event_trace_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/events/trace_recorder.hpp"
+#include "core/strategy.hpp"
+#include "market/spot_market.hpp"
+#include "trace/synthetic.hpp"
+
+namespace redspot {
+namespace {
+
+#ifndef REDSPOT_GOLDEN_DIR
+#define REDSPOT_GOLDEN_DIR "."
+#endif
+
+const PolicyKind kPolicies[] = {
+    PolicyKind::kPeriodic,
+    PolicyKind::kMarkovDaly,
+    PolicyKind::kRisingEdge,
+    PolicyKind::kThreshold,
+};
+
+std::string trace_of(PolicyKind kind) {
+  const SimTime start = 2 * kDay;  // history span precedes the run
+  const Experiment experiment =
+      Experiment::paper(start, /*slack_fraction=*/0.15,
+                        /*checkpoint_cost=*/300, /*seed=*/7);
+  SyntheticTraceSpec spec = paper_trace_spec(/*seed=*/1001);
+  spec = trimmed_spec(std::move(spec), experiment.deadline_time() + kHour);
+  const SpotMarket market(
+      generate_traces(spec), cc2_instance(),
+      QueueDelayModel(QueueDelayParams::paper_calibrated()));
+
+  FixedStrategy strategy(Money::cents(81), {0, 1}, make_policy(kind));
+  Engine engine(market, experiment, strategy, {});
+  EventTraceRecorder trace;
+  engine.add_observer(&trace);
+  engine.run();
+  return trace.str();
+}
+
+std::string golden_path(PolicyKind kind, const char* dir) {
+  return std::string(dir) + "/event_trace_" + to_string(kind) + ".txt";
+}
+
+TEST(EventTrace, MatchesGoldenPerPolicy) {
+  if (const char* regen = std::getenv("REDSPOT_TRACE_REGEN")) {
+    for (const PolicyKind kind : kPolicies) {
+      const std::string path = golden_path(kind, regen);
+      std::ofstream out(path);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << trace_of(kind);
+    }
+    GTEST_SKIP() << "golden traces regenerated";
+  }
+
+  for (const PolicyKind kind : kPolicies) {
+    const std::string path = golden_path(kind, REDSPOT_GOLDEN_DIR);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path
+                           << " (regenerate with REDSPOT_TRACE_REGEN)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    const std::string got = trace_of(kind);
+    if (got == want.str()) continue;
+
+    // Point at the first diverging line: a full-trace dump is unreadable.
+    std::istringstream got_s(got), want_s(want.str());
+    std::string got_line, want_line;
+    std::size_t line_no = 0;
+    while (true) {
+      ++line_no;
+      const bool g = static_cast<bool>(std::getline(got_s, got_line));
+      const bool w = static_cast<bool>(std::getline(want_s, want_line));
+      if (!g && !w) break;
+      if (!g) got_line = "<end of trace>";
+      if (!w) want_line = "<end of golden>";
+      ASSERT_EQ(got_line, want_line)
+          << to_string(kind) << " trace diverges at line " << line_no;
+      if (!g || !w) break;
+    }
+    FAIL() << to_string(kind) << " trace differs from " << path;
+  }
+}
+
+}  // namespace
+}  // namespace redspot
