@@ -1,0 +1,187 @@
+// Fabric dispatch-overhead microbenchmark with a machine-readable report
+// for the CI tolerance gate (same conventions as bench_event_core; see
+// tools/bench_report.hpp).
+//
+// Two suites pin what the distributed fabric costs over the in-process
+// path it must stay bit-identical to:
+//
+//   1. dispatch       — a one-replication-per-shard ensemble (compute is
+//                       negligible) run through a real coordinator plus
+//                       one forked worker over a unix socket, vs the same
+//                       spec through parallel_for_shards in-process. The
+//                       difference, spread over the shard count, is the
+//                       full per-shard fabric tax: lease grant, partial
+//                       frame, CRC, ack, poll loop. Gated by a hard
+//                       ceiling on fabric_dispatch_overhead_ratio.
+//   2. codec          — encode+decode of a lease/partial/ack exchange per
+//                       shard, isolating serialization from the socket.
+//
+// Usage: bench_fabric [--quick] [--out report.json]
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "app/ensemble_cli.hpp"
+#include "bench_report.hpp"
+#include "common/check.hpp"
+#include "ensemble/runner.hpp"
+#include "ensemble/shard_exec.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/wire.hpp"
+#include "fabric/worker.hpp"
+
+namespace redspot {
+
+// External linkage defeats dead-code elimination of the measured work.
+std::int64_t g_sink = 0;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Median over `reps` timing runs of one call each, in ns.
+template <typename F>
+double median_run_ns(int reps, F&& fn) {
+  std::vector<double> ns;
+  ns.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    ns.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+  }
+  std::sort(ns.begin(), ns.end());
+  return ns[ns.size() / 2];
+}
+
+/// One-replication-per-shard spec: compute cost per dispatch is one
+/// simulation, so fabric-vs-inprocess deltas are dominated by dispatch.
+EnsembleSpec dispatch_spec(std::size_t shards) {
+  EnsembleCliArgs args;
+  args.policy = "periodic";
+  args.replications = shards;
+  args.shards = shards;
+  args.no_cache = true;
+  return make_ensemble_spec(args);
+}
+
+/// Runs the spec through a real coordinator with one forked worker over
+/// `socket_path`. Returns the coordinator-side wall time in ns.
+double fabric_run_ns(const EnsembleSpec& spec, const std::string& socket_path) {
+  ::unlink(socket_path.c_str());
+  fabric::FabricOptions options;
+  options.socket_path = socket_path;
+  // Generous budgets: this benchmark measures throughput, not recovery.
+  options.lease.lease_duration_ms = 120'000;
+  options.lease.heartbeat_timeout_ms = 60'000;
+  options.fallback_wait_ms = 60'000;
+
+  // Bind the socket before forking so the worker's first dial lands —
+  // connect retries would otherwise pollute the dispatch figure.
+  fabric::Coordinator coordinator(spec, options, /*journal=*/nullptr);
+  const pid_t child = ::fork();
+  REDSPOT_CHECK_MSG(child >= 0, "fork failed");
+  if (child == 0) {
+    const int rc = fabric::run_worker(spec, options, fabric::ChaosPlan{});
+    ::_exit(rc);
+  }
+  const auto t0 = Clock::now();
+  const fabric::CoordinatorReport report = coordinator.run();
+  const auto t1 = Clock::now();
+  REDSPOT_CHECK_MSG(!report.used_fallback, "worker never joined the fleet");
+  g_sink += static_cast<std::int64_t>(report.shards_from_fleet);
+
+  int status = 0;
+  REDSPOT_CHECK_MSG(::waitpid(child, &status, 0) == child, "waitpid failed");
+  REDSPOT_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                    "worker exited abnormally");
+  ::unlink(socket_path.c_str());
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+}  // namespace
+}  // namespace redspot
+
+int main(int argc, char** argv) {
+  using namespace redspot;
+
+  bool quick = false;
+  std::string out_path = "BENCH_fabric.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_fabric [--quick] [--out report.json]\n");
+      return 2;
+    }
+  }
+
+  benchreport::Report report;
+  report.schema = "redspot-fabric-v1";
+  report.set("quick", quick ? 1 : 0);
+  const int reps = quick ? 3 : 5;
+  const std::size_t shards = quick ? 24 : 64;
+  const std::string socket_path =
+      "/tmp/bench_fabric_" + std::to_string(::getpid()) + ".sock";
+
+  // --- 1. dispatch: coordinator + forked worker vs in-process ---------------
+  {
+    const EnsembleSpec spec = dispatch_spec(shards);
+
+    ThreadPool pool(1);  // the fabric side computes on one worker too
+    const double inproc_ns = median_run_ns(reps, [&] {
+      EnsembleRunner runner(spec);
+      g_sink += static_cast<std::int64_t>(runner.run(pool).configs.size());
+    });
+    // fabric_run_ns times coordinator.run() only, so fork/exec setup of
+    // the worker process is excluded from the dispatch figure.
+    std::vector<double> runs;
+    for (int r = 0; r < reps; ++r)
+      runs.push_back(fabric_run_ns(spec, socket_path));
+    std::sort(runs.begin(), runs.end());
+    const double fabric_ns = runs[runs.size() / 2];
+
+    const double per_shard_overhead_ns =
+        (fabric_ns - inproc_ns) / static_cast<double>(shards);
+    report.set("inproc_run_ms", inproc_ns / 1e6);
+    report.set("fabric_run_ms", fabric_ns / 1e6);
+    report.set("fabric_dispatch_overhead_ratio", fabric_ns / inproc_ns);
+    report.set("fabric_dispatch_us", per_shard_overhead_ns / 1e3);
+  }
+
+  // --- 2. codec: the per-shard wire round trip without the socket -----------
+  {
+    const int n = quick ? 20000 : 100000;
+    const std::string record(512, 'r');  // a typical shard-record size
+    const double codec_ns = median_run_ns(reps, [&] {
+      for (int i = 0; i < n; ++i) {
+        const auto lease = fabric::decode_lease(fabric::encode_lease(
+            {static_cast<std::uint64_t>(i), 0, 1, 1, 10'000}));
+        const auto partial = fabric::decode_partial(fabric::encode_partial(
+            {lease->lease_id, 0, record}));
+        const auto ack =
+            fabric::decode_ack(fabric::encode_ack({partial->shard, false}));
+        g_sink += static_cast<std::int64_t>(ack->shard);
+      }
+    });
+    report.set("wire_roundtrip_ns", codec_ns / n);
+  }
+
+  benchreport::write_report(report, out_path);
+  std::printf("wrote %s\n", out_path.c_str());
+  for (const auto& [name, value] : report.metrics) {
+    std::printf("  %-32s %.4g\n", name.c_str(), value);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared command-line parsing for ensemble-mode front ends.
+//
+// `redspot-sim ensemble` and both `redspot-fabric` subcommands must build
+// the *same* EnsembleSpec from the same flags — the fabric's spec-hash
+// handshake rejects any divergence, so the option-to-spec mapping lives
+// here once instead of drifting per binary.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ensemble/spec.hpp"
+
+namespace redspot {
+
+struct EnsembleCliArgs {
+  // Spec-shaping options (fingerprinted via EnsembleSpec::spec_hash).
+  VolatilityWindow window = VolatilityWindow::kHigh;
+  double slack = 0.15;
+  Duration tc = 300;
+  std::string policy = "adaptive";
+  Money bid = Money::cents(81);
+  Money threshold = Money::cents(81);
+  std::vector<std::size_t> zones{0};
+  std::uint64_t seed = 42;
+  Duration notice = 0;
+  std::size_t replications = 1000;
+  std::size_t shards = 64;
+  // Execution options (not part of the spec).
+  std::size_t threads = 0;
+  bool no_cache = false;
+  std::string journal_dir;
+};
+
+/// Consumes every recognized ensemble option from argv (argv[0] is skipped
+/// as the program/subcommand name). Unrecognized options are appended to
+/// *extra for the caller to handle; pass nullptr to make them fatal.
+/// Exits with code 2 and a usage message on malformed input.
+EnsembleCliArgs parse_ensemble_args(int argc, char** argv,
+                                    std::vector<std::string>* extra);
+
+/// Builds the validated, fingerprintable spec the args describe.
+/// Exits with code 2 on an unknown policy name.
+EnsembleSpec make_ensemble_spec(const EnsembleCliArgs& args);
+
+}  // namespace redspot

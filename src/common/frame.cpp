@@ -1,0 +1,154 @@
+#include "common/frame.hpp"
+
+#include <cstring>
+
+#include "common/hash.hpp"
+
+namespace redspot {
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+bool ByteReader::u8(std::uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = static_cast<std::uint8_t>(static_cast<unsigned char>(data_[pos_]));
+  ++pos_;
+  return true;
+}
+
+bool ByteReader::u32(std::uint32_t* v) {
+  if (remaining() < 4) return false;
+  *v = 0;
+  for (int i = 3; i >= 0; --i)
+    *v = (*v << 8) |
+         static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]);
+  pos_ += 4;
+  return true;
+}
+
+bool ByteReader::u64(std::uint64_t* v) {
+  if (remaining() < 8) return false;
+  *v = 0;
+  for (int i = 7; i >= 0; --i)
+    *v = (*v << 8) |
+         static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]);
+  pos_ += 8;
+  return true;
+}
+
+bool ByteReader::i32(std::int32_t* v) {
+  std::uint32_t u = 0;
+  if (!u32(&u)) return false;
+  *v = static_cast<std::int32_t>(u);
+  return true;
+}
+
+bool ByteReader::i64(std::int64_t* v) {
+  std::uint64_t u = 0;
+  if (!u64(&u)) return false;
+  *v = static_cast<std::int64_t>(u);
+  return true;
+}
+
+bool ByteReader::str(std::string* out) {
+  std::uint32_t len = 0;
+  if (!u32(&len)) return false;
+  if (remaining() < len) return false;
+  out->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+std::string_view ByteReader::rest() {
+  const std::string_view r = data_.substr(pos_);
+  pos_ = data_.size();
+  return r;
+}
+
+void append_frame(std::string& out, std::string_view payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload.data(), payload.size()));
+  out.append(payload);
+}
+
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  append_frame(out, payload);
+  return out;
+}
+
+FrameStatus peek_frame(std::string_view buf, std::string_view* payload,
+                       std::size_t* frame_size, std::size_t max_payload) {
+  if (buf.size() < kFrameHeaderSize) return FrameStatus::kNeedMore;
+  ByteReader header(buf.substr(0, kFrameHeaderSize));
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  header.u32(&len);
+  header.u32(&crc);
+  // A length past the reader's bound cannot be a real frame — treat it as
+  // corruption immediately rather than waiting for 4 GiB that never comes.
+  if (len > max_payload) return FrameStatus::kCorrupt;
+  if (buf.size() - kFrameHeaderSize < len) return FrameStatus::kNeedMore;
+  const std::string_view body = buf.substr(kFrameHeaderSize, len);
+  if (crc32(body.data(), body.size()) != crc) return FrameStatus::kCorrupt;
+  *payload = body;
+  *frame_size = kFrameHeaderSize + len;
+  return FrameStatus::kOk;
+}
+
+void FrameBuffer::append(const char* data, std::size_t len) {
+  // Compact once the consumed prefix dominates, keeping append amortized
+  // O(1) without unbounded growth on long-lived connections.
+  if (pos_ > 0 && pos_ >= buf_.size() - pos_) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, len);
+}
+
+FrameStatus FrameBuffer::next(std::string* payload) {
+  if (corrupt_) return FrameStatus::kCorrupt;
+  std::string_view body;
+  std::size_t frame_size = 0;
+  const FrameStatus status = peek_frame(
+      std::string_view(buf_).substr(pos_), &body, &frame_size, max_payload_);
+  switch (status) {
+    case FrameStatus::kOk:
+      payload->assign(body.data(), body.size());
+      pos_ += frame_size;
+      return FrameStatus::kOk;
+    case FrameStatus::kNeedMore:
+      return FrameStatus::kNeedMore;
+    case FrameStatus::kCorrupt:
+      corrupt_ = true;
+      return FrameStatus::kCorrupt;
+  }
+  return FrameStatus::kCorrupt;  // unreachable
+}
+
+}  // namespace redspot

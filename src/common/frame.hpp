@@ -1,0 +1,119 @@
+// Shared length-prefixed, CRC-32-checksummed frame codec.
+//
+// One wire format, two consumers: the durable run journal (src/journal/)
+// appends frames to a file and recovers the intact prefix after a crash,
+// and the distributed fabric (src/fabric/) sends the same frames over a
+// stream socket and resynchronizes never — a corrupt frame drops the
+// connection. The format:
+//
+//   frame := u32 payload_len , u32 crc32(payload) , payload
+//
+// (integers little-endian). Both consumers share the guarantee that a
+// frame either yields its exact payload bytes or is rejected whole:
+// truncation reads as "need more", a flipped bit or a forged length reads
+// as corruption, and no decoder ever trusts half a frame.
+//
+// The little-endian byte primitives (put_* / ByteReader) are exposed too:
+// journal record payloads and fabric wire messages are built from the same
+// bounds-checked codec, so a malformed payload decodes to "reject", never
+// to UB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace redspot {
+
+// --- little-endian byte primitives -----------------------------------------
+
+void put_u8(std::string& out, std::uint8_t v);
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+void put_i32(std::string& out, std::int32_t v);
+void put_i64(std::string& out, std::int64_t v);
+void put_str(std::string& out, std::string_view s);  ///< u32 length + bytes
+
+/// Bounds-checked sequential reader over a payload. Every accessor returns
+/// false instead of reading past the end; decoders built on it are total.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool u8(std::uint8_t* v);
+  bool u32(std::uint32_t* v);
+  bool u64(std::uint64_t* v);
+  bool i32(std::int32_t* v);
+  bool i64(std::int64_t* v);
+  /// u32 length followed by that many bytes.
+  bool str(std::string* out);
+  /// The unread remainder (e.g. a nested payload); consumes it.
+  std::string_view rest();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// --- frame codec ------------------------------------------------------------
+
+/// Bytes of the length + checksum header preceding every payload.
+inline constexpr std::size_t kFrameHeaderSize = 8;
+
+/// Upper bound a reader enforces on payload_len before allocating: a forged
+/// length field must be rejected as corruption, not honored with a giant
+/// allocation. Generous — the largest legitimate frame (a full ensemble
+/// shard record) is a few hundred KiB.
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+/// Appends one complete frame for `payload` to `out`.
+void append_frame(std::string& out, std::string_view payload);
+
+/// One complete frame for `payload`.
+std::string encode_frame(std::string_view payload);
+
+enum class FrameStatus {
+  kOk,        ///< a complete, checksum-valid frame
+  kNeedMore,  ///< buffer ends mid-header or mid-payload (truncation)
+  kCorrupt,   ///< checksum mismatch or forged (oversized) length
+};
+
+/// Examines the frame starting at the front of `buf` without consuming it.
+/// On kOk, *payload views the payload bytes inside `buf` and *frame_size is
+/// the total frame length to consume. `max_payload` guards length fields.
+FrameStatus peek_frame(std::string_view buf, std::string_view* payload,
+                       std::size_t* frame_size,
+                       std::size_t max_payload = kMaxFramePayload);
+
+/// Incremental frame decoder for stream transports: append received bytes,
+/// then drain complete frames. Corruption is sticky — once a frame fails
+/// its checksum there is no resynchronization point, so every later call
+/// reports kCorrupt and the connection must be dropped.
+class FrameBuffer {
+ public:
+  explicit FrameBuffer(std::size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void append(const char* data, std::size_t len);
+  void append(std::string_view data) { append(data.data(), data.size()); }
+
+  /// Extracts the next complete frame's payload into *payload. kNeedMore
+  /// means "no complete frame buffered yet", not an error.
+  FrameStatus next(std::string* payload);
+
+  std::size_t buffered() const { return buf_.size() - pos_; }
+  bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+  std::size_t max_payload_;
+  bool corrupt_ = false;
+};
+
+}  // namespace redspot

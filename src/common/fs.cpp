@@ -23,18 +23,73 @@ std::string parent_of(const std::string& path) {
   return path.substr(0, slash);
 }
 
+int fsync_retry(int fd) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
 }  // namespace
+
+void write_fully(int fd, const void* data, std::size_t len,
+                 const std::string& what) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal landed mid-write: resume
+      fail("write failed", what);
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+bool read_fully(int fd, void* data, std::size_t len, const std::string& what) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal landed mid-read: resume
+      fail("read failed", what);
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF at a frame boundary
+      errno = 0;
+      throw std::runtime_error("short read (EOF after " + std::to_string(got) +
+                               " of " + std::to_string(len) + " bytes) '" +
+                               what + "'");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int open_retry(const std::string& path, int flags, int mode) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) fail("cannot open", path);
+  return fd;
+}
 
 void fsync_file(std::FILE* f, const std::string& path) {
   if (std::fflush(f) != 0) fail("cannot flush", path);
-  if (::fsync(fileno(f)) != 0) fail("cannot fsync", path);
+  if (fsync_retry(fileno(f)) != 0) fail("cannot fsync", path);
 }
 
 void fsync_parent_dir(const std::string& path) {
   const std::string dir = parent_of(path);
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  int fd;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) fail("cannot open directory", dir);
-  const int rc = ::fsync(fd);
+  const int rc = fsync_retry(fd);
   ::close(fd);
   if (rc != 0) fail("cannot fsync directory", dir);
 }
@@ -42,23 +97,20 @@ void fsync_parent_dir(const std::string& path) {
 void atomic_write_file(const std::string& path, const std::string& contents) {
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  int fd;
+  do {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) fail("cannot open for writing", tmp);
 
-  const char* p = contents.data();
-  std::size_t remaining = contents.size();
-  while (remaining > 0) {
-    const ssize_t n = ::write(fd, p, remaining);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      fail("write failed", tmp);
-    }
-    p += n;
-    remaining -= static_cast<std::size_t>(n);
+  try {
+    write_fully(fd, contents.data(), contents.size(), tmp);
+  } catch (const std::runtime_error&) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
   }
-  if (::fsync(fd) != 0) {
+  if (fsync_retry(fd) != 0) {
     ::close(fd);
     ::unlink(tmp.c_str());
     fail("cannot fsync", tmp);
@@ -75,18 +127,23 @@ void atomic_write_file(const std::string& path, const std::string& contents) {
 }
 
 std::string read_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) fail("cannot open", path);
+  // Raw read(2) with explicit EINTR handling: stdio's fread reports an
+  // interrupted read as a generic error, which turned a harmless signal
+  // into a spurious "read failed" for journal recovery under timers.
+  const int fd = open_retry(path, O_RDONLY);
   std::string out;
   char buf[1 << 16];
   for (;;) {
-    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
-    out.append(buf, n);
-    if (n < sizeof(buf)) break;
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("read failed", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
   }
-  const bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) fail("read failed", path);
+  ::close(fd);
   return out;
 }
 

@@ -1,4 +1,4 @@
-// Crash-safe filesystem primitives.
+// Crash-safe, signal-safe filesystem primitives.
 //
 // Everything redspot persists — exported trace CSVs, journal files — must
 // survive a crash at any instant without leaving a half-written file that a
@@ -9,12 +9,39 @@
 // complete contents (the leftover temp file is ignorable garbage). Append
 // durability for the run journal is handled separately in src/journal/ via
 // fsync_file plus a checksummed record format that tolerates a torn tail.
+//
+// Every helper here also retries EINTR: redspot processes field real
+// signals mid-I/O (SIGINT drains, the fabric's chaos SIGKILLs land on
+// siblings, interval timers fire in tests), and a non-SA_RESTART handler
+// turns a blocked read()/write() into a short transfer or an EINTR error.
+// Those are not failures — the helpers resume the transfer, so callers
+// never see a spurious exception or a torn buffer (common_test pins this
+// with a deliberately hostile interval timer).
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 
 namespace redspot {
+
+/// write()s all `len` bytes of `data` to `fd`, resuming across EINTR and
+/// short writes. Works on files, pipes and stream sockets (the journal and
+/// the fabric wire protocol both frame on top of it). Throws
+/// std::runtime_error on any real I/O failure, naming `what` in the
+/// message.
+void write_fully(int fd, const void* data, std::size_t len,
+                 const std::string& what);
+
+/// read()s exactly `len` bytes into `data`, resuming across EINTR and
+/// short reads. Returns false on clean EOF before the first byte; throws
+/// std::runtime_error on a real failure or on EOF mid-buffer (a torn
+/// transfer the caller must not half-trust).
+bool read_fully(int fd, void* data, std::size_t len, const std::string& what);
+
+/// open(2) retrying EINTR. Returns the fd; throws std::runtime_error on
+/// failure.
+int open_retry(const std::string& path, int flags, int mode = 0644);
 
 /// Atomically replaces `path` with `contents`: writes `path`.tmp.<pid>,
 /// flushes it to disk, renames it over `path`, then syncs the parent

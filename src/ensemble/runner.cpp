@@ -5,17 +5,12 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
-#include "core/engine.hpp"
 #include "ensemble/cache.hpp"
-#include "ensemble/seeder.hpp"
+#include "ensemble/shard_exec.hpp"
 #include "exp/report.hpp"
-#include "fault/audit_observer.hpp"
-#include "fault/run_validator.hpp"
 #include "journal/journal.hpp"
 #include "journal/run_record.hpp"
-#include "market/spot_market.hpp"
 #include "stats/streaming.hpp"
-#include "trace/synthetic.hpp"
 
 namespace redspot {
 
@@ -101,17 +96,10 @@ EnsembleResult EnsembleRunner::run(ThreadPool& pool,
     }
   }
 
-  // Per-replication inputs shared by every shard. starts() is a pure
-  // function of the scenario cell; the trace spec template is re-seeded per
-  // replication and trimmed so only the evaluation window is synthesized.
-  const Scenario scenario{spec_.window, spec_.slack_fraction,
-                          spec_.checkpoint_cost, spec_.starts_grid};
-  const std::vector<SimTime> starts = scenario.starts();
-  const SyntheticTraceSpec trace_template =
-      trimmed_spec(paper_trace_spec(0), window_end(spec_.window));
-  const ReplicationSeeder seeder(spec_.seed);
-  const InstanceType instance = cc2_instance();
-  const std::size_t num_configs = spec_.configs.size();
+  // The executor owns shard semantics (compute, serialize, audit, fold).
+  // This function only orchestrates: pick replay vs recompute per shard,
+  // run shards on the pool, journal what was computed, reduce in order.
+  const ShardExecutor exec(spec_);
 
   // Intact journal records addressing this exact spec and shard partition.
   // Anything that does not match — foreign spec_hash, stale shard bounds,
@@ -121,97 +109,27 @@ EnsembleResult EnsembleRunner::run(ThreadPool& pool,
     for (const std::string& payload : run_options.journal->records()) {
       if (record_type(payload) != RecordType::kEnsembleShard) continue;
       std::optional<EnsembleShardRecord> rec = decode_ensemble_shard(payload);
-      if (!rec || rec->spec_hash != key) continue;
-      if (rec->shard >= spec_.num_shards ||
-          rec->num_configs != num_configs)
-        continue;
-      const auto [lo, hi] = shard_bounds(spec_.replications, spec_.num_shards,
-                                         static_cast<std::size_t>(rec->shard));
-      if (rec->lo != lo || rec->hi != hi) continue;
+      if (!rec || !exec.matches(*rec)) continue;
       replayable[static_cast<std::size_t>(rec->shard)] = std::move(rec);
     }
   }
 
-  // One accumulator set per shard, pre-built so every shard carries
-  // identical estimator options (the bootstrap seed is per config/group,
-  // derived from the spec seed, and must agree across shards for the
-  // shard merge to be a valid single-stream bootstrap).
-  struct ShardAcc {
-    std::vector<ConfigSummary> configs;
-    std::vector<ConfigSummary> groups;
-  };
-  auto make_acc = [this, &seeder] {
-    ShardAcc acc;
-    auto opts = [this, &seeder](std::uint64_t stream) {
-      return StreamingSummaryOptions{
-          spec_.bootstrap_replicates, spec_.ci_level,
-          seeder.seed(stream, SeedDomain::kBootstrap)};
-    };
-    for (std::size_t c = 0; c < spec_.configs.size(); ++c) {
-      acc.configs.emplace_back(spec_.configs[c].display_label(), opts(c));
-    }
-    for (std::size_t g = 0; g < spec_.min_groups.size(); ++g) {
-      acc.groups.emplace_back(spec_.min_groups[g].label,
-                              opts(spec_.configs.size() + g));
-    }
-    return acc;
-  };
-  std::vector<ShardAcc> shards(spec_.num_shards, make_acc());
-
-  // Fold helper shared verbatim by the live and replay paths: the fold
-  // order (configs in index order, then min-groups, per replication) is
-  // what makes a replayed shard bit-identical to a computed one.
-  auto fold_replication = [this](ShardAcc& acc, std::size_t r,
-                                 const RunResult* results) {
-    for (std::size_t c = 0; c < spec_.configs.size(); ++c)
-      acc.configs[c].fold(r, results[c]);
-    for (std::size_t g = 0; g < spec_.min_groups.size(); ++g) {
-      const MinGroup& group = spec_.min_groups[g];
-      std::size_t best = group.members.front();
-      for (const std::size_t m : group.members) {
-        if (results[m].total_cost < results[best].total_cost) best = m;
-      }
-      acc.groups[g].fold(r, results[best]);
-    }
-  };
-
-  auto make_experiment = [&](std::size_t r) {
-    return Experiment::paper(starts[r % starts.size()], spec_.slack_fraction,
-                             spec_.checkpoint_cost,
-                             seeder.seed(r, SeedDomain::kQueueDelay));
-  };
-
-  // Re-audits and folds one journaled shard; returns false (leaving acc
-  // dirty — the caller resets it) if any replayed run fails the audit.
-  auto replay_shard = [&](const EnsembleShardRecord& rec,
-                          ShardAcc& acc) -> bool {
-    for (std::size_t r = static_cast<std::size_t>(rec.lo);
-         r < static_cast<std::size_t>(rec.hi); ++r) {
-      const RunResult* results =
-          rec.runs.data() + (r - static_cast<std::size_t>(rec.lo)) * num_configs;
-      const RunValidator validator(make_experiment(r), instance.on_demand_rate);
-      for (std::size_t c = 0; c < num_configs; ++c) {
-        if (!validator.audit(results[c], AuditMode::kReplay).empty())
-          return false;
-      }
-      fold_replication(acc, r, results);
-    }
-    return true;
-  };
+  std::vector<ShardExecutor::Acc> shards(spec_.num_shards, exec.make_acc());
 
   enum : int { kNotRun = 0, kRecomputed = 1, kReplayed = 2 };
   std::vector<std::atomic<int>> shard_state(spec_.num_shards);
 
   parallel_for_shards(
       pool, spec_.replications, spec_.num_shards,
-      [&](std::size_t shard, std::size_t lo, std::size_t hi) {
+      [&](std::size_t shard, std::size_t, std::size_t) {
         // Retry- and replay-safe: rebuild this shard's outputs from
         // scratch on every attempt so nothing can be folded twice.
-        shards[shard] = make_acc();
-        ShardAcc& acc = shards[shard];
+        shards[shard] = exec.make_acc();
+        ShardExecutor::Acc& acc = shards[shard];
 
         if (replayable[shard].has_value()) {
-          if (replay_shard(*replayable[shard], acc)) {
+          if (exec.audit(*replayable[shard])) {
+            exec.fold(*replayable[shard], acc);
             shard_state[shard].store(kReplayed, std::memory_order_release);
             return;
           }
@@ -219,51 +137,28 @@ EnsembleResult EnsembleRunner::run(ThreadPool& pool,
           // audit): never trust it — log and recompute.
           LOG_WARN << "journal: shard " << shard << " record failed the "
                    << "replay audit; recomputing";
-          shards[shard] = make_acc();
         }
 
-        std::optional<ShardRecordBuilder> builder;
-        if (run_options.journal != nullptr) {
-          builder.emplace(key, shard, lo, hi,
-                          static_cast<std::uint32_t>(num_configs));
-        }
-        std::vector<RunResult> results(spec_.configs.size());
-        for (std::size_t r = lo; r < hi; ++r) {
-          // This replication's independent substreams.
-          SyntheticTraceSpec trace_spec = trace_template;
-          trace_spec.seed = seeder.seed(r, SeedDomain::kTrace);
-          const SpotMarket market(generate_traces(trace_spec), instance,
-                                  QueueDelayModel());
-          const Experiment experiment = make_experiment(r);
-          AuditObserver audit(experiment, instance.on_demand_rate);
-          for (std::size_t c = 0; c < spec_.configs.size(); ++c) {
-            auto strategy = spec_.configs[c].make_strategy();
-            Engine engine(market, experiment, *strategy, spec_.engine);
-            engine.add_observer(&audit);
-            results[c] = engine.run();
-            if (builder.has_value()) builder->add_run(results[c]);
-          }
-          fold_replication(acc, r, results.data());
-        }
+        // Live and replayed shards fold through the identical record path:
+        // compute serializes, the fold consumes the codec-preserved
+        // scalars, so a recomputed shard is bit-identical to a replayed
+        // one by construction.
+        const std::string payload = exec.compute(shard);
+        const std::optional<EnsembleShardRecord> rec =
+            decode_ensemble_shard(payload);
+        REDSPOT_CHECK_MSG(rec.has_value() && exec.matches(*rec),
+                          "self-computed shard record failed to decode");
+        exec.fold(*rec, acc);
         // Write-ahead commit: the shard only counts once its record is
         // durable, so a crash between compute and append just recomputes.
-        if (builder.has_value()) run_options.journal->append(builder->payload());
+        if (run_options.journal != nullptr)
+          run_options.journal->append(payload);
         shard_state[shard].store(kRecomputed, std::memory_order_release);
       },
       ShardRunOptions{run_options.shard_retry_budget, run_options.stop});
 
   // Deterministic reduction: fold shards in shard (= replication) order.
-  EnsembleResult result;
-  result.ci_level = spec_.ci_level;
-  ShardAcc merged = std::move(shards.front());
-  for (std::size_t s = 1; s < shards.size(); ++s) {
-    for (std::size_t c = 0; c < merged.configs.size(); ++c)
-      merged.configs[c].merge(shards[s].configs[c]);
-    for (std::size_t g = 0; g < merged.groups.size(); ++g)
-      merged.groups[g].merge(shards[s].groups[g]);
-  }
-  result.configs = std::move(merged.configs);
-  result.groups = std::move(merged.groups);
+  EnsembleResult result = exec.reduce(std::move(shards));
 
   std::size_t done = 0;
   std::size_t replayed = 0;

@@ -1,0 +1,145 @@
+#include "ensemble/shard_exec.hpp"
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "core/engine.hpp"
+#include "core/experiment.hpp"
+#include "exp/scenario.hpp"
+#include "fault/audit_observer.hpp"
+#include "fault/run_validator.hpp"
+#include "market/spot_market.hpp"
+
+namespace redspot {
+
+ShardExecutor::ShardExecutor(const EnsembleSpec& spec)
+    : spec_(spec),
+      spec_hash_(spec.spec_hash()),
+      trace_template_(
+          trimmed_spec(paper_trace_spec(0), window_end(spec.window))),
+      seeder_(spec.seed),
+      instance_(cc2_instance()) {
+  // starts() is a pure function of the scenario cell; the trace spec
+  // template is re-seeded per replication and trimmed so only the
+  // evaluation window is synthesized.
+  const Scenario scenario{spec_.window, spec_.slack_fraction,
+                          spec_.checkpoint_cost, spec_.starts_grid};
+  starts_ = scenario.starts();
+}
+
+std::pair<std::size_t, std::size_t> ShardExecutor::bounds(
+    std::size_t s) const {
+  return shard_bounds(spec_.replications, spec_.num_shards, s);
+}
+
+ShardExecutor::Acc ShardExecutor::make_acc() const {
+  Acc acc;
+  // Identical estimator options on every shard: the bootstrap seed is per
+  // config/group, derived from the spec seed, and must agree across shards
+  // for the shard merge to be a valid single-stream bootstrap.
+  auto opts = [this](std::uint64_t stream) {
+    return StreamingSummaryOptions{spec_.bootstrap_replicates, spec_.ci_level,
+                                   seeder_.seed(stream,
+                                                SeedDomain::kBootstrap)};
+  };
+  for (std::size_t c = 0; c < spec_.configs.size(); ++c)
+    acc.configs.emplace_back(spec_.configs[c].display_label(), opts(c));
+  for (std::size_t g = 0; g < spec_.min_groups.size(); ++g)
+    acc.groups.emplace_back(spec_.min_groups[g].label,
+                            opts(spec_.configs.size() + g));
+  return acc;
+}
+
+Experiment ShardExecutor::make_experiment(std::size_t r) const {
+  return Experiment::paper(starts_[r % starts_.size()], spec_.slack_fraction,
+                           spec_.checkpoint_cost,
+                           seeder_.seed(r, SeedDomain::kQueueDelay));
+}
+
+std::string ShardExecutor::compute(std::size_t s,
+                                   const ProgressFn& progress) const {
+  const auto [lo, hi] = bounds(s);
+  ShardRecordBuilder builder(spec_hash_, s, lo, hi,
+                             static_cast<std::uint32_t>(num_configs()));
+  std::vector<RunResult> results(spec_.configs.size());
+  for (std::size_t r = lo; r < hi; ++r) {
+    // This replication's independent substreams.
+    SyntheticTraceSpec trace_spec = trace_template_;
+    trace_spec.seed = seeder_.seed(r, SeedDomain::kTrace);
+    const SpotMarket market(generate_traces(trace_spec), instance_,
+                            QueueDelayModel());
+    const Experiment experiment = make_experiment(r);
+    AuditObserver audit_obs(experiment, instance_.on_demand_rate);
+    for (std::size_t c = 0; c < spec_.configs.size(); ++c) {
+      auto strategy = spec_.configs[c].make_strategy();
+      Engine engine(market, experiment, *strategy, spec_.engine);
+      engine.add_observer(&audit_obs);
+      results[c] = engine.run();
+      builder.add_run(results[c]);
+    }
+    if (progress) progress(r - lo + 1);
+  }
+  return builder.payload();
+}
+
+bool ShardExecutor::matches(const EnsembleShardRecord& rec) const {
+  if (rec.spec_hash != spec_hash_) return false;
+  if (rec.shard >= spec_.num_shards) return false;
+  if (rec.num_configs != num_configs()) return false;
+  const auto [lo, hi] = bounds(static_cast<std::size_t>(rec.shard));
+  return rec.lo == lo && rec.hi == hi;
+}
+
+bool ShardExecutor::audit(const EnsembleShardRecord& rec) const {
+  const std::size_t configs = num_configs();
+  for (std::size_t r = static_cast<std::size_t>(rec.lo);
+       r < static_cast<std::size_t>(rec.hi); ++r) {
+    const RunResult* results =
+        rec.runs.data() + (r - static_cast<std::size_t>(rec.lo)) * configs;
+    const RunValidator validator(make_experiment(r), instance_.on_demand_rate);
+    for (std::size_t c = 0; c < configs; ++c) {
+      if (!validator.audit(results[c], AuditMode::kReplay).empty())
+        return false;
+    }
+  }
+  return true;
+}
+
+void ShardExecutor::fold(const EnsembleShardRecord& rec, Acc& acc) const {
+  REDSPOT_CHECK_MSG(matches(rec), "folding a foreign shard record");
+  const std::size_t configs = num_configs();
+  for (std::size_t r = static_cast<std::size_t>(rec.lo);
+       r < static_cast<std::size_t>(rec.hi); ++r) {
+    const RunResult* results =
+        rec.runs.data() + (r - static_cast<std::size_t>(rec.lo)) * configs;
+    // The canonical fold order — configs in index order, then min-groups,
+    // per replication — is what makes every consumer bit-identical.
+    for (std::size_t c = 0; c < configs; ++c)
+      acc.configs[c].fold(r, results[c]);
+    for (std::size_t g = 0; g < spec_.min_groups.size(); ++g) {
+      const MinGroup& group = spec_.min_groups[g];
+      std::size_t best = group.members.front();
+      for (const std::size_t m : group.members) {
+        if (results[m].total_cost < results[best].total_cost) best = m;
+      }
+      acc.groups[g].fold(r, results[best]);
+    }
+  }
+}
+
+EnsembleResult ShardExecutor::reduce(std::vector<Acc>&& shards) const {
+  REDSPOT_CHECK(!shards.empty());
+  EnsembleResult result;
+  result.ci_level = spec_.ci_level;
+  Acc merged = std::move(shards.front());
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    for (std::size_t c = 0; c < merged.configs.size(); ++c)
+      merged.configs[c].merge(shards[s].configs[c]);
+    for (std::size_t g = 0; g < merged.groups.size(); ++g)
+      merged.groups[g].merge(shards[s].groups[g]);
+  }
+  result.configs = std::move(merged.configs);
+  result.groups = std::move(merged.groups);
+  return result;
+}
+
+}  // namespace redspot

@@ -1,0 +1,100 @@
+// ShardExecutor: the single source of truth for what one ensemble shard
+// computes, how it is serialized, and how it folds into a summary.
+//
+// A shard is the unit of distribution, durability and recovery: shard s
+// covers the fixed replication range shard_bounds(replications, num_shards,
+// s), its simulation is a pure function of the EnsembleSpec, and its
+// serialized form is exactly one kEnsembleShard journal record. Every
+// consumer — the in-process EnsembleRunner, the crash-resume journal
+// replay, and the distributed fabric's coordinator/worker fleet — goes
+// through this one class:
+//
+//   compute(s)          -> the shard's canonical record payload
+//   matches/audit(rec)  -> is this record trustworthy for this spec?
+//   fold(rec, acc)      -> accumulate it (canonical order)
+//   reduce(accs)        -> merge per-shard accumulators in shard order
+//
+// Because fold consumes only codec-preserved integer scalars and reduce
+// merges in fixed shard order, the final EnsembleResult is bit-identical
+// no matter which process computed which shard, in what order, how many
+// times work was reassigned, or how often anything crashed in between.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ensemble/runner.hpp"
+#include "ensemble/seeder.hpp"
+#include "ensemble/spec.hpp"
+#include "journal/run_record.hpp"
+#include "market/instance_type.hpp"
+#include "trace/synthetic.hpp"
+
+namespace redspot {
+
+class ShardExecutor {
+ public:
+  /// `spec` must be validated and outlive the executor.
+  explicit ShardExecutor(const EnsembleSpec& spec);
+
+  const EnsembleSpec& spec() const { return spec_; }
+  std::uint64_t spec_hash() const { return spec_hash_; }
+  std::size_t num_shards() const { return spec_.num_shards; }
+  std::size_t num_configs() const { return spec_.configs.size(); }
+
+  /// Replication range [lo, hi) of shard `s` (the fixed partition).
+  std::pair<std::size_t, std::size_t> bounds(std::size_t s) const;
+
+  /// Per-shard accumulator set; every shard must start from an identical
+  /// one (same estimator options and bootstrap seeds) for the shard merge
+  /// to be a valid single-stream reduction.
+  struct Acc {
+    std::vector<ConfigSummary> configs;
+    std::vector<ConfigSummary> groups;
+  };
+  Acc make_acc() const;
+
+  /// Called after each completed replication with the count of
+  /// replications finished so far in this shard — the fabric worker's
+  /// heartbeat/chaos hook. Must not throw.
+  using ProgressFn = std::function<void(std::size_t replications_done)>;
+
+  /// Simulates shard `s` and returns its canonical kEnsembleShard record
+  /// payload (journal format == wire format). Deterministic: depends only
+  /// on (spec, s). Throws on simulation/audit failure.
+  std::string compute(std::size_t s, const ProgressFn& progress = {}) const;
+
+  /// True when `rec` addresses this exact spec and shard partition
+  /// (spec_hash, shard index, replication bounds, config count). A foreign
+  /// or stale record is simply not replayable.
+  bool matches(const EnsembleShardRecord& rec) const;
+
+  /// Re-audits every run of a matching record (AuditMode::kReplay). A
+  /// checksum-intact but semantically corrupt record fails here and must
+  /// be recomputed, never trusted.
+  bool audit(const EnsembleShardRecord& rec) const;
+
+  /// Folds a matching record into `acc` in the canonical order (configs in
+  /// index order, then min-groups, per replication ascending).
+  void fold(const EnsembleShardRecord& rec, Acc& acc) const;
+
+  /// Merges per-shard accumulators in shard order into an EnsembleResult
+  /// (summaries + ci_level; provenance fields are the caller's).
+  EnsembleResult reduce(std::vector<Acc>&& shards) const;
+
+ private:
+  Experiment make_experiment(std::size_t r) const;
+
+  const EnsembleSpec& spec_;
+  std::uint64_t spec_hash_;
+  std::vector<SimTime> starts_;
+  SyntheticTraceSpec trace_template_;
+  ReplicationSeeder seeder_;
+  InstanceType instance_;
+};
+
+}  // namespace redspot

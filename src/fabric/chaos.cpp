@@ -1,0 +1,49 @@
+#include "fabric/chaos.hpp"
+
+#include <cstdlib>
+
+#include "common/hash.hpp"
+
+namespace redspot::fabric {
+
+bool should_kill(const ChaosPlan& plan, std::uint64_t shard,
+                 std::uint64_t attempt) {
+  if (!plan.enabled()) return false;
+  if (attempt > plan.kill_attempts) return false;
+  HashStream h;
+  h.str("fabric-chaos");
+  h.u64(plan.seed);
+  h.u64(shard);
+  h.u64(attempt);
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u =
+      static_cast<double>(h.digest() >> 11) * 0x1.0p-53;
+  return u < plan.kill_rate;
+}
+
+std::optional<ChaosPlan> parse_chaos_plan(const std::string& text) {
+  const auto c1 = text.find(':');
+  if (c1 == std::string::npos || c1 == 0) return std::nullopt;
+  const auto c2 = text.find(':', c1 + 1);
+  const std::string seed_s = text.substr(0, c1);
+  const std::string rate_s = text.substr(
+      c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+  if (rate_s.empty()) return std::nullopt;
+
+  ChaosPlan plan;
+  char* end = nullptr;
+  plan.seed = std::strtoull(seed_s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  plan.kill_rate = std::strtod(rate_s.c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  if (plan.kill_rate < 0.0 || plan.kill_rate > 1.0) return std::nullopt;
+  if (c2 != std::string::npos) {
+    const std::string att_s = text.substr(c2 + 1);
+    if (att_s.empty()) return std::nullopt;
+    plan.kill_attempts = std::strtoull(att_s.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return std::nullopt;
+  }
+  return plan;
+}
+
+}  // namespace redspot::fabric

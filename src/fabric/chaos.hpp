@@ -1,0 +1,41 @@
+// ChaosPlan: deterministic worker-kill schedule for fabric testing.
+//
+// A worker launched with a chaos plan decides, purely from
+// (plan seed, shard, attempt), whether to SIGKILL itself partway through
+// computing that shard. Because the attempt counter is journal-backed on
+// the coordinator and travels inside the lease grant, the schedule is a
+// pure function of the run — rerunning the same chaos-laced run replays
+// the same kills, and a coordinator that crashes and resumes hands out
+// grants whose attempt numbers continue the original sequence.
+//
+// kill_attempts bounds how many times any single shard's computation may
+// be murdered: once a shard's attempt exceeds it, should_kill is false
+// forever, so every shard eventually completes and chaos runs terminate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace redspot::fabric {
+
+struct ChaosPlan {
+  std::uint64_t seed = 0;
+  /// Probability that a given (shard, attempt) gets killed mid-compute.
+  double kill_rate = 0.0;
+  /// Attempts beyond this are never killed (termination guarantee).
+  std::uint64_t kill_attempts = 2;
+
+  bool enabled() const { return kill_rate > 0.0; }
+};
+
+/// True when the worker computing `shard` on its `attempt`-th grant
+/// (1-based) should SIGKILL itself mid-shard.
+bool should_kill(const ChaosPlan& plan, std::uint64_t shard,
+                 std::uint64_t attempt);
+
+/// Parses "seed:rate[:attempts]" (e.g. "7:0.5" or "7:1.0:1").
+/// Returns nullopt on malformed input or rate outside [0, 1].
+std::optional<ChaosPlan> parse_chaos_plan(const std::string& text);
+
+}  // namespace redspot::fabric

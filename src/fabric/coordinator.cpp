@@ -1,0 +1,378 @@
+#include "fabric/coordinator.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "ensemble/shard_exec.hpp"
+#include "fabric/socket.hpp"
+#include "fabric/wire.hpp"
+#include "journal/journal.hpp"
+#include "journal/run_record.hpp"
+
+namespace redspot::fabric {
+
+namespace {
+
+struct Conn {
+  int fd = -1;
+  FrameBuffer in;
+  std::uint64_t worker = 0;  ///< 0 until the Hello/Welcome handshake
+  bool dead = false;         ///< marked for removal at end of iteration
+};
+
+}  // namespace
+
+struct Coordinator::Impl {
+  const EnsembleSpec& spec;
+  FabricOptions opt;
+  RunJournal* journal;
+  ShardExecutor exec;
+  LeaseTable table;
+  /// Canonical record per completed shard, whatever path delivered it.
+  std::vector<std::optional<EnsembleShardRecord>> recs;
+  CoordinatorReport report;
+  int listen_fd = -1;
+  std::vector<Conn> conns;
+
+  Impl(const EnsembleSpec& s, FabricOptions o, RunJournal* j)
+      : spec(s),
+        opt(std::move(o)),
+        journal(j),
+        exec(spec),
+        table(spec.num_shards, opt.lease),
+        recs(spec.num_shards) {
+    replay_journal();
+  }
+
+  ~Impl() { close_all(); }
+
+  void close_all() {
+    for (Conn& c : conns)
+      if (c.fd >= 0) ::close(c.fd);
+    conns.clear();
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+      ::unlink(opt.socket_path.c_str());
+    }
+  }
+
+  /// Restores completed shards and attempt counters from the journal.
+  void replay_journal() {
+    if (journal == nullptr) return;
+    for (const std::string& payload : journal->records()) {
+      const auto rec_type = record_type(payload);
+      if (!rec_type) continue;
+      switch (*rec_type) {
+        case RecordType::kEnsembleShard: {
+          auto rec = decode_ensemble_shard(payload);
+          if (!rec || !exec.matches(*rec)) continue;
+          const auto shard = static_cast<std::size_t>(rec->shard);
+          if (recs[shard].has_value()) continue;
+          if (!exec.audit(*rec)) {
+            LOG_WARN << "fabric: journaled shard " << shard
+                     << " failed the replay audit; will recompute";
+            continue;
+          }
+          recs[shard] = std::move(rec);
+          table.mark_done(shard);
+          ++report.shards_replayed;
+          break;
+        }
+        case RecordType::kFabricLease: {
+          const auto lease = decode_fabric_lease(payload);
+          if (!lease || lease->spec_hash != exec.spec_hash()) continue;
+          for (std::uint64_t s = lease->shard_lo;
+               s < lease->shard_hi && s < table.num_shards(); ++s)
+            table.record_attempt(s, lease->attempt);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  /// Best-effort send; a dead peer marks the connection, never throws out.
+  void send_to(Conn& c, const std::string& payload) {
+    if (c.dead) return;
+    try {
+      send_frame(c.fd, payload);
+    } catch (const std::runtime_error&) {
+      c.dead = true;
+    }
+  }
+
+  void dispatch(Conn& c, std::string_view payload, std::int64_t now) {
+    const auto type = msg_type(payload);
+    if (!type) {
+      c.dead = true;
+      return;
+    }
+    switch (*type) {
+      case MsgType::kHello: {
+        const auto hello = decode_hello(payload);
+        if (!hello || c.worker != 0) {
+          c.dead = true;
+          return;
+        }
+        if (hello->protocol != kProtocolVersion ||
+            hello->spec_hash != exec.spec_hash() ||
+            hello->replications != spec.replications ||
+            hello->num_shards != exec.num_shards() ||
+            hello->num_configs != exec.num_configs()) {
+          LOG_WARN << "fabric: rejecting worker pid " << hello->pid
+                   << " (spec/protocol mismatch)";
+          send_to(c, encode_reject({"spec or protocol mismatch"}));
+          c.dead = true;
+          return;
+        }
+        c.worker = table.add_worker(now);
+        ++report.workers_seen;
+        send_to(c, encode_welcome({kProtocolVersion, exec.spec_hash(),
+                                   c.worker}));
+        break;
+      }
+      case MsgType::kHeartbeat:
+        if (c.worker == 0) {
+          c.dead = true;
+          return;
+        }
+        table.touch(c.worker, now);
+        break;
+      case MsgType::kPartial:
+        handle_partial(c, payload, now);
+        break;
+      case MsgType::kGoodbye: {
+        const auto bye = decode_goodbye(payload);
+        if (bye && !bye->reason.empty()) {
+          LOG_WARN << "fabric: worker " << c.worker
+                   << " left: " << bye->reason;
+        }
+        c.dead = true;
+        break;
+      }
+      default:
+        // Coordinator-bound traffic only; anything else is a broken peer.
+        c.dead = true;
+        break;
+    }
+  }
+
+  void handle_partial(Conn& c, std::string_view payload, std::int64_t now) {
+    const auto partial = decode_partial(payload);
+    if (!partial || c.worker == 0) {
+      c.dead = true;
+      return;
+    }
+    table.touch(c.worker, now);
+    // Trust nothing: the nested record must be a well-formed shard record
+    // for this exact spec, claim the shard the envelope claims, and pass
+    // the replay audit — the same bar journal replay sets.
+    auto rec = decode_ensemble_shard(partial->record);
+    if (!rec || !exec.matches(*rec) || rec->shard != partial->shard ||
+        !exec.audit(*rec)) {
+      LOG_WARN << "fabric: dropping worker " << c.worker
+               << " (invalid partial for shard " << partial->shard << ")";
+      c.dead = true;
+      return;
+    }
+    switch (table.complete(partial->shard, now)) {
+      case LeaseTable::Partial::kAccepted:
+        // Durability before acknowledgement: once the ack is out the
+        // worker may be killed, and this shard must survive us too.
+        if (journal != nullptr) journal->append(partial->record);
+        recs[static_cast<std::size_t>(partial->shard)] = std::move(rec);
+        ++report.shards_from_fleet;
+        send_to(c, encode_ack({partial->shard, false}));
+        break;
+      case LeaseTable::Partial::kDuplicate:
+        // A reassignment raced the original owner; the work is already
+        // folded, so just confirm receipt.
+        ++report.duplicate_partials;
+        send_to(c, encode_ack({partial->shard, true}));
+        break;
+      case LeaseTable::Partial::kInvalid:
+        c.dead = true;
+        break;
+    }
+  }
+
+  /// Grants a lease to every welcomed, idle worker. The grant is
+  /// journaled before it is sent: the attempt counter must be durable
+  /// before any chaos kill it triggers, or a restarted coordinator would
+  /// replay a different kill schedule.
+  void grant_leases(std::int64_t now) {
+    for (Conn& c : conns) {
+      if (c.dead || c.worker == 0) continue;
+      const auto g = table.grant(c.worker, now);
+      if (!g) continue;
+      if (journal != nullptr) {
+        FabricLeaseRecord rec;
+        rec.spec_hash = exec.spec_hash();
+        rec.lease_id = g->lease_id;
+        rec.shard_lo = g->shard_lo;
+        rec.shard_hi = g->shard_hi;
+        rec.attempt = g->attempt;
+        rec.worker = c.worker;
+        journal->append(encode_fabric_lease(rec));
+      }
+      send_to(c, encode_lease(
+                     {g->lease_id, g->shard_lo, g->shard_hi, g->attempt,
+                      static_cast<std::uint64_t>(opt.lease.lease_duration_ms)}));
+    }
+  }
+
+  void reap_dead(std::int64_t now, bool count_as_lost) {
+    for (Conn& c : conns) {
+      if (!c.dead) continue;
+      if (c.worker != 0) {
+        table.remove_worker(c.worker, now);
+        if (count_as_lost) ++report.workers_lost;
+      }
+      ::close(c.fd);
+      c.fd = -1;
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const Conn& c) { return c.fd < 0; }),
+                conns.end());
+  }
+
+  /// Zero-fleet escape hatch: compute the remaining shards right here,
+  /// through the same executor and journal the fleet path uses.
+  void run_fallback() {
+    LOG_WARN << "fabric: no reachable workers for " << opt.fallback_wait_ms
+             << " ms; finishing " << (table.num_shards() - table.done_count())
+             << " shard(s) in-process";
+    report.used_fallback = true;
+    close_all();
+    for (std::uint64_t s = 0; s < table.num_shards(); ++s) {
+      if (recs[s].has_value()) continue;
+      const std::string payload = exec.compute(static_cast<std::size_t>(s));
+      auto rec = decode_ensemble_shard(payload);
+      REDSPOT_CHECK_MSG(rec.has_value() && exec.matches(*rec),
+                        "fallback shard record failed to decode");
+      if (journal != nullptr) journal->append(payload);
+      recs[s] = std::move(rec);
+      table.complete(s, 0);
+      ++report.shards_fallback;
+    }
+  }
+
+  CoordinatorReport run() {
+    listen_fd = listen_unix(opt.socket_path);
+    std::int64_t last_fleet = mono_ms();
+
+    while (!table.all_done()) {
+      std::int64_t now = mono_ms();
+
+      if (!conns.empty()) {
+        last_fleet = now;
+      } else if (now - last_fleet >= opt.fallback_wait_ms) {
+        run_fallback();
+        break;
+      }
+
+      // Sleep until something can happen: socket traffic, the next lease
+      // or heartbeat deadline, or the fallback trigger. Capped at 1 s so
+      // a logic error can never turn into an infinite sleep.
+      std::int64_t wake = now + 1'000;
+      if (const auto d = table.next_deadline(now)) wake = std::min(wake, *d);
+      if (conns.empty())
+        wake = std::min(wake, last_fleet + opt.fallback_wait_ms);
+
+      std::vector<pollfd> fds;
+      fds.push_back({listen_fd, POLLIN, 0});
+      for (const Conn& c : conns) fds.push_back({c.fd, POLLIN, 0});
+      const int timeout = static_cast<int>(std::max<std::int64_t>(
+          0, std::min<std::int64_t>(wake - now, 1'000)));
+      const int rc = ::poll(fds.data(), fds.size(), timeout);
+      if (rc < 0 && errno != EINTR)
+        throw std::runtime_error("fabric: poll failed");
+
+      now = mono_ms();
+
+      if (fds[0].revents & POLLIN) {
+        int fd;
+        while ((fd = accept_unix(listen_fd)) >= 0) {
+          Conn c;
+          c.fd = fd;
+          conns.push_back(std::move(c));
+          // Newly pushed conn has no pollfd this round; next iteration
+          // reads its Hello.
+          if (conns.size() >= 1024) break;  // defensive fd cap
+        }
+      }
+
+      for (std::size_t i = 0; i < conns.size() && i + 1 < fds.size(); ++i) {
+        Conn& c = conns[i];
+        if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+        try {
+          if (!read_available(c.fd, c.in)) c.dead = true;  // EOF
+        } catch (const std::runtime_error&) {
+          c.dead = true;
+        }
+        std::string frame;
+        while (!c.dead && c.in.next(&frame) == FrameStatus::kOk)
+          dispatch(c, frame, now);
+        if (c.in.corrupt()) c.dead = true;
+      }
+      reap_dead(now, /*count_as_lost=*/true);
+
+      const auto expired = table.tick(now);
+      if (!expired.dead_workers.empty() || expired.reclaimed_shards > 0) {
+        LOG_WARN << "fabric: reclaimed " << expired.reclaimed_shards
+                 << " shard(s) from " << expired.dead_workers.size()
+                 << " silent worker(s)";
+        report.workers_lost += expired.dead_workers.size();
+        for (Conn& c : conns)
+          if (c.worker != 0 && !table.has_worker(c.worker)) c.dead = true;
+        reap_dead(now, /*count_as_lost=*/false);
+      }
+
+      grant_leases(now);
+      reap_dead(now, /*count_as_lost=*/true);
+    }
+
+    // Fleet path finished: release everyone still connected.
+    for (Conn& c : conns)
+      send_to(c, encode_done({table.num_shards()}));
+    close_all();
+
+    // Deterministic reduction, identical to the in-process runner: one
+    // canonical record per shard, folded in shard order.
+    std::vector<ShardExecutor::Acc> accs;
+    accs.reserve(table.num_shards());
+    for (std::uint64_t s = 0; s < table.num_shards(); ++s) {
+      REDSPOT_CHECK_MSG(recs[s].has_value(), "fabric: shard never completed");
+      ShardExecutor::Acc acc = exec.make_acc();
+      exec.fold(*recs[s], acc);
+      accs.push_back(std::move(acc));
+    }
+    report.result = exec.reduce(std::move(accs));
+    report.result.shards_replayed =
+        static_cast<std::size_t>(report.shards_replayed);
+    report.result.shards_recomputed = static_cast<std::size_t>(
+        report.shards_from_fleet + report.shards_fallback);
+    return report;
+  }
+};
+
+Coordinator::Coordinator(const EnsembleSpec& spec, FabricOptions options,
+                         RunJournal* journal)
+    : impl_(std::make_unique<Impl>(spec, std::move(options), journal)) {}
+
+Coordinator::~Coordinator() = default;
+
+CoordinatorReport Coordinator::run() { return impl_->run(); }
+
+}  // namespace redspot::fabric

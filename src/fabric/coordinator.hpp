@@ -1,0 +1,71 @@
+// Fabric coordinator: leases shards to a worker fleet, folds the partials.
+//
+// Single-threaded poll() loop over one listening unix socket plus every
+// connected worker. The coordinator owns no simulation code of its own —
+// validation, folding and the final reduction all go through
+// ShardExecutor, and each accepted partial is journaled verbatim as the
+// kEnsembleShard record the worker produced, so:
+//
+//   * the final EnsembleResult is bit-identical to the in-process
+//     EnsembleRunner whatever the worker count, death order or
+//     reassignment interleaving (fold order is fixed by shard index);
+//   * a coordinator that is SIGKILLed and restarted replays completed
+//     shards from the journal exactly like a single-process resume, and
+//     re-grants only the remainder;
+//   * lease grants are journaled too (kFabricLease), so per-shard attempt
+//     counters — the ChaosPlan's key — survive the restart.
+//
+// Liveness: if no worker is connected for fallback_wait_ms the
+// coordinator logs a warning and finishes the run in-process via
+// EnsembleRunner (journal-aware, so fleet-computed shards still count).
+// It never hangs on an empty fleet.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ensemble/runner.hpp"
+#include "ensemble/spec.hpp"
+#include "fabric/fabric.hpp"
+
+namespace redspot {
+class RunJournal;
+}
+
+namespace redspot::fabric {
+
+struct CoordinatorReport {
+  EnsembleResult result;
+  /// Shards folded from journal replay / received over the wire /
+  /// computed by the in-process fallback.
+  std::uint64_t shards_replayed = 0;
+  std::uint64_t shards_from_fleet = 0;
+  std::uint64_t shards_fallback = 0;
+  std::uint64_t duplicate_partials = 0;
+  std::uint64_t workers_seen = 0;
+  std::uint64_t workers_lost = 0;
+  bool used_fallback = false;
+};
+
+class Coordinator {
+ public:
+  /// `spec` must be validated and outlive the coordinator. `journal` may
+  /// be null (no durability); when set, it is replayed on construction
+  /// and appended to as partials arrive.
+  Coordinator(const EnsembleSpec& spec, FabricOptions options,
+              RunJournal* journal);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Runs to completion (all shards folded) and returns the report.
+  /// Throws std::runtime_error on unrecoverable I/O failures.
+  CoordinatorReport run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace redspot::fabric

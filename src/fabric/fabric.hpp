@@ -1,0 +1,39 @@
+// Shared fabric configuration and wall-clock helpers.
+//
+// Timing defaults are sized for the chaos tests' worst case — a 1-CPU
+// machine running under ASan where one replication can take tens of
+// milliseconds: heartbeats are cheap (send every 250 ms), death verdicts
+// are conservative (2 s of silence), and a lease outlives any honest
+// shard (10 s).
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/lease.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace redspot::fabric {
+
+struct FabricOptions {
+  /// Unix socket path the coordinator listens on / workers dial.
+  std::string socket_path;
+  LeaseConfig lease;
+  /// Coordinator: with zero workers connected for this long, give up on
+  /// the fleet and finish the run in-process (never hang).
+  std::int64_t fallback_wait_ms = 3'000;
+  /// Worker: how often to heartbeat while computing.
+  std::int64_t heartbeat_interval_ms = 250;
+  /// Worker: total wall clock spent failing to (re)connect before exiting.
+  std::int64_t give_up_ms = 20'000;
+  /// Worker: reconnect backoff (interpreted in milliseconds).
+  BackoffPolicy reconnect{/*base=*/100, /*cap=*/2'000, /*jitter=*/0.5};
+};
+
+/// Monotonic wall clock in milliseconds (CLOCK_MONOTONIC; immune to
+/// wall-time jumps — all lease/heartbeat arithmetic uses this).
+std::int64_t mono_ms();
+
+/// Sleeps for `ms`, resuming across EINTR.
+void sleep_ms(std::int64_t ms);
+
+}  // namespace redspot::fabric

@@ -1,0 +1,117 @@
+#include "fabric/socket.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace redspot::fabric {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("fabric socket: " + what + ": " +
+                           std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("fabric socket: path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, int backlog) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  // A previous coordinator that crashed leaves its socket inode behind;
+  // bind() would fail with EADDRINUSE even though nobody is listening.
+  ::unlink(path.c_str());
+  const sockaddr_un addr = make_addr(path);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("bind " + path);
+  }
+  if (::listen(fd, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("listen " + path);
+  }
+  // Non-blocking listener: the coordinator drains accept() until EAGAIN
+  // after a poll() wakeup. Accepted fds stay blocking (Linux does not
+  // inherit the flag), which is what the frame send/read helpers expect.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("fcntl " + path);
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  const sockaddr_un addr = make_addr(path);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc == 0) return fd;
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
+  if (saved == ENOENT || saved == ECONNREFUSED || saved == EAGAIN) return -1;
+  fail("connect " + path);
+}
+
+int accept_unix(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd >= 0) return fd;
+  // The connecting peer may already be gone, or a signal interrupted us;
+  // both mean "nothing to accept right now".
+  if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+      errno == EWOULDBLOCK)
+    return -1;
+  fail("accept");
+}
+
+void send_frame(int fd, std::string_view payload) {
+  const std::string frame = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool read_available(int fd, FrameBuffer& buf) {
+  char chunk[64 * 1024];
+  ssize_t n;
+  do {
+    n = ::read(fd, chunk, sizeof(chunk));
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) fail("read");
+  if (n == 0) return false;
+  buf.append(std::string_view(chunk, static_cast<std::size_t>(n)));
+  return true;
+}
+
+}  // namespace redspot::fabric

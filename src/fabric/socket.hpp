@@ -1,0 +1,47 @@
+// Minimal unix-domain stream-socket helpers for the fabric.
+//
+// The fabric runs coordinator and workers on one host (the multi-process
+// rung of the ROADMAP's fabric ladder; the protocol itself is
+// transport-agnostic framed bytes, so a TCP transport can slot in without
+// touching the message layer). Unix sockets give exact process-crash
+// semantics — a SIGKILLed peer is an EOF/ECONNRESET, never a half-open
+// mystery — which is precisely what the chaos tests exercise.
+//
+// Sends use MSG_NOSIGNAL (a dead peer must surface as an error, not
+// SIGPIPE) and resume across EINTR and short writes, mirroring the
+// common/fs helpers' signal-safety contract.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/frame.hpp"
+
+namespace redspot::fabric {
+
+/// Creates, binds and listens on a unix socket at `path`, unlinking any
+/// stale socket first (a crashed coordinator leaves one behind). The
+/// returned listener is non-blocking (drain accept_unix until -1);
+/// accepted connections are blocking. Throws std::runtime_error on
+/// failure.
+int listen_unix(const std::string& path, int backlog = 64);
+
+/// Connects to the unix socket at `path`. Returns the connected fd, or -1
+/// (errno preserved) when the coordinator is not there yet — ENOENT and
+/// ECONNREFUSED are reconnect-with-backoff conditions, not errors. Throws
+/// std::runtime_error on unexpected failures.
+int connect_unix(const std::string& path);
+
+/// Accepts one pending connection. Returns -1 when none is pending or the
+/// attempt was transiently interrupted. Throws on listener breakage.
+int accept_unix(int listen_fd);
+
+/// Sends one frame (header + payload) fully. Throws std::runtime_error on
+/// any failure including a dead peer (EPIPE/ECONNRESET).
+void send_frame(int fd, std::string_view payload);
+
+/// Reads whatever is available into `buf` (one read() call, EINTR-retried).
+/// Returns false on EOF — the peer is gone. Throws on real errors.
+bool read_available(int fd, FrameBuffer& buf);
+
+}  // namespace redspot::fabric

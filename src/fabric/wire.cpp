@@ -1,0 +1,199 @@
+#include "fabric/wire.hpp"
+
+#include "common/frame.hpp"
+
+namespace redspot::fabric {
+
+namespace {
+
+std::string header(MsgType t) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(t));
+  return out;
+}
+
+/// Reader positioned after a verified type tag, or nullopt.
+std::optional<ByteReader> open_msg(std::string_view payload, MsgType want) {
+  ByteReader in(payload);
+  std::uint32_t tag = 0;
+  if (!in.u32(&tag) || tag != static_cast<std::uint32_t>(want))
+    return std::nullopt;
+  return in;
+}
+
+}  // namespace
+
+std::optional<MsgType> msg_type(std::string_view payload) {
+  ByteReader in(payload);
+  std::uint32_t tag = 0;
+  if (!in.u32(&tag)) return std::nullopt;
+  switch (static_cast<MsgType>(tag)) {
+    case MsgType::kHello:
+    case MsgType::kWelcome:
+    case MsgType::kReject:
+    case MsgType::kLease:
+    case MsgType::kPartial:
+    case MsgType::kAck:
+    case MsgType::kHeartbeat:
+    case MsgType::kDone:
+    case MsgType::kGoodbye:
+      return static_cast<MsgType>(tag);
+  }
+  return std::nullopt;
+}
+
+std::string encode_hello(const HelloMsg& m) {
+  std::string out = header(MsgType::kHello);
+  put_u32(out, m.protocol);
+  put_u64(out, m.spec_hash);
+  put_u64(out, m.replications);
+  put_u64(out, m.num_shards);
+  put_u64(out, m.num_configs);
+  put_u64(out, m.pid);
+  return out;
+}
+
+std::optional<HelloMsg> decode_hello(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kHello);
+  if (!in) return std::nullopt;
+  HelloMsg m;
+  if (!in->u32(&m.protocol) || !in->u64(&m.spec_hash) ||
+      !in->u64(&m.replications) || !in->u64(&m.num_shards) ||
+      !in->u64(&m.num_configs) || !in->u64(&m.pid) || !in->done())
+    return std::nullopt;
+  return m;
+}
+
+std::string encode_welcome(const WelcomeMsg& m) {
+  std::string out = header(MsgType::kWelcome);
+  put_u32(out, m.protocol);
+  put_u64(out, m.spec_hash);
+  put_u64(out, m.worker);
+  return out;
+}
+
+std::optional<WelcomeMsg> decode_welcome(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kWelcome);
+  if (!in) return std::nullopt;
+  WelcomeMsg m;
+  if (!in->u32(&m.protocol) || !in->u64(&m.spec_hash) || !in->u64(&m.worker) ||
+      !in->done())
+    return std::nullopt;
+  return m;
+}
+
+std::string encode_reject(const RejectMsg& m) {
+  std::string out = header(MsgType::kReject);
+  put_str(out, m.reason);
+  return out;
+}
+
+std::optional<RejectMsg> decode_reject(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kReject);
+  if (!in) return std::nullopt;
+  RejectMsg m;
+  if (!in->str(&m.reason) || !in->done()) return std::nullopt;
+  return m;
+}
+
+std::string encode_lease(const LeaseMsg& m) {
+  std::string out = header(MsgType::kLease);
+  put_u64(out, m.lease_id);
+  put_u64(out, m.shard_lo);
+  put_u64(out, m.shard_hi);
+  put_u64(out, m.attempt);
+  put_u64(out, m.duration_ms);
+  return out;
+}
+
+std::optional<LeaseMsg> decode_lease(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kLease);
+  if (!in) return std::nullopt;
+  LeaseMsg m;
+  if (!in->u64(&m.lease_id) || !in->u64(&m.shard_lo) || !in->u64(&m.shard_hi) ||
+      !in->u64(&m.attempt) || !in->u64(&m.duration_ms) || !in->done())
+    return std::nullopt;
+  if (m.shard_hi <= m.shard_lo) return std::nullopt;
+  return m;
+}
+
+std::string encode_partial(const PartialMsg& m) {
+  std::string out = header(MsgType::kPartial);
+  put_u64(out, m.lease_id);
+  put_u64(out, m.shard);
+  out.append(m.record);  // nested record runs to the end of the payload
+  return out;
+}
+
+std::optional<PartialMsg> decode_partial(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kPartial);
+  if (!in) return std::nullopt;
+  PartialMsg m;
+  if (!in->u64(&m.lease_id) || !in->u64(&m.shard)) return std::nullopt;
+  m.record = std::string(in->rest());
+  if (m.record.empty()) return std::nullopt;
+  return m;
+}
+
+std::string encode_ack(const AckMsg& m) {
+  std::string out = header(MsgType::kAck);
+  put_u64(out, m.shard);
+  put_u8(out, m.duplicate ? 1 : 0);
+  return out;
+}
+
+std::optional<AckMsg> decode_ack(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kAck);
+  if (!in) return std::nullopt;
+  AckMsg m;
+  std::uint8_t dup = 0;
+  if (!in->u64(&m.shard) || !in->u8(&dup) || !in->done()) return std::nullopt;
+  m.duplicate = dup != 0;
+  return m;
+}
+
+std::string encode_heartbeat(const HeartbeatMsg& m) {
+  std::string out = header(MsgType::kHeartbeat);
+  put_u64(out, m.shard);
+  put_u64(out, m.replications_done);
+  return out;
+}
+
+std::optional<HeartbeatMsg> decode_heartbeat(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kHeartbeat);
+  if (!in) return std::nullopt;
+  HeartbeatMsg m;
+  if (!in->u64(&m.shard) || !in->u64(&m.replications_done) || !in->done())
+    return std::nullopt;
+  return m;
+}
+
+std::string encode_done(const DoneMsg& m) {
+  std::string out = header(MsgType::kDone);
+  put_u64(out, m.shards_total);
+  return out;
+}
+
+std::optional<DoneMsg> decode_done(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kDone);
+  if (!in) return std::nullopt;
+  DoneMsg m;
+  if (!in->u64(&m.shards_total) || !in->done()) return std::nullopt;
+  return m;
+}
+
+std::string encode_goodbye(const GoodbyeMsg& m) {
+  std::string out = header(MsgType::kGoodbye);
+  put_str(out, m.reason);
+  return out;
+}
+
+std::optional<GoodbyeMsg> decode_goodbye(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kGoodbye);
+  if (!in) return std::nullopt;
+  GoodbyeMsg m;
+  if (!in->str(&m.reason) || !in->done()) return std::nullopt;
+  return m;
+}
+
+}  // namespace redspot::fabric

@@ -1,0 +1,137 @@
+// Fabric wire protocol: typed messages over the shared frame codec.
+//
+// Every message travels as one CRC32 frame (common/frame.hpp — the same
+// framing the run journal persists); the payload starts with a u32 message
+// type. Decoders are total: any malformed payload yields nullopt and the
+// receiver drops the connection — a fabric peer is never trusted halfway.
+//
+//   worker -> coordinator:  Hello, Heartbeat, Partial, Goodbye
+//   coordinator -> worker:  Welcome, Reject, Lease, Ack, Done
+//
+// Flow: a worker connects and sends Hello carrying the spec fingerprint it
+// was launched with; the coordinator either Rejects (mismatched spec or
+// protocol) or Welcomes it and starts granting Leases (contiguous shard
+// ranges with a wall-clock duration). The worker computes each leased
+// shard in order and streams one Partial per shard — the payload of which
+// is byte-for-byte a kEnsembleShard journal record, so the coordinator
+// can validate, fold and journal it through the exact machinery the
+// in-process runner uses. Heartbeats keep the lease alive between
+// partials; Ack confirms receipt (a worker that dies after Partial but
+// before Ack has still delivered — dedupe is by shard id + spec hash);
+// Done tells the worker to exit cleanly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace redspot::fabric {
+
+/// Bumped on any incompatible change; Hello/Welcome carry it and a
+/// mismatch is a hard Reject.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class MsgType : std::uint32_t {
+  kHello = 1,
+  kWelcome = 2,
+  kReject = 3,
+  kLease = 4,
+  kPartial = 5,
+  kAck = 6,
+  kHeartbeat = 7,
+  kDone = 8,
+  kGoodbye = 9,
+};
+
+/// Type tag of a message payload, or nullopt if too short / unknown.
+std::optional<MsgType> msg_type(std::string_view payload);
+
+/// Worker introduction: what it believes the run is. The coordinator
+/// rejects on any mismatch — a worker launched with different ensemble
+/// options must never contribute shards.
+struct HelloMsg {
+  std::uint32_t protocol = kProtocolVersion;
+  std::uint64_t spec_hash = 0;
+  std::uint64_t replications = 0;
+  std::uint64_t num_shards = 0;
+  std::uint64_t num_configs = 0;
+  std::uint64_t pid = 0;  ///< worker's pid (diagnostics only)
+};
+
+struct WelcomeMsg {
+  std::uint32_t protocol = kProtocolVersion;
+  std::uint64_t spec_hash = 0;
+  std::uint64_t worker = 0;  ///< coordinator-assigned session id
+};
+
+struct RejectMsg {
+  std::string reason;
+};
+
+/// A lease on the contiguous shard range [shard_lo, shard_hi), valid for
+/// duration_ms of wall clock from receipt. `attempt` is the 1-based count
+/// of grants of shard_lo across the whole run (journal-backed), the key
+/// ChaosPlan kill decisions use.
+struct LeaseMsg {
+  std::uint64_t lease_id = 0;
+  std::uint64_t shard_lo = 0;
+  std::uint64_t shard_hi = 0;
+  std::uint64_t attempt = 0;
+  std::uint64_t duration_ms = 0;
+};
+
+/// One completed shard: `record` is a kEnsembleShard journal record
+/// payload (journal/run_record.hpp), validated and folded by the
+/// coordinator through ShardExecutor.
+struct PartialMsg {
+  std::uint64_t lease_id = 0;
+  std::uint64_t shard = 0;
+  std::string record;
+};
+
+struct AckMsg {
+  std::uint64_t shard = 0;
+  bool duplicate = false;  ///< someone else completed it first
+};
+
+/// Liveness + progress. `shard`/`replications_done` describe the shard
+/// currently computing (kNoShard when idle).
+struct HeartbeatMsg {
+  static constexpr std::uint64_t kNoShard = ~0ULL;
+  std::uint64_t shard = kNoShard;
+  std::uint64_t replications_done = 0;
+};
+
+struct DoneMsg {
+  std::uint64_t shards_total = 0;
+};
+
+/// Worker's parting message when it cannot continue (shard threw, chaos
+/// exhausted): lets the coordinator reclaim immediately instead of waiting
+/// for the heartbeat timeout.
+struct GoodbyeMsg {
+  std::string reason;
+};
+
+std::string encode_hello(const HelloMsg& m);
+std::string encode_welcome(const WelcomeMsg& m);
+std::string encode_reject(const RejectMsg& m);
+std::string encode_lease(const LeaseMsg& m);
+std::string encode_partial(const PartialMsg& m);
+std::string encode_ack(const AckMsg& m);
+std::string encode_heartbeat(const HeartbeatMsg& m);
+std::string encode_done(const DoneMsg& m);
+std::string encode_goodbye(const GoodbyeMsg& m);
+
+std::optional<HelloMsg> decode_hello(std::string_view payload);
+std::optional<WelcomeMsg> decode_welcome(std::string_view payload);
+std::optional<RejectMsg> decode_reject(std::string_view payload);
+std::optional<LeaseMsg> decode_lease(std::string_view payload);
+std::optional<PartialMsg> decode_partial(std::string_view payload);
+std::optional<AckMsg> decode_ack(std::string_view payload);
+std::optional<HeartbeatMsg> decode_heartbeat(std::string_view payload);
+std::optional<DoneMsg> decode_done(std::string_view payload);
+std::optional<GoodbyeMsg> decode_goodbye(std::string_view payload);
+
+}  // namespace redspot::fabric

@@ -1,0 +1,163 @@
+#include "fabric/worker.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <stdexcept>
+#include <string>
+
+#include "common/log.hpp"
+#include "common/random.hpp"
+#include "ensemble/shard_exec.hpp"
+#include "fabric/socket.hpp"
+#include "fabric/wire.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace redspot::fabric {
+
+namespace {
+
+/// Computes one leased shard, heartbeating (and possibly dying) from the
+/// progress callback, and streams the partial. Throws std::runtime_error
+/// when the connection dies.
+void compute_and_send(const ShardExecutor& exec, const FabricOptions& opt,
+                      const ChaosPlan& chaos, int fd, const LeaseMsg& lease,
+                      std::uint64_t shard) {
+  const auto [lo, hi] = exec.bounds(static_cast<std::size_t>(shard));
+  // Chaos verdict is fixed before compute starts: die after roughly half
+  // the shard's replications, so the kill lands mid-shard — after work
+  // has been done, before any partial escapes.
+  const std::size_t kill_after =
+      should_kill(chaos, shard, lease.attempt) ? (hi - lo + 1) / 2 : 0;
+
+  std::int64_t last_hb = mono_ms();
+  const std::string payload = exec.compute(
+      static_cast<std::size_t>(shard), [&](std::size_t done) {
+        if (kill_after != 0 && done >= kill_after) {
+          // Simulated crash: no goodbye, no flush, exactly SIGKILL.
+          ::raise(SIGKILL);
+        }
+        const std::int64_t now = mono_ms();
+        if (now - last_hb < opt.heartbeat_interval_ms) return;
+        last_hb = now;
+        try {
+          send_frame(fd, encode_heartbeat({shard, done}));
+        } catch (const std::runtime_error&) {
+          // Coordinator gone mid-compute; the partial send below will
+          // surface it. Progress callbacks must not throw.
+        }
+      });
+  send_frame(fd, encode_partial({lease.lease_id, shard, payload}));
+}
+
+/// One connected session. Returns the worker exit code (0 done, 2
+/// rejected), or -1 when the connection was lost and a reconnect is in
+/// order. Sets *welcomed once the handshake succeeds.
+int serve(const ShardExecutor& exec, const EnsembleSpec& spec,
+          const FabricOptions& opt, const ChaosPlan& chaos, int fd,
+          bool* welcomed) {
+  try {
+    HelloMsg hello;
+    hello.spec_hash = exec.spec_hash();
+    hello.replications = spec.replications;
+    hello.num_shards = exec.num_shards();
+    hello.num_configs = exec.num_configs();
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    send_frame(fd, encode_hello(hello));
+
+    FrameBuffer in;
+    while (true) {
+      std::string frame;
+      const FrameStatus status = in.next(&frame);
+      if (status == FrameStatus::kCorrupt) return -1;
+      if (status == FrameStatus::kNeedMore) {
+        // Idle workers must stay audibly alive: poll with a heartbeat
+        // deadline instead of blocking on read forever.
+        pollfd pfd{fd, POLLIN, 0};
+        const int rc =
+            ::poll(&pfd, 1, static_cast<int>(opt.heartbeat_interval_ms));
+        if (rc < 0 && errno != EINTR) return -1;
+        if (rc <= 0) {
+          send_frame(fd, encode_heartbeat({HeartbeatMsg::kNoShard, 0}));
+          continue;
+        }
+        if (!read_available(fd, in)) return -1;  // EOF
+        continue;
+      }
+
+      const auto type = msg_type(frame);
+      if (!type) return -1;
+      switch (*type) {
+        case MsgType::kWelcome: {
+          const auto w = decode_welcome(frame);
+          if (!w || w->spec_hash != exec.spec_hash()) return 2;
+          *welcomed = true;
+          break;
+        }
+        case MsgType::kReject: {
+          const auto r = decode_reject(frame);
+          LOG_WARN << "fabric: coordinator rejected this worker: "
+                   << (r ? r->reason : std::string("malformed reject"));
+          return 2;
+        }
+        case MsgType::kLease: {
+          const auto lease = decode_lease(frame);
+          if (!lease) return -1;
+          for (std::uint64_t s = lease->shard_lo; s < lease->shard_hi; ++s)
+            compute_and_send(exec, opt, chaos, fd, *lease, s);
+          break;
+        }
+        case MsgType::kAck:
+          break;  // receipt confirmed; nothing to do
+        case MsgType::kDone:
+          return 0;
+        default:
+          return -1;  // worker-bound protocol only
+      }
+    }
+  } catch (const std::runtime_error& e) {
+    LOG_WARN << "fabric: connection lost: " << e.what();
+    return -1;
+  }
+}
+
+}  // namespace
+
+int run_worker(const EnsembleSpec& spec, const FabricOptions& options,
+               const ChaosPlan& chaos) {
+  const ShardExecutor exec(spec);
+  // Jitter only desynchronizes reconnect stampedes; per-process seeding
+  // is exactly what we want (shard results never depend on it).
+  Rng rng(static_cast<std::uint64_t>(::getpid()), /*stream=*/0xFAB);
+
+  int attempt = 1;
+  std::int64_t give_up_at = mono_ms() + options.give_up_ms;
+  while (true) {
+    const int fd = connect_unix(options.socket_path);
+    if (fd >= 0) {
+      bool welcomed = false;
+      const int rc =
+          serve(exec, spec, options, chaos, fd, &welcomed);
+      ::close(fd);
+      if (rc >= 0) return rc;
+      if (welcomed) {
+        // A worker that was in the fleet gets a fresh patience budget:
+        // the coordinator may be mid-restart.
+        attempt = 1;
+        give_up_at = mono_ms() + options.give_up_ms;
+      }
+    }
+    if (mono_ms() >= give_up_at) {
+      LOG_WARN << "fabric: no coordinator at " << options.socket_path
+               << " after " << options.give_up_ms << " ms; giving up";
+      return 1;
+    }
+    const Duration delay =
+        backoff_delay(options.reconnect, attempt++, rng.uniform());
+    sleep_ms(static_cast<std::int64_t>(delay));
+  }
+}
+
+}  // namespace redspot::fabric

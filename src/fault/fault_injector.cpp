@@ -78,15 +78,11 @@ FaultInjector::NoticeDelivery FaultInjector::notice_delivery(
 }
 
 Duration FaultInjector::backoff_delay(int attempt) {
-  REDSPOT_CHECK(attempt >= 1);
-  Duration d = plan_.backoff.base;
-  for (int i = 1; i < attempt && d < plan_.backoff.cap; ++i) d *= 2;
-  d = std::min(d, plan_.backoff.cap);
-  if (plan_.backoff.jitter > 0.0) {
-    d += static_cast<Duration>(static_cast<double>(d) * plan_.backoff.jitter *
-                               backoff_rng_.uniform());
-  }
-  return d;
+  // The RNG is consumed only when jitter can matter, preserving the
+  // no-fault bit-identity contract (an all-zero-jitter plan draws nothing).
+  const double draw =
+      plan_.backoff.jitter > 0.0 ? backoff_rng_.uniform() : 0.0;
+  return redspot::backoff_delay(plan_.backoff, attempt, draw);
 }
 
 }  // namespace redspot

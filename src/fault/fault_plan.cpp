@@ -1,8 +1,23 @@
 #include "fault/fault_plan.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace redspot {
+
+Duration backoff_delay(const BackoffPolicy& policy, int attempt,
+                       double jitter_draw) {
+  REDSPOT_CHECK(attempt >= 1);
+  Duration d = policy.base;
+  for (int i = 1; i < attempt && d < policy.cap; ++i) d *= 2;
+  d = std::min(d, policy.cap);
+  if (policy.jitter > 0.0) {
+    d += static_cast<Duration>(static_cast<double>(d) * policy.jitter *
+                               jitter_draw);
+  }
+  return d;
+}
 
 bool FaultPlan::enabled() const {
   return ckpt_write_failure_rate > 0.0 || ckpt_corruption_rate > 0.0 ||

@@ -38,6 +38,15 @@ struct BackoffPolicy {
   double jitter = 0.5;
 };
 
+/// Delay before attempt k (1-based) under `policy`: base * 2^(k-1), capped
+/// at `cap`, stretched by `jitter_draw` (uniform in [0, 1)) times the
+/// policy's jitter fraction of itself. Pure — the caller supplies the
+/// random draw — so the same policy shape serves both simulated time
+/// (FaultInjector, seconds) and wall-clock time (fabric worker reconnects,
+/// milliseconds).
+Duration backoff_delay(const BackoffPolicy& policy, int attempt,
+                       double jitter_draw);
+
 /// Per-class fault rates. Every rate is a per-event probability in [0, 1];
 /// zero disables the class entirely (no RNG is consumed for it).
 struct FaultPlan {

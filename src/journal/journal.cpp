@@ -7,8 +7,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/frame.hpp"
 #include "common/fs.hpp"
-#include "common/hash.hpp"
 #include "common/log.hpp"
 
 namespace redspot {
@@ -18,30 +18,6 @@ namespace {
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
   throw std::runtime_error("journal: " + what + " '" + path +
                            "': " + std::strerror(errno));
-}
-
-std::uint32_t get_u32(const char* p) {
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i)
-    v = (v << 8) | static_cast<unsigned char>(p[i]);
-  return v;
-}
-
-void put_u32(char* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
-}
-
-void write_fully(int fd, const char* p, std::size_t len,
-                 const std::string& path) {
-  while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      fail("write failed", path);
-    }
-    p += n;
-    len -= static_cast<std::size_t>(n);
-  }
 }
 
 }  // namespace
@@ -68,17 +44,18 @@ RunJournal::RunJournal(std::string path) : path_(std::move(path)) {
                                "' exists but is not a redspot run journal");
     }
     good = sizeof(kMagic);
-    // Scan records until the frame or checksum breaks; everything after
-    // the break is a torn/corrupt tail and must be recomputed, because a
-    // corrupt length field poisons all downstream framing.
-    while (data.size() - good >= 8) {
-      const std::uint32_t len = get_u32(data.data() + good);
-      const std::uint32_t crc = get_u32(data.data() + good + 4);
-      if (data.size() - good - 8 < len) break;  // torn tail
-      const char* payload = data.data() + good + 8;
-      if (crc32(payload, len) != crc) break;  // flipped bits
-      records_.emplace_back(payload, len);
-      good += 8 + len;
+    // Scan frames until one breaks (shared codec with the fabric wire
+    // protocol — common/frame.hpp); everything after the break is a
+    // torn/corrupt tail and must be recomputed, because a corrupt length
+    // field poisons all downstream framing.
+    for (;;) {
+      std::string_view payload;
+      std::size_t frame_size = 0;
+      if (peek_frame(std::string_view(data).substr(good), &payload,
+                     &frame_size) != FrameStatus::kOk)
+        break;  // torn tail, flipped bits, or a forged length
+      records_.emplace_back(payload);
+      good += frame_size;
     }
     open_stats_.intact_records = records_.size();
     open_stats_.dropped_bytes = data.size() - good;
@@ -112,10 +89,7 @@ RunJournal::~RunJournal() {
 void RunJournal::append(std::string_view payload) {
   // One frame, one write(), one fsync: the only torn state a crash can
   // leave is a short tail, which the next open truncates away.
-  std::string frame(8 + payload.size(), '\0');
-  put_u32(frame.data(), static_cast<std::uint32_t>(payload.size()));
-  put_u32(frame.data() + 4, crc32(payload.data(), payload.size()));
-  std::memcpy(frame.data() + 8, payload.data(), payload.size());
+  const std::string frame = encode_frame(payload);
 
   std::lock_guard<std::mutex> lock(mutex_);
   write_fully(fd_, frame.data(), frame.size(), path_);

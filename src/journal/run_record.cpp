@@ -1,86 +1,17 @@
 #include "journal/run_record.hpp"
 
 #include "common/check.hpp"
+#include "common/frame.hpp"
 
 namespace redspot {
 
 namespace {
 
-// Little-endian, fixed-width primitives. Readers are bounds-checked and
-// signal failure by returning false — a malformed record must decode to
-// "recompute", never to UB.
-
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i)
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void put_i64(std::string& out, std::int64_t v) {
-  put_u64(out, static_cast<std::uint64_t>(v));
-}
-
-void put_i32(std::string& out, std::int32_t v) {
-  put_u32(out, static_cast<std::uint32_t>(v));
-}
-
-void put_u8(std::string& out, std::uint8_t v) {
-  out.push_back(static_cast<char>(v));
-}
-
-class Reader {
- public:
-  explicit Reader(std::string_view data) : data_(data) {}
-
-  bool u32(std::uint32_t* v) {
-    if (data_.size() - pos_ < 4) return false;
-    *v = 0;
-    for (int i = 3; i >= 0; --i)
-      *v = (*v << 8) | static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]);
-    pos_ += 4;
-    return true;
-  }
-
-  bool u64(std::uint64_t* v) {
-    if (data_.size() - pos_ < 8) return false;
-    *v = 0;
-    for (int i = 7; i >= 0; --i)
-      *v = (*v << 8) | static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]);
-    pos_ += 8;
-    return true;
-  }
-
-  bool i64(std::int64_t* v) {
-    std::uint64_t u = 0;
-    if (!u64(&u)) return false;
-    *v = static_cast<std::int64_t>(u);
-    return true;
-  }
-
-  bool i32(std::int32_t* v) {
-    std::uint32_t u = 0;
-    if (!u32(&u)) return false;
-    *v = static_cast<std::int32_t>(u);
-    return true;
-  }
-
-  bool u8(std::uint8_t* v) {
-    if (data_.size() - pos_ < 1) return false;
-    *v = static_cast<std::uint8_t>(static_cast<unsigned char>(data_[pos_]));
-    ++pos_;
-    return true;
-  }
-
-  bool done() const { return pos_ == data_.size(); }
-
- private:
-  std::string_view data_;
-  std::size_t pos_ = 0;
-};
+// Byte layout rides the shared little-endian codec in common/frame.hpp
+// (the same primitives the fabric wire protocol uses). Readers are
+// bounds-checked and signal failure by returning false — a malformed
+// record must decode to "recompute", never to UB.
+using Reader = ByteReader;
 
 constexpr std::uint8_t kFlagCompleted = 1u << 0;
 constexpr std::uint8_t kFlagMetDeadline = 1u << 1;
@@ -148,6 +79,7 @@ std::optional<RecordType> record_type(std::string_view payload) {
     case RecordType::kEnsembleShard:
     case RecordType::kSweepChunk:
     case RecordType::kCleanStop:
+    case RecordType::kFabricLease:
       return static_cast<RecordType>(tag);
   }
   return std::nullopt;
@@ -223,6 +155,33 @@ std::optional<SweepChunkRecord> decode_sweep_chunk(std::string_view payload) {
     return std::nullopt;
   if (!in.u64(&rec.sweep_key) || !in.u64(&rec.chunk)) return std::nullopt;
   if (!decode_run(in, &rec.run) || !in.done()) return std::nullopt;
+  return rec;
+}
+
+std::string encode_fabric_lease(const FabricLeaseRecord& r) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(RecordType::kFabricLease));
+  put_u64(out, r.spec_hash);
+  put_u64(out, r.lease_id);
+  put_u64(out, r.shard_lo);
+  put_u64(out, r.shard_hi);
+  put_u64(out, r.attempt);
+  put_u64(out, r.worker);
+  return out;
+}
+
+std::optional<FabricLeaseRecord> decode_fabric_lease(std::string_view payload) {
+  Reader in(payload);
+  std::uint32_t tag = 0;
+  FabricLeaseRecord rec;
+  if (!in.u32(&tag) ||
+      tag != static_cast<std::uint32_t>(RecordType::kFabricLease))
+    return std::nullopt;
+  if (!in.u64(&rec.spec_hash) || !in.u64(&rec.lease_id) ||
+      !in.u64(&rec.shard_lo) || !in.u64(&rec.shard_hi) ||
+      !in.u64(&rec.attempt) || !in.u64(&rec.worker) || !in.done())
+    return std::nullopt;
+  if (rec.shard_hi < rec.shard_lo) return std::nullopt;
   return rec;
 }
 

@@ -36,6 +36,7 @@ enum class RecordType : std::uint32_t {
   kEnsembleShard = 1,
   kSweepChunk = 2,
   kCleanStop = 3,
+  kFabricLease = 4,
 };
 
 /// Type tag of a record payload, or nullopt if too short / unknown.
@@ -88,6 +89,25 @@ struct SweepChunkRecord {
 std::string encode_sweep_chunk(std::uint64_t sweep_key, std::uint64_t chunk,
                                const RunResult& run);
 std::optional<SweepChunkRecord> decode_sweep_chunk(std::string_view payload);
+
+// --- fabric lease grants ---------------------------------------------------
+
+/// One lease grant by the fabric coordinator (src/fabric/). Written ahead
+/// of the grant so a resumed coordinator knows how many times each shard
+/// was ever handed out: attempt numbers keep counting up across coordinator
+/// crashes, which keeps ChaosPlan kill decisions (keyed on attempt)
+/// deterministic for the whole run, not just one coordinator lifetime.
+struct FabricLeaseRecord {
+  std::uint64_t spec_hash = 0;
+  std::uint64_t lease_id = 0;
+  std::uint64_t shard_lo = 0;  ///< leased shard range [shard_lo, shard_hi)
+  std::uint64_t shard_hi = 0;
+  std::uint64_t attempt = 0;  ///< 1-based grant count of shard_lo
+  std::uint64_t worker = 0;   ///< coordinator-local worker session id
+};
+
+std::string encode_fabric_lease(const FabricLeaseRecord& r);
+std::optional<FabricLeaseRecord> decode_fabric_lease(std::string_view payload);
 
 // --- clean-stop markers ----------------------------------------------------
 

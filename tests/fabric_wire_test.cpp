@@ -1,0 +1,211 @@
+// Fabric wire-protocol codecs (fabric/wire.hpp): round-trips for all nine
+// message types, totality under truncation and tag forgery, and the
+// ChaosPlan's determinism and termination guarantees.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/frame.hpp"
+#include "fabric/chaos.hpp"
+#include "fabric/wire.hpp"
+
+namespace redspot::fabric {
+namespace {
+
+TEST(Wire, HelloRoundTrip) {
+  HelloMsg m;
+  m.spec_hash = 0xABCDEF0123456789ULL;
+  m.replications = 1000;
+  m.num_shards = 64;
+  m.num_configs = 3;
+  m.pid = 4242;
+  const auto got = decode_hello(encode_hello(m));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->protocol, kProtocolVersion);
+  EXPECT_EQ(got->spec_hash, m.spec_hash);
+  EXPECT_EQ(got->replications, m.replications);
+  EXPECT_EQ(got->num_shards, m.num_shards);
+  EXPECT_EQ(got->num_configs, m.num_configs);
+  EXPECT_EQ(got->pid, m.pid);
+}
+
+TEST(Wire, WelcomeRejectRoundTrip) {
+  const auto w = decode_welcome(encode_welcome({2, 77, 5}));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->protocol, 2u);
+  EXPECT_EQ(w->spec_hash, 77u);
+  EXPECT_EQ(w->worker, 5u);
+
+  const auto r = decode_reject(encode_reject({"spec mismatch"}));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->reason, "spec mismatch");
+}
+
+TEST(Wire, LeaseRoundTripAndValidation) {
+  const auto l = decode_lease(encode_lease({9, 4, 7, 2, 10'000}));
+  ASSERT_TRUE(l.has_value());
+  EXPECT_EQ(l->lease_id, 9u);
+  EXPECT_EQ(l->shard_lo, 4u);
+  EXPECT_EQ(l->shard_hi, 7u);
+  EXPECT_EQ(l->attempt, 2u);
+  EXPECT_EQ(l->duration_ms, 10'000u);
+
+  // Empty and inverted ranges are rejected at decode.
+  EXPECT_FALSE(decode_lease(encode_lease({9, 4, 4, 1, 1})).has_value());
+  EXPECT_FALSE(decode_lease(encode_lease({9, 5, 4, 1, 1})).has_value());
+}
+
+TEST(Wire, PartialCarriesNestedRecordVerbatim) {
+  std::string record = "\x01\x00\x00\x00nested-shard-record-bytes";
+  record.push_back('\0');  // embedded NUL must survive
+  record += "tail";
+  const auto p = decode_partial(encode_partial({3, 12, record}));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->lease_id, 3u);
+  EXPECT_EQ(p->shard, 12u);
+  EXPECT_EQ(p->record, record);
+
+  // An empty nested record is malformed.
+  EXPECT_FALSE(decode_partial(encode_partial({3, 12, ""})).has_value());
+}
+
+TEST(Wire, AckHeartbeatDoneGoodbyeRoundTrip) {
+  const auto a = decode_ack(encode_ack({8, true}));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->shard, 8u);
+  EXPECT_TRUE(a->duplicate);
+
+  const auto h = decode_heartbeat(encode_heartbeat({5, 120}));
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->shard, 5u);
+  EXPECT_EQ(h->replications_done, 120u);
+  const auto idle =
+      decode_heartbeat(encode_heartbeat({HeartbeatMsg::kNoShard, 0}));
+  ASSERT_TRUE(idle.has_value());
+  EXPECT_EQ(idle->shard, HeartbeatMsg::kNoShard);
+
+  const auto d = decode_done(encode_done({64}));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->shards_total, 64u);
+
+  const auto g = decode_goodbye(encode_goodbye({"shard threw"}));
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->reason, "shard threw");
+}
+
+TEST(Wire, MsgTypeIdentifiesAndRejects) {
+  EXPECT_EQ(msg_type(encode_hello({})), MsgType::kHello);
+  EXPECT_EQ(msg_type(encode_done({1})), MsgType::kDone);
+  EXPECT_FALSE(msg_type("").has_value());
+  EXPECT_FALSE(msg_type("abc").has_value());  // too short for the tag
+  std::string forged;
+  put_u32(forged, 999);  // unknown tag
+  EXPECT_FALSE(msg_type(forged).has_value());
+}
+
+TEST(Wire, DecodersAreTotalOnTruncationAndCrossDecode) {
+  const std::string msgs[] = {
+      encode_hello({1, 2, 3, 4, 5, 6}), encode_welcome({1, 2, 3}),
+      encode_reject({"r"}),             encode_lease({1, 0, 2, 1, 5}),
+      encode_partial({1, 0, "rec"}),    encode_ack({0, false}),
+      encode_heartbeat({0, 1}),         encode_done({2}),
+      encode_goodbye({"g"}),
+  };
+  for (const std::string& m : msgs) {
+    for (std::size_t cut = 0; cut < m.size(); ++cut) {
+      const std::string_view t(m.data(), cut);
+      // No truncation may crash, and none may decode as complete —
+      // except Partial, whose trailing record is length-free; its
+      // envelope guard (non-empty record) still rejects the bare prefix.
+      decode_hello(t);
+      decode_welcome(t);
+      decode_reject(t);
+      decode_lease(t);
+      decode_partial(t);
+      decode_ack(t);
+      decode_heartbeat(t);
+      decode_done(t);
+      decode_goodbye(t);
+    }
+    // Decoding as the wrong type always fails (tag mismatch).
+    if (msg_type(m) != MsgType::kHello) {
+      EXPECT_FALSE(decode_hello(m));
+    }
+    if (msg_type(m) != MsgType::kLease) {
+      EXPECT_FALSE(decode_lease(m));
+    }
+    if (msg_type(m) != MsgType::kDone) {
+      EXPECT_FALSE(decode_done(m));
+    }
+  }
+}
+
+// --- chaos plan -------------------------------------------------------------
+
+TEST(Chaos, DisabledPlanNeverKills) {
+  const ChaosPlan off{};
+  EXPECT_FALSE(off.enabled());
+  for (std::uint64_t s = 0; s < 32; ++s)
+    EXPECT_FALSE(should_kill(off, s, 1));
+}
+
+TEST(Chaos, DeterministicAndSeedSensitive) {
+  ChaosPlan a;
+  a.seed = 7;
+  a.kill_rate = 0.5;
+  ChaosPlan b = a;
+  b.seed = 8;
+
+  int diffs = 0;
+  int kills = 0;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    for (std::uint64_t att = 1; att <= 2; ++att) {
+      const bool ka = should_kill(a, s, att);
+      EXPECT_EQ(ka, should_kill(a, s, att));  // pure function
+      if (ka != should_kill(b, s, att)) ++diffs;
+      if (ka) ++kills;
+    }
+  }
+  EXPECT_GT(kills, 0);      // rate 0.5 over 128 draws fires
+  EXPECT_LT(kills, 128);    // ...but not always
+  EXPECT_GT(diffs, 0);      // different seed, different schedule
+}
+
+TEST(Chaos, AttemptsBeyondBudgetAlwaysSurvive) {
+  ChaosPlan p;
+  p.seed = 1;
+  p.kill_rate = 1.0;  // would kill every attempt...
+  p.kill_attempts = 2;
+  EXPECT_TRUE(should_kill(p, 0, 1));
+  EXPECT_TRUE(should_kill(p, 0, 2));
+  // ...but the budget guarantees attempt 3 completes: chaos runs
+  // terminate for every shard.
+  for (std::uint64_t s = 0; s < 16; ++s)
+    EXPECT_FALSE(should_kill(p, s, 3));
+}
+
+TEST(Chaos, ParsePlan) {
+  auto p = parse_chaos_plan("7:0.5");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->seed, 7u);
+  EXPECT_DOUBLE_EQ(p->kill_rate, 0.5);
+  EXPECT_EQ(p->kill_attempts, 2u);  // default
+
+  p = parse_chaos_plan("11:1.0:1");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->seed, 11u);
+  EXPECT_DOUBLE_EQ(p->kill_rate, 1.0);
+  EXPECT_EQ(p->kill_attempts, 1u);
+
+  EXPECT_FALSE(parse_chaos_plan("").has_value());
+  EXPECT_FALSE(parse_chaos_plan("7").has_value());
+  EXPECT_FALSE(parse_chaos_plan(":0.5").has_value());
+  EXPECT_FALSE(parse_chaos_plan("7:").has_value());
+  EXPECT_FALSE(parse_chaos_plan("7:1.5").has_value());   // rate > 1
+  EXPECT_FALSE(parse_chaos_plan("7:-0.1").has_value());  // rate < 0
+  EXPECT_FALSE(parse_chaos_plan("7:0.5:").has_value());
+  EXPECT_FALSE(parse_chaos_plan("x:0.5").has_value());
+}
+
+}  // namespace
+}  // namespace redspot::fabric

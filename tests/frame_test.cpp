@@ -1,0 +1,281 @@
+// The shared frame codec (common/frame.hpp): byte primitives, frame
+// encode/peek, the streaming FrameBuffer, and fuzz-style corruption —
+// truncation, bit flips, forged lengths — driven through BOTH consumers
+// of the format: the FrameBuffer a fabric connection reads, and a
+// RunJournal file reopened after the damage. The shared invariant: a
+// frame yields its exact payload bytes or is rejected whole; neither
+// consumer ever yields a corrupted payload.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/frame.hpp"
+#include "common/random.hpp"
+#include "journal/journal.hpp"
+
+namespace redspot {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tmp_path(const std::string& name) {
+  const fs::path p = fs::path(::testing::TempDir()) / ("redspot_" + name);
+  fs::remove(p);
+  return p.string();
+}
+
+// --- byte primitives --------------------------------------------------------
+
+TEST(ByteCodec, RoundTripsEveryPrimitive) {
+  std::string buf;
+  put_u8(buf, 0xAB);
+  put_u32(buf, 0xDEADBEEF);
+  put_u64(buf, 0x0123456789ABCDEFULL);
+  put_i32(buf, -42);
+  put_i64(buf, INT64_MIN);
+  put_str(buf, "hello");
+
+  ByteReader in(buf);
+  std::uint8_t u8v = 0;
+  std::uint32_t u32v = 0;
+  std::uint64_t u64v = 0;
+  std::int32_t i32v = 0;
+  std::int64_t i64v = 0;
+  std::string s;
+  EXPECT_TRUE(in.u8(&u8v));
+  EXPECT_TRUE(in.u32(&u32v));
+  EXPECT_TRUE(in.u64(&u64v));
+  EXPECT_TRUE(in.i32(&i32v));
+  EXPECT_TRUE(in.i64(&i64v));
+  EXPECT_TRUE(in.str(&s));
+  EXPECT_TRUE(in.done());
+  EXPECT_EQ(u8v, 0xAB);
+  EXPECT_EQ(u32v, 0xDEADBEEFu);
+  EXPECT_EQ(u64v, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i32v, -42);
+  EXPECT_EQ(i64v, INT64_MIN);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ByteCodec, ReaderIsTotalOnEveryTruncation) {
+  std::string buf;
+  put_u64(buf, 7);
+  put_str(buf, "payload");
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    ByteReader in(std::string_view(buf).substr(0, cut));
+    std::uint64_t v = 0;
+    std::string s;
+    // Either read can fail, but nothing may crash or over-read.
+    if (in.u64(&v)) in.str(&s);
+    EXPECT_LE(in.remaining(), cut);
+  }
+}
+
+TEST(ByteCodec, StrRejectsForgedLength) {
+  std::string buf;
+  put_u32(buf, 1000);  // claims 1000 bytes...
+  buf += "short";      // ...delivers 5
+  ByteReader in(buf);
+  std::string s;
+  EXPECT_FALSE(in.str(&s));
+}
+
+// --- frame codec ------------------------------------------------------------
+
+TEST(FrameCodec, PeekRoundTrip) {
+  const std::string payload = "the quick brown fox";
+  const std::string frame = encode_frame(payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + payload.size());
+
+  std::string_view got;
+  std::size_t frame_size = 0;
+  EXPECT_EQ(peek_frame(frame, &got, &frame_size), FrameStatus::kOk);
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(frame_size, frame.size());
+}
+
+TEST(FrameCodec, EveryTruncationReadsAsNeedMore) {
+  const std::string frame = encode_frame("abcdefgh");
+  std::string_view payload;
+  std::size_t frame_size = 0;
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    EXPECT_EQ(peek_frame(std::string_view(frame).substr(0, cut), &payload,
+                         &frame_size),
+              FrameStatus::kNeedMore)
+        << "cut=" << cut;
+  }
+}
+
+TEST(FrameCodec, EveryBitFlipReadsAsCorruptOrShape) {
+  const std::string payload = "bit-flip resistance";
+  const std::string frame = encode_frame(payload);
+  std::string_view got;
+  std::size_t frame_size = 0;
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = frame;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      const FrameStatus status = peek_frame(damaged, &got, &frame_size);
+      // A flipped length byte may legally read as kNeedMore (the frame
+      // "grew"); everything else must be caught by the checksum. The one
+      // thing that must never happen is kOk with altered bytes.
+      if (status == FrameStatus::kOk) {
+        EXPECT_EQ(got, payload);
+        ADD_FAILURE() << "flip byte " << byte << " bit " << bit
+                      << " yielded kOk";
+      }
+    }
+  }
+}
+
+TEST(FrameCodec, ForgedLengthIsCorruptionNotAllocation) {
+  std::string frame = encode_frame("x");
+  // Forge the length field to 4 GiB-ish; the checksum never gets a say
+  // because the length guard fires first — and no reader should sit
+  // waiting for bytes that will never come.
+  frame[0] = '\xFF';
+  frame[1] = '\xFF';
+  frame[2] = '\xFF';
+  frame[3] = '\x7F';
+  std::string_view payload;
+  std::size_t frame_size = 0;
+  EXPECT_EQ(peek_frame(frame, &payload, &frame_size), FrameStatus::kCorrupt);
+}
+
+// --- FrameBuffer (the fabric-connection consumer) ---------------------------
+
+TEST(FrameBuffer, ReassemblesFramesFromSingleByteDrip) {
+  const std::vector<std::string> payloads{"alpha", "", "gamma-gamma"};
+  std::string stream;
+  for (const std::string& p : payloads) append_frame(stream, p);
+
+  FrameBuffer buf;
+  std::vector<std::string> got;
+  std::string payload;
+  for (char c : stream) {
+    buf.append(&c, 1);
+    while (buf.next(&payload) == FrameStatus::kOk) got.push_back(payload);
+  }
+  EXPECT_EQ(got, payloads);
+  EXPECT_FALSE(buf.corrupt());
+  EXPECT_EQ(buf.buffered(), 0u);
+}
+
+TEST(FrameBuffer, CorruptionIsSticky) {
+  std::string stream;
+  append_frame(stream, "good");
+  append_frame(stream, "evil");
+  append_frame(stream, "never-seen");
+  stream[kFrameHeaderSize + 4 + kFrameHeaderSize] ^= 0x01;  // corrupt "evil"
+
+  FrameBuffer buf;
+  buf.append(stream);
+  std::string payload;
+  ASSERT_EQ(buf.next(&payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, "good");
+  EXPECT_EQ(buf.next(&payload), FrameStatus::kCorrupt);
+  EXPECT_TRUE(buf.corrupt());
+  // No resynchronization: the stream is dead for good.
+  buf.append(encode_frame("fresh"));
+  EXPECT_EQ(buf.next(&payload), FrameStatus::kCorrupt);
+}
+
+// --- randomized cross-consumer fuzz ----------------------------------------
+
+/// Writes `payloads` as a journal file (magic + frames) at `path`.
+void write_journal_file(const std::string& path,
+                        const std::vector<std::string>& payloads,
+                        std::size_t truncate_to = SIZE_MAX) {
+  std::string blob(RunJournal::kMagic, sizeof(RunJournal::kMagic));
+  for (const std::string& p : payloads) append_frame(blob, p);
+  if (truncate_to < blob.size()) blob.resize(truncate_to);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+}
+
+TEST(FrameFuzz, BothConsumersAgreeUnderRandomDamage) {
+  Rng rng(20260808);
+  for (int iter = 0; iter < 50; ++iter) {
+    // Random batch of payloads.
+    std::vector<std::string> payloads(1 + rng.uniform_index(5));
+    for (std::string& p : payloads) {
+      p.resize(rng.uniform_index(200));
+      for (char& c : p) c = static_cast<char>(rng.uniform_index(256));
+    }
+    std::string stream;
+    for (const std::string& p : payloads) append_frame(stream, p);
+
+    // Random damage: truncate the tail, or flip one bit.
+    const bool truncate = rng.uniform() < 0.5;
+    std::size_t cut = stream.size();
+    std::size_t flip_byte = SIZE_MAX;
+    if (truncate && !stream.empty()) {
+      cut = rng.uniform_index(stream.size());
+      stream.resize(cut);
+    } else if (!stream.empty()) {
+      flip_byte = rng.uniform_index(stream.size());
+      stream[flip_byte] =
+          static_cast<char>(stream[flip_byte] ^ (1u << rng.uniform_index(8)));
+    }
+
+    // Consumer 1: the fabric's FrameBuffer.
+    FrameBuffer buf;
+    buf.append(stream);
+    std::vector<std::string> wire_got;
+    std::string payload;
+    while (buf.next(&payload) == FrameStatus::kOk) wire_got.push_back(payload);
+
+    // Consumer 2: a journal file with the identical frame bytes.
+    const std::string path =
+        tmp_path("fuzz_" + std::to_string(iter) + ".journal");
+    {
+      std::string blob(RunJournal::kMagic, sizeof(RunJournal::kMagic));
+      blob += stream;
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    }
+    RunJournal journal(path);
+
+    // The journal stops at the first damaged frame — its intact prefix
+    // must equal the wire consumer's decoded prefix, and every recovered
+    // payload must be byte-exact.
+    ASSERT_EQ(journal.records().size(), wire_got.size()) << "iter " << iter;
+    for (std::size_t i = 0; i < wire_got.size(); ++i) {
+      EXPECT_EQ(journal.records()[i], wire_got[i]);
+      EXPECT_EQ(wire_got[i], payloads[i]);
+    }
+    fs::remove(path);
+  }
+}
+
+TEST(FrameFuzz, JournalRecoversExactPrefixOnEveryTruncationPoint) {
+  const std::vector<std::string> payloads{"first-record", "second-record",
+                                          "third-record"};
+  std::string frames;
+  std::vector<std::size_t> ends;  // frame end offsets within `frames`
+  for (const std::string& p : payloads) {
+    append_frame(frames, p);
+    ends.push_back(frames.size());
+  }
+  for (std::size_t cut = 0; cut <= frames.size(); ++cut) {
+    const std::string path = tmp_path("trunc.journal");
+    write_journal_file(path, payloads, sizeof(RunJournal::kMagic) + cut);
+    RunJournal journal(path);
+    std::size_t expect = 0;
+    while (expect < ends.size() && ends[expect] <= cut) ++expect;
+    EXPECT_EQ(journal.records().size(), expect) << "cut=" << cut;
+    // A torn tail exists iff the cut lands strictly inside a frame —
+    // i.e. past the last intact frame boundary (offset 0 counts as one).
+    const std::size_t last_boundary = expect > 0 ? ends[expect - 1] : 0;
+    EXPECT_EQ(journal.open_stats().recovered_tail, cut > last_boundary)
+        << "cut=" << cut;
+    fs::remove(path);
+  }
+}
+
+}  // namespace
+}  // namespace redspot

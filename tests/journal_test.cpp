@@ -5,6 +5,12 @@
 // and exp/ sweeps.
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
@@ -69,6 +75,111 @@ TEST(AtomicFsTest, WriteToBadDirectoryThrowsAndLeavesNothing) {
 
 TEST(AtomicFsTest, ReadMissingFileThrows) {
   EXPECT_THROW(read_file(tmp_path("missing.txt")), std::runtime_error);
+}
+
+namespace {
+volatile sig_atomic_t g_alarm_count = 0;
+void count_alarm(int) { g_alarm_count = g_alarm_count + 1; }
+}  // namespace
+
+// Every fs helper must resume across EINTR. An interval timer with a
+// non-SA_RESTART SIGALRM handler peppers the process with signals while
+// 2 MiB crosses a pipe in each direction through write_fully/read_fully —
+// a blocked write on a full pipe (and a blocked read on an empty one)
+// then really returns EINTR / short counts, which unguarded I/O turns
+// into spurious failures or torn transfers.
+TEST(AtomicFsTest, FullyHelpersResumeAcrossInterruptingTimer) {
+  int to_child[2];
+  int to_parent[2];
+  ASSERT_EQ(::pipe(to_child), 0);
+  ASSERT_EQ(::pipe(to_parent), 0);
+
+  std::string blob(2u << 20, '\0');
+  for (std::size_t i = 0; i < blob.size(); ++i)
+    blob[i] = static_cast<char>((i * 131) ^ (i >> 8));
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: slowly drain the whole blob into memory, then slowly echo
+    // it back. Buffering the full blob (instead of chunk-echoing) keeps
+    // the two pipes from deadlocking — chunk-echo would block on the
+    // full return pipe and stop draining the input one — while the
+    // usleep per chunk keeps the parent blocked in write_fully and then
+    // read_fully long enough for the timer to interrupt both.
+    ::close(to_child[1]);
+    ::close(to_parent[0]);
+    std::string copy(blob.size(), '\0');
+    const std::size_t chunk = 64u << 10;
+    for (std::size_t at = 0; at < copy.size(); at += chunk) {
+      const std::size_t want = std::min(chunk, copy.size() - at);
+      if (!read_fully(to_child[0], copy.data() + at, want, "echo read"))
+        _exit(3);
+      ::usleep(2000);
+    }
+    for (std::size_t at = 0; at < copy.size(); at += chunk) {
+      const std::size_t want = std::min(chunk, copy.size() - at);
+      write_fully(to_parent[1], copy.data() + at, want, "echo write");
+      ::usleep(2000);
+    }
+    _exit(0);
+  }
+  ::close(to_child[0]);
+  ::close(to_parent[1]);
+
+  // Parent: non-SA_RESTART handler + 5 ms interval timer = a stream of
+  // EINTRs for the duration of the transfer.
+  struct sigaction sa = {};
+  sa.sa_handler = count_alarm;
+  sa.sa_flags = 0;  // deliberately NOT SA_RESTART
+  struct sigaction old_sa = {};
+  ASSERT_EQ(::sigaction(SIGALRM, &sa, &old_sa), 0);
+  itimerval timer = {};
+  timer.it_interval.tv_usec = 5000;
+  timer.it_value.tv_usec = 5000;
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &timer, nullptr), 0);
+
+  write_fully(to_child[1], blob.data(), blob.size(), "blob write");
+  std::string echoed(blob.size(), '\0');
+  ASSERT_TRUE(
+      read_fully(to_parent[0], echoed.data(), echoed.size(), "blob read"));
+
+  // Disarm before asserting so a failure report cannot be interrupted.
+  itimerval off = {};
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &off, nullptr), 0);
+  ASSERT_EQ(::sigaction(SIGALRM, &old_sa, nullptr), 0);
+
+  EXPECT_GT(g_alarm_count, 0) << "timer never fired; test proved nothing";
+  EXPECT_EQ(echoed, blob) << "transfer torn despite *_fully helpers";
+
+  ::close(to_child[1]);
+  ::close(to_parent[0]);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+// read_fully distinguishes clean EOF-before-first-byte (false) from a
+// torn mid-buffer EOF (throw) — the journal's opening scan depends on it.
+TEST(AtomicFsTest, ReadFullyEofSemantics) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  write_fully(fds[1], "abc", 3, "pipe");
+  ::close(fds[1]);
+
+  char buf[3];
+  ASSERT_TRUE(read_fully(fds[0], buf, 3, "exact"));
+  EXPECT_EQ(std::string(buf, 3), "abc");
+  // Clean EOF before the first byte: false, not an error.
+  EXPECT_FALSE(read_fully(fds[0], buf, 3, "eof"));
+  ::close(fds[0]);
+
+  // EOF in the middle of a requested buffer: an error, never silence.
+  ASSERT_EQ(::pipe(fds), 0);
+  write_fully(fds[1], "ab", 2, "pipe");
+  ::close(fds[1]);
+  EXPECT_THROW(read_fully(fds[0], buf, 3, "torn"), std::runtime_error);
+  ::close(fds[0]);
 }
 
 // --------------------------------------------------------- journal framing --

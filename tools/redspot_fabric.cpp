@@ -1,0 +1,167 @@
+// redspot_fabric — distributed ensemble front end (coordinator + worker).
+//
+// Both subcommands take the same ensemble options as `redspot-sim
+// ensemble` (shared parser: src/app/ensemble_cli.hpp) and must be given
+// identical values — the spec-hash handshake rejects a worker describing
+// a different run.
+//
+//   redspot-fabric coordinator --socket PATH [ensemble options]
+//     --journal DIR            durable journal: completed shards and
+//                              lease grants are persisted, and a killed
+//                              coordinator restarted with the same flags
+//                              resumes without rerunning finished shards
+//     --lease-ms N             lease duration              [10000]
+//     --heartbeat-timeout-ms N silence before a worker is dead  [2000]
+//     --fallback-wait-ms N     empty-fleet patience before finishing
+//                              the run in-process          [3000]
+//
+//   redspot-fabric worker --socket PATH [ensemble options]
+//     --chaos SEED:RATE[:ATTEMPTS]  deterministically SIGKILL itself
+//                              mid-shard (testing; see fabric/chaos.hpp)
+//     --heartbeat-interval-ms N     liveness cadence       [250]
+//     --give-up-ms N           reconnect patience          [20000]
+//
+// The coordinator prints the same summary table an in-process ensemble
+// run prints — bit-identical numbers whatever the fleet did — plus
+// "fabric:"/"journal:" provenance lines that comparisons strip.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/ensemble_cli.hpp"
+#include "ensemble/runner.hpp"
+#include "exp/scenario.hpp"
+#include "fabric/chaos.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/worker.hpp"
+#include "journal/journal.hpp"
+
+using namespace redspot;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "redspot-fabric: %s (see the header of "
+                       "tools/redspot_fabric.cpp for options)\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+std::int64_t parse_ms(const std::string& opt, const std::string& v) {
+  char* end = nullptr;
+  const std::int64_t ms = std::strtoll(v.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || ms <= 0) usage("bad value for " + opt);
+  return ms;
+}
+
+/// Fabric-specific options left over by the shared ensemble parser.
+struct FabricArgs {
+  fabric::FabricOptions options;
+  fabric::ChaosPlan chaos;
+};
+
+FabricArgs parse_fabric_extra(const std::vector<std::string>& extra,
+                              bool is_worker) {
+  FabricArgs f;
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    const std::string& opt = extra[i];
+    auto need = [&]() -> const std::string& {
+      if (i + 1 >= extra.size()) usage("missing value for " + opt);
+      return extra[++i];
+    };
+    if (opt == "--socket") {
+      f.options.socket_path = need();
+    } else if (opt == "--lease-ms" && !is_worker) {
+      f.options.lease.lease_duration_ms = parse_ms(opt, need());
+    } else if (opt == "--heartbeat-timeout-ms" && !is_worker) {
+      f.options.lease.heartbeat_timeout_ms = parse_ms(opt, need());
+    } else if (opt == "--fallback-wait-ms" && !is_worker) {
+      f.options.fallback_wait_ms = parse_ms(opt, need());
+    } else if (opt == "--heartbeat-interval-ms" && is_worker) {
+      f.options.heartbeat_interval_ms = parse_ms(opt, need());
+    } else if (opt == "--give-up-ms" && is_worker) {
+      f.options.give_up_ms = parse_ms(opt, need());
+    } else if (opt == "--chaos" && is_worker) {
+      const auto plan = fabric::parse_chaos_plan(need());
+      if (!plan) usage("bad --chaos (want SEED:RATE[:ATTEMPTS])");
+      f.chaos = *plan;
+    } else {
+      usage("unknown option " + opt);
+    }
+  }
+  if (f.options.socket_path.empty()) usage("--socket is required");
+  return f;
+}
+
+int run_coordinator(const EnsembleCliArgs& args, const FabricArgs& fargs) {
+  const EnsembleSpec spec = make_ensemble_spec(args);
+
+  std::unique_ptr<RunJournal> journal;
+  if (!args.journal_dir.empty()) {
+    std::filesystem::create_directories(args.journal_dir);
+    journal = std::make_unique<RunJournal>(
+        (std::filesystem::path(args.journal_dir) / RunJournal::kFileName)
+            .string());
+  }
+
+  fabric::Coordinator coordinator(spec, fargs.options, journal.get());
+  const fabric::CoordinatorReport report = coordinator.run();
+
+  const Scenario scenario{args.window, args.slack, args.tc, spec.starts_grid};
+  std::fputs(report.result
+                 .table("ensemble — " + scenario.label() + ", seed " +
+                        std::to_string(args.seed))
+                 .c_str(),
+             stdout);
+  const ConfigSummary& s = report.result.configs[0];
+  std::printf("replications %zu (computed), incomplete %llu, "
+              "switched to on-demand %llu\n",
+              s.count(),
+              static_cast<unsigned long long>(s.incomplete()),
+              static_cast<unsigned long long>(s.switched_to_on_demand()));
+  // Provenance on its own lines so output comparisons can strip them.
+  std::printf("fabric: workers seen %llu lost %llu; shards fleet %llu "
+              "replayed %llu fallback %llu; duplicate partials %llu%s\n",
+              static_cast<unsigned long long>(report.workers_seen),
+              static_cast<unsigned long long>(report.workers_lost),
+              static_cast<unsigned long long>(report.shards_from_fleet),
+              static_cast<unsigned long long>(report.shards_replayed),
+              static_cast<unsigned long long>(report.shards_fallback),
+              static_cast<unsigned long long>(report.duplicate_partials),
+              report.used_fallback ? " (in-process fallback)" : "");
+  if (journal != nullptr) {
+    std::printf("journal: replayed %zu shards, recomputed %zu shards "
+                "(recovered_tail=%d)\n",
+                report.result.shards_replayed,
+                report.result.shards_recomputed,
+                journal->open_stats().recovered_tail ? 1 : 0);
+  }
+  return 0;
+}
+
+int run_worker_cmd(const EnsembleCliArgs& args, const FabricArgs& fargs) {
+  const EnsembleSpec spec = make_ensemble_spec(args);
+  return fabric::run_worker(spec, fargs.options, fargs.chaos);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("expected a subcommand: coordinator | worker");
+  const std::string cmd = argv[1];
+  const bool is_worker = cmd == "worker";
+  if (!is_worker && cmd != "coordinator")
+    usage("unknown subcommand " + cmd);
+
+  std::vector<std::string> extra;
+  const EnsembleCliArgs args =
+      parse_ensemble_args(argc - 1, argv + 1, &extra);
+  const FabricArgs fargs = parse_fabric_extra(extra, is_worker);
+  return is_worker ? run_worker_cmd(args, fargs)
+                   : run_coordinator(args, fargs);
+}

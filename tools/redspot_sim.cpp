@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "app/ensemble_cli.hpp"
 #include "common/interrupt.hpp"
 #include "common/parallel.hpp"
 #include "core/adaptive/adaptive_runner.hpp"
@@ -80,12 +81,6 @@ struct Args {
   std::string trace_file;
   std::string events_file;
   bool timeline = false;
-  // ensemble mode
-  std::size_t replications = 1000;
-  std::size_t shards = 64;
-  std::size_t threads = 0;
-  bool no_cache = false;
-  std::string journal_dir;
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -151,16 +146,6 @@ Args parse(int argc, char** argv) {
       a.events_file = need(i++);
     } else if (opt == "--timeline") {
       a.timeline = true;
-    } else if (opt == "--replications") {
-      a.replications = std::strtoull(need(i++), nullptr, 10);
-    } else if (opt == "--shards") {
-      a.shards = std::strtoull(need(i++), nullptr, 10);
-    } else if (opt == "--threads") {
-      a.threads = std::strtoull(need(i++), nullptr, 10);
-    } else if (opt == "--no-cache") {
-      a.no_cache = true;
-    } else if (opt == "--journal") {
-      a.journal_dir = need(i++);
     } else {
       usage(("unknown option " + opt).c_str());
     }
@@ -198,40 +183,11 @@ void print_run(const RunResult& r, bool timeline) {
 }
 
 /// `redspot_sim ensemble`: one configuration over N seeded realizations.
-int run_ensemble(const Args& args) {
-  EnsembleSpec spec;
-  spec.window = args.window;
-  spec.slack_fraction = args.slack;
-  spec.checkpoint_cost = args.tc;
-  spec.seed = args.seed;
-  spec.replications = args.replications;
-  spec.num_shards = args.shards;
-  spec.use_cache = !args.no_cache;
-  spec.engine.termination_notice = args.notice;
-
-  EnsembleConfig config;
-  if (args.policy == "adaptive") {
-    config.kind = EnsembleConfig::Kind::kAdaptive;
-  } else if (args.policy == "large-bid") {
-    config.kind = EnsembleConfig::Kind::kLargeBid;
-    config.threshold = args.threshold;
-    config.zones = args.zones;
-  } else {
-    config.kind = EnsembleConfig::Kind::kFixedPolicy;
-    config.bid = args.bid;
-    config.zones = args.zones;
-    bool known = false;
-    for (PolicyKind kind :
-         {PolicyKind::kPeriodic, PolicyKind::kMarkovDaly,
-          PolicyKind::kRisingEdge, PolicyKind::kThreshold}) {
-      if (args.policy == to_string(kind)) {
-        config.policy = kind;
-        known = true;
-      }
-    }
-    if (!known) usage(("unknown policy " + args.policy).c_str());
-  }
-  spec.configs.push_back(config);
+/// Option parsing and the option-to-spec mapping are shared with
+/// redspot-fabric (src/app/ensemble_cli.hpp) so both front ends describe
+/// the identical run.
+int run_ensemble(const EnsembleCliArgs& args) {
+  EnsembleSpec spec = make_ensemble_spec(args);
 
   ThreadPool pool(args.threads);
   const Scenario scenario{args.window, args.slack, args.tc, spec.starts_grid};
@@ -288,7 +244,7 @@ int run_ensemble(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "ensemble") == 0) {
-    return run_ensemble(parse(argc - 1, argv + 1));
+    return run_ensemble(parse_ensemble_args(argc - 1, argv + 1, nullptr));
   }
   const Args args = parse(argc, argv);
 
