@@ -1,0 +1,315 @@
+// Serve-plane microbenchmark with a machine-readable report for the CI
+// tolerance gate (conventions: tools/bench_report.hpp; committed baseline:
+// BENCH_serve.json).
+//
+// Three suites pin what the bid-advisor daemon costs and guarantees:
+//
+//   1. identity   — live growth: after every tick, each registered spec's
+//                   incrementally slid answer is compared bit-for-bit with
+//                   the from-scratch offline Adaptive decision. A mismatch
+//                   aborts the benchmark (CheckFailure), so the committed
+//                   serve_bit_identity=1 is an executable proof, not a
+//                   recorded opinion.
+//   2. multitenant— 1000 tenants sharing 8 models hammer the real batcher
+//                   + registry + tick-store stack (the daemon's run_batch
+//                   path without sockets) from 16 submitter threads.
+//                   Gated: QPS floor, p50/p99 advise latency, model count
+//                   ceiling (the sharing invariant), and bit-identity of
+//                   every batched answer against precomputed oracles.
+//   3. socket     — the in-process daemon behind a real unix socket, one
+//                   blocking client, median advise round trip.
+//
+// Usage: bench_serve [--quick] [--out report.json]
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "common/batcher.hpp"
+#include "common/check.hpp"
+#include "common/interrupt.hpp"
+#include "common/parallel.hpp"
+#include "serve/advisor.hpp"
+#include "serve/client.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/tick_store.hpp"
+#include "stats/latency.hpp"
+
+namespace redspot::serve {
+
+// External linkage defeats dead-code elimination of the measured work.
+std::int64_t g_sink = 0;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Deterministic 3-zone market: cheap-stable, spiky, expensive-drifting.
+ZoneTraceSet make_traces(std::size_t steps) {
+  std::vector<Money> a, b, c;
+  for (std::size_t i = 0; i < steps; ++i) {
+    a.push_back(Money::cents(27 + static_cast<std::int64_t>(i % 7)));
+    b.push_back(Money::cents((i / 40) % 2 == 0 ? 31 : 210));
+    c.push_back(Money::cents(150 + static_cast<std::int64_t>(i % 13)));
+  }
+  std::vector<PriceSeries> series;
+  series.emplace_back(0, kPriceStep, std::move(a));
+  series.emplace_back(0, kPriceStep, std::move(b));
+  series.emplace_back(0, kPriceStep, std::move(c));
+  return ZoneTraceSet({"za", "zb", "zc"}, std::move(series));
+}
+
+/// The shared model fleet: kModels distinct specs (different windows and
+/// Markov resolutions), far fewer than the tenant count.
+std::vector<ModelSpec> make_specs(std::size_t count) {
+  std::vector<ModelSpec> specs;
+  for (std::size_t i = 0; i < count; ++i) {
+    ModelSpec spec;
+    spec.history_span = kDay + static_cast<Duration>(i % 4) * (kDay / 4);
+    spec.max_states = 16 + 4 * i;  // distinct per spec: distinct hashes
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+JobParams tenant_job(std::size_t tenant) {
+  JobParams job;
+  job.remaining_compute = 6 * kHour;
+  job.remaining_time = 12 * kHour + static_cast<Duration>(tenant % 5) * kHour;
+  return job;
+}
+
+}  // namespace
+}  // namespace redspot::serve
+
+int main(int argc, char** argv) {
+  using namespace redspot;
+  using namespace redspot::serve;
+
+  bool quick = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_serve [--quick] [--out report.json]\n");
+      return 2;
+    }
+  }
+
+  benchreport::Report report;
+  report.schema = "redspot-serve-v1";
+  report.set("quick", quick ? 1 : 0);
+
+  constexpr std::size_t kTenants = 1000;
+  constexpr std::size_t kModels = 8;
+  const std::size_t kSeedSamples = 600;
+  const std::size_t kGrowthTicks = quick ? 12 : 40;
+  const std::size_t kRequestsPerTenant = quick ? 2 : 10;
+
+  const ZoneTraceSet full = make_traces(kSeedSamples + kGrowthTicks);
+  const std::vector<ModelSpec> specs = make_specs(kModels);
+
+  // --- 1. identity: slid answers == offline oracle across live growth -------
+  {
+    TickStore store(
+        full.window(full.start(), full.start() + kPriceStep *
+                                      static_cast<Duration>(kSeedSamples)),
+        kSeedSamples + kGrowthTicks);
+    std::vector<ModelEntry> slid;
+    for (const ModelSpec& spec : specs) slid.emplace_back(spec);
+
+    std::size_t checks = 0;
+    std::vector<Money> prices(full.num_zones());
+    for (std::size_t i = kSeedSamples; i < kSeedSamples + kGrowthTicks; ++i) {
+      for (std::size_t z = 0; z < full.num_zones(); ++z)
+        prices[z] = full.zone(z).view().sample(i);
+      store.append(prices);
+      store.with_read([&](const ZoneTraceSet& live) {
+        for (std::size_t m = 0; m < specs.size(); ++m) {
+          const JobParams job = tenant_job(m);
+          const Advice incremental = compute_advice(slid[m], live, job);
+          const Advice offline = advise_offline(specs[m], live, job);
+          REDSPOT_CHECK_MSG(incremental == offline,
+                            "serve advice diverged from the offline oracle");
+          ++checks;
+        }
+        return 0;
+      });
+    }
+    report.set("serve_bit_identity", 1);
+    report.set("identity_checks", static_cast<double>(checks));
+  }
+
+  // --- 2. multitenant: 1000 tenants / 8 shared models through the batcher ---
+  {
+    TickStore store(full, kSeedSamples + kGrowthTicks);
+    ModelRegistry registry;
+    LatencyRecorder latency;
+
+    // Precompute the oracle for every (spec, job-variant) combination so
+    // the timed loop can assert bit-identity at equality-test cost.
+    std::unordered_map<std::uint64_t, std::vector<Advice>> oracle;
+    store.with_read([&](const ZoneTraceSet& live) {
+      for (const ModelSpec& spec : specs) {
+        auto& per_job = oracle[spec.spec_hash()];
+        for (std::size_t v = 0; v < 5; ++v)
+          per_job.push_back(advise_offline(spec, live, tenant_job(v)));
+      }
+      return 0;
+    });
+    std::unordered_map<std::uint64_t, ModelSpec> by_hash;
+    for (const ModelSpec& spec : specs) by_hash.emplace(spec.spec_hash(), spec);
+
+    struct Req {
+      std::size_t tenant;
+      Clock::time_point t0;
+      std::atomic<bool>* done;
+    };
+    ThreadPool pool;
+    Batcher<std::uint64_t, Req> batcher(
+        pool, [&](const std::uint64_t& key, std::vector<Req>&& batch) {
+          const ModelSpec& spec = by_hash.at(key);
+          store.with_read([&](const ZoneTraceSet& live) {
+            const auto entry = registry.acquire(spec, live.num_zones());
+            for (const Req& req : batch) {
+              const JobParams job = tenant_job(req.tenant);
+              const Advice adv = compute_advice(*entry, live, job);
+              REDSPOT_CHECK_MSG(adv == oracle.at(key)[req.tenant % 5],
+                                "batched advice diverged from the oracle");
+              latency.record(static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - req.t0)
+                      .count()));
+              req.done->store(true, std::memory_order_release);
+              req.done->notify_one();
+            }
+            return 0;
+          });
+        });
+
+    // Closed-loop load: each submitter keeps a bounded pipeline of
+    // requests in flight, so the latency percentiles measure service time
+    // plus bounded coalescing delay — not an unbounded arrival backlog.
+    const std::size_t kSubmitters = 16;
+    const std::size_t kPipeline = 8;
+    const auto t0 = Clock::now();
+    {
+      std::vector<std::thread> submitters;
+      for (std::size_t s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&, s] {
+          std::vector<std::atomic<bool>> done(kPipeline);
+          std::size_t window = 0;
+          auto flush = [&] {
+            for (std::size_t w = 0; w < window; ++w)
+              done[w].wait(false, std::memory_order_acquire);
+            window = 0;
+          };
+          for (std::size_t t = s; t < kTenants; t += kSubmitters) {
+            const std::uint64_t key = specs[t % kModels].spec_hash();
+            for (std::size_t r = 0; r < kRequestsPerTenant; ++r) {
+              if (window == kPipeline) flush();
+              done[window].store(false, std::memory_order_relaxed);
+              batcher.submit(key, {t, Clock::now(), &done[window]});
+              ++window;
+            }
+          }
+          flush();
+        });
+      }
+      for (auto& th : submitters) th.join();
+      batcher.drain();
+    }
+    const auto t1 = Clock::now();
+    const double secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+            .count();
+    const double total =
+        static_cast<double>(kTenants) * static_cast<double>(kRequestsPerTenant);
+    g_sink += static_cast<std::int64_t>(latency.count());
+
+    const BatcherStats bs = batcher.stats();
+    REDSPOT_CHECK(bs.delivered == static_cast<std::uint64_t>(total));
+    report.set("tenants", static_cast<double>(kTenants));
+    report.set("models", static_cast<double>(registry.stats().entries));
+    report.set("serve_qps", total / secs);
+    report.set("advise_p50_ns", latency.p50_ns());
+    report.set("advise_p99_ns", latency.p99_ns());
+    report.set("batch_max", static_cast<double>(bs.max_batch));
+    report.set("batches_per_kreq",
+               1000.0 * static_cast<double>(bs.batches) / total);
+  }
+
+  // --- 3. socket: real daemon behind a unix socket, blocking client ---------
+  {
+    const std::string socket_path =
+        "/tmp/bench_serve_" + std::to_string(::getpid()) + ".sock";
+    ServeOptions options;
+    options.socket_path = socket_path;
+    options.threads = 2;
+    options.print_stats = false;
+    options.install_signal_handlers = false;
+    reset_interrupt_flag();
+    install_interrupt_handlers();
+    std::thread daemon([&] { g_sink += run_server(options); });
+
+    {
+      ServeClient client(socket_path);
+      TraceInitMsg init;
+      init.start = full.start();
+      init.step = full.step();
+      init.capacity_samples = kSeedSamples + kGrowthTicks;
+      for (std::size_t z = 0; z < full.num_zones(); ++z) {
+        init.zone_names.push_back(full.zone_name(z));
+        std::vector<Money> seed;
+        for (std::size_t i = 0; i < kSeedSamples; ++i)
+          seed.push_back(full.zone(z).view().sample(i));
+        init.samples.push_back(std::move(seed));
+      }
+      client.trace_init(init);
+      const std::uint64_t hash = client.register_spec(specs[0]);
+
+      const std::size_t kWarmup = 50;
+      const std::size_t kRounds = quick ? 400 : 2000;
+      std::vector<double> rtt;
+      rtt.reserve(kRounds);
+      for (std::size_t r = 0; r < kWarmup + kRounds; ++r) {
+        const auto s0 = Clock::now();
+        const AdviceMsg reply = client.advise(r + 1, hash, tenant_job(r));
+        const auto s1 = Clock::now();
+        g_sink += reply.advice.expected_uptime;
+        if (r >= kWarmup)
+          rtt.push_back(static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(s1 - s0)
+                  .count()));
+      }
+      std::sort(rtt.begin(), rtt.end());
+      report.set("socket_rtt_p50_ns", rtt[rtt.size() / 2]);
+      report.set("socket_rtt_p99_ns", rtt[rtt.size() * 99 / 100]);
+    }
+
+    ::raise(SIGTERM);  // sets the interrupt flag; the daemon drains
+    daemon.join();
+    reset_interrupt_flag();
+    ::unlink(socket_path.c_str());
+  }
+
+  benchreport::write_report(report, out_path);
+  std::printf("wrote %s\n", out_path.c_str());
+  for (const auto& [name, value] : report.metrics) {
+    std::printf("  %-24s %.4g\n", name.c_str(), value);
+  }
+  return 0;
+}

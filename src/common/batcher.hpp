@@ -1,0 +1,158 @@
+// Key-coalescing asynchronous request batcher over ThreadPool.
+//
+// The serve layer funnels many tenants' requests at a small set of shared
+// models. Batcher<Key, Item> gives that fan-in three guarantees:
+//
+//   * Per-key serialization — at most ONE batch per key executes at any
+//     moment, so the batch function may mutate key-owned state (slide a
+//     model, fill a memo) without locking it. Distinct keys run
+//     concurrently on the pool.
+//   * Coalescing — items submitted while a key's batch is executing gather
+//     into the NEXT batch: N queued same-key requests cost one batch
+//     dispatch (and, in the serve advisor, one model resolution), not N.
+//   * FIFO fairness — items of one key are delivered in submission order,
+//     batch after batch; a steady stream against one key cannot reorder or
+//     starve items within any key.
+//
+// The batch function runs on pool threads; Batcher never runs it inline.
+// drain() blocks until every submitted item has been delivered — used for
+// graceful shutdown (finish in-flight advice before exiting) and by tests.
+//
+// Exceptions: a batch function that throws loses that batch's items but
+// not the batcher — the key unlocks, later submissions run normally, and
+// the first exception is rethrown from the next drain() (mirroring
+// ThreadPool::wait_idle).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace redspot {
+
+/// Counters for observability (serve stats line, tests, bench).
+struct BatcherStats {
+  std::uint64_t submitted = 0;  ///< items accepted
+  std::uint64_t delivered = 0;  ///< items handed to the batch function
+  std::uint64_t batches = 0;    ///< batch-function invocations
+  std::uint64_t max_batch = 0;  ///< largest single batch
+};
+
+template <typename Key, typename Item, typename KeyHash = std::hash<Key>>
+class Batcher {
+ public:
+  using BatchFn = std::function<void(const Key&, std::vector<Item>&&)>;
+
+  /// `fn` is invoked on pool threads with the key and its coalesced items,
+  /// under the per-key exclusivity guarantee above.
+  Batcher(ThreadPool& pool, BatchFn fn) : pool_(pool), fn_(std::move(fn)) {
+    REDSPOT_CHECK(fn_ != nullptr);
+  }
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Destruction requires quiescence: callers drain() first (the serve
+  /// shutdown path does), otherwise in-flight batches would race the
+  /// member teardown.
+  ~Batcher() { drain_nothrow(); }
+
+  /// Enqueues one item for `key`; schedules a batch unless one is already
+  /// running for that key (in which case the running batch's completion
+  /// will pick this item up).
+  void submit(const Key& key, Item item) {
+    std::unique_lock lock(mutex_);
+    KeyState& ks = keys_[key];
+    ks.pending.push_back(std::move(item));
+    ++stats_.submitted;
+    ++outstanding_;
+    if (!ks.running) {
+      ks.running = true;
+      schedule_locked(key);
+    }
+  }
+
+  /// Blocks until every submitted item has been delivered, then rethrows
+  /// the first batch-function exception since the last drain (if any).
+  void drain() {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [&] { return outstanding_ == 0; });
+    if (error_) {
+      std::exception_ptr e = std::exchange(error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+
+  BatcherStats stats() const {
+    std::unique_lock lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  struct KeyState {
+    std::vector<Item> pending;
+    bool running = false;
+  };
+
+  /// Submits the pool task that will run the key's next batch. Requires
+  /// mutex_ held and ks.running already true.
+  void schedule_locked(const Key& key) {
+    pool_.submit([this, key] { run_batch(key); });
+  }
+
+  void run_batch(const Key& key) {
+    std::vector<Item> batch;
+    {
+      std::unique_lock lock(mutex_);
+      KeyState& ks = keys_.at(key);
+      batch.swap(ks.pending);
+      ++stats_.batches;
+      if (batch.size() > stats_.max_batch) stats_.max_batch = batch.size();
+    }
+    const std::size_t n = batch.size();
+    try {
+      fn_(key, std::move(batch));
+    } catch (...) {
+      std::unique_lock lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    std::unique_lock lock(mutex_);
+    stats_.delivered += n;
+    outstanding_ -= n;
+    KeyState& ks = keys_.at(key);
+    if (!ks.pending.empty()) {
+      schedule_locked(key);  // coalesced arrivals: next batch
+    } else {
+      ks.running = false;
+    }
+    if (outstanding_ == 0) idle_.notify_all();
+  }
+
+  /// Destructor-safe drain: waits for quiescence, swallows batch errors
+  /// (they were only reachable through drain(), which the owner skipped).
+  void drain_nothrow() {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [&] { return outstanding_ == 0; });
+  }
+
+  ThreadPool& pool_;
+  BatchFn fn_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;
+  std::unordered_map<Key, KeyState, KeyHash> keys_;
+  std::uint64_t outstanding_ = 0;
+  std::exception_ptr error_;
+  BatcherStats stats_;
+};
+
+}  // namespace redspot

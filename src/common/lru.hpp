@@ -1,0 +1,161 @@
+// Byte-accounted LRU cache core.
+//
+// Extracted from EnsembleCache so every bounded in-memory cache in the
+// tree (ensemble results, the serve layer's shared-model registry) shares
+// one audited eviction engine instead of three hand-rolled list+map
+// pairs. Entries are byte-accounted — the caller supplies an approximate
+// heap footprint at store time — and evicted in least-recently-used order
+// once the configured capacity is exceeded.
+//
+// Semantics (unchanged from the original EnsembleCache core):
+//   * lookup() hands out shared ownership, so an entry stays valid for its
+//     holders even after eviction; a hit refreshes recency.
+//   * store() is first-writer-wins: a racing second store of the same key
+//     is dropped, so two threads that computed the same value agree on
+//     which object everyone shares.
+//   * an entry larger than the whole capacity is simply not retained.
+//   * capacity 0 disables retention entirely (every store evicts).
+//
+// Thread-safe: one internal mutex serializes all operations. Values are
+// handed out as shared_ptr<Value>; instantiate with `const V` when cached
+// values must be immutable (EnsembleCache) and plain `V` when holders
+// mutate them under their own discipline (the serve ModelRegistry, where
+// per-entry exclusion comes from the request batcher).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace redspot {
+
+/// Occupancy and traffic counters of an LruByteCache.
+struct LruStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;           ///< approximate footprint of all entries
+  std::size_t capacity_bytes = 0;  ///< eviction threshold
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruByteCache {
+ public:
+  explicit LruByteCache(std::size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Returns the cached value for `key`, or nullptr (counts a miss).
+  /// A hit moves the entry to most-recently-used.
+  std::shared_ptr<Value> lookup(const Key& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    return it->second->value;
+  }
+
+  /// Stores `value` under `key` accounting `bytes` of footprint (first
+  /// writer wins on a race), then evicts least-recently-used entries until
+  /// within capacity. Returns the retained value: the given one, or the
+  /// incumbent when a racing store got there first.
+  std::shared_ptr<Value> store(const Key& key, std::shared_ptr<Value> value,
+                               std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) return it->second->value;  // first writer wins
+    lru_.push_front(Entry{key, std::move(value), bytes});
+    index_.emplace(key, lru_.begin());
+    bytes_ += bytes;
+    evict_to_capacity();
+    return lru_.empty() || lru_.front().key != key
+               ? nullptr  // larger than the whole capacity: not retained
+               : lru_.front().value;
+  }
+
+  /// lookup(), or on a miss store the result of `make()` (which must
+  /// return shared_ptr<Value>) accounted at `bytes(value)`. `make` is
+  /// called with the cache mutex held — it must not re-enter the cache.
+  /// Returns the shared entry even when it was too large to retain.
+  template <typename Make, typename Bytes>
+  std::shared_ptr<Value> lookup_or_create(const Key& key, Make&& make,
+                                          Bytes&& bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->value;
+    }
+    ++misses_;
+    std::shared_ptr<Value> value = make();
+    const std::size_t b = bytes(*value);
+    lru_.push_front(Entry{key, value, b});
+    index_.emplace(key, lru_.begin());
+    bytes_ += b;
+    evict_to_capacity();
+    return value;
+  }
+
+  /// Sets the eviction threshold and evicts immediately if over it.
+  void set_capacity_bytes(std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_bytes_ = capacity;
+    evict_to_capacity();
+  }
+
+  LruStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return LruStats{hits_,  misses_, evictions_,
+                    lru_.size(), bytes_, capacity_bytes_};
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+    bytes_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+  }
+
+ private:
+  struct Entry {
+    Key key{};
+    std::shared_ptr<Value> value;
+    std::size_t bytes = 0;
+  };
+
+  /// Evicts LRU entries until bytes_ <= capacity_bytes_. Caller holds
+  /// mutex_.
+  void evict_to_capacity() {
+    while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+      const Entry& victim = lru_.back();
+      bytes_ -= victim.bytes;
+      index_.erase(victim.key);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  mutable std::mutex mutex_;
+  /// LRU order: front = most recently used, back = eviction candidate.
+  std::list<Entry> lru_;
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+  std::size_t capacity_bytes_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace redspot

@@ -91,7 +91,10 @@ bool HistoryStats::try_advance(const ZoneTraceSet& traces, SimTime from,
   if (traces.num_zones() != base_.size()) return false;
   if (traces.step() != step_) return false;
   const PriceSeries& s0 = traces.zone(0);
-  if (s0.start() != series_start_ || s0.size() != series_size_) return false;
+  // A live trace grows at the right edge; as long as the storage base is
+  // unchanged (pre-reserved growth) the counters slide over it exactly as
+  // over a static trace. Shrinkage means different storage: rebuild.
+  if (s0.start() != series_start_ || s0.size() < series_size_) return false;
   for (std::size_t z = 0; z < base_.size(); ++z)
     if (traces.zone(z).samples().data() != base_[z]) return false;
 
@@ -104,7 +107,10 @@ bool HistoryStats::try_advance(const ZoneTraceSet& traces, SimTime from,
   const std::size_t old_hi = abs_lo_ + n_;
   if (lo < abs_lo_ || hi < old_hi) return false;  // backward move
   if (lo >= old_hi) return false;                 // no overlap
-  if (lo == abs_lo_ && hi == old_hi) return true;  // same window: keep memo
+  if (lo == abs_lo_ && hi == old_hi) {  // same window: keep memo
+    series_size_ = s0.size();
+    return true;
+  }
 
   const std::size_t nbids = bid_grid_.size();
   for (std::size_t z = 0; z < base_.size(); ++z) {
@@ -143,6 +149,7 @@ bool HistoryStats::try_advance(const ZoneTraceSet& traces, SimTime from,
   }
   abs_lo_ = lo;
   n_ = hi - lo;
+  series_size_ = s0.size();
   window_length_ = static_cast<Duration>(n_) * step_;
   refresh_stats();
   combined_memo_.clear();

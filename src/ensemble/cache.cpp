@@ -28,58 +28,25 @@ EnsembleCache& EnsembleCache::global() {
 
 std::shared_ptr<const EnsembleResult> EnsembleCache::lookup(
     std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
-    return nullptr;
-  }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->result;
+  return core_.lookup(key);
 }
 
 void EnsembleCache::store(std::uint64_t key, EnsembleResult result) {
   auto entry = std::make_shared<const EnsembleResult>(std::move(result));
   const std::size_t bytes = approx_bytes(*entry);
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (index_.find(key) != index_.end()) return;  // first writer wins
-  lru_.push_front(Entry{key, std::move(entry), bytes});
-  index_.emplace(key, lru_.begin());
-  bytes_ += bytes;
-  evict_to_capacity();
+  core_.store(key, std::move(entry), bytes);
 }
 
 void EnsembleCache::set_capacity_bytes(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  capacity_bytes_ = capacity;
-  evict_to_capacity();
-}
-
-void EnsembleCache::evict_to_capacity() {
-  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    bytes_ -= victim.bytes;
-    index_.erase(victim.key);
-    lru_.pop_back();
-    ++evictions_;
-  }
+  core_.set_capacity_bytes(capacity);
 }
 
 EnsembleCache::Stats EnsembleCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return Stats{hits_, misses_,  evictions_,
-               lru_.size(),     bytes_,     capacity_bytes_};
+  const LruStats s = core_.stats();
+  return Stats{s.hits,    s.misses, s.evictions,
+               s.entries, s.bytes,  s.capacity_bytes};
 }
 
-void EnsembleCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
-  bytes_ = 0;
-  hits_ = 0;
-  misses_ = 0;
-  evictions_ = 0;
-}
+void EnsembleCache::clear() { core_.clear(); }
 
 }  // namespace redspot

@@ -11,15 +11,15 @@
 // their heap footprint, dominated by the per-summary bootstrap replicate
 // buffers) and evicted in least-recently-used order once the configured
 // capacity is exceeded. A lookup hit refreshes recency; a store of an
-// entry larger than the whole capacity is simply not retained.
+// entry larger than the whole capacity is simply not retained. The
+// accounting/eviction core is the shared LruByteCache (common/lru.hpp) —
+// the serve-layer model registry runs on the same engine.
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 
+#include "common/lru.hpp"
 #include "ensemble/runner.hpp"
 
 namespace redspot {
@@ -59,25 +59,8 @@ class EnsembleCache {
   void clear();
 
  private:
-  struct Entry {
-    std::uint64_t key = 0;
-    std::shared_ptr<const EnsembleResult> result;
-    std::size_t bytes = 0;
-  };
-
-  /// Evicts LRU entries until bytes_ <= capacity_bytes_. Caller holds
-  /// mutex_.
-  void evict_to_capacity();
-
-  mutable std::mutex mutex_;
-  /// LRU order: front = most recently used, back = eviction candidate.
-  std::list<Entry> lru_;
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
-  std::size_t capacity_bytes_ = kDefaultCapacityBytes;
-  std::size_t bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  LruByteCache<std::uint64_t, const EnsembleResult> core_{
+      kDefaultCapacityBytes};
 };
 
 }  // namespace redspot

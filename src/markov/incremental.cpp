@@ -103,6 +103,7 @@ bool IncrementalMarkovModel::slide_binned(const PriceView& window,
                                                 smoothing_);
   ++model_refreshes_;
   ++epoch_;
+  grow_memo_for_model();
   remember_window(window);
   return true;
 }
@@ -167,6 +168,7 @@ bool IncrementalMarkovModel::slide_unique(const PriceView& window,
         static_cast<std::int64_t>(size_), step_, smoothing_);
     ++model_refreshes_;
     ++epoch_;
+    grow_memo_for_model();
   }
   return true;
 }
@@ -187,6 +189,7 @@ void IncrementalMarkovModel::rebuild_full(const PriceView& window) {
   ++full_rebuilds_;
   ++model_refreshes_;
   ++epoch_;
+  grow_memo_for_model();
 
   binned_ = distinct_ > max_states_;
   remember_window(window);
@@ -214,15 +217,36 @@ void IncrementalMarkovModel::rebuild_full(const PriceView& window) {
     prev = s;
   }
 
-  memo_.resize(n * n);
-  memo_epoch_.resize(n * n, 0);
   occ_scratch_.reserve(n);
   removed_pairs_.reserve(16);
   added_pairs_.reserve(16);
 }
 
+void IncrementalMarkovModel::grow_memo_for_model() {
+  // Fresh slots read epoch 0, never fresh (epoch_ >= 1 by now). Shrinking
+  // models keep the larger memo: keys stay in range, stale slots stay cold
+  // behind the epoch check.
+  const std::size_t slots = model_.num_states() * model_.num_states();
+  if (memo_.size() < slots) {
+    memo_ = std::vector<detail::CopyableAtomic<Duration>>(slots);
+    memo_epoch_ = std::vector<detail::CopyableAtomic<std::uint32_t>>(slots);
+  }
+}
+
 Duration IncrementalMarkovModel::expected_uptime(Money current_price,
                                                  Money bid, Duration cap) {
+  REDSPOT_CHECK_MSG(valid_, "observe() a window first");
+  if (cap != memo_cap_) {  // different cap: flush (cap is constant in practice)
+    ++epoch_;
+    memo_cap_ = cap;
+  }
+  return expected_uptime(current_price, bid, uptime_scratch_, cap);
+}
+
+Duration IncrementalMarkovModel::expected_uptime(Money current_price,
+                                                 Money bid,
+                                                 UptimeScratch& scratch,
+                                                 Duration cap) const {
   REDSPOT_CHECK_MSG(valid_, "observe() a window first");
   // Same early-outs as redspot::expected_uptime, before touching the memo:
   // these depend on the raw prices, not only on the (state, alive) key.
@@ -232,27 +256,28 @@ Duration IncrementalMarkovModel::expected_uptime(Money current_price,
   const std::size_t s = model_.state_of(current_price);
   if (s > a) return 0;  // nearest state is out-of-bid
 
-  if (cap != memo_cap_) {  // different cap: flush (cap is constant in practice)
-    ++epoch_;
-    memo_cap_ = cap;
+  // A cap other than the memoized one computes unmemoized — readers must
+  // not flush a shared memo.
+  if (cap != memo_cap_) {
+    return redspot::expected_uptime(model_, current_price, bid, cap, scratch);
   }
   const std::size_t n = model_.num_states();
-  if (memo_.size() < n * n) {
-    memo_.resize(n * n);
-    memo_epoch_.assign(memo_.size(), 0);
-  }
-  // epoch_ >= 1 after the first rebuild, so a default-zero slot never
-  // reads as fresh.
   const std::size_t key = s * n + a;
-  if (memo_epoch_[key] == epoch_) {
-    ++memo_hits_;
-    return memo_[key];
+  REDSPOT_CHECK(key < memo_.size());
+  // epoch_ >= 1 after the first rebuild, so a default-zero slot never
+  // reads as fresh. Acquire on the slot epoch pairs with the release
+  // below: a fresh epoch guarantees the value store is visible.
+  if (memo_epoch_[key].load(std::memory_order_acquire) == epoch_) {
+    memo_hits_.fetch_add(1, std::memory_order_relaxed);
+    return memo_[key].load(std::memory_order_relaxed);
   }
   const Duration val =
-      redspot::expected_uptime(model_, current_price, bid, cap, uptime_scratch_);
-  memo_[key] = val;
-  memo_epoch_[key] = epoch_;
-  ++memo_misses_;
+      redspot::expected_uptime(model_, current_price, bid, cap, scratch);
+  // Racing readers store identical bits (the solve is a pure function of
+  // the epoch-frozen model), so last-writer-wins is harmless.
+  memo_[key].store(val, std::memory_order_relaxed);
+  memo_epoch_[key].store(epoch_, std::memory_order_release);
+  memo_misses_.fetch_add(1, std::memory_order_relaxed);
   return val;
 }
 

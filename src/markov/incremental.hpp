@@ -35,6 +35,7 @@
 // (property-tested in markov_test / decision_path_test).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -45,6 +46,35 @@
 #include "trace/price_view.hpp"
 
 namespace redspot {
+namespace detail {
+
+/// std::atomic with copy semantics (relaxed load/store) so containers of
+/// memo slots stay copyable — policies hold models by value in vectors.
+/// Copying requires writer-exclusion quiescence, the same contract as
+/// observe(); the orderings that matter are on load/store at use sites.
+template <typename T>
+class CopyableAtomic {
+ public:
+  CopyableAtomic() noexcept = default;
+  CopyableAtomic(const CopyableAtomic& other) noexcept
+      : v_(other.v_.load(std::memory_order_relaxed)) {}
+  CopyableAtomic& operator=(const CopyableAtomic& other) noexcept {
+    v_.store(other.v_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+    return *this;
+  }
+
+  T load(std::memory_order order) const noexcept { return v_.load(order); }
+  void store(T val, std::memory_order order) noexcept { v_.store(val, order); }
+  T fetch_add(T val, std::memory_order order) noexcept {
+    return v_.fetch_add(val, order);
+  }
+
+ private:
+  std::atomic<T> v_{};
+};
+
+}  // namespace detail
 
 class IncrementalMarkovModel {
  public:
@@ -68,12 +98,35 @@ class IncrementalMarkovModel {
   Duration expected_uptime(Money current_price, Money bid,
                            Duration cap = kDefaultUptimeCap);
 
+  /// Concurrent-reader query path (one writer / many readers).
+  ///
+  /// Bit-identical to expected_uptime(), but const and safe to call from
+  /// MANY reader threads concurrently: the memo slots are atomics, and
+  /// two readers racing to fill the same slot store the same bits (the
+  /// closed-form solve is a pure function of the model). Each reader
+  /// supplies its own UptimeScratch.
+  ///
+  /// Epoch-snapshot contract (enforced, not just documented): readers and
+  /// the single writer — observe() and the non-const expected_uptime() —
+  /// must be separated by the caller (the serve registry uses the request
+  /// batcher's per-key serialization; the TSan stress test a
+  /// shared_mutex). A model epoch is immutable while readers hold it, so
+  /// every answer is the exact answer of the epoch it read. Queries with
+  /// a cap different from the memoized one compute unmemoized.
+  Duration expected_uptime(Money current_price, Money bid,
+                           UptimeScratch& scratch,
+                           Duration cap = kDefaultUptimeCap) const;
+
   // Introspection for tests and benchmarks.
   std::uint64_t full_rebuilds() const { return full_rebuilds_; }
   std::uint64_t incremental_slides() const { return incremental_slides_; }
   std::uint64_t model_refreshes() const { return model_refreshes_; }
-  std::uint64_t memo_hits() const { return memo_hits_; }
-  std::uint64_t memo_misses() const { return memo_misses_; }
+  std::uint64_t memo_hits() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t memo_misses() const {
+    return memo_misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   void rebuild_full(const PriceView& window);
@@ -87,6 +140,11 @@ class IncrementalMarkovModel {
   /// State index of an exact observed price, or SIZE_MAX when unseen.
   std::size_t state_index(Money price) const;
   void remember_window(const PriceView& window);
+  /// Writer-side: grows the memo to fit the current model's state count.
+  /// Must run after every model refresh — binned refits can yield more
+  /// states than the last rebuild (quantile bins collapse on duplicates),
+  /// and the atomic slot vectors cannot grow under concurrent readers.
+  void grow_memo_for_model();
 
   std::size_t max_states_;
   double smoothing_;
@@ -108,9 +166,15 @@ class IncrementalMarkovModel {
   MarkovModel model_;
 
   // expected_uptime memo: n*n slots keyed start_state * n + alive_state,
-  // epoch-invalidated so steady-state slides never touch the heap.
-  std::vector<Duration> memo_;
-  std::vector<std::uint32_t> memo_epoch_;
+  // epoch-invalidated so steady-state slides never touch the heap. Slots
+  // are atomics so concurrent readers may race on fills (they store
+  // identical bits); the slot protocol publishes the value before its
+  // epoch (release) and checks the epoch before the value (acquire).
+  // epoch_ and memo_cap_ are writer-only state: mutated by observe() /
+  // the non-const expected_uptime(), which the epoch-snapshot contract
+  // excludes from running concurrently with readers.
+  mutable std::vector<detail::CopyableAtomic<Duration>> memo_;
+  mutable std::vector<detail::CopyableAtomic<std::uint32_t>> memo_epoch_;
   std::uint32_t epoch_ = 0;
   Duration memo_cap_ = kDefaultUptimeCap;
 
@@ -129,8 +193,8 @@ class IncrementalMarkovModel {
   std::uint64_t full_rebuilds_ = 0;
   std::uint64_t incremental_slides_ = 0;
   std::uint64_t model_refreshes_ = 0;
-  std::uint64_t memo_hits_ = 0;
-  std::uint64_t memo_misses_ = 0;
+  mutable detail::CopyableAtomic<std::uint64_t> memo_hits_;
+  mutable detail::CopyableAtomic<std::uint64_t> memo_misses_;
 };
 
 }  // namespace redspot

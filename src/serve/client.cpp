@@ -1,0 +1,105 @@
+#include "serve/client.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "fabric/socket.hpp"
+
+namespace redspot::serve {
+
+ServeClient::ServeClient(const std::string& socket_path,
+                         int connect_timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(connect_timeout_ms);
+  for (;;) {
+    fd_ = fabric::connect_unix(socket_path);
+    if (fd_ >= 0) return;
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw std::runtime_error("serve client: connect timeout: " +
+                               socket_path);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ServeClient::send(const std::string& payload) {
+  fabric::send_frame(fd_, payload);
+}
+
+std::string ServeClient::recv_frame() {
+  std::string payload;
+  for (;;) {
+    switch (in_.next(&payload)) {
+      case FrameStatus::kOk:
+        return payload;
+      case FrameStatus::kCorrupt:
+        throw std::runtime_error("serve client: corrupt frame");
+      case FrameStatus::kNeedMore:
+        break;
+    }
+    if (!fabric::read_available(fd_, in_))
+      throw std::runtime_error("serve client: daemon closed the connection");
+  }
+}
+
+std::string ServeClient::recv_ok() {
+  std::string payload = recv_frame();
+  if (msg_type(payload) == MsgType::kError) {
+    const auto err = decode_error(payload);
+    throw ServeError(err ? err->request_id : 0,
+                     err ? err->message : "malformed error reply");
+  }
+  return payload;
+}
+
+SimTime ServeClient::trace_init(const TraceInitMsg& m) {
+  send(encode_trace_init(m));
+  const auto ok = decode_trace_ok(recv_ok());
+  if (!ok) throw std::runtime_error("serve client: bad TraceOk");
+  return ok->end;
+}
+
+SimTime ServeClient::tick(const std::vector<Money>& prices) {
+  send(encode_tick(TickMsg{prices}));
+  const auto ack = decode_tick_ack(recv_ok());
+  if (!ack) throw std::runtime_error("serve client: bad TickAck");
+  return ack->end;
+}
+
+std::uint64_t ServeClient::register_spec(const ModelSpec& spec) {
+  send(encode_register(RegisterMsg{spec}));
+  const auto ok = decode_register_ok(recv_ok());
+  if (!ok) throw std::runtime_error("serve client: bad RegisterOk");
+  return ok->spec_hash;
+}
+
+void ServeClient::advise_async(std::uint64_t request_id,
+                               std::uint64_t spec_hash, const JobParams& job) {
+  send(encode_advise(AdviseMsg{request_id, spec_hash, job}));
+}
+
+AdviceMsg ServeClient::recv_advice() {
+  const auto adv = decode_advice(recv_ok());
+  if (!adv) throw std::runtime_error("serve client: bad Advice");
+  return *adv;
+}
+
+AdviceMsg ServeClient::advise(std::uint64_t request_id,
+                              std::uint64_t spec_hash, const JobParams& job) {
+  advise_async(request_id, spec_hash, job);
+  return recv_advice();
+}
+
+StatsReplyMsg ServeClient::stats() {
+  send(encode_stats(StatsMsg{}));
+  const auto s = decode_stats_reply(recv_ok());
+  if (!s) throw std::runtime_error("serve client: bad StatsReply");
+  return *s;
+}
+
+}  // namespace redspot::serve

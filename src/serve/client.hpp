@@ -1,0 +1,86 @@
+// Blocking request/response client for the serve protocol.
+//
+// Thin convenience over connect_unix + the proto codecs: each call sends
+// one frame and blocks until the daemon's answer arrives (connections are
+// blocking on the client side; the daemon replies in submission order per
+// request class). Used by tick_replay, the integration tests and
+// bench_serve — tenants wanting pipelining can hold several clients.
+//
+// Every method throws std::runtime_error on transport failure (daemon
+// gone, frame corruption) and ServeError when the daemon answered with an
+// Error message — the two failure classes the protocol distinguishes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/frame.hpp"
+#include "serve/proto.hpp"
+
+namespace redspot::serve {
+
+/// The daemon declined the request (protocol-level Error message).
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(std::uint64_t request_id, const std::string& message)
+      : std::runtime_error(message), request_id_(request_id) {}
+  std::uint64_t request_id() const { return request_id_; }
+
+ private:
+  std::uint64_t request_id_ = 0;
+};
+
+class ServeClient {
+ public:
+  /// Connects to the daemon at `socket_path`, retrying for up to
+  /// `connect_timeout_ms` while the socket does not exist yet (daemon
+  /// still starting). Throws std::runtime_error on timeout.
+  explicit ServeClient(const std::string& socket_path,
+                       int connect_timeout_ms = 5000);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Seeds the daemon's trace store. Returns the trace end after seeding.
+  SimTime trace_init(const TraceInitMsg& m);
+
+  /// Appends one price sample per zone. Returns the new trace end.
+  SimTime tick(const std::vector<Money>& prices);
+
+  /// Registers a model spec (idempotent). Returns the spec hash to advise
+  /// against.
+  std::uint64_t register_spec(const ModelSpec& spec);
+
+  /// Asks for advice for `job` against a registered spec. Blocks until the
+  /// daemon answers this request id.
+  AdviceMsg advise(std::uint64_t request_id, std::uint64_t spec_hash,
+                   const JobParams& job);
+
+  /// Fire-and-forget advise: sends the request without waiting. Pair with
+  /// recv_advice() to collect responses (they arrive in per-spec
+  /// submission order). Used to build up server-side batches.
+  void advise_async(std::uint64_t request_id, std::uint64_t spec_hash,
+                    const JobParams& job);
+
+  /// Receives the next Advice response (throws ServeError on an Error
+  /// response, std::runtime_error if the daemon hangs up first).
+  AdviceMsg recv_advice();
+
+  StatsReplyMsg stats();
+
+ private:
+  /// Sends one encoded payload as a frame.
+  void send(const std::string& payload);
+  /// Blocks until one complete frame arrives; returns its payload.
+  /// Throws std::runtime_error on EOF/corruption.
+  std::string recv_frame();
+  /// recv_frame + Error interception: throws ServeError on MsgType::kError.
+  std::string recv_ok();
+
+  int fd_ = -1;
+  FrameBuffer in_;
+};
+
+}  // namespace redspot::serve

@@ -1,0 +1,342 @@
+#include "serve/proto.hpp"
+
+#include <bit>
+
+#include "common/frame.hpp"
+
+namespace redspot::serve {
+
+namespace {
+
+/// Sanity bound on decoded list lengths: a forged count must be rejected
+/// before it drives a giant allocation (the frame layer already caps the
+/// payload at kMaxFramePayload, this keeps the check local and obvious).
+constexpr std::uint64_t kMaxListLen = 1u << 22;
+
+std::string header(MsgType t) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(t));
+  return out;
+}
+
+/// Reader positioned after a verified type tag, or nullopt.
+std::optional<ByteReader> open_msg(std::string_view payload, MsgType want) {
+  ByteReader in(payload);
+  std::uint32_t tag = 0;
+  if (!in.u32(&tag) || tag != static_cast<std::uint32_t>(want))
+    return std::nullopt;
+  return in;
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+bool read_f64(ByteReader& in, double* v) {
+  std::uint64_t bits = 0;
+  if (!in.u64(&bits)) return false;
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+void put_money_list(std::string& out, const std::vector<Money>& v) {
+  put_u64(out, v.size());
+  for (Money m : v) put_i64(out, m.micros());
+}
+
+bool read_money_list(ByteReader& in, std::vector<Money>* out) {
+  std::uint64_t n = 0;
+  if (!in.u64(&n) || n > kMaxListLen) return false;
+  out->clear();
+  out->reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::int64_t micros = 0;
+    if (!in.i64(&micros)) return false;
+    out->push_back(Money::from_micros(micros));
+  }
+  return true;
+}
+
+void put_spec(std::string& out, const ModelSpec& spec) {
+  put_i64(out, spec.history_span);
+  put_money_list(out, spec.bid_grid);
+  put_u64(out, spec.max_states);
+  put_u64(out, spec.max_zones);
+  put_u64(out, spec.policies.size());
+  for (PolicyKind p : spec.policies)
+    put_u32(out, static_cast<std::uint32_t>(p));
+}
+
+bool read_spec(ByteReader& in, ModelSpec* spec) {
+  if (!in.i64(&spec->history_span)) return false;
+  if (!read_money_list(in, &spec->bid_grid)) return false;
+  std::uint64_t max_states = 0, max_zones = 0, npol = 0;
+  if (!in.u64(&max_states) || !in.u64(&max_zones) || !in.u64(&npol) ||
+      npol > 8)
+    return false;
+  spec->max_states = max_states;
+  spec->max_zones = max_zones;
+  spec->policies.clear();
+  for (std::uint64_t i = 0; i < npol; ++i) {
+    std::uint32_t p = 0;
+    if (!in.u32(&p)) return false;
+    spec->policies.push_back(static_cast<PolicyKind>(p));
+  }
+  return true;
+}
+
+void put_job(std::string& out, const JobParams& job) {
+  put_i64(out, job.remaining_compute);
+  put_i64(out, job.remaining_time);
+  put_i64(out, job.checkpoint_cost);
+  put_i64(out, job.restart_cost);
+  put_i64(out, job.mean_queue_delay);
+  put_i64(out, job.on_demand_rate.micros());
+}
+
+bool read_job(ByteReader& in, JobParams* job) {
+  std::int64_t rate = 0;
+  if (!in.i64(&job->remaining_compute) || !in.i64(&job->remaining_time) ||
+      !in.i64(&job->checkpoint_cost) || !in.i64(&job->restart_cost) ||
+      !in.i64(&job->mean_queue_delay) || !in.i64(&rate))
+    return false;
+  job->on_demand_rate = Money::from_micros(rate);
+  return true;
+}
+
+}  // namespace
+
+std::optional<MsgType> msg_type(std::string_view payload) {
+  ByteReader in(payload);
+  std::uint32_t tag = 0;
+  if (!in.u32(&tag)) return std::nullopt;
+  switch (static_cast<MsgType>(tag)) {
+    case MsgType::kTraceInit:
+    case MsgType::kTraceOk:
+    case MsgType::kTick:
+    case MsgType::kTickAck:
+    case MsgType::kRegister:
+    case MsgType::kRegisterOk:
+    case MsgType::kAdvise:
+    case MsgType::kAdvice:
+    case MsgType::kStats:
+    case MsgType::kStatsReply:
+    case MsgType::kError:
+      return static_cast<MsgType>(tag);
+  }
+  return std::nullopt;
+}
+
+std::string encode_trace_init(const TraceInitMsg& m) {
+  std::string out = header(MsgType::kTraceInit);
+  put_u32(out, m.protocol);
+  put_i64(out, m.start);
+  put_i64(out, m.step);
+  put_u64(out, m.zone_names.size());
+  for (const std::string& name : m.zone_names) put_str(out, name);
+  put_u64(out, m.samples.size());
+  for (const std::vector<Money>& zone : m.samples) put_money_list(out, zone);
+  put_u64(out, m.capacity_samples);
+  return out;
+}
+
+std::optional<TraceInitMsg> decode_trace_init(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kTraceInit);
+  if (!in) return std::nullopt;
+  TraceInitMsg m;
+  std::uint64_t zones = 0;
+  if (!in->u32(&m.protocol) || !in->i64(&m.start) || !in->i64(&m.step) ||
+      !in->u64(&zones) || zones > 64)
+    return std::nullopt;
+  m.zone_names.resize(zones);
+  for (std::string& name : m.zone_names)
+    if (!in->str(&name)) return std::nullopt;
+  std::uint64_t series = 0;
+  if (!in->u64(&series) || series != zones) return std::nullopt;
+  m.samples.resize(series);
+  for (std::vector<Money>& zone : m.samples)
+    if (!read_money_list(*in, &zone)) return std::nullopt;
+  if (!in->u64(&m.capacity_samples) || !in->done()) return std::nullopt;
+  return m;
+}
+
+std::string encode_trace_ok(const TraceOkMsg& m) {
+  std::string out = header(MsgType::kTraceOk);
+  put_i64(out, m.end);
+  return out;
+}
+
+std::optional<TraceOkMsg> decode_trace_ok(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kTraceOk);
+  if (!in) return std::nullopt;
+  TraceOkMsg m;
+  if (!in->i64(&m.end) || !in->done()) return std::nullopt;
+  return m;
+}
+
+std::string encode_tick(const TickMsg& m) {
+  std::string out = header(MsgType::kTick);
+  put_money_list(out, m.prices);
+  return out;
+}
+
+std::optional<TickMsg> decode_tick(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kTick);
+  if (!in) return std::nullopt;
+  TickMsg m;
+  if (!read_money_list(*in, &m.prices) || !in->done()) return std::nullopt;
+  return m;
+}
+
+std::string encode_tick_ack(const TickAckMsg& m) {
+  std::string out = header(MsgType::kTickAck);
+  put_i64(out, m.end);
+  return out;
+}
+
+std::optional<TickAckMsg> decode_tick_ack(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kTickAck);
+  if (!in) return std::nullopt;
+  TickAckMsg m;
+  if (!in->i64(&m.end) || !in->done()) return std::nullopt;
+  return m;
+}
+
+std::string encode_register(const RegisterMsg& m) {
+  std::string out = header(MsgType::kRegister);
+  put_spec(out, m.spec);
+  return out;
+}
+
+std::optional<RegisterMsg> decode_register(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kRegister);
+  if (!in) return std::nullopt;
+  RegisterMsg m;
+  if (!read_spec(*in, &m.spec) || !in->done()) return std::nullopt;
+  return m;
+}
+
+std::string encode_register_ok(const RegisterOkMsg& m) {
+  std::string out = header(MsgType::kRegisterOk);
+  put_u64(out, m.spec_hash);
+  return out;
+}
+
+std::optional<RegisterOkMsg> decode_register_ok(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kRegisterOk);
+  if (!in) return std::nullopt;
+  RegisterOkMsg m;
+  if (!in->u64(&m.spec_hash) || !in->done()) return std::nullopt;
+  return m;
+}
+
+std::string encode_advise(const AdviseMsg& m) {
+  std::string out = header(MsgType::kAdvise);
+  put_u64(out, m.request_id);
+  put_u64(out, m.spec_hash);
+  put_job(out, m.job);
+  return out;
+}
+
+std::optional<AdviseMsg> decode_advise(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kAdvise);
+  if (!in) return std::nullopt;
+  AdviseMsg m;
+  if (!in->u64(&m.request_id) || !in->u64(&m.spec_hash) ||
+      !read_job(*in, &m.job) || !in->done())
+    return std::nullopt;
+  return m;
+}
+
+std::string encode_advice(const AdviceMsg& m) {
+  std::string out = header(MsgType::kAdvice);
+  put_u64(out, m.request_id);
+  put_i64(out, m.advice.as_of);
+  put_i64(out, m.advice.bid.micros());
+  put_u64(out, m.advice.zones.size());
+  for (std::size_t z : m.advice.zones) put_u64(out, z);
+  put_u32(out, static_cast<std::uint32_t>(m.advice.policy));
+  put_i64(out, m.advice.predicted_cost.micros());
+  put_i64(out, m.advice.expected_uptime);
+  put_i64(out, m.advice.checkpoint_interval);
+  return out;
+}
+
+std::optional<AdviceMsg> decode_advice(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kAdvice);
+  if (!in) return std::nullopt;
+  AdviceMsg m;
+  std::int64_t bid = 0, cost = 0;
+  std::uint64_t nzones = 0;
+  if (!in->u64(&m.request_id) || !in->i64(&m.advice.as_of) ||
+      !in->i64(&bid) || !in->u64(&nzones) || nzones > 64)
+    return std::nullopt;
+  m.advice.bid = Money::from_micros(bid);
+  m.advice.zones.resize(nzones);
+  for (std::size_t& z : m.advice.zones) {
+    std::uint64_t v = 0;
+    if (!in->u64(&v)) return std::nullopt;
+    z = static_cast<std::size_t>(v);
+  }
+  std::uint32_t policy = 0;
+  if (!in->u32(&policy) || !in->i64(&cost) ||
+      !in->i64(&m.advice.expected_uptime) ||
+      !in->i64(&m.advice.checkpoint_interval) || !in->done())
+    return std::nullopt;
+  m.advice.policy = static_cast<PolicyKind>(policy);
+  m.advice.predicted_cost = Money::from_micros(cost);
+  return m;
+}
+
+std::string encode_stats(const StatsMsg&) { return header(MsgType::kStats); }
+
+std::optional<StatsMsg> decode_stats(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kStats);
+  if (!in || !in->done()) return std::nullopt;
+  return StatsMsg{};
+}
+
+std::string encode_stats_reply(const StatsReplyMsg& m) {
+  std::string out = header(MsgType::kStatsReply);
+  put_u64(out, m.ticks);
+  put_u64(out, m.advises);
+  put_u64(out, m.batches);
+  put_u64(out, m.max_batch);
+  put_u64(out, m.models);
+  put_u64(out, m.model_bytes);
+  put_u64(out, m.evictions);
+  put_f64(out, m.advise_p50_ns);
+  put_f64(out, m.advise_p99_ns);
+  return out;
+}
+
+std::optional<StatsReplyMsg> decode_stats_reply(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kStatsReply);
+  if (!in) return std::nullopt;
+  StatsReplyMsg m;
+  if (!in->u64(&m.ticks) || !in->u64(&m.advises) || !in->u64(&m.batches) ||
+      !in->u64(&m.max_batch) || !in->u64(&m.models) ||
+      !in->u64(&m.model_bytes) || !in->u64(&m.evictions) ||
+      !read_f64(*in, &m.advise_p50_ns) || !read_f64(*in, &m.advise_p99_ns) ||
+      !in->done())
+    return std::nullopt;
+  return m;
+}
+
+std::string encode_error(const ErrorMsg& m) {
+  std::string out = header(MsgType::kError);
+  put_u64(out, m.request_id);
+  put_str(out, m.message);
+  return out;
+}
+
+std::optional<ErrorMsg> decode_error(std::string_view payload) {
+  auto in = open_msg(payload, MsgType::kError);
+  if (!in) return std::nullopt;
+  ErrorMsg m;
+  if (!in->u64(&m.request_id) || !in->str(&m.message) || !in->done())
+    return std::nullopt;
+  return m;
+}
+
+}  // namespace redspot::serve

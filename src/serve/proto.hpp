@@ -1,0 +1,139 @@
+// Serve wire protocol: typed messages over the shared frame codec.
+//
+// Same transport discipline as the fabric (fabric/wire.hpp): every message
+// is one CRC32 frame (common/frame.hpp) whose payload starts with a u32
+// type tag; decoders are total, and a malformed payload drops the
+// connection. Two traffic classes share one socket:
+//
+//   feed -> daemon:    TraceInit (bootstrap history), Tick (one sample per
+//                      zone) — answered with TraceOk / TickAck.
+//   tenant -> daemon:  Register (a ModelSpec; idempotent, returns the
+//                      spec hash used as the advise key), Advise (job
+//                      parameters + spec hash) — answered with RegisterOk /
+//                      Advice. Stats returns the daemon's counters.
+//
+// Any request the daemon cannot honor is answered with Error carrying the
+// request id (0 when the request had none) and a message; the connection
+// stays up — a tenant asking about an unknown spec is a client bug, not a
+// transport failure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/advisor.hpp"
+
+namespace redspot::serve {
+
+/// Bumped on any incompatible change; mismatches are protocol errors.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class MsgType : std::uint32_t {
+  kTraceInit = 1,
+  kTraceOk = 2,
+  kTick = 3,
+  kTickAck = 4,
+  kRegister = 5,
+  kRegisterOk = 6,
+  kAdvise = 7,
+  kAdvice = 8,
+  kStats = 9,
+  kStatsReply = 10,
+  kError = 11,
+};
+
+/// Type tag of a message payload, or nullopt if too short / unknown.
+std::optional<MsgType> msg_type(std::string_view payload);
+
+/// Bootstrap: the price history the models start from, plus the total
+/// per-zone sample capacity the daemon must reserve (ticks beyond it are
+/// rejected). Exactly one TraceInit per daemon lifetime.
+struct TraceInitMsg {
+  std::uint32_t protocol = kProtocolVersion;
+  SimTime start = 0;
+  Duration step = kPriceStep;
+  std::vector<std::string> zone_names;
+  /// samples[z] is zone z's seed history; all zones equal length >= 1.
+  std::vector<std::vector<Money>> samples;
+  std::uint64_t capacity_samples = 0;
+};
+
+struct TraceOkMsg {
+  SimTime end = 0;  ///< trace end after seeding
+};
+
+/// One price sample per zone, effective at the current trace end.
+struct TickMsg {
+  std::vector<Money> prices;
+};
+
+struct TickAckMsg {
+  SimTime end = 0;  ///< trace end after the append
+};
+
+struct RegisterMsg {
+  ModelSpec spec;
+};
+
+struct RegisterOkMsg {
+  std::uint64_t spec_hash = 0;
+};
+
+struct AdviseMsg {
+  std::uint64_t request_id = 0;
+  std::uint64_t spec_hash = 0;
+  JobParams job;
+};
+
+struct AdviceMsg {
+  std::uint64_t request_id = 0;
+  Advice advice;
+};
+
+struct StatsMsg {};
+
+struct StatsReplyMsg {
+  std::uint64_t ticks = 0;
+  std::uint64_t advises = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;
+  std::uint64_t models = 0;
+  std::uint64_t model_bytes = 0;
+  std::uint64_t evictions = 0;
+  double advise_p50_ns = 0.0;
+  double advise_p99_ns = 0.0;
+};
+
+struct ErrorMsg {
+  std::uint64_t request_id = 0;  ///< 0 when the request had none
+  std::string message;
+};
+
+std::string encode_trace_init(const TraceInitMsg& m);
+std::string encode_trace_ok(const TraceOkMsg& m);
+std::string encode_tick(const TickMsg& m);
+std::string encode_tick_ack(const TickAckMsg& m);
+std::string encode_register(const RegisterMsg& m);
+std::string encode_register_ok(const RegisterOkMsg& m);
+std::string encode_advise(const AdviseMsg& m);
+std::string encode_advice(const AdviceMsg& m);
+std::string encode_stats(const StatsMsg& m);
+std::string encode_stats_reply(const StatsReplyMsg& m);
+std::string encode_error(const ErrorMsg& m);
+
+std::optional<TraceInitMsg> decode_trace_init(std::string_view payload);
+std::optional<TraceOkMsg> decode_trace_ok(std::string_view payload);
+std::optional<TickMsg> decode_tick(std::string_view payload);
+std::optional<TickAckMsg> decode_tick_ack(std::string_view payload);
+std::optional<RegisterMsg> decode_register(std::string_view payload);
+std::optional<RegisterOkMsg> decode_register_ok(std::string_view payload);
+std::optional<AdviseMsg> decode_advise(std::string_view payload);
+std::optional<AdviceMsg> decode_advice(std::string_view payload);
+std::optional<StatsMsg> decode_stats(std::string_view payload);
+std::optional<StatsReplyMsg> decode_stats_reply(std::string_view payload);
+std::optional<ErrorMsg> decode_error(std::string_view payload);
+
+}  // namespace redspot::serve

@@ -1,0 +1,59 @@
+// Shared-model registry: spec-hash keyed, LRU byte-accounted.
+//
+// Tenants registering equal ModelSpecs share one ModelEntry — that is the
+// whole point of the daemon (1000 tenants, a handful of models). The
+// registry is the serve instantiation of common/lru.hpp, the same core
+// EnsembleCache uses, with one difference: entries are MUTABLE (advise
+// batches slide their models), so exclusivity comes from the request
+// batcher's per-key serialization, not from const-ness. The shared_ptr
+// ownership rule still applies — an entry evicted under memory pressure
+// while a batch holds it stays alive until the batch finishes; the next
+// request for that spec rebuilds from the live trace (correctness is
+// unaffected: the advice is a pure function of trace + spec + job).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/lru.hpp"
+#include "serve/advisor.hpp"
+
+namespace redspot::serve {
+
+class ModelRegistry {
+ public:
+  /// Default capacity: plenty for the expected "few shared models", small
+  /// enough that a misbehaving tenant fleet registering thousands of
+  /// distinct specs evicts instead of exhausting the host.
+  static constexpr std::size_t kDefaultCapacityBytes = 64u << 20;
+
+  explicit ModelRegistry(std::size_t capacity_bytes = kDefaultCapacityBytes)
+      : core_(capacity_bytes) {}
+
+  /// The entry for `spec`, created on first use. `num_zones` feeds the
+  /// byte estimate. The returned pointer is valid for as long as the
+  /// caller holds it, eviction notwithstanding.
+  std::shared_ptr<ModelEntry> acquire(const ModelSpec& spec,
+                                      std::size_t num_zones) {
+    return core_.lookup_or_create(
+        spec.spec_hash(),
+        [&] { return std::make_shared<ModelEntry>(spec); },
+        [&](const ModelEntry& e) { return e.spec.approx_bytes(num_zones); });
+  }
+
+  /// The entry for a previously registered spec hash, or nullptr if it
+  /// was never registered or has been evicted.
+  std::shared_ptr<ModelEntry> find(std::uint64_t spec_hash) {
+    return core_.lookup(spec_hash);
+  }
+
+  void set_capacity_bytes(std::size_t bytes) {
+    core_.set_capacity_bytes(bytes);
+  }
+  LruStats stats() const { return core_.stats(); }
+
+ private:
+  LruByteCache<std::uint64_t, ModelEntry> core_;
+};
+
+}  // namespace redspot::serve

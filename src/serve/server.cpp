@@ -1,0 +1,423 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/batcher.hpp"
+#include "common/check.hpp"
+#include "common/interrupt.hpp"
+#include "common/log.hpp"
+#include "common/parallel.hpp"
+#include "fabric/socket.hpp"
+#include "serve/advisor.hpp"
+#include "serve/proto.hpp"
+#include "serve/registry.hpp"
+#include "serve/tick_store.hpp"
+#include "stats/latency.hpp"
+
+namespace redspot::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Conn {
+  int fd = -1;
+  FrameBuffer in;
+  std::mutex write_mutex;
+  std::atomic<bool> dead{false};
+
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// One queued advise request. request_id 0 with a null conn is a
+/// tick-driven slide: it advances the shared model so the next real
+/// request starts from a pre-slid state, and produces no response.
+struct AdviseWork {
+  std::shared_ptr<Conn> conn;
+  std::uint64_t request_id = 0;
+  JobParams job;
+  Clock::time_point submitted;
+};
+
+class Server {
+ public:
+  explicit Server(const ServeOptions& options)
+      : opt_(options),
+        pool_(options.threads),
+        registry_(options.registry_bytes),
+        batcher_(pool_, [this](const std::uint64_t& key,
+                               std::vector<AdviseWork>&& batch) {
+          run_batch(key, std::move(batch));
+        }) {}
+
+  int run() {
+    if (opt_.install_signal_handlers) install_interrupt_handlers();
+    listen_fd_ = fabric::listen_unix(opt_.socket_path);
+    LOG_INFO << "redspot-serve: listening on " << opt_.socket_path;
+
+    while (!interrupt_requested()) {
+      poll_once(/*timeout_ms=*/200);
+    }
+    return shutdown_drain();
+  }
+
+ private:
+  // --- poll loop ------------------------------------------------------------
+
+  void poll_once(int timeout_ms) {
+    std::vector<pollfd> fds;
+    fds.reserve(conns_.size() + 1);
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& c : conns_) fds.push_back({c->fd, POLLIN, 0});
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) return;  // signal: loop re-checks the flag
+      throw std::runtime_error("redspot-serve: poll failed");
+    }
+
+    if (fds[0].revents & POLLIN) {
+      int fd;
+      while ((fd = fabric::accept_unix(listen_fd_)) >= 0) {
+        auto c = std::make_shared<Conn>();
+        c->fd = fd;
+        conns_.push_back(std::move(c));
+        if (conns_.size() >= 4096) break;  // defensive fd cap
+      }
+    }
+
+    for (std::size_t i = 0; i < conns_.size() && i + 1 < fds.size(); ++i) {
+      if (fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))
+        service_conn(conns_[i]);
+    }
+    reap_dead();
+  }
+
+  void service_conn(const std::shared_ptr<Conn>& c) {
+    try {
+      if (!fabric::read_available(c->fd, c->in)) c->dead.store(true);
+    } catch (const std::runtime_error&) {
+      c->dead.store(true);
+    }
+    std::string frame;
+    while (!c->dead.load() && c->in.next(&frame) == FrameStatus::kOk)
+      dispatch(c, frame);
+    if (c->in.corrupt()) c->dead.store(true);
+  }
+
+  void reap_dead() {
+    std::erase_if(conns_,
+                  [](const std::shared_ptr<Conn>& c) { return c->dead.load(); });
+  }
+
+  // --- message dispatch -----------------------------------------------------
+
+  void dispatch(const std::shared_ptr<Conn>& c, std::string_view payload) {
+    const std::optional<MsgType> type = msg_type(payload);
+    if (!type) {
+      send_error(c, 0, "unknown message type");
+      return;
+    }
+    switch (*type) {
+      case MsgType::kTraceInit:
+        on_trace_init(c, payload);
+        return;
+      case MsgType::kTick:
+        on_tick(c, payload);
+        return;
+      case MsgType::kRegister:
+        on_register(c, payload);
+        return;
+      case MsgType::kAdvise:
+        on_advise(c, payload);
+        return;
+      case MsgType::kStats:
+        send_msg(c, encode_stats_reply(collect_stats()));
+        return;
+      default:
+        send_error(c, 0, "unexpected message");
+        return;
+    }
+  }
+
+  void on_trace_init(const std::shared_ptr<Conn>& c, std::string_view payload) {
+    const auto m = decode_trace_init(payload);
+    if (!m) {
+      c->dead.store(true);
+      return;
+    }
+    if (m->protocol != kProtocolVersion) {
+      send_error(c, 0, "protocol version mismatch");
+      return;
+    }
+    if (store_) {
+      send_error(c, 0, "trace already initialized");
+      return;
+    }
+    try {
+      std::vector<PriceSeries> series;
+      series.reserve(m->samples.size());
+      for (const std::vector<Money>& zone : m->samples)
+        series.emplace_back(m->start, m->step, zone);
+      ZoneTraceSet seed(m->zone_names, std::move(series));
+      store_.emplace(std::move(seed),
+                     static_cast<std::size_t>(m->capacity_samples));
+    } catch (const std::exception& e) {
+      send_error(c, 0, std::string("bad trace init: ") + e.what());
+      return;
+    }
+    send_msg(c, encode_trace_ok(TraceOkMsg{store_->end_time()}));
+  }
+
+  void on_tick(const std::shared_ptr<Conn>& c, std::string_view payload) {
+    const auto m = decode_tick(payload);
+    if (!m) {
+      c->dead.store(true);
+      return;
+    }
+    if (!store_) {
+      send_error(c, 0, "tick before trace init");
+      return;
+    }
+    if (m->prices.size() != store_->num_zones()) {
+      send_error(c, 0, "tick zone-count mismatch");
+      return;
+    }
+    if (store_->size() >= store_->capacity_samples()) {
+      send_error(c, 0, "tick capacity exhausted");
+      return;
+    }
+    const SimTime end = store_->append(m->prices);
+    send_msg(c, encode_tick_ack(TickAckMsg{end}));
+    // Eager tick-driven slide: every registered model advances under its
+    // batcher key, so advise requests land on pre-slid state. Coalesces
+    // with (and orders before) any queued advises, by FIFO.
+    std::unique_lock lock(specs_mutex_);
+    for (const auto& [hash, spec] : specs_)
+      batcher_.submit(hash, AdviseWork{nullptr, 0, JobParams{}, Clock::now()});
+  }
+
+  void on_register(const std::shared_ptr<Conn>& c, std::string_view payload) {
+    const auto m = decode_register(payload);
+    if (!m) {
+      c->dead.store(true);
+      return;
+    }
+    const ModelSpec& spec = m->spec;
+    if (spec.history_span <= 0 || spec.bid_grid.empty() ||
+        spec.max_states < 2 || spec.max_zones == 0 || spec.policies.empty()) {
+      send_error(c, 0, "invalid model spec");
+      return;
+    }
+    for (PolicyKind p : spec.policies) {
+      if (p != PolicyKind::kPeriodic && p != PolicyKind::kMarkovDaly) {
+        send_error(c, 0, "spec policies must be periodic/markov-daly");
+        return;
+      }
+    }
+    const std::uint64_t hash = spec.spec_hash();
+    {
+      std::unique_lock lock(specs_mutex_);
+      specs_.emplace(hash, spec);
+    }
+    send_msg(c, encode_register_ok(RegisterOkMsg{hash}));
+  }
+
+  void on_advise(const std::shared_ptr<Conn>& c, std::string_view payload) {
+    const auto m = decode_advise(payload);
+    if (!m) {
+      c->dead.store(true);
+      return;
+    }
+    {
+      std::unique_lock lock(specs_mutex_);
+      if (!specs_.contains(m->spec_hash)) {
+        lock.unlock();
+        send_error(c, m->request_id, "unknown spec hash (register first)");
+        return;
+      }
+    }
+    if (!store_ || store_->size() < 2) {
+      send_error(c, m->request_id, "insufficient price history");
+      return;
+    }
+    batcher_.submit(m->spec_hash,
+                    AdviseWork{c, m->request_id, m->job, Clock::now()});
+  }
+
+  // --- batch execution (pool threads) ---------------------------------------
+
+  void run_batch(std::uint64_t key, std::vector<AdviseWork>&& batch) {
+    ModelSpec spec;
+    {
+      std::unique_lock lock(specs_mutex_);
+      const auto it = specs_.find(key);
+      REDSPOT_CHECK(it != specs_.end());  // submit() verified registration
+      spec = it->second;
+    }
+    store_->with_read([&](const ZoneTraceSet& traces) {
+      // ONE model resolution for the whole batch — the coalescing payoff.
+      const std::shared_ptr<ModelEntry> entry =
+          registry_.acquire(spec, traces.num_zones());
+      for (AdviseWork& work : batch) {
+        if (work.conn == nullptr) {
+          // Tick-driven slide: advance the shared state, no response. The
+          // job parameters are irrelevant to the slide (the window is),
+          // and the computed advice is discarded.
+          if (traces.zone(0).size() >= 2)
+            slide_entry(*entry, traces);
+          continue;
+        }
+        try {
+          const Advice advice = compute_advice(*entry, traces, work.job);
+          send_msg(work.conn,
+                   encode_advice(AdviceMsg{work.request_id, advice}));
+        } catch (const std::exception& e) {
+          send_error(work.conn, work.request_id,
+                     std::string("advise failed: ") + e.what());
+        }
+        latency_.record(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - work.submitted)
+                .count()));
+      }
+    });
+  }
+
+  /// Advances the entry's history window and per-zone models to the
+  /// current trace end without computing advice (the tick path). Same
+  /// window arithmetic as compute_advice, so a later advise finds the
+  /// state already slid; observe() is idempotent, so re-observing there
+  /// stays bit-identical. Requires >= 2 samples (caller checks).
+  static void slide_entry(ModelEntry& entry, const ZoneTraceSet& traces) {
+    const SimTime now = traces.end() - traces.step();
+    const SimTime from = now - entry.spec.history_span;
+    if (!entry.hist) {
+      entry.hist.emplace(traces, from, now, entry.spec.bid_grid);
+    } else {
+      entry.hist->advance(traces, from, now);
+    }
+    while (entry.zone_models.size() < traces.num_zones())
+      entry.zone_models.emplace_back(entry.spec.max_states);
+    for (std::size_t z = 0; z < traces.num_zones(); ++z)
+      entry.zone_models[z].observe(traces.zone(z).view(from, now));
+  }
+
+  // --- responses ------------------------------------------------------------
+
+  void send_msg(const std::shared_ptr<Conn>& c, const std::string& payload) {
+    if (c->dead.load()) return;
+    std::lock_guard lock(c->write_mutex);
+    try {
+      fabric::send_frame(c->fd, payload);
+    } catch (const std::runtime_error&) {
+      c->dead.store(true);  // peer gone; poll loop reaps
+    }
+  }
+
+  void send_error(const std::shared_ptr<Conn>& c, std::uint64_t request_id,
+                  std::string message) {
+    send_msg(c, encode_error(ErrorMsg{request_id, std::move(message)}));
+  }
+
+  StatsReplyMsg collect_stats() {
+    const BatcherStats b = batcher_.stats();
+    const LruStats r = registry_.stats();
+    StatsReplyMsg m;
+    m.ticks = store_ ? store_->ticks() : 0;
+    m.advises = latency_.count();
+    m.batches = b.batches;
+    m.max_batch = b.max_batch;
+    m.models = r.entries;
+    m.model_bytes = r.bytes;
+    m.evictions = r.evictions;
+    m.advise_p50_ns = latency_.p50_ns();
+    m.advise_p99_ns = latency_.p99_ns();
+    return m;
+  }
+
+  // --- graceful shutdown ----------------------------------------------------
+
+  /// Answers everything the clients managed to write before the signal,
+  /// then drains and reports. Bounded sweep: each round polls every
+  /// connection non-blockingly and services the readable ones; when a
+  /// round finds nothing readable, the kernel buffers are empty.
+  int shutdown_drain() {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (int round = 0; round < 100; ++round) {
+      if (conns_.empty()) break;
+      std::vector<pollfd> fds;
+      fds.reserve(conns_.size());
+      for (const auto& c : conns_) fds.push_back({c->fd, POLLIN, 0});
+      const int rc = ::poll(fds.data(), fds.size(), 0);
+      if (rc <= 0) break;
+      for (std::size_t i = 0; i < conns_.size(); ++i) {
+        if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+          service_conn(conns_[i]);
+      }
+      reap_dead();
+    }
+    batcher_.drain();
+    const StatsReplyMsg s = collect_stats();
+    if (opt_.print_stats) {
+      std::printf(
+          "redspot-serve: drained — ticks=%llu advises=%llu batches=%llu "
+          "max_batch=%llu models=%llu model_mb=%.1f p50_us=%.1f p99_us=%.1f\n",
+          static_cast<unsigned long long>(s.ticks),
+          static_cast<unsigned long long>(s.advises),
+          static_cast<unsigned long long>(s.batches),
+          static_cast<unsigned long long>(s.max_batch),
+          static_cast<unsigned long long>(s.models),
+          static_cast<double>(s.model_bytes) / (1024.0 * 1024.0),
+          s.advise_p50_ns / 1e3, s.advise_p99_ns / 1e3);
+      std::fflush(stdout);
+    }
+    conns_.clear();
+    return 130;
+  }
+
+  ServeOptions opt_;
+  int listen_fd_ = -1;
+  std::vector<std::shared_ptr<Conn>> conns_;
+
+  ThreadPool pool_;
+  ModelRegistry registry_;
+  std::optional<TickStore> store_;
+  LatencyRecorder latency_;
+
+  std::mutex specs_mutex_;
+  std::unordered_map<std::uint64_t, ModelSpec> specs_;
+
+  Batcher<std::uint64_t, AdviseWork> batcher_;
+};
+
+}  // namespace
+
+int run_server(const ServeOptions& options) {
+  try {
+    Server server(options);
+    return server.run();
+  } catch (const std::exception& e) {
+    LOG_WARN << "redspot-serve: fatal: " << e.what();
+    return 1;
+  }
+}
+
+}  // namespace redspot::serve

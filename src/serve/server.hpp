@@ -1,0 +1,48 @@
+// redspot-serve: the bid-advisor daemon (DESIGN.md §12).
+//
+// One process, three moving parts:
+//
+//   * the poll loop (this file) owns the unix listener and every
+//     connection's read side, decodes frames (serve/proto.hpp) and
+//     dispatches: trace traffic is applied inline (TickStore is the single
+//     writer), advise requests are submitted to the batcher keyed by spec
+//     hash, stats/register are answered immediately;
+//   * the Batcher<spec-hash, AdviseWork> over a ThreadPool runs advise
+//     batches — per-key serialization IS the model-exclusivity discipline
+//     compute_advice requires, and same-key requests queued behind a
+//     running batch coalesce into one model resolution;
+//   * the ModelRegistry shares ModelEntries across tenants and bounds
+//     their total footprint (LRU byte accounting; an evicted entry is
+//     rebuilt from the live trace on next use).
+//
+// Responses are written from pool threads under a per-connection write
+// mutex; a dead peer marks the connection for the poll loop to reap.
+//
+// Shutdown (SIGINT/SIGTERM via common/interrupt): stop accepting, sweep
+// every connection's already-buffered requests (bounded non-blocking
+// rounds — bytes the clients wrote before the signal are still answered),
+// drain the batcher, print one final stats line, and return exit code 130.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace redspot::serve {
+
+struct ServeOptions {
+  std::string socket_path;
+  /// Worker threads for advise batches; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  std::size_t registry_bytes = 64u << 20;
+  /// Print the per-second stats heartbeat and the final stats line.
+  bool print_stats = true;
+  /// Install SIGINT/SIGTERM handlers (tests running the server in-process
+  /// manage the interrupt flag themselves).
+  bool install_signal_handlers = true;
+};
+
+/// Runs the daemon until interrupted. Returns the process exit code:
+/// 130 after a graceful signal-driven drain, non-zero on fatal errors.
+int run_server(const ServeOptions& options);
+
+}  // namespace redspot::serve

@@ -1,0 +1,46 @@
+#include "serve/tick_store.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace redspot::serve {
+
+TickStore::TickStore(ZoneTraceSet seed, std::size_t capacity_samples)
+    : traces_(std::move(seed)), capacity_(capacity_samples) {
+  REDSPOT_CHECK_MSG(capacity_ >= traces_.zone(0).size(),
+                    "tick capacity below the seed history length");
+  traces_.reserve_total(capacity_);
+}
+
+SimTime TickStore::append(const std::vector<Money>& prices) {
+  std::unique_lock lock(mutex_);
+  REDSPOT_CHECK_MSG(traces_.zone(0).size() < capacity_,
+                    "tick capacity exhausted");
+  traces_.append_tick(prices);
+  ++ticks_;
+  return traces_.end();
+}
+
+std::size_t TickStore::num_zones() const {
+  std::shared_lock lock(mutex_);
+  return traces_.num_zones();
+}
+
+std::size_t TickStore::size() const {
+  std::shared_lock lock(mutex_);
+  return traces_.zone(0).size();
+}
+
+SimTime TickStore::end_time() const {
+  std::shared_lock lock(mutex_);
+  return traces_.end();
+}
+
+std::uint64_t TickStore::ticks() const {
+  std::shared_lock lock(mutex_);
+  return ticks_;
+}
+
+}  // namespace redspot::serve

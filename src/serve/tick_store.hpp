@@ -1,0 +1,62 @@
+// Live trace storage for the serve daemon.
+//
+// One growing ZoneTraceSet shared by every model: the ingest path appends
+// one aligned sample per zone per tick (single writer), and advise batches
+// read the traces on pool threads (many readers). A std::shared_mutex
+// separates the two; because the storage is pre-reserved for the
+// configured capacity, an append within capacity never moves the samples,
+// so the borrowed-storage incremental paths (HistoryStats,
+// IncrementalMarkovModel) stay incremental across the whole run — see
+// PriceSeries::reserve_total.
+//
+// Reads happen under with_read(): the lock covers the whole advise batch,
+// so every answer in a batch sees one coherent trace end (its as_of
+// stamp). Appends past the reserved capacity are rejected (the daemon has
+// a configured horizon, not an unbounded heap).
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/money.hpp"
+#include "common/time.hpp"
+#include "trace/zone_traces.hpp"
+
+namespace redspot::serve {
+
+class TickStore {
+ public:
+  /// Seeds the store with the bootstrap history (the serve protocol's
+  /// TraceInit) and reserves room for `capacity_samples` total samples per
+  /// zone. Requires capacity >= the seed length.
+  TickStore(ZoneTraceSet seed, std::size_t capacity_samples);
+
+  /// Appends one sample per zone, effective at the current end(). Returns
+  /// the new end time. Throws CheckFailure when the reserved capacity is
+  /// exhausted or the zone count mismatches. Single writer.
+  SimTime append(const std::vector<Money>& prices);
+
+  /// Runs `fn(traces)` under the shared (reader) lock.
+  template <typename Fn>
+  auto with_read(Fn&& fn) const {
+    std::shared_lock lock(mutex_);
+    return fn(traces_);
+  }
+
+  std::size_t num_zones() const;
+  std::size_t capacity_samples() const { return capacity_; }
+  /// Samples currently held per zone.
+  std::size_t size() const;
+  SimTime end_time() const;
+  std::uint64_t ticks() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  ZoneTraceSet traces_;
+  std::size_t capacity_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace redspot::serve

@@ -1,0 +1,58 @@
+// Thread-safe latency tracking for the serve daemon and bench_serve.
+//
+// Wraps two P² streaming quantile estimators (stats/streaming.hpp) behind
+// one mutex: pool threads record() nanosecond samples as they answer
+// advise requests, and the stats line / benchmark reads p50/p99 without
+// ever storing the samples. O(1) memory at any request volume.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "stats/streaming.hpp"
+
+namespace redspot {
+
+class LatencyRecorder {
+ public:
+  LatencyRecorder() : p50_(0.50), p99_(0.99) {}
+
+  void record(double nanos) {
+    std::lock_guard lock(mutex_);
+    ++count_;
+    sum_ += nanos;
+    p50_.add(nanos);
+    p99_.add(nanos);
+  }
+
+  std::uint64_t count() const {
+    std::lock_guard lock(mutex_);
+    return count_;
+  }
+
+  /// Estimated median latency in ns; 0 before the first record().
+  double p50_ns() const {
+    std::lock_guard lock(mutex_);
+    return count_ > 0 ? p50_.value() : 0.0;
+  }
+
+  /// Estimated 99th-percentile latency in ns; 0 before the first record().
+  double p99_ns() const {
+    std::lock_guard lock(mutex_);
+    return count_ > 0 ? p99_.value() : 0.0;
+  }
+
+  double mean_ns() const {
+    std::lock_guard lock(mutex_);
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  P2Quantile p50_;
+  P2Quantile p99_;
+};
+
+}  // namespace redspot

@@ -92,6 +92,22 @@ class PriceSeries {
   /// Samples as doubles (for statistics / VAR).
   std::vector<double> to_doubles() const { return view().to_doubles(); }
 
+  // --- Live growth (serve tick ingestion) ---------------------------------
+  //
+  // A live series grows at the right edge, one sample per tick. Borrowers
+  // of the storage (HistoryStats, IncrementalMarkovModel) key their
+  // incremental paths on the storage base pointer, so a grower should
+  // reserve_total() its expected lifetime up front: an append within
+  // capacity keeps every outstanding span valid, while a reallocating
+  // append safely degrades borrowers to a full rebuild.
+
+  /// Ensures capacity for `total` samples overall (not `total` more).
+  void reserve_total(std::size_t total) { samples_.reserve(total); }
+  std::size_t capacity() const { return samples_.capacity(); }
+
+  /// Appends one sample at end(), extending the grid by one step.
+  void append(Money price) { samples_.push_back(price); }
+
  private:
   SimTime start_ = 0;
   Duration step_ = kPriceStep;

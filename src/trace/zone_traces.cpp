@@ -47,6 +47,16 @@ ZoneTraceSet ZoneTraceSet::window(SimTime from, SimTime to) const {
   return ZoneTraceSet(names_, std::move(sub));
 }
 
+void ZoneTraceSet::reserve_total(std::size_t total) {
+  for (PriceSeries& s : series_) s.reserve_total(total);
+}
+
+void ZoneTraceSet::append_tick(const std::vector<Money>& prices) {
+  REDSPOT_CHECK(prices.size() == series_.size());
+  for (std::size_t z = 0; z < series_.size(); ++z)
+    series_[z].append(prices[z]);
+}
+
 ZoneTraceSet ZoneTraceSet::select_zones(
     const std::vector<std::size_t>& zones) const {
   std::vector<std::string> names;

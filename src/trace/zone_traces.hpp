@@ -38,6 +38,14 @@ class ZoneTraceSet {
   /// Subset of zones, in the given order (zone indices into this set).
   ZoneTraceSet select_zones(const std::vector<std::size_t>& zones) const;
 
+  /// Reserves capacity for `total` samples per zone (live ingestion; see
+  /// PriceSeries::reserve_total on why growers pre-reserve).
+  void reserve_total(std::size_t total);
+
+  /// Appends one aligned sample per zone (prices[z] takes effect at the
+  /// previous end()). Requires prices.size() == num_zones().
+  void append_tick(const std::vector<Money>& prices);
+
  private:
   std::vector<std::string> names_;
   std::vector<PriceSeries> series_;

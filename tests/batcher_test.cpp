@@ -1,0 +1,233 @@
+// Batcher guarantees (common/batcher.hpp): per-key serialization,
+// coalescing of queued arrivals, per-key FIFO delivery, exception
+// surfacing via drain(), and — the serve correctness anchor — batched
+// delivery driving a stateful consumer bit-identically to serial
+// delivery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/batcher.hpp"
+#include "common/hash.hpp"
+#include "common/parallel.hpp"
+#include "common/random.hpp"
+
+namespace redspot {
+namespace {
+
+TEST(BatcherTest, DeliversSingleItem) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::vector<std::pair<int, int>> seen;
+  Batcher<int, int> batcher(pool, [&](const int& key, std::vector<int>&& items) {
+    std::lock_guard lock(mu);
+    for (int v : items) seen.emplace_back(key, v);
+  });
+  batcher.submit(7, 42);
+  batcher.drain();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], std::make_pair(7, 42));
+  const BatcherStats s = batcher.stats();
+  EXPECT_EQ(s.submitted, 1u);
+  EXPECT_EQ(s.delivered, 1u);
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.max_batch, 1u);
+}
+
+TEST(BatcherTest, NeverRunsTwoBatchesOfOneKeyConcurrently) {
+  ThreadPool pool(8);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  Batcher<int, int> batcher(pool, [&](const int&, std::vector<int>&& items) {
+    const int now = in_flight.fetch_add(1) + 1;
+    int prev = max_in_flight.load();
+    while (now > prev && !max_in_flight.compare_exchange_weak(prev, now)) {
+    }
+    // Hold the "model" long enough for racing submits to pile up.
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * items.size()));
+    in_flight.fetch_sub(1);
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) batcher.submit(/*key=*/1, t * 1000 + i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  batcher.drain();
+  EXPECT_EQ(max_in_flight.load(), 1) << "two batches of one key overlapped";
+  EXPECT_EQ(batcher.stats().delivered, 800u);
+}
+
+TEST(BatcherTest, CoalescesArrivalsDuringARunningBatch) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release_first = false;
+  int batches_seen = 0;
+  std::vector<std::size_t> batch_sizes;
+
+  Batcher<int, int> batcher(pool, [&](const int&, std::vector<int>&& items) {
+    std::unique_lock lock(mu);
+    ++batches_seen;
+    batch_sizes.push_back(items.size());
+    if (batches_seen == 1) {
+      // First batch blocks until the test has queued the pile-up.
+      cv.wait(lock, [&] { return release_first; });
+    }
+  });
+
+  batcher.submit(1, 0);  // becomes batch #1
+  // Wait until batch #1 is actually executing, then pile up 25 items.
+  {
+    std::unique_lock lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(5), [&] { return batches_seen >= 1; });
+  }
+  for (int i = 1; i <= 25; ++i) batcher.submit(1, i);
+  {
+    std::lock_guard lock(mu);
+    release_first = true;
+  }
+  cv.notify_all();
+  batcher.drain();
+
+  // All 25 queued items must arrive as ONE coalesced batch.
+  ASSERT_EQ(batch_sizes.size(), 2u);
+  EXPECT_EQ(batch_sizes[0], 1u);
+  EXPECT_EQ(batch_sizes[1], 25u);
+  EXPECT_EQ(batcher.stats().max_batch, 25u);
+}
+
+TEST(BatcherTest, DistinctKeysProceedWhileOneKeyIsBlocked) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool other_key_done = false;
+  bool blocked_released = false;
+
+  Batcher<int, int> batcher(pool, [&](const int& key, std::vector<int>&&) {
+    std::unique_lock lock(mu);
+    if (key == 1) {
+      // Key 1 refuses to finish until key 2 has been served — only
+      // possible if key 2's batch runs concurrently on another thread.
+      cv.wait(lock, [&] { return other_key_done; });
+      blocked_released = true;
+    } else {
+      other_key_done = true;
+      cv.notify_all();
+    }
+  });
+
+  batcher.submit(1, 0);
+  batcher.submit(2, 0);
+  batcher.drain();
+  EXPECT_TRUE(blocked_released);
+}
+
+TEST(BatcherTest, PerKeyFifoAcrossRacingSubmitters) {
+  // Each key has ONE submitting thread (so per-key submission order is
+  // defined) but four keys race; each key's delivery order must equal its
+  // submission order regardless of batch boundaries.
+  ThreadPool pool(4);
+  constexpr int kPerKey = 500;
+  std::mutex mu;
+  std::map<int, std::vector<int>> delivered;
+  Batcher<int, int> batcher(pool, [&](const int& key, std::vector<int>&& items) {
+    std::lock_guard lock(mu);
+    auto& v = delivered[key];
+    v.insert(v.end(), items.begin(), items.end());
+  });
+  std::vector<std::thread> threads;
+  for (int key = 0; key < 4; ++key) {
+    threads.emplace_back([&, key] {
+      Rng rng(1234u + static_cast<std::uint64_t>(key));
+      for (int i = 0; i < kPerKey; ++i) {
+        batcher.submit(key, i);
+        if (rng.uniform() < 0.05)
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  batcher.drain();
+  for (int key = 0; key < 4; ++key) {
+    ASSERT_EQ(delivered[key].size(), static_cast<std::size_t>(kPerKey));
+    for (int i = 0; i < kPerKey; ++i)
+      ASSERT_EQ(delivered[key][i], i) << "key " << key << " reordered";
+  }
+}
+
+TEST(BatcherTest, BatchedDeliveryIsBitIdenticalToSerial) {
+  // A stateful consumer (running hash chain per key) fed through racing
+  // batched delivery must end in exactly the state serial application
+  // produces — the serve models' correctness contract in miniature.
+  constexpr int kKeys = 3;
+  constexpr int kPerKey = 400;
+
+  auto fold = [](std::uint64_t acc, int item) {
+    HashStream h;
+    h.u64(acc);
+    h.i64(item);
+    return h.digest();
+  };
+
+  // Serial oracle.
+  std::vector<std::uint64_t> expected(kKeys, 0);
+  for (int key = 0; key < kKeys; ++key)
+    for (int i = 0; i < kPerKey; ++i) expected[key] = fold(expected[key], i);
+
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> state(kKeys, 0);
+  Batcher<int, int> batcher(pool, [&](const int& key, std::vector<int>&& items) {
+    // No lock on state[key]: per-key serialization IS the exclusivity.
+    for (int v : items) state[key] = fold(state[key], v);
+  });
+  std::vector<std::thread> threads;
+  for (int key = 0; key < kKeys; ++key) {
+    threads.emplace_back([&, key] {
+      for (int i = 0; i < kPerKey; ++i) batcher.submit(key, i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  batcher.drain();
+  for (int key = 0; key < kKeys; ++key)
+    EXPECT_EQ(state[key], expected[key]) << "key " << key;
+}
+
+TEST(BatcherTest, DrainRethrowsFirstBatchException) {
+  ThreadPool pool(2);
+  std::atomic<int> delivered_after_throw{0};
+  Batcher<int, int> batcher(pool, [&](const int&, std::vector<int>&& items) {
+    for (int v : items) {
+      if (v < 0) throw std::runtime_error("poisoned item");
+      delivered_after_throw.fetch_add(1);
+    }
+  });
+  batcher.submit(1, -1);
+  EXPECT_THROW(batcher.drain(), std::runtime_error);
+  // The batcher survives: the key unlocked, later items are delivered and
+  // the next drain is clean.
+  batcher.submit(1, 5);
+  batcher.drain();
+  EXPECT_EQ(delivered_after_throw.load(), 1);
+}
+
+TEST(BatcherTest, DrainOnIdleBatcherReturnsImmediately) {
+  ThreadPool pool(1);
+  Batcher<int, int> batcher(pool, [](const int&, std::vector<int>&&) {});
+  batcher.drain();  // no deadlock, no error
+  EXPECT_EQ(batcher.stats().batches, 0u);
+}
+
+}  // namespace
+}  // namespace redspot

@@ -398,6 +398,88 @@ TEST(HistoryStatsIncremental, BackwardSlideRebuildsAndMatches) {
   expect_stats_identical(slid, fresh, rng);
 }
 
+// --- Live trace growth (serve tick ingestion) --------------------------------
+//
+// The serve daemon appends one sample per zone per tick into pre-reserved
+// storage and re-advances trailing windows over the grown trace. Growth
+// must keep the incremental paths incremental (stable base pointer) and
+// bit-identical to fresh construction.
+
+TEST(LiveTraceGrowth, AppendExtendsGridInPlace) {
+  PriceSeries s(0, kPriceStep, {Money::dollars(0.30)});
+  s.reserve_total(10);
+  const Money* base = s.samples().data();
+  for (int i = 1; i < 10; ++i)
+    s.append(Money::dollars(0.30 + 0.01 * static_cast<double>(i)));
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.samples().data(), base) << "reserved append reallocated";
+  EXPECT_EQ(s.end(), 10 * kPriceStep);
+  EXPECT_EQ(s.at(9 * kPriceStep), Money::dollars(0.39));
+}
+
+TEST(LiveTraceGrowth, HistoryStatsAdvancesIncrementallyAcrossAppends) {
+  Rng rng(404);
+  std::vector<Rng> zrs;
+  for (std::uint64_t z = 0; z < 3; ++z) zrs.emplace_back(700 + z);
+  const auto next_price = [](Rng& zr) {
+    return Money::dollars(0.20 +
+                          0.15 * static_cast<double>(zr.uniform_index(5)));
+  };
+  std::vector<PriceSeries> series;
+  for (std::uint64_t z = 0; z < 3; ++z) {
+    std::vector<Money> samples;
+    samples.reserve(200);
+    for (int i = 0; i < 200; ++i) samples.push_back(next_price(zrs[z]));
+    series.emplace_back(0, kPriceStep, std::move(samples));
+  }
+  ZoneTraceSet traces = zones(std::move(series));
+  traces.reserve_total(500);
+
+  const std::vector<Money> grid = {Money::dollars(0.25), Money::dollars(0.35),
+                                   Money::dollars(0.50)};
+  constexpr std::size_t kWindow = 96;
+  HistoryStats slid(traces, traces.end() - kWindow * kPriceStep, traces.end(),
+                    grid);
+  const std::uint64_t rebuilds = slid.full_rebuilds();
+  while (traces.zone(0).size() < 500) {
+    std::vector<Money> tick;
+    for (std::uint64_t z = 0; z < 3; ++z) tick.push_back(next_price(zrs[z]));
+    traces.append_tick(tick);
+    if (rng.uniform() < 0.4) continue;  // tenants don't re-advise every tick
+    const SimTime to = traces.end();
+    const SimTime from = to - static_cast<SimTime>(kWindow) * kPriceStep;
+    slid.advance(traces, from, to);
+    HistoryStats fresh(traces, from, to, grid);
+    expect_stats_identical(slid, fresh, rng);
+  }
+  EXPECT_EQ(slid.full_rebuilds(), rebuilds) << "growth forced a rebuild";
+  EXPECT_GT(slid.incremental_advances(), 0u);
+}
+
+TEST(LiveTraceGrowth, MarkovModelSlidesAcrossAppends) {
+  Rng zr(55);
+  std::vector<Money> samples;
+  samples.reserve(200);
+  for (int i = 0; i < 200; ++i)
+    samples.push_back(
+        Money::dollars(0.20 + 0.15 * static_cast<double>(zr.uniform_index(5))));
+  PriceSeries series(0, kPriceStep, std::move(samples));
+  series.reserve_total(400);
+
+  constexpr std::size_t kWindow = 96;
+  IncrementalMarkovModel inc(8);  // small alphabet: unique-price mode
+  inc.observe(series.view(series.end() - kWindow * kPriceStep, series.end()));
+  while (series.size() < 400) {
+    series.append(
+        Money::dollars(0.20 + 0.15 * static_cast<double>(zr.uniform_index(5))));
+    const PriceView w =
+        series.view(series.end() - kWindow * kPriceStep, series.end());
+    expect_models_identical(inc.observe(w), build_markov_model(w));
+  }
+  EXPECT_GT(inc.incremental_slides(), 0u);
+  EXPECT_EQ(inc.full_rebuilds(), 1u) << "growth forced a rebuild";
+}
+
 // --- Engine history at the trace edge ----------------------------------------
 
 TEST(EngineHistory, MinObservedPriceAtTraceStartSeesOnlyElapsedSamples) {

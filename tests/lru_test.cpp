@@ -1,0 +1,166 @@
+// Unit tests for the shared byte-accounted LRU core (common/lru.hpp) and
+// its EnsembleCache instantiation staying behaviorally identical to the
+// pre-extraction cache.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/lru.hpp"
+
+namespace redspot {
+namespace {
+
+using Cache = LruByteCache<std::uint64_t, const std::string>;
+
+std::shared_ptr<const std::string> val(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+TEST(LruByteCache, MissThenHit) {
+  Cache cache(1024);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  cache.store(1, val("a"), 10);
+  const auto got = cache.lookup(1);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, "a");
+  const LruStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 10u);
+}
+
+TEST(LruByteCache, FirstWriterWins) {
+  Cache cache(1024);
+  cache.store(7, val("first"), 10);
+  const auto retained = cache.store(7, val("second"), 10);
+  ASSERT_NE(retained, nullptr);
+  EXPECT_EQ(*retained, "first");
+  EXPECT_EQ(*cache.lookup(7), "first");
+  EXPECT_EQ(cache.stats().bytes, 10u);  // second store not double-counted
+}
+
+TEST(LruByteCache, EvictsLeastRecentlyUsed) {
+  Cache cache(30);
+  cache.store(1, val("a"), 10);
+  cache.store(2, val("b"), 10);
+  cache.store(3, val("c"), 10);
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_NE(cache.lookup(1), nullptr);
+  cache.store(4, val("d"), 10);
+  EXPECT_EQ(cache.lookup(2), nullptr);  // evicted
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  EXPECT_NE(cache.lookup(4), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruByteCache, OversizedEntryNotRetained) {
+  Cache cache(30);
+  cache.store(1, val("a"), 10);
+  const auto big = cache.store(2, val("big"), 100);
+  EXPECT_EQ(big, nullptr);  // not retained
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  EXPECT_EQ(cache.lookup(1), nullptr);  // evicted making room first
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(LruByteCache, ZeroCapacityDisablesRetention) {
+  Cache cache(0);
+  cache.store(1, val("a"), 1);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(LruByteCache, SetCapacityEvictsImmediately) {
+  Cache cache(100);
+  cache.store(1, val("a"), 40);
+  cache.store(2, val("b"), 40);
+  cache.set_capacity_bytes(50);
+  EXPECT_EQ(cache.lookup(1), nullptr);  // older entry evicted
+  EXPECT_NE(cache.lookup(2), nullptr);
+  EXPECT_EQ(cache.stats().capacity_bytes, 50u);
+}
+
+TEST(LruByteCache, SharedOwnershipSurvivesEviction) {
+  Cache cache(20);
+  cache.store(1, val("keep"), 10);
+  const auto held = cache.lookup(1);
+  cache.store(2, val("x"), 10);
+  cache.store(3, val("y"), 10);  // 1 evicted
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(*held, "keep");  // still valid for the holder
+}
+
+TEST(LruByteCache, LookupOrCreateCachesAndCounts) {
+  LruByteCache<std::uint64_t, std::string> cache(1024);
+  int built = 0;
+  const auto make = [&]() {
+    ++built;
+    return std::make_shared<std::string>("made");
+  };
+  const auto bytes = [](const std::string& s) { return s.size(); };
+  const auto a = cache.lookup_or_create(5, make, bytes);
+  const auto b = cache.lookup_or_create(5, make, bytes);
+  EXPECT_EQ(built, 1);
+  EXPECT_EQ(a.get(), b.get());  // one shared object
+  const LruStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(LruByteCache, LookupOrCreateReturnsOversizedUnretained) {
+  LruByteCache<std::uint64_t, std::string> cache(4);
+  const auto make = [] { return std::make_shared<std::string>("oversize"); };
+  const auto bytes = [](const std::string& s) { return s.size(); };
+  const auto got = cache.lookup_or_create(1, make, bytes);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, "oversize");          // usable even though not retained
+  EXPECT_EQ(cache.stats().entries, 0u); // evicted immediately
+}
+
+TEST(LruByteCache, ClearResetsEverything) {
+  Cache cache(100);
+  cache.store(1, val("a"), 10);
+  cache.lookup(1);
+  cache.lookup(2);
+  cache.clear();
+  const LruStats s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+}
+
+TEST(LruByteCache, ConcurrentMixedTraffic) {
+  Cache cache(1 << 10);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (std::uint64_t i = 0; i < 500; ++i) {
+        const std::uint64_t key = (static_cast<std::uint64_t>(t) * 131 + i) % 64;
+        if (auto got = cache.lookup(key)) {
+          EXPECT_EQ(*got, std::to_string(key));
+        } else {
+          cache.store(key, val(std::to_string(key)), 16);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const LruStats s = cache.stats();
+  EXPECT_LE(s.bytes, (1u << 10));
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    if (auto got = cache.lookup(key)) {
+      EXPECT_EQ(*got, std::to_string(key));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace redspot

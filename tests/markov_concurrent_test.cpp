@@ -1,0 +1,198 @@
+// Concurrent-reader stress for IncrementalMarkovModel's query path.
+//
+// The serve layer shares one sliding model among many tenants: the const
+// expected_uptime overload is the many-reader path (atomic memo slots),
+// and observe() is the single writer, excluded from readers by the
+// caller's epoch-snapshot discipline (a shared_mutex here; the request
+// batcher's per-key serialization in src/serve/). Run under TSan these
+// tests prove (a) readers racing readers on memo fills are clean, and
+// (b) readers racing a slide through the documented exclusion are clean
+// and always observe a coherent epoch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "common/random.hpp"
+#include "markov/incremental.hpp"
+#include "markov/uptime.hpp"
+#include "trace/price_series.hpp"
+
+namespace redspot {
+namespace {
+
+/// A wandering price series: enough distinct prices to exercise both the
+/// memoized multi-state path and out-of-bid early-outs.
+PriceSeries wandering_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Money> samples;
+  samples.reserve(n);
+  std::int64_t cents = 30;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = rng.next_u64();
+    if (r % 7 == 0) cents += 1 + static_cast<std::int64_t>(r % 5);
+    if (r % 11 == 0) cents -= 1 + static_cast<std::int64_t>(r % 3);
+    if (cents < 25) cents = 25;
+    if (cents > 60) cents = 60;
+    samples.push_back(Money::cents(cents));
+  }
+  return PriceSeries(0, kPriceStep, std::move(samples));
+}
+
+TEST(MarkovConcurrent, ConstOverloadMatchesMutableBitForBit) {
+  const PriceSeries series = wandering_series(600, 17);
+  IncrementalMarkovModel a(32), b(32);
+  const std::vector<Money> bids = {Money::cents(26), Money::cents(31),
+                                   Money::cents(45), Money::dollars(1.00)};
+  UptimeScratch scratch;
+  for (std::size_t lo = 0; lo + 576 <= series.size(); lo += 3) {
+    const PriceView w(series.time_of(lo), kPriceStep,
+                      series.samples().subspan(lo, 576));
+    a.observe(w);
+    b.observe(w);
+    const Money price = series.sample(lo + 575);
+    for (Money bid : bids) {
+      EXPECT_EQ(a.expected_uptime(price, bid),
+                b.expected_uptime(price, bid, scratch));
+    }
+  }
+  // The const path fills the same memo: the mutable path then hits it.
+  EXPECT_GT(b.memo_hits() + b.memo_misses(), 0u);
+}
+
+TEST(MarkovConcurrent, ReadersRacingReadersOnMemoFills) {
+  const PriceSeries series = wandering_series(600, 23);
+  IncrementalMarkovModel model(32);
+  model.observe(series.view(0, 576 * kPriceStep));
+
+  constexpr int kReaders = 8;
+  constexpr int kQueries = 2000;
+  std::vector<Duration> expected;
+  {
+    UptimeScratch scratch;
+    for (int q = 0; q < kQueries; ++q) {
+      const Money price = series.sample(static_cast<std::size_t>(q) % 576);
+      const Money bid = Money::cents(28 + q % 30);
+      expected.push_back(model.expected_uptime(price, bid, scratch));
+    }
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      UptimeScratch scratch;  // per-reader scratch
+      for (int q = 0; q < kQueries; ++q) {
+        const Money price = series.sample(static_cast<std::size_t>(q) % 576);
+        const Money bid = Money::cents(28 + q % 30);
+        if (model.expected_uptime(price, bid, scratch) !=
+            expected[static_cast<std::size_t>(q)])
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(MarkovConcurrent, ReadersRacingASlideUnderSharedMutex) {
+  const PriceSeries series = wandering_series(1100, 29);
+  IncrementalMarkovModel model(32);
+  std::shared_mutex mutex;  // the documented writer-exclusion mechanism
+  std::atomic<int> bad{0};
+
+  {
+    std::unique_lock lock(mutex);
+    model.observe(series.view(0, 576 * kPriceStep));
+  }
+
+  // Both sides run a FIXED amount of work (no done-flag spin): default
+  // pthread rwlocks favor readers, and readers spinning until a writer
+  // flag would starve the writer indefinitely under TSan's slowdown.
+  constexpr int kReaders = 6;
+  constexpr int kQueriesPerReader = 600;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      UptimeScratch scratch;
+      Rng rng(1000 + static_cast<std::uint64_t>(t));
+      for (int q = 0; q < kQueriesPerReader; ++q) {
+        std::shared_lock lock(mutex);
+        // Any sample in the series is a representative query price; the
+        // answer must be non-negative and capped whatever the epoch.
+        const Money price = series.sample(rng.next_u64() % series.size());
+        const Money bid = Money::cents(28 + static_cast<std::int64_t>(
+                                                rng.next_u64() % 30));
+        const Duration up = model.expected_uptime(price, bid, scratch);
+        if (up < 0 || up > kDefaultUptimeCap)
+          bad.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer: slide the window forward one sample at a time, exactly the
+  // serve tick cadence.
+  for (std::size_t lo = 1; lo + 576 <= series.size(); ++lo) {
+    std::unique_lock lock(mutex);
+    const PriceView w(series.time_of(lo), kPriceStep,
+                      series.samples().subspan(lo, 576));
+    model.observe(w);
+  }
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GT(model.incremental_slides(), 0u);
+}
+
+TEST(MarkovConcurrent, BinnedRefitGrowingTheStateSetGrowsTheMemo) {
+  // Regression: a binned slide refits through build_markov_model_presorted,
+  // which can yield MORE states than the last full rebuild did — quantile
+  // bins collapse while duplicate-heavy mass dominates the window and
+  // spread back out as it leaves. The writer must grow the memo at refit
+  // time; the reader path indexes by state*n+alive and cannot resize.
+  constexpr std::size_t kWindow = 256;
+  constexpr std::size_t kMax = 8;
+  std::vector<Money> samples;
+  // First window: 12 distinct prices (> kMax, so the mode is binned) with
+  // ~95% of the mass piled on 30 cents, collapsing the bin representatives.
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    samples.push_back(i % 20 == 0
+                          ? Money::cents(25 + static_cast<std::int64_t>(
+                                                  (i / 20) % 12))
+                          : Money::cents(30));
+  }
+  // Tail: the same 12 prices spread evenly, so slid windows' bins fan out.
+  for (std::size_t i = 0; i < kWindow; ++i)
+    samples.push_back(Money::cents(25 + static_cast<std::int64_t>(i % 12)));
+  const PriceSeries series(0, kPriceStep, std::move(samples));
+
+  IncrementalMarkovModel slid(kMax);
+  slid.observe(PriceView(0, kPriceStep, series.samples().subspan(0, kWindow)));
+  const std::size_t states_at_rebuild = slid.model().num_states();
+
+  UptimeScratch scratch;
+  std::size_t max_states_seen = states_at_rebuild;
+  for (std::size_t lo = 1; lo + kWindow <= series.size(); ++lo) {
+    const PriceView w(series.time_of(lo), kPriceStep,
+                      series.samples().subspan(lo, kWindow));
+    slid.observe(w);
+    if (slid.model().num_states() > max_states_seen)
+      max_states_seen = slid.model().num_states();
+    IncrementalMarkovModel fresh(kMax);
+    fresh.observe(w);
+    const Money price = w.sample(kWindow - 1);
+    for (std::int64_t c = 24; c <= 40; c += 2) {
+      ASSERT_EQ(slid.expected_uptime(price, Money::cents(c), scratch),
+                fresh.expected_uptime(price, Money::cents(c)))
+          << "lo=" << lo << " bid=" << c << "c";
+    }
+  }
+  // Only a regression test if the state set actually outgrew the memo the
+  // full rebuild sized.
+  EXPECT_GT(max_states_seen, states_at_rebuild);
+  EXPECT_GT(slid.incremental_slides(), 0u);
+}
+
+}  // namespace
+}  // namespace redspot

@@ -1,0 +1,64 @@
+// redspot-serve — the multi-tenant bid-advisor daemon (DESIGN.md §12).
+//
+//   redspot-serve --socket PATH [options]
+//     --socket PATH       unix socket to listen on (required)
+//     --threads N         advise worker threads        [hardware]
+//     --registry-mb N     shared-model LRU capacity    [64]
+//     --quiet             suppress the final stats line
+//
+// The daemon serves the protocol in src/serve/proto.hpp: a feed process
+// seeds the price history (TraceInit) and streams ticks; tenants register
+// model specs and ask for advice. SIGINT/SIGTERM drains in-flight
+// requests, prints one stats line and exits 130 (a second signal
+// force-exits). See tools/tick_replay.cpp for a CSV-driven feed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr,
+               "redspot-serve: %s\nusage: redspot-serve --socket PATH "
+               "[--threads N] [--registry-mb N] [--quiet]\n",
+               msg);
+  std::exit(2);
+}
+
+long parse_positive(const char* opt, const char* v) {
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == nullptr || *end != '\0' || n <= 0) usage(opt);
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  redspot::serve::ServeOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&]() -> const char* {
+      if (i + 1 >= argc) usage("missing option value");
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      opt.socket_path = need();
+    } else if (a == "--threads") {
+      opt.threads = static_cast<std::size_t>(parse_positive("bad --threads", need()));
+    } else if (a == "--registry-mb") {
+      opt.registry_bytes =
+          static_cast<std::size_t>(parse_positive("bad --registry-mb", need()))
+          << 20;
+    } else if (a == "--quiet") {
+      opt.print_stats = false;
+    } else {
+      usage("unknown option");
+    }
+  }
+  if (opt.socket_path.empty()) usage("--socket is required");
+  return redspot::serve::run_server(opt);
+}

@@ -1,0 +1,159 @@
+// tick-replay — replays a trace-set CSV into a running redspot-serve
+// daemon as a live feed (satellite of the serve subsystem; DESIGN.md §12).
+//
+//   tick-replay --csv FILE --socket PATH [options]
+//     --csv FILE          trace-set CSV (trace/csv_io.hpp format; required)
+//     --socket PATH       daemon socket (required)
+//     --init-samples N    samples per zone sent as the TraceInit seed;
+//                         the rest stream as ticks            [half]
+//     --advise-every K    also register the default ModelSpec and request
+//                         advice after every K-th tick, printing each
+//                         answer (0 = feed only)              [0]
+//     --compute SECS      remaining compute for those requests [86400]
+//     --deadline SECS     remaining time for those requests    [172800]
+//
+// The CSV goes through the same read_csv validation as every other trace
+// consumer — malformed input dies with a line-numbered message before a
+// single byte reaches the daemon. Exit 0 once the replay (and all advice
+// responses) are in.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "trace/csv_io.hpp"
+
+using namespace redspot;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr,
+               "tick-replay: %s\nusage: tick-replay --csv FILE --socket PATH "
+               "[--init-samples N] [--advise-every K] [--compute SECS] "
+               "[--deadline SECS]\n",
+               msg);
+  std::exit(2);
+}
+
+long parse_positive(const char* opt, const char* v) {
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == nullptr || *end != '\0' || n <= 0) usage(opt);
+  return n;
+}
+
+const char* policy_name(PolicyKind p) {
+  switch (p) {
+    case PolicyKind::kPeriodic:
+      return "periodic";
+    case PolicyKind::kMarkovDaly:
+      return "markov-daly";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_path;
+  std::string socket_path;
+  std::size_t init_samples = 0;  // 0 = half the trace
+  std::size_t advise_every = 0;
+  serve::JobParams job;
+  job.remaining_compute = kDay;
+  job.remaining_time = 2 * kDay;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&]() -> const char* {
+      if (i + 1 >= argc) usage("missing option value");
+      return argv[++i];
+    };
+    if (a == "--csv") {
+      csv_path = need();
+    } else if (a == "--socket") {
+      socket_path = need();
+    } else if (a == "--init-samples") {
+      init_samples =
+          static_cast<std::size_t>(parse_positive("bad --init-samples", need()));
+    } else if (a == "--advise-every") {
+      advise_every =
+          static_cast<std::size_t>(parse_positive("bad --advise-every", need()));
+    } else if (a == "--compute") {
+      job.remaining_compute = parse_positive("bad --compute", need());
+    } else if (a == "--deadline") {
+      job.remaining_time = parse_positive("bad --deadline", need());
+    } else {
+      usage("unknown option");
+    }
+  }
+  if (csv_path.empty()) usage("--csv is required");
+  if (socket_path.empty()) usage("--socket is required");
+
+  try {
+    const ZoneTraceSet traces = read_csv_file(csv_path);
+    const std::size_t total = traces.zone(0).size();
+    if (total < 2) usage("trace needs at least 2 samples");
+    if (init_samples == 0) init_samples = total / 2;
+    if (init_samples < 1 || init_samples > total)
+      usage("--init-samples out of range");
+
+    serve::TraceInitMsg init;
+    init.start = traces.start();
+    init.step = traces.step();
+    init.capacity_samples = total;
+    for (std::size_t z = 0; z < traces.num_zones(); ++z) {
+      init.zone_names.push_back(traces.zone_name(z));
+      std::vector<Money> seed;
+      seed.reserve(init_samples);
+      const PriceView view = traces.zone(z).view();
+      for (std::size_t i = 0; i < init_samples; ++i)
+        seed.push_back(view.sample(i));
+      init.samples.push_back(std::move(seed));
+    }
+
+    serve::ServeClient client(socket_path);
+    client.trace_init(init);
+    std::printf("tick-replay: seeded %zu samples x %zu zones\n", init_samples,
+                traces.num_zones());
+
+    std::uint64_t spec_hash = 0;
+    if (advise_every > 0)
+      spec_hash = client.register_spec(serve::ModelSpec{});
+
+    std::vector<Money> prices(traces.num_zones());
+    std::size_t ticks = 0;
+    for (std::size_t i = init_samples; i < total; ++i) {
+      for (std::size_t z = 0; z < traces.num_zones(); ++z)
+        prices[z] = traces.zone(z).view().sample(i);
+      client.tick(prices);
+      ++ticks;
+      if (advise_every > 0 && ticks % advise_every == 0) {
+        const serve::AdviceMsg r = client.advise(ticks, spec_hash, job);
+        std::string zones;
+        for (std::size_t zone : r.advice.zones) {
+          if (!zones.empty()) zones += "+";
+          zones += traces.zone_name(zone);
+        }
+        std::printf(
+            "tick-replay: as_of=%lld bid=$%.3f zones=%s policy=%s "
+            "cost=$%.2f uptime=%llds ckpt=%llds\n",
+            static_cast<long long>(r.advice.as_of), r.advice.bid.to_double(),
+            zones.c_str(), policy_name(r.advice.policy),
+            r.advice.predicted_cost.to_double(),
+            static_cast<long long>(r.advice.expected_uptime),
+            static_cast<long long>(r.advice.checkpoint_interval));
+      }
+    }
+    std::printf("tick-replay: replayed %zu ticks\n", ticks);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tick-replay: %s\n", e.what());
+    return 1;
+  }
+}
