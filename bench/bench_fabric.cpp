@@ -74,19 +74,22 @@ EnsembleSpec dispatch_spec(std::size_t shards) {
 }
 
 /// Runs the spec through a real coordinator with one forked worker over
-/// `socket_path`. Returns the coordinator-side wall time in ns.
-double fabric_run_ns(const EnsembleSpec& spec, const std::string& socket_path) {
-  ::unlink(socket_path.c_str());
+/// `endpoint` (unix path or tcp:HOST:0 for an ephemeral loopback port).
+/// Returns the coordinator-side wall time in ns.
+double fabric_run_ns(const EnsembleSpec& spec, const std::string& endpoint) {
   fabric::FabricOptions options;
-  options.socket_path = socket_path;
+  options.endpoint = endpoint;
   // Generous budgets: this benchmark measures throughput, not recovery.
   options.lease.lease_duration_ms = 120'000;
   options.lease.heartbeat_timeout_ms = 60'000;
   options.fallback_wait_ms = 60'000;
 
-  // Bind the socket before forking so the worker's first dial lands —
-  // connect retries would otherwise pollute the dispatch figure.
+  // The constructor binds the listener, so forking right after can never
+  // race the bind — connect retries would otherwise pollute the dispatch
+  // figure. The worker dials the *resolved* endpoint (tcp:HOST:0 becomes
+  // the kernel-assigned port).
   fabric::Coordinator coordinator(spec, options, /*journal=*/nullptr);
+  options.endpoint = coordinator.endpoint();
   const pid_t child = ::fork();
   REDSPOT_CHECK_MSG(child >= 0, "fork failed");
   if (child == 0) {
@@ -103,7 +106,6 @@ double fabric_run_ns(const EnsembleSpec& spec, const std::string& socket_path) {
   REDSPOT_CHECK_MSG(::waitpid(child, &status, 0) == child, "waitpid failed");
   REDSPOT_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
                     "worker exited abnormally");
-  ::unlink(socket_path.c_str());
   return static_cast<double>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
 }
@@ -136,6 +138,8 @@ int main(int argc, char** argv) {
       "/tmp/bench_fabric_" + std::to_string(::getpid()) + ".sock";
 
   // --- 1. dispatch: coordinator + forked worker vs in-process ---------------
+  // Run once per transport: the unix socket is the historical baseline,
+  // the TCP loopback shows what the off-box transport costs on top.
   {
     const EnsembleSpec spec = dispatch_spec(shards);
 
@@ -144,20 +148,29 @@ int main(int argc, char** argv) {
       EnsembleRunner runner(spec);
       g_sink += static_cast<std::int64_t>(runner.run(pool).configs.size());
     });
+    report.set("inproc_run_ms", inproc_ns / 1e6);
+
     // fabric_run_ns times coordinator.run() only, so fork/exec setup of
     // the worker process is excluded from the dispatch figure.
-    std::vector<double> runs;
-    for (int r = 0; r < reps; ++r)
-      runs.push_back(fabric_run_ns(spec, socket_path));
-    std::sort(runs.begin(), runs.end());
-    const double fabric_ns = runs[runs.size() / 2];
+    const auto fabric_median = [&](const std::string& endpoint) {
+      std::vector<double> runs;
+      for (int r = 0; r < reps; ++r)
+        runs.push_back(fabric_run_ns(spec, endpoint));
+      std::sort(runs.begin(), runs.end());
+      return runs[runs.size() / 2];
+    };
 
-    const double per_shard_overhead_ns =
-        (fabric_ns - inproc_ns) / static_cast<double>(shards);
-    report.set("inproc_run_ms", inproc_ns / 1e6);
+    const double fabric_ns = fabric_median(socket_path);
     report.set("fabric_run_ms", fabric_ns / 1e6);
     report.set("fabric_dispatch_overhead_ratio", fabric_ns / inproc_ns);
-    report.set("fabric_dispatch_us", per_shard_overhead_ns / 1e3);
+    report.set("fabric_dispatch_us",
+               (fabric_ns - inproc_ns) / static_cast<double>(shards) / 1e3);
+
+    const double tcp_ns = fabric_median("tcp:127.0.0.1:0");
+    report.set("tcp_fabric_run_ms", tcp_ns / 1e6);
+    report.set("tcp_fabric_dispatch_overhead_ratio", tcp_ns / inproc_ns);
+    report.set("tcp_fabric_dispatch_us",
+               (tcp_ns - inproc_ns) / static_cast<double>(shards) / 1e3);
   }
 
   // --- 2. codec: the per-shard wire round trip without the socket -----------

@@ -16,8 +16,9 @@
 //                   Gated: QPS floor, p50/p99 advise latency, model count
 //                   ceiling (the sharing invariant), and bit-identity of
 //                   every batched answer against precomputed oracles.
-//   3. socket     — the in-process daemon behind a real unix socket, one
-//                   blocking client, median advise round trip.
+//   3. socket     — the in-process daemon behind a real unix socket and
+//                   again behind TCP loopback, one blocking client, median
+//                   advise round trip per transport.
 //
 // Usage: bench_serve [--quick] [--out report.json]
 #include <signal.h>
@@ -28,6 +29,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -252,21 +254,25 @@ int main(int argc, char** argv) {
                1000.0 * static_cast<double>(bs.batches) / total);
   }
 
-  // --- 3. socket: real daemon behind a unix socket, blocking client ---------
-  {
-    const std::string socket_path =
-        "/tmp/bench_serve_" + std::to_string(::getpid()) + ".sock";
+  // --- 3. socket: real daemon behind unix + TCP loopback, blocking client ---
+  const auto socket_suite = [&](const std::string& endpoint,
+                                const std::string& prefix) {
     ServeOptions options;
-    options.socket_path = socket_path;
+    options.endpoint = endpoint;
     options.threads = 2;
     options.print_stats = false;
     options.install_signal_handlers = false;
+    std::promise<std::string> bound_promise;
+    options.on_bound = [&](const std::string& bound) {
+      bound_promise.set_value(bound);
+    };
     reset_interrupt_flag();
     install_interrupt_handlers();
     std::thread daemon([&] { g_sink += run_server(options); });
 
     {
-      ServeClient client(socket_path);
+      // tcp:HOST:0 binds an ephemeral port; dial whatever the kernel chose.
+      ServeClient client(bound_promise.get_future().get());
       TraceInitMsg init;
       init.start = full.start();
       init.step = full.step();
@@ -296,14 +302,20 @@ int main(int argc, char** argv) {
                   .count()));
       }
       std::sort(rtt.begin(), rtt.end());
-      report.set("socket_rtt_p50_ns", rtt[rtt.size() / 2]);
-      report.set("socket_rtt_p99_ns", rtt[rtt.size() * 99 / 100]);
+      report.set(prefix + "_rtt_p50_ns", rtt[rtt.size() / 2]);
+      report.set(prefix + "_rtt_p99_ns", rtt[rtt.size() * 99 / 100]);
     }
 
     ::raise(SIGTERM);  // sets the interrupt flag; the daemon drains
     daemon.join();
     reset_interrupt_flag();
+  };
+  {
+    const std::string socket_path =
+        "/tmp/bench_serve_" + std::to_string(::getpid()) + ".sock";
+    socket_suite(socket_path, "socket");
     ::unlink(socket_path.c_str());
+    socket_suite("tcp:127.0.0.1:0", "tcp");
   }
 
   benchreport::write_report(report, out_path);

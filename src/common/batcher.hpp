@@ -97,6 +97,14 @@ class Batcher {
     return stats_;
   }
 
+  /// Items submitted but not yet delivered — the live queue depth. The
+  /// serve layer's load-shedding gate compares this against its bound
+  /// before admitting work.
+  std::uint64_t pending() const {
+    std::unique_lock lock(mutex_);
+    return outstanding_;
+  }
+
  private:
   struct KeyState {
     std::vector<Item> pending;

@@ -1,0 +1,176 @@
+#include "common/transport/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace redspot::transport {
+
+namespace {
+
+/// The single draw underlying every fault decision: a 64-bit hash of
+/// (seed, conn, byte_offset). Low bits decide *whether* a fault fires,
+/// independent reshuffles decide which kind and its parameters, so the
+/// same write position yields the same fault everywhere.
+std::uint64_t draw(const NetFaultPlan& plan, std::uint64_t conn,
+                   std::uint64_t byte_offset, std::uint64_t salt) {
+  HashStream h;
+  h.u64(plan.seed);
+  h.u64(conn);
+  h.u64(byte_offset);
+  h.u64(salt);
+  return h.digest();
+}
+
+double to_unit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::optional<NetFaultPlan> parse_net_fault_plan(const std::string& text) {
+  // SEED:RATE[:KINDS[:BUDGET]]
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = text.find(':', start);
+    parts.push_back(text.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.size() < 2 || parts.size() > 4) return std::nullopt;
+
+  NetFaultPlan plan;
+  char* end = nullptr;
+  plan.seed = std::strtoull(parts[0].c_str(), &end, 10);
+  if (parts[0].empty() || *end != '\0') return std::nullopt;
+  plan.rate = std::strtod(parts[1].c_str(), &end);
+  if (parts[1].empty() || *end != '\0' || plan.rate < 0.0 || plan.rate > 1.0)
+    return std::nullopt;
+
+  if (parts.size() >= 3 && !parts[2].empty() && parts[2] != "*") {
+    plan.kinds = 0;
+    for (char c : parts[2]) {
+      switch (c) {
+        case 'c': plan.kinds |= fault_bit(FaultKind::kDropConn); break;
+        case 'd': plan.kinds |= fault_bit(FaultKind::kDelay); break;
+        case 't': plan.kinds |= fault_bit(FaultKind::kTruncate); break;
+        case 'u': plan.kinds |= fault_bit(FaultKind::kDuplicate); break;
+        case 'p': plan.kinds |= fault_bit(FaultKind::kPartition); break;
+        default: return std::nullopt;
+      }
+    }
+  }
+  if (parts.size() == 4) {
+    const unsigned long budget = std::strtoul(parts[3].c_str(), &end, 10);
+    if (parts[3].empty() || *end != '\0') return std::nullopt;
+    plan.max_faults = static_cast<std::uint32_t>(budget);
+  }
+  return plan;
+}
+
+std::optional<FaultKind> fault_at(const NetFaultPlan& plan, std::uint64_t conn,
+                                  std::uint64_t byte_offset) {
+  if (!plan.enabled()) return std::nullopt;
+  if (to_unit(draw(plan, conn, byte_offset, 0x1)) >= plan.rate)
+    return std::nullopt;
+  // Pick uniformly among the enabled kinds; the selection draw is
+  // independent of the fire/no-fire draw so narrowing `kinds` never
+  // moves *where* faults land, only what they do.
+  std::uint8_t enabled[5];
+  std::uint8_t count = 0;
+  for (std::uint8_t k = 0; k < 5; ++k)
+    if (plan.kinds & (1u << k)) enabled[count++] = k;
+  if (count == 0) return std::nullopt;
+  const std::uint64_t pick = draw(plan, conn, byte_offset, 0x2) % count;
+  return static_cast<FaultKind>(enabled[pick]);
+}
+
+FaultyStream::FaultyStream(std::unique_ptr<Stream> inner, Hook hook)
+    : inner_(std::move(inner)), hook_(std::move(hook)) {}
+
+void FaultyStream::write_all(std::string_view data) {
+  if (broken_)
+    throw std::runtime_error("transport: connection dropped by fault plan");
+  const std::uint64_t offset = offset_;
+  offset_ += data.size();
+  if (partitioned_) return;  // one-way partition: writes vanish silently
+  const std::optional<FaultAction> action =
+      hook_ ? hook_(offset, data.size()) : std::nullopt;
+  if (!action) {
+    inner_->write_all(data);
+    return;
+  }
+  switch (action->kind) {
+    case FaultKind::kDropConn:
+      broken_ = true;
+      inner_.reset();  // close now → peer sees clean EOF
+      throw std::runtime_error("transport: connection dropped by fault plan");
+    case FaultKind::kDelay:
+      if (action->delay_ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(action->delay_ms));
+      inner_->write_all(data);
+      return;
+    case FaultKind::kTruncate: {
+      const std::size_t keep = std::min(action->truncate_at, data.size());
+      if (keep > 0) inner_->write_all(data.substr(0, keep));
+      broken_ = true;
+      inner_.reset();  // torn frame then EOF: peer parks on kNeedMore
+      throw std::runtime_error("transport: connection torn by fault plan");
+    }
+    case FaultKind::kDuplicate:
+      inner_->write_all(data);
+      inner_->write_all(data);
+      return;
+    case FaultKind::kPartition:
+      partitioned_ = true;  // this write and all later ones disappear
+      return;
+  }
+}
+
+std::size_t FaultyStream::read_some(char* dst, std::size_t cap) {
+  if (broken_)
+    throw std::runtime_error("transport: connection dropped by fault plan");
+  return inner_->read_some(dst, cap);
+}
+
+std::unique_ptr<Stream> NetFaultInjector::wrap(
+    std::unique_ptr<Stream> stream) {
+  if (!plan_.enabled()) return stream;
+  const std::uint64_t conn =
+      next_conn_.fetch_add(1, std::memory_order_relaxed);
+  const NetFaultPlan plan = plan_;
+  return std::make_unique<FaultyStream>(
+      std::move(stream),
+      [this, plan, conn](std::uint64_t offset,
+                         std::size_t len) -> std::optional<FaultAction> {
+        if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
+        const std::optional<FaultKind> kind = fault_at(plan, conn, offset);
+        if (!kind) return std::nullopt;
+        // Budget check last: a write position either always or never has
+        // a fault *scheduled*; the budget only bounds how many actually
+        // fire, mirroring ChaosPlan's kill_attempts cap.
+        std::uint32_t used = injected_.load(std::memory_order_relaxed);
+        do {
+          if (used >= plan.max_faults) return std::nullopt;
+        } while (!injected_.compare_exchange_weak(
+            used, used + 1, std::memory_order_relaxed));
+        FaultAction action;
+        action.kind = *kind;
+        if (*kind == FaultKind::kTruncate)
+          action.truncate_at = draw(plan, conn, offset, 0x3) % (len + 1);
+        if (*kind == FaultKind::kDelay)
+          action.delay_ms =
+              1 + static_cast<std::uint32_t>(draw(plan, conn, offset, 0x4) %
+                                             50);
+        return action;
+      });
+}
+
+}  // namespace redspot::transport

@@ -1,0 +1,144 @@
+// Deterministic network-fault injection for transport streams.
+//
+// The network analogue of the fabric's `ChaosPlan` (fault/chaos): every
+// fault is a pure function of `(seed, conn, byte_offset)`, so a chaos run
+// is exactly reproducible from its command line — no clocks, no global
+// RNG state, no dependence on scheduling.
+//
+// Faults act at *write-operation* granularity. The protocol layers send
+// one frame per write_all() call, so:
+//
+//   kDropConn   — the connection dies before the frame leaves; the peer
+//                 sees clean EOF.
+//   kDelay      — the frame arrives whole, but late (seeded millisecond
+//                 stall before the write).
+//   kTruncate   — a torn frame: a seeded prefix of the bytes is written,
+//                 then the connection dies. The peer's FrameBuffer parks
+//                 on kNeedMore until EOF — never a corrupt accept.
+//   kDuplicate  — the frame is delivered twice back-to-back (retransmit
+//                 double-delivery). Exercises the receiver's dedupe.
+//   kPartition  — one-way partition: this frame and every later write on
+//                 the stream vanish silently, while reads keep flowing.
+//                 The receiver must detect the half-open peer by
+//                 heartbeat deadline, not EOF.
+//
+// `NetFaultPlan` parses from "SEED:RATE[:KINDS[:BUDGET]]" (mirroring
+// ChaosPlan's "seed:rate:attempts"); `NetFaultInjector` hands out
+// per-connection FaultyStream wrappers and enforces a process-wide fault
+// budget so every chaos schedule terminates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/transport/transport.hpp"
+
+namespace redspot::transport {
+
+enum class FaultKind : std::uint8_t {
+  kDropConn = 0,
+  kDelay = 1,
+  kTruncate = 2,
+  kDuplicate = 3,
+  kPartition = 4,
+};
+
+/// Bitmask helpers over FaultKind.
+constexpr std::uint32_t fault_bit(FaultKind k) {
+  return 1u << static_cast<std::uint8_t>(k);
+}
+constexpr std::uint32_t kAllFaultKinds =
+    fault_bit(FaultKind::kDropConn) | fault_bit(FaultKind::kDelay) |
+    fault_bit(FaultKind::kTruncate) | fault_bit(FaultKind::kDuplicate) |
+    fault_bit(FaultKind::kPartition);
+
+/// A seeded network-fault schedule. rate is the per-write fault
+/// probability in [0,1]; kinds selects which fault kinds may fire;
+/// max_faults bounds total injections process-wide so runs converge.
+struct NetFaultPlan {
+  std::uint64_t seed = 0;
+  double rate = 0.0;
+  std::uint32_t kinds = kAllFaultKinds;
+  std::uint32_t max_faults = 8;
+
+  bool enabled() const { return rate > 0.0 && kinds != 0 && max_faults > 0; }
+};
+
+/// Parses "SEED:RATE[:KINDS[:BUDGET]]". KINDS is a letter set —
+/// c(ut)=drop, d(elay), t(runcate), u=duplicate, p(artition); "*" or
+/// empty = all. Returns nullopt on malformed input.
+std::optional<NetFaultPlan> parse_net_fault_plan(const std::string& text);
+
+/// The fault (if any) scheduled for the write at `byte_offset` on
+/// connection `conn`. Pure: same (plan, conn, byte_offset) → same answer,
+/// on any host, in any process.
+std::optional<FaultKind> fault_at(const NetFaultPlan& plan, std::uint64_t conn,
+                                  std::uint64_t byte_offset);
+
+/// A concrete injection decision for one write.
+struct FaultAction {
+  FaultKind kind = FaultKind::kDelay;
+  std::size_t truncate_at = 0;  ///< kTruncate: bytes delivered before the cut
+  std::uint32_t delay_ms = 0;   ///< kDelay: stall before delivery
+};
+
+/// A Stream decorator that injects faults on the write path. The decision
+/// comes from a hook so tests can script exact schedules and the injector
+/// can derive them from a NetFaultPlan. Reads pass through untouched —
+/// fault symmetry comes from wrapping both ends' writers.
+class FaultyStream final : public Stream {
+ public:
+  /// Called before each write with (byte_offset_of_this_write, length).
+  /// Return nullopt to deliver the write untouched.
+  using Hook = std::function<std::optional<FaultAction>(std::uint64_t offset,
+                                                        std::size_t len)>;
+
+  FaultyStream(std::unique_ptr<Stream> inner, Hook hook);
+
+  int fd() const override { return inner_->fd(); }
+  void write_all(std::string_view data) override;
+  std::size_t read_some(char* dst, std::size_t cap) override;
+
+  /// Bytes offered to write_all so far (pre-fault), i.e. the offset the
+  /// next write's hook will see.
+  std::uint64_t bytes_offered() const { return offset_; }
+
+ private:
+  std::unique_ptr<Stream> inner_;
+  Hook hook_;
+  std::uint64_t offset_ = 0;
+  bool broken_ = false;       ///< kDropConn/kTruncate fired: all I/O fails
+  bool partitioned_ = false;  ///< kPartition fired: writes vanish silently
+};
+
+/// Wraps streams of one process in seeded FaultyStreams, numbering
+/// connections in wrap order and enforcing the plan's process-wide fault
+/// budget. Injection can be armed late (arm()) so tests can complete
+/// setup traffic cleanly before chaos begins.
+class NetFaultInjector {
+ public:
+  explicit NetFaultInjector(NetFaultPlan plan, bool armed = true)
+      : plan_(plan), armed_(armed) {}
+
+  /// Decorates `stream`; no-op passthrough when the plan is disabled.
+  std::unique_ptr<Stream> wrap(std::unique_ptr<Stream> stream);
+
+  void arm() { armed_.store(true, std::memory_order_relaxed); }
+
+  const NetFaultPlan& plan() const { return plan_; }
+  std::uint32_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  NetFaultPlan plan_;
+  std::atomic<std::uint64_t> next_conn_{0};
+  std::atomic<std::uint32_t> injected_{0};
+  std::atomic<bool> armed_;
+};
+
+}  // namespace redspot::transport

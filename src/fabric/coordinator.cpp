@@ -1,19 +1,19 @@
 #include "fabric/coordinator.hpp"
 
 #include <poll.h>
-#include <unistd.h>
 
 #include <cerrno>
 
 #include <algorithm>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "common/transport/transport.hpp"
 #include "ensemble/shard_exec.hpp"
-#include "fabric/socket.hpp"
 #include "fabric/wire.hpp"
 #include "journal/journal.hpp"
 #include "journal/run_record.hpp"
@@ -23,10 +23,11 @@ namespace redspot::fabric {
 namespace {
 
 struct Conn {
-  int fd = -1;
+  std::unique_ptr<transport::Stream> stream;
   FrameBuffer in;
-  std::uint64_t worker = 0;  ///< 0 until the Hello/Welcome handshake
-  bool dead = false;         ///< marked for removal at end of iteration
+  std::uint64_t worker = 0;       ///< 0 until the Hello/Welcome handshake
+  bool dead = false;              ///< marked for removal at end of iteration
+  std::int64_t accepted_at = 0;   ///< for the pre-handshake deadline
 };
 
 }  // namespace
@@ -40,7 +41,7 @@ struct Coordinator::Impl {
   /// Canonical record per completed shard, whatever path delivered it.
   std::vector<std::optional<EnsembleShardRecord>> recs;
   CoordinatorReport report;
-  int listen_fd = -1;
+  std::unique_ptr<transport::Listener> listener;
   std::vector<Conn> conns;
 
   Impl(const EnsembleSpec& s, FabricOptions o, RunJournal* j)
@@ -50,20 +51,21 @@ struct Coordinator::Impl {
         exec(spec),
         table(spec.num_shards, opt.lease),
         recs(spec.num_shards) {
+    const auto ep = transport::parse_endpoint(opt.endpoint);
+    if (!ep)
+      throw std::runtime_error("fabric: bad endpoint: " + opt.endpoint);
+    // Bind in the constructor, before run(): callers that fork workers
+    // right after constructing the coordinator must never race the bind,
+    // and tcp:HOST:0 callers need local_endpoint() to learn the port.
+    listener = transport::listen(*ep);
     replay_journal();
   }
 
   ~Impl() { close_all(); }
 
   void close_all() {
-    for (Conn& c : conns)
-      if (c.fd >= 0) ::close(c.fd);
     conns.clear();
-    if (listen_fd >= 0) {
-      ::close(listen_fd);
-      listen_fd = -1;
-      ::unlink(opt.socket_path.c_str());
-    }
+    listener.reset();
   }
 
   /// Restores completed shards and attempt counters from the journal.
@@ -106,7 +108,7 @@ struct Coordinator::Impl {
   void send_to(Conn& c, const std::string& payload) {
     if (c.dead) return;
     try {
-      send_frame(c.fd, payload);
+      transport::send_frame(*c.stream, payload);
     } catch (const std::runtime_error&) {
       c.dead = true;
     }
@@ -121,7 +123,7 @@ struct Coordinator::Impl {
     switch (*type) {
       case MsgType::kHello: {
         const auto hello = decode_hello(payload);
-        if (!hello || c.worker != 0) {
+        if (!hello) {
           c.dead = true;
           return;
         }
@@ -136,8 +138,13 @@ struct Coordinator::Impl {
           c.dead = true;
           return;
         }
-        c.worker = table.add_worker(now);
-        ++report.workers_seen;
+        // Registration is idempotent: a duplicate-delivered Hello (or a
+        // worker retrying an uncertain handshake) gets the same worker id
+        // re-welcomed rather than a dead connection.
+        if (c.worker == 0) {
+          c.worker = table.add_worker(now);
+          ++report.workers_seen;
+        }
         send_to(c, encode_welcome({kProtocolVersion, exec.spec_hash(),
                                    c.worker}));
         break;
@@ -196,8 +203,9 @@ struct Coordinator::Impl {
         send_to(c, encode_ack({partial->shard, false}));
         break;
       case LeaseTable::Partial::kDuplicate:
-        // A reassignment raced the original owner; the work is already
-        // folded, so just confirm receipt.
+        // A reassignment raced the original owner — or the network
+        // delivered the frame twice; the work is already folded, so just
+        // confirm receipt.
         ++report.duplicate_partials;
         send_to(c, encode_ack({partial->shard, true}));
         break;
@@ -239,11 +247,10 @@ struct Coordinator::Impl {
         table.remove_worker(c.worker, now);
         if (count_as_lost) ++report.workers_lost;
       }
-      ::close(c.fd);
-      c.fd = -1;
+      c.stream.reset();
     }
     conns.erase(std::remove_if(conns.begin(), conns.end(),
-                               [](const Conn& c) { return c.fd < 0; }),
+                               [](const Conn& c) { return !c.stream; }),
                 conns.end());
   }
 
@@ -269,7 +276,6 @@ struct Coordinator::Impl {
   }
 
   CoordinatorReport run() {
-    listen_fd = listen_unix(opt.socket_path);
     std::int64_t last_fleet = mono_ms();
 
     while (!table.all_done()) {
@@ -291,8 +297,8 @@ struct Coordinator::Impl {
         wake = std::min(wake, last_fleet + opt.fallback_wait_ms);
 
       std::vector<pollfd> fds;
-      fds.push_back({listen_fd, POLLIN, 0});
-      for (const Conn& c : conns) fds.push_back({c.fd, POLLIN, 0});
+      fds.push_back({listener->fd(), POLLIN, 0});
+      for (const Conn& c : conns) fds.push_back({c.stream->fd(), POLLIN, 0});
       const int timeout = static_cast<int>(std::max<std::int64_t>(
           0, std::min<std::int64_t>(wake - now, 1'000)));
       const int rc = ::poll(fds.data(), fds.size(), timeout);
@@ -302,10 +308,10 @@ struct Coordinator::Impl {
       now = mono_ms();
 
       if (fds[0].revents & POLLIN) {
-        int fd;
-        while ((fd = accept_unix(listen_fd)) >= 0) {
+        while (auto stream = listener->accept()) {
           Conn c;
-          c.fd = fd;
+          c.stream = std::move(stream);
+          c.accepted_at = now;
           conns.push_back(std::move(c));
           // Newly pushed conn has no pollfd this round; next iteration
           // reads its Hello.
@@ -317,7 +323,7 @@ struct Coordinator::Impl {
         Conn& c = conns[i];
         if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
         try {
-          if (!read_available(c.fd, c.in)) c.dead = true;  // EOF
+          if (!c.stream->read_into(c.in)) c.dead = true;  // EOF
         } catch (const std::runtime_error&) {
           c.dead = true;
         }
@@ -325,6 +331,18 @@ struct Coordinator::Impl {
         while (!c.dead && c.in.next(&frame) == FrameStatus::kOk)
           dispatch(c, frame, now);
         if (c.in.corrupt()) c.dead = true;
+      }
+
+      // A connection that never completes its Hello is not a slow worker
+      // — it is a half-open peer (its Hello may have vanished into a
+      // one-way partition). EOF never comes on such a socket; the
+      // heartbeat deadline is the only honest death verdict.
+      for (Conn& c : conns) {
+        if (c.dead || c.worker != 0) continue;
+        if (now - c.accepted_at >= opt.lease.heartbeat_timeout_ms) {
+          LOG_WARN << "fabric: dropping connection that never said hello";
+          c.dead = true;
+        }
       }
       reap_dead(now, /*count_as_lost=*/true);
 
@@ -372,6 +390,11 @@ Coordinator::Coordinator(const EnsembleSpec& spec, FabricOptions options,
     : impl_(std::make_unique<Impl>(spec, std::move(options), journal)) {}
 
 Coordinator::~Coordinator() = default;
+
+std::string Coordinator::endpoint() const {
+  return impl_->listener ? impl_->listener->local_endpoint().str()
+                         : impl_->opt.endpoint;
+}
 
 CoordinatorReport Coordinator::run() { return impl_->run(); }
 

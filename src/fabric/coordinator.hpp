@@ -1,7 +1,8 @@
 // Fabric coordinator: leases shards to a worker fleet, folds the partials.
 //
-// Single-threaded poll() loop over one listening unix socket plus every
-// connected worker. The coordinator owns no simulation code of its own —
+// Single-threaded poll() loop over one transport listener (unix socket or
+// TCP — common/transport) plus every connected worker. The coordinator
+// owns no simulation code of its own —
 // validation, folding and the final reduction all go through
 // ShardExecutor, and each accepted partial is journaled verbatim as the
 // kEnsembleShard record the worker produced, so:
@@ -23,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "ensemble/runner.hpp"
 #include "ensemble/spec.hpp"
@@ -51,10 +53,18 @@ class Coordinator {
  public:
   /// `spec` must be validated and outlive the coordinator. `journal` may
   /// be null (no durability); when set, it is replayed on construction
-  /// and appended to as partials arrive.
+  /// and appended to as partials arrive. The listener is bound here, in
+  /// the constructor — callers may fork/spawn workers the moment this
+  /// returns, and tcp:HOST:0 callers read the resolved port from
+  /// endpoint(). Throws std::runtime_error on a bad or unbindable
+  /// endpoint.
   Coordinator(const EnsembleSpec& spec, FabricOptions options,
               RunJournal* journal);
   ~Coordinator();
+
+  /// The actual bound endpoint in canonical text form — resolves
+  /// tcp:HOST:0 to the kernel-assigned port.
+  std::string endpoint() const;
 
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;

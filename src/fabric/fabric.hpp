@@ -8,15 +8,18 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "common/transport/fault.hpp"
 #include "fabric/lease.hpp"
 #include "fault/fault_plan.hpp"
 
 namespace redspot::fabric {
 
 struct FabricOptions {
-  /// Unix socket path the coordinator listens on / workers dial.
-  std::string socket_path;
+  /// Transport endpoint the coordinator listens on / workers dial:
+  /// "unix:PATH", "tcp:HOST:PORT", or a bare unix-socket path.
+  std::string endpoint;
   LeaseConfig lease;
   /// Coordinator: with zero workers connected for this long, give up on
   /// the fleet and finish the run in-process (never hang).
@@ -25,8 +28,16 @@ struct FabricOptions {
   std::int64_t heartbeat_interval_ms = 250;
   /// Worker: total wall clock spent failing to (re)connect before exiting.
   std::int64_t give_up_ms = 20'000;
+  /// Worker: abandon a connection whose handshake never completes within
+  /// this budget and reconnect. Over a faulty network the Hello (or the
+  /// Welcome) can vanish into a one-way partition; without this deadline
+  /// a partitioned worker would wait for the Welcome forever.
+  std::int64_t handshake_timeout_ms = 2'000;
   /// Worker: reconnect backoff (interpreted in milliseconds).
   BackoffPolicy reconnect{/*base=*/100, /*cap=*/2'000, /*jitter=*/0.5};
+  /// Worker: optional seeded network-fault injector; every connection the
+  /// worker makes is wrapped. Test instrumentation — null in production.
+  transport::NetFaultInjector* net_fault = nullptr;
 };
 
 /// Monotonic wall clock in milliseconds (CLOCK_MONOTONIC; immune to

@@ -5,13 +5,15 @@
 
 #include <cerrno>
 #include <csignal>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "common/log.hpp"
 #include "common/random.hpp"
+#include "common/transport/transport.hpp"
 #include "ensemble/shard_exec.hpp"
-#include "fabric/socket.hpp"
 #include "fabric/wire.hpp"
 #include "fault/fault_plan.hpp"
 
@@ -23,8 +25,8 @@ namespace {
 /// progress callback, and streams the partial. Throws std::runtime_error
 /// when the connection dies.
 void compute_and_send(const ShardExecutor& exec, const FabricOptions& opt,
-                      const ChaosPlan& chaos, int fd, const LeaseMsg& lease,
-                      std::uint64_t shard) {
+                      const ChaosPlan& chaos, transport::Stream& stream,
+                      const LeaseMsg& lease, std::uint64_t shard) {
   const auto [lo, hi] = exec.bounds(static_cast<std::size_t>(shard));
   // Chaos verdict is fixed before compute starts: die after roughly half
   // the shard's replications, so the kill lands mid-shard — after work
@@ -43,21 +45,22 @@ void compute_and_send(const ShardExecutor& exec, const FabricOptions& opt,
         if (now - last_hb < opt.heartbeat_interval_ms) return;
         last_hb = now;
         try {
-          send_frame(fd, encode_heartbeat({shard, done}));
+          transport::send_frame(stream, encode_heartbeat({shard, done}));
         } catch (const std::runtime_error&) {
           // Coordinator gone mid-compute; the partial send below will
           // surface it. Progress callbacks must not throw.
         }
       });
-  send_frame(fd, encode_partial({lease.lease_id, shard, payload}));
+  transport::send_frame(stream,
+                        encode_partial({lease.lease_id, shard, payload}));
 }
 
 /// One connected session. Returns the worker exit code (0 done, 2
 /// rejected), or -1 when the connection was lost and a reconnect is in
 /// order. Sets *welcomed once the handshake succeeds.
 int serve(const ShardExecutor& exec, const EnsembleSpec& spec,
-          const FabricOptions& opt, const ChaosPlan& chaos, int fd,
-          bool* welcomed) {
+          const FabricOptions& opt, const ChaosPlan& chaos,
+          transport::Stream& stream, bool* welcomed) {
   try {
     HelloMsg hello;
     hello.spec_hash = exec.spec_hash();
@@ -65,7 +68,11 @@ int serve(const ShardExecutor& exec, const EnsembleSpec& spec,
     hello.num_shards = exec.num_shards();
     hello.num_configs = exec.num_configs();
     hello.pid = static_cast<std::uint64_t>(::getpid());
-    send_frame(fd, encode_hello(hello));
+    transport::send_frame(stream, encode_hello(hello));
+    // If the Hello (or the coordinator's Welcome) vanishes into a one-way
+    // partition, no EOF ever comes; this deadline is the only way out.
+    const std::int64_t handshake_deadline =
+        mono_ms() + opt.handshake_timeout_ms;
 
     FrameBuffer in;
     while (true) {
@@ -73,17 +80,22 @@ int serve(const ShardExecutor& exec, const EnsembleSpec& spec,
       const FrameStatus status = in.next(&frame);
       if (status == FrameStatus::kCorrupt) return -1;
       if (status == FrameStatus::kNeedMore) {
+        if (!*welcomed && mono_ms() >= handshake_deadline) {
+          LOG_WARN << "fabric: handshake timed out; reconnecting";
+          return -1;
+        }
         // Idle workers must stay audibly alive: poll with a heartbeat
         // deadline instead of blocking on read forever.
-        pollfd pfd{fd, POLLIN, 0};
+        pollfd pfd{stream.fd(), POLLIN, 0};
         const int rc =
             ::poll(&pfd, 1, static_cast<int>(opt.heartbeat_interval_ms));
         if (rc < 0 && errno != EINTR) return -1;
         if (rc <= 0) {
-          send_frame(fd, encode_heartbeat({HeartbeatMsg::kNoShard, 0}));
+          transport::send_frame(stream,
+                                encode_heartbeat({HeartbeatMsg::kNoShard, 0}));
           continue;
         }
-        if (!read_available(fd, in)) return -1;  // EOF
+        if (!stream.read_into(in)) return -1;  // EOF
         continue;
       }
 
@@ -106,7 +118,7 @@ int serve(const ShardExecutor& exec, const EnsembleSpec& spec,
           const auto lease = decode_lease(frame);
           if (!lease) return -1;
           for (std::uint64_t s = lease->shard_lo; s < lease->shard_hi; ++s)
-            compute_and_send(exec, opt, chaos, fd, *lease, s);
+            compute_and_send(exec, opt, chaos, stream, *lease, s);
           break;
         }
         case MsgType::kAck:
@@ -127,6 +139,11 @@ int serve(const ShardExecutor& exec, const EnsembleSpec& spec,
 
 int run_worker(const EnsembleSpec& spec, const FabricOptions& options,
                const ChaosPlan& chaos) {
+  const auto ep = transport::parse_endpoint(options.endpoint);
+  if (!ep) {
+    LOG_WARN << "fabric: bad endpoint: " << options.endpoint;
+    return 1;
+  }
   const ShardExecutor exec(spec);
   // Jitter only desynchronizes reconnect stampedes; per-process seeding
   // is exactly what we want (shard results never depend on it).
@@ -135,12 +152,14 @@ int run_worker(const EnsembleSpec& spec, const FabricOptions& options,
   int attempt = 1;
   std::int64_t give_up_at = mono_ms() + options.give_up_ms;
   while (true) {
-    const int fd = connect_unix(options.socket_path);
-    if (fd >= 0) {
+    std::unique_ptr<transport::Stream> stream = transport::connect(*ep);
+    if (stream) {
+      if (options.net_fault != nullptr)
+        stream = options.net_fault->wrap(std::move(stream));
       bool welcomed = false;
       const int rc =
-          serve(exec, spec, options, chaos, fd, &welcomed);
-      ::close(fd);
+          serve(exec, spec, options, chaos, *stream, &welcomed);
+      stream.reset();
       if (rc >= 0) return rc;
       if (welcomed) {
         // A worker that was in the fleet gets a fresh patience budget:
@@ -150,7 +169,7 @@ int run_worker(const EnsembleSpec& spec, const FabricOptions& options,
       }
     }
     if (mono_ms() >= give_up_at) {
-      LOG_WARN << "fabric: no coordinator at " << options.socket_path
+      LOG_WARN << "fabric: no coordinator at " << options.endpoint
                << " after " << options.give_up_ms << " ms; giving up";
       return 1;
     }

@@ -1,37 +1,78 @@
 #include "serve/client.hpp"
 
+#include <poll.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <thread>
+#include <utility>
 
-#include "fabric/socket.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace redspot::serve {
 
-ServeClient::ServeClient(const std::string& socket_path,
-                         int connect_timeout_ms) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(connect_timeout_ms);
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ServeClient::ServeClient(ServeClientOptions options)
+    : opt_(std::move(options)),
+      rng_(static_cast<std::uint64_t>(::getpid()), /*stream=*/0x5E57E) {
+  const auto ep = transport::parse_endpoint(opt_.endpoint);
+  if (!ep)
+    throw std::runtime_error("serve client: bad endpoint: " + opt_.endpoint);
+  endpoint_ = *ep;
+  ensure_connected();
+}
+
+ServeClient::ServeClient(const std::string& endpoint, int connect_timeout_ms)
+    : ServeClient(ServeClientOptions{endpoint, connect_timeout_ms}) {}
+
+ServeClient::~ServeClient() = default;
+
+void ServeClient::ensure_connected() {
+  if (stream_) return;
+  const BackoffPolicy backoff{/*base=*/20, /*cap=*/500, /*jitter=*/0.5};
+  const std::int64_t deadline = now_ms() + opt_.connect_timeout_ms;
+  int attempt = 1;
   for (;;) {
-    fd_ = fabric::connect_unix(socket_path);
-    if (fd_ >= 0) return;
-    if (std::chrono::steady_clock::now() >= deadline)
+    std::unique_ptr<transport::Stream> stream = transport::connect(endpoint_);
+    if (stream) {
+      if (opt_.net_fault != nullptr)
+        stream = opt_.net_fault->wrap(std::move(stream));
+      stream_ = std::move(stream);
+      in_ = FrameBuffer{};  // bytes from a previous connection are garbage
+      return;
+    }
+    if (now_ms() >= deadline)
       throw std::runtime_error("serve client: connect timeout: " +
-                               socket_path);
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+                               opt_.endpoint);
+    const Duration delay = backoff_delay(backoff, attempt++, rng_.uniform());
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<std::int64_t>(delay)));
   }
 }
 
-ServeClient::~ServeClient() {
-  if (fd_ >= 0) ::close(fd_);
+void ServeClient::drop_connection() {
+  stream_.reset();
+  in_ = FrameBuffer{};
 }
 
 void ServeClient::send(const std::string& payload) {
-  fabric::send_frame(fd_, payload);
+  transport::send_frame(*stream_, payload);
 }
 
 std::string ServeClient::recv_frame() {
+  const std::int64_t deadline = now_ms() + opt_.reply_timeout_ms;
   std::string payload;
   for (;;) {
     switch (in_.next(&payload)) {
@@ -42,13 +83,22 @@ std::string ServeClient::recv_frame() {
       case FrameStatus::kNeedMore:
         break;
     }
-    if (!fabric::read_available(fd_, in_))
+    // A partitioned daemon never EOFs; bound the wait so a lost reply
+    // surfaces as a connection failure instead of a hang.
+    const std::int64_t remaining = deadline - now_ms();
+    if (remaining <= 0)
+      throw std::runtime_error("serve client: reply timeout");
+    pollfd pfd{stream_->fd(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (rc < 0 && errno != EINTR)
+      throw std::runtime_error("serve client: poll failed");
+    if (rc <= 0) continue;  // timeout re-checked above; EINTR retried
+    if (!stream_->read_into(in_))
       throw std::runtime_error("serve client: daemon closed the connection");
   }
 }
 
-std::string ServeClient::recv_ok() {
-  std::string payload = recv_frame();
+std::string ServeClient::check_ok(std::string payload) {
   if (msg_type(payload) == MsgType::kError) {
     const auto err = decode_error(payload);
     throw ServeError(err ? err->request_id : 0,
@@ -57,47 +107,98 @@ std::string ServeClient::recv_ok() {
   return payload;
 }
 
+std::string ServeClient::transact(const std::string& payload, bool idempotent,
+                                  const ReplyMatcher& matches) {
+  int resends = 0;
+  for (;;) {
+    ensure_connected();
+    try {
+      send(payload);
+      for (;;) {
+        std::string reply = check_ok(recv_frame());
+        if (matches(reply)) return reply;
+        // Not ours: a duplicate-delivered reply to an *earlier* request
+        // still buffered on this connection. Discard and keep reading —
+        // the stale backlog is finite and the reply deadline bounds us.
+      }
+    } catch (const ServeError&) {
+      throw;  // protocol-level answer; the connection is fine
+    } catch (const std::runtime_error& e) {
+      drop_connection();
+      if (!idempotent)
+        throw ConnectionLost(
+            std::string("serve client: connection lost mid-request; the "
+                        "request may or may not have been applied: ") +
+            e.what());
+      if (++resends > opt_.max_resends) throw;
+    }
+  }
+}
+
+namespace {
+
+/// Matcher for replies identified by type alone (at most one such request
+/// is ever in flight per blocking call).
+ServeClient::ReplyMatcher is_type(MsgType want) {
+  return [want](const std::string& reply) { return msg_type(reply) == want; };
+}
+
+}  // namespace
+
 SimTime ServeClient::trace_init(const TraceInitMsg& m) {
-  send(encode_trace_init(m));
-  const auto ok = decode_trace_ok(recv_ok());
+  const auto ok = decode_trace_ok(transact(
+      encode_trace_init(m), /*idempotent=*/false, is_type(MsgType::kTraceOk)));
   if (!ok) throw std::runtime_error("serve client: bad TraceOk");
   return ok->end;
 }
 
 SimTime ServeClient::tick(const std::vector<Money>& prices) {
-  send(encode_tick(TickMsg{prices}));
-  const auto ack = decode_tick_ack(recv_ok());
+  const auto ack =
+      decode_tick_ack(transact(encode_tick(TickMsg{prices}),
+                               /*idempotent=*/false,
+                               is_type(MsgType::kTickAck)));
   if (!ack) throw std::runtime_error("serve client: bad TickAck");
   return ack->end;
 }
 
 std::uint64_t ServeClient::register_spec(const ModelSpec& spec) {
-  send(encode_register(RegisterMsg{spec}));
-  const auto ok = decode_register_ok(recv_ok());
+  const auto ok = decode_register_ok(transact(
+      encode_register(RegisterMsg{spec}), /*idempotent=*/true,
+      is_type(MsgType::kRegisterOk)));
   if (!ok) throw std::runtime_error("serve client: bad RegisterOk");
   return ok->spec_hash;
 }
 
 void ServeClient::advise_async(std::uint64_t request_id,
                                std::uint64_t spec_hash, const JobParams& job) {
+  ensure_connected();
   send(encode_advise(AdviseMsg{request_id, spec_hash, job}));
 }
 
 AdviceMsg ServeClient::recv_advice() {
-  const auto adv = decode_advice(recv_ok());
+  const auto adv = decode_advice(check_ok(recv_frame()));
   if (!adv) throw std::runtime_error("serve client: bad Advice");
   return *adv;
 }
 
 AdviceMsg ServeClient::advise(std::uint64_t request_id,
                               std::uint64_t spec_hash, const JobParams& job) {
-  advise_async(request_id, spec_hash, job);
-  return recv_advice();
+  // Matched by request id, not just type: a duplicate-delivered Advice
+  // for an earlier id must be discarded, not returned as this answer.
+  const auto adv = decode_advice(
+      transact(encode_advise(AdviseMsg{request_id, spec_hash, job}),
+               /*idempotent=*/true, [request_id](const std::string& reply) {
+                 const auto a = decode_advice(reply);
+                 return a && a->request_id == request_id;
+               }));
+  if (!adv) throw std::runtime_error("serve client: bad Advice");
+  return *adv;
 }
 
 StatsReplyMsg ServeClient::stats() {
-  send(encode_stats(StatsMsg{}));
-  const auto s = decode_stats_reply(recv_ok());
+  const auto s = decode_stats_reply(transact(encode_stats(StatsMsg{}),
+                                             /*idempotent=*/true,
+                                             is_type(MsgType::kStatsReply)));
   if (!s) throw std::runtime_error("serve client: bad StatsReply");
   return *s;
 }

@@ -1,21 +1,42 @@
-// Blocking request/response client for the serve protocol.
+// Blocking request/response client for the serve protocol, with
+// self-healing reconnects.
 //
-// Thin convenience over connect_unix + the proto codecs: each call sends
-// one frame and blocks until the daemon's answer arrives (connections are
-// blocking on the client side; the daemon replies in submission order per
-// request class). Used by tick_replay, the integration tests and
-// bench_serve — tenants wanting pipelining can hold several clients.
+// Thin convenience over the transport layer + the proto codecs: each call
+// sends one frame and blocks until the daemon's answer arrives
+// (connections are blocking on the client side; the daemon replies in
+// submission order per request class). Used by tick_replay, the
+// integration tests and bench_serve — tenants wanting pipelining can hold
+// several clients.
 //
-// Every method throws std::runtime_error on transport failure (daemon
-// gone, frame corruption) and ServeError when the daemon answered with an
-// Error message — the two failure classes the protocol distinguishes.
+// Failure semantics distinguish three cases:
+//
+//   * The daemon is not reachable (ENOENT/ECONNREFUSED, or the connection
+//     died and must be redialed): the client reconnects with capped
+//     exponential backoff + jitter, up to connect_timeout_ms per request.
+//   * The connection dropped mid-request. If the request is idempotent
+//     (advise, register, stats — re-execution is harmless), the client
+//     reconnects and resends, up to max_resends times. If it is NOT
+//     (tick, trace_init — re-execution would double-apply), the client
+//     throws ConnectionLost: the effect of the request is unknown and
+//     only the caller can decide what to do.
+//   * The daemon answered with a protocol-level Error message: ServeError.
+//     The connection is fine; this is never retried.
+//
+// advise_async/recv_advice are raw pipelining primitives and do not
+// retry — once requests are in flight their resend semantics belong to
+// the caller.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "common/frame.hpp"
+#include "common/random.hpp"
+#include "common/transport/fault.hpp"
+#include "common/transport/transport.hpp"
 #include "serve/proto.hpp"
 
 namespace redspot::serve {
@@ -31,56 +52,106 @@ class ServeError : public std::runtime_error {
   std::uint64_t request_id_ = 0;
 };
 
+/// The connection dropped after a non-idempotent request was (partly or
+/// wholly) sent: the daemon may or may not have applied it, and resending
+/// could double-apply. The caller decides how to recover.
+class ConnectionLost : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ServeClientOptions {
+  /// "unix:PATH", "tcp:HOST:PORT", or a bare unix-socket path.
+  std::string endpoint;
+  /// Total budget for (re)connecting per request, including backoff
+  /// sleeps, while the daemon is unreachable.
+  int connect_timeout_ms = 5'000;
+  /// How long to wait for a reply before declaring the connection dead. A
+  /// partitioned daemon never EOFs — this deadline is the only way out.
+  int reply_timeout_ms = 10'000;
+  /// Resend budget for idempotent requests after a mid-request drop.
+  int max_resends = 3;
+  /// Optional seeded fault injector wrapping every connection the client
+  /// makes (chaos tests). Null in production.
+  transport::NetFaultInjector* net_fault = nullptr;
+};
+
 class ServeClient {
  public:
-  /// Connects to the daemon at `socket_path`, retrying for up to
-  /// `connect_timeout_ms` while the socket does not exist yet (daemon
-  /// still starting). Throws std::runtime_error on timeout.
-  explicit ServeClient(const std::string& socket_path,
-                       int connect_timeout_ms = 5000);
+  /// Connects to the daemon, retrying with backoff for up to
+  /// options.connect_timeout_ms. Throws std::runtime_error on timeout or
+  /// a malformed endpoint.
+  explicit ServeClient(ServeClientOptions options);
+
+  /// Convenience: endpoint + connect timeout, defaults elsewhere.
+  explicit ServeClient(const std::string& endpoint,
+                       int connect_timeout_ms = 5'000);
   ~ServeClient();
 
   ServeClient(const ServeClient&) = delete;
   ServeClient& operator=(const ServeClient&) = delete;
 
   /// Seeds the daemon's trace store. Returns the trace end after seeding.
+  /// NOT idempotent: throws ConnectionLost on a mid-request drop.
   SimTime trace_init(const TraceInitMsg& m);
 
   /// Appends one price sample per zone. Returns the new trace end.
+  /// NOT idempotent: throws ConnectionLost on a mid-request drop.
   SimTime tick(const std::vector<Money>& prices);
 
-  /// Registers a model spec (idempotent). Returns the spec hash to advise
-  /// against.
+  /// Registers a model spec (idempotent — resent transparently). Returns
+  /// the spec hash to advise against.
   std::uint64_t register_spec(const ModelSpec& spec);
 
   /// Asks for advice for `job` against a registered spec. Blocks until the
-  /// daemon answers this request id.
+  /// daemon answers this request id. Idempotent — resent transparently.
   AdviceMsg advise(std::uint64_t request_id, std::uint64_t spec_hash,
                    const JobParams& job);
 
   /// Fire-and-forget advise: sends the request without waiting. Pair with
   /// recv_advice() to collect responses (they arrive in per-spec
-  /// submission order). Used to build up server-side batches.
+  /// submission order). Raw: no reconnect/resend.
   void advise_async(std::uint64_t request_id, std::uint64_t spec_hash,
                     const JobParams& job);
 
   /// Receives the next Advice response (throws ServeError on an Error
-  /// response, std::runtime_error if the daemon hangs up first).
+  /// response, std::runtime_error if the daemon hangs up first). Raw: no
+  /// reconnect/resend.
   AdviceMsg recv_advice();
 
+  /// Idempotent — resent transparently.
   StatsReplyMsg stats();
 
- private:
-  /// Sends one encoded payload as a frame.
-  void send(const std::string& payload);
-  /// Blocks until one complete frame arrives; returns its payload.
-  /// Throws std::runtime_error on EOF/corruption.
-  std::string recv_frame();
-  /// recv_frame + Error interception: throws ServeError on MsgType::kError.
-  std::string recv_ok();
+  /// True when a received frame is the reply to the in-flight request;
+  /// false frames (duplicate-delivered replies to earlier requests) are
+  /// discarded.
+  using ReplyMatcher = std::function<bool(const std::string&)>;
 
-  int fd_ = -1;
+ private:
+  /// Dials the daemon if not connected, with backoff, until the connect
+  /// deadline. Throws std::runtime_error on timeout.
+  void ensure_connected();
+  /// Drops the current connection and its buffered bytes.
+  void drop_connection();
+  /// Sends `payload` and returns the first reply frame `matches` accepts,
+  /// discarding stale (duplicate-delivered) replies. Reconnects/resends
+  /// per the idempotency contract above.
+  std::string transact(const std::string& payload, bool idempotent,
+                       const ReplyMatcher& matches);
+  /// Sends one encoded payload as a frame on the live connection.
+  void send(const std::string& payload);
+  /// Blocks until one complete frame arrives (bounded by
+  /// reply_timeout_ms); returns its payload. Throws std::runtime_error on
+  /// EOF/corruption/timeout.
+  std::string recv_frame();
+  /// Throws ServeError if `payload` is an Error message.
+  static std::string check_ok(std::string payload);
+
+  ServeClientOptions opt_;
+  transport::Endpoint endpoint_;
+  std::unique_ptr<transport::Stream> stream_;
   FrameBuffer in_;
+  Rng rng_;  ///< backoff jitter only; never affects results
 };
 
 }  // namespace redspot::serve

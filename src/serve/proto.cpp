@@ -259,6 +259,7 @@ std::string encode_advice(const AdviceMsg& m) {
   put_i64(out, m.advice.predicted_cost.micros());
   put_i64(out, m.advice.expected_uptime);
   put_i64(out, m.advice.checkpoint_interval);
+  put_u32(out, m.stale ? 1 : 0);
   return out;
 }
 
@@ -278,13 +279,15 @@ std::optional<AdviceMsg> decode_advice(std::string_view payload) {
     if (!in->u64(&v)) return std::nullopt;
     z = static_cast<std::size_t>(v);
   }
-  std::uint32_t policy = 0;
+  std::uint32_t policy = 0, stale = 0;
   if (!in->u32(&policy) || !in->i64(&cost) ||
       !in->i64(&m.advice.expected_uptime) ||
-      !in->i64(&m.advice.checkpoint_interval) || !in->done())
+      !in->i64(&m.advice.checkpoint_interval) || !in->u32(&stale) ||
+      stale > 1 || !in->done())
     return std::nullopt;
   m.advice.policy = static_cast<PolicyKind>(policy);
   m.advice.predicted_cost = Money::from_micros(cost);
+  m.stale = stale != 0;
   return m;
 }
 
@@ -305,6 +308,9 @@ std::string encode_stats_reply(const StatsReplyMsg& m) {
   put_u64(out, m.models);
   put_u64(out, m.model_bytes);
   put_u64(out, m.evictions);
+  put_u64(out, m.shed_stale);
+  put_u64(out, m.shed_rejected);
+  put_u64(out, m.queue_peak);
   put_f64(out, m.advise_p50_ns);
   put_f64(out, m.advise_p99_ns);
   return out;
@@ -317,8 +323,9 @@ std::optional<StatsReplyMsg> decode_stats_reply(std::string_view payload) {
   if (!in->u64(&m.ticks) || !in->u64(&m.advises) || !in->u64(&m.batches) ||
       !in->u64(&m.max_batch) || !in->u64(&m.models) ||
       !in->u64(&m.model_bytes) || !in->u64(&m.evictions) ||
-      !read_f64(*in, &m.advise_p50_ns) || !read_f64(*in, &m.advise_p99_ns) ||
-      !in->done())
+      !in->u64(&m.shed_stale) || !in->u64(&m.shed_rejected) ||
+      !in->u64(&m.queue_peak) || !read_f64(*in, &m.advise_p50_ns) ||
+      !read_f64(*in, &m.advise_p99_ns) || !in->done())
     return std::nullopt;
   return m;
 }

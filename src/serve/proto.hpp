@@ -29,7 +29,9 @@
 namespace redspot::serve {
 
 /// Bumped on any incompatible change; mismatches are protocol errors.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: Advice carries a staleness marker (SLO-aware load shedding),
+/// StatsReply carries shed/queue-depth counters.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class MsgType : std::uint32_t {
   kTraceInit = 1,
@@ -91,6 +93,10 @@ struct AdviseMsg {
 struct AdviceMsg {
   std::uint64_t request_id = 0;
   Advice advice;
+  /// SLO degradation marker: true when the daemon was overloaded and
+  /// answered from the last-good model snapshot instead of computing
+  /// fresh. advice.as_of then names the snapshot the answer is exact for.
+  bool stale = false;
 };
 
 struct StatsMsg {};
@@ -103,6 +109,12 @@ struct StatsReplyMsg {
   std::uint64_t models = 0;
   std::uint64_t model_bytes = 0;
   std::uint64_t evictions = 0;
+  /// Load-shedding counters: requests answered stale from the last-good
+  /// snapshot, requests rejected outright (no snapshot to serve), and the
+  /// highest batcher queue depth observed.
+  std::uint64_t shed_stale = 0;
+  std::uint64_t shed_rejected = 0;
+  std::uint64_t queue_peak = 0;
   double advise_p50_ns = 0.0;
   double advise_p99_ns = 0.0;
 };

@@ -22,10 +22,11 @@
 #include "common/interrupt.hpp"
 #include "common/log.hpp"
 #include "common/parallel.hpp"
-#include "fabric/socket.hpp"
+#include "common/transport/transport.hpp"
 #include "serve/advisor.hpp"
 #include "serve/proto.hpp"
 #include "serve/registry.hpp"
+#include "serve/shed.hpp"
 #include "serve/tick_store.hpp"
 #include "stats/latency.hpp"
 
@@ -36,14 +37,10 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 struct Conn {
-  int fd = -1;
+  std::unique_ptr<transport::Stream> stream;
   FrameBuffer in;
   std::mutex write_mutex;
   std::atomic<bool> dead{false};
-
-  ~Conn() {
-    if (fd >= 0) ::close(fd);
-  }
 };
 
 /// One queued advise request. request_id 0 with a null conn is a
@@ -62,6 +59,7 @@ class Server {
       : opt_(options),
         pool_(options.threads),
         registry_(options.registry_bytes),
+        shed_(options.shed_queue_limit),
         batcher_(pool_, [this](const std::uint64_t& key,
                                std::vector<AdviseWork>&& batch) {
           run_batch(key, std::move(batch));
@@ -69,8 +67,14 @@ class Server {
 
   int run() {
     if (opt_.install_signal_handlers) install_interrupt_handlers();
-    listen_fd_ = fabric::listen_unix(opt_.socket_path);
-    LOG_INFO << "redspot-serve: listening on " << opt_.socket_path;
+    const auto ep = transport::parse_endpoint(opt_.endpoint);
+    if (!ep)
+      throw std::runtime_error("redspot-serve: bad endpoint: " +
+                               opt_.endpoint);
+    listener_ = transport::listen(*ep);
+    const std::string bound = listener_->local_endpoint().str();
+    LOG_INFO << "redspot-serve: listening on " << bound;
+    if (opt_.on_bound) opt_.on_bound(bound);
 
     while (!interrupt_requested()) {
       poll_once(/*timeout_ms=*/200);
@@ -84,8 +88,8 @@ class Server {
   void poll_once(int timeout_ms) {
     std::vector<pollfd> fds;
     fds.reserve(conns_.size() + 1);
-    fds.push_back({listen_fd_, POLLIN, 0});
-    for (const auto& c : conns_) fds.push_back({c->fd, POLLIN, 0});
+    fds.push_back({listener_->fd(), POLLIN, 0});
+    for (const auto& c : conns_) fds.push_back({c->stream->fd(), POLLIN, 0});
     const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
     if (rc < 0) {
       if (errno == EINTR) return;  // signal: loop re-checks the flag
@@ -93,10 +97,9 @@ class Server {
     }
 
     if (fds[0].revents & POLLIN) {
-      int fd;
-      while ((fd = fabric::accept_unix(listen_fd_)) >= 0) {
+      while (auto stream = listener_->accept()) {
         auto c = std::make_shared<Conn>();
-        c->fd = fd;
+        c->stream = std::move(stream);
         conns_.push_back(std::move(c));
         if (conns_.size() >= 4096) break;  // defensive fd cap
       }
@@ -111,7 +114,7 @@ class Server {
 
   void service_conn(const std::shared_ptr<Conn>& c) {
     try {
-      if (!fabric::read_available(c->fd, c->in)) c->dead.store(true);
+      if (!c->stream->read_into(c->in)) c->dead.store(true);
     } catch (const std::runtime_error&) {
       c->dead.store(true);
     }
@@ -257,8 +260,23 @@ class Server {
       send_error(c, m->request_id, "insufficient price history");
       return;
     }
-    batcher_.submit(m->spec_hash,
-                    AdviseWork{c, m->request_id, m->job, Clock::now()});
+    // SLO gate: over the queue bound, answer from the last-good snapshot
+    // (staleness marker set) or reject — never queue unboundedly.
+    const ShedDecision shed =
+        shed_.admit(m->spec_hash, m->job, batcher_.pending());
+    switch (shed.kind) {
+      case ShedDecision::Kind::kAccept:
+        batcher_.submit(m->spec_hash,
+                        AdviseWork{c, m->request_id, m->job, Clock::now()});
+        return;
+      case ShedDecision::Kind::kServeStale:
+        send_msg(c, encode_advice(
+                        AdviceMsg{m->request_id, shed.advice, /*stale=*/true}));
+        return;
+      case ShedDecision::Kind::kReject:
+        send_error(c, m->request_id, "overloaded");
+        return;
+    }
   }
 
   // --- batch execution (pool threads) ---------------------------------------
@@ -286,6 +304,10 @@ class Server {
         }
         try {
           const Advice advice = compute_advice(*entry, traces, work.job);
+          // Remember the fresh answer before sending: if the daemon is
+          // overloaded one poll cycle later, this exact advice is what a
+          // shed request for the same (spec, job) receives.
+          shed_.record(key, work.job, advice);
           send_msg(work.conn,
                    encode_advice(AdviceMsg{work.request_id, advice}));
         } catch (const std::exception& e) {
@@ -325,7 +347,7 @@ class Server {
     if (c->dead.load()) return;
     std::lock_guard lock(c->write_mutex);
     try {
-      fabric::send_frame(c->fd, payload);
+      transport::send_frame(*c->stream, payload);
     } catch (const std::runtime_error&) {
       c->dead.store(true);  // peer gone; poll loop reaps
     }
@@ -339,6 +361,7 @@ class Server {
   StatsReplyMsg collect_stats() {
     const BatcherStats b = batcher_.stats();
     const LruStats r = registry_.stats();
+    const ShedStats s = shed_.stats();
     StatsReplyMsg m;
     m.ticks = store_ ? store_->ticks() : 0;
     m.advises = latency_.count();
@@ -347,6 +370,9 @@ class Server {
     m.models = r.entries;
     m.model_bytes = r.bytes;
     m.evictions = r.evictions;
+    m.shed_stale = s.shed_stale;
+    m.shed_rejected = s.shed_rejected;
+    m.queue_peak = s.queue_peak;
     m.advise_p50_ns = latency_.p50_ns();
     m.advise_p99_ns = latency_.p99_ns();
     return m;
@@ -359,13 +385,12 @@ class Server {
   /// connection non-blockingly and services the readable ones; when a
   /// round finds nothing readable, the kernel buffers are empty.
   int shutdown_drain() {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    listener_.reset();
     for (int round = 0; round < 100; ++round) {
       if (conns_.empty()) break;
       std::vector<pollfd> fds;
       fds.reserve(conns_.size());
-      for (const auto& c : conns_) fds.push_back({c->fd, POLLIN, 0});
+      for (const auto& c : conns_) fds.push_back({c->stream->fd(), POLLIN, 0});
       const int rc = ::poll(fds.data(), fds.size(), 0);
       if (rc <= 0) break;
       for (std::size_t i = 0; i < conns_.size(); ++i) {
@@ -387,6 +412,13 @@ class Server {
           static_cast<unsigned long long>(s.models),
           static_cast<double>(s.model_bytes) / (1024.0 * 1024.0),
           s.advise_p50_ns / 1e3, s.advise_p99_ns / 1e3);
+      if (s.shed_stale > 0 || s.shed_rejected > 0) {
+        std::printf(
+            "redspot-serve: shed — stale=%llu rejected=%llu queue_peak=%llu\n",
+            static_cast<unsigned long long>(s.shed_stale),
+            static_cast<unsigned long long>(s.shed_rejected),
+            static_cast<unsigned long long>(s.queue_peak));
+      }
       std::fflush(stdout);
     }
     conns_.clear();
@@ -394,13 +426,14 @@ class Server {
   }
 
   ServeOptions opt_;
-  int listen_fd_ = -1;
+  std::unique_ptr<transport::Listener> listener_;
   std::vector<std::shared_ptr<Conn>> conns_;
 
   ThreadPool pool_;
   ModelRegistry registry_;
   std::optional<TickStore> store_;
   LatencyRecorder latency_;
+  ShedGate shed_;
 
   std::mutex specs_mutex_;
   std::unordered_map<std::uint64_t, ModelSpec> specs_;

@@ -2,11 +2,12 @@
 //
 // One process, three moving parts:
 //
-//   * the poll loop (this file) owns the unix listener and every
-//     connection's read side, decodes frames (serve/proto.hpp) and
-//     dispatches: trace traffic is applied inline (TickStore is the single
-//     writer), advise requests are submitted to the batcher keyed by spec
-//     hash, stats/register are answered immediately;
+//   * the poll loop (this file) owns the transport listener (unix socket
+//     or TCP — common/transport) and every connection's read side, decodes
+//     frames (serve/proto.hpp) and dispatches: trace traffic is applied
+//     inline (TickStore is the single writer), advise requests pass the
+//     load-shedding gate (serve/shed.hpp) and are submitted to the batcher
+//     keyed by spec hash, stats/register are answered immediately;
 //   * the Batcher<spec-hash, AdviseWork> over a ThreadPool runs advise
 //     batches — per-key serialization IS the model-exclusivity discipline
 //     compute_advice requires, and same-key requests queued behind a
@@ -25,20 +26,33 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace redspot::serve {
 
 struct ServeOptions {
-  std::string socket_path;
+  /// Transport endpoint to listen on: "unix:PATH", "tcp:HOST:PORT", or a
+  /// bare unix-socket path. tcp:HOST:0 binds an ephemeral port (see
+  /// on_bound).
+  std::string endpoint;
   /// Worker threads for advise batches; 0 = hardware concurrency.
   std::size_t threads = 0;
   std::size_t registry_bytes = 64u << 20;
+  /// Batcher queue depth at which SLO-aware load shedding starts: over
+  /// this bound, advise requests are answered from the last-good model
+  /// snapshot with the staleness marker set (or Error "overloaded" when
+  /// no snapshot exists) instead of queueing. 0 disables shedding.
+  std::uint64_t shed_queue_limit = 1024;
   /// Print the per-second stats heartbeat and the final stats line.
   bool print_stats = true;
   /// Install SIGINT/SIGTERM handlers (tests running the server in-process
   /// manage the interrupt flag themselves).
   bool install_signal_handlers = true;
+  /// Called once with the resolved bound endpoint (tcp:HOST:0 becomes the
+  /// kernel-assigned port) before the first accept — in-process harnesses
+  /// use it to learn where to dial. May be null.
+  std::function<void(const std::string&)> on_bound;
 };
 
 /// Runs the daemon until interrupted. Returns the process exit code:

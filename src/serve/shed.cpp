@@ -1,0 +1,55 @@
+#include "serve/shed.hpp"
+
+#include "common/hash.hpp"
+
+namespace redspot::serve {
+
+namespace {
+
+/// Bound on the last-good cache: one entry per distinct (spec, job) pair
+/// seen. ~1000 tenants × a handful of job shapes fits easily; a runaway
+/// cardinality (fuzzing, adversarial jobs) resets the cache rather than
+/// growing without limit — losing stale answers is the cheap failure.
+constexpr std::size_t kMaxEntries = 1u << 16;
+
+}  // namespace
+
+std::uint64_t ShedGate::key(std::uint64_t spec_hash, const JobParams& job) {
+  HashStream h;
+  h.u64(spec_hash);
+  h.i64(job.remaining_compute);
+  h.i64(job.remaining_time);
+  h.i64(job.checkpoint_cost);
+  h.i64(job.restart_cost);
+  h.i64(job.mean_queue_delay);
+  h.i64(job.on_demand_rate.micros());
+  return h.digest();
+}
+
+ShedDecision ShedGate::admit(std::uint64_t spec_hash, const JobParams& job,
+                             std::uint64_t queue_depth) {
+  std::lock_guard lock(mutex_);
+  if (queue_depth > stats_.queue_peak) stats_.queue_peak = queue_depth;
+  if (limit_ == 0 || queue_depth < limit_) return {};
+  const auto it = last_good_.find(key(spec_hash, job));
+  if (it == last_good_.end()) {
+    ++stats_.shed_rejected;
+    return {ShedDecision::Kind::kReject, {}};
+  }
+  ++stats_.shed_stale;
+  return {ShedDecision::Kind::kServeStale, it->second};
+}
+
+void ShedGate::record(std::uint64_t spec_hash, const JobParams& job,
+                      const Advice& advice) {
+  std::lock_guard lock(mutex_);
+  if (last_good_.size() >= kMaxEntries) last_good_.clear();
+  last_good_[key(spec_hash, job)] = advice;
+}
+
+ShedStats ShedGate::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace redspot::serve

@@ -1,0 +1,77 @@
+// SLO-aware load shedding for the serve daemon (DESIGN.md §13).
+//
+// The batcher's coalescing bounds the *slide* work per tick, but the
+// permutation search inside compute_advice is the unbounded part: a burst
+// of advise requests beyond what the pool can absorb used to queue
+// without limit, turning overload into unbounded latency for everyone.
+//
+// ShedGate turns that into graceful degradation. Every fresh answer is
+// remembered as the last-good advice for its exact (spec, job) pair; when
+// the batcher's queue depth reaches the configured bound, new requests are
+// answered from that memory instead of being queued:
+//
+//   kAccept      — under the bound: compute fresh, as before.
+//   kServeStale  — over the bound, last-good advice exists: reply now with
+//                  the cached advice and the staleness marker set. The
+//                  reply is bit-identical to the offline Adaptive decision
+//                  for the model snapshot named by its as_of — degraded
+//                  means *older*, never *wrong*.
+//   kReject      — over the bound, nothing cached for this pair: answer
+//                  Error "overloaded". The tenant retries; the daemon's
+//                  queue stays bounded either way.
+//
+// The gate never mutates model state and keys strictly on the exact
+// (spec_hash, JobParams) fingerprint, so a stale answer can only ever be a
+// previous fresh answer to the same question.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "serve/advisor.hpp"
+
+namespace redspot::serve {
+
+struct ShedDecision {
+  enum class Kind { kAccept, kServeStale, kReject };
+  Kind kind = Kind::kAccept;
+  /// Valid when kind == kServeStale: the last fresh advice computed for
+  /// this exact (spec, job) pair.
+  Advice advice;
+};
+
+struct ShedStats {
+  std::uint64_t shed_stale = 0;
+  std::uint64_t shed_rejected = 0;
+  std::uint64_t queue_peak = 0;
+};
+
+class ShedGate {
+ public:
+  /// `queue_limit` is the batcher depth at which shedding starts; 0
+  /// disables shedding entirely (every admit() accepts).
+  explicit ShedGate(std::uint64_t queue_limit) : limit_(queue_limit) {}
+
+  /// Decides the fate of one advise request given the current batcher
+  /// queue depth. Thread-safe.
+  ShedDecision admit(std::uint64_t spec_hash, const JobParams& job,
+                     std::uint64_t queue_depth);
+
+  /// Remembers `advice` as the last-good answer for (spec, job). Called
+  /// from batch threads after every fresh compute. Thread-safe.
+  void record(std::uint64_t spec_hash, const JobParams& job,
+              const Advice& advice);
+
+  ShedStats stats() const;
+
+ private:
+  static std::uint64_t key(std::uint64_t spec_hash, const JobParams& job);
+
+  const std::uint64_t limit_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Advice> last_good_;
+  ShedStats stats_;
+};
+
+}  // namespace redspot::serve

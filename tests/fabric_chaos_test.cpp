@@ -13,30 +13,28 @@
 //   * with zero workers ever connecting (in-process fallback, exit 0).
 //
 // SIGKILL everywhere: no handlers, no drains — the strongest crash model
-// the lease/journal machinery promises to absorb.
+// the lease/journal machinery promises to absorb. The TCP + network-fault
+// half of the matrix lives in net_chaos_test.cpp; the process-spawning
+// machinery is shared (tests/fleet_harness.hpp).
 #include <gtest/gtest.h>
 
-#include <fcntl.h>
-#include <signal.h>
-#include <sys/stat.h>
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <chrono>
 #include <cstddef>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
+
+#include "fleet_harness.hpp"
 
 namespace redspot {
 namespace {
 
 namespace fs = std::filesystem;
+using fleettest::FleetRun;
+using fleettest::normalize;
+using fleettest::run_fleet;
+using fleettest::slurp;
+using fleettest::spawn;
+using fleettest::wait_for;
 
 #ifndef REDSPOT_FABRIC_BIN
 #error "REDSPOT_FABRIC_BIN must be defined to the redspot-fabric binary path"
@@ -49,66 +47,6 @@ namespace fs = std::filesystem;
 const std::vector<std::string> kSpecArgs = {
     "--policy", "periodic", "--zones",        "0",  "--seed", "77",
     "--replications", "36", "--shards", "12", "--no-cache"};
-
-pid_t spawn(const std::vector<std::string>& args, const std::string& out_path) {
-  const pid_t pid = fork();
-  if (pid != 0) return pid;
-  const int fd = ::open(out_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
-  if (fd < 0) _exit(127);
-  ::dup2(fd, STDOUT_FILENO);
-  ::dup2(fd, STDERR_FILENO);
-  ::close(fd);
-  std::vector<char*> argv;
-  argv.reserve(args.size() + 1);
-  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
-  argv.push_back(nullptr);
-  ::execv(argv[0], argv.data());
-  _exit(127);
-}
-
-int wait_for(pid_t pid) {
-  int status = 0;
-  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
-  }
-  return status;
-}
-
-bool try_reap(pid_t pid, int* status) {
-  return ::waitpid(pid, status, WNOHANG) == pid;
-}
-
-std::string slurp(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  std::ostringstream out;
-  out << f.rdbuf();
-  return out.str();
-}
-
-std::size_t file_size(const std::string& path) {
-  struct stat st = {};
-  return ::stat(path.c_str(), &st) == 0 ? static_cast<std::size_t>(st.st_size)
-                                        : 0;
-}
-
-/// Canonical summary: provenance/diagnostic lines dropped, the sim CLI's
-/// table title aligned with the fabric's. What remains is the
-/// bit-identity contract — every number in the summary table.
-std::string normalize(const std::string& text) {
-  std::istringstream in(text);
-  std::ostringstream out;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.rfind("journal:", 0) == 0) continue;
-    if (line.rfind("fabric:", 0) == 0) continue;
-    if (line.rfind("interrupted:", 0) == 0) continue;
-    if (line.rfind("[WARN]", 0) == 0) continue;
-    const std::string sim_title = "== redspot_sim ensemble — ";
-    if (line.rfind(sim_title, 0) == 0)
-      line = "== ensemble — " + line.substr(sim_title.size());
-    out << line << '\n';
-  }
-  return out.str();
-}
 
 std::vector<std::string> coordinator_args(const std::string& socket,
                                           const std::string& journal_dir) {
@@ -134,112 +72,18 @@ std::vector<std::string> worker_args(const std::string& socket,
   return args;
 }
 
-struct FleetRun {
-  std::string output;       ///< coordinator stdout+stderr
-  int coordinator_status = 0;
-  int worker_respawns = 0;
-};
-
-/// Runs one coordinator with `num_workers` workers, respawning any worker
-/// that dies (chaos SIGKILLs itself) while the coordinator lives. If
-/// `kill_coordinator_at` > 0, SIGKILLs the coordinator once the journal
-/// file reaches that size, then restarts it with the same arguments.
-FleetRun run_fleet(const fs::path& base, const std::string& tag,
-                   int num_workers, const std::string& chaos,
-                   const std::string& journal_dir = "",
-                   std::size_t kill_coordinator_at = 0) {
+/// Unix-socket fleet: the original kill matrix.
+FleetRun run_unix_fleet(const fs::path& base, const std::string& tag,
+                        int num_workers, const std::string& chaos,
+                        const std::string& journal_dir = "",
+                        std::size_t kill_coordinator_at = 0) {
   const std::string socket = (base / (tag + ".sock")).string();
-  const std::string coord_out = (base / (tag + "_coord.txt")).string();
   const std::string journal_file =
       journal_dir.empty() ? "" : journal_dir + "/run.journal";
-
-  FleetRun run;
-  pid_t coord = spawn(coordinator_args(socket, journal_dir), coord_out);
-  EXPECT_GT(coord, 0);
-
-  // Give the coordinator a moment to bind before the fleet dials in; a
-  // worker that races it just backs off and retries, so this is comfort,
-  // not correctness.
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
-
-  std::vector<pid_t> workers(static_cast<std::size_t>(num_workers), -1);
-  auto spawn_worker = [&](std::size_t slot) {
-    const std::string out =
-        (base / (tag + "_worker" + std::to_string(slot) + ".txt")).string();
-    workers[slot] = spawn(worker_args(socket, chaos), out);
-    EXPECT_GT(workers[slot], 0);
-  };
-  for (std::size_t i = 0; i < workers.size(); ++i) spawn_worker(i);
-
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::minutes(10);
-  for (;;) {
-    if (std::chrono::steady_clock::now() >= deadline) {
-      // Non-convergence is a hard failure; put the fleet down and let the
-      // caller's status assertion report it.
-      ADD_FAILURE() << tag << ": fleet did not converge; coordinator output:\n"
-                    << slurp(coord_out);
-      ::kill(coord, SIGKILL);
-      run.coordinator_status = wait_for(coord);
-      break;
-    }
-
-    int status = 0;
-    if (try_reap(coord, &status)) {
-      run.coordinator_status = status;
-      break;
-    }
-
-    if (kill_coordinator_at > 0 && !journal_file.empty() &&
-        file_size(journal_file) >= kill_coordinator_at) {
-      // SIGKILL the coordinator mid-run, then restart it against the
-      // surviving journal with identical arguments.
-      ::kill(coord, SIGKILL);
-      wait_for(coord);
-      kill_coordinator_at = 0;  // once
-      coord = spawn(coordinator_args(socket, journal_dir), coord_out);
-      EXPECT_GT(coord, 0);
-      continue;
-    }
-
-    // Respawn chaos casualties while the run is still going.
-    for (std::size_t i = 0; i < workers.size(); ++i) {
-      int wstatus = 0;
-      if (workers[i] > 0 && try_reap(workers[i], &wstatus)) {
-        workers[i] = -1;
-        if (WIFSIGNALED(wstatus)) {
-          ++run.worker_respawns;
-          spawn_worker(i);
-        }
-      }
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-
-  // Fleet teardown: workers get Done and exit on their own; anything
-  // still alive after a grace period is put down (not a test failure —
-  // e.g. a worker mid-backoff when the run ended).
-  const auto worker_deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(30);
-  for (std::size_t i = 0; i < workers.size(); ++i) {
-    while (workers[i] > 0) {
-      int wstatus = 0;
-      if (try_reap(workers[i], &wstatus)) {
-        workers[i] = -1;
-        break;
-      }
-      if (std::chrono::steady_clock::now() > worker_deadline) {
-        ::kill(workers[i], SIGKILL);
-        wait_for(workers[i]);
-        workers[i] = -1;
-        break;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
-  }
-
-  run.output = slurp(coord_out);
-  return run;
+  return run_fleet(
+      base, tag, coordinator_args(socket, journal_dir),
+      [&](std::size_t) { return worker_args(socket, chaos); }, num_workers,
+      journal_file, kill_coordinator_at);
 }
 
 class FabricChaosTest : public ::testing::Test {
@@ -278,7 +122,7 @@ std::string* FabricChaosTest::reference_ = nullptr;
 TEST_F(FabricChaosTest, NoFaultsBitIdenticalAcrossFleetSizes) {
   for (const int n : {1, 2, 8}) {
     const FleetRun run =
-        run_fleet(*base_, "plain" + std::to_string(n), n, /*chaos=*/"");
+        run_unix_fleet(*base_, "plain" + std::to_string(n), n, /*chaos=*/"");
     ASSERT_TRUE(WIFEXITED(run.coordinator_status) &&
                 WEXITSTATUS(run.coordinator_status) == 0)
         << run.output;
@@ -295,8 +139,8 @@ TEST_F(FabricChaosTest, WorkersKilledMidShardEveryRound) {
   // harness respawns each casualty, so the run converges after ~12 kills
   // with reassignment traffic on every single shard.
   for (const int n : {1, 2, 8}) {
-    const FleetRun run = run_fleet(*base_, "chaos" + std::to_string(n), n,
-                                   /*chaos=*/"9:1.0:1");
+    const FleetRun run = run_unix_fleet(*base_, "chaos" + std::to_string(n), n,
+                                        /*chaos=*/"9:1.0:1");
     ASSERT_TRUE(WIFEXITED(run.coordinator_status) &&
                 WEXITSTATUS(run.coordinator_status) == 0)
         << run.output;
@@ -312,8 +156,8 @@ TEST_F(FabricChaosTest, CoordinatorKilledAndResumedFromJournal) {
   // Wait for a couple of shard records (a shard record is ~1 KiB; lease
   // records are tens of bytes) so the resume provably replays work.
   const FleetRun run =
-      run_fleet(*base_, "coordkill", /*num_workers=*/2, /*chaos=*/"",
-                journal_dir, /*kill_coordinator_at=*/2048);
+      run_unix_fleet(*base_, "coordkill", /*num_workers=*/2, /*chaos=*/"",
+                     journal_dir, /*kill_coordinator_at=*/2048);
   ASSERT_TRUE(WIFEXITED(run.coordinator_status) &&
               WEXITSTATUS(run.coordinator_status) == 0)
       << run.output;

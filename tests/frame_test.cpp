@@ -5,16 +5,26 @@
 // RunJournal file reopened after the damage. The shared invariant: a
 // frame yields its exact payload bytes or is rejected whole; neither
 // consumer ever yields a corrupted payload.
+// A third consumer rides along since the transport layer landed: frames
+// sent over a real TCP loopback pair, split at every byte boundary by the
+// sender and torn at every byte boundary by a FaultyStream — short reads
+// and torn frames must reassemble or park on kNeedMore, never corrupt.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/frame.hpp"
 #include "common/random.hpp"
+#include "common/transport/fault.hpp"
+#include "common/transport/transport.hpp"
 #include "journal/journal.hpp"
 
 namespace redspot {
@@ -274,6 +284,104 @@ TEST(FrameFuzz, JournalRecoversExactPrefixOnEveryTruncationPoint) {
     EXPECT_EQ(journal.open_stats().recovered_tail, cut > last_boundary)
         << "cut=" << cut;
     fs::remove(path);
+  }
+}
+
+// --- frames over a real transport -------------------------------------------
+
+/// A connected TCP loopback (listener-side, dialer-side) pair.
+std::pair<std::unique_ptr<transport::Stream>, std::unique_ptr<transport::Stream>>
+tcp_pair() {
+  const auto ep = transport::parse_endpoint("tcp:127.0.0.1:0");
+  auto listener = transport::listen(*ep);
+  auto dialer = transport::connect(listener->local_endpoint());
+  EXPECT_NE(dialer, nullptr);
+  std::unique_ptr<transport::Stream> accepted;
+  for (int i = 0; i < 2000 && !accepted; ++i) {
+    accepted = listener->accept();
+    if (!accepted)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_NE(accepted, nullptr);
+  return {std::move(accepted), std::move(dialer)};
+}
+
+/// Drains the stream until `buf` yields a frame, EOF, or corruption.
+FrameStatus pump_one(transport::Stream& s, FrameBuffer& buf,
+                     std::string* payload, bool* eof) {
+  *eof = false;
+  for (;;) {
+    const FrameStatus status = buf.next(payload);
+    if (status != FrameStatus::kNeedMore) return status;
+    if (!s.read_into(buf)) {
+      *eof = true;
+      return FrameStatus::kNeedMore;
+    }
+  }
+}
+
+TEST(FrameTransport, TcpShortWritesSplitAtEveryByteBoundary) {
+  const std::string payload = "short-write resistance";
+  const std::string frame = encode_frame(payload);
+  for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+    auto [server, client] = tcp_pair();
+    // Two separate write() calls guarantee the receiver can observe a
+    // short read at this exact boundary (TCP may still coalesce — the
+    // contract is that NO split ever corrupts).
+    client->write_all(std::string_view(frame).substr(0, cut));
+    client->write_all(std::string_view(frame).substr(cut));
+    FrameBuffer buf;
+    std::string got;
+    bool eof = false;
+    ASSERT_EQ(pump_one(*server, buf, &got, &eof), FrameStatus::kOk)
+        << "cut=" << cut;
+    EXPECT_EQ(got, payload);
+  }
+}
+
+TEST(FrameTransport, TcpSingleByteDripReassembles) {
+  const std::string payload = "one byte at a time";
+  const std::string frame = encode_frame(payload);
+  auto [server, client] = tcp_pair();
+  FrameBuffer buf;
+  std::string got;
+  for (char c : frame) client->write_all(std::string_view(&c, 1));
+  bool eof = false;
+  ASSERT_EQ(pump_one(*server, buf, &got, &eof), FrameStatus::kOk);
+  EXPECT_EQ(got, payload);
+}
+
+TEST(FrameTransport, FaultyStreamTruncationSweepNeverCorrupts) {
+  // Tear the frame at every byte boundary: the receiver must see the
+  // intact prefix as kNeedMore (a torn frame is indistinguishable from a
+  // slow one) and then clean EOF — kCorrupt would mean the codec accepted
+  // damaged bytes.
+  const std::string payload = "torn-frame sweep";
+  const std::string frame = encode_frame(payload);
+  for (std::size_t cut = 0; cut <= frame.size(); ++cut) {
+    auto [server, client] = tcp_pair();
+    transport::FaultyStream faulty(
+        std::move(client),
+        [cut](std::uint64_t, std::size_t) {
+          transport::FaultAction a;
+          a.kind = transport::FaultKind::kTruncate;
+          a.truncate_at = cut;
+          return std::optional<transport::FaultAction>(a);
+        });
+    EXPECT_THROW(faulty.write_all(frame), std::runtime_error) << "cut=" << cut;
+    FrameBuffer buf;
+    std::string got;
+    bool eof = false;
+    const FrameStatus status = pump_one(*server, buf, &got, &eof);
+    if (cut == frame.size()) {
+      // truncate_at == len delivered the whole frame before the cut.
+      EXPECT_EQ(status, FrameStatus::kOk) << "cut=" << cut;
+      EXPECT_EQ(got, payload);
+    } else {
+      EXPECT_EQ(status, FrameStatus::kNeedMore) << "cut=" << cut;
+      EXPECT_TRUE(eof) << "cut=" << cut;
+      EXPECT_FALSE(buf.corrupt()) << "cut=" << cut;
+    }
   }
 }
 

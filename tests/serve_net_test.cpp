@@ -1,0 +1,560 @@
+// The serve plane's network robustness layer: the ShedGate's degradation
+// contract, the ServeClient's failure-mode taxonomy (reconnect-with-
+// backoff vs idempotent resend vs ConnectionLost vs ServeError), and two
+// headline sessions against the real in-process daemon:
+//
+//   * overload — a pipelined burst over a tiny shed limit: every accepted
+//     request is answered exactly once, shed answers come from the
+//     last-good model snapshot with the staleness marker set and are
+//     bit-identical to the offline Adaptive decision for that snapshot,
+//     and the queue depth the daemon admits stays bounded;
+//   * chaos — a full feed/advise session through a seeded fault injector
+//     (drops, torn frames, delays): every tick is applied exactly once
+//     (ConnectionLost + as_of probing on the caller side), and the final
+//     advice is bit-identical to the offline oracle over the full trace.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/frame.hpp"
+#include "common/interrupt.hpp"
+#include "common/transport/fault.hpp"
+#include "common/transport/transport.hpp"
+#include "serve/advisor.hpp"
+#include "serve/client.hpp"
+#include "serve/proto.hpp"
+#include "serve/server.hpp"
+#include "serve/shed.hpp"
+#include "trace/zone_traces.hpp"
+
+namespace redspot::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tmp_sock(const std::string& name) {
+  const fs::path p = fs::path(::testing::TempDir()) /
+                     ("redspot_snt_" + name + "_" +
+                      std::to_string(::getpid()) + ".sock");
+  fs::remove(p);
+  return p.string();
+}
+
+/// Same deterministic 3-zone market the other serve suites use.
+ZoneTraceSet wavy_traces(std::size_t steps) {
+  std::vector<Money> a, b, c;
+  for (std::size_t i = 0; i < steps; ++i) {
+    a.push_back(Money::cents(27 + static_cast<std::int64_t>(i % 7)));
+    b.push_back(Money::cents((i / 40) % 2 == 0 ? 31 : 210));
+    c.push_back(Money::cents(150 + static_cast<std::int64_t>(i % 13)));
+  }
+  std::vector<PriceSeries> series;
+  series.emplace_back(0, kPriceStep, std::move(a));
+  series.emplace_back(0, kPriceStep, std::move(b));
+  series.emplace_back(0, kPriceStep, std::move(c));
+  return ZoneTraceSet({"za", "zb", "zc"}, std::move(series));
+}
+
+JobParams default_job() {
+  JobParams job;
+  job.remaining_compute = 8 * kHour;
+  job.remaining_time = 16 * kHour;
+  return job;
+}
+
+TraceInitMsg make_init(const ZoneTraceSet& full, std::size_t seed_samples,
+                       std::uint64_t capacity) {
+  TraceInitMsg init;
+  init.start = full.start();
+  init.step = full.step();
+  init.capacity_samples = capacity;
+  for (std::size_t z = 0; z < full.num_zones(); ++z) {
+    init.zone_names.push_back(full.zone_name(z));
+    std::vector<Money> seed;
+    for (std::size_t i = 0; i < seed_samples; ++i)
+      seed.push_back(full.zone(z).view().sample(i));
+    init.samples.push_back(std::move(seed));
+  }
+  return init;
+}
+
+/// The real daemon on a background thread; joins (via the interrupt flag)
+/// on destruction. Tests in this binary run the daemon one at a time.
+struct Daemon {
+  explicit Daemon(ServeOptions opt) {
+    std::promise<std::string> bound_promise;
+    opt.install_signal_handlers = false;
+    opt.print_stats = false;
+    opt.on_bound = [&](const std::string& ep) {
+      bound_promise.set_value(ep);
+    };
+    reset_interrupt_flag();
+    install_interrupt_handlers();
+    thread_ = std::thread([opt] { run_server(opt); });
+    bound = bound_promise.get_future().get();
+  }
+
+  ~Daemon() {
+    ::raise(SIGTERM);  // sets the interrupt flag; the daemon drains
+    thread_.join();
+    reset_interrupt_flag();
+  }
+
+  std::string bound;
+
+ private:
+  std::thread thread_;
+};
+
+// --- ShedGate units ---------------------------------------------------------
+
+Advice some_advice(SimTime as_of) {
+  Advice a;
+  a.as_of = as_of;
+  a.bid = Money::cents(123);
+  a.zones = {1};
+  a.expected_uptime = 3600;
+  return a;
+}
+
+TEST(ShedGate, LimitZeroNeverSheds) {
+  ShedGate gate(0);
+  const JobParams job = default_job();
+  for (std::uint64_t depth : {0u, 1u, 1000u, 1000000u}) {
+    EXPECT_EQ(gate.admit(7, job, depth).kind, ShedDecision::Kind::kAccept);
+  }
+  EXPECT_EQ(gate.stats().shed_stale, 0u);
+  EXPECT_EQ(gate.stats().shed_rejected, 0u);
+}
+
+TEST(ShedGate, UnderTheLimitAccepts) {
+  ShedGate gate(10);
+  EXPECT_EQ(gate.admit(7, default_job(), 9).kind,
+            ShedDecision::Kind::kAccept);
+}
+
+TEST(ShedGate, OverLimitWithoutSnapshotRejects) {
+  ShedGate gate(2);
+  const ShedDecision d = gate.admit(7, default_job(), 2);
+  EXPECT_EQ(d.kind, ShedDecision::Kind::kReject);
+  EXPECT_EQ(gate.stats().shed_rejected, 1u);
+  EXPECT_EQ(gate.stats().shed_stale, 0u);
+}
+
+TEST(ShedGate, OverLimitWithSnapshotServesItStale) {
+  ShedGate gate(2);
+  const JobParams job = default_job();
+  const Advice last_good = some_advice(4242);
+  gate.record(7, job, last_good);
+  const ShedDecision d = gate.admit(7, job, 5);
+  EXPECT_EQ(d.kind, ShedDecision::Kind::kServeStale);
+  EXPECT_EQ(d.advice, last_good);
+  EXPECT_EQ(gate.stats().shed_stale, 1u);
+}
+
+TEST(ShedGate, SnapshotIsKeyedOnTheExactJobParams) {
+  // A stale answer may only ever be a previous fresh answer to the SAME
+  // question — a different job must not borrow it.
+  ShedGate gate(1);
+  const JobParams job = default_job();
+  gate.record(7, job, some_advice(1));
+  JobParams other = job;
+  other.remaining_compute += 1;
+  EXPECT_EQ(gate.admit(7, other, 9).kind, ShedDecision::Kind::kReject);
+  EXPECT_EQ(gate.admit(8, job, 9).kind, ShedDecision::Kind::kReject);
+  EXPECT_EQ(gate.admit(7, job, 9).kind, ShedDecision::Kind::kServeStale);
+}
+
+TEST(ShedGate, QueuePeakTracksTheHighWaterMark) {
+  ShedGate gate(100);
+  gate.admit(1, default_job(), 3);
+  gate.admit(1, default_job(), 17);
+  gate.admit(1, default_job(), 5);
+  EXPECT_EQ(gate.stats().queue_peak, 17u);
+}
+
+// --- client failure taxonomy (scripted daemon) ------------------------------
+
+/// Polls the non-blocking listener until the pending connection arrives.
+std::unique_ptr<transport::Stream> accept_one(transport::Listener& l) {
+  for (int i = 0; i < 5000; ++i) {
+    if (auto s = l.accept()) return s;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return nullptr;
+}
+
+/// Reads one frame payload; nullopt on EOF.
+std::optional<std::string> read_one(transport::Stream& s, FrameBuffer& buf) {
+  std::string payload;
+  for (;;) {
+    switch (buf.next(&payload)) {
+      case FrameStatus::kOk:
+        return payload;
+      case FrameStatus::kCorrupt:
+        return std::nullopt;
+      case FrameStatus::kNeedMore:
+        break;
+    }
+    if (!s.read_into(buf)) return std::nullopt;
+  }
+}
+
+TEST(ServeClientRetry, ReconnectsWithBackoffWhileDaemonUnreachable) {
+  const std::string path = tmp_sock("late");
+  std::thread daemon([&] {
+    // The daemon shows up fashionably late: the client must sit in its
+    // capped-backoff dial loop, not fail on the first ECONNREFUSED/ENOENT.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    auto listener = transport::listen(*transport::parse_endpoint(path));
+    auto conn = accept_one(*listener);
+    ASSERT_NE(conn, nullptr);
+    FrameBuffer in;
+    const auto req = read_one(*conn, in);
+    ASSERT_TRUE(req.has_value());
+    const auto reg = decode_register(*req);
+    ASSERT_TRUE(reg.has_value());
+    transport::send_frame(*conn,
+                          encode_register_ok({reg->spec.spec_hash()}));
+  });
+
+  ServeClientOptions opt;
+  opt.endpoint = path;
+  opt.connect_timeout_ms = 10'000;
+  ServeClient client(opt);
+  const ModelSpec spec;
+  EXPECT_EQ(client.register_spec(spec), spec.spec_hash());
+  daemon.join();
+}
+
+TEST(ServeClientRetry, IdempotentAdviseIsResentAfterMidReplyDrop) {
+  const std::string path = tmp_sock("redrive");
+  auto listener = transport::listen(*transport::parse_endpoint(path));
+  int requests_seen = 0;
+  std::thread daemon([&] {
+    {
+      // First connection: take the request, hang up without answering.
+      auto conn = accept_one(*listener);
+      ASSERT_NE(conn, nullptr);
+      FrameBuffer in;
+      const auto req = read_one(*conn, in);
+      ASSERT_TRUE(req.has_value());
+      ASSERT_EQ(msg_type(*req), MsgType::kAdvise);
+      ++requests_seen;
+    }  // close: the client's recv sees EOF mid-request
+    // Second connection: the transparent resend, answered properly.
+    auto conn = accept_one(*listener);
+    ASSERT_NE(conn, nullptr);
+    FrameBuffer in;
+    const auto req = read_one(*conn, in);
+    ASSERT_TRUE(req.has_value());
+    const auto adv = decode_advise(*req);
+    ASSERT_TRUE(adv.has_value());
+    ++requests_seen;
+    transport::send_frame(
+        *conn, encode_advice({adv->request_id, some_advice(777), false}));
+  });
+
+  ServeClient client(path);
+  const AdviceMsg got = client.advise(7, 42, default_job());
+  EXPECT_EQ(got.request_id, 7u);
+  EXPECT_EQ(got.advice, some_advice(777));
+  daemon.join();
+  EXPECT_EQ(requests_seen, 2) << "the advise must have been resent";
+}
+
+TEST(ServeClientRetry, NonIdempotentTickThrowsConnectionLost) {
+  const std::string path = tmp_sock("ticklost");
+  auto listener = transport::listen(*transport::parse_endpoint(path));
+  int requests_seen = 0;
+  std::thread daemon([&] {
+    auto conn = accept_one(*listener);
+    ASSERT_NE(conn, nullptr);
+    FrameBuffer in;
+    const auto req = read_one(*conn, in);
+    ASSERT_TRUE(req.has_value());
+    ASSERT_EQ(msg_type(*req), MsgType::kTick);
+    ++requests_seen;
+    // Hang up with the tick's fate unknown to the client.
+  });
+
+  ServeClient client(path);
+  // Resending could double-apply the sample: the client must surface the
+  // ambiguity instead of guessing.
+  EXPECT_THROW(client.tick({Money::cents(30)}), ConnectionLost);
+  daemon.join();
+  EXPECT_EQ(requests_seen, 1) << "a non-idempotent request must NOT be resent";
+}
+
+TEST(ServeClientRetry, ProtocolErrorsAreNeverRetried) {
+  const std::string path = tmp_sock("protoerr");
+  auto listener = transport::listen(*transport::parse_endpoint(path));
+  int requests_seen = 0;
+  std::thread daemon([&] {
+    auto conn = accept_one(*listener);
+    ASSERT_NE(conn, nullptr);
+    FrameBuffer in;
+    const auto req = read_one(*conn, in);
+    ASSERT_TRUE(req.has_value());
+    ++requests_seen;
+    transport::send_frame(*conn, encode_error({9, "unknown spec"}));
+    // Stay connected: the error is an answer, not a failure.
+    read_one(*conn, in);
+  });
+
+  {
+    ServeClient client(path);
+    try {
+      client.advise(9, 42, default_job());
+      FAIL() << "expected ServeError";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.request_id(), 9u);
+    }
+  }  // closing our side unblocks the daemon thread's trailing read
+  daemon.join();
+  // The daemon saw exactly one request: errors answered by the daemon are
+  // final, never redriven.
+  EXPECT_EQ(requests_seen, 1);
+}
+
+TEST(ServeClientRetry, DuplicateDeliveredRepliesAreDiscarded) {
+  const std::string path = tmp_sock("dupreply");
+  auto listener = transport::listen(*transport::parse_endpoint(path));
+  std::thread daemon([&] {
+    auto conn = accept_one(*listener);
+    ASSERT_NE(conn, nullptr);
+    FrameBuffer in;
+    auto req = read_one(*conn, in);
+    ASSERT_TRUE(req.has_value());
+    auto adv = decode_advise(*req);
+    ASSERT_TRUE(adv.has_value());
+    // The network double-delivers the first reply...
+    const std::string reply =
+        encode_advice({adv->request_id, some_advice(111), false});
+    transport::send_frame(*conn, reply);
+    transport::send_frame(*conn, reply);
+    // ...and the second request is answered normally.
+    req = read_one(*conn, in);
+    ASSERT_TRUE(req.has_value());
+    adv = decode_advise(*req);
+    ASSERT_TRUE(adv.has_value());
+    transport::send_frame(
+        *conn, encode_advice({adv->request_id, some_advice(222), false}));
+  });
+
+  ServeClient client(path);
+  EXPECT_EQ(client.advise(1, 42, default_job()).advice, some_advice(111));
+  // The duplicate of reply #1 is still buffered; request #2 must get
+  // reply #2, not the stale duplicate.
+  const AdviceMsg second = client.advise(2, 42, default_job());
+  EXPECT_EQ(second.request_id, 2u);
+  EXPECT_EQ(second.advice, some_advice(222));
+  daemon.join();
+}
+
+// --- overload: shed-to-stale with exactly-once delivery ---------------------
+
+TEST(ServeOverload, ShedsToLastGoodSnapshotExactlyOnce) {
+  const std::size_t kSeed = 300;
+  const ZoneTraceSet full = wavy_traces(kSeed);
+
+  ServeOptions opt;
+  opt.endpoint = tmp_sock("overload");
+  opt.threads = 1;          // slow consumer...
+  opt.shed_queue_limit = 2; // ...tiny bound: the burst must overflow it
+  Daemon daemon(opt);
+
+  ServeClient client(daemon.bound);
+  client.trace_init(make_init(full, kSeed, kSeed));
+  ModelSpec spec;
+  spec.history_span = kDay;
+  const std::uint64_t hash = client.register_spec(spec);
+  const JobParams job = default_job();
+
+  // Prime the last-good snapshot with one fresh answer, and pin it to the
+  // offline oracle: the snapshot a later stale answer serves is exact.
+  const AdviceMsg primed = client.advise(1, hash, job);
+  EXPECT_FALSE(primed.stale);
+  EXPECT_EQ(primed.advice, advise_offline(spec, full, job));
+
+  // Pipelined bursts, far more requests than a depth-2 queue admits.
+  // Whether the queue actually backs up is a scheduling race (a fast pool
+  // thread can drain as quickly as the poll loop submits), so flood in
+  // bounded rounds until shedding provably happened — every round keeps
+  // the exactly-once and bit-identity obligations either way.
+  const std::size_t kBurst = 200;
+  const std::size_t kMaxRounds = 20;
+  std::set<std::uint64_t> ids;
+  std::size_t stale = 0;
+  for (std::size_t round = 0; round < kMaxRounds && stale == 0; ++round) {
+    const std::uint64_t base = 1000 + round * kBurst;
+    for (std::size_t i = 0; i < kBurst; ++i)
+      client.advise_async(base + i, hash, job);
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      const AdviceMsg reply = client.recv_advice();
+      // Exactly-once: every reply is to one of ours, never twice.
+      EXPECT_TRUE(ids.insert(reply.request_id).second)
+          << "request " << reply.request_id << " answered twice";
+      EXPECT_GE(reply.request_id, base);
+      EXPECT_LT(reply.request_id, base + kBurst);
+      // No ticks happened, so fresh and stale answers alike must equal
+      // the primed snapshot bit-for-bit — degraded means older, never
+      // wrong.
+      EXPECT_EQ(reply.advice, primed.advice);
+      if (reply.stale) ++stale;
+    }
+  }
+  EXPECT_GE(stale, 1u) << "no 200-burst over a depth-2 queue ever shed";
+
+  const StatsReplyMsg stats = client.stats();
+  EXPECT_EQ(stats.shed_stale, stale);
+  EXPECT_EQ(stats.shed_rejected, 0u);
+  EXPECT_GE(stats.queue_peak, opt.shed_queue_limit);
+}
+
+TEST(ServeOverload, RejectsWhenNoSnapshotExists) {
+  const std::size_t kSeed = 300;
+  const ZoneTraceSet full = wavy_traces(kSeed);
+
+  ServeOptions opt;
+  opt.endpoint = tmp_sock("reject");
+  opt.threads = 1;
+  opt.shed_queue_limit = 2;
+  Daemon daemon(opt);
+
+  ServeClient client(daemon.bound);
+  client.trace_init(make_init(full, kSeed, kSeed));
+  ModelSpec spec;
+  spec.history_span = kDay;
+  const std::uint64_t hash = client.register_spec(spec);
+
+  // Every request asks a never-before-seen question (the job params vary),
+  // so no last-good snapshot can ever cover it: an over-limit admit must
+  // reject with the honest degraded answer — Error "overloaded", not a
+  // guess. Backing the queue up is a scheduling race (see above), so
+  // flood in bounded rounds until a rejection provably happened.
+  const std::size_t kBurst = 100;
+  const std::size_t kMaxRounds = 20;
+  std::set<std::uint64_t> ids;
+  std::size_t answered = 0, rejected = 0;
+  for (std::size_t round = 0; round < kMaxRounds && rejected == 0; ++round) {
+    const std::uint64_t base = 2000 + round * kBurst;
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      JobParams job = default_job();
+      job.remaining_compute += static_cast<Duration>(base + i);
+      client.advise_async(base + i, hash, job);
+    }
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      try {
+        const AdviceMsg reply = client.recv_advice();
+        EXPECT_TRUE(ids.insert(reply.request_id).second);
+        ++answered;
+      } catch (const ServeError& e) {
+        EXPECT_TRUE(ids.insert(e.request_id()).second);
+        EXPECT_STREQ(e.what(), "overloaded");
+        ++rejected;
+      }
+    }
+    EXPECT_EQ(ids.size(), answered + rejected) << "a reply went missing";
+  }
+  EXPECT_GE(rejected, 1u) << "no snapshotless burst was ever rejected";
+  const StatsReplyMsg stats = client.stats();
+  EXPECT_EQ(stats.shed_rejected, rejected);
+  EXPECT_EQ(stats.shed_stale, 0u) << "stale answers without a snapshot";
+}
+
+// --- chaos session: exactly-once under injected network faults --------------
+
+TEST(ServeChaos, SessionDeliversEveryAcceptedRequestExactlyOnce) {
+  const std::size_t kSeed = 300;
+  const std::size_t kTotal = 360;
+  const ZoneTraceSet full = wavy_traces(kTotal);
+
+  ServeOptions opt;
+  opt.endpoint = tmp_sock("chaos");
+  opt.threads = 2;
+  opt.shed_queue_limit = 0;  // isolate the fault machinery from shedding
+  Daemon daemon(opt);
+
+  // Drops, torn frames and delays on every client write — but only after
+  // setup: trace_init is not idempotent and a double-init is a protocol
+  // error, so the injector arms once the session is established.
+  transport::NetFaultPlan plan;
+  plan.seed = 21;
+  plan.rate = 0.2;
+  plan.kinds = transport::fault_bit(transport::FaultKind::kDropConn) |
+               transport::fault_bit(transport::FaultKind::kTruncate) |
+               transport::fault_bit(transport::FaultKind::kDelay);
+  plan.max_faults = 10;
+  transport::NetFaultInjector injector(plan, /*armed=*/false);
+
+  ServeClientOptions copt;
+  copt.endpoint = daemon.bound;
+  copt.net_fault = &injector;
+  copt.max_resends = 32;  // the fault budget, not the resend cap, bounds us
+  ServeClient client(copt);
+
+  client.trace_init(make_init(full, kSeed, kTotal));
+  ModelSpec spec;
+  spec.history_span = kDay;
+  const std::uint64_t hash = client.register_spec(spec);
+  const JobParams job = default_job();
+  injector.arm();
+
+  std::uint64_t next_id = 10;
+  std::vector<Money> prices(full.num_zones());
+  for (std::size_t i = kSeed; i < kTotal; ++i) {
+    for (std::size_t z = 0; z < full.num_zones(); ++z)
+      prices[z] = full.zone(z).view().sample(i);
+    const SimTime end_after =
+        full.start() + full.step() * static_cast<Duration>(i + 1);
+    // The advisor's clock: "now" is the instant the newest sample became
+    // the current price, one step before the trace end.
+    const SimTime as_of_applied = end_after - full.step();
+    // Exactly-once ticks under chaos, from the caller's side: on
+    // ConnectionLost the tick's fate is unknown, so probe the daemon's
+    // as_of with an (idempotent) advise and resend only if it is missing.
+    for (;;) {
+      try {
+        EXPECT_EQ(client.tick(prices), end_after);
+        break;
+      } catch (const ConnectionLost&) {
+        const AdviceMsg probe = client.advise(next_id++, hash, job);
+        if (probe.advice.as_of == as_of_applied) break;  // it landed
+        ASSERT_EQ(probe.advice.as_of,
+                  as_of_applied - full.step())  // it did not — resend is safe
+            << "tick applied more or less than once";
+      }
+    }
+    if ((i - kSeed) % 10 == 9) {
+      const AdviceMsg adv = client.advise(next_id++, hash, job);
+      EXPECT_EQ(adv.advice.as_of, as_of_applied);
+    }
+  }
+
+  // Every tick landed exactly once iff the final advice is bit-identical
+  // to the offline oracle over the full trace.
+  const AdviceMsg final_adv = client.advise(next_id++, hash, job);
+  EXPECT_FALSE(final_adv.stale);
+  EXPECT_EQ(final_adv.advice, advise_offline(spec, full, job));
+  EXPECT_GT(injector.injected(), 0u) << "the chaos session saw no faults";
+
+  const StatsReplyMsg stats = client.stats();
+  EXPECT_EQ(stats.ticks, static_cast<std::uint64_t>(kTotal - kSeed))
+      << "a tick was double-applied or lost";
+}
+
+}  // namespace
+}  // namespace redspot::serve

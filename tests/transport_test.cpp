@@ -1,0 +1,423 @@
+// The pluggable stream transport (common/transport): endpoint parsing,
+// unix + TCP listen/connect/accept round trips, the not-there-yet connect
+// contract, EOF semantics — and the deterministic fault layer: scripted
+// FaultyStream behavior for all five fault kinds, the purity of
+// fault_at(), NetFaultPlan parsing, and the injector's process-wide
+// budget and arming.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/frame.hpp"
+#include "common/transport/fault.hpp"
+#include "common/transport/transport.hpp"
+
+namespace redspot {
+namespace {
+
+namespace fs = std::filesystem;
+using transport::Endpoint;
+using transport::FaultAction;
+using transport::FaultKind;
+using transport::FaultyStream;
+using transport::NetFaultInjector;
+using transport::NetFaultPlan;
+using transport::parse_endpoint;
+using transport::parse_net_fault_plan;
+
+std::string tmp_sock(const std::string& name) {
+  const fs::path p = fs::path(::testing::TempDir()) /
+                     ("redspot_tt_" + name + "_" +
+                      std::to_string(::getpid()) + ".sock");
+  fs::remove(p);
+  return p.string();
+}
+
+/// Polls the non-blocking listener until the pending connection arrives.
+std::unique_ptr<transport::Stream> accept_one(transport::Listener& l) {
+  for (int i = 0; i < 2000; ++i) {
+    if (auto s = l.accept()) return s;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return nullptr;
+}
+
+/// A connected (accepted-side, dialer-side) pair over `ep_text`.
+std::pair<std::unique_ptr<transport::Stream>,
+          std::unique_ptr<transport::Stream>>
+make_pair_over(const std::string& ep_text,
+               std::unique_ptr<transport::Listener>* keep_listener = nullptr) {
+  const auto ep = parse_endpoint(ep_text);
+  EXPECT_TRUE(ep.has_value());
+  auto listener = transport::listen(*ep);
+  auto dialer = transport::connect(listener->local_endpoint());
+  EXPECT_NE(dialer, nullptr);
+  auto accepted = accept_one(*listener);
+  EXPECT_NE(accepted, nullptr);
+  if (keep_listener != nullptr) *keep_listener = std::move(listener);
+  return {std::move(accepted), std::move(dialer)};
+}
+
+/// Reads until one complete frame, EOF (nullopt), or corruption (throws).
+std::optional<std::string> read_frame(transport::Stream& s, FrameBuffer& buf) {
+  std::string payload;
+  for (;;) {
+    switch (buf.next(&payload)) {
+      case FrameStatus::kOk:
+        return payload;
+      case FrameStatus::kCorrupt:
+        throw std::runtime_error("corrupt frame");
+      case FrameStatus::kNeedMore:
+        break;
+    }
+    if (!s.read_into(buf)) return std::nullopt;
+  }
+}
+
+// --- endpoint parsing -------------------------------------------------------
+
+TEST(EndpointParse, UnixForms) {
+  const auto bare = parse_endpoint("/tmp/fab.sock");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(bare->path, "/tmp/fab.sock");
+  EXPECT_EQ(bare->str(), "unix:/tmp/fab.sock");
+
+  const auto prefixed = parse_endpoint("unix:/run/x.sock");
+  ASSERT_TRUE(prefixed.has_value());
+  EXPECT_EQ(prefixed->kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(prefixed->path, "/run/x.sock");
+}
+
+TEST(EndpointParse, TcpForms) {
+  const auto ep = parse_endpoint("tcp:127.0.0.1:8443");
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(ep->host, "127.0.0.1");
+  EXPECT_EQ(ep->port, 8443);
+  EXPECT_EQ(ep->str(), "tcp:127.0.0.1:8443");
+
+  const auto ephemeral = parse_endpoint("tcp:0.0.0.0:0");
+  ASSERT_TRUE(ephemeral.has_value());
+  EXPECT_EQ(ephemeral->port, 0);
+}
+
+TEST(EndpointParse, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_endpoint(""));
+  EXPECT_FALSE(parse_endpoint("unix:"));
+  EXPECT_FALSE(parse_endpoint("tcp:"));
+  EXPECT_FALSE(parse_endpoint("tcp:127.0.0.1"));       // missing port
+  EXPECT_FALSE(parse_endpoint("tcp::8080"));           // missing host
+  EXPECT_FALSE(parse_endpoint("tcp:127.0.0.1:"));      // empty port
+  EXPECT_FALSE(parse_endpoint("tcp:127.0.0.1:waffle"));
+  EXPECT_FALSE(parse_endpoint("tcp:127.0.0.1:70000"));  // > 65535
+  EXPECT_FALSE(parse_endpoint("tcp:127.0.0.1:-1"));
+}
+
+// --- live round trips -------------------------------------------------------
+
+TEST(Transport, UnixRoundTripBothDirections) {
+  auto [server, client] = make_pair_over(tmp_sock("rt"));
+  transport::send_frame(*client, "ping");
+  transport::send_frame(*server, "pong");
+  FrameBuffer sbuf, cbuf;
+  EXPECT_EQ(read_frame(*server, sbuf), "ping");
+  EXPECT_EQ(read_frame(*client, cbuf), "pong");
+}
+
+TEST(Transport, TcpRoundTripResolvesEphemeralPort) {
+  std::unique_ptr<transport::Listener> listener;
+  auto [server, client] = make_pair_over("tcp:127.0.0.1:0", &listener);
+  const Endpoint bound = listener->local_endpoint();
+  EXPECT_EQ(bound.kind, Endpoint::Kind::kTcp);
+  EXPECT_GT(bound.port, 0) << "port 0 must resolve to the kernel's pick";
+  transport::send_frame(*client, "over tcp");
+  FrameBuffer buf;
+  EXPECT_EQ(read_frame(*server, buf), "over tcp");
+}
+
+TEST(Transport, ConnectToAbsentPeerIsNullptrNotThrow) {
+  // Unix: no socket file.
+  const auto gone = parse_endpoint(tmp_sock("absent"));
+  EXPECT_EQ(transport::connect(*gone), nullptr);
+  EXPECT_TRUE(errno == ENOENT || errno == ECONNREFUSED) << errno;
+
+  // TCP: a port nobody listens on (bind :0, learn the port, close).
+  {
+    const auto probe = parse_endpoint("tcp:127.0.0.1:0");
+    Endpoint closed;
+    {
+      auto listener = transport::listen(*probe);
+      closed = listener->local_endpoint();
+    }
+    EXPECT_EQ(transport::connect(closed), nullptr);
+    EXPECT_EQ(errno, ECONNREFUSED);
+  }
+}
+
+TEST(Transport, AcceptIsNonBlockingWhenIdle) {
+  const auto ep = parse_endpoint(tmp_sock("idle"));
+  auto listener = transport::listen(*ep);
+  EXPECT_EQ(listener->accept(), nullptr);  // must return, not block
+}
+
+TEST(Transport, PeerCloseReadsAsEof) {
+  auto [server, client] = make_pair_over(tmp_sock("eof"));
+  client.reset();
+  FrameBuffer buf;
+  EXPECT_EQ(read_frame(*server, buf), std::nullopt);
+}
+
+TEST(Transport, WriteToDeadPeerThrowsNotSigpipe) {
+  auto [server, client] = make_pair_over(tmp_sock("dead"));
+  server.reset();
+  // The first write may land in the kernel buffer; keep pushing until the
+  // RST surfaces. If SIGPIPE were not suppressed this would kill the test
+  // binary rather than throw.
+  const std::string frame = encode_frame(std::string(4096, 'x'));
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 64; ++i) client->write_all(frame);
+      },
+      std::runtime_error);
+}
+
+TEST(Transport, StaleUnixSocketIsReclaimed) {
+  const std::string path = tmp_sock("stale");
+  const auto ep = parse_endpoint(path);
+  {
+    auto listener = transport::listen(*ep);
+    // Simulate a crash: drop the listener object but leave the file.
+  }
+  // A second bind over the (now stale, or cleanly removed) path must work.
+  auto listener = transport::listen(*ep);
+  auto dialer = transport::connect(*ep);
+  EXPECT_NE(dialer, nullptr);
+}
+
+// --- scripted FaultyStream --------------------------------------------------
+
+/// Hook firing exactly once, on the first write, with the given action.
+FaultyStream::Hook once(FaultAction action) {
+  auto fired = std::make_shared<bool>(false);
+  return [fired, action](std::uint64_t,
+                         std::size_t) -> std::optional<FaultAction> {
+    if (*fired) return std::nullopt;
+    *fired = true;
+    return action;
+  };
+}
+
+TEST(FaultyStream, DropConnThrowsAndPeerSeesCleanEof) {
+  auto [server, client] = make_pair_over(tmp_sock("fdrop"));
+  FaultyStream faulty(std::move(client), once({FaultKind::kDropConn, 0, 0}));
+  EXPECT_THROW(faulty.write_all(encode_frame("doomed")), std::runtime_error);
+  FrameBuffer buf;
+  EXPECT_EQ(read_frame(*server, buf), std::nullopt);  // EOF, not corrupt
+  // The stream is broken for good — later I/O fails fast.
+  EXPECT_THROW(faulty.write_all("more"), std::runtime_error);
+  char c = 0;
+  EXPECT_THROW(faulty.read_some(&c, 1), std::runtime_error);
+}
+
+TEST(FaultyStream, DelayDeliversTheFrameIntact) {
+  auto [server, client] = make_pair_over(tmp_sock("fdelay"));
+  FaultyStream faulty(std::move(client), once({FaultKind::kDelay, 0, 5}));
+  faulty.write_all(encode_frame("late but whole"));
+  FrameBuffer buf;
+  EXPECT_EQ(read_frame(*server, buf), "late but whole");
+}
+
+TEST(FaultyStream, DuplicateDeliversTwice) {
+  auto [server, client] = make_pair_over(tmp_sock("fdup"));
+  FaultyStream faulty(std::move(client), once({FaultKind::kDuplicate, 0, 0}));
+  faulty.write_all(encode_frame("echo"));
+  FrameBuffer buf;
+  EXPECT_EQ(read_frame(*server, buf), "echo");
+  EXPECT_EQ(read_frame(*server, buf), "echo");
+}
+
+TEST(FaultyStream, PartitionSwallowsWritesWhileReadsFlow) {
+  auto [server, client] = make_pair_over(tmp_sock("fpart"));
+  FaultyStream faulty(std::move(client), once({FaultKind::kPartition, 0, 0}));
+  faulty.write_all(encode_frame("vanishes"));  // no throw, no delivery
+  faulty.write_all(encode_frame("also vanishes"));
+  // Reads still flow toward the partitioned side: one-way, not two-way.
+  transport::send_frame(*server, "inbound survives");
+  FrameBuffer buf;
+  EXPECT_EQ(read_frame(faulty, buf), "inbound survives");
+  // And the server never got a byte: nothing to read.
+  EXPECT_EQ(faulty.bytes_offered(),
+            encode_frame("vanishes").size() +
+                encode_frame("also vanishes").size());
+}
+
+TEST(FaultyStream, OffsetAccountingAdvancesPreFault) {
+  std::vector<std::uint64_t> offsets;
+  auto [server, client] = make_pair_over(tmp_sock("foff"));
+  FaultyStream faulty(std::move(client),
+                      [&](std::uint64_t off,
+                          std::size_t) -> std::optional<FaultAction> {
+                        offsets.push_back(off);
+                        return std::nullopt;
+                      });
+  faulty.write_all("abcd");
+  faulty.write_all("efgh");
+  faulty.write_all("i");
+  ASSERT_EQ(offsets.size(), 3u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 4u);
+  EXPECT_EQ(offsets[2], 8u);
+}
+
+// --- plan parsing and fault_at purity ---------------------------------------
+
+TEST(NetFaultPlanParse, AcceptsTheDocumentedForms) {
+  const auto basic = parse_net_fault_plan("7:0.25");
+  ASSERT_TRUE(basic.has_value());
+  EXPECT_EQ(basic->seed, 7u);
+  EXPECT_DOUBLE_EQ(basic->rate, 0.25);
+  EXPECT_EQ(basic->kinds, transport::kAllFaultKinds);
+  EXPECT_EQ(basic->max_faults, 8u);
+
+  const auto kinds = parse_net_fault_plan("9:1.0:ct");
+  ASSERT_TRUE(kinds.has_value());
+  EXPECT_EQ(kinds->kinds, transport::fault_bit(FaultKind::kDropConn) |
+                              transport::fault_bit(FaultKind::kTruncate));
+
+  const auto full = parse_net_fault_plan("3:0.5:*:17");
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->kinds, transport::kAllFaultKinds);
+  EXPECT_EQ(full->max_faults, 17u);
+
+  EXPECT_TRUE(parse_net_fault_plan("0:0")->enabled() == false);
+}
+
+TEST(NetFaultPlanParse, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_net_fault_plan(""));
+  EXPECT_FALSE(parse_net_fault_plan("7"));
+  EXPECT_FALSE(parse_net_fault_plan("x:0.5"));
+  EXPECT_FALSE(parse_net_fault_plan("7:nope"));
+  EXPECT_FALSE(parse_net_fault_plan("7:1.5"));     // rate > 1
+  EXPECT_FALSE(parse_net_fault_plan("7:-0.1"));    // rate < 0
+  EXPECT_FALSE(parse_net_fault_plan("7:0.5:z"));   // unknown kind letter
+  EXPECT_FALSE(parse_net_fault_plan("7:0.5:c:no"));
+  EXPECT_FALSE(parse_net_fault_plan("7:0.5:c:1:extra"));
+}
+
+TEST(FaultAt, IsAPureFunctionOfItsInputs) {
+  NetFaultPlan plan;
+  plan.seed = 42;
+  plan.rate = 0.3;
+  for (std::uint64_t conn = 0; conn < 3; ++conn) {
+    for (std::uint64_t off = 0; off < 500; off += 7) {
+      const auto first = transport::fault_at(plan, conn, off);
+      for (int rep = 0; rep < 3; ++rep)
+        EXPECT_EQ(transport::fault_at(plan, conn, off), first)
+            << "conn=" << conn << " off=" << off;
+    }
+  }
+}
+
+TEST(FaultAt, NarrowingKindsNeverMovesWhereFaultsLand) {
+  // The fire/no-fire draw is independent of the kind pick, so restricting
+  // `kinds` changes WHAT happens at a faulted write, never WHICH writes
+  // fault — chaos schedules stay comparable across fault menus.
+  NetFaultPlan all;
+  all.seed = 99;
+  all.rate = 0.2;
+  NetFaultPlan only_drop = all;
+  only_drop.kinds = transport::fault_bit(FaultKind::kDropConn);
+
+  std::set<std::uint64_t> all_sites, drop_sites;
+  for (std::uint64_t off = 0; off < 4000; ++off) {
+    if (transport::fault_at(all, 1, off)) all_sites.insert(off);
+    if (const auto k = transport::fault_at(only_drop, 1, off)) {
+      drop_sites.insert(off);
+      EXPECT_EQ(*k, FaultKind::kDropConn);
+    }
+  }
+  EXPECT_EQ(all_sites, drop_sites);
+  EXPECT_FALSE(all_sites.empty()) << "rate 0.2 over 4000 offsets fired never";
+}
+
+TEST(FaultAt, RateZeroAndRateOneBehave) {
+  NetFaultPlan off;
+  off.seed = 5;
+  off.rate = 0.0;
+  NetFaultPlan always;
+  always.seed = 5;
+  always.rate = 1.0;
+  for (std::uint64_t o = 0; o < 200; ++o) {
+    EXPECT_FALSE(transport::fault_at(off, 0, o));
+    EXPECT_TRUE(transport::fault_at(always, 0, o));
+  }
+}
+
+// --- the injector -----------------------------------------------------------
+
+TEST(NetFaultInjector, DisabledPlanIsPassthrough) {
+  NetFaultInjector injector(NetFaultPlan{});  // rate 0 = disabled
+  auto [server, client] = make_pair_over(tmp_sock("inj_off"));
+  auto wrapped = injector.wrap(std::move(client));
+  transport::send_frame(*wrapped, "clean");
+  FrameBuffer buf;
+  EXPECT_EQ(read_frame(*server, buf), "clean");
+  EXPECT_EQ(injector.injected(), 0u);
+}
+
+TEST(NetFaultInjector, BudgetBoundsTotalInjections) {
+  // Duplicate-only at rate 1.0: every write would double-deliver, but the
+  // budget of 3 lets exactly three fire. 10 frames in → 13 frames out.
+  NetFaultPlan plan;
+  plan.seed = 11;
+  plan.rate = 1.0;
+  plan.kinds = transport::fault_bit(FaultKind::kDuplicate);
+  plan.max_faults = 3;
+  NetFaultInjector injector(plan);
+
+  auto [server, client] = make_pair_over(tmp_sock("inj_budget"));
+  auto wrapped = injector.wrap(std::move(client));
+  for (int i = 0; i < 10; ++i)
+    transport::send_frame(*wrapped, "n" + std::to_string(i));
+  wrapped.reset();  // EOF so the count below is final
+
+  FrameBuffer buf;
+  int frames = 0;
+  while (read_frame(*server, buf)) ++frames;
+  EXPECT_EQ(frames, 13);
+  EXPECT_EQ(injector.injected(), 3u);
+}
+
+TEST(NetFaultInjector, UnarmedInjectsNothingUntilArmed) {
+  NetFaultPlan plan;
+  plan.seed = 11;
+  plan.rate = 1.0;
+  plan.kinds = transport::fault_bit(FaultKind::kDuplicate);
+  plan.max_faults = 100;
+  NetFaultInjector injector(plan, /*armed=*/false);
+
+  auto [server, client] = make_pair_over(tmp_sock("inj_arm"));
+  auto wrapped = injector.wrap(std::move(client));
+  transport::send_frame(*wrapped, "setup");
+  EXPECT_EQ(injector.injected(), 0u);
+  injector.arm();
+  transport::send_frame(*wrapped, "chaos");
+  EXPECT_GT(injector.injected(), 0u);
+}
+
+}  // namespace
+}  // namespace redspot

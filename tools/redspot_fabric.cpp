@@ -5,7 +5,11 @@
 // identical values — the spec-hash handshake rejects a worker describing
 // a different run.
 //
-//   redspot-fabric coordinator --socket PATH [ensemble options]
+// `--socket` takes a transport endpoint: a unix-socket path (bare or
+// "unix:PATH") or "tcp:HOST:PORT" for off-box fleets (tcp:0.0.0.0:PORT to
+// accept workers from other hosts).
+//
+//   redspot-fabric coordinator --socket ENDPOINT [ensemble options]
 //     --journal DIR            durable journal: completed shards and
 //                              lease grants are persisted, and a killed
 //                              coordinator restarted with the same flags
@@ -15,11 +19,15 @@
 //     --fallback-wait-ms N     empty-fleet patience before finishing
 //                              the run in-process          [3000]
 //
-//   redspot-fabric worker --socket PATH [ensemble options]
+//   redspot-fabric worker --socket ENDPOINT [ensemble options]
 //     --chaos SEED:RATE[:ATTEMPTS]  deterministically SIGKILL itself
 //                              mid-shard (testing; see fabric/chaos.hpp)
+//     --net-chaos SEED:RATE[:KINDS[:BUDGET]]  seeded network faults on
+//                              every connection (testing; see
+//                              common/transport/fault.hpp)
 //     --heartbeat-interval-ms N     liveness cadence       [250]
 //     --give-up-ms N           reconnect patience          [20000]
+//     --handshake-timeout-ms N abandon a half-open handshake [2000]
 //
 // The coordinator prints the same summary table an in-process ensemble
 // run prints — bit-identical numbers whatever the fleet did — plus
@@ -63,6 +71,7 @@ std::int64_t parse_ms(const std::string& opt, const std::string& v) {
 struct FabricArgs {
   fabric::FabricOptions options;
   fabric::ChaosPlan chaos;
+  transport::NetFaultPlan net_chaos;
 };
 
 FabricArgs parse_fabric_extra(const std::vector<std::string>& extra,
@@ -75,7 +84,7 @@ FabricArgs parse_fabric_extra(const std::vector<std::string>& extra,
       return extra[++i];
     };
     if (opt == "--socket") {
-      f.options.socket_path = need();
+      f.options.endpoint = need();
     } else if (opt == "--lease-ms" && !is_worker) {
       f.options.lease.lease_duration_ms = parse_ms(opt, need());
     } else if (opt == "--heartbeat-timeout-ms" && !is_worker) {
@@ -86,15 +95,23 @@ FabricArgs parse_fabric_extra(const std::vector<std::string>& extra,
       f.options.heartbeat_interval_ms = parse_ms(opt, need());
     } else if (opt == "--give-up-ms" && is_worker) {
       f.options.give_up_ms = parse_ms(opt, need());
+    } else if (opt == "--handshake-timeout-ms" && is_worker) {
+      f.options.handshake_timeout_ms = parse_ms(opt, need());
     } else if (opt == "--chaos" && is_worker) {
       const auto plan = fabric::parse_chaos_plan(need());
       if (!plan) usage("bad --chaos (want SEED:RATE[:ATTEMPTS])");
       f.chaos = *plan;
+    } else if (opt == "--net-chaos" && is_worker) {
+      const auto plan = transport::parse_net_fault_plan(need());
+      if (!plan) usage("bad --net-chaos (want SEED:RATE[:KINDS[:BUDGET]])");
+      f.net_chaos = *plan;
     } else {
       usage("unknown option " + opt);
     }
   }
-  if (f.options.socket_path.empty()) usage("--socket is required");
+  if (f.options.endpoint.empty()) usage("--socket is required");
+  if (!transport::parse_endpoint(f.options.endpoint))
+    usage("bad --socket endpoint " + f.options.endpoint);
   return f;
 }
 
@@ -110,6 +127,11 @@ int run_coordinator(const EnsembleCliArgs& args, const FabricArgs& fargs) {
   }
 
   fabric::Coordinator coordinator(spec, fargs.options, journal.get());
+  // Resolved endpoint (tcp:HOST:0 becomes the kernel-assigned port) on
+  // stderr, unbuffered, so scripts can learn where to point workers.
+  // "fabric:" prefix: output comparisons strip it.
+  std::fprintf(stderr, "fabric: listening on %s\n",
+               coordinator.endpoint().c_str());
   const fabric::CoordinatorReport report = coordinator.run();
 
   const Scenario scenario{args.window, args.slack, args.tc, spec.starts_grid};
@@ -146,7 +168,17 @@ int run_coordinator(const EnsembleCliArgs& args, const FabricArgs& fargs) {
 
 int run_worker_cmd(const EnsembleCliArgs& args, const FabricArgs& fargs) {
   const EnsembleSpec spec = make_ensemble_spec(args);
-  return fabric::run_worker(spec, fargs.options, fargs.chaos);
+  transport::NetFaultInjector injector(fargs.net_chaos);
+  fabric::FabricOptions options = fargs.options;
+  if (fargs.net_chaos.enabled()) options.net_fault = &injector;
+  const int rc = fabric::run_worker(spec, options, fargs.chaos);
+  if (fargs.net_chaos.enabled() && injector.injected() > 0) {
+    // Stderr, like the listening banner: chaos bookkeeping must never
+    // perturb the bit-compared result stream.
+    std::fprintf(stderr, "fabric: fault plan fired %llu times\n",
+                 static_cast<unsigned long long>(injector.injected()));
+  }
+  return rc;
 }
 
 }  // namespace

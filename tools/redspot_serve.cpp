@@ -1,9 +1,13 @@
 // redspot-serve — the multi-tenant bid-advisor daemon (DESIGN.md §12).
 //
-//   redspot-serve --socket PATH [options]
-//     --socket PATH       unix socket to listen on (required)
+//   redspot-serve --socket ENDPOINT [options]
+//     --socket ENDPOINT   endpoint to listen on (required): a unix-socket
+//                         path (bare or "unix:PATH") or "tcp:HOST:PORT"
 //     --threads N         advise worker threads        [hardware]
 //     --registry-mb N     shared-model LRU capacity    [64]
+//     --shed-limit N      batcher queue depth at which overload answers
+//                         come from the last-good model with the
+//                         staleness marker (0 = never shed)  [1024]
 //     --quiet             suppress the final stats line
 //
 // The daemon serves the protocol in src/serve/proto.hpp: a feed process
@@ -22,8 +26,8 @@ namespace {
 
 [[noreturn]] void usage(const char* msg) {
   std::fprintf(stderr,
-               "redspot-serve: %s\nusage: redspot-serve --socket PATH "
-               "[--threads N] [--registry-mb N] [--quiet]\n",
+               "redspot-serve: %s\nusage: redspot-serve --socket ENDPOINT "
+               "[--threads N] [--registry-mb N] [--shed-limit N] [--quiet]\n",
                msg);
   std::exit(2);
 }
@@ -32,6 +36,13 @@ long parse_positive(const char* opt, const char* v) {
   char* end = nullptr;
   const long n = std::strtol(v, &end, 10);
   if (end == nullptr || *end != '\0' || n <= 0) usage(opt);
+  return n;
+}
+
+long parse_nonnegative(const char* opt, const char* v) {
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == nullptr || *end != '\0' || n < 0) usage(opt);
   return n;
 }
 
@@ -46,19 +57,22 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--socket") {
-      opt.socket_path = need();
+      opt.endpoint = need();
     } else if (a == "--threads") {
       opt.threads = static_cast<std::size_t>(parse_positive("bad --threads", need()));
     } else if (a == "--registry-mb") {
       opt.registry_bytes =
           static_cast<std::size_t>(parse_positive("bad --registry-mb", need()))
           << 20;
+    } else if (a == "--shed-limit") {
+      opt.shed_queue_limit = static_cast<std::uint64_t>(
+          parse_nonnegative("bad --shed-limit", need()));
     } else if (a == "--quiet") {
       opt.print_stats = false;
     } else {
       usage("unknown option");
     }
   }
-  if (opt.socket_path.empty()) usage("--socket is required");
+  if (opt.endpoint.empty()) usage("--socket is required");
   return redspot::serve::run_server(opt);
 }

@@ -1,28 +1,40 @@
 // tick-replay — replays a trace-set CSV into a running redspot-serve
 // daemon as a live feed (satellite of the serve subsystem; DESIGN.md §12).
 //
-//   tick-replay --csv FILE --socket PATH [options]
+//   tick-replay --csv FILE --socket ENDPOINT [options]
 //     --csv FILE          trace-set CSV (trace/csv_io.hpp format; required)
-//     --socket PATH       daemon socket (required)
+//     --socket ENDPOINT   daemon endpoint (required): a unix-socket path
+//                         (bare or "unix:PATH") or "tcp:HOST:PORT"
 //     --init-samples N    samples per zone sent as the TraceInit seed;
 //                         the rest stream as ticks            [half]
 //     --advise-every K    also register the default ModelSpec and request
 //                         advice after every K-th tick, printing each
 //                         answer (0 = feed only)              [0]
+//     --burst N           at each advise point, pipeline N advise requests
+//                         instead of one (advise_async/recv_advice) and
+//                         print one summary line with the stale and
+//                         rejected ("overloaded") counts — an overload
+//                         probe for --shed-limit               [1]
+//     --jitter MS         sleep a seeded-uniform [0,MS] ms before each
+//                         tick, simulating an uneven feed      [0]
 //     --compute SECS      remaining compute for those requests [86400]
 //     --deadline SECS     remaining time for those requests    [172800]
 //
 // The CSV goes through the same read_csv validation as every other trace
 // consumer — malformed input dies with a line-numbered message before a
 // single byte reaches the daemon. Exit 0 once the replay (and all advice
-// responses) are in.
+// responses) are in. The jitter schedule is a pure function of the trace
+// position (fixed seed), so two replays of the same CSV pause identically.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/random.hpp"
 #include "serve/client.hpp"
 #include "trace/csv_io.hpp"
 
@@ -32,9 +44,9 @@ namespace {
 
 [[noreturn]] void usage(const char* msg) {
   std::fprintf(stderr,
-               "tick-replay: %s\nusage: tick-replay --csv FILE --socket PATH "
-               "[--init-samples N] [--advise-every K] [--compute SECS] "
-               "[--deadline SECS]\n",
+               "tick-replay: %s\nusage: tick-replay --csv FILE --socket "
+               "ENDPOINT [--init-samples N] [--advise-every K] [--burst N] "
+               "[--jitter MS] [--compute SECS] [--deadline SECS]\n",
                msg);
   std::exit(2);
 }
@@ -64,6 +76,8 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::size_t init_samples = 0;  // 0 = half the trace
   std::size_t advise_every = 0;
+  std::size_t burst = 1;
+  long jitter_ms = 0;
   serve::JobParams job;
   job.remaining_compute = kDay;
   job.remaining_time = 2 * kDay;
@@ -84,6 +98,10 @@ int main(int argc, char** argv) {
     } else if (a == "--advise-every") {
       advise_every =
           static_cast<std::size_t>(parse_positive("bad --advise-every", need()));
+    } else if (a == "--burst") {
+      burst = static_cast<std::size_t>(parse_positive("bad --burst", need()));
+    } else if (a == "--jitter") {
+      jitter_ms = parse_positive("bad --jitter", need());
     } else if (a == "--compute") {
       job.remaining_compute = parse_positive("bad --compute", need());
     } else if (a == "--deadline") {
@@ -128,29 +146,84 @@ int main(int argc, char** argv) {
 
     std::vector<Money> prices(traces.num_zones());
     std::size_t ticks = 0;
+    std::size_t stale_total = 0;
+    std::size_t rejected_total = 0;
     for (std::size_t i = init_samples; i < total; ++i) {
+      if (jitter_ms > 0) {
+        // Seeded per trace position: replaying the same CSV twice pauses
+        // at exactly the same points for exactly the same durations.
+        Rng rng(0xF33D, static_cast<std::uint64_t>(i));
+        const auto pause = static_cast<std::int64_t>(
+            rng.uniform() * static_cast<double>(jitter_ms));
+        std::this_thread::sleep_for(std::chrono::milliseconds(pause));
+      }
       for (std::size_t z = 0; z < traces.num_zones(); ++z)
         prices[z] = traces.zone(z).view().sample(i);
       client.tick(prices);
       ++ticks;
       if (advise_every > 0 && ticks % advise_every == 0) {
-        const serve::AdviceMsg r = client.advise(ticks, spec_hash, job);
-        std::string zones;
-        for (std::size_t zone : r.advice.zones) {
-          if (!zones.empty()) zones += "+";
-          zones += traces.zone_name(zone);
+        if (burst > 1) {
+          // Pipelined probe: N requests in flight at once. Under
+          // --shed-limit overload some answers come from the last-good
+          // model with the staleness marker, and requests with no
+          // covering snapshot are rejected outright ("overloaded") —
+          // both are designed degraded answers, so count rather than
+          // die on them.
+          std::size_t stale = 0;
+          std::size_t rejected = 0;
+          for (std::size_t n = 0; n < burst; ++n)
+            client.advise_async(ticks * 1000 + n, spec_hash, job);
+          serve::AdviceMsg last;
+          bool got_answer = false;
+          for (std::size_t n = 0; n < burst; ++n) {
+            try {
+              last = client.recv_advice();
+              got_answer = true;
+              if (last.stale) ++stale;
+            } catch (const serve::ServeError&) {
+              ++rejected;
+            }
+          }
+          stale_total += stale;
+          rejected_total += rejected;
+          if (got_answer) {
+            std::printf(
+                "tick-replay: burst=%zu as_of=%lld bid=$%.3f policy=%s "
+                "stale=%zu/%zu rejected=%zu/%zu\n",
+                burst, static_cast<long long>(last.advice.as_of),
+                last.advice.bid.to_double(), policy_name(last.advice.policy),
+                stale, burst, rejected, burst);
+          } else {
+            std::printf("tick-replay: burst=%zu rejected=%zu/%zu\n", burst,
+                        rejected, burst);
+          }
+        } else {
+          const serve::AdviceMsg r = client.advise(ticks, spec_hash, job);
+          if (r.stale) ++stale_total;
+          std::string zones;
+          for (std::size_t zone : r.advice.zones) {
+            if (!zones.empty()) zones += "+";
+            zones += traces.zone_name(zone);
+          }
+          std::printf(
+              "tick-replay: as_of=%lld bid=$%.3f zones=%s policy=%s "
+              "cost=$%.2f uptime=%llds ckpt=%llds%s\n",
+              static_cast<long long>(r.advice.as_of), r.advice.bid.to_double(),
+              zones.c_str(), policy_name(r.advice.policy),
+              r.advice.predicted_cost.to_double(),
+              static_cast<long long>(r.advice.expected_uptime),
+              static_cast<long long>(r.advice.checkpoint_interval),
+              r.stale ? " [stale]" : "");
         }
-        std::printf(
-            "tick-replay: as_of=%lld bid=$%.3f zones=%s policy=%s "
-            "cost=$%.2f uptime=%llds ckpt=%llds\n",
-            static_cast<long long>(r.advice.as_of), r.advice.bid.to_double(),
-            zones.c_str(), policy_name(r.advice.policy),
-            r.advice.predicted_cost.to_double(),
-            static_cast<long long>(r.advice.expected_uptime),
-            static_cast<long long>(r.advice.checkpoint_interval));
       }
     }
-    std::printf("tick-replay: replayed %zu ticks\n", ticks);
+    if (stale_total > 0 || rejected_total > 0)
+      std::printf(
+          "tick-replay: replayed %zu ticks (%zu stale, %zu rejected "
+          "answers)\n",
+          ticks, stale_total, rejected_total);
+    else
+      std::printf("tick-replay: replayed %zu ticks\n", ticks);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tick-replay: %s\n", e.what());
