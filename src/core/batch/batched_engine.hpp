@@ -1,0 +1,81 @@
+// BatchedSweepEngine: N sweep configs advanced in lockstep over one
+// shared view of the price trace (DESIGN.md §14).
+//
+// The scalar sweep runs one Engine at a time, so every config re-walks the
+// same trace, re-slides its own Markov models, and re-scans the same
+// 2-day windows. The batched engine instead advances all N lanes in
+// global event-time order, one instant at a time — a branchless min over
+// the SoA next-event array finds the group's earliest event time, and
+// every lane with an event at that instant drains its burst in lane order
+// — so the group shares, across every lane:
+//
+//   * one SharedTraceIndex: S_min queries are O(1) table loads into
+//     cache-resident data instead of N × O(window) scans;
+//   * one ZoneModelPool: each per-zone model slides ONCE per tick for the
+//     whole group (windows are pure functions of (zone, now)), and its
+//     (state, alive) memo dedupes the closed-form solves across lanes and
+//     bids, prewarmed grid-wide through the branchless alive-state kernel.
+//
+// Each lane is still a full scalar Engine stepped incrementally
+// (begin/step_one/finalize), so billing anchors, zone-machine
+// transitions, checkpoint coordination, and observers behave exactly as
+// in a run() call — divergent per-lane control flow costs nothing in
+// correctness. Bit-identity of the shared state is by construction: every
+// shared value is a pure function of inputs that do not depend on which
+// lane asks (see trace_index.hpp / model_pool.hpp), so the batched sweep
+// reproduces the scalar sweep's RunResults bit-for-bit for ANY lane
+// interleaving. The time-ordered interleaving is a performance choice
+// (models only slide forward), not a correctness requirement.
+//
+// Dispatch rule (the homogeneous-group contract): lanes must be fixed
+// policies (PolicyKind) with can_batch() options — the all-zero fault
+// plan. Adaptive and large-bid strategies, and faulted runs, take the
+// scalar path; exp/sweep.cpp and ensemble/shard_exec.cpp enforce this.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/batch/trace_index.hpp"
+#include "core/engine.hpp"
+
+namespace redspot::batch {
+
+/// One lane of a batch group.
+struct BatchConfig {
+  Experiment experiment;
+  PolicyKind policy = PolicyKind::kPeriodic;
+  Money bid;
+  std::vector<std::size_t> zones{0};
+  /// Optional per-lane observer, attached before the lane begins (e.g. an
+  /// AuditObserver); must outlive the run() call.
+  EngineObserver* observer = nullptr;
+};
+
+class BatchedSweepEngine {
+ public:
+  /// Builds the shared trace index once; `market` must outlive the
+  /// engine. The engine is immutable after construction, so one instance
+  /// serves many concurrent run() calls (one per sweep task).
+  explicit BatchedSweepEngine(const SpotMarket& market,
+                              EngineOptions options = {});
+
+  /// True when `options` qualify for the batched path: the all-zero fault
+  /// plan (fault injection draws per-engine randomness on divergent
+  /// control flow; those runs keep the scalar path).
+  static bool can_batch(const EngineOptions& options);
+
+  /// Runs every lane to completion in lockstep. Returns one RunResult per
+  /// lane, in lane order — each bit-identical to what a scalar
+  /// Engine::run() of the same config produces. Thread-safe.
+  std::vector<RunResult> run(std::span<const BatchConfig> configs) const;
+
+  const SharedTraceIndex& trace_index() const { return index_; }
+
+ private:
+  const SpotMarket* market_;
+  EngineOptions options_;
+  SharedTraceIndex index_;
+};
+
+}  // namespace redspot::batch

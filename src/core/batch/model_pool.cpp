@@ -1,0 +1,79 @@
+#include "core/batch/model_pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/batch/batch_state.hpp"
+
+namespace redspot::batch {
+
+ZoneModelPool::ZoneModelPool(std::size_t max_states)
+    : max_states_(max_states) {
+  REDSPOT_CHECK(max_states_ >= 2);
+}
+
+void ZoneModelPool::set_bid_grid(std::span<const Money> bids) {
+  bid_grid_.assign(bids.begin(), bids.end());
+  std::sort(bid_grid_.begin(), bid_grid_.end());
+  bid_grid_.erase(std::unique(bid_grid_.begin(), bid_grid_.end()),
+                  bid_grid_.end());
+  grid_alive_.resize(bid_grid_.size());
+}
+
+ZoneModelPool::ZoneSlot& ZoneModelPool::slot(std::size_t zone) {
+  if (zones_.size() <= zone) zones_.resize(zone + 1);
+  if (zones_[zone] == nullptr)
+    zones_[zone] = std::make_unique<ZoneSlot>(max_states_);
+  return *zones_[zone];
+}
+
+void ZoneModelPool::prewarm(ZoneSlot& z, Money price) {
+  const MarkovModel& model = z.model.model();
+  grid_prices_.assign(model.state_prices.begin(), model.state_prices.end());
+  map_alive_states(grid_prices_, bid_grid_, grid_alive_);
+  // One memoized solve per DISTINCT (state, alive) key: the grid is
+  // ascending so alive states are non-decreasing, uptime is a pure
+  // function of (current state, alive state), and bids sharing an alive
+  // state therefore share the answer. Every grid bid's uptime lands in
+  // warmed_uptime so lane queries are one array read.
+  z.warmed_uptime.resize(bid_grid_.size());
+  std::int32_t last_alive = INT32_MIN;
+  Duration last_uptime = 0;
+  for (std::size_t j = 0; j < bid_grid_.size(); ++j) {
+    if (grid_alive_[j] != last_alive) {
+      last_alive = grid_alive_[j];
+      last_uptime = z.model.expected_uptime(price, bid_grid_[j]);
+    }
+    z.warmed_uptime[j] = last_uptime;
+  }
+}
+
+Duration ZoneModelPool::expected_uptime(std::size_t zone,
+                                        std::size_t max_states,
+                                        const PriceView& history, Money price,
+                                        Money bid) {
+  REDSPOT_CHECK_MSG(max_states == max_states_,
+                    "pooled policy max_states mismatch: " << max_states
+                                                          << " vs pool "
+                                                          << max_states_);
+  ZoneSlot& z = slot(zone);
+  z.model.observe(history);
+  if (!bid_grid_.empty()) {
+    const std::uint64_t refreshes = z.model.model_refreshes();
+    if (z.warmed_refreshes != refreshes ||
+        z.warmed_price_micros != price.micros()) {
+      prewarm(z, price);
+      z.warmed_refreshes = refreshes;
+      z.warmed_price_micros = price.micros();
+    }
+    const auto it =
+        std::lower_bound(bid_grid_.begin(), bid_grid_.end(), bid);
+    if (it != bid_grid_.end() && *it == bid) {
+      return z.warmed_uptime[static_cast<std::size_t>(
+          it - bid_grid_.begin())];
+    }
+  }
+  return z.model.expected_uptime(price, bid);
+}
+
+}  // namespace redspot::batch

@@ -38,17 +38,14 @@ void Engine::on_cycle_boundary(std::size_t zone) {
   if (!billing_.spot_running(zone) || !z.active()) return;
 
   billing_.cycle_boundary(zone, price(zone));
-  z.cycle_event =
-      queue_.schedule_at(EventKind::kCycleBoundary, zone,
-                         billing_.cycle_end(zone),
-                         [this, zone] { on_cycle_boundary(zone); });
+  z.cycle_event = queue_.schedule_at(EventKind::kCycleBoundary, zone,
+                                     billing_.cycle_end(zone));
   const SimTime pre = billing_.cycle_end(zone) - experiment_.costs.checkpoint;
   queue_.cancel(z.preboundary_event);
   if ((config_.policy->wants_pre_boundary_checks() || strategy_->dynamic()) &&
       pre > now()) {
     z.preboundary_event =
-        queue_.schedule_at(EventKind::kPreBoundary, zone, pre,
-                           [this, zone] { on_pre_boundary(zone); });
+        queue_.schedule_at(EventKind::kPreBoundary, zone, pre);
   }
 }
 

@@ -52,6 +52,39 @@ Engine::Engine(const SpotMarket& market, Experiment experiment,
   // not a queue observer (no on_event need), keeping the calendar's
   // zero-observer fast path for unobserved runs.
   observers_.push_back(&fault_recorder_);
+  queue_.set_sink(this);
+}
+
+void Engine::on_queue_event(EventKind kind, std::size_t zone) {
+  switch (kind) {
+    case EventKind::kPriceTick:
+      on_price_tick();
+      return;
+    case EventKind::kInstanceReady:
+      on_instance_ready(zone);
+      return;
+    case EventKind::kRestartDone:
+      on_restart_done(zone);
+      return;
+    case EventKind::kCycleBoundary:
+      on_cycle_boundary(zone);
+      return;
+    case EventKind::kPreBoundary:
+      on_pre_boundary(zone);
+      return;
+    case EventKind::kZoneCompletion:
+      on_zone_completion(zone);
+      return;
+    case EventKind::kDoom:
+      on_doom(zone);
+      return;
+    case EventKind::kScheduledCheckpoint:
+      on_scheduled_checkpoint();
+      return;
+    default:
+      REDSPOT_CHECK_MSG(false, "event kind without a fixed handler scheduled "
+                               "without a callback");
+  }
 }
 
 void Engine::add_observer(EngineObserver* observer) {
@@ -89,17 +122,29 @@ void Engine::record(SimTime t, std::size_t zone, TimelineKind kind,
 // Run loop
 
 RunResult Engine::run() {
+  begin();
+  while (!done_ && queue_.step()) {
+  }
+  return finalize();
+}
+
+void Engine::begin() {
   REDSPOT_CHECK_MSG(!ran_, "Engine::run() may only be called once");
   ran_ = true;
 
   apply_initial_config();
-  tick_event_ = queue_.schedule_at(EventKind::kPriceTick, kNoZone,
-                                   experiment_.start,
-                                   [this] { on_price_tick(); });
+  tick_event_ =
+      queue_.schedule_at(EventKind::kPriceTick, kNoZone, experiment_.start);
   reschedule_deadline_trigger();
+}
 
-  while (!done_ && queue_.step()) {
-  }
+void Engine::step_one() {
+  REDSPOT_CHECK_MSG(!done_, "step_one() after completion");
+  const bool dispatched = queue_.step();
+  REDSPOT_CHECK_MSG(dispatched, "engine calendar drained before completion");
+}
+
+RunResult Engine::finalize() {
   REDSPOT_CHECK_MSG(done_, "engine calendar drained before completion");
 
   result_.total_cost = billing_.total();

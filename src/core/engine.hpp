@@ -41,11 +41,13 @@
 // flight when the margin runs out — see DESIGN.md §7 for the argument.
 #pragma once
 
+#include <concepts>
 #include <cstddef>
 #include <optional>
 #include <vector>
 
 #include "ckpt/store.hpp"
+#include "common/check.hpp"
 #include "common/random.hpp"
 #include "core/billing_ledger/zone_billing.hpp"
 #include "core/ckpt_coordinator.hpp"
@@ -60,6 +62,10 @@
 #include "market/spot_market.hpp"
 
 namespace redspot {
+
+namespace batch {
+class SharedTraceIndex;
+}  // namespace batch
 
 struct EngineOptions {
   bool record_timeline = false;
@@ -82,7 +88,9 @@ struct EngineOptions {
 class HashStream;
 void hash_engine_options(HashStream& h, const EngineOptions& options);
 
-class Engine final : public EngineView, private ZoneTransitionSink {
+class Engine final : public EngineView,
+                     private ZoneTransitionSink,
+                     private EventSink {
  public:
   /// `market` and `strategy` must outlive the engine.
   Engine(const SpotMarket& market, Experiment experiment, Strategy& strategy,
@@ -97,6 +105,31 @@ class Engine final : public EngineView, private ZoneTransitionSink {
   /// Runs the experiment to completion. Call once.
   RunResult run();
 
+  // --- incremental stepping (core/batch lockstep driver) --------------------
+  // run() is exactly begin(); while (!finished()) step_one(); finalize() —
+  // a stepped run is byte-identical to a run() call. The batched sweep
+  // engine uses this to interleave many engines in global time order.
+
+  /// Arms the calendar (initial config, first price tick, deadline
+  /// trigger). Call once, instead of run().
+  void begin();
+  /// True once the run has completed; step_one() must not be called again.
+  bool finished() const { return done_; }
+  /// Timestamp of the next calendar event (kNever only when finished).
+  SimTime next_event_time() { return queue_.next_time(); }
+  /// Dispatches exactly one calendar event.
+  void step_one();
+  /// Seals and returns the result; requires finished(). Call once.
+  RunResult finalize();
+
+  /// Routes min_observed_price() through a shared O(1) range-min index
+  /// over the market traces (bit-identical to the linear scan — see
+  /// core/batch/trace_index.hpp). The index must be built over this
+  /// engine's market and outlive the run. Call before begin()/run().
+  void set_shared_trace(const batch::SharedTraceIndex* index) {
+    shared_trace_ = index;
+  }
+
   // --- EngineView ----------------------------------------------------------
   SimTime now() const override { return queue_.now(); }
   const Experiment& experiment() const override { return experiment_; }
@@ -105,9 +138,19 @@ class Engine final : public EngineView, private ZoneTransitionSink {
   std::span<const std::size_t> zone_ids() const override {
     return config_.zones;
   }
-  bool zone_running(std::size_t zone) const override;
-  bool any_zone_running() const override;
-  Money price(std::size_t zone) const override;
+  // Per-decision predicates: consulted several times per calendar event,
+  // so they live in the header.
+  bool zone_running(std::size_t zone) const override {
+    return zone_at(zone).running();
+  }
+  bool any_zone_running() const override {
+    for (std::size_t z : config_.zones)
+      if (zone_running(z)) return true;
+    return false;
+  }
+  Money price(std::size_t zone) const override {
+    return market_->spot_price(zone, now());
+  }
   Money previous_price(std::size_t zone) const override;
   PriceView history(std::size_t zone) const override;
   Money min_observed_price(std::size_t zone) const override;
@@ -122,6 +165,13 @@ class Engine final : public EngineView, private ZoneTransitionSink {
   }
 
  private:
+  // --- event dispatch ------------------------------------------------------
+  /// EventSink: calendar entries scheduled by (kind, zone) alone land here
+  /// and fan out to the fixed handler for their kind — the hot-path events
+  /// (ticks, lifecycle, boundaries) skip per-event closure construction
+  /// this way. Handlers needing extra captures still schedule callbacks.
+  void on_queue_event(EventKind kind, std::size_t zone) override;
+
   // --- event handlers (zone/engine_lifecycle.cpp unless noted) -------------
   void on_price_tick();
   void on_instance_ready(std::size_t zone);
@@ -170,12 +220,32 @@ class Engine final : public EngineView, private ZoneTransitionSink {
   void start_checkpoint(std::optional<std::size_t> target);
 
   // --- helpers -------------------------------------------------------------
-  ZoneMachine& zone_at(std::size_t zone);
-  const ZoneMachine& zone_at(std::size_t zone) const;
-  bool any_zone_active() const;
+  ZoneMachine& zone_at(std::size_t zone) {
+    REDSPOT_CHECK(zone < zones_.size());
+    return zones_[zone];
+  }
+  const ZoneMachine& zone_at(std::size_t zone) const {
+    REDSPOT_CHECK(zone < zones_.size());
+    return zones_[zone];
+  }
+  bool any_zone_active() const {
+    for (std::size_t z : config_.zones)
+      if (zone_at(z).active()) return true;
+    return false;
+  }
   std::optional<std::size_t> leading_zone() const;  ///< best kRunning zone
   void record(SimTime t, std::size_t zone, TimelineKind kind,
               std::string detail = {});
+  /// Lazy-detail variant: `detail()` is evaluated only when the timeline
+  /// is actually recorded, keeping the string formatting (and its
+  /// allocations) off the hot path of timeline-less sweep runs.
+  template <typename DetailFn>
+    requires std::invocable<DetailFn>
+  void record(SimTime t, std::size_t zone, TimelineKind kind,
+              DetailFn&& detail) {
+    if (!options_.record_timeline) return;
+    record(t, zone, kind, std::string(detail()));
+  }
 
   // --- observer fan-out ----------------------------------------------------
   void on_zone_transition(std::size_t zone, ZoneState from,
@@ -188,6 +258,7 @@ class Engine final : public EngineView, private ZoneTransitionSink {
   Experiment experiment_;
   Strategy* strategy_;
   EngineOptions options_;
+  const batch::SharedTraceIndex* shared_trace_ = nullptr;
 
   EventQueue queue_;
   Rng queue_rng_;

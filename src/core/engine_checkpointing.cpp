@@ -12,10 +12,8 @@ void Engine::reschedule_policy_checkpoint() {
   if (done_ || on_demand_phase_) return;
   const SimTime t = config_.policy->schedule_next_checkpoint(*this);
   if (t == kNever) return;
-  scheduled_ckpt_event_ =
-      queue_.schedule_at(EventKind::kScheduledCheckpoint, kNoZone,
-                         std::max(now(), t),
-                         [this] { on_scheduled_checkpoint(); });
+  scheduled_ckpt_event_ = queue_.schedule_at(
+      EventKind::kScheduledCheckpoint, kNoZone, std::max(now(), t));
 }
 
 void Engine::on_scheduled_checkpoint() {
@@ -49,7 +47,7 @@ void Engine::start_checkpoint(std::optional<std::size_t> target) {
                iteration_aligned(experiment_.app, z.progress_base()),
                experiment_.costs.checkpoint, [this] { on_checkpoint_done(); });
   record(now(), *target, TimelineKind::kCheckpointStart,
-         "progress=" + format_duration(coord_.value()));
+         [&] { return "progress=" + format_duration(coord_.value()); });
 }
 
 bool Engine::commit_in_flight_checkpoint() {
@@ -70,12 +68,12 @@ bool Engine::commit_in_flight_checkpoint() {
     case CheckpointCommit::Outcome::kCorrupt:
       notify_fault(FaultEvent::Kind::kCkptCorruption, zone);
       record(now(), zone, TimelineKind::kCheckpointCorrupt,
-             "progress=" + format_duration(value));
+             [&] { return "progress=" + format_duration(value); });
       break;
     case CheckpointCommit::Outcome::kCommitted:
       ++result_.checkpoints_committed;
       record(now(), zone, TimelineKind::kCheckpointDone,
-             "progress=" + format_duration(value));
+             [&] { return "progress=" + format_duration(value); });
       break;
   }
   notify_commit(CheckpointCommit{now(), zone, value, outcome});

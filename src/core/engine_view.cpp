@@ -1,39 +1,10 @@
 // The EngineView read surface: what policies and strategies may observe.
 #include <algorithm>
 
+#include "core/batch/trace_index.hpp"
 #include "core/engine.hpp"
 
 namespace redspot {
-
-ZoneMachine& Engine::zone_at(std::size_t zone) {
-  REDSPOT_CHECK(zone < zones_.size());
-  return zones_[zone];
-}
-
-const ZoneMachine& Engine::zone_at(std::size_t zone) const {
-  REDSPOT_CHECK(zone < zones_.size());
-  return zones_[zone];
-}
-
-bool Engine::zone_running(std::size_t zone) const {
-  return zone_at(zone).running();
-}
-
-bool Engine::any_zone_running() const {
-  for (std::size_t z : config_.zones)
-    if (zone_running(z)) return true;
-  return false;
-}
-
-bool Engine::any_zone_active() const {
-  for (std::size_t z : config_.zones)
-    if (zone_at(z).active()) return true;
-  return false;
-}
-
-Money Engine::price(std::size_t zone) const {
-  return market_->spot_price(zone, now());
-}
 
 Money Engine::previous_price(std::size_t zone) const {
   const SimTime prev = now() - market_->traces().step();
@@ -51,8 +22,12 @@ PriceView Engine::history(std::size_t zone) const {
 }
 
 Money Engine::min_observed_price(std::size_t zone) const {
-  // min over the view — no window materialization.
-  return history(zone).min_price();
+  // min over the view — no window materialization. Batched runs answer
+  // from the shared sparse-table index instead of the O(window) scan;
+  // exact integer minimum either way, so the two paths are bit-identical.
+  const PriceView h = history(zone);
+  if (shared_trace_ != nullptr) return shared_trace_->min_over(zone, h);
+  return h.min_price();
 }
 
 Duration Engine::zone_progress(std::size_t zone) const {

@@ -14,39 +14,80 @@ constexpr std::size_t kCompactionFloor = 64;
 
 }  // namespace
 
+void EventQueue::release(EventId id, Slot& slot) {
+  slot.live = false;
+  free_.push_back(slot_of(id));
+  --live_;
+}
+
 EventId EventQueue::schedule_at(EventKind kind, std::size_t zone, SimTime t,
                                 Callback cb) {
+  REDSPOT_CHECK(cb != nullptr);
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  return arm(s, slot, kind, zone, t);
+}
+
+EventId EventQueue::schedule_at(EventKind kind, std::size_t zone, SimTime t) {
+  REDSPOT_CHECK_MSG(sink_ != nullptr,
+                    "callback-less schedule without a sink");
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = nullptr;
+  return arm(s, slot, kind, zone, t);
+}
+
+EventId EventQueue::arm(Slot& s, std::uint32_t slot, EventKind kind,
+                        std::size_t zone, SimTime t) {
   REDSPOT_CHECK_MSG(t >= now_, "scheduling into the past: t=" << t << " now="
                                                               << now_);
-  REDSPOT_CHECK(cb != nullptr);
-  const EventId id = next_id_++;
+  ++s.gen;  // invalidates every stale handle to this slot
+  s.kind = kind;
+  s.zone = zone;
+  s.live = true;
+  ++live_;
+  const EventId id = (static_cast<EventId>(s.gen) << 32) | slot;
   heap_.push_back(Entry{t, next_seq_++, id});
   std::push_heap(heap_.begin(), heap_.end());
-  records_.emplace(id, Record{kind, zone, std::move(cb)});
   return id;
 }
 
 void EventQueue::cancel(EventId& id) {
-  if (records_.erase(id) > 0) maybe_compact();
+  if (Slot* s = find(id)) {
+    s->cb = nullptr;  // drop any owned captures now, not at slot reuse
+    release(id, *s);
+    maybe_compact();
+  }
   id = 0;
 }
 
 void EventQueue::maybe_compact() {
-  // Every heap entry was pushed with a records_ entry and records_ only
-  // shrinks via cancel or pop, so live = records_.size() and the
-  // difference is exactly the cancelled entries still in the heap.
-  const std::size_t live = records_.size();
-  if (heap_.size() <= kCompactionFloor || heap_.size() - live <= live)
+  // Every heap entry was pushed for a then-live slot and dies with it (run
+  // or cancel), so live_ counts the live heap entries exactly and the
+  // difference is the cancelled ones awaiting lazy removal.
+  if (heap_.size() <= kCompactionFloor || heap_.size() - live_ <= live_)
     return;
-  std::erase_if(heap_, [this](const Entry& e) {
-    return records_.find(e.id) == records_.end();
-  });
+  std::erase_if(heap_,
+                [this](const Entry& e) { return find(e.id) == nullptr; });
   std::make_heap(heap_.begin(), heap_.end());
 }
 
-bool EventQueue::pending(EventId id) const {
-  return records_.find(id) != records_.end();
-}
+bool EventQueue::pending(EventId id) const { return find(id) != nullptr; }
 
 void EventQueue::add_observer(EngineObserver* observer) {
   REDSPOT_CHECK(observer != nullptr);
@@ -58,18 +99,25 @@ bool EventQueue::step() {
     const Entry top = heap_.front();
     std::pop_heap(heap_.begin(), heap_.end());
     heap_.pop_back();
-    auto it = records_.find(top.id);
-    if (it == records_.end()) continue;  // cancelled
-    Record rec = std::move(it->second);
-    records_.erase(it);
+    Slot* s = find(top.id);
+    if (s == nullptr) continue;  // cancelled
+    const EventKind kind = s->kind;
+    const std::size_t zone = s->zone;
+    Callback cb;
+    if (s->cb) cb = std::move(s->cb);
+    release(top.id, *s);
     REDSPOT_CHECK(top.time >= now_);
     now_ = top.time;
     ++executed_;
     if (!observers_.empty()) {
-      const Event event{now_, rec.kind, rec.zone, top.seq};
+      const Event event{now_, kind, zone, top.seq};
       for (EngineObserver* o : observers_) o->on_event(event);
     }
-    rec.cb();
+    if (cb) {
+      cb();
+    } else {
+      sink_->on_queue_event(kind, zone);
+    }
     return true;
   }
   return false;

@@ -24,10 +24,10 @@
 // (see sim/simulation.hpp for the amortized-cost argument).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/time.hpp"
@@ -35,6 +35,18 @@
 #include "core/events/observer.hpp"
 
 namespace redspot {
+
+/// Receiver for callback-less events (see EventQueue::set_sink): entries
+/// scheduled by (kind, zone) alone dispatch here instead of through a
+/// std::function, skipping the per-event closure construction on the hot
+/// paths where the handler is a fixed member function anyway.
+class EventSink {
+ public:
+  virtual void on_queue_event(EventKind kind, std::size_t zone) = 0;
+
+ protected:
+  ~EventSink() = default;
+};
 
 class EventQueue {
  public:
@@ -44,6 +56,10 @@ class EventQueue {
 
   SimTime now() const { return now_; }
 
+  /// Registers the receiver for callback-less schedules. Must outlive the
+  /// queue's use; required before the (kind, zone)-only overloads.
+  void set_sink(EventSink* sink) { sink_ = sink; }
+
   /// Schedules `cb` at absolute time `t` (>= now()). Returns a handle.
   EventId schedule_at(EventKind kind, std::size_t zone, SimTime t,
                       Callback cb);
@@ -52,6 +68,14 @@ class EventQueue {
   EventId schedule_in(EventKind kind, std::size_t zone, Duration d,
                       Callback cb) {
     return schedule_at(kind, zone, now_ + d, std::move(cb));
+  }
+
+  /// Callback-less variants: the event dispatches through the sink as
+  /// on_queue_event(kind, zone). Identical (time, seq) ordering to the
+  /// callback form — only the dispatch mechanism differs.
+  EventId schedule_at(EventKind kind, std::size_t zone, SimTime t);
+  EventId schedule_in(EventKind kind, std::size_t zone, Duration d) {
+    return schedule_at(kind, zone, now_ + d);
   }
 
   /// Cancels a pending event and zeroes the handle; no-op when the handle
@@ -66,12 +90,25 @@ class EventQueue {
   /// calendar is empty.
   bool step();
 
+  /// Timestamp of the next event step() would dispatch, or kNever when the
+  /// calendar is empty. Drains cancelled heap tops as a side effect (the
+  /// same entries step() would skip), so repeated peeks stay O(1) amortized.
+  /// This is the batched lockstep driver's scheduling key — called once per
+  /// dispatched event, hence inline.
+  SimTime next_time() {
+    while (!heap_.empty() && find(heap_.front().id) == nullptr) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
+    }
+    return heap_.empty() ? kNever : heap_.front().time;
+  }
+
   /// Attaches an observer notified on every dispatch. Must outlive the
   /// queue's use.
   void add_observer(EngineObserver* observer);
 
   /// Pending (non-cancelled) event count.
-  std::size_t pending_count() const { return records_.size(); }
+  std::size_t pending_count() const { return live_; }
 
   /// Heap entries, including cancelled ones awaiting lazy removal.
   /// Bounded by max(2 * pending_count(), compaction floor).
@@ -93,23 +130,62 @@ class EventQueue {
     }
   };
 
-  struct Record {
-    EventKind kind;
-    std::size_t zone;
-    Callback cb;
+  /// Pooled event record. Handles encode (generation << 32 | slot index);
+  /// a freed slot bumps its generation on reuse, so a stale handle — a
+  /// cancelled or already-run event still sitting in the heap — simply
+  /// fails the generation check. The pool grows to the peak concurrent
+  /// event count and then schedules allocation-free (the engine's lambdas
+  /// fit std::function's inline buffer), which matters: the calendar is
+  /// the per-event floor under every simulation, batched sweeps included.
+  struct Slot {
+    EventKind kind = EventKind::kPriceTick;
+    std::size_t zone = 0;
+    Callback cb;  ///< empty = dispatch via the sink (kind, zone)
+    std::uint32_t gen = 0;  ///< starts at 1 on first use; 0 never matches
+    bool live = false;
   };
+
+  static constexpr std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu);
+  }
+  static constexpr std::uint32_t gen_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// The slot behind a handle, or nullptr when the event is no longer
+  /// pending (ran, cancelled, or the slot was reused).
+  Slot* find(EventId id) {
+    if (id == 0) return nullptr;
+    const std::size_t slot = slot_of(id);
+    if (slot >= slots_.size()) return nullptr;
+    Slot& s = slots_[slot];
+    if (!s.live || s.gen != gen_of(id)) return nullptr;
+    return &s;
+  }
+  const Slot* find(EventId id) const {
+    return const_cast<EventQueue*>(this)->find(id);
+  }
+
+  /// Returns a live slot to the free list (caller already moved the
+  /// callback out or wants it dropped).
+  void release(EventId id, Slot& slot);
+
+  /// Shared tail of the schedule_at overloads: stamps the slot (the caller
+  /// already set cb), allocates the handle, and pushes the heap entry.
+  EventId arm(Slot& s, std::uint32_t slot, EventKind kind, std::size_t zone,
+              SimTime t);
 
   /// Drops cancelled heap entries when they dominate the backlog.
   void maybe_compact();
 
   SimTime now_;
-  EventId next_id_ = 1;
+  EventSink* sink_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::vector<Entry> heap_;
-  /// id -> record; an id absent here but present in the heap was cancelled
-  /// (lazy deletion).
-  std::unordered_map<EventId, Record> records_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
   std::vector<EngineObserver*> observers_;
 };
 

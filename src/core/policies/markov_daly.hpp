@@ -24,6 +24,7 @@ class MarkovDalyPolicy final : public Policy {
   std::string name() const override { return "markov-daly"; }
   bool checkpoint_condition(const EngineView& view) override;
   SimTime schedule_next_checkpoint(const EngineView& view) override;
+  void use_model_pool(batch::ZoneModelPool* pool) override { pool_ = pool; }
 
   /// Combined expected up-time at the view's bid over its executing zones
   /// (exposed for tests and the Threshold policy).
@@ -31,6 +32,9 @@ class MarkovDalyPolicy final : public Policy {
 
  private:
   std::size_t max_states_;
+  /// Batched runs share per-zone models group-wide through the pool
+  /// (bit-identical to the private models below).
+  batch::ZoneModelPool* pool_ = nullptr;
   /// Per-zone sliding models (global zone id). Policies are per-run objects
   /// (see exp/sweep), so this cache is single-threaded by construction.
   mutable std::vector<IncrementalMarkovModel> models_;

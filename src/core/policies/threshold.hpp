@@ -31,9 +31,12 @@ class ThresholdPolicy final : public Policy {
   std::string name() const override { return "threshold"; }
   bool checkpoint_condition(const EngineView& view) override;
   SimTime schedule_next_checkpoint(const EngineView& view) override;
+  void use_model_pool(batch::ZoneModelPool* pool) override { pool_ = pool; }
 
  private:
   std::size_t max_states_;
+  /// Batched runs share per-zone models group-wide (bit-identical).
+  batch::ZoneModelPool* pool_ = nullptr;
   /// Per-zone sliding models (global zone id); per-run object, so
   /// single-threaded by construction.
   std::vector<IncrementalMarkovModel> models_;

@@ -24,6 +24,10 @@
 
 namespace redspot {
 
+namespace batch {
+class ZoneModelPool;
+}  // namespace batch
+
 /// Read-only view of the engine state, as seen by a policy.
 class EngineView {
  public:
@@ -114,6 +118,13 @@ class Policy {
     (void)zone;
     return true;
   }
+
+  /// Batched sweeps: route Markov fits through per-zone models shared
+  /// across the batch group's engines instead of private ones. Pooled
+  /// answers are bit-identical to private-model answers (see
+  /// core/batch/model_pool.hpp), so this is purely a sharing knob. The
+  /// pool must outlive the run; no-op for policies without models.
+  virtual void use_model_pool(batch::ZoneModelPool* pool) { (void)pool; }
 };
 
 /// The fixed policies of the evaluation (Adaptive is a Strategy, not a

@@ -62,8 +62,7 @@ void Engine::on_price_tick() {
   if (done_ || on_demand_phase_) return;
   const SimTime next = price_step_floor(now()) + market_->traces().step();
   if (next <= experiment_.deadline_time() && next < market_->trace_end()) {
-    tick_event_ = queue_.schedule_at(EventKind::kPriceTick, kNoZone, next,
-                                     [this] { on_price_tick(); });
+    tick_event_ = queue_.schedule_at(EventKind::kPriceTick, kNoZone, next);
   }
 }
 
@@ -82,10 +81,9 @@ void Engine::request_instance(std::size_t zone) {
   z.request();
   const Duration delay = market_->sample_queue_delay(queue_rng_);
   result_.queue_delay_total += delay;
-  z.ready_event = queue_.schedule_in(EventKind::kInstanceReady, zone, delay,
-                                     [this, zone] { on_instance_ready(zone); });
+  z.ready_event = queue_.schedule_in(EventKind::kInstanceReady, zone, delay);
   record(now(), zone, TimelineKind::kInstanceRequested,
-         "delay=" + format_duration(delay));
+         [&] { return "delay=" + format_duration(delay); });
 }
 
 void Engine::on_instance_ready(std::size_t zone) {
@@ -110,34 +108,28 @@ void Engine::on_instance_ready(std::size_t zone) {
     const Duration requeue = market_->sample_queue_delay(queue_rng_);
     result_.queue_delay_total += requeue;
     z.ready_event =
-        queue_.schedule_in(EventKind::kInstanceReady, zone, backoff + requeue,
-                           [this, zone] { on_instance_ready(zone); });
+        queue_.schedule_in(EventKind::kInstanceReady, zone, backoff + requeue);
     record(now(), zone, TimelineKind::kRequestRejected,
-           "retry-in=" + format_duration(backoff + requeue));
+           [&] { return "retry-in=" + format_duration(backoff + requeue); });
     return;
   }
   billing_.spot_started(zone, now(), rate);
-  z.cycle_event =
-      queue_.schedule_at(EventKind::kCycleBoundary, zone,
-                         billing_.cycle_end(zone),
-                         [this, zone] { on_cycle_boundary(zone); });
+  z.cycle_event = queue_.schedule_at(EventKind::kCycleBoundary, zone,
+                                     billing_.cycle_end(zone));
   const SimTime pre = billing_.cycle_end(zone) - experiment_.costs.checkpoint;
   if ((config_.policy->wants_pre_boundary_checks() || strategy_->dynamic()) &&
       pre > now()) {
     z.preboundary_event =
-        queue_.schedule_at(EventKind::kPreBoundary, zone, pre,
-                           [this, zone] { on_pre_boundary(zone); });
+        queue_.schedule_at(EventKind::kPreBoundary, zone, pre);
   }
   record(now(), zone, TimelineKind::kInstanceRunning,
-         "rate=" + rate.str());
+         [&] { return "rate=" + rate.str(); });
 
   const Duration target = store_.latest_progress();
   if (target > 0) {
     z.begin_restart(target);
-    z.restart_event =
-        queue_.schedule_in(EventKind::kRestartDone, zone,
-                           experiment_.costs.restart,
-                           [this, zone] { on_restart_done(zone); });
+    z.restart_event = queue_.schedule_in(EventKind::kRestartDone, zone,
+                                         experiment_.costs.restart);
     record(now(), zone, TimelineKind::kRestartStart);
   } else {
     // Nothing to load: the application starts from its initial state
@@ -159,10 +151,8 @@ void Engine::on_restart_done(std::size_t zone) {
     const Duration target = store_.latest_progress();
     if (target > 0) {
       z.retry_restart(target);
-      z.restart_event =
-          queue_.schedule_in(EventKind::kRestartDone, zone,
-                             experiment_.costs.restart,
-                             [this, zone] { on_restart_done(zone); });
+      z.restart_event = queue_.schedule_in(EventKind::kRestartDone, zone,
+                                           experiment_.costs.restart);
       record(now(), zone, TimelineKind::kRestartStart, "retry");
       return;
     }
@@ -181,8 +171,7 @@ void Engine::start_computing(std::size_t zone, Duration progress_base) {
       std::max<Duration>(0, experiment_.app.total_compute - progress_base);
   queue_.cancel(z.completion_event);
   z.completion_event =
-      queue_.schedule_in(EventKind::kZoneCompletion, zone, remaining,
-                         [this, zone] { on_zone_completion(zone); });
+      queue_.schedule_in(EventKind::kZoneCompletion, zone, remaining);
   reschedule_policy_checkpoint();
 }
 
@@ -228,10 +217,9 @@ void Engine::on_termination_notice(std::size_t zone, Duration warning) {
   ZoneMachine& z = zone_at(zone);
   z.mark_doomed();
   const SimTime doom_at = now() + warning;
-  z.doom_event = queue_.schedule_at(EventKind::kDoom, zone, doom_at,
-                                    [this, zone] { on_doom(zone); });
+  z.doom_event = queue_.schedule_at(EventKind::kDoom, zone, doom_at);
   record(now(), zone, TimelineKind::kOutOfBid,
-         "notice=" + format_duration(warning));
+         [&] { return "notice=" + format_duration(warning); });
   const SimTime ckpt_start = doom_at - experiment_.costs.checkpoint;
   if (ckpt_start >= now() && policy_checkpoint_allowed()) {
     z.emergency_ckpt_event = queue_.schedule_at(

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "core/batch/batched_engine.hpp"
 #include "core/engine.hpp"
 #include "core/experiment.hpp"
 #include "exp/scenario.hpp"
@@ -11,9 +12,11 @@
 
 namespace redspot {
 
-ShardExecutor::ShardExecutor(const EnsembleSpec& spec)
+ShardExecutor::ShardExecutor(const EnsembleSpec& spec,
+                             std::size_t batch_width)
     : spec_(spec),
       spec_hash_(spec.spec_hash()),
+      batch_width_(batch_width),
       trace_template_(
           trimmed_spec(paper_trace_spec(0), window_end(spec.window))),
       seeder_(spec.seed),
@@ -24,6 +27,16 @@ ShardExecutor::ShardExecutor(const EnsembleSpec& spec)
   const Scenario scenario{spec_.window, spec_.slack_fraction,
                           spec_.checkpoint_cost, spec_.starts_grid};
   starts_ = scenario.starts();
+  // Fixed-policy configs run through the batched lockstep engine when the
+  // engine options qualify; adaptive / large-bid lanes stay scalar.
+  if (batch_width_ >= 2 &&
+      batch::BatchedSweepEngine::can_batch(spec_.engine)) {
+    for (std::size_t c = 0; c < spec_.configs.size(); ++c) {
+      if (spec_.configs[c].kind == EnsembleConfig::Kind::kFixedPolicy)
+        batchable_.push_back(c);
+    }
+    if (batchable_.size() < 2) batchable_.clear();
+  }
 }
 
 std::pair<std::size_t, std::size_t> ShardExecutor::bounds(
@@ -61,6 +74,8 @@ std::string ShardExecutor::compute(std::size_t s,
   ShardRecordBuilder builder(spec_hash_, s, lo, hi,
                              static_cast<std::uint32_t>(num_configs()));
   std::vector<RunResult> results(spec_.configs.size());
+  std::vector<char> is_batched(spec_.configs.size(), 0);
+  for (const std::size_t c : batchable_) is_batched[c] = 1;
   for (std::size_t r = lo; r < hi; ++r) {
     // This replication's independent substreams.
     SyntheticTraceSpec trace_spec = trace_template_;
@@ -69,11 +84,35 @@ std::string ShardExecutor::compute(std::size_t s,
                             QueueDelayModel());
     const Experiment experiment = make_experiment(r);
     AuditObserver audit_obs(experiment, instance_.on_demand_rate);
+    // Fixed-policy lanes advance in lockstep over this replication's
+    // trace (bit-identical to the scalar runs below — the observer only
+    // acts per finished result, so lane interleaving is invisible to it).
+    if (!batchable_.empty()) {
+      const batch::BatchedSweepEngine batcher(market, spec_.engine);
+      for (std::size_t g = 0; g < batchable_.size(); g += batch_width_) {
+        const std::size_t end =
+            std::min(g + batch_width_, batchable_.size());
+        std::vector<batch::BatchConfig> lanes;
+        lanes.reserve(end - g);
+        for (std::size_t k = g; k < end; ++k) {
+          const EnsembleConfig& cfg = spec_.configs[batchable_[k]];
+          lanes.push_back(batch::BatchConfig{experiment, cfg.policy, cfg.bid,
+                                             cfg.zones, &audit_obs});
+        }
+        const std::vector<RunResult> runs = batcher.run(lanes);
+        for (std::size_t k = g; k < end; ++k)
+          results[batchable_[k]] = runs[k - g];
+      }
+    }
+    // Scalar lanes (adaptive, large-bid, or batching disabled), then the
+    // canonical add_run order: configs in index order, per replication.
     for (std::size_t c = 0; c < spec_.configs.size(); ++c) {
-      auto strategy = spec_.configs[c].make_strategy();
-      Engine engine(market, experiment, *strategy, spec_.engine);
-      engine.add_observer(&audit_obs);
-      results[c] = engine.run();
+      if (is_batched[c] == 0) {
+        auto strategy = spec_.configs[c].make_strategy();
+        Engine engine(market, experiment, *strategy, spec_.engine);
+        engine.add_observer(&audit_obs);
+        results[c] = engine.run();
+      }
       builder.add_run(results[c]);
     }
     if (progress) progress(r - lo + 1);

@@ -1,6 +1,7 @@
 #include "exp/sweep.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -8,6 +9,7 @@
 #include "common/hash.hpp"
 #include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "core/batch/batched_engine.hpp"
 #include "core/policies/large_bid.hpp"
 #include "fault/audit_observer.hpp"
 #include "fault/run_validator.hpp"
@@ -18,6 +20,48 @@ namespace redspot {
 
 namespace {
 
+/// Lanes per lockstep group on the fixed-policy fast path. Wide enough to
+/// amortize the shared models/index across a group, small enough that
+/// groups still fill the thread pool on the paper's 80-experiment sweeps.
+constexpr std::size_t kSweepBatchWidth = 16;
+
+/// Batched execution of the non-replayed chunks of a fixed-policy sweep:
+/// groups of kSweepBatchWidth lanes run in lockstep, each lane audited
+/// and journaled exactly as on the scalar path. Bit-identical to the
+/// scalar path by the BatchedSweepEngine contract.
+void run_chunks_batched(const SpotMarket& market, const Scenario& scenario,
+                        const EngineOptions& engine_options,
+                        const PolicyRunSpec& spec, std::uint64_t key,
+                        RunJournal* journal,
+                        const std::vector<std::size_t>& chunks,
+                        std::vector<RunResult>& results) {
+  const batch::BatchedSweepEngine batcher(market, engine_options);
+  const std::size_t groups =
+      (chunks.size() + kSweepBatchWidth - 1) / kSweepBatchWidth;
+  parallel_for(0, groups, [&](std::size_t g) {
+    const std::size_t lo = g * kSweepBatchWidth;
+    const std::size_t hi = std::min(lo + kSweepBatchWidth, chunks.size());
+    std::vector<batch::BatchConfig> configs;
+    std::vector<std::unique_ptr<AuditObserver>> audits;
+    configs.reserve(hi - lo);
+    audits.reserve(hi - lo);
+    for (std::size_t k = lo; k < hi; ++k) {
+      const Experiment experiment = scenario.experiment(chunks[k]);
+      audits.push_back(std::make_unique<AuditObserver>(
+          experiment, market.on_demand_rate()));
+      configs.push_back(batch::BatchConfig{experiment, spec.policy, spec.bid,
+                                           spec.zones, audits.back().get()});
+    }
+    const std::vector<RunResult> runs = batcher.run(configs);
+    for (std::size_t k = lo; k < hi; ++k) {
+      const std::size_t chunk = chunks[k];
+      results[chunk] = runs[k - lo];
+      if (journal != nullptr)
+        journal->append(encode_sweep_chunk(key, chunk, results[chunk]));
+    }
+  });
+}
+
 /// Runs one simulation per chunk in parallel via `make_strategy`, which is
 /// invoked once per run (strategies are stateful and not shareable). Every
 /// result is audited against the run invariants before it is returned, so
@@ -27,12 +71,18 @@ namespace {
 /// journal attached, chunks found under `key` (checksum-intact, passing
 /// the kReplay audit) are taken from the journal, and computed chunks are
 /// appended under `key` once they pass the full audit.
+///
+/// `batch_spec` non-null marks a homogeneous fixed-policy sweep: chunk
+/// groups dispatch to the batched lockstep engine when the options
+/// qualify (no faults); everything else — adaptive, large-bid, faulted —
+/// keeps the scalar per-chunk path.
 template <typename MakeStrategy>
 std::vector<RunResult> run_sweep(const SpotMarket& market,
                                  const Scenario& scenario,
                                  const EngineOptions& engine_options,
                                  std::uint64_t key,
                                  SweepDurability* durability,
+                                 const PolicyRunSpec* batch_spec,
                                  MakeStrategy make_strategy) {
   const std::size_t n = scenario.num_experiments;
   std::vector<RunResult> results(n);
@@ -57,17 +107,27 @@ std::vector<RunResult> run_sweep(const SpotMarket& market,
       replayed[chunk] = 1;
     }
   }
-  parallel_for(0, n, [&](std::size_t i) {
-    if (replayed[i] != 0) return;
-    const Experiment experiment = scenario.experiment(i);
-    auto strategy = make_strategy(i);
-    Engine engine(market, experiment, *strategy, engine_options);
-    AuditObserver audit(experiment, market.on_demand_rate());
-    engine.add_observer(&audit);
-    results[i] = engine.run();
-    if (journal != nullptr)
-      journal->append(encode_sweep_chunk(key, i, results[i]));
-  });
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (replayed[i] == 0) pending.push_back(i);
+  if (batch_spec != nullptr && pending.size() > 1 &&
+      batch::BatchedSweepEngine::can_batch(engine_options)) {
+    run_chunks_batched(market, scenario, engine_options, *batch_spec, key,
+                       journal, pending, results);
+  } else {
+    parallel_for(0, pending.size(), [&](std::size_t p) {
+      const std::size_t i = pending[p];
+      const Experiment experiment = scenario.experiment(i);
+      auto strategy = make_strategy(i);
+      Engine engine(market, experiment, *strategy, engine_options);
+      AuditObserver audit(experiment, market.on_demand_rate());
+      engine.add_observer(&audit);
+      results[i] = engine.run();
+      if (journal != nullptr)
+        journal->append(encode_sweep_chunk(key, i, results[i]));
+    });
+  }
   if (durability != nullptr) {
     const std::size_t hits = static_cast<std::size_t>(
         std::count(replayed.begin(), replayed.end(), char{1}));
@@ -128,7 +188,7 @@ std::vector<RunResult> run_fixed_sweep(const SpotMarket& market,
   h.u64(spec.zones.size());
   for (const std::size_t z : spec.zones) h.u64(z);
   return run_sweep(market, scenario, engine_options, h.digest(), durability,
-                   [&spec](std::size_t) {
+                   &spec, [&spec](std::size_t) {
     return std::make_unique<FixedStrategy>(spec.bid, spec.zones,
                                            make_policy(spec.policy));
   });
@@ -152,7 +212,7 @@ std::vector<RunResult> run_adaptive_sweep(
   h.i64(static_cast<std::int64_t>(options.mean_queue_delay));
   h.u64(options.charge_switch_penalty ? 1 : 0);
   return run_sweep(market, scenario, engine_options, h.digest(), durability,
-                   [&options](std::size_t) {
+                   nullptr, [&options](std::size_t) {
     return std::make_unique<AdaptiveStrategy>(options);
   });
 }
@@ -169,7 +229,7 @@ std::vector<RunResult> run_large_bid_sweep(const SpotMarket& market,
   h.i64(threshold.micros());
   h.u64(zone);
   return run_sweep(market, scenario, engine_options, h.digest(), durability,
-                   [threshold, zone](std::size_t) {
+                   nullptr, [threshold, zone](std::size_t) {
     return std::make_unique<FixedStrategy>(
         LargeBidPolicy::large_bid(), std::vector<std::size_t>{zone},
         std::make_unique<LargeBidPolicy>(threshold));

@@ -67,35 +67,55 @@ bool IncrementalMarkovModel::try_slide(const PriceView& window) {
 
 bool IncrementalMarkovModel::slide_binned(const PriceView& window,
                                           std::size_t shift) {
-  std::vector<double>& sorted = fit_.sorted;
-  // Evict the samples that left the window; erase each from the sorted
-  // multiset (exact double equality — both sides come from the same
-  // Money::to_double of the same stored micros).
+  // Evict the samples that left the window: decrement each departing
+  // price's level count, dropping the level when it reaches zero (exact
+  // double equality — both sides come from the same Money::to_double of
+  // the same stored micros). A count edit is O(log distinct); only a
+  // level birth/death pays an O(distinct) array shift, versus the
+  // O(window) memmove every sample cost under the old sorted-multiset
+  // maintenance.
   for (std::size_t i = 0; i < shift; ++i) {
     const double v = data_[i].to_double();
-    const auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
-    REDSPOT_CHECK(it != sorted.end() && *it == v);
+    const auto it = std::lower_bound(bin_levels_.begin(), bin_levels_.end(), v);
+    REDSPOT_CHECK(it != bin_levels_.end() && *it == v);
     const std::size_t pos =
-        static_cast<std::size_t>(std::distance(sorted.begin(), it));
-    const bool has_twin = (pos > 0 && sorted[pos - 1] == v) ||
-                          (pos + 1 < sorted.size() && sorted[pos + 1] == v);
-    if (!has_twin) --distinct_;
-    sorted.erase(it);
+        static_cast<std::size_t>(std::distance(bin_levels_.begin(), it));
+    if (--bin_counts_[pos] == 0) {
+      bin_levels_.erase(it);
+      bin_counts_.erase(bin_counts_.begin() +
+                        static_cast<std::ptrdiff_t>(pos));
+      --distinct_;
+    }
   }
-  // Insert the appended samples.
+  // Count in the appended samples, inserting unseen levels in place.
   const std::size_t new_abs_end = shift + window.size();
   for (std::size_t i = size_; i < new_abs_end; ++i) {
     const double v = window.sample(i - shift).to_double();
-    const auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
-    if (it == sorted.end() || *it != v) ++distinct_;
-    sorted.insert(it, v);
+    const auto it = std::lower_bound(bin_levels_.begin(), bin_levels_.end(), v);
+    const std::size_t pos =
+        static_cast<std::size_t>(std::distance(bin_levels_.begin(), it));
+    if (it == bin_levels_.end() || *it != v) {
+      bin_levels_.insert(it, v);
+      bin_counts_.insert(bin_counts_.begin() + static_cast<std::ptrdiff_t>(pos),
+                         1);
+      ++distinct_;
+    } else {
+      ++bin_counts_[pos];
+    }
   }
   // The window left quantile territory: let the full rebuild re-derive
-  // everything in unique mode (it re-sorts, so the edits above are moot).
+  // everything in unique mode (it recounts, so the edits above are moot).
   if (distinct_ <= max_states_) return false;
 
-  // Refit through the shared pass: same chronological values, same sorted
-  // multiset as a from-scratch build, so the model is bit-identical.
+  // Expand the counts back into the sorted buffer the shared mapping pass
+  // consumes: ascending levels repeated by multiplicity ARE the sorted
+  // window, so the refit sees the same input as a from-scratch sort —
+  // same chronological values, same sorted multiset, bit-identical model.
+  fit_.sorted.resize(window.size());
+  double* out = fit_.sorted.data();
+  for (std::size_t b = 0; b < bin_levels_.size(); ++b)
+    out = std::fill_n(out, bin_counts_[b], bin_levels_[b]);
+  REDSPOT_CHECK(out == fit_.sorted.data() + fit_.sorted.size());
   fit_.values.resize(window.size());
   for (std::size_t i = 0; i < window.size(); ++i)
     fit_.values[i] = window.sample(i).to_double();
@@ -163,9 +183,11 @@ bool IncrementalMarkovModel::slide_unique(const PriceView& window,
   remember_window(window);
   if (!counts_unchanged) {
     // Counts net-changed: re-finish the matrix and drop the uptime memo.
-    model_ = detail::finish_markov_model(
-        std::vector<double>(model_.state_prices), trans_counts_, occupancy_,
-        static_cast<std::int64_t>(size_), step_, smoothing_);
+    // The state set is unchanged on this path, so the refit rewrites
+    // model_.trans in place — no Matrix/pi/state_prices allocations.
+    detail::refit_markov_model(model_, trans_counts_, occupancy_,
+                               static_cast<std::int64_t>(size_), smoothing_,
+                               pi_scratch_);
     ++model_refreshes_;
     ++epoch_;
     grow_memo_for_model();
@@ -193,7 +215,21 @@ void IncrementalMarkovModel::rebuild_full(const PriceView& window) {
 
   binned_ = distinct_ > max_states_;
   remember_window(window);
-  if (binned_) return;  // slides maintain fit_.sorted / distinct_
+  if (binned_) {
+    // Binned slides maintain the window multiset as counting arrays and
+    // re-expand fit_.sorted from them on each refit.
+    bin_levels_.clear();
+    bin_counts_.clear();
+    for (const double v : fit_.sorted) {
+      if (bin_levels_.empty() || bin_levels_.back() != v) {
+        bin_levels_.push_back(v);
+        bin_counts_.push_back(1);
+      } else {
+        ++bin_counts_.back();
+      }
+    }
+    return;
+  }
 
   // Exact unique mode: distinct micro-dollar prices, ascending, plus the
   // integer counts the unique-mode slide maintains.

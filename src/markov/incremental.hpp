@@ -18,12 +18,14 @@
 //     window over different storage, a backward move, or a sampling-step
 //     change falls back to a full rebuild.
 //   * Quantile-binned windows (distinct prices > max_states) keep the
-//     window's sorted sample multiset up to date across slides (erase
-//     evicted, insert appended) and re-run the shared mapping pass over it
-//     — identical input, identical arithmetic, identical model — instead
-//     of re-sorting the whole window. The model still refreshes on every
-//     binned slide (bin means move with the window), but the O(n log n)
-//     sort is gone from the per-decision path.
+//     window's sample multiset as flat counting arrays (distinct levels +
+//     multiplicities), edit the counts across slides, and re-run the
+//     shared mapping pass over the expanded multiset — identical input,
+//     identical arithmetic, identical model — instead of re-sorting the
+//     whole window or memmoving a sorted array per sample. The model
+//     still refreshes on every binned slide (bin means move with the
+//     window), but the per-decision path is count edits plus one linear
+//     expansion.
 //   * The normalized matrix is re-finished only when the counts NET-change.
 //     A constant-price slide removes and adds the same transition, leaving
 //     counts — and therefore the model and the expected-uptime memo —
@@ -182,10 +184,18 @@ class IncrementalMarkovModel {
   std::vector<std::int64_t> occ_scratch_;
   std::vector<std::uint32_t> removed_pairs_;
   std::vector<std::uint32_t> added_pairs_;
+  std::vector<double> pi_scratch_;  ///< smoothing distribution for refits
 
-  // Shared fit buffers. In binned mode, fit_.sorted is the window's sample
-  // multiset kept ascending across slides and distinct_ its unique count;
-  // both are rebuilt from scratch whenever rebuild_full runs.
+  // Binned mode: the window's sample multiset as flat counting arrays —
+  // bin_levels_ the distinct prices ascending, bin_counts_[i] the
+  // multiplicity of bin_levels_[i], distinct_ == bin_levels_.size().
+  // Slides edit the counts and expand them back into fit_.sorted per
+  // refit; both are repopulated whenever rebuild_full runs.
+  std::vector<double> bin_levels_;
+  std::vector<std::int64_t> bin_counts_;
+
+  // Shared fit buffers (fit_.sorted is the expanded multiset above in
+  // binned mode, the full re-sort in a rebuild).
   detail::MarkovScratch fit_;
   std::size_t distinct_ = 0;
   UptimeScratch uptime_scratch_;

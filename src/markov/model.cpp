@@ -33,26 +33,27 @@ std::size_t MarkovModel::max_alive_state(Money bid) const {
 
 namespace detail {
 
-MarkovModel finish_markov_model(std::vector<double> state_prices,
-                                const std::vector<std::int64_t>& trans_counts,
-                                const std::vector<std::int64_t>& occupancy,
-                                std::int64_t total_samples, Duration step,
-                                double smoothing) {
-  const std::size_t n = state_prices.size();
+void refit_markov_model(MarkovModel& model,
+                        const std::vector<std::int64_t>& trans_counts,
+                        const std::vector<std::int64_t>& occupancy,
+                        std::int64_t total_samples, double smoothing,
+                        std::vector<double>& pi_scratch) {
+  const std::size_t n = model.state_prices.size();
   REDSPOT_CHECK(trans_counts.size() == n * n);
   REDSPOT_CHECK(occupancy.size() == n);
   REDSPOT_CHECK(total_samples > 0);
 
-  MarkovModel model;
-  model.state_prices = std::move(state_prices);
-  model.step = step;
-  model.trans = Matrix(n, n);
+  if (model.trans.rows() != n || model.trans.cols() != n)
+    model.trans = Matrix(n, n);
   double* trans = model.trans.data();  // checked accessor is too hot here
   for (std::size_t r = 0; r < n; ++r) {
     std::int64_t row_total = 0;
     for (std::size_t c = 0; c < n; ++c) row_total += trans_counts[r * n + c];
     if (row_total == 0) {
-      trans[r * n + r] = 1.0;  // never observed leaving: self-loop
+      // Never observed leaving: self-loop. The explicit zero-fill matters
+      // when reusing storage — a fresh Matrix arrives zero-initialized.
+      std::fill(trans + r * n, trans + (r + 1) * n, 0.0);
+      trans[r * n + r] = 1.0;
       continue;
     }
     const double inv = 1.0 / static_cast<double>(row_total);
@@ -62,7 +63,8 @@ MarkovModel finish_markov_model(std::vector<double> state_prices,
 
   if (smoothing > 0.0) {
     // Empirical occupancy distribution.
-    std::vector<double> pi(n);
+    pi_scratch.resize(n);
+    double* pi = pi_scratch.data();
     for (std::size_t c = 0; c < n; ++c)
       pi[c] = static_cast<double>(occupancy[c]) /
               static_cast<double>(total_samples);
@@ -71,6 +73,19 @@ MarkovModel finish_markov_model(std::vector<double> state_prices,
         trans[r * n + c] =
             (1.0 - smoothing) * trans[r * n + c] + smoothing * pi[c];
   }
+}
+
+MarkovModel finish_markov_model(std::vector<double> state_prices,
+                                const std::vector<std::int64_t>& trans_counts,
+                                const std::vector<std::int64_t>& occupancy,
+                                std::int64_t total_samples, Duration step,
+                                double smoothing) {
+  MarkovModel model;
+  model.state_prices = std::move(state_prices);
+  model.step = step;
+  std::vector<double> pi;
+  refit_markov_model(model, trans_counts, occupancy, total_samples, smoothing,
+                     pi);
   return model;
 }
 

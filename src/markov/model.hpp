@@ -108,6 +108,19 @@ MarkovModel finish_markov_model(std::vector<double> state_prices,
                                 std::int64_t total_samples, Duration step,
                                 double smoothing);
 
+/// In-place variant for the steady-state slide: rewrites `model.trans`
+/// from the counts, reusing its storage when the shape already matches and
+/// `pi_scratch` for the smoothing distribution, leaving state_prices/step
+/// untouched. Writes the exact doubles finish_markov_model would — every
+/// matrix entry is overwritten (self-loop rows are zero-filled explicitly,
+/// matching the fresh zero-initialized Matrix) — so the two paths stay
+/// bit-identical while this one never touches the heap.
+void refit_markov_model(MarkovModel& model,
+                        const std::vector<std::int64_t>& trans_counts,
+                        const std::vector<std::int64_t>& occupancy,
+                        std::int64_t total_samples, double smoothing,
+                        std::vector<double>& pi_scratch);
+
 }  // namespace detail
 
 }  // namespace redspot

@@ -20,26 +20,6 @@ const std::string& ZoneTraceSet::zone_name(std::size_t zone) const {
   return names_[zone];
 }
 
-const PriceSeries& ZoneTraceSet::zone(std::size_t zone) const {
-  REDSPOT_CHECK(zone < series_.size());
-  return series_[zone];
-}
-
-SimTime ZoneTraceSet::start() const {
-  REDSPOT_CHECK(!series_.empty());
-  return series_[0].start();
-}
-
-SimTime ZoneTraceSet::end() const {
-  REDSPOT_CHECK(!series_.empty());
-  return series_[0].end();
-}
-
-Duration ZoneTraceSet::step() const {
-  REDSPOT_CHECK(!series_.empty());
-  return series_[0].step();
-}
-
 ZoneTraceSet ZoneTraceSet::window(SimTime from, SimTime to) const {
   std::vector<PriceSeries> sub;
   sub.reserve(series_.size());

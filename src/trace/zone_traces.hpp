@@ -23,11 +23,24 @@ class ZoneTraceSet {
 
   std::size_t num_zones() const { return series_.size(); }
   const std::string& zone_name(std::size_t zone) const;
-  const PriceSeries& zone(std::size_t zone) const;
 
-  SimTime start() const;
-  SimTime end() const;
-  Duration step() const;
+  // Per-price-lookup accessors: on the engine's tick path, hence inline.
+  const PriceSeries& zone(std::size_t zone) const {
+    REDSPOT_CHECK(zone < series_.size());
+    return series_[zone];
+  }
+  SimTime start() const {
+    REDSPOT_CHECK(!series_.empty());
+    return series_[0].start();
+  }
+  SimTime end() const {
+    REDSPOT_CHECK(!series_.empty());
+    return series_[0].end();
+  }
+  Duration step() const {
+    REDSPOT_CHECK(!series_.empty());
+    return series_[0].step();
+  }
 
   /// Price of `zone` at instant `t`.
   Money price(std::size_t zone, SimTime t) const { return this->zone(zone).at(t); }

@@ -1,0 +1,302 @@
+// Batched-vs-scalar bit-identity property suite (DESIGN.md §14).
+//
+// The BatchedSweepEngine's whole contract is that N lanes advanced in
+// lockstep over shared cache-resident state reproduce what N independent
+// scalar Engine::run() calls produce, bit-for-bit: costs, termination
+// outcome, accounting counters, and (when recorded) the full timeline.
+// These tests drive that contract over randomized config grids — mixed
+// policies, bids (including never-in-bid and always-in-bid), zone
+// subsets, start offsets, compute sizes, and both trace shapes (alphabet
+// / unique-mode and random-walk / quantile-binned windows) — plus the SoA
+// kernels the lockstep driver is built from, and a ThreadPool stress run
+// exercising the engine's many-concurrent-run() thread-safety claim
+// (meaningful under TSan).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/random.hpp"
+#include "core/batch/batch_state.hpp"
+#include "core/batch/batched_engine.hpp"
+#include "core/strategy.hpp"
+#include "markov/model.hpp"
+#include "test_util.hpp"
+
+namespace redspot {
+namespace {
+
+using batch::BatchConfig;
+using batch::BatchedSweepEngine;
+using batch::BatchState;
+
+// --- SoA kernels -------------------------------------------------------------
+
+TEST(BatchKernels, ArgminPicksEarliestLaneLowestIndexOnTies) {
+  BatchState state;
+  state.next_time = {50, 20, 80, 20};
+  EXPECT_EQ(batch::argmin_next(state), 1u);
+  EXPECT_EQ(batch::min_next(state), 20);
+
+  state.next_time = {kNever, 7, 7, kNever};
+  EXPECT_EQ(batch::argmin_next(state), 1u);
+  EXPECT_EQ(batch::min_next(state), 7);
+}
+
+TEST(BatchKernels, ArgminAllFinishedLanes) {
+  BatchState state;
+  state.next_time = {kNever, kNever, kNever};
+  EXPECT_EQ(batch::argmin_next(state), SIZE_MAX);
+  EXPECT_EQ(batch::min_next(state), kNever);
+
+  state.resize(0);
+  EXPECT_EQ(batch::argmin_next(state), SIZE_MAX);
+  EXPECT_EQ(batch::min_next(state), kNever);
+}
+
+TEST(BatchKernels, ArgminMatchesStdMinElementOnRandomArrays) {
+  Rng rng(7001);
+  for (int trial = 0; trial < 200; ++trial) {
+    BatchState state;
+    const std::size_t n = 1 + rng.uniform_index(40);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Small value range so ties are common; some lanes finished.
+      state.next_time.push_back(
+          rng.bernoulli(0.2) ? kNever
+                             : static_cast<SimTime>(rng.uniform_index(12)));
+    }
+    const auto it =
+        std::min_element(state.next_time.begin(), state.next_time.end());
+    EXPECT_EQ(batch::min_next(state), *it);
+    if (*it == kNever) {
+      EXPECT_EQ(batch::argmin_next(state), SIZE_MAX);
+    } else {
+      // min_element returns the FIRST minimum: the same lowest-index
+      // tie rule the kernel implements.
+      EXPECT_EQ(batch::argmin_next(state),
+                static_cast<std::size_t>(
+                    std::distance(state.next_time.begin(), it)));
+    }
+  }
+}
+
+TEST(BatchKernels, MapAliveStatesMatchesModelMaxAliveState) {
+  Rng rng(7002);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random ascending state prices, bids straddling / outside the range.
+    MarkovModel model;
+    double p = rng.uniform(0.05, 0.40);
+    const std::size_t n = 2 + rng.uniform_index(30);
+    for (std::size_t i = 0; i < n; ++i) {
+      model.state_prices.push_back(p);
+      p += rng.uniform(0.01, 0.50);
+    }
+    std::vector<Money> bids;
+    for (int b = 0; b < 12; ++b)
+      bids.push_back(Money::dollars(rng.uniform(0.01, p + 0.5)));
+    bids.push_back(Money::dollars(model.state_prices.front()));  // exact edge
+    bids.push_back(Money::dollars(model.state_prices.back()));
+    bids.push_back(Money::cents(1));  // below every state
+
+    std::vector<std::int32_t> alive(bids.size());
+    batch::map_alive_states(model.state_prices, bids, alive);
+    for (std::size_t j = 0; j < bids.size(); ++j) {
+      const std::size_t expected = model.max_alive_state(bids[j]);
+      if (expected == SIZE_MAX) {
+        EXPECT_EQ(alive[j], -1);
+      } else {
+        EXPECT_EQ(alive[j], static_cast<std::int32_t>(expected));
+      }
+    }
+  }
+}
+
+// --- Batched vs scalar -------------------------------------------------------
+
+PriceSeries alphabet_series(Rng& rng, std::size_t samples) {
+  static const double kLevels[] = {0.25, 0.27, 0.30, 0.35,
+                                   0.55, 0.81, 1.20, 2.50};
+  std::vector<Money> out;
+  out.reserve(samples);
+  Money cur = Money::dollars(kLevels[rng.uniform_index(8)]);
+  for (std::size_t i = 0; i < samples; ++i) {
+    if (rng.bernoulli(0.2)) cur = Money::dollars(kLevels[rng.uniform_index(8)]);
+    out.push_back(cur);
+  }
+  return PriceSeries(0, kPriceStep, std::move(out));
+}
+
+PriceSeries walk_series(Rng& rng, std::size_t samples) {
+  std::vector<Money> out;
+  out.reserve(samples);
+  double cur = 0.30;
+  for (std::size_t i = 0; i < samples; ++i) {
+    cur = std::max(0.05, cur + rng.uniform(-0.02, 0.02));
+    out.push_back(Money::dollars(cur));
+  }
+  return PriceSeries(0, kPriceStep, std::move(out));
+}
+
+RunResult scalar_run(const SpotMarket& market, const BatchConfig& config,
+                     const EngineOptions& options) {
+  FixedStrategy strategy(config.bid, config.zones,
+                         make_policy(config.policy));
+  Engine engine(market, config.experiment, strategy, options);
+  return engine.run();
+}
+
+void expect_identical(const RunResult& batched, const RunResult& scalar,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(batched.total_cost.micros(), scalar.total_cost.micros());
+  EXPECT_EQ(batched.spot_cost.micros(), scalar.spot_cost.micros());
+  EXPECT_EQ(batched.on_demand_cost.micros(), scalar.on_demand_cost.micros());
+  EXPECT_EQ(batched.completed, scalar.completed);
+  EXPECT_EQ(batched.met_deadline, scalar.met_deadline);
+  EXPECT_EQ(batched.finish_time, scalar.finish_time);
+  EXPECT_EQ(batched.checkpoints_committed, scalar.checkpoints_committed);
+  EXPECT_EQ(batched.restarts, scalar.restarts);
+  EXPECT_EQ(batched.out_of_bid_terminations, scalar.out_of_bid_terminations);
+  EXPECT_EQ(batched.full_outages, scalar.full_outages);
+  EXPECT_EQ(batched.spot_instance_seconds, scalar.spot_instance_seconds);
+  EXPECT_EQ(batched.on_demand_seconds, scalar.on_demand_seconds);
+  EXPECT_EQ(batched.switched_to_on_demand, scalar.switched_to_on_demand);
+  EXPECT_EQ(batched.committed_progress, scalar.committed_progress);
+  ASSERT_EQ(batched.timeline.size(), scalar.timeline.size());
+  for (std::size_t i = 0; i < batched.timeline.size(); ++i) {
+    EXPECT_EQ(batched.timeline[i].time, scalar.timeline[i].time);
+    EXPECT_EQ(batched.timeline[i].zone, scalar.timeline[i].zone);
+    EXPECT_EQ(batched.timeline[i].kind, scalar.timeline[i].kind);
+    EXPECT_EQ(batched.timeline[i].detail, scalar.timeline[i].detail);
+  }
+}
+
+std::vector<BatchConfig> random_grid(Rng& rng, std::size_t num_zones,
+                                     std::size_t lanes) {
+  static const PolicyKind kPolicies[] = {
+      PolicyKind::kPeriodic, PolicyKind::kMarkovDaly, PolicyKind::kRisingEdge,
+      PolicyKind::kThreshold};
+  // Bids spanning the interesting regimes: never-in-bid (forces the
+  // deadline switch to on-demand), contested, and always-in-bid.
+  static const double kBids[] = {0.01, 0.26, 0.60, 0.95, 3.50};
+
+  std::vector<BatchConfig> configs;
+  for (std::size_t i = 0; i < lanes; ++i) {
+    BatchConfig c;
+    c.experiment = testing::small_experiment(
+        /*compute_hours=*/1.0 + static_cast<double>(rng.uniform_index(3)),
+        /*slack_frac=*/0.5 + rng.uniform(0.0, 0.5),
+        /*tc=*/5 * kMinute,
+        /*start=*/static_cast<SimTime>(rng.uniform_index(4)) * kHour);
+    c.policy = kPolicies[rng.uniform_index(4)];
+    c.bid = Money::dollars(kBids[rng.uniform_index(5)]);
+    c.zones.clear();
+    const std::size_t first = rng.uniform_index(num_zones);
+    for (std::size_t z = 0; z < num_zones; ++z)
+      if (z == first || rng.bernoulli(0.4)) c.zones.push_back(z);
+    configs.push_back(std::move(c));
+  }
+  return configs;
+}
+
+TEST(BatchedSweep, RandomGridsMatchScalarBitForBit) {
+  Rng rng(9001);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t num_zones = 1 + static_cast<std::size_t>(trial) % 3;
+    // Alternate trace shapes: alphabet keeps windows in unique mode,
+    // random walks push them into the quantile-binned slide. Vary length
+    // so the trace/deadline alignment differs per trial.
+    const std::size_t samples = 288 + 48 * static_cast<std::size_t>(trial);
+    std::vector<PriceSeries> series;
+    for (std::size_t z = 0; z < num_zones; ++z) {
+      series.push_back(trial % 2 == 0 ? alphabet_series(rng, samples)
+                                      : walk_series(rng, samples));
+    }
+    const SpotMarket market = testing::make_market(testing::zones(series));
+
+    // Timelines on: the strictest equality the engine can express.
+    EngineOptions options;
+    options.record_timeline = true;
+
+    const std::vector<BatchConfig> configs =
+        random_grid(rng, num_zones, /*lanes=*/12);
+    const BatchedSweepEngine batcher(market, options);
+    const std::vector<RunResult> batched = batcher.run(configs);
+    ASSERT_EQ(batched.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      expect_identical(batched[i], scalar_run(market, configs[i], options),
+                       "trial " + std::to_string(trial) + " lane " +
+                           std::to_string(i));
+    }
+  }
+}
+
+TEST(BatchedSweep, EdgeGroups) {
+  Rng rng(9002);
+  std::vector<PriceSeries> series;
+  series.push_back(alphabet_series(rng, 288));
+  series.push_back(walk_series(rng, 288));
+  const SpotMarket market = testing::make_market(testing::zones(series));
+  const BatchedSweepEngine batcher(market);
+
+  // Empty group.
+  EXPECT_TRUE(batcher.run({}).empty());
+
+  // Single lane.
+  std::vector<BatchConfig> one = random_grid(rng, 2, 1);
+  expect_identical(batcher.run(one)[0], scalar_run(market, one[0], {}),
+                   "single lane");
+
+  // Identical lanes must produce identical results (shared state must not
+  // leak one lane's progress into another).
+  std::vector<BatchConfig> same(8, one[0]);
+  const std::vector<RunResult> results = batcher.run(same);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    expect_identical(results[i], results[0],
+                     "clone lane " + std::to_string(i));
+  }
+}
+
+TEST(BatchedSweep, CanBatchRejectsFaultedOptions) {
+  EXPECT_TRUE(BatchedSweepEngine::can_batch(EngineOptions{}));
+  EngineOptions faulted;
+  faulted.faults.restart_failure_rate = 0.1;
+  EXPECT_FALSE(BatchedSweepEngine::can_batch(faulted));
+}
+
+// One immutable BatchedSweepEngine serving many concurrent run() calls:
+// the thread-safety claim the sweep fabric relies on. Every concurrent
+// result must equal the single-threaded reference; under TSan this also
+// proves the shared trace index and per-run state carry no hidden races.
+TEST(BatchedSweep, ConcurrentRunsShareOneEngine) {
+  Rng rng(9003);
+  std::vector<PriceSeries> series;
+  series.push_back(alphabet_series(rng, 288));
+  series.push_back(walk_series(rng, 288));
+  const SpotMarket market = testing::make_market(testing::zones(series));
+  const BatchedSweepEngine batcher(market);
+
+  const std::vector<BatchConfig> configs = random_grid(rng, 2, 8);
+  const std::vector<RunResult> reference = batcher.run(configs);
+
+  constexpr int kRuns = 8;
+  std::vector<std::vector<RunResult>> results(kRuns);
+  ThreadPool pool(4);
+  for (int r = 0; r < kRuns; ++r) {
+    pool.submit([&, r] { results[r] = batcher.run(configs); });
+  }
+  pool.wait_idle();
+
+  for (int r = 0; r < kRuns; ++r) {
+    ASSERT_EQ(results[r].size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      expect_identical(results[r][i], reference[i],
+                       "run " + std::to_string(r) + " lane " +
+                           std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace redspot

@@ -392,7 +392,7 @@ TEST(NetFaultInjector, BudgetBoundsTotalInjections) {
   auto [server, client] = make_pair_over(tmp_sock("inj_budget"));
   auto wrapped = injector.wrap(std::move(client));
   for (int i = 0; i < 10; ++i)
-    transport::send_frame(*wrapped, "n" + std::to_string(i));
+    transport::send_frame(*wrapped, std::string("n") + std::to_string(i));
   wrapped.reset();  // EOF so the count below is final
 
   FrameBuffer buf;

@@ -169,6 +169,22 @@ int check(const std::map<std::string, double>& current,
       log << "info  " << name << " (baseline " << base << ", not gated)\n";
     }
   }
+
+  // Candidate-only keys are fine — a fresh metric lands in the report one
+  // PR before its baseline gate does. Surface them in one line so a typo'd
+  // baseline key is still visible, but never fail on them.
+  std::string fresh;
+  for (const auto& [name, value] : current) {
+    (void)value;
+    if (baseline.count(name) > 0) continue;
+    const bool gated = baseline.count("min_" + name) > 0 ||
+                       baseline.count("max_" + name) > 0;
+    if (gated) continue;
+    if (!fresh.empty()) fresh += ", ";
+    fresh += name;
+  }
+  if (!fresh.empty())
+    log << "note  new keys not in baseline (accepted): " << fresh << "\n";
   return failures;
 }
 
