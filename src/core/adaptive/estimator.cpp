@@ -30,6 +30,8 @@ Duration predicted_interval(const HistoryStats& hist, std::size_t bid_idx,
     }
     case PolicyKind::kRisingEdge:
     case PolicyKind::kThreshold:
+    case PolicyKind::kRandomizedBid:
+    case PolicyKind::kIndexTrack:
       // Reactive policies checkpoint roughly once per price movement;
       // approximate with the per-zone interruption spacing.
       return kHour - checkpoint_cost;

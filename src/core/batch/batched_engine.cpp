@@ -17,6 +17,11 @@ bool BatchedSweepEngine::can_batch(const EngineOptions& options) {
   return !options.faults.enabled();
 }
 
+bool BatchedSweepEngine::can_batch(const EngineOptions& a,
+                                   const EngineOptions& b) {
+  return can_batch(a) && can_batch(b) && a.regime == b.regime;
+}
+
 std::vector<RunResult> BatchedSweepEngine::run(
     std::span<const BatchConfig> configs) const {
   const std::size_t n = configs.size();

@@ -62,8 +62,16 @@ class BatchedSweepEngine {
 
   /// True when `options` qualify for the batched path: the all-zero fault
   /// plan (fault injection draws per-engine randomness on divergent
-  /// control flow; those runs keep the scalar path).
+  /// control flow; those runs keep the scalar path). Any regime qualifies
+  /// on its own — one engine's lanes all share options_, so a group is
+  /// regime-homogeneous by construction.
   static bool can_batch(const EngineOptions& options);
+
+  /// True when two option sets may share one lockstep group: both
+  /// batchable AND the same market regime. Callers batching lanes across
+  /// option sets (the head-to-head harness) gate on this; mixed regimes
+  /// fall back to scalar runs.
+  static bool can_batch(const EngineOptions& a, const EngineOptions& b);
 
   /// Runs every lane to completion in lockstep. Returns one RunResult per
   /// lane, in lane order — each bit-identical to what a scalar

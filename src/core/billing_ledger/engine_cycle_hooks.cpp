@@ -60,8 +60,7 @@ void Engine::on_pre_boundary(std::size_t zone) {
   if (config_.policy->wants_pre_boundary_checks() &&
       config_.policy->should_manual_stop(*this, zone)) {
     z.set_manual_stop_pending(true);
-    if (!coord_.in_flight() && z.state() == ZoneState::kRunning &&
-        policy_checkpoint_allowed())
+    if (!coord_.in_flight() && z.computing() && policy_checkpoint_allowed())
       start_checkpoint(zone);
     return;
   }
@@ -71,7 +70,7 @@ void Engine::on_pre_boundary(std::size_t zone) {
   if (strategy_->dynamic()) {
     consult_strategy(DecisionPoint::kPreBoundary);
     if (pending_config_ && !coord_.in_flight() &&
-        z.state() == ZoneState::kRunning && leading_zone() == zone &&
+        z.computing() && leading_zone() == zone &&
         policy_checkpoint_allowed() &&
         zone_progress(zone) > store_.latest_progress()) {
       start_checkpoint(zone);

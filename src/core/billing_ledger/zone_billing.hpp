@@ -27,6 +27,10 @@ class ZoneBilling {
   /// Registers the line-item sink (may be empty to disable emission).
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
+  /// Selects the regime billing rules (before any usage is reported).
+  void set_rules(const BillingRules& rules) { ledger_.set_rules(rules); }
+  const BillingRules& rules() const { return ledger_.rules(); }
+
   // --- lifecycle reports (see market/billing.hpp for charging rules) ----
 
   void spot_started(std::size_t zone, SimTime t, Money rate);

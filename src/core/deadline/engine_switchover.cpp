@@ -24,9 +24,14 @@ void Engine::on_deadline_trigger() {
   }
   std::optional<std::size_t> leader = leading_zone();
   std::optional<Duration> leader_progress;
-  if (leader) leader_progress = zone_progress(*leader);
+  bool leader_doomed = false;
+  if (leader) {
+    leader_progress = zone_progress(*leader);
+    leader_doomed = zone_at(*leader).doomed();
+  }
   switch (decide_at_trigger(monitor_.params(), committed, now(),
-                            coord_.in_flight(), leader_progress)) {
+                            coord_.in_flight(), leader_progress,
+                            leader_doomed)) {
     case DeadlineAction::kWait:
       // The in-flight commit (or its abort on an untimely failure)
       // re-arms this trigger.

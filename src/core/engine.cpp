@@ -34,10 +34,16 @@ Engine::Engine(const SpotMarket& market, Experiment experiment,
                DeadlineParams{experiment.app.total_compute,
                               experiment.costs.checkpoint,
                               experiment.costs.restart,
-                              experiment.deadline_time()},
+                              experiment.deadline_time(),
+                              options.regime.rebalance_notice},
                [this] { on_deadline_trigger(); }),
       fault_recorder_(&result_.faults) {
   experiment_.validate();
+  REDSPOT_CHECK_MSG(options_.termination_notice == 0 ||
+                        options_.regime.rebalance_notice == 0,
+                    "the Appendix-A termination_notice ablation and the "
+                    "regime rebalance notice are mutually exclusive");
+  billing_.set_rules(options_.regime.billing);
   REDSPOT_CHECK_MSG(market.trace_start() <= experiment_.start,
                     "trace starts after the experiment");
   REDSPOT_CHECK_MSG(market.trace_end() >= experiment_.deadline_time(),
@@ -77,6 +83,9 @@ void Engine::on_queue_event(EventKind kind, std::size_t zone) {
       return;
     case EventKind::kDoom:
       on_doom(zone);
+      return;
+    case EventKind::kRebalanceNotice:
+      on_rebalance_notice(zone);
       return;
     case EventKind::kScheduledCheckpoint:
       on_scheduled_checkpoint();
@@ -186,11 +195,20 @@ void Engine::finish(SimTime at, bool completed) {
 // ---------------------------------------------------------------------------
 
 RunResult run_on_demand_baseline(const Experiment& experiment, Money rate) {
+  return run_on_demand_baseline(experiment, rate, MarketRegime::classic());
+}
+
+RunResult run_on_demand_baseline(const Experiment& experiment, Money rate,
+                                 const MarketRegime& regime) {
   experiment.validate();
   RunResult r;
-  const std::int64_t hours_billed =
-      started_hours(experiment.app.total_compute);
-  r.total_cost = rate * hours_billed;
+  if (regime.billing.granularity == BillingGranularity::kPerSecond) {
+    const Duration owed =
+        std::max(experiment.app.total_compute, regime.billing.minimum);
+    r.total_cost = prorate_hourly(rate, owed);
+  } else {
+    r.total_cost = rate * started_hours(experiment.app.total_compute);
+  }
   r.on_demand_cost = r.total_cost;
   r.on_demand_seconds = experiment.app.total_compute;
   r.completed = true;
@@ -220,6 +238,10 @@ void hash_engine_options(HashStream& h, const EngineOptions& o) {
   h.i64(f.backoff.base);
   h.i64(f.backoff.cap);
   h.f64(f.backoff.jitter);
+  // The regime is part of the options fingerprint, so every sweep journal
+  // key, ensemble cache key, and fabric shard key distinguishes regimes
+  // automatically.
+  hash_regime(h, o.regime);
 }
 
 }  // namespace redspot

@@ -59,6 +59,7 @@
 #include "core/strategy.hpp"
 #include "core/zone/zone_machine.hpp"
 #include "fault/fault_injector.hpp"
+#include "market/regime.hpp"
 #include "market/spot_market.hpp"
 
 namespace redspot {
@@ -80,6 +81,12 @@ struct EngineOptions {
   /// default all-zero plan is a strict no-op: runs reproduce the
   /// fault-free engine bit-for-bit.
   FaultPlan faults;
+  /// The market rule set (market/regime.hpp): billing granularity and
+  /// refund rule, rebalance-notice lead time, instance-type universe. The
+  /// default classic-2012 regime reproduces the pre-regime engine
+  /// bit-for-bit. Mutually exclusive with `termination_notice` (the
+  /// Appendix-A ablation keeps its own notice path).
+  MarketRegime regime;
 };
 
 /// Folds every result-affecting EngineOptions field into `h`. Shared by
@@ -163,6 +170,7 @@ class Engine final : public EngineView,
   SimTime billing_cycle_end(std::size_t zone) const override {
     return billing_.cycle_end(zone);
   }
+  const MarketRegime& regime() const override { return options_.regime; }
 
  private:
   // --- event dispatch ------------------------------------------------------
@@ -185,6 +193,9 @@ class Engine final : public EngineView,
   /// Handles a termination notice delivering `warning` seconds before the
   /// kill (warning < termination_notice when the notice arrived late).
   void on_termination_notice(std::size_t zone, Duration warning);
+  /// Regime rebalance warning: flips the zone to kRebalanceWarned and
+  /// reuses the notice machinery (doom + emergency checkpoint).
+  void on_rebalance_notice(std::size_t zone);
   void on_doom(std::size_t zone);
   /// Dispatches the out-of-bid notice for `zone` at a price tick,
   /// injecting dropped/late notices when the fault plan says so.
@@ -288,5 +299,10 @@ class Engine final : public EngineView,
 /// Cost of the naive on-demand baseline: run C + nothing else at the fixed
 /// rate, charged per started hour ($48 for the paper's 20 h experiment).
 RunResult run_on_demand_baseline(const Experiment& experiment, Money rate);
+
+/// Regime-aware baseline: per-second regimes prorate instead of rounding
+/// up to started hours. The classic regime matches the overload above.
+RunResult run_on_demand_baseline(const Experiment& experiment, Money rate,
+                                 const MarketRegime& regime);
 
 }  // namespace redspot

@@ -46,7 +46,7 @@ SimTime Engine::leading_compute_since() const {
   Duration best = -1;
   SimTime since = kNever;
   for (std::size_t z : config_.zones) {
-    if (zone_at(z).state() != ZoneState::kRunning) continue;
+    if (!zone_at(z).computing()) continue;
     const Duration p = zone_progress(z);
     if (p > best) {
       best = p;
@@ -60,7 +60,7 @@ std::optional<std::size_t> Engine::leading_zone() const {
   Duration best = -1;
   std::optional<std::size_t> leader;
   for (std::size_t z : config_.zones) {
-    if (zone_at(z).state() != ZoneState::kRunning) continue;
+    if (!zone_at(z).computing()) continue;
     const Duration p = zone_progress(z);
     if (p > best) {
       best = p;

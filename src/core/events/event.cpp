@@ -22,6 +22,8 @@ const char* to_string(EventKind kind) {
       return "pre-boundary";
     case EventKind::kLateNotice:
       return "late-notice";
+    case EventKind::kRebalanceNotice:
+      return "rebalance-notice";
     case EventKind::kDoom:
       return "doom";
     case EventKind::kDeadlineTrigger:

@@ -35,6 +35,12 @@ class LargeBidPolicy final : public Policy {
 
   bool wants_pre_boundary_checks() const override { return true; }
   bool should_manual_stop(const EngineView& view, std::size_t zone) override {
+    // Per-second billing removes the full-hour commitment the manual stop
+    // exists to dodge: a user termination then pays only seconds used, so
+    // riding the spike while keeping progress strictly dominates a stop
+    // that forfeits progress and waits out a re-request queue delay.
+    if (view.regime().billing.granularity == BillingGranularity::kPerSecond)
+      return false;
     return view.price(zone) > threshold_;
   }
   bool should_resume(const EngineView& view, std::size_t zone) override {

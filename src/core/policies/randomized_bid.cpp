@@ -1,0 +1,62 @@
+#include "core/policies/randomized_bid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/random.hpp"
+
+namespace redspot {
+
+namespace {
+
+/// Skew of the bid distribution: density proportional to e^{kSkew x} on
+/// [0, 1], so ~2/3 of the mass lands in the upper half of (lo, hi].
+constexpr double kSkew = 2.0;
+
+}  // namespace
+
+Money RandomizedBidPolicy::draw_bid(std::uint64_t seed, Money lo, Money hi) {
+  REDSPOT_CHECK(lo < hi);
+  Rng rng(seed, /*stream=*/0xB1D);
+  const double u = rng.uniform();
+  // Inverse CDF of the truncated exponential on [0, 1].
+  const double x = std::log(1.0 + u * (std::exp(kSkew) - 1.0)) / kSkew;
+  const double dollars =
+      lo.to_double() + (hi.to_double() - lo.to_double()) * x;
+  const Money bid = Money::from_micros(std::llround(dollars * 1000.0) * 1000);
+  return std::clamp(bid, lo, hi);
+}
+
+bool RandomizedBidPolicy::checkpoint_condition(const EngineView& view) {
+  // Rising tick into the danger band on any executing zone.
+  const Money band = Money::from_micros(static_cast<std::int64_t>(
+      static_cast<double>(view.bid().micros()) * safety_));
+  for (std::size_t zone : view.zone_ids()) {
+    if (!view.zone_running(zone)) continue;
+    const Money p = view.price(zone);
+    if (p > view.previous_price(zone) && p >= band) return true;
+  }
+  return false;
+}
+
+SimTime RandomizedBidPolicy::schedule_next_checkpoint(const EngineView& view) {
+  // Periodic hour-boundary backstop: commit the leading zone's progress
+  // just before its paid boundary.
+  SimTime boundary = kNever;
+  Duration best_progress = -1;
+  for (std::size_t zone : view.zone_ids()) {
+    if (!view.zone_running(zone)) continue;
+    const Duration p = view.zone_progress(zone);
+    if (p > best_progress) {
+      best_progress = p;
+      boundary = view.billing_cycle_end(zone);
+    }
+  }
+  if (boundary == kNever) return kNever;
+  SimTime t = boundary - view.experiment().costs.checkpoint;
+  while (t <= view.now()) t += kHour;
+  return t;
+}
+
+}  // namespace redspot

@@ -1,0 +1,40 @@
+// Randomized-bid policy (after Bhuyan et al., PAPERS.md): the bid is not
+// a fixed point on the grid but a seeded draw from a distribution skewed
+// toward the on-demand ceiling — high enough to survive most excursions,
+// randomized so the (adversarial-market) optimum is a distribution, not a
+// point.
+//
+// The draw happens at configuration time (draw_bid), because a run's bid
+// is fixed by its FixedStrategy; the policy's runtime half hedges the
+// randomness: a low draw sits closer to the price process, so beyond the
+// Periodic hour-boundary schedule it checkpoints reactively whenever a
+// rising tick enters the danger band [safety * B, B] — the same
+// trigger-shape as Threshold's price condition, but anchored to the drawn
+// bid instead of (S_min + B) / 2.
+#pragma once
+
+#include <cstdint>
+
+#include "core/policy.hpp"
+
+namespace redspot {
+
+class RandomizedBidPolicy final : public Policy {
+ public:
+  /// `safety` is the danger-band edge as a fraction of the bid.
+  explicit RandomizedBidPolicy(double safety = 0.8) : safety_(safety) {}
+
+  /// The configuration-time half: draws the run's bid from (lo, hi],
+  /// deterministic in `seed`, with density skewed toward `hi` (truncated-
+  /// exponential inverse CDF; quantized to the $0.001 grid).
+  static Money draw_bid(std::uint64_t seed, Money lo, Money hi);
+
+  std::string name() const override { return "randomized-bid"; }
+  bool checkpoint_condition(const EngineView& view) override;
+  SimTime schedule_next_checkpoint(const EngineView& view) override;
+
+ private:
+  double safety_;
+};
+
+}  // namespace redspot

@@ -1,8 +1,10 @@
 #include "core/policy.hpp"
 
 #include "common/check.hpp"
+#include "core/policies/index_track.hpp"
 #include "core/policies/markov_daly.hpp"
 #include "core/policies/periodic.hpp"
+#include "core/policies/randomized_bid.hpp"
 #include "core/policies/rising_edge.hpp"
 #include "core/policies/threshold.hpp"
 
@@ -18,6 +20,10 @@ std::string to_string(PolicyKind kind) {
       return "rising-edge";
     case PolicyKind::kThreshold:
       return "threshold";
+    case PolicyKind::kRandomizedBid:
+      return "randomized-bid";
+    case PolicyKind::kIndexTrack:
+      return "index-track";
   }
   return "?";
 }
@@ -32,6 +38,10 @@ std::unique_ptr<Policy> make_policy(PolicyKind kind) {
       return std::make_unique<RisingEdgePolicy>();
     case PolicyKind::kThreshold:
       return std::make_unique<ThresholdPolicy>();
+    case PolicyKind::kRandomizedBid:
+      return std::make_unique<RandomizedBidPolicy>();
+    case PolicyKind::kIndexTrack:
+      return std::make_unique<IndexTrackPolicy>();
   }
   REDSPOT_CHECK_FAIL("unknown PolicyKind");
 }

@@ -20,6 +20,7 @@
 #include "common/money.hpp"
 #include "common/time.hpp"
 #include "core/experiment.hpp"
+#include "market/regime.hpp"
 #include "market/spot_market.hpp"
 
 namespace redspot {
@@ -83,6 +84,11 @@ class EngineView {
 
   /// End of the current billing cycle of `zone` (requires an open cycle).
   virtual SimTime billing_cycle_end(std::size_t zone) const = 0;
+
+  /// The market rule set this run executes under. Policies consult it for
+  /// billing-sensitive decisions (e.g. Large-bid's manual stop is
+  /// pointless under per-second billing). Defaults to classic 2012.
+  virtual const MarketRegime& regime() const { return MarketRegime::classic(); }
 };
 
 /// A checkpoint-scheduling policy.
@@ -128,12 +134,15 @@ class Policy {
 };
 
 /// The fixed policies of the evaluation (Adaptive is a Strategy, not a
-/// Policy — see core/adaptive/).
+/// Policy — see core/adaptive/). The zoo entries after the paper's four
+/// are appended so existing spec hashes keep their values.
 enum class PolicyKind {
   kPeriodic,
   kMarkovDaly,
   kRisingEdge,
   kThreshold,
+  kRandomizedBid,  ///< Bhuyan et al.: seeded bid draw + danger-band ckpts
+  kIndexTrack,     ///< Shastri & Irwin: track the cheapest normalized lanes
 };
 
 std::string to_string(PolicyKind kind);

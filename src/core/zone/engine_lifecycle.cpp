@@ -21,10 +21,19 @@ void Engine::on_price_tick() {
       case ZoneState::kRestarting:
       case ZoneState::kRunning:
       case ZoneState::kCheckpointing:
+      case ZoneState::kRebalanceWarned:
         if (p > config_.bid && !zone.doomed()) {
           if (options_.termination_notice > 0 && zone.running()) {
             deliver_termination_notice(z);
             if (zone.state() == ZoneState::kDown) terminated_any = true;
+          } else if (options_.regime.rebalance_notice > 0 && zone.running()) {
+            // Regime notice: the kill is announced via a typed
+            // kRebalanceNotice event dispatched at this same instant
+            // (after the tick's own handling, in FIFO order), so
+            // observers see the warning as a first-class calendar event.
+            zone.mark_doomed();
+            zone.rebalance_event =
+                queue_.schedule_at(EventKind::kRebalanceNotice, z, now());
           } else {
             terminate_out_of_bid(z);
             terminated_any = true;
@@ -226,12 +235,21 @@ void Engine::on_termination_notice(std::size_t zone, Duration warning) {
         EventKind::kEmergencyCheckpoint, zone, ckpt_start, [this, zone] {
           ZoneMachine& doomed_zone = zone_at(zone);
           doomed_zone.emergency_ckpt_event = 0;
-          if (done_ || coord_.in_flight() ||
-              doomed_zone.state() != ZoneState::kRunning)
-            return;
+          if (done_ || coord_.in_flight() || !doomed_zone.computing()) return;
           start_checkpoint(zone);
         });
   }
+}
+
+// Regime rebalance warning: the zone flips to kRebalanceWarned (progress
+// keeps accruing) and the notice machinery above schedules the doom and,
+// when the lead time fits one, the emergency checkpoint.
+void Engine::on_rebalance_notice(std::size_t zone) {
+  ZoneMachine& z = zone_at(zone);
+  z.rebalance_event = 0;
+  if (done_ || !z.running() || z.rebalance_warned()) return;
+  z.warn_rebalance();
+  on_termination_notice(zone, options_.regime.rebalance_notice);
 }
 
 void Engine::on_doom(std::size_t zone) {
@@ -284,7 +302,7 @@ void Engine::user_terminate(std::size_t zone, bool at_boundary) {
 void Engine::on_zone_completion(std::size_t zone) {
   ZoneMachine& z = zone_at(zone);
   z.completion_event = 0;
-  REDSPOT_CHECK(z.state() == ZoneState::kRunning);
+  REDSPOT_CHECK(z.computing());
   REDSPOT_CHECK(zone_progress(zone) >= experiment_.app.total_compute);
   record(now(), zone, TimelineKind::kCompleted);
   for (std::size_t other : config_.zones) user_terminate(other, false);

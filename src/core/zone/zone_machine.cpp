@@ -53,18 +53,30 @@ void ZoneMachine::begin_compute(SimTime now, Duration progress_base) {
                 state_ == ZoneState::kCheckpointing);
   progress_base_ = progress_base;
   computing_since_ = now;
-  transition(ZoneState::kRunning);
+  // A zone resuming compute under a standing rebalance warning (e.g.
+  // after its emergency write committed) stays in the warned state.
+  transition(rebalance_warned_ ? ZoneState::kRebalanceWarned
+                               : ZoneState::kRunning);
 }
 
 void ZoneMachine::begin_checkpoint(SimTime now) {
-  REDSPOT_CHECK(state_ == ZoneState::kRunning);
+  REDSPOT_CHECK(computing());
   progress_base_ = progress(now);  // freeze before the state flips
   transition(ZoneState::kCheckpointing);
+}
+
+void ZoneMachine::warn_rebalance() {
+  REDSPOT_CHECK(running());
+  rebalance_warned_ = true;
+  if (state_ == ZoneState::kRunning) transition(ZoneState::kRebalanceWarned);
+  // kCheckpointing: flag only — begin_compute after the write lands in
+  // kRebalanceWarned.
 }
 
 void ZoneMachine::terminate() {
   REDSPOT_CHECK(active());
   manual_stop_pending_ = false;
+  rebalance_warned_ = false;
   transition(ZoneState::kDown);
 }
 
@@ -92,7 +104,9 @@ void ZoneMachine::cancel_events(EventQueue& queue) {
   queue.cancel(completion_event);
   queue.cancel(doom_event);
   queue.cancel(emergency_ckpt_event);
+  queue.cancel(rebalance_event);
   doomed_ = false;
+  rebalance_warned_ = false;
 }
 
 }  // namespace redspot

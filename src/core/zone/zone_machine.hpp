@@ -46,11 +46,16 @@ class ZoneMachine {
   /// kCheckpointing).
   bool active() const { return is_active(state_); }
 
-  /// Has a billed, running instance (kRunning or kCheckpointing).
+  /// Has a billed, running instance (kRunning, kCheckpointing or
+  /// kRebalanceWarned).
   bool running() const {
     return state_ == ZoneState::kRunning ||
-           state_ == ZoneState::kCheckpointing;
+           state_ == ZoneState::kCheckpointing ||
+           state_ == ZoneState::kRebalanceWarned;
   }
+
+  /// Compute progress is accruing (kRunning or kRebalanceWarned).
+  bool computing() const { return is_computing(state_); }
 
   // --- transitions (throw on a state not allowing them) -----------------
 
@@ -76,10 +81,16 @@ class ZoneMachine {
   /// kQueued, kRestarting or kCheckpointing -> kRunning.
   void begin_compute(SimTime now, Duration progress_base);
 
-  /// Checkpoint write starts: kRunning -> kCheckpointing. Freezes
-  /// progress_base_ at progress(now) — work during the write is at risk
-  /// and only re-enters the count when compute resumes.
+  /// Checkpoint write starts: kRunning or kRebalanceWarned ->
+  /// kCheckpointing. Freezes progress_base_ at progress(now) — work during
+  /// the write is at risk and only re-enters the count when compute
+  /// resumes.
   void begin_checkpoint(SimTime now);
+
+  /// Capacity-rebalance warning received (regime notice): kRunning ->
+  /// kRebalanceWarned, or flag-only while kCheckpointing (the resume after
+  /// the write lands in kRebalanceWarned). Requires running().
+  void warn_rebalance();
 
   /// Instance gone (out-of-bid, user termination): any active state ->
   /// kDown. Clears the pending manual-stop flag.
@@ -99,9 +110,10 @@ class ZoneMachine {
 
   // --- progress ---------------------------------------------------------
 
-  /// Compute time completed as of `now` (grows only while kRunning).
+  /// Compute time completed as of `now` (grows only while computing —
+  /// kRunning or kRebalanceWarned).
   Duration progress(SimTime now) const {
-    if (state_ == ZoneState::kRunning)
+    if (is_computing(state_))
       return progress_base_ + (now - computing_since_);
     return progress_base_;
   }
@@ -122,6 +134,9 @@ class ZoneMachine {
   bool doomed() const { return doomed_; }
   void mark_doomed() { doomed_ = true; }
 
+  /// A rebalance warning has been received for the current instance.
+  bool rebalance_warned() const { return rebalance_warned_; }
+
   bool manual_stop_pending() const { return manual_stop_pending_; }
   void set_manual_stop_pending(bool pending) {
     manual_stop_pending_ = pending;
@@ -137,6 +152,7 @@ class ZoneMachine {
   EventId completion_event = 0;   ///< kZoneCompletion
   EventId doom_event = 0;         ///< kDoom
   EventId emergency_ckpt_event = 0;  ///< kEmergencyCheckpoint
+  EventId rebalance_event = 0;    ///< kRebalanceNotice
 
   /// Cancels every pending event of this zone and clears the doomed flag.
   void cancel_events(EventQueue& queue);
@@ -153,6 +169,7 @@ class ZoneMachine {
   int request_attempts_ = 0;
   bool manual_stop_pending_ = false;
   bool doomed_ = false;
+  bool rebalance_warned_ = false;
 };
 
 }  // namespace redspot

@@ -18,6 +18,8 @@ const char* to_string(ZoneState s) {
       return "checkpointing";
     case ZoneState::kStopped:
       return "stopped";
+    case ZoneState::kRebalanceWarned:
+      return "rebalance-warned";
   }
   return "?";
 }
@@ -39,11 +41,22 @@ bool transition_allowed(ZoneState from, ZoneState to) {
     case ZoneState::kRestarting:
       return to == ZoneState::kRunning || to == ZoneState::kDown;
     case ZoneState::kRunning:
-      return to == ZoneState::kCheckpointing || to == ZoneState::kDown;
+      // A rebalance notice moves a computing zone to the warned state
+      // without interrupting its progress.
+      return to == ZoneState::kCheckpointing || to == ZoneState::kDown ||
+             to == ZoneState::kRebalanceWarned;
     case ZoneState::kCheckpointing:
-      return to == ZoneState::kRunning || to == ZoneState::kDown;
+      // The write can both receive a warning mid-flight (resuming compute
+      // lands in kRebalanceWarned) and be the emergency write of a warned
+      // zone.
+      return to == ZoneState::kRunning || to == ZoneState::kDown ||
+             to == ZoneState::kRebalanceWarned;
     case ZoneState::kStopped:
       return to == ZoneState::kWaiting || to == ZoneState::kDown;
+    case ZoneState::kRebalanceWarned:
+      // The warned zone either starts its emergency checkpoint or dies at
+      // the announced doom instant; the warning never rescinds.
+      return to == ZoneState::kCheckpointing || to == ZoneState::kDown;
   }
   return false;
 }

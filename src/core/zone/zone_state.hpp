@@ -13,6 +13,12 @@
 //
 // (The manual stop reaches kStopped via kDown: the boundary termination
 // first tears the instance down, then the policy parks the zone.)
+//
+// Regimes with a rebalance notice (market/regime.hpp) add kRebalanceWarned:
+// a kRunning zone whose kill was announced keeps computing there until the
+// doom instant; kCheckpointing <-> kRebalanceWarned covers the emergency
+// write and the compute resumed after it commits. Classic regimes never
+// enter the state, keeping the 16-entry 2012 table intact as a subset.
 #pragma once
 
 #include <cstddef>
@@ -26,19 +32,26 @@ enum class ZoneState : std::uint8_t {
   kWaiting,        ///< price at/below bid; waiting for a restart condition
   kQueued,         ///< spot request filed, waiting for fulfilment
   kRestarting,     ///< instance up, loading the latest checkpoint (t_r)
-  kRunning,        ///< computing
-  kCheckpointing,  ///< compute frozen while a checkpoint writes (t_c)
-  kStopped,        ///< policy-suspended (Large-bid manual stop)
+  kRunning,         ///< computing
+  kCheckpointing,   ///< compute frozen while a checkpoint writes (t_c)
+  kStopped,         ///< policy-suspended (Large-bid manual stop)
+  kRebalanceWarned, ///< computing under a rebalance notice (kill announced)
 };
 
-inline constexpr std::size_t kNumZoneStates = 7;
+inline constexpr std::size_t kNumZoneStates = 8;
 
 const char* to_string(ZoneState s);
 
 /// True for states that hold (or are acquiring) a spot instance.
 constexpr bool is_active(ZoneState s) {
   return s == ZoneState::kQueued || s == ZoneState::kRestarting ||
-         s == ZoneState::kRunning || s == ZoneState::kCheckpointing;
+         s == ZoneState::kRunning || s == ZoneState::kCheckpointing ||
+         s == ZoneState::kRebalanceWarned;
+}
+
+/// True for states where compute progress accrues with the clock.
+constexpr bool is_computing(ZoneState s) {
+  return s == ZoneState::kRunning || s == ZoneState::kRebalanceWarned;
 }
 
 /// The legal-transition relation of the zone machine. Every transition the

@@ -83,7 +83,8 @@ std::string ShardExecutor::compute(std::size_t s,
     const SpotMarket market(generate_traces(trace_spec), instance_,
                             QueueDelayModel());
     const Experiment experiment = make_experiment(r);
-    AuditObserver audit_obs(experiment, instance_.on_demand_rate);
+    AuditObserver audit_obs(experiment, instance_.on_demand_rate,
+                            AuditMode::kFull, spec_.engine.regime);
     // Fixed-policy lanes advance in lockstep over this replication's
     // trace (bit-identical to the scalar runs below — the observer only
     // acts per finished result, so lane interleaving is invisible to it).

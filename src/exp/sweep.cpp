@@ -48,7 +48,8 @@ void run_chunks_batched(const SpotMarket& market, const Scenario& scenario,
     for (std::size_t k = lo; k < hi; ++k) {
       const Experiment experiment = scenario.experiment(chunks[k]);
       audits.push_back(std::make_unique<AuditObserver>(
-          experiment, market.on_demand_rate()));
+          experiment, market.on_demand_rate(), AuditMode::kFull,
+          engine_options.regime));
       configs.push_back(batch::BatchConfig{experiment, spec.policy, spec.bid,
                                            spec.zones, audits.back().get()});
     }
@@ -96,7 +97,8 @@ std::vector<RunResult> run_sweep(const SpotMarket& market,
       if (!rec || rec->sweep_key != key || rec->chunk >= n) continue;
       const std::size_t chunk = static_cast<std::size_t>(rec->chunk);
       const Experiment experiment = scenario.experiment(chunk);
-      if (!RunValidator(experiment, market.on_demand_rate())
+      if (!RunValidator(experiment, market.on_demand_rate(),
+                        engine_options.regime)
                .audit(rec->run, AuditMode::kReplay)
                .empty()) {
         LOG_WARN << "journal: sweep chunk " << chunk
@@ -121,7 +123,8 @@ std::vector<RunResult> run_sweep(const SpotMarket& market,
       const Experiment experiment = scenario.experiment(i);
       auto strategy = make_strategy(i);
       Engine engine(market, experiment, *strategy, engine_options);
-      AuditObserver audit(experiment, market.on_demand_rate());
+      AuditObserver audit(experiment, market.on_demand_rate(),
+                          AuditMode::kFull, engine_options.regime);
       engine.add_observer(&audit);
       results[i] = engine.run();
       if (journal != nullptr)

@@ -19,8 +19,10 @@ namespace redspot {
 class AuditObserver final : public EngineObserver {
  public:
   AuditObserver(Experiment experiment, Money on_demand_rate,
-                AuditMode mode = AuditMode::kFull)
-      : validator_(std::move(experiment), on_demand_rate), mode_(mode) {}
+                AuditMode mode = AuditMode::kFull,
+                MarketRegime regime = MarketRegime::classic_2012())
+      : validator_(std::move(experiment), on_demand_rate, std::move(regime)),
+        mode_(mode) {}
 
   void on_finish(const RunResult& result) override {
     validator_.check(result, mode_);

@@ -27,8 +27,11 @@ class Violations {
 
 }  // namespace
 
-RunValidator::RunValidator(Experiment experiment, Money on_demand_rate)
-    : experiment_(experiment), on_demand_rate_(on_demand_rate) {
+RunValidator::RunValidator(Experiment experiment, Money on_demand_rate,
+                           MarketRegime regime)
+    : experiment_(experiment),
+      on_demand_rate_(on_demand_rate),
+      regime_(std::move(regime)) {
   experiment_.validate();
   REDSPOT_CHECK(on_demand_rate > Money());
 }
@@ -73,12 +76,25 @@ std::vector<std::string> RunValidator::audit(const RunResult& r,
   if (!r.switched_to_on_demand && r.on_demand_cost != Money())
     v.add("on-demand charge ", r.on_demand_cost.str(),
           " without an on-demand switch");
-  // On-demand bills per started hour of the recorded usage; a switch with
-  // all progress already committed legitimately uses (and pays) nothing.
-  const std::int64_t od_hours = started_hours(r.on_demand_seconds);
-  if (r.on_demand_cost != on_demand_rate_ * od_hours)
-    v.add("on-demand cost ", r.on_demand_cost.str(), " != rate x ", od_hours,
-          " started hours");
+  // On-demand bills per started hour (classic) or prorated per second with
+  // the minimum charge; a switch with all progress already committed
+  // legitimately uses (and pays) nothing.
+  if (regime_.billing.granularity == BillingGranularity::kPerSecond) {
+    const Money expected =
+        r.on_demand_seconds > 0
+            ? prorate_hourly(on_demand_rate_,
+                             std::max(r.on_demand_seconds,
+                                      regime_.billing.minimum))
+            : Money();
+    if (r.on_demand_cost != expected)
+      v.add("on-demand cost ", r.on_demand_cost.str(),
+            " != per-second rate over ", r.on_demand_seconds, " s");
+  } else {
+    const std::int64_t od_hours = started_hours(r.on_demand_seconds);
+    if (r.on_demand_cost != on_demand_rate_ * od_hours)
+      v.add("on-demand cost ", r.on_demand_cost.str(), " != rate x ",
+            od_hours, " started hours");
+  }
   if (!r.switched_to_on_demand && r.on_demand_seconds != 0)
     v.add("on-demand seconds without an on-demand switch");
 
@@ -147,7 +163,18 @@ std::vector<std::string> RunValidator::audit(const RunResult& r,
           spot += item.amount;
           break;
         }
+        case LineItem::Kind::kSpotUsage: {
+          // Per-second partial-cycle charge (user stop or a charging
+          // refund rule); never spans more than the cycle.
+          const Duration used = item.charged_at - item.cycle_start;
+          if (used < 0 || used > kHour)
+            v.add("per-second spot usage at ", format_time(item.cycle_start),
+                  " spans ", format_duration(used));
+          spot += item.amount;
+          break;
+        }
         case LineItem::Kind::kOnDemandHour:
+        case LineItem::Kind::kOnDemandUsage:
           on_demand += item.amount;
           break;
       }
@@ -169,14 +196,18 @@ std::vector<std::string> RunValidator::audit(const RunResult& r,
       prev = e.time;
     }
     // No charge for out-of-bid partial hours: an EC2 termination must not
-    // coincide with a full-hour user charge for the same zone.
-    for (const TimelineEvent& e : r.timeline) {
-      if (e.kind != TimelineKind::kOutOfBid) continue;
-      for (const LineItem& item : r.line_items) {
-        if (item.kind == LineItem::Kind::kSpotUserPartial &&
-            item.zone == e.zone && item.charged_at == e.time)
-          v.add("zone ", e.zone, " charged a partial hour at its out-of-bid "
-                "termination ", format_time(e.time));
+    // coincide with a full-hour user charge for the same zone. Only the
+    // classic refund rule promises this — charging refund rules bill
+    // exactly there by design.
+    if (regime_.billing.refund == RefundRule::kProviderForfeitsCycle) {
+      for (const TimelineEvent& e : r.timeline) {
+        if (e.kind != TimelineKind::kOutOfBid) continue;
+        for (const LineItem& item : r.line_items) {
+          if (item.kind == LineItem::Kind::kSpotUserPartial &&
+              item.zone == e.zone && item.charged_at == e.time)
+            v.add("zone ", e.zone, " charged a partial hour at its "
+                  "out-of-bid termination ", format_time(e.time));
+        }
       }
     }
   }

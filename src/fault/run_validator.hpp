@@ -16,6 +16,7 @@
 #include "common/money.hpp"
 #include "core/experiment.hpp"
 #include "core/run_result.hpp"
+#include "market/regime.hpp"
 
 namespace redspot {
 
@@ -35,8 +36,12 @@ enum class AuditMode { kFull, kReplay };
 class RunValidator {
  public:
   /// `on_demand_rate` is the fallback rate the engine switched to (the
-  /// market's on-demand price, $2.40/h in the paper).
-  RunValidator(Experiment experiment, Money on_demand_rate);
+  /// market's on-demand price, $2.40/h in the paper). `regime` must match
+  /// the EngineOptions the run executed under — the billing invariants
+  /// (on-demand arithmetic, partial-cycle charges, the out-of-bid refund)
+  /// are regime-dependent.
+  RunValidator(Experiment experiment, Money on_demand_rate,
+               MarketRegime regime = MarketRegime::classic_2012());
 
   /// Checks every invariant; returns one human-readable line per
   /// violation (empty = the run is sound). Never throws.
@@ -49,6 +54,7 @@ class RunValidator {
  private:
   Experiment experiment_;
   Money on_demand_rate_;
+  MarketRegime regime_;
 };
 
 }  // namespace redspot

@@ -1,5 +1,7 @@
 #include "market/billing.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace redspot {
@@ -12,6 +14,10 @@ std::string to_string(LineItem::Kind kind) {
       return "spot-user-partial";
     case LineItem::Kind::kOnDemandHour:
       return "on-demand-hour";
+    case LineItem::Kind::kSpotUsage:
+      return "spot-usage";
+    case LineItem::Kind::kOnDemandUsage:
+      return "on-demand-usage";
   }
   return "?";
 }
@@ -29,7 +35,7 @@ const BillingLedger::OpenCycle& BillingLedger::cycle_for(
 
 void BillingLedger::charge(LineItem item) {
   total_ += item.amount;
-  if (item.kind != LineItem::Kind::kOnDemandHour) spot_total_ += item.amount;
+  if (!is_on_demand(item.kind)) spot_total_ += item.amount;
   items_.push_back(item);
 }
 
@@ -37,7 +43,7 @@ void BillingLedger::spot_started(std::size_t zone, SimTime t, Money rate) {
   OpenCycle& c = cycle_for(zone);
   REDSPOT_CHECK_MSG(!c.open, "zone " << zone << " already running");
   REDSPOT_CHECK(rate >= Money());
-  c = OpenCycle{true, t, rate};
+  c = OpenCycle{true, t, rate, t};
 }
 
 bool BillingLedger::spot_running(std::size_t zone) const {
@@ -56,7 +62,20 @@ void BillingLedger::cycle_boundary(std::size_t zone, Money next_rate) {
   const SimTime boundary = c.start + kHour;
   charge(LineItem{LineItem::Kind::kSpotHour, zone, c.start, boundary,
                   c.rate});
-  c = OpenCycle{true, boundary, next_rate};
+  c = OpenCycle{true, boundary, next_rate, c.instance_start};
+}
+
+void BillingLedger::charge_partial_per_second(std::size_t zone, OpenCycle& c,
+                                              SimTime t) {
+  // Seconds already billed for this instance (all prior full cycles), so
+  // the minimum is charged at most once per instance.
+  const Duration prior = c.start - c.instance_start;
+  const Duration used = t - c.start;
+  const Duration owed =
+      std::clamp<Duration>(std::max(used, rules_.minimum - prior), 0, kHour);
+  if (owed == 0) return;
+  charge(LineItem{LineItem::Kind::kSpotUsage, zone, c.start, t,
+                  prorate_hourly(c.rate, owed)});
 }
 
 void BillingLedger::spot_terminated(std::size_t zone, SimTime t,
@@ -65,13 +84,31 @@ void BillingLedger::spot_terminated(std::size_t zone, SimTime t,
   REDSPOT_CHECK(c.open);
   REDSPOT_CHECK_MSG(t >= c.start && t <= c.start + kHour,
                     "termination outside the open cycle");
-  if (cause == TerminationCause::kUser) {
-    // User termination pays the started hour in full (Section 2.1).
-    charge(LineItem{LineItem::Kind::kSpotUserPartial, zone, c.start, t,
-                    c.rate});
+  bool billable = cause == TerminationCause::kUser;
+  if (!billable) {
+    // Provider kill: classic 2012 forfeits the partial cycle ("Partial-hour
+    // resource usage due to abrupt termination by EC2 is not charged to the
+    // user"); later regimes narrowed or removed the refund.
+    switch (rules_.refund) {
+      case RefundRule::kProviderForfeitsCycle:
+        break;
+      case RefundRule::kProviderChargesUsage:
+        billable = true;
+        break;
+      case RefundRule::kFreeFirstHourOnInterrupt:
+        billable = t - c.instance_start >= kHour;
+        break;
+    }
   }
-  // Out-of-bid: "Partial-hour resource usage due to abrupt termination by
-  // EC2 is not charged to the user."
+  if (billable) {
+    if (rules_.granularity == BillingGranularity::kHourly) {
+      // A started hour pays in full (Section 2.1).
+      charge(LineItem{LineItem::Kind::kSpotUserPartial, zone, c.start, t,
+                      c.rate});
+    } else {
+      charge_partial_per_second(zone, c, t);
+    }
+  }
   c.open = false;
 }
 
@@ -87,6 +124,12 @@ void BillingLedger::spot_stopped_at_boundary(std::size_t zone) {
 void BillingLedger::on_demand_usage(SimTime start, Duration used,
                                     Money rate) {
   REDSPOT_CHECK(used > 0);
+  if (rules_.granularity == BillingGranularity::kPerSecond) {
+    const Duration owed = std::max(used, rules_.minimum);
+    charge(LineItem{LineItem::Kind::kOnDemandUsage, 0, start, start + used,
+                    prorate_hourly(rate, owed)});
+    return;
+  }
   const std::int64_t hours = started_hours(used);
   for (std::int64_t h = 0; h < hours; ++h) {
     charge(LineItem{LineItem::Kind::kOnDemandHour, 0, start + h * kHour,

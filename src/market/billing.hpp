@@ -1,6 +1,7 @@
 // Spot and on-demand billing ledger.
 //
-// Implements the EC2 charging rules of Section 2.1 exactly:
+// The default rules implement the EC2 charging model of Section 2.1
+// exactly:
 //
 //   * Hour-boundary pricing — each billing cycle is charged at the SPOT
 //     price in effect at the cycle's start (not the bid), regardless of
@@ -12,11 +13,27 @@
 //     near the end of the hour" sensible).
 //   * On-demand — fixed rate per started hour.
 //
+// Those assumptions are not laws of nature: EC2 switched to per-second
+// billing (60-second minimum) in 2017 and stopped refunding interrupted
+// partial hours for Linux spot. `BillingRules` captures the axes that
+// changed so a `MarketRegime` (market/regime.hpp) can select them per
+// run. Cycle anchors stay hourly under every rule set — the rate lock,
+// the kCycleBoundary cadence, and Large-bid's boundary decisions are
+// structural — only what a *partial* cycle costs changes:
+//
+//   * granularity kPerSecond: partial usage is prorated at the locked
+//     rate (floor micro-dollars), with a per-instance minimum charge;
+//   * refund kProviderChargesUsage: provider interruption bills the
+//     partial cycle like a user stop under the active granularity;
+//   * refund kFreeFirstHourOnInterrupt: interruption is free only while
+//     the instance is younger than one hour (EC2's 2017-2021 hybrid).
+//
 // The ledger is a passive recorder: the engine reports lifecycle events
 // (instance started / cycle completed / terminated) and queries totals.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,12 +48,38 @@ enum class TerminationCause {
   kUser,      ///< we terminated: completion, reconfiguration, manual stop
 };
 
+/// How usage inside a billing cycle converts to a charge.
+enum class BillingGranularity : std::uint8_t {
+  kHourly,     ///< any started cycle bills the full locked hour
+  kPerSecond,  ///< partial cycles prorate by the second (with a minimum)
+};
+
+/// What a provider-initiated (out-of-bid / rebalance) kill costs.
+enum class RefundRule : std::uint8_t {
+  kProviderForfeitsCycle,     ///< classic 2012: the partial cycle is free
+  kProviderChargesUsage,      ///< interruption bills like a user stop
+  kFreeFirstHourOnInterrupt,  ///< free only if the instance is < 1h old
+};
+
+/// The billing axes a MarketRegime selects. Defaults are classic 2012.
+struct BillingRules {
+  BillingGranularity granularity = BillingGranularity::kHourly;
+  /// Per-instance minimum charge under kPerSecond (EC2: 60 s). Ignored
+  /// under kHourly.
+  Duration minimum = 0;
+  RefundRule refund = RefundRule::kProviderForfeitsCycle;
+
+  bool operator==(const BillingRules&) const = default;
+};
+
 /// One charge on the bill.
 struct LineItem {
   enum class Kind {
     kSpotHour,          ///< a completed spot billing cycle
     kSpotUserPartial,   ///< user-terminated cycle, charged in full
     kOnDemandHour,      ///< a started on-demand hour
+    kSpotUsage,         ///< per-second spot usage (partial cycle)
+    kOnDemandUsage,     ///< per-second on-demand usage
   };
   Kind kind = Kind::kSpotHour;
   std::size_t zone = 0;      ///< zone index (0 for on-demand)
@@ -47,9 +90,27 @@ struct LineItem {
 
 std::string to_string(LineItem::Kind kind);
 
+/// True for the kinds that bill on-demand (vs spot) capacity.
+inline bool is_on_demand(LineItem::Kind kind) {
+  return kind == LineItem::Kind::kOnDemandHour ||
+         kind == LineItem::Kind::kOnDemandUsage;
+}
+
+/// Exact proration of an hourly rate over `seconds` of usage: floor of
+/// rate x seconds / 3600 in micro-dollars. Deterministic integer
+/// arithmetic — no doubles anywhere near the bill.
+inline Money prorate_hourly(Money rate, Duration seconds) {
+  return Money::from_micros(rate.micros() * seconds / kHour);
+}
+
 /// Billing state for the instances of one experiment run.
 class BillingLedger {
  public:
+  /// Selects the rule set. Call before any usage is reported; defaults to
+  /// classic 2012 rules.
+  void set_rules(const BillingRules& rules) { rules_ = rules; }
+  const BillingRules& rules() const { return rules_; }
+
   /// Reports a spot instance entering the running state in `zone` at `t`;
   /// `rate` is the zone's spot price at `t` (locks the first cycle's rate).
   void spot_started(std::size_t zone, SimTime t, Money rate);
@@ -66,8 +127,10 @@ class BillingLedger {
   /// boundary). Requires spot_running(zone).
   void cycle_boundary(std::size_t zone, Money next_rate);
 
-  /// Terminates the zone's instance at `t`. Out-of-bid forfeits the open
-  /// partial cycle; user termination charges it in full.
+  /// Terminates the zone's instance at `t`. What the open partial cycle
+  /// costs depends on the rules: classically, out-of-bid forfeits it and
+  /// user termination charges it in full; per-second granularity prorates
+  /// a user stop, and the refund rule decides provider kills.
   void spot_terminated(std::size_t zone, SimTime t, TerminationCause cause);
 
   /// Stops the zone exactly at its cycle boundary: charges the completed
@@ -77,7 +140,8 @@ class BillingLedger {
   void spot_stopped_at_boundary(std::size_t zone);
 
   /// Charges on-demand usage of [start, start + used): one `rate` charge
-  /// per started hour.
+  /// per started hour classically, or a single prorated usage item (with
+  /// the per-instance minimum) under per-second granularity.
   void on_demand_usage(SimTime start, Duration used, Money rate);
 
   Money total() const { return total_; }
@@ -90,12 +154,20 @@ class BillingLedger {
     bool open = false;
     SimTime start = 0;
     Money rate;
+    /// When this zone's current instance first started (survives cycle
+    /// boundaries) — anchors the per-second minimum and the first-hour
+    /// refund window.
+    SimTime instance_start = 0;
   };
 
   OpenCycle& cycle_for(std::size_t zone);
   const OpenCycle& cycle_for(std::size_t zone) const;
   void charge(LineItem item);
+  /// Bills the open partial cycle [c.start, t) by the second, honouring
+  /// the per-instance minimum, and emits nothing when the charge is zero.
+  void charge_partial_per_second(std::size_t zone, OpenCycle& c, SimTime t);
 
+  BillingRules rules_;
   std::vector<OpenCycle> cycles_;  // indexed by zone, grown on demand
   std::vector<LineItem> items_;
   Money total_;

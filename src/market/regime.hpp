@@ -1,0 +1,97 @@
+// Market regimes: the pluggable rule set for "which cloud are we on".
+//
+// The paper's evaluation assumes the EC2 of 2012: hourly billing with the
+// interrupted partial hour refunded, no warning before an out-of-bid
+// kill, and a single instance type whose zones move independently. None
+// of those survived: EC2 bills per second (60 s minimum) since 2017,
+// stopped refunding interrupted partials, sends a 2-minute capacity
+// rebalance / interruption notice, and modern fleets span many instance
+// types whose prices co-move. A MarketRegime bundles those axes so the
+// engine, the policies, and the sweep/ensemble cache keys can treat
+// "which market" as configuration instead of a fork (DESIGN.md §15).
+//
+// The default-constructed regime is bit-identical to the classic engine:
+// every regime field is threaded through the stack such that the classic
+// values reproduce the pre-regime behaviour exactly (the PR-5 oracle
+// suite and the md5-gated figure reproductions pin this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/money.hpp"
+#include "common/time.hpp"
+#include "market/billing.hpp"
+
+namespace redspot {
+
+/// One instance type in a regime's universe. `price_scale` is the type's
+/// price level relative to the paper's cc2.8xlarge baseline: a type at
+/// scale 0.5 trades at half the price (spot and on-demand) with the same
+/// dynamics. Normalized prices (price / scale) are what cross-type
+/// policies like index_track compare.
+struct InstanceTypeSpec {
+  std::string api_name;
+  double price_scale = 1.0;
+
+  bool operator==(const InstanceTypeSpec&) const = default;
+};
+
+/// The market rule set for one run. Value type; compare with == for the
+/// batching homogeneity gate.
+struct MarketRegime {
+  /// Catalog name ("classic-2012", "per-second", ...); also the knob the
+  /// CLI / head-to-head harness selects regimes by.
+  std::string name = "classic-2012";
+
+  BillingRules billing;
+
+  /// Lead time of the capacity-rebalance warning before a provider kill
+  /// (EC2: 120 s). Zero means kills land unannounced, as in 2012. When
+  /// positive, an out-of-bid price tick delivers a kRebalanceNotice event
+  /// and moves the zone to kRebalanceWarned for the lead time instead of
+  /// terminating on the spot. Mutually exclusive with the Appendix-A
+  /// EngineOptions::termination_notice ablation knob.
+  Duration rebalance_notice = 0;
+
+  /// Instance-type universe. Empty means the paper's single-type market.
+  /// With k types, a k-zone trace set fans out to k x zones lanes whose
+  /// price processes share innovations per `type_correlation`
+  /// (market/universe.hpp builds the fan-out).
+  std::vector<InstanceTypeSpec> types;
+
+  /// Cross-type innovation correlation (k x k, symmetric positive
+  /// definite, unit diagonal). Row/column order matches `types`. Empty
+  /// with empty `types`.
+  std::vector<std::vector<double>> type_correlation;
+
+  bool operator==(const MarketRegime&) const = default;
+
+  /// Named constructors — the three regimes of the head-to-head matrix
+  /// plus the multi-type showcase.
+  static MarketRegime classic_2012();   ///< the paper's market (default)
+  static MarketRegime per_second();     ///< per-second billing, no refund
+  static MarketRegime rebalance();      ///< classic billing + 2-min notice
+  static MarketRegime modern_multi();   ///< per-second + notice + 3 types
+
+  /// Shared immutable classic instance (for defaulted references).
+  static const MarketRegime& classic();
+};
+
+/// All named regimes, classic first.
+const std::vector<MarketRegime>& regime_catalog();
+
+/// Looks up a catalog regime by name; throws CheckFailure when unknown.
+const MarketRegime& regime_by_name(const std::string& name);
+
+/// Folds every regime field into `h` (order-sensitive). Part of
+/// hash_engine_options, hence of every sweep/journal/ensemble key.
+void hash_regime(HashStream& h, const MarketRegime& regime);
+
+/// Convenience: the 64-bit fingerprint of a regime alone (serve-plane
+/// ModelSpec embeds this rather than the full struct).
+std::uint64_t regime_fingerprint(const MarketRegime& regime);
+
+}  // namespace redspot

@@ -1,0 +1,110 @@
+#include "market/universe.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/random.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "trace/calendar.hpp"
+
+namespace redspot {
+
+namespace {
+
+/// Weight of the cross-type factor in each lane's innovation. Lanes of
+/// types t, u end up correlated at ~ w^2 * C(t, u): strong enough for the
+/// VAR residual analysis to resolve the regime's correlation matrix,
+/// weak enough that each lane keeps most of its own variance.
+constexpr double kTypeFactorWeight = 0.6;
+
+/// Derives type t's generator seed so no two types share dwell or spike
+/// streams (generate_traces keys its streams on the spec seed alone).
+std::uint64_t type_seed(std::uint64_t seed, std::size_t t) {
+  std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (t + 1));
+  return splitmix64(state);
+}
+
+}  // namespace
+
+UniverseTraces generate_universe(const MarketRegime& regime,
+                                 const SyntheticTraceSpec& base) {
+  const std::size_t num_types = regime.types.size();
+  REDSPOT_CHECK_MSG(num_types > 0, "regime has no instance-type universe");
+  REDSPOT_CHECK(base.num_zones > 0 && !base.params.empty());
+
+  // Step count of the base span (same arithmetic as generate_traces).
+  SimTime span = 0;
+  for (std::size_t m = 0; m < base.params.size(); ++m)
+    span += (m < kTraceMonths ? days_in_month(m) : 30) * kDay;
+  const auto num_steps = static_cast<std::size_t>(span / base.step);
+
+  Matrix corr;
+  if (regime.type_correlation.empty()) {
+    corr = Matrix::identity(num_types);
+  } else {
+    REDSPOT_CHECK_MSG(regime.type_correlation.size() == num_types,
+                      "type_correlation does not match the type count");
+    corr = Matrix(num_types, num_types);
+    for (std::size_t i = 0; i < num_types; ++i) {
+      REDSPOT_CHECK(regime.type_correlation[i].size() == num_types);
+      for (std::size_t j = 0; j < num_types; ++j)
+        corr(i, j) = regime.type_correlation[i][j];
+    }
+  }
+  const Matrix chol = cholesky_lower(corr);
+
+  // One correlated factor vector per step: factor[t][i] = (L * raw_i)[t].
+  Rng factor_rng(base.seed, /*stream=*/0xFAC708);
+  std::vector<std::vector<double>> factor(
+      num_types, std::vector<double>(num_steps));
+  std::vector<double> raw(num_types);
+  for (std::size_t i = 0; i < num_steps; ++i) {
+    for (std::size_t t = 0; t < num_types; ++t) raw[t] = factor_rng.normal();
+    for (std::size_t t = 0; t < num_types; ++t) {
+      double g = 0.0;
+      for (std::size_t j = 0; j <= t; ++j) g += chol(t, j) * raw[j];
+      factor[t][i] = g;
+    }
+  }
+
+  const double own_weight =
+      std::sqrt(1.0 - kTypeFactorWeight * kTypeFactorWeight);
+
+  UniverseTraces out;
+  out.zones_per_type = base.num_zones;
+  std::vector<std::string> names;
+  std::vector<PriceSeries> series;
+  names.reserve(num_types * base.num_zones);
+  series.reserve(num_types * base.num_zones);
+
+  for (std::size_t t = 0; t < num_types; ++t) {
+    const InstanceTypeSpec& type = regime.types[t];
+    SyntheticTraceSpec spec = scaled_spec(base, type.price_scale);
+    spec.seed = type_seed(base.seed, t);
+
+    std::vector<std::vector<double>> innovations(
+        base.num_zones, std::vector<double>(num_steps));
+    for (std::size_t z = 0; z < base.num_zones; ++z) {
+      Rng own(spec.seed, /*stream=*/0x10000 + z);
+      for (std::size_t i = 0; i < num_steps; ++i)
+        innovations[z][i] =
+            own_weight * own.normal() + kTypeFactorWeight * factor[t][i];
+    }
+    spec.innovation_override = &innovations;
+
+    ZoneTraceSet set = generate_traces(spec);
+    for (std::size_t z = 0; z < base.num_zones; ++z) {
+      names.push_back(type.api_name + "/" + set.zone_name(z));
+      series.push_back(set.zone(z));
+      out.lane_scale.push_back(type.price_scale);
+      out.lane_type.push_back(t);
+    }
+  }
+  out.traces = ZoneTraceSet(std::move(names), std::move(series));
+  return out;
+}
+
+}  // namespace redspot

@@ -1,0 +1,56 @@
+// Multi-type price universe (DESIGN.md §15).
+//
+// The classic engine prices one instance type across Z availability
+// zones. A MarketRegime with a non-empty instance-type universe instead
+// prices T types x Z zones as T*Z lanes over one joint stochastic
+// process: each type replays the calibrated per-zone generator at its own
+// price scale (a c5.9xlarge trades at half a c5.18xlarge), and the types'
+// innovations are colored through the Cholesky factor of the regime's
+// type-correlation matrix — capacity pressure that raises one type's
+// price tends to raise its substitutes' too, which is exactly the
+// correlation structure index-tracking policies exploit and redundancy
+// arguments must survive.
+//
+// Construction: per step, draw T iid factor normals and color them with
+// cholesky_lower(type_correlation); each lane's innovation is then
+// sqrt(1-w^2) * own_noise + w * factor[type], with w fixed below, so
+// lanes of types t and u correlate at ~ w^2 * C(t, u) while staying
+// unit-variance. The per-type own streams are reseeded with a splitmix
+// derivation so no two types share dwell or spike randomness. Everything
+// is deterministic in (spec.seed, regime).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "market/regime.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/zone_traces.hpp"
+
+namespace redspot {
+
+/// T*Z lanes of aligned prices plus the per-lane typing metadata policies
+/// need to normalize across types (index tracking divides by lane_scale).
+struct UniverseTraces {
+  /// Lane order is type-major: lane(t, z) = t * zones_per_type + z. Lanes
+  /// are named "<type api_name>/<zone name>".
+  ZoneTraceSet traces;
+  std::vector<double> lane_scale;      ///< per-lane InstanceTypeSpec scale
+  std::vector<std::size_t> lane_type;  ///< per-lane index into regime.types
+  std::size_t zones_per_type = 0;
+
+  std::size_t num_types() const {
+    return zones_per_type == 0 ? 0 : lane_scale.size() / zones_per_type;
+  }
+  std::size_t lane(std::size_t type, std::size_t zone) const {
+    return type * zones_per_type + zone;
+  }
+};
+
+/// Generates the T*Z-lane universe of `regime` (which must have a
+/// non-empty type universe) from the single-type calibration in `base`.
+/// An empty regime.type_correlation means independent types.
+UniverseTraces generate_universe(const MarketRegime& regime,
+                                 const SyntheticTraceSpec& base);
+
+}  // namespace redspot

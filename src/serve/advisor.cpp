@@ -17,6 +17,7 @@ std::uint64_t ModelSpec::spec_hash() const {
   h.u64(max_zones);
   h.u64(policies.size());
   for (PolicyKind p : policies) h.u64(static_cast<std::uint64_t>(p));
+  h.u64(regime_fingerprint);
   return h.digest();
 }
 

@@ -43,6 +43,10 @@ struct ModelSpec {
   std::size_t max_zones = 3;
   std::vector<PolicyKind> policies = {PolicyKind::kPeriodic,
                                       PolicyKind::kMarkovDaly};
+  /// Fingerprint of the market regime the advice is computed for
+  /// (market/regime.hpp regime_fingerprint). 0 = classic 2012; distinct
+  /// regimes never share models or cached advice.
+  std::uint64_t regime_fingerprint = 0;
 
   /// Order-sensitive fingerprint of every field; the registry key.
   std::uint64_t spec_hash() const;

@@ -65,6 +65,7 @@ void put_spec(std::string& out, const ModelSpec& spec) {
   put_u64(out, spec.policies.size());
   for (PolicyKind p : spec.policies)
     put_u32(out, static_cast<std::uint32_t>(p));
+  put_u64(out, spec.regime_fingerprint);
 }
 
 bool read_spec(ByteReader& in, ModelSpec* spec) {
@@ -82,6 +83,7 @@ bool read_spec(ByteReader& in, ModelSpec* spec) {
     if (!in.u32(&p)) return false;
     spec->policies.push_back(static_cast<PolicyKind>(p));
   }
+  if (!in.u64(&spec->regime_fingerprint)) return false;
   return true;
 }
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "core/adaptive/adaptive_runner.hpp"
 #include "core/engine.hpp"
 #include "core/policies/large_bid.hpp"
@@ -84,8 +85,11 @@ std::string result_line(int i, OracleStrategy s, const RunResult& r) {
   return buf;
 }
 
-/// Deterministically derives config `i` and runs it to completion.
-std::string run_config(int i) {
+/// Deterministically derives config `i` and runs it to completion. With
+/// `explicit_classic_regime` the classic-2012 MarketRegime is set on the
+/// EngineOptions by name instead of relying on the default — the two must
+/// be indistinguishable.
+std::string run_config(int i, bool explicit_classic_regime = false) {
   Rng rng(0x0DAC1E5EED, static_cast<std::uint64_t>(i));
 
   const auto strategy_kind = static_cast<OracleStrategy>(i % 6);
@@ -119,6 +123,7 @@ std::string run_config(int i) {
 
   EngineOptions options;
   options.termination_notice = notice;
+  if (explicit_classic_regime) options.regime = MarketRegime::classic_2012();
   if (with_faults) {
     options.faults.ckpt_write_failure_rate = 0.15;
     options.faults.ckpt_corruption_rate = 0.10;
@@ -191,6 +196,27 @@ TEST(EngineOracle, MatchesPreRefactorResults) {
   ASSERT_EQ(expected.size(), lines.size());
   for (std::size_t i = 0; i < lines.size(); ++i)
     EXPECT_EQ(lines[i], expected[i]) << "config " << i;
+}
+
+// The regime refactor's safety net: selecting kClassic2012 explicitly is
+// bit-identical to the seed engine (whose results the golden file pins
+// through the test above), across every strategy / fault / notice shape
+// in the rotation. Also pins that the classic regime does not perturb the
+// engine-options hash — journal and ensemble keys written before the
+// regime layer existed must keep resolving.
+TEST(EngineOracle, Classic2012RegimeIsBitIdenticalToDefault) {
+  for (const int i : {0, 5, 10, 16, 23, 35, 47}) {
+    EXPECT_EQ(run_config(i, /*explicit_classic_regime=*/true), run_config(i))
+        << "config " << i;
+  }
+  EngineOptions defaults;
+  EngineOptions classic;
+  classic.regime = MarketRegime::classic_2012();
+  HashStream hd;
+  hash_engine_options(hd, defaults);
+  HashStream hc;
+  hash_engine_options(hc, classic);
+  EXPECT_EQ(hd.digest(), hc.digest());
 }
 
 }  // namespace

@@ -3,12 +3,17 @@
 // ScheduleNextCheckpoint() contract is pinned down in isolation.
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "core/policies/index_track.hpp"
 #include "core/policies/large_bid.hpp"
 #include "core/policies/markov_daly.hpp"
 #include "core/policies/periodic.hpp"
+#include "core/policies/randomized_bid.hpp"
 #include "core/policies/rising_edge.hpp"
 #include "core/policies/threshold.hpp"
 #include "core/policy.hpp"
+#include "market/regime.hpp"
 #include "test_util.hpp"
 
 namespace redspot {
@@ -58,6 +63,7 @@ class FakeView final : public EngineView {
   SimTime billing_cycle_end(std::size_t z) const override {
     return cycle_end_[z];
   }
+  const MarketRegime& regime() const override { return regime_; }
 
   // Script state (public on purpose — it's a fake).
   SimTime now_ = 10'000;
@@ -75,6 +81,7 @@ class FakeView final : public EngineView {
   Duration progress_[3] = {1000, 0, 0};
   SimTime compute_since_ = 9'000;
   SimTime cycle_end_[3] = {12'000, 0, 0};
+  MarketRegime regime_ = MarketRegime::classic_2012();
 };
 
 // --- Periodic --------------------------------------------------------------------
@@ -238,6 +245,108 @@ TEST(LargeBidPolicy, Constants) {
   EXPECT_FALSE(naive.should_manual_stop(view, 0));
 }
 
+TEST(LargeBidPolicy, PerSecondBillingDisablesManualStops) {
+  // The manual stop exists to dodge paying a full hour at a spiked rate;
+  // per-second billing removes that commitment, so the policy rides
+  // through excursions instead of churning stop/restart cycles.
+  FakeView view;
+  view.regime_ = MarketRegime::per_second();
+  LargeBidPolicy policy(Money::cents(81));
+  view.prices_[0] = Money::dollars(0.90);  // above L: classic would stop
+  EXPECT_FALSE(policy.should_manual_stop(view, 0));
+  view.regime_ = MarketRegime::classic_2012();
+  EXPECT_TRUE(policy.should_manual_stop(view, 0));
+}
+
+// --- Randomized-bid ------------------------------------------------------------------
+
+TEST(RandomizedBidPolicy, DrawIsDeterministicQuantizedAndInRange) {
+  const Money lo = Money::cents(27);
+  const Money hi = Money::dollars(2.40);
+  EXPECT_EQ(RandomizedBidPolicy::draw_bid(42, lo, hi),
+            RandomizedBidPolicy::draw_bid(42, lo, hi));
+  std::set<std::int64_t> draws;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const Money d = RandomizedBidPolicy::draw_bid(seed, lo, hi);
+    EXPECT_GE(d, lo);
+    EXPECT_LE(d, hi);
+    EXPECT_EQ(d.micros() % 1000, 0) << "off the $0.001 bid grid";
+    draws.insert(d.micros());
+  }
+  // The draw is a distribution, not a point.
+  EXPECT_GT(draws.size(), 20u);
+  // Skewed toward the ceiling: most draws land in the upper half.
+  const std::int64_t mid = (lo.micros() + hi.micros()) / 2;
+  std::size_t upper = 0;
+  for (const std::int64_t d : draws)
+    if (d > mid) ++upper;
+  EXPECT_GT(upper * 2, draws.size());
+}
+
+TEST(RandomizedBidPolicy, ChecksOnRisingTickIntoDangerBand) {
+  FakeView view;
+  view.bid_ = Money::cents(81);  // danger band starts at 0.8 * 0.81 = 0.648
+  RandomizedBidPolicy policy;
+  view.previous_prices_[0] = Money::dollars(0.30);
+  view.prices_[0] = Money::dollars(0.70);  // rising into the band
+  EXPECT_TRUE(policy.checkpoint_condition(view));
+  view.prices_[0] = Money::dollars(0.60);  // rising, still below the band
+  EXPECT_FALSE(policy.checkpoint_condition(view));
+  view.previous_prices_[0] = Money::dollars(0.75);
+  view.prices_[0] = Money::dollars(0.70);  // in the band but falling
+  EXPECT_FALSE(policy.checkpoint_condition(view));
+  view.previous_prices_[0] = Money::dollars(0.30);
+  view.running_[0] = false;  // idle zones can't lose progress
+  EXPECT_FALSE(policy.checkpoint_condition(view));
+}
+
+TEST(RandomizedBidPolicy, KeepsThePeriodicBoundaryBackstop) {
+  FakeView view;
+  RandomizedBidPolicy policy;
+  // Boundary at 12000, t_c = 300: same pre-boundary slot as Periodic.
+  EXPECT_EQ(policy.schedule_next_checkpoint(view), 11'700);
+  view.running_[0] = false;
+  EXPECT_EQ(policy.schedule_next_checkpoint(view), kNever);
+}
+
+// --- Index-track ---------------------------------------------------------------------
+
+TEST(IndexTrackPolicy, TracksTheCheapestLanesWithDeterministicTies) {
+  FakeView view;
+  view.zones_ = {0, 1, 2};
+  view.prices_[0] = Money::dollars(0.30);
+  view.prices_[1] = Money::dollars(0.25);
+  view.prices_[2] = Money::dollars(0.40);
+  IndexTrackPolicy policy(/*target_active=*/1);
+  EXPECT_TRUE(policy.wants_pre_boundary_checks());
+  EXPECT_FALSE(policy.in_index(view, 0));
+  EXPECT_TRUE(policy.in_index(view, 1));
+  EXPECT_TRUE(policy.should_manual_stop(view, 0));
+  EXPECT_TRUE(policy.should_resume(view, 1));
+  // Ties break to the lower zone index, so the index stays a function.
+  view.prices_[0] = Money::dollars(0.25);
+  EXPECT_TRUE(policy.in_index(view, 0));
+  EXPECT_FALSE(policy.in_index(view, 1));
+  // A wider index admits both.
+  IndexTrackPolicy two(/*target_active=*/2);
+  EXPECT_TRUE(two.in_index(view, 1));
+  EXPECT_FALSE(two.in_index(view, 2));
+}
+
+TEST(IndexTrackPolicy, LaneScaleNormalizesAcrossInstanceTypes) {
+  FakeView view;
+  view.zones_ = {0, 1};
+  view.prices_[0] = Money::dollars(0.30);  // scale 1.0 -> 0.30
+  view.prices_[1] = Money::dollars(0.20);  // scale 0.5 -> 0.40 normalized
+  IndexTrackPolicy policy(1, {1.0, 0.5});
+  EXPECT_TRUE(policy.in_index(view, 0));
+  EXPECT_FALSE(policy.in_index(view, 1));
+  // Without scales the nominally cheaper lane would win.
+  IndexTrackPolicy unscaled(1);
+  EXPECT_FALSE(unscaled.in_index(view, 0));
+  EXPECT_TRUE(unscaled.in_index(view, 1));
+}
+
 // --- Factory -------------------------------------------------------------------------
 
 TEST(PolicyFactory, MakesEveryKind) {
@@ -249,6 +358,16 @@ TEST(PolicyFactory, MakesEveryKind) {
     EXPECT_EQ(policy->name(), to_string(kind));
     EXPECT_FALSE(policy->wants_pre_boundary_checks());
   }
+}
+
+TEST(PolicyFactory, MakesTheZooEntries) {
+  const auto randomized = make_policy(PolicyKind::kRandomizedBid);
+  ASSERT_NE(randomized, nullptr);
+  EXPECT_EQ(randomized->name(), "randomized-bid");
+  const auto tracker = make_policy(PolicyKind::kIndexTrack);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_EQ(tracker->name(), "index-track");
+  EXPECT_TRUE(tracker->wants_pre_boundary_checks());
 }
 
 }  // namespace

@@ -243,6 +243,95 @@ TEST(CsvIo, RejectsNanAndNegativePricesWithLineNumbers) {
   }
 }
 
+TEST(CsvIo, TypedColumnGroupsRowsIntoPerTypeLanes) {
+  std::istringstream in(
+      "time,instance_type,us-east-1a,us-east-1b\n"
+      "0,cc2.8xlarge,0.270,0.271\n"
+      "0,m1.small,0.027,0.028\n"
+      "300,cc2.8xlarge,0.275,0.270\n"
+      "300,m1.small,0.027,0.029\n");
+  const ZoneTraceSet parsed = read_csv(in);
+  ASSERT_EQ(parsed.num_zones(), 4u);
+  // Type-major in first-appearance order, universe-style lane names.
+  EXPECT_EQ(parsed.zone_name(0), "cc2.8xlarge/us-east-1a");
+  EXPECT_EQ(parsed.zone_name(1), "cc2.8xlarge/us-east-1b");
+  EXPECT_EQ(parsed.zone_name(2), "m1.small/us-east-1a");
+  EXPECT_EQ(parsed.zone_name(3), "m1.small/us-east-1b");
+  EXPECT_EQ(parsed.zone(0).sample(1), Money::parse("0.275"));
+  EXPECT_EQ(parsed.zone(3).sample(1), Money::parse("0.029"));
+  EXPECT_EQ(parsed.start(), 0);
+  EXPECT_EQ(parsed.step(), 300);
+}
+
+TEST(CsvIo, RejectsMixedTypedAndUntypedRowsWithLineNumbers) {
+  {
+    // Untyped row (no type field) inside a typed file.
+    std::istringstream in(
+        "time,instance_type,a\n"
+        "0,cc2.8xlarge,0.270\n"
+        "300,0.275\n"
+        "600,cc2.8xlarge,0.270\n");
+    try {
+      read_csv(in);
+      FAIL() << "untyped row in typed file accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("untyped row"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // Typed row inside an untyped file.
+    std::istringstream in(
+        "time,a\n"
+        "0,0.270\n"
+        "300,cc2.8xlarge,0.275\n");
+    try {
+      read_csv(in);
+      FAIL() << "typed row in untyped file accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("typed row"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // Empty type field.
+    std::istringstream in("time,instance_type,a\n0,,0.270\n300,,0.275\n");
+    try {
+      read_csv(in);
+      FAIL() << "empty instance_type accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("empty instance_type"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(CsvIo, RejectsTypesOnDifferentTimeGrids) {
+  // m1.small is missing its t=300 row.
+  std::istringstream in(
+      "time,instance_type,a\n"
+      "0,cc2.8xlarge,0.270\n"
+      "0,m1.small,0.027\n"
+      "300,cc2.8xlarge,0.275\n"
+      "600,cc2.8xlarge,0.270\n"
+      "600,m1.small,0.028\n");
+  try {
+    read_csv(in);
+    FAIL() << "mismatched per-type time grids accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("different time grid"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(CsvIo, RejectsNonMonotoneTimestampsWithLineNumbers) {
   for (const char* body : {"time,a\n0,0.3\n300,0.3\n200,0.3\n",   // decreasing
                            "time,a\n0,0.3\n300,0.3\n300,0.3\n",   // repeated

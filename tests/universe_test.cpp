@@ -1,0 +1,170 @@
+// Multi-type universe suite (DESIGN.md §15): the Cholesky factorization
+// behind correlated type innovations, the price-scale replay property of
+// scaled_spec, the universe's lane metadata, and the end-to-end check
+// that the regime's type-correlation matrix actually materializes in the
+// generated lanes' VAR residuals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "market/regime.hpp"
+#include "market/universe.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/var.hpp"
+#include "trace/zone_traces.hpp"
+
+namespace redspot {
+namespace {
+
+/// One calm month, default calibration, `zones` zones.
+SyntheticTraceSpec small_spec(std::size_t zones) {
+  SyntheticTraceSpec spec;
+  spec.seed = 11;
+  spec.num_zones = zones;
+  spec.params.assign(1, std::vector<ZoneMonthParams>(zones));
+  return spec;
+}
+
+TEST(CholeskyLower, FactorsSpdMatricesAndRejectsTheRest) {
+  const Matrix a{{1.0, 0.8, 0.5}, {0.8, 1.0, 0.6}, {0.5, 0.6, 1.0}};
+  const Matrix l = cholesky_lower(a);
+  const Matrix recon = l * l.transposed();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(recon(i, j), a(i, j), 1e-12) << i << "," << j;
+      if (j > i) {
+        EXPECT_EQ(l(i, j), 0.0);  // strictly lower triangular
+      }
+    }
+  }
+  Matrix asym = a;
+  asym(0, 1) = 0.3;
+  EXPECT_THROW(cholesky_lower(asym), CheckFailure);
+  const Matrix indefinite{{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_THROW(cholesky_lower(indefinite), CheckFailure);
+  EXPECT_THROW(cholesky_lower(Matrix(2, 3)), CheckFailure);
+}
+
+TEST(ScaledSpec, ReplaysTheSameSamplePathAtScale) {
+  const SyntheticTraceSpec spec = small_spec(1);
+  const ZoneTraceSet base = generate_traces(spec);
+  for (const double k : {0.5, 2.0}) {
+    const ZoneTraceSet scaled = generate_traces(scaled_spec(spec, k));
+    ASSERT_EQ(scaled.zone(0).size(), base.zone(0).size());
+    for (std::size_t i = 0; i < base.zone(0).size(); ++i) {
+      // Same dwell/publish/innovation draws, k times the price level —
+      // exact up to the independent $0.001 quantizations.
+      EXPECT_NEAR(scaled.zone(0).sample(i).to_double(),
+                  k * base.zone(0).sample(i).to_double(), 0.002)
+          << "k=" << k << " step " << i;
+    }
+  }
+}
+
+TEST(GenerateUniverse, LaneMetadataIsTypeMajor) {
+  const MarketRegime regime = MarketRegime::modern_multi();
+  const SyntheticTraceSpec base = small_spec(2);
+  const UniverseTraces u = generate_universe(regime, base);
+
+  EXPECT_EQ(u.zones_per_type, 2u);
+  EXPECT_EQ(u.num_types(), 3u);
+  ASSERT_EQ(u.traces.num_zones(), 6u);
+  const std::vector<double> want_scale = {1.0, 1.0, 0.5, 0.5, 0.25, 0.25};
+  const std::vector<std::size_t> want_type = {0, 0, 1, 1, 2, 2};
+  EXPECT_EQ(u.lane_scale, want_scale);
+  EXPECT_EQ(u.lane_type, want_type);
+  EXPECT_EQ(u.lane(1, 1), 3u);
+  EXPECT_EQ(u.traces.zone_name(0).rfind("c5.18xlarge/", 0), 0u);
+  EXPECT_EQ(u.traces.zone_name(3).rfind("c5.9xlarge/", 0), 0u);
+  EXPECT_EQ(u.traces.zone(0).size(), generate_traces(base).zone(0).size());
+
+  // Price levels track the type scales: the half-scale type trades at
+  // about half the flagship's level.
+  const auto mean_price = [&u](std::size_t lane) {
+    double sum = 0.0;
+    const PriceSeries& s = u.traces.zone(lane);
+    for (std::size_t i = 0; i < s.size(); ++i) sum += s.sample(i).to_double();
+    return sum / static_cast<double>(s.size());
+  };
+  EXPECT_NEAR(mean_price(u.lane(1, 0)) / mean_price(u.lane(0, 0)), 0.5, 0.05);
+}
+
+TEST(GenerateUniverse, RequiresATypeUniverse) {
+  EXPECT_THROW(
+      generate_universe(MarketRegime::classic_2012(), small_spec(1)),
+      CheckFailure);
+}
+
+TEST(GenerateUniverse, TypeCorrelationMaterializesInVarResiduals) {
+  // Two identically-scaled types, one zone each, calibrated so almost
+  // every innovation reaches the published price (no clamp, no spikes,
+  // high publish probability).
+  const auto make_regime = [](double rho) {
+    MarketRegime r;
+    r.name = "corr-test";
+    r.types = {{"type-a", 1.0}, {"type-b", 1.0}};
+    r.type_correlation = {{1.0, rho}, {rho, 1.0}};
+    return r;
+  };
+  SyntheticTraceSpec base = small_spec(1);
+  base.floor = Money::cents(1);
+  base.cap = Money::dollars(50.0);
+  base.params[0][0].calm.level = 1.0;
+  base.params[0][0].calm.innovation_sd = 0.05;
+  base.params[0][0].calm.change_prob = 0.95;
+
+  const auto off_diagonal = [&base, &make_regime](double rho) {
+    const UniverseTraces u = generate_universe(make_regime(rho), base);
+    std::vector<std::vector<double>> series(2);
+    for (std::size_t lane = 0; lane < 2; ++lane) {
+      const PriceSeries& s = u.traces.zone(lane);
+      series[lane].reserve(s.size());
+      for (std::size_t i = 0; i < s.size(); ++i)
+        series[lane].push_back(s.sample(i).to_double());
+    }
+    const Matrix rc = residual_correlation(fit_var(series, 1));
+    EXPECT_EQ(rc(0, 0), 1.0);
+    EXPECT_NEAR(rc(0, 1), rc(1, 0), 1e-12);
+    return rc(0, 1);
+  };
+
+  // Lane innovations mix the type factor at weight w = 0.6, so lanes of
+  // types correlated at rho land near w^2 * rho; the AR(1) publish gating
+  // attenuates further. The comparative assertion is what matters.
+  const double correlated = off_diagonal(0.8);
+  const double independent = off_diagonal(0.0);
+  EXPECT_GT(correlated, 0.15);
+  EXPECT_LT(std::fabs(independent), 0.1);
+  EXPECT_GT(correlated, independent + 0.1);
+}
+
+TEST(InnovationOverride, DimensionsAreValidated) {
+  SyntheticTraceSpec spec = small_spec(2);
+  const std::vector<std::vector<double>> wrong_zones(
+      1, std::vector<double>(16, 0.0));
+  spec.innovation_override = &wrong_zones;
+  EXPECT_THROW(generate_traces(spec), CheckFailure);
+
+  const std::size_t steps = generate_traces(small_spec(2)).zone(0).size();
+  const std::vector<std::vector<double>> wrong_steps(
+      2, std::vector<double>(steps - 1, 0.0));
+  spec.innovation_override = &wrong_steps;
+  EXPECT_THROW(generate_traces(spec), CheckFailure);
+
+  // Matching dims generate; zero innovations pin the price to the regime
+  // level (quantized), which pins the override plumbing end to end.
+  const std::vector<std::vector<double>> zeros(
+      2, std::vector<double>(steps, 0.0));
+  spec.innovation_override = &zeros;
+  const ZoneTraceSet flat = generate_traces(spec);
+  ASSERT_EQ(flat.zone(0).size(), steps);
+  EXPECT_NEAR(flat.zone(0).sample(steps / 2).to_double(), 0.30, 0.001);
+}
+
+}  // namespace
+}  // namespace redspot

@@ -1,5 +1,5 @@
 // Zone state machine: the legal-transition table is pinned exhaustively
-// (every one of the 7x7 pairs), and every ZoneMachine operation is driven
+// (every one of the 8x8 pairs), and every ZoneMachine operation is driven
 // through its legal states plus a rejected illegal attempt from a state
 // that must not allow it.
 #include <gtest/gtest.h>
@@ -18,7 +18,7 @@ namespace {
 
 using S = ZoneState;
 
-/// The 16 legal transitions, straight from the design table.
+/// The 20 legal transitions, straight from the design table.
 const std::pair<S, S> kLegal[] = {
     {S::kDown, S::kWaiting},        {S::kDown, S::kQueued},
     {S::kDown, S::kStopped},        {S::kWaiting, S::kDown},
@@ -26,7 +26,11 @@ const std::pair<S, S> kLegal[] = {
     {S::kQueued, S::kRunning},      {S::kQueued, S::kDown},
     {S::kRestarting, S::kRunning},  {S::kRestarting, S::kDown},
     {S::kRunning, S::kCheckpointing}, {S::kRunning, S::kDown},
+    {S::kRunning, S::kRebalanceWarned},
     {S::kCheckpointing, S::kRunning}, {S::kCheckpointing, S::kDown},
+    {S::kCheckpointing, S::kRebalanceWarned},
+    {S::kRebalanceWarned, S::kCheckpointing},
+    {S::kRebalanceWarned, S::kDown},
     {S::kStopped, S::kWaiting},     {S::kStopped, S::kDown},
 };
 
@@ -48,7 +52,7 @@ TEST(ZoneState, TransitionTableMatchesTheDesignExactly) {
       if (transition_allowed(from, to)) ++allowed;
     }
   }
-  EXPECT_EQ(allowed, 16);
+  EXPECT_EQ(allowed, 20);
 }
 
 TEST(ZoneState, ActivityPredicatesAndNames) {
@@ -59,6 +63,12 @@ TEST(ZoneState, ActivityPredicatesAndNames) {
   EXPECT_TRUE(is_active(S::kRestarting));
   EXPECT_TRUE(is_active(S::kRunning));
   EXPECT_TRUE(is_active(S::kCheckpointing));
+  EXPECT_TRUE(is_active(S::kRebalanceWarned));
+
+  EXPECT_TRUE(is_computing(S::kRunning));
+  EXPECT_TRUE(is_computing(S::kRebalanceWarned));
+  EXPECT_FALSE(is_computing(S::kCheckpointing));
+  EXPECT_FALSE(is_computing(S::kQueued));
 
   EXPECT_STREQ(to_string(S::kDown), "down");
   EXPECT_STREQ(to_string(S::kWaiting), "waiting");
@@ -67,6 +77,7 @@ TEST(ZoneState, ActivityPredicatesAndNames) {
   EXPECT_STREQ(to_string(S::kRunning), "running");
   EXPECT_STREQ(to_string(S::kCheckpointing), "checkpointing");
   EXPECT_STREQ(to_string(S::kStopped), "stopped");
+  EXPECT_STREQ(to_string(S::kRebalanceWarned), "rebalance-warned");
 }
 
 // --- ZoneMachine -----------------------------------------------------------

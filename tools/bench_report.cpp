@@ -1,10 +1,13 @@
 #include "bench_report.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/fs.hpp"
@@ -39,9 +42,16 @@ std::string format_number(double v) {
 }  // namespace
 
 std::string to_json(const Report& report) {
+  // Keys are emitted in sorted order (schema first) so two reports of the
+  // same run diff cleanly regardless of metric insertion order — nested
+  // table emitters (the head-to-head matrix) set keys per cell in
+  // whatever order the cells complete.
+  std::vector<std::pair<std::string, double>> sorted(report.metrics);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   std::ostringstream out;
   out << "{\n  \"schema\": \"" << report.schema << "\"";
-  for (const auto& [name, value] : report.metrics) {
+  for (const auto& [name, value] : sorted) {
     out << ",\n  \"" << name << "\": " << format_number(value);
   }
   out << "\n}\n";
